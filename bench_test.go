@@ -1,0 +1,235 @@
+// Package repro's benchmarks regenerate every table and figure of the
+// reconstructed ABCCC evaluation (one benchmark per experiment ID in
+// DESIGN.md), plus micro-benchmarks of the primitives. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Human-readable experiment output comes from `go run ./cmd/benchsuite`.
+package repro
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/emu"
+	"repro/internal/experiments"
+	"repro/internal/flowsim"
+	"repro/internal/packetsim"
+	"repro/internal/planner"
+	"repro/internal/traffic"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1Properties(b *testing.B)     { benchExperiment(b, "T1") }
+func BenchmarkT2NetworkSize(b *testing.B)    { benchExperiment(b, "T2") }
+func BenchmarkF1Diameter(b *testing.B)       { benchExperiment(b, "F1") }
+func BenchmarkF2ASPL(b *testing.B)           { benchExperiment(b, "F2") }
+func BenchmarkF3Bisection(b *testing.B)      { benchExperiment(b, "F3") }
+func BenchmarkF4CapEx(b *testing.B)          { benchExperiment(b, "F4") }
+func BenchmarkF5Permutation(b *testing.B)    { benchExperiment(b, "F5") }
+func BenchmarkF6ABT(b *testing.B)            { benchExperiment(b, "F6") }
+func BenchmarkF7ServerFailures(b *testing.B) { benchExperiment(b, "F7") }
+func BenchmarkF8SwitchFailures(b *testing.B) { benchExperiment(b, "F8") }
+func BenchmarkF9LinkFailures(b *testing.B)   { benchExperiment(b, "F9") }
+func BenchmarkF10ParallelPaths(b *testing.B) { benchExperiment(b, "F10") }
+func BenchmarkF11Expansion(b *testing.B)     { benchExperiment(b, "F11") }
+func BenchmarkF12PacketSim(b *testing.B)     { benchExperiment(b, "F12") }
+func BenchmarkF13PortTradeoff(b *testing.B)  { benchExperiment(b, "F13") }
+func BenchmarkF14Broadcast(b *testing.B)     { benchExperiment(b, "F14") }
+
+// Micro-benchmarks of the core primitives.
+
+func BenchmarkBuildABCCC(b *testing.B) {
+	cfg := core.Config{N: 8, K: 2, P: 3} // 1024 servers
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteABCCC(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 8, K: 2, P: 3})
+	servers := tp.Network().Servers()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if _, err := tp.Route(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelPathsABCCC(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 8, K: 2, P: 3})
+	servers := tp.Network().Servers()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if src != dst && tp.ParallelPaths(src, dst) == nil {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+func BenchmarkBroadcastTreeABCCC(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 4, K: 2, P: 2})
+	root := tp.Network().Server(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tp.BroadcastTree(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinFairPermutation(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 4, K: 2, P: 2}) // 192 servers
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	paths, err := flowsim.RoutePaths(tp, flows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flowsim.MaxMinFair(tp.Network(), paths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketSimUniform(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Uniform(tp.Network().NumServers(), 16, rng)
+	cfg := packetsim.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packetsim.Run(tp, flows, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF15Emulation(b *testing.B)   { benchExperiment(b, "F15") }
+func BenchmarkF16LoadBalance(b *testing.B) { benchExperiment(b, "F16") }
+
+func BenchmarkEmulatorPermutation(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := emu.Run(tp, flows)
+		if err != nil || stats.Delivered != len(flows) {
+			b.Fatalf("stats %+v err %v", stats, err)
+		}
+	}
+}
+
+func BenchmarkNextHop(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 8, K: 2, P: 3})
+	servers := tp.Network().Servers()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if _, err := tp.NextHop(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF17Incremental(b *testing.B) { benchExperiment(b, "F17") }
+func BenchmarkF18ShuffleFCT(b *testing.B)  { benchExperiment(b, "F18") }
+
+func BenchmarkBuildPartial(b *testing.B) {
+	cfg := core.Config{N: 8, K: 1, P: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildPartial(cfg, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF19Transport(b *testing.B) { benchExperiment(b, "F19") }
+
+func BenchmarkTransportShuffle(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(1))
+	flows, err := traffic.Shuffle(tp.Network().NumServers(), 4, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := packetsim.DefaultTransport()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packetsim.RunTransport(tp, flows, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF20ControlPlane(b *testing.B) { benchExperiment(b, "F20") }
+
+func BenchmarkF21Reconvergence(b *testing.B) { benchExperiment(b, "F21") }
+
+func BenchmarkF22SinglePointsOfFailure(b *testing.B) { benchExperiment(b, "F22") }
+
+func BenchmarkT3WiringComplexity(b *testing.B) { benchExperiment(b, "T3") }
+
+func BenchmarkF23Collectives(b *testing.B) { benchExperiment(b, "F23") }
+
+func BenchmarkF24GrowWhileServing(b *testing.B) { benchExperiment(b, "F24") }
+
+func BenchmarkF25LatencyVsLoad(b *testing.B) { benchExperiment(b, "F25") }
+
+func BenchmarkPlannerSearch(b *testing.B) {
+	req := planner.Requirements{MinServers: 5000, MaxServerPorts: 4, MaxSwitchPorts: 48}
+	model := cost.Default()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(req, model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDVColdStart(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	for i := 0; i < b.N; i++ {
+		if _, err := emu.RunDV(tp, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChaosSchedule(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	for i := 0; i < b.N; i++ {
+		if _, err := emu.Chaos(tp, 10, rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

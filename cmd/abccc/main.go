@@ -1,0 +1,304 @@
+// Command abccc builds and inspects ABCCC instances.
+//
+// Usage:
+//
+//	abccc -n 4 -k 1 -p 2 info
+//	abccc -n 4 -k 1 -p 2 route '[0,0|0]' '[3,2|1]' [-strategy grouped]
+//	abccc -n 4 -k 1 -p 2 paths '[0,0|0]' '[3,2|1]'
+//	abccc -n 4 -k 1 -p 2 broadcast '[0,0|0]'
+//	abccc -n 4 -k 1 -p 2 expand
+//	abccc -n 4 -k 1 -p 2 dot > net.dot
+//	abccc -n 4 -k 1 -p 2 wiring
+//	abccc plan -servers 5000 -max-ports 4 -max-radix 48
+//	abccc -n 4 -k 1 -p 2 emulate
+//	abccc -n 4 -k 1 -p 2 partial 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/emu"
+	"repro/internal/planner"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "abccc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("abccc", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 4, "switch radix")
+		k        = fs.Int("k", 1, "order (addresses have k+1 digits)")
+		p        = fs.Int("p", 2, "NIC ports per server")
+		strategy = fs.String("strategy", "grouped", "routing strategy: grouped|identity|reversed|random")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command: info|route|paths|broadcast|expand|dot|wiring|json|emulate|partial|plan")
+	}
+	if rest[0] == "plan" {
+		return plan(w, rest[1:])
+	}
+	tp, err := core.Build(core.Config{N: *n, K: *k, P: *p})
+	if err != nil {
+		return err
+	}
+	switch rest[0] {
+	case "info":
+		return info(w, tp)
+	case "route":
+		if len(rest) != 3 {
+			return fmt.Errorf("route needs <src> <dst> addresses like '[0,1|0]'")
+		}
+		return route(w, tp, rest[1], rest[2], *strategy)
+	case "paths":
+		if len(rest) != 3 {
+			return fmt.Errorf("paths needs <src> <dst>")
+		}
+		return paths(w, tp, rest[1], rest[2])
+	case "broadcast":
+		if len(rest) != 2 {
+			return fmt.Errorf("broadcast needs <root>")
+		}
+		return broadcast(w, tp, rest[1])
+	case "expand":
+		return expand(w, tp)
+	case "dot":
+		return topology.WriteDOT(w, tp.Network())
+	case "wiring":
+		return tp.WriteWiringPlan(w)
+	case "json":
+		return topology.WriteJSON(w, tp.Network())
+	case "emulate":
+		return emulate(w, tp)
+	case "partial":
+		if len(rest) != 2 {
+			return fmt.Errorf("partial needs <crossbars>")
+		}
+		return partial(w, core.Config{N: *n, K: *k, P: *p}, rest[1])
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+func info(w io.Writer, tp *core.ABCCC) error {
+	props := tp.Properties()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "structure\t%s\n", props.Name)
+	fmt.Fprintf(tw, "servers\t%d\n", props.Servers)
+	fmt.Fprintf(tw, "switches\t%d\n", props.Switches)
+	fmt.Fprintf(tw, "links\t%d\n", props.Links)
+	fmt.Fprintf(tw, "servers per crossbar (r)\t%d\n", tp.Config().ServersPerCrossbar())
+	fmt.Fprintf(tw, "NIC ports per server\t%d\n", props.ServerPorts)
+	fmt.Fprintf(tw, "switch radix\t%d\n", props.SwitchPorts)
+	fmt.Fprintf(tw, "diameter\t%d hops (%d links)\n", props.Diameter, props.DiameterLinks)
+	fmt.Fprintf(tw, "bisection\t%d links\n", props.BisectionLinks)
+	return tw.Flush()
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "grouped":
+		return core.StrategyGrouped, nil
+	case "identity":
+		return core.StrategyIdentity, nil
+	case "reversed":
+		return core.StrategyReversed, nil
+	case "random":
+		return core.StrategyRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func endpoints(tp *core.ABCCC, srcS, dstS string) (src, dst int, err error) {
+	srcAddr, err := tp.ParseAddr(srcS)
+	if err != nil {
+		return 0, 0, err
+	}
+	dstAddr, err := tp.ParseAddr(dstS)
+	if err != nil {
+		return 0, 0, err
+	}
+	if src, err = tp.NodeOf(srcAddr); err != nil {
+		return 0, 0, err
+	}
+	dst, err = tp.NodeOf(dstAddr)
+	return src, dst, err
+}
+
+func route(w io.Writer, tp *core.ABCCC, srcS, dstS, stratS string) error {
+	strat, err := parseStrategy(stratS)
+	if err != nil {
+		return err
+	}
+	src, dst, err := endpoints(tp, srcS, dstS)
+	if err != nil {
+		return err
+	}
+	path, err := tp.RouteWithStrategy(src, dst, strat, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s (%d hops, %d links)\n", formatPath(tp.Network(), path),
+		path.SwitchHops(tp.Network()), path.Len())
+	return nil
+}
+
+func paths(w io.Writer, tp *core.ABCCC, srcS, dstS string) error {
+	src, dst, err := endpoints(tp, srcS, dstS)
+	if err != nil {
+		return err
+	}
+	pp := tp.ParallelPaths(src, dst)
+	fmt.Fprintf(w, "%d internally disjoint paths:\n", len(pp))
+	for _, path := range pp {
+		fmt.Fprintf(w, "  %s (%d hops)\n", formatPath(tp.Network(), path),
+			path.SwitchHops(tp.Network()))
+	}
+	return nil
+}
+
+func broadcast(w io.Writer, tp *core.ABCCC, rootS string) error {
+	addr, err := tp.ParseAddr(rootS)
+	if err != nil {
+		return err
+	}
+	root, err := tp.NodeOf(addr)
+	if err != nil {
+		return err
+	}
+	depth, err := tp.BroadcastDepth(root)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "broadcast from %s reaches all %d servers in %d hops\n",
+		rootS, tp.Network().NumServers(), depth)
+	return nil
+}
+
+func expand(w io.Writer, tp *core.ABCCC) error {
+	_, report, err := core.Expand(tp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, report)
+	return nil
+}
+
+// emulate boots the instance as goroutine-per-device processes, delivers a
+// permutation with the static hop-by-hop policy, and converges the
+// distance-vector and link-state control planes for comparison.
+func emulate(w io.Writer, tp *core.ABCCC) error {
+	flows := traffic.Permutation(tp.Network().NumServers(), rand.New(rand.NewSource(1)))
+	stats, err := emu.Run(tp, flows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "static forwarding: delivered %d/%d (max %d hops), %d adjacencies discovered\n",
+		stats.Delivered, stats.Injected, stats.MaxHops, stats.HelloAcks)
+	dv, err := emu.RunDV(tp, flows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "distance-vector:   converged in %d rounds / %d advertisements, delivered %d/%d\n",
+		dv.Rounds, dv.Messages, dv.Delivered, dv.Injected)
+	ls, err := emu.RunLS(tp, flows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "link-state:        flooded %d LSAs in %d rounds, delivered %d/%d\n",
+		ls.Messages, ls.Rounds, ls.Delivered, ls.Injected)
+	return nil
+}
+
+// partial builds an incremental deployment and reports its state plus the
+// cost of the next growth step.
+func partial(w io.Writer, cfg core.Config, arg string) error {
+	m, err := strconv.Atoi(arg)
+	if err != nil {
+		return fmt.Errorf("partial: %w", err)
+	}
+	p, err := core.BuildPartial(cfg, m)
+	if err != nil {
+		return err
+	}
+	net := p.Network()
+	fmt.Fprintf(w, "%s: %d servers, %d switches, %d cables; connected: %v\n",
+		net.Name(), net.NumServers(), net.NumSwitches(), net.NumLinks(),
+		net.Graph().Connected(nil))
+	if p.Crossbars() < cfg.NumVectors() {
+		_, report, err := core.Grow(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "next step: %s\n", report)
+	} else {
+		fmt.Fprintln(w, "deployment complete")
+	}
+	return nil
+}
+
+// plan runs the deployment planner with its own flag set.
+func plan(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("abccc plan", flag.ContinueOnError)
+	var (
+		servers  = fs.Int("servers", 1000, "minimum server population")
+		maxPorts = fs.Int("max-ports", 4, "NIC ports available per server")
+		maxRadix = fs.Int("max-radix", 48, "largest switch radix available")
+		budget   = fs.Float64("budget", 0, "total interconnect budget in $ (0 = unlimited)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	frontier, err := planner.Plan(planner.Requirements{
+		MinServers:     *servers,
+		MaxServerPorts: *maxPorts,
+		MaxSwitchPorts: *maxRadix,
+		MaxBudget:      *budget,
+	}, cost.Default())
+	if err != nil {
+		return err
+	}
+	if len(frontier) == 0 {
+		fmt.Fprintln(w, "no feasible configuration under these constraints")
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tservers\tdiam(hops)\tbisec/srv\ttotal $\t$/server")
+	for _, c := range frontier {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%.0f\t%.2f\n",
+			c.Props.Name, c.Props.Servers, c.Props.Diameter,
+			c.BisectionPerServer, c.CapEx.Total(), c.PerServer)
+	}
+	return tw.Flush()
+}
+
+func formatPath(net *topology.Network, path topology.Path) string {
+	labels := make([]string, len(path))
+	for i, node := range path {
+		labels[i] = net.Label(node)
+	}
+	return strings.Join(labels, " -> ")
+}

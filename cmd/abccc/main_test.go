@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCommands(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		want    string
+		wantErr bool
+	}{
+		{
+			name: "info",
+			args: []string{"-n", "4", "-k", "1", "-p", "2", "info"},
+			want: "ABCCC(4,1,2)",
+		},
+		{
+			name: "route",
+			args: []string{"-n", "4", "-k", "1", "-p", "2", "route", "[0,0|0]", "[3,2|1]"},
+			want: "hops",
+		},
+		{
+			name: "route identity strategy",
+			args: []string{"-n", "4", "-k", "1", "-p", "2", "-strategy", "identity", "route", "[0,0|0]", "[3,2|1]"},
+			want: "hops",
+		},
+		{
+			name: "paths",
+			args: []string{"-n", "4", "-k", "1", "-p", "2", "paths", "[0,0|0]", "[3,2|1]"},
+			want: "disjoint paths",
+		},
+		{
+			name: "broadcast",
+			args: []string{"-n", "4", "-k", "1", "-p", "2", "broadcast", "[0,0|0]"},
+			want: "reaches all 32 servers",
+		},
+		{
+			name: "expand",
+			args: []string{"-n", "4", "-k", "0", "-p", "2", "expand"},
+			want: "rewired 0",
+		},
+		{name: "no command", args: []string{"-n", "4"}, wantErr: true},
+		{name: "unknown command", args: []string{"bogus"}, wantErr: true},
+		{name: "bad config", args: []string{"-n", "1", "info"}, wantErr: true},
+		{name: "bad address", args: []string{"route", "junk", "[0,0|1]"}, wantErr: true},
+		{name: "bad dst address", args: []string{"route", "[0,0|1]", "junk"}, wantErr: true},
+		{name: "bad strategy", args: []string{"-strategy", "zigzag", "route", "[0,0|0]", "[0,0|1]"}, wantErr: true},
+		{name: "route arity", args: []string{"route", "[0,0|0]"}, wantErr: true},
+		{name: "paths arity", args: []string{"paths"}, wantErr: true},
+		{name: "broadcast arity", args: []string{"broadcast"}, wantErr: true},
+		{name: "broadcast bad root", args: []string{"broadcast", "zzz"}, wantErr: true},
+		{name: "expand at capacity", args: []string{"-n", "2", "-k", "1", "-p", "2", "expand"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tt.args, &buf)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("run(%v) succeeded, want error; output:\n%s", tt.args, buf.String())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+			if !strings.Contains(buf.String(), tt.want) {
+				t.Errorf("output missing %q:\n%s", tt.want, buf.String())
+			}
+		})
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "2", "-k", "0", "-p", "2", "dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graph") || !strings.Contains(out, "--") {
+		t.Errorf("dot output malformed:\n%s", out)
+	}
+}
+
+func TestWiringOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "2", "-k", "0", "-p", "2", "wiring"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "port 0 <->") {
+		t.Errorf("wiring output malformed:\n%s", buf.String())
+	}
+}
+
+func TestPlanCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"plan", "-servers", "500", "-max-ports", "3", "-max-radix", "24"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$/server") || !strings.Contains(buf.String(), "ABCCC(") {
+		t.Errorf("plan output malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"plan", "-servers", "99999999", "-max-ports", "2", "-max-radix", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no feasible") {
+		t.Errorf("impossible plan output:\n%s", buf.String())
+	}
+	if err := run([]string{"plan", "-servers", "0"}, &buf); err == nil {
+		t.Error("invalid plan requirements accepted")
+	}
+	if err := run([]string{"plan", "-bogus"}, &buf); err == nil {
+		t.Error("bad plan flag accepted")
+	}
+}
+
+func TestEmulateCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3", "-k", "1", "-p", "2", "emulate"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"static forwarding", "distance-vector", "link-state"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emulate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "2", "-k", "0", "-p", "2", "json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"nodes"`) || !strings.Contains(buf.String(), `"links"`) {
+		t.Errorf("json output malformed:\n%s", buf.String())
+	}
+}
+
+func TestPartialCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3", "-k", "1", "-p", "2", "partial", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "next step") {
+		t.Errorf("partial output malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-n", "3", "-k", "1", "-p", "2", "partial", "9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deployment complete") {
+		t.Errorf("complete output malformed:\n%s", buf.String())
+	}
+	if err := run([]string{"partial"}, &buf); err == nil {
+		t.Error("missing arg accepted")
+	}
+	if err := run([]string{"partial", "x"}, &buf); err == nil {
+		t.Error("non-numeric arg accepted")
+	}
+	if err := run([]string{"partial", "99"}, &buf); err == nil {
+		t.Error("oversized arg accepted")
+	}
+}

@@ -1,0 +1,49 @@
+// Command benchsuite regenerates every table and figure of the reconstructed
+// ABCCC evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	benchsuite            # run everything
+//	benchsuite -run F11   # run one experiment by ID
+//	benchsuite -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
+	var (
+		list = fs.Bool("list", false, "list experiments and exit")
+		only = fs.String("run", "", "run a single experiment by ID (e.g. F11)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *only != "" {
+		e, ok := experiments.ByID(*only)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *only)
+		}
+		return experiments.RunOne(os.Stdout, e)
+	}
+	return experiments.RunAll(os.Stdout)
+}

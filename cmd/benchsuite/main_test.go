@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	if err := run([]string{"-run", "T2"}); err != nil {
+		t.Fatalf("run(-run T2): %v", err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"-run", "XX"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

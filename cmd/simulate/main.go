@@ -1,0 +1,179 @@
+// Command simulate runs flow-level or packet-level simulations of a
+// workload on a chosen data-center structure.
+//
+// Usage:
+//
+//	simulate -topo abccc -n 4 -k 1 -p 3 -pattern permutation -sim flow
+//	simulate -topo bcube -n 4 -k 2 -pattern shuffle -sim packet
+//	simulate -topo fattree -k 4 -pattern alltoall -sim flow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/bccc"
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/dcell"
+	"repro/internal/fattree"
+	"repro/internal/flowsim"
+	"repro/internal/hypercube"
+	"repro/internal/packetsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		topo    = fs.String("topo", "abccc", "structure: abccc|bccc|bcube|dcell|fattree|hypercube")
+		n       = fs.Int("n", 4, "switch radix (abccc/bccc/bcube/dcell)")
+		k       = fs.Int("k", 1, "order (or fat-tree port count)")
+		p       = fs.Int("p", 2, "NIC ports per server (abccc)")
+		pattern = fs.String("pattern", "permutation", "workload: permutation|alltoall|uniform|incast|shuffle|hotspot")
+		sim     = fs.String("sim", "flow", "simulator: flow|packet|transport")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		count   = fs.Int("count", 0, "flow count for uniform/hotspot (default: one per server)")
+		load    = fs.String("load", "", "replay a JSONL workload trace instead of -pattern")
+		save    = fs.String("save", "", "write the generated workload as a JSONL trace")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	t, err := buildTopology(*topo, *n, *k, *p)
+	if err != nil {
+		return err
+	}
+	servers := t.Network().NumServers()
+	rng := rand.New(rand.NewSource(*seed))
+	var flows []traffic.Flow
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if flows, err = traffic.ReadTrace(f, servers); err != nil {
+			return err
+		}
+		*pattern = "trace:" + *load
+	} else if flows, err = buildWorkload(*pattern, servers, *count, rng); err != nil {
+		return err
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := traffic.WriteTrace(f, flows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "%s: %d servers, %d flows (%s)\n",
+		t.Network().Name(), servers, len(flows), *pattern)
+
+	switch *sim {
+	case "flow":
+		paths, err := flowsim.RoutePaths(t, flows)
+		if err != nil {
+			return err
+		}
+		asg, err := flowsim.MaxMinFair(t.Network(), paths)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "max-min fair: bottleneck rate %.4f, sum %.2f, ABT %.2f (per server %.4f)\n",
+			asg.MinRate(), asg.SumRate(), asg.ABT(), asg.ABT()/float64(servers))
+		return nil
+	case "packet":
+		res, err := packetsim.Run(t, flows, packetsim.Default())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "packet sim: delivered %d, dropped %d (%.2f%%), avg latency %.1fus, p99 %.1fus, throughput %.2f Gb/s\n",
+			res.Delivered, res.Dropped, 100*res.DropRate(),
+			res.AvgLatencySec*1e6, res.P99LatencySec*1e6, res.ThroughputBps*8/1e9)
+		return nil
+	case "transport":
+		res, err := packetsim.RunTransport(t, flows, packetsim.DefaultTransport())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "transport sim: %d/%d flows completed, %d retransmits, mean FCT %.2fms, makespan %.2fms, goodput %.2f Gb/s\n",
+			res.CompletedFlows, len(flows), res.Retransmits,
+			res.MeanFCTSec*1e3, res.MakespanSec*1e3, res.GoodputBps*8/1e9)
+		return nil
+	default:
+		return fmt.Errorf("unknown simulator %q", *sim)
+	}
+}
+
+func buildTopology(name string, n, k, p int) (topology.Topology, error) {
+	switch name {
+	case "abccc":
+		return core.Build(core.Config{N: n, K: k, P: p})
+	case "bccc":
+		return bccc.Build(bccc.Config{N: n, K: k})
+	case "bcube":
+		return bcube.Build(bcube.Config{N: n, K: k})
+	case "dcell":
+		return dcell.Build(dcell.Config{N: n, K: k})
+	case "fattree":
+		return fattree.Build(fattree.Config{K: k})
+	case "hypercube":
+		return hypercube.Build(hypercube.Config{D: k})
+	default:
+		return nil, fmt.Errorf("unknown structure %q", name)
+	}
+}
+
+func buildWorkload(pattern string, servers, count int, rng *rand.Rand) ([]traffic.Flow, error) {
+	if count <= 0 {
+		count = servers
+	}
+	switch pattern {
+	case "permutation":
+		return traffic.Permutation(servers, rng), nil
+	case "alltoall":
+		return traffic.AllToAll(servers), nil
+	case "uniform":
+		return traffic.Uniform(servers, count, rng), nil
+	case "incast":
+		fanin := servers / 4
+		if fanin < 1 {
+			fanin = 1
+		}
+		return traffic.Incast(servers, 0, fanin, rng)
+	case "shuffle":
+		part := servers / 4
+		if part < 1 {
+			part = 1
+		}
+		return traffic.Shuffle(servers, part, part, rng)
+	case "hotspot":
+		spots := servers / 8
+		if spots < 1 {
+			spots = 1
+		}
+		return traffic.Hotspot(servers, spots, count, rng)
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", pattern)
+	}
+}

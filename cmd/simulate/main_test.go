@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSimulations(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		want    string
+		wantErr bool
+	}{
+		{
+			name: "abccc flow permutation",
+			args: []string{"-topo", "abccc", "-n", "4", "-k", "1", "-p", "3", "-pattern", "permutation"},
+			want: "max-min fair",
+		},
+		{
+			name: "bccc flow alltoall",
+			args: []string{"-topo", "bccc", "-n", "3", "-k", "1", "-pattern", "alltoall"},
+			want: "ABT",
+		},
+		{
+			name: "bcube packet uniform",
+			args: []string{"-topo", "bcube", "-n", "4", "-k", "1", "-pattern", "uniform", "-sim", "packet", "-count", "8"},
+			want: "packet sim",
+		},
+		{
+			name: "dcell flow incast",
+			args: []string{"-topo", "dcell", "-n", "3", "-k", "1", "-pattern", "incast"},
+			want: "bottleneck",
+		},
+		{
+			name: "fattree packet shuffle",
+			args: []string{"-topo", "fattree", "-k", "4", "-pattern", "shuffle", "-sim", "packet"},
+			want: "delivered",
+		},
+		{
+			name: "hotspot",
+			args: []string{"-topo", "abccc", "-pattern", "hotspot", "-count", "20"},
+			want: "max-min fair",
+		},
+		{name: "bad topo", args: []string{"-topo", "torus"}, wantErr: true},
+		{name: "bad pattern", args: []string{"-pattern", "chaos"}, wantErr: true},
+		{name: "bad sim", args: []string{"-sim", "quantum"}, wantErr: true},
+		{name: "bad config", args: []string{"-topo", "fattree", "-k", "3"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tt.args, &buf)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("run(%v) succeeded; output:\n%s", tt.args, buf.String())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+			if !strings.Contains(buf.String(), tt.want) {
+				t.Errorf("output missing %q:\n%s", tt.want, buf.String())
+			}
+		})
+	}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	// All pattern helpers must produce non-empty workloads even on small
+	// server counts.
+	for _, pattern := range []string{"permutation", "alltoall", "uniform", "incast", "shuffle", "hotspot"} {
+		var buf bytes.Buffer
+		args := []string{"-topo", "abccc", "-n", "2", "-k", "1", "-p", "2", "-pattern", pattern}
+		if err := run(args, &buf); err != nil {
+			t.Errorf("pattern %s on tiny net: %v", pattern, err)
+		}
+	}
+}
+
+func TestTraceSaveAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/wl.jsonl"
+	var buf bytes.Buffer
+	if err := run([]string{"-topo", "abccc", "-pattern", "permutation", "-save", trace}, &buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	buf.Reset()
+	if err := run([]string{"-topo", "abccc", "-load", trace}, &buf); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !strings.Contains(buf.String(), "trace:") {
+		t.Errorf("replay output missing trace marker:\n%s", buf.String())
+	}
+	if err := run([]string{"-load", dir + "/missing.jsonl"}, &buf); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run([]string{"-save", dir + "/nope/x.jsonl"}, &buf); err == nil {
+		t.Error("unwritable save path accepted")
+	}
+}

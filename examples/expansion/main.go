@@ -1,0 +1,53 @@
+// Expansion: grow an ABCCC data center order by order and show the paper's
+// headline property — existing servers and cables are never touched — then
+// contrast with BCube, where every expansion opens every server for a new
+// NIC.
+//
+//	go run ./examples/expansion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+func main() {
+	model := cost.Default()
+
+	fmt.Println("ABCCC growth (n=6, p=2):")
+	tp, err := core.Build(core.Config{N: 6, K: 0, P: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for tp.Config().K < 2 {
+		bigger, report, err := core.Expand(tp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", report)
+		fmt.Printf("    expansion spend: $%.0f\n",
+			model.ExpansionCost(report, bigger.Config().N, bigger.Config().P))
+		tp = bigger
+	}
+
+	fmt.Println("BCube growth (n=6) — the comparison ABCCC was designed to win:")
+	bt, err := bcube.Build(bcube.Config{N: 6, K: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for bt.Config().K < 2 {
+		bigger, report, err := bcube.Expand(bt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", report)
+		fmt.Printf("    expansion spend: $%.0f (including %d NIC retrofits)\n",
+			model.ExpansionCost(report, bigger.Config().N, bigger.Config().K+1),
+			report.UpgradedServers)
+		bt = bigger
+	}
+}

@@ -1,0 +1,61 @@
+// Planning: a capacity-planning session for a 5,000-server deployment with
+// commodity hardware limits. The planner enumerates feasible ABCCC
+// configurations and returns the Pareto frontier over cost per server,
+// diameter, and per-server bisection bandwidth; we then build the cheapest
+// choice at a small starting order and grow it, showing the expansion road
+// the paper's expandability claim promises.
+//
+//	go run ./examples/planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/planner"
+)
+
+func main() {
+	req := planner.Requirements{
+		MinServers:     5000,
+		MaxServerPorts: 4,
+		MaxSwitchPorts: 48,
+	}
+	model := cost.Default()
+	frontier, err := planner.Plan(req, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pareto frontier for >= %d servers (NICs <= %d, radix <= %d):\n",
+		req.MinServers, req.MaxServerPorts, req.MaxSwitchPorts)
+	for _, c := range frontier {
+		fmt.Printf("  %-14s %6d servers, %2d hops diameter, %.3f bisection/srv, $%.0f/server\n",
+			c.Props.Name, c.Props.Servers, c.Props.Diameter, c.BisectionPerServer, c.PerServer)
+	}
+	if len(frontier) == 0 {
+		log.Fatal("no feasible configuration")
+	}
+
+	// Deploy the cheapest frontier choice incrementally: start at order 0
+	// and grow, never touching installed hardware.
+	choice := frontier[0].Config
+	fmt.Printf("\ndeploying %v incrementally:\n", frontier[0].Props.Name)
+	tp, err := core.Build(core.Config{N: choice.N, K: 0, P: choice.P})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for tp.Config().K < choice.K {
+		bigger, report, err := core.Expand(tp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s — spend $%.0f, touch %.0f%% of installed plant\n",
+			report, model.ExpansionCost(report, bigger.Config().N, bigger.Config().P),
+			100*report.TouchedFraction())
+		tp = bigger
+	}
+	props := tp.Properties()
+	fmt.Printf("final: %s with %d servers online\n", props.Name, props.Servers)
+}

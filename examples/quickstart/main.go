@@ -1,0 +1,58 @@
+// Quickstart: build an ABCCC network, look up addresses, route between two
+// servers, and print the headline topological properties.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// ABCCC(n=4, k=1, p=2): 4-port switches, 2-digit addresses, dual-port
+	// servers — the BCCC-compatible configuration.
+	tp, err := core.Build(core.Config{N: 4, K: 1, P: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := tp.Network()
+	props := tp.Properties()
+	fmt.Printf("built %s: %d servers, %d switches, %d cables\n",
+		props.Name, props.Servers, props.Switches, props.Links)
+	fmt.Printf("diameter %d hops, bisection %d links\n", props.Diameter, props.BisectionLinks)
+
+	// Addresses are digit vectors plus a server slot within the crossbar.
+	src, err := tp.NodeOf(core.Addr{Vec: 0, J: 0}) // server [0,0|0]
+	if err != nil {
+		log.Fatal(err)
+	}
+	dstAddr, err := tp.ParseAddr("[3,2|1]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := tp.NodeOf(dstAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One-to-one routing with the default (grouped) permutation strategy.
+	path, err := tp.Route(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := make([]string, len(path))
+	for i, node := range path {
+		labels[i] = net.Label(node)
+	}
+	fmt.Printf("route %s -> %s:\n  %s\n  (%d switch hops)\n",
+		net.Label(src), net.Label(dst), strings.Join(labels, " -> "),
+		path.SwitchHops(net))
+
+	// Multiple disjoint paths back up every pair.
+	parallel := tp.ParallelPaths(src, dst)
+	fmt.Printf("the pair has %d internally disjoint paths\n", len(parallel))
+}

@@ -1,0 +1,76 @@
+// Shuffle: run a MapReduce-style shuffle (every mapper streams to every
+// reducer) on ABCCC and BCube at comparable scale, comparing the max-min
+// fair aggregate bottleneck throughput (flow level) and the loss/latency
+// behaviour (packet level) — the workload the paper's introduction
+// motivates server-centric networks with.
+//
+//	go run ./examples/shuffle
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/flowsim"
+	"repro/internal/packetsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	subjects := []struct {
+		name string
+		t    topology.Topology
+	}{
+		{"ABCCC(4,1,2)", mustABCCC(core.Config{N: 4, K: 1, P: 2})},
+		{"ABCCC(4,1,3)", mustABCCC(core.Config{N: 4, K: 1, P: 3})},
+		{"BCube(4,1)", mustBCube(bcube.Config{N: 4, K: 1})},
+	}
+	for _, s := range subjects {
+		n := s.t.Network().NumServers()
+		rng := rand.New(rand.NewSource(99))
+		flows, err := traffic.Shuffle(n, n/4, n/4, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d servers, shuffle %dx%d = %d flows\n",
+			s.name, n, n/4, n/4, len(flows))
+
+		paths, err := flowsim.RoutePaths(s.t, flows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		asg, err := flowsim.MaxMinFair(s.t.Network(), paths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  flow level: bottleneck %.3f of line rate, ABT %.2f\n",
+			asg.MinRate(), asg.ABT())
+
+		res, err := packetsim.Run(s.t, flows, packetsim.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  packet level: %.1f%% dropped, avg latency %.0fus, %.2f Gb/s delivered\n",
+			100*res.DropRate(), res.AvgLatencySec*1e6, res.ThroughputBps*8/1e9)
+	}
+}
+
+func mustABCCC(cfg core.Config) *core.ABCCC {
+	t, err := core.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func mustBCube(cfg bcube.Config) *bcube.BCube {
+	t, err := bcube.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}

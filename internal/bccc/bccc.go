@@ -1,0 +1,256 @@
+// Package bccc is an independent implementation of BCCC — BCube Connected
+// Crossbars (Li & Yang) — the dual-port-server ancestor that ABCCC
+// generalizes. It is written directly from the p = 2 semantics, without
+// reference to package core, so that a structural-isomorphism test between
+// BCCC(n,k) and ABCCC(n,k,2) cross-validates both constructions.
+//
+// BCCC(n,k) has (k+1)·n^(k+1) dual-port servers. For every (k+1)-digit
+// base-n vector a there is a crossbar: a local switch joining k+1 servers
+// S(a,0..k), where S(a,l) dedicates its second port to the level-l switch
+// W(l, a minus digit l) joining the n servers that differ from it only in
+// digit l.
+package bccc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Config selects a BCCC instance: n-port switches, order k.
+type Config struct {
+	N int
+	K int
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("bccc: switch radix N = %d, need >= 2", c.N)
+	}
+	if c.K < 0 {
+		return fmt.Errorf("bccc: order K = %d, need >= 0", c.K)
+	}
+	if c.K+1 > c.N {
+		return fmt.Errorf("bccc: crossbar needs %d servers but switches have %d ports", c.K+1, c.N)
+	}
+	servers := c.K + 1
+	for i := 0; i <= c.K; i++ {
+		servers *= c.N
+		if servers > 4<<20 {
+			return fmt.Errorf("bccc: instance too large (N=%d K=%d)", c.N, c.K)
+		}
+	}
+	return nil
+}
+
+// BCCC is a built instance; immutable after Build.
+type BCCC struct {
+	cfg     Config
+	net     *topology.Network
+	servers []int // servers[vec*(k+1)+l]
+	localSw []int
+	levelSw [][]int
+	vecs    int
+}
+
+var _ topology.Topology = (*BCCC)(nil)
+
+// Build constructs BCCC(n,k).
+func Build(cfg Config) (*BCCC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	vecs := 1
+	for i := 0; i <= cfg.K; i++ {
+		vecs *= cfg.N
+	}
+	t := &BCCC{
+		cfg:  cfg,
+		net:  topology.NewNetwork(fmt.Sprintf("BCCC(%d,%d)", cfg.N, cfg.K)),
+		vecs: vecs,
+	}
+	digits := cfg.K + 1
+	t.servers = make([]int, vecs*digits)
+	t.localSw = make([]int, vecs)
+	for vec := 0; vec < vecs; vec++ {
+		t.localSw[vec] = t.net.AddSwitch("L" + strconv.Itoa(vec))
+		for l := 0; l < digits; l++ {
+			id := t.net.AddServer(t.serverLabel(vec, l))
+			t.servers[vec*digits+l] = id
+			if err := t.net.Connect(id, t.localSw[vec]); err != nil {
+				return nil, fmt.Errorf("bccc: wire local: %w", err)
+			}
+		}
+	}
+	t.levelSw = make([][]int, digits)
+	for l := 0; l < digits; l++ {
+		t.levelSw[l] = make([]int, vecs/cfg.N)
+		for cvec := range t.levelSw[l] {
+			sw := t.net.AddSwitch("W" + strconv.Itoa(l) + "/" + strconv.Itoa(cvec))
+			t.levelSw[l][cvec] = sw
+			for d := 0; d < cfg.N; d++ {
+				vec := t.expand(cvec, l, d)
+				if err := t.net.Connect(t.servers[vec*digits+l], sw); err != nil {
+					return nil, fmt.Errorf("bccc: wire level %d: %w", l, err)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustBuild is Build for known-good configs.
+func MustBuild(cfg Config) *BCCC {
+	t, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Network returns the built network.
+func (t *BCCC) Network() *topology.Network { return t.net }
+
+// Config returns the instance parameters.
+func (t *BCCC) Config() Config { return t.cfg }
+
+// ServerAt returns the node index of server l of crossbar vec.
+func (t *BCCC) ServerAt(vec, l int) int { return t.servers[vec*(t.cfg.K+1)+l] }
+
+// LocalSwitch returns the node index of crossbar vec's local switch.
+func (t *BCCC) LocalSwitch(vec int) int { return t.localSw[vec] }
+
+// LevelSwitch returns the node index of level switch (l, cvec).
+func (t *BCCC) LevelSwitch(l, cvec int) int { return t.levelSw[l][cvec] }
+
+// NumVectors returns the number of crossbars.
+func (t *BCCC) NumVectors() int { return t.vecs }
+
+// Properties returns the analytic comparison-table row; see
+// Config.Properties.
+func (t *BCCC) Properties() topology.Properties { return t.cfg.Properties() }
+
+// Properties returns the analytic comparison-table row without building the
+// instance. The diameter is 2k+2 hops: k+1 level crossings plus up to k+1
+// realignments (one before each crossing or one final), since every level
+// lives on its own server.
+func (c Config) Properties() topology.Properties {
+	digits := c.K + 1
+	vecs := 1
+	for i := 0; i <= c.K; i++ {
+		vecs *= c.N
+	}
+	diameter := 2 * digits
+	if digits == 1 {
+		diameter = 1
+	}
+	return topology.Properties{
+		Name:           fmt.Sprintf("BCCC(%d,%d)", c.N, c.K),
+		Servers:        digits * vecs,
+		Switches:       vecs + digits*(vecs/c.N),
+		Links:          2 * digits * vecs,
+		ServerPorts:    2,
+		SwitchPorts:    c.N,
+		Diameter:       diameter,
+		DiameterLinks:  2 * diameter,
+		BisectionLinks: (c.N / 2) * (vecs / c.N),
+	}
+}
+
+// Route implements BCCC's digit-correction one-to-one routing. The
+// correction permutation puts the source server's own level first and the
+// destination server's level last (each saves one realignment hop), with the
+// remaining differing levels in ascending order; this achieves the 2k+2
+// diameter bound.
+func (t *BCCC) Route(src, dst int) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	digits := t.cfg.K + 1
+	sVec, sL := t.locate(src)
+	dVec, dL := t.locate(dst)
+
+	var first, middle, last []int
+	for l := 0; l < digits; l++ {
+		if t.digit(sVec, l) == t.digit(dVec, l) {
+			continue
+		}
+		switch l {
+		case sL:
+			first = append(first, l)
+		case dL:
+			last = append(last, l)
+		default:
+			middle = append(middle, l)
+		}
+	}
+	order := append(append(first, middle...), last...)
+
+	cur, curL := sVec, sL
+	path := topology.Path{src}
+	for _, l := range order {
+		if curL != l {
+			path = append(path, t.localSw[cur], t.servers[cur*digits+l])
+			curL = l
+		}
+		path = append(path, t.levelSw[l][t.contract(cur, l)])
+		cur = t.setDigit(cur, l, t.digit(dVec, l))
+		path = append(path, t.servers[cur*digits+l])
+	}
+	if curL != dL {
+		path = append(path, t.localSw[cur], dst)
+	}
+	return path, nil
+}
+
+// locate recovers (vec, level) of a server node by index arithmetic: nodes
+// are created crossbar by crossbar, one switch then k+1 servers.
+func (t *BCCC) locate(node int) (vec, l int) {
+	stride := t.cfg.K + 2 // local switch + k+1 servers per crossbar
+	vec = node / stride
+	l = node%stride - 1
+	return vec, l
+}
+
+func (t *BCCC) serverLabel(vec, l int) string {
+	var b strings.Builder
+	b.WriteByte('S')
+	b.WriteString(strconv.Itoa(vec))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(l))
+	return b.String()
+}
+
+func (t *BCCC) digit(vec, l int) int {
+	for i := 0; i < l; i++ {
+		vec /= t.cfg.N
+	}
+	return vec % t.cfg.N
+}
+
+func (t *BCCC) setDigit(vec, l, d int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	return vec + (d-(vec/pow)%t.cfg.N)*pow
+}
+
+func (t *BCCC) contract(vec, l int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	return (vec/(pow*t.cfg.N))*pow + vec%pow
+}
+
+func (t *BCCC) expand(cvec, l, d int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	return (cvec/pow)*pow*t.cfg.N + d*pow + cvec%pow
+}

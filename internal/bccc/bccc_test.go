@@ -1,0 +1,220 @@
+package bccc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func configs() []Config {
+	return []Config{
+		{N: 2, K: 0},
+		{N: 2, K: 1},
+		{N: 3, K: 1},
+		{N: 3, K: 2},
+		{N: 4, K: 2},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		cfg     Config
+		wantErr bool
+	}{
+		{cfg: Config{N: 4, K: 2}},
+		{cfg: Config{N: 1, K: 0}, wantErr: true},
+		{cfg: Config{N: 4, K: -1}, wantErr: true},
+		{cfg: Config{N: 2, K: 2}, wantErr: true},  // crossbar overflow
+		{cfg: Config{N: 16, K: 6}, wantErr: true}, // too large
+	}
+	for _, tt := range tests {
+		if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+			t.Errorf("Validate(%+v) = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+		}
+	}
+}
+
+func TestBuildCountsMatchProperties(t *testing.T) {
+	for _, cfg := range configs() {
+		tp := MustBuild(cfg)
+		props := tp.Properties()
+		net := tp.Network()
+		if net.NumServers() != props.Servers || net.NumSwitches() != props.Switches ||
+			net.NumLinks() != props.Links {
+			t.Errorf("%s: built %d/%d/%d, formula %d/%d/%d", net.Name(),
+				net.NumServers(), net.NumSwitches(), net.NumLinks(),
+				props.Servers, props.Switches, props.Links)
+		}
+		if got := net.MaxDegree(topology.Server); got > 2 {
+			t.Errorf("%s: server degree %d > 2 NIC ports", net.Name(), got)
+		}
+		if got := net.MaxDegree(topology.Switch); got > cfg.N {
+			t.Errorf("%s: switch degree %d > %d", net.Name(), got, cfg.N)
+		}
+	}
+}
+
+func TestRouteAllPairsValidAndWithinDiameter(t *testing.T) {
+	for _, cfg := range configs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		d := tp.Properties().Diameter
+		for _, src := range net.Servers() {
+			for _, dst := range net.Servers() {
+				p, err := tp.Route(src, dst)
+				if err != nil {
+					t.Fatalf("%s: Route: %v", net.Name(), err)
+				}
+				if err := p.Validate(net, src, dst); err != nil {
+					t.Fatalf("%s: %v", net.Name(), err)
+				}
+				if h := p.SwitchHops(net); h > d {
+					t.Fatalf("%s: %s->%s took %d hops > diameter %d", net.Name(),
+						net.Label(src), net.Label(dst), h, d)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyticDiameterTight(t *testing.T) {
+	for _, cfg := range configs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		servers := net.Servers()
+		worst := 0
+		for _, src := range servers {
+			ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+			if !ok {
+				t.Fatalf("%s: disconnected", net.Name())
+			}
+			if ecc > worst {
+				worst = ecc
+			}
+		}
+		if worst/2 != tp.Properties().Diameter {
+			t.Errorf("%s: measured diameter %d hops, analytic %d",
+				net.Name(), worst/2, tp.Properties().Diameter)
+		}
+	}
+}
+
+func TestRouteSelfAndErrors(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1})
+	s := tp.Network().Server(4)
+	p, err := tp.Route(s, s)
+	if err != nil || len(p) != 1 {
+		t.Errorf("Route(self) = %v, %v", p, err)
+	}
+	sw := tp.Network().Switches()[0]
+	if _, err := tp.Route(sw, s); err == nil {
+		t.Error("Route(switch, server) succeeded")
+	}
+	if _, err := Build(Config{N: 1, K: 0}); err == nil {
+		t.Error("Build(invalid) succeeded")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild(invalid) did not panic")
+		}
+	}()
+	MustBuild(Config{N: 0})
+}
+
+func TestAccessors(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1})
+	if tp.Config() != (Config{N: 3, K: 1}) {
+		t.Errorf("Config = %+v", tp.Config())
+	}
+	if tp.NumVectors() != 9 {
+		t.Errorf("NumVectors = %d, want 9", tp.NumVectors())
+	}
+	// ServerAt / locate round trip.
+	for vec := 0; vec < tp.NumVectors(); vec++ {
+		for l := 0; l <= tp.Config().K; l++ {
+			node := tp.ServerAt(vec, l)
+			gotVec, gotL := tp.locate(node)
+			if gotVec != vec || gotL != l {
+				t.Fatalf("locate(ServerAt(%d,%d)) = (%d,%d)", vec, l, gotVec, gotL)
+			}
+		}
+	}
+	if !tp.Network().IsServer(tp.ServerAt(0, 0)) {
+		t.Error("ServerAt returned a non-server")
+	}
+	if tp.Network().IsServer(tp.LocalSwitch(0)) || tp.Network().IsServer(tp.LevelSwitch(0, 0)) {
+		t.Error("switch accessors returned servers")
+	}
+}
+
+// TestIsomorphicToABCCCWithP2 is the cross-validation at the heart of the
+// reconstruction: the independently implemented BCCC(n,k) must be exactly
+// the graph of ABCCC(n,k,2) under the natural correspondence
+// server (vec,l) <-> server (vec, j=l), local <-> local, level <-> level.
+func TestIsomorphicToABCCCWithP2(t *testing.T) {
+	for _, cfg := range configs() {
+		b := MustBuild(cfg)
+		a := core.MustBuild(core.Config{N: cfg.N, K: cfg.K, P: 2})
+		bn, an := b.Network(), a.Network()
+		if bn.NumServers() != an.NumServers() || bn.NumSwitches() != an.NumSwitches() ||
+			bn.NumLinks() != an.NumLinks() {
+			t.Fatalf("%s vs %s: size mismatch", bn.Name(), an.Name())
+		}
+
+		// Build node mapping BCCC -> ABCCC.
+		mapping := make(map[int]int, bn.Graph().NumNodes())
+		digits := cfg.K + 1
+		for vec := 0; vec < b.NumVectors(); vec++ {
+			for l := 0; l < digits; l++ {
+				an, err := a.NodeOf(core.Addr{Vec: vec, J: l})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mapping[b.ServerAt(vec, l)] = an
+			}
+		}
+		// Switches: map via shared neighbors. A BCCC switch maps to the
+		// unique ABCCC switch adjacent to the images of all its neighbors.
+		for _, sw := range bn.Switches() {
+			nbrs := bn.Graph().Neighbors(sw, nil)
+			img := commonSwitchNeighbor(a, mapping, nbrs)
+			if img == -1 {
+				t.Fatalf("%s: switch %s has no image", bn.Name(), bn.Label(sw))
+			}
+			mapping[sw] = img
+		}
+		// Every BCCC edge must exist in ABCCC under the mapping.
+		g := bn.Graph()
+		for e := 0; e < g.NumEdges(); e++ {
+			edge := g.Edge(e)
+			if an.Graph().EdgeBetween(mapping[int(edge.U)], mapping[int(edge.V)]) == -1 {
+				t.Fatalf("%s: edge %s-%s missing in ABCCC image", bn.Name(),
+					bn.Label(int(edge.U)), bn.Label(int(edge.V)))
+			}
+		}
+	}
+}
+
+// commonSwitchNeighbor finds the ABCCC switch adjacent to the images of all
+// the given BCCC servers.
+func commonSwitchNeighbor(a *core.ABCCC, mapping map[int]int, servers []int) int {
+	g := a.Network().Graph()
+	counts := map[int]int{}
+	for _, s := range servers {
+		for _, nb := range g.Neighbors(mapping[s], nil) {
+			if !a.Network().IsServer(nb) {
+				counts[nb]++
+			}
+		}
+	}
+	for sw, c := range counts {
+		if c == len(servers) {
+			return sw
+		}
+	}
+	return -1
+}

@@ -1,0 +1,67 @@
+package bccc
+
+import (
+	"fmt"
+)
+
+// NextHop makes the hop-by-hop forwarding decision at node cur for a packet
+// heading to server dst, using local state only: a server owning the lowest
+// differing level crosses its level switch, any other server hands the
+// packet to its local switch; a local switch forwards to the member owning
+// the next level (or the destination); a level switch delivers to the port
+// matching the destination digit. Satisfies the emulator's Forwarder
+// interface, so BCCC runs as a distributed system too.
+func (t *BCCC) NextHop(cur, dst int) (int, error) {
+	if !t.net.IsServer(dst) {
+		return 0, fmt.Errorf("bccc: next hop destination %d is not a server", dst)
+	}
+	if cur == dst {
+		return dst, nil
+	}
+	digits := t.cfg.K + 1
+	dVec, dL := t.locate(dst)
+	if t.net.IsServer(cur) {
+		cVec, cL := t.locate(cur)
+		l, ok := t.lowestDiff(cVec, dVec)
+		if !ok {
+			return t.localSw[cVec], nil // same crossbar, different server
+		}
+		if cL == l {
+			return t.levelSw[l][t.contract(cVec, l)], nil
+		}
+		return t.localSw[cVec], nil
+	}
+	// Switch: classify via its first neighbors.
+	nbrs := t.net.Graph().Neighbors(cur, nil)
+	if len(nbrs) == 0 {
+		return 0, fmt.Errorf("bccc: switch %d has no ports", cur)
+	}
+	v0, _ := t.locate(nbrs[0])
+	if t.localSw[v0] == cur {
+		if v0 == dVec {
+			return t.servers[dVec*digits+dL], nil
+		}
+		l, _ := t.lowestDiff(v0, dVec)
+		return t.servers[v0*digits+l], nil
+	}
+	if len(nbrs) < 2 {
+		return 0, fmt.Errorf("bccc: cannot classify switch %d", cur)
+	}
+	v1, _ := t.locate(nbrs[1])
+	l, ok := t.lowestDiff(v0, v1)
+	if !ok {
+		return 0, fmt.Errorf("bccc: cannot classify switch %d", cur)
+	}
+	target := t.setDigit(v0, l, t.digit(dVec, l))
+	return t.servers[target*digits+l], nil
+}
+
+// lowestDiff returns the lowest level where two vectors differ.
+func (t *BCCC) lowestDiff(a, b int) (int, bool) {
+	for l := 0; l <= t.cfg.K; l++ {
+		if t.digit(a, l) != t.digit(b, l) {
+			return l, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,292 @@
+package bccc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Strategy selects the level-correction permutation, mirroring the
+// companion ICC'15 study ("Permutation Generation for Routing in BCCC").
+type Strategy int
+
+// Routing strategies. Grouped is BCCC's native source-first/destination-last
+// order (the default used by Route).
+const (
+	StrategyGrouped Strategy = iota + 1
+	StrategyIdentity
+	StrategyReversed
+	StrategyRandom
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyGrouped:
+		return "grouped"
+	case StrategyIdentity:
+		return "identity"
+	case StrategyReversed:
+		return "reversed"
+	case StrategyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// RouteWithStrategy routes with an explicit permutation strategy; the seed
+// feeds StrategyRandom.
+func (t *BCCC) RouteWithStrategy(src, dst int, s Strategy, seed int64) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	sVec, sL := t.locate(src)
+	dVec, dL := t.locate(dst)
+	var diff []int
+	for l := 0; l <= t.cfg.K; l++ {
+		if t.digit(sVec, l) != t.digit(dVec, l) {
+			diff = append(diff, l)
+		}
+	}
+	var order []int
+	switch s {
+	case StrategyGrouped:
+		order = groupedOrder(diff, sL, dL)
+	case StrategyIdentity:
+		order = diff
+	case StrategyReversed:
+		order = make([]int, len(diff))
+		for i, l := range diff {
+			order[len(diff)-1-i] = l
+		}
+	case StrategyRandom:
+		order = append([]int(nil), diff...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	default:
+		return nil, fmt.Errorf("bccc: unknown strategy %d", int(s))
+	}
+	return t.routeOrdered(src, dst, order)
+}
+
+// groupedOrder puts the source server's level first and the destination's
+// last.
+func groupedOrder(diff []int, sL, dL int) []int {
+	var first, middle, last []int
+	for _, l := range diff {
+		switch l {
+		case sL:
+			first = append(first, l)
+		case dL:
+			last = append(last, l)
+		default:
+			middle = append(middle, l)
+		}
+	}
+	return append(append(first, middle...), last...)
+}
+
+// routeOrdered walks the digit corrections in the given order.
+func (t *BCCC) routeOrdered(src, dst int, order []int) (topology.Path, error) {
+	digits := t.cfg.K + 1
+	sVec, sL := t.locate(src)
+	dVec, dL := t.locate(dst)
+	cur, curL := sVec, sL
+	path := topology.Path{src}
+	for _, l := range order {
+		if curL != l {
+			path = append(path, t.localSw[cur], t.servers[cur*digits+l])
+			curL = l
+		}
+		path = append(path, t.levelSw[l][t.contract(cur, l)])
+		cur = t.setDigit(cur, l, t.digit(dVec, l))
+		path = append(path, t.servers[cur*digits+l])
+	}
+	if cur != dVec {
+		return nil, fmt.Errorf("bccc: order did not reach destination crossbar")
+	}
+	if curL != dL {
+		path = append(path, t.localSw[cur], dst)
+	}
+	return path, nil
+}
+
+// ParallelPaths returns internally vertex-disjoint paths between two
+// servers: one candidate per differing level corrected first, detours
+// through agreeing levels, and same-crossbar loop detours, filtered
+// greedily — BCCC's "multiple near-equal parallel paths".
+func (t *BCCC) ParallelPaths(src, dst int) []topology.Path {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil || src == dst {
+		return nil
+	}
+	digits := t.cfg.K + 1
+	sVec, sL := t.locate(src)
+	dVec, dL := t.locate(dst)
+	var diff []int
+	diffSet := make(map[int]bool)
+	for l := 0; l < digits; l++ {
+		if t.digit(sVec, l) != t.digit(dVec, l) {
+			diff = append(diff, l)
+			diffSet[l] = true
+		}
+	}
+	var out []topology.Path
+	add := func(p topology.Path, err error) {
+		if err == nil && p.Validate(t.net, src, dst) == nil {
+			out = append(out, p)
+		}
+	}
+	// Default route plus one candidate per differing level first.
+	add(t.routeOrdered(src, dst, groupedOrder(diff, sL, dL)))
+	for _, l := range diff {
+		rest := make([]int, 0, len(diff)-1)
+		for _, x := range diff {
+			if x != l {
+				rest = append(rest, x)
+			}
+		}
+		add(t.routeOrdered(src, dst, append([]int{l}, groupedOrder(rest, l, dL)...)))
+	}
+	// Detours: mis-correct an agreeing level, fix everything, restore last.
+	for l := 0; l < digits; l++ {
+		if diffSet[l] {
+			continue
+		}
+		cur := t.digit(sVec, l)
+		for v := 0; v < t.cfg.N; v++ {
+			if v == cur {
+				continue
+			}
+			add(t.routeVia(src, dst, l, v, diff))
+		}
+	}
+	// Same-crossbar pairs: loop out through the source's level and back
+	// through the destination's (distinct switches at every crossing).
+	if sVec == dVec && sL != dL {
+		for v1 := 0; v1 < t.cfg.N; v1++ {
+			if v1 == t.digit(sVec, sL) {
+				continue
+			}
+			for v2 := 0; v2 < t.cfg.N; v2++ {
+				if v2 == t.digit(sVec, dL) {
+					continue
+				}
+				add(t.routeLoop(src, dst, v1, v2))
+			}
+		}
+	}
+	return selectDisjointPaths(out, src, dst)
+}
+
+// routeVia detours through (level, value) before correcting diff and
+// restoring the level.
+func (t *BCCC) routeVia(src, dst, level, value int, diff []int) (topology.Path, error) {
+	digits := t.cfg.K + 1
+	sVec, sL := t.locate(src)
+	dVec, dL := t.locate(dst)
+	cur, curL := sVec, sL
+	path := topology.Path{src}
+	step := func(l, v int) {
+		if curL != l {
+			path = append(path, t.localSw[cur], t.servers[cur*digits+l])
+			curL = l
+		}
+		path = append(path, t.levelSw[l][t.contract(cur, l)])
+		cur = t.setDigit(cur, l, v)
+		path = append(path, t.servers[cur*digits+l])
+	}
+	step(level, value)
+	for _, l := range groupedOrder(diff, level, level) {
+		step(l, t.digit(dVec, l))
+	}
+	step(level, t.digit(dVec, level))
+	if cur != dVec {
+		return nil, fmt.Errorf("bccc: detour missed destination")
+	}
+	if curL != dL {
+		path = append(path, t.localSw[cur], dst)
+	}
+	return path, nil
+}
+
+// routeLoop builds the same-crossbar loop detour: change the source's level
+// to v1, the destination's level to v2, then restore both, landing on the
+// destination server.
+func (t *BCCC) routeLoop(src, dst, v1, v2 int) (topology.Path, error) {
+	digits := t.cfg.K + 1
+	sVec, sL := t.locate(src)
+	_, dL := t.locate(dst)
+	cur, curL := sVec, sL
+	path := topology.Path{src}
+	step := func(l, v int) {
+		if curL != l {
+			path = append(path, t.localSw[cur], t.servers[cur*digits+l])
+			curL = l
+		}
+		path = append(path, t.levelSw[l][t.contract(cur, l)])
+		cur = t.setDigit(cur, l, v)
+		path = append(path, t.servers[cur*digits+l])
+	}
+	step(sL, v1)
+	step(dL, v2)
+	step(sL, t.digit(sVec, sL))
+	step(dL, t.digit(sVec, dL))
+	if cur != sVec || curL != dL {
+		return nil, fmt.Errorf("bccc: loop detour did not land on destination")
+	}
+	return path, nil
+}
+
+// selectDisjointPaths keeps a greedy internally-disjoint subset.
+func selectDisjointPaths(candidates []topology.Path, src, dst int) []topology.Path {
+	used := map[int]bool{}
+	var kept []topology.Path
+	for _, p := range candidates {
+		ok := true
+		for _, node := range p {
+			if node != src && node != dst && used[node] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, node := range p {
+			if node != src && node != dst {
+				used[node] = true
+			}
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// RouteAvoiding routes around failed components: it tries the parallel
+// paths in order and falls back to a bounded greedy walk.
+func (t *BCCC) RouteAvoiding(src, dst int, view *graph.View) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	if !view.NodeUp(src) || !view.NodeUp(dst) {
+		return nil, fmt.Errorf("bccc: endpoint failed")
+	}
+	if src == dst {
+		return topology.Path{src}, nil
+	}
+	for _, p := range t.ParallelPaths(src, dst) {
+		if p.Alive(t.net, view) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("bccc: no alive parallel path %s -> %s",
+		t.net.Label(src), t.net.Label(dst))
+}
+
+var (
+	_ topology.MultipathRouter = (*BCCC)(nil)
+	_ topology.FaultRouter     = (*BCCC)(nil)
+)

@@ -1,0 +1,182 @@
+package bccc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestRouteWithStrategyAllPairsValid(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2})
+	net := tp.Network()
+	servers := net.Servers()[:24]
+	for _, s := range []Strategy{StrategyGrouped, StrategyIdentity, StrategyReversed, StrategyRandom} {
+		for _, src := range servers {
+			for _, dst := range servers {
+				p, err := tp.RouteWithStrategy(src, dst, s, 5)
+				if err != nil {
+					t.Fatalf("%v %s->%s: %v", s, net.Label(src), net.Label(dst), err)
+				}
+				if err := p.Validate(net, src, dst); err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+			}
+		}
+	}
+	if _, err := tp.RouteWithStrategy(servers[0], servers[1], Strategy(0), 0); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	tests := map[Strategy]string{
+		StrategyGrouped:  "grouped",
+		StrategyIdentity: "identity",
+		StrategyReversed: "reversed",
+		StrategyRandom:   "random",
+		Strategy(9):      "strategy(9)",
+	}
+	for s, want := range tests {
+		if got := s.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestRouteLengthsMatchABCCCP2 cross-validates the two implementations at
+// the routing level: for every pair, BCCC's grouped route must have the same
+// hop count as ABCCC(n,k,2)'s (the graphs are isomorphic and both grouped
+// strategies are optimal).
+func TestRouteLengthsMatchABCCCP2(t *testing.T) {
+	b := MustBuild(Config{N: 3, K: 1})
+	a := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	bn, an := b.Network(), a.Network()
+	digits := 2
+	for vec := 0; vec < b.NumVectors(); vec++ {
+		for l := 0; l < digits; l++ {
+			for vec2 := 0; vec2 < b.NumVectors(); vec2++ {
+				for l2 := 0; l2 < digits; l2++ {
+					bp, err := b.Route(b.ServerAt(vec, l), b.ServerAt(vec2, l2))
+					if err != nil {
+						t.Fatal(err)
+					}
+					as, err := a.NodeOf(core.Addr{Vec: vec, J: l})
+					if err != nil {
+						t.Fatal(err)
+					}
+					ad, err := a.NodeOf(core.Addr{Vec: vec2, J: l2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					ap, err := a.Route(as, ad)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bp.SwitchHops(bn) != ap.SwitchHops(an) {
+						t.Fatalf("(%d,%d)->(%d,%d): BCCC %d hops, ABCCC %d hops",
+							vec, l, vec2, l2, bp.SwitchHops(bn), ap.SwitchHops(an))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPathsDisjointAndPlural(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1})
+	net := tp.Network()
+	servers := net.Servers()
+	for _, src := range servers[:12] {
+		for _, dst := range servers[:12] {
+			if src == dst {
+				continue
+			}
+			paths := tp.ParallelPaths(src, dst)
+			if len(paths) < 2 {
+				t.Fatalf("%s->%s: %d paths, want >= 2", net.Label(src), net.Label(dst), len(paths))
+			}
+			used := map[int]bool{}
+			for _, p := range paths {
+				if err := p.Validate(net, src, dst); err != nil {
+					t.Fatal(err)
+				}
+				for _, node := range p {
+					if node != src && node != dst {
+						if used[node] {
+							t.Fatal("paths share a node")
+						}
+						used[node] = true
+					}
+				}
+			}
+		}
+	}
+	if got := tp.ParallelPaths(servers[0], servers[0]); got != nil {
+		t.Error("self pair returned paths")
+	}
+}
+
+func TestRouteAvoidingSurvivesPrimaryFailure(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1})
+	net := tp.Network()
+	src, dst := tp.ServerAt(0, 0), tp.ServerAt(8, 1)
+	primary, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := graph.NewView(net.Graph())
+	view.FailNode(primary[1])
+	p, err := tp.RouteAvoiding(src, dst, view)
+	if err != nil {
+		t.Fatalf("RouteAvoiding: %v", err)
+	}
+	if !p.Alive(net, view) {
+		t.Error("dead components on route")
+	}
+	// Failed endpoint.
+	view.FailNode(dst)
+	if _, err := tp.RouteAvoiding(src, dst, view); err == nil {
+		t.Error("route to dead endpoint succeeded")
+	}
+	// Self.
+	if p, err := tp.RouteAvoiding(src, src, view); err != nil || len(p) != 1 {
+		t.Errorf("self = %v, %v", p, err)
+	}
+}
+
+func TestNextHopWalksAllPairs(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1})
+	net := tp.Network()
+	budget := 2*(2*(tp.Config().K+1)+1) + 2
+	for _, src := range net.Servers() {
+		for _, dst := range net.Servers() {
+			cur := src
+			steps := 0
+			for cur != dst {
+				next, err := tp.NextHop(cur, dst)
+				if err != nil {
+					t.Fatalf("NextHop(%s,%s): %v", net.Label(cur), net.Label(dst), err)
+				}
+				if net.Graph().EdgeBetween(cur, next) == -1 {
+					t.Fatalf("non-neighbor hop")
+				}
+				cur = next
+				if steps++; steps > budget {
+					t.Fatalf("walk too long: %s -> %s", net.Label(src), net.Label(dst))
+				}
+			}
+		}
+	}
+}
+
+func TestNextHopErrors(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1})
+	if _, err := tp.NextHop(tp.ServerAt(0, 0), tp.Network().Switches()[0]); err == nil {
+		t.Error("switch destination accepted")
+	}
+	s := tp.ServerAt(1, 1)
+	if next, err := tp.NextHop(s, s); err != nil || next != s {
+		t.Errorf("self hop = %d, %v", next, err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package bcube implements BCube (Guo et al., SIGCOMM 2009), the
+// server-centric structure that ABCCC's expansion story is measured against.
+//
+// BCube(n,k) has n^(k+1) servers, each with k+1 NIC ports, addressed by
+// (k+1)-digit base-n vectors. For every level l and every vector-minus-digit
+// cvec there is an n-port switch joining the n servers that differ only in
+// digit l. BCube's weakness, which ABCCC fixes, is expansion: growing the
+// order requires adding a NIC port to every existing server.
+package bcube
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// ErrNoRoute is returned when fault-tolerant routing gives up.
+var ErrNoRoute = errors.New("bcube: fault-tolerant routing found no route")
+
+// Config selects a BCube instance: n-port switches, order k, servers with
+// k+1 NIC ports.
+type Config struct {
+	N int
+	K int
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("bcube: switch radix N = %d, need >= 2", c.N)
+	}
+	if c.K < 0 {
+		return fmt.Errorf("bcube: order K = %d, need >= 0", c.K)
+	}
+	servers := 1
+	for i := 0; i <= c.K; i++ {
+		servers *= c.N
+		if servers > 4<<20 {
+			return fmt.Errorf("bcube: instance too large (N=%d K=%d)", c.N, c.K)
+		}
+	}
+	return nil
+}
+
+// BCube is a built instance; immutable after Build.
+type BCube struct {
+	cfg     Config
+	net     *topology.Network
+	servers []int   // servers[vec]
+	levelSw [][]int // levelSw[l][cvec]
+	vecs    int
+}
+
+var (
+	_ topology.Topology    = (*BCube)(nil)
+	_ topology.FaultRouter = (*BCube)(nil)
+)
+
+// Build constructs BCube(n,k).
+func Build(cfg Config) (*BCube, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	vecs := 1
+	for i := 0; i <= cfg.K; i++ {
+		vecs *= cfg.N
+	}
+	t := &BCube{
+		cfg:  cfg,
+		net:  topology.NewNetwork(fmt.Sprintf("BCube(%d,%d)", cfg.N, cfg.K)),
+		vecs: vecs,
+	}
+	t.servers = make([]int, vecs)
+	for vec := 0; vec < vecs; vec++ {
+		t.servers[vec] = t.net.AddServer("S" + strconv.Itoa(vec))
+	}
+	digits := cfg.K + 1
+	t.levelSw = make([][]int, digits)
+	for l := 0; l < digits; l++ {
+		t.levelSw[l] = make([]int, vecs/cfg.N)
+		for cvec := range t.levelSw[l] {
+			sw := t.net.AddSwitch("W" + strconv.Itoa(l) + "/" + strconv.Itoa(cvec))
+			t.levelSw[l][cvec] = sw
+			for d := 0; d < cfg.N; d++ {
+				if err := t.net.Connect(t.servers[t.expand(cvec, l, d)], sw); err != nil {
+					return nil, fmt.Errorf("bcube: wire level %d: %w", l, err)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustBuild is Build for known-good configs.
+func MustBuild(cfg Config) *BCube {
+	t, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Network returns the built network.
+func (t *BCube) Network() *topology.Network { return t.net }
+
+// Config returns the instance parameters.
+func (t *BCube) Config() Config { return t.cfg }
+
+// ServerAt returns the node index of the server with address vector vec.
+func (t *BCube) ServerAt(vec int) int { return t.servers[vec] }
+
+// NumVectors returns the number of servers, n^(k+1).
+func (t *BCube) NumVectors() int { return t.vecs }
+
+// Properties returns the analytic comparison-table row; see
+// Config.Properties.
+func (t *BCube) Properties() topology.Properties { return t.cfg.Properties() }
+
+// Properties returns the analytic comparison-table row without building the
+// instance (BCube paper, section 2): diameter k+1 hops, bisection N/2 links.
+func (c Config) Properties() topology.Properties {
+	digits := c.K + 1
+	vecs := 1
+	for i := 0; i <= c.K; i++ {
+		vecs *= c.N
+	}
+	return topology.Properties{
+		Name:           fmt.Sprintf("BCube(%d,%d)", c.N, c.K),
+		Servers:        vecs,
+		Switches:       digits * (vecs / c.N),
+		Links:          digits * vecs,
+		ServerPorts:    digits,
+		SwitchPorts:    c.N,
+		Diameter:       digits,
+		DiameterLinks:  2 * digits,
+		BisectionLinks: (c.N / 2) * (vecs / c.N),
+	}
+}
+
+// Route implements BCubeRouting: correct differing digits in descending
+// level order (the paper's canonical order), one switch hop per digit.
+func (t *BCube) Route(src, dst int) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	sVec := t.vecOf(src)
+	dVec := t.vecOf(dst)
+	cur := sVec
+	path := topology.Path{src}
+	for l := t.cfg.K; l >= 0; l-- {
+		if t.digit(cur, l) == t.digit(dVec, l) {
+			continue
+		}
+		path = append(path, t.levelSw[l][t.contract(cur, l)])
+		cur = t.setDigit(cur, l, t.digit(dVec, l))
+		path = append(path, t.servers[cur])
+	}
+	return path, nil
+}
+
+// RouteAvoiding is a simplified BSR-style adaptive routing: greedily correct
+// any alive differing digit; when stuck, detour via an alive mis-correction,
+// within a bounded hop budget.
+func (t *BCube) RouteAvoiding(src, dst int, view *graph.View) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	if !view.NodeUp(src) || !view.NodeUp(dst) {
+		return nil, fmt.Errorf("%w: endpoint failed", ErrNoRoute)
+	}
+	dVec := t.vecOf(dst)
+	cur := t.vecOf(src)
+	path := topology.Path{src}
+	visited := map[int]bool{src: true}
+
+	move := func(l, v int) bool {
+		sw := t.levelSw[l][t.contract(cur, l)]
+		next := t.setDigit(cur, l, v)
+		nextNode := t.servers[next]
+		if !view.NodeUp(sw) || visited[sw] || !view.NodeUp(nextNode) || visited[nextNode] {
+			return false
+		}
+		curNode := t.servers[cur]
+		g := t.net.Graph()
+		if !view.EdgeUp(g.EdgeBetween(curNode, sw)) || !view.EdgeUp(g.EdgeBetween(sw, nextNode)) {
+			return false
+		}
+		visited[sw], visited[nextNode] = true, true
+		path = append(path, sw, nextNode)
+		cur = next
+		return true
+	}
+
+	budget := 4 * (t.cfg.K + 2)
+	for hop := 0; hop < budget; hop++ {
+		if cur == dVec {
+			return path, nil
+		}
+		progressed := false
+		for l := t.cfg.K; l >= 0 && !progressed; l-- {
+			if t.digit(cur, l) != t.digit(dVec, l) {
+				progressed = move(l, t.digit(dVec, l))
+			}
+		}
+		if progressed {
+			continue
+		}
+		for l := t.cfg.K; l >= 0 && !progressed; l-- {
+			for v := 0; v < t.cfg.N && !progressed; v++ {
+				if v != t.digit(cur, l) {
+					progressed = move(l, v)
+				}
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("%w: stuck after %d hops", ErrNoRoute, hop)
+		}
+	}
+	return nil, fmt.Errorf("%w: hop budget exhausted", ErrNoRoute)
+}
+
+// Expand builds BCube(n, k+1) and reports the expansion bill. All existing
+// cables stay, but every existing server needs one more NIC port — the cost
+// ABCCC was designed to eliminate.
+func Expand(old *BCube) (*BCube, topology.ExpansionReport, error) {
+	bigger, err := Build(Config{N: old.cfg.N, K: old.cfg.K + 1})
+	if err != nil {
+		return nil, topology.ExpansionReport{}, fmt.Errorf("bcube: expand: %w", err)
+	}
+	report := topology.ExpansionReport{
+		Before:        old.net.Name(),
+		After:         bigger.net.Name(),
+		ServersBefore: old.net.NumServers(),
+		ServersAfter:  bigger.net.NumServers(),
+		NewServers:    bigger.net.NumServers() - old.net.NumServers(),
+		NewSwitches:   bigger.net.NumSwitches() - old.net.NumSwitches(),
+		NewLinks:      bigger.net.NumLinks() - old.net.NumLinks(),
+	}
+	// Old vector v embeds as new vector v (inserted high digit 0); level
+	// switches keep their contracted index.
+	mapped := make([]int, old.net.Graph().NumNodes())
+	for vec := 0; vec < old.vecs; vec++ {
+		mapped[old.servers[vec]] = bigger.servers[vec]
+	}
+	for l := range old.levelSw {
+		for cvec, id := range old.levelSw[l] {
+			mapped[id] = bigger.levelSw[l][cvec]
+		}
+	}
+	oldG := old.net.Graph()
+	for e := 0; e < oldG.NumEdges(); e++ {
+		edge := oldG.Edge(e)
+		if bigger.net.Graph().EdgeBetween(mapped[edge.U], mapped[edge.V]) != -1 {
+			report.PreservedLinks++
+		} else {
+			report.RewiredLinks++
+		}
+	}
+	// Every old server's hardware had k+1 ports; its new role needs k+2.
+	oldPorts := old.cfg.K + 1
+	for vec := 0; vec < old.vecs; vec++ {
+		if bigger.net.Graph().Degree(mapped[old.servers[vec]]) > oldPorts {
+			report.UpgradedServers++
+		}
+	}
+	return bigger, report, nil
+}
+
+func (t *BCube) vecOf(node int) int { return node } // servers are created first, ids 0..vecs-1
+
+func (t *BCube) digit(vec, l int) int {
+	for i := 0; i < l; i++ {
+		vec /= t.cfg.N
+	}
+	return vec % t.cfg.N
+}
+
+func (t *BCube) setDigit(vec, l, d int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	return vec + (d-(vec/pow)%t.cfg.N)*pow
+}
+
+func (t *BCube) contract(vec, l int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	return (vec/(pow*t.cfg.N))*pow + vec%pow
+}
+
+func (t *BCube) expand(cvec, l, d int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	return (cvec/pow)*pow*t.cfg.N + d*pow + cvec%pow
+}

@@ -1,0 +1,266 @@
+package bcube
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func configs() []Config {
+	return []Config{
+		{N: 2, K: 0},
+		{N: 2, K: 2},
+		{N: 3, K: 1},
+		{N: 4, K: 1},
+		{N: 4, K: 2},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		cfg     Config
+		wantErr bool
+	}{
+		{cfg: Config{N: 4, K: 2}},
+		{cfg: Config{N: 1, K: 0}, wantErr: true},
+		{cfg: Config{N: 4, K: -1}, wantErr: true},
+		{cfg: Config{N: 64, K: 5}, wantErr: true},
+	}
+	for _, tt := range tests {
+		if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+			t.Errorf("Validate(%+v) = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+		}
+	}
+}
+
+func TestBuildCountsMatchProperties(t *testing.T) {
+	for _, cfg := range configs() {
+		tp := MustBuild(cfg)
+		props := tp.Properties()
+		net := tp.Network()
+		if net.NumServers() != props.Servers || net.NumSwitches() != props.Switches ||
+			net.NumLinks() != props.Links {
+			t.Errorf("%s: built %d/%d/%d, formula %d/%d/%d", net.Name(),
+				net.NumServers(), net.NumSwitches(), net.NumLinks(),
+				props.Servers, props.Switches, props.Links)
+		}
+		if got := net.MaxDegree(topology.Server); got != cfg.K+1 {
+			t.Errorf("%s: server degree %d, want %d", net.Name(), got, cfg.K+1)
+		}
+	}
+}
+
+func TestRouteAllPairs(t *testing.T) {
+	for _, cfg := range configs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		d := tp.Properties().Diameter
+		for _, src := range net.Servers() {
+			for _, dst := range net.Servers() {
+				p, err := tp.Route(src, dst)
+				if err != nil {
+					t.Fatalf("%s: %v", net.Name(), err)
+				}
+				if err := p.Validate(net, src, dst); err != nil {
+					t.Fatalf("%s: %v", net.Name(), err)
+				}
+				if h := p.SwitchHops(net); h > d {
+					t.Fatalf("%s: %d hops > diameter %d", net.Name(), h, d)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyticDiameterTight(t *testing.T) {
+	for _, cfg := range configs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		servers := net.Servers()
+		worst := 0
+		for _, src := range servers {
+			ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+			if !ok {
+				t.Fatalf("%s: disconnected", net.Name())
+			}
+			if ecc > worst {
+				worst = ecc
+			}
+		}
+		if worst/2 != tp.Properties().Diameter {
+			t.Errorf("%s: measured diameter %d, analytic %d",
+				net.Name(), worst/2, tp.Properties().Diameter)
+		}
+	}
+}
+
+func TestRouteIsShortestPath(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1})
+	net := tp.Network()
+	for _, src := range net.Servers() {
+		bfs := net.Graph().BFS(src, nil)
+		for _, dst := range net.Servers() {
+			p, err := tp.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Len() != int(bfs.Dist[dst]) {
+				t.Errorf("Route(%s,%s) = %d edges, shortest %d",
+					net.Label(src), net.Label(dst), p.Len(), bfs.Dist[dst])
+			}
+		}
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1})
+	sw := tp.Network().Switches()[0]
+	srv := tp.Network().Server(0)
+	if _, err := tp.Route(sw, srv); err == nil {
+		t.Error("Route(switch, server) succeeded")
+	}
+	if _, err := Build(Config{N: 0, K: 0}); err == nil {
+		t.Error("Build(invalid) succeeded")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustBuild(Config{N: 0})
+}
+
+func TestRouteAvoidingAroundSwitchFailure(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 1})
+	net := tp.Network()
+	src, dst := tp.ServerAt(0), tp.ServerAt(15)
+	direct, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := graph.NewView(net.Graph())
+	view.FailNode(direct[1]) // first switch on the direct route
+	p, err := tp.RouteAvoiding(src, dst, view)
+	if err != nil {
+		t.Fatalf("RouteAvoiding: %v", err)
+	}
+	if err := p.Validate(net, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Alive(net, view) {
+		t.Error("route uses failed switch")
+	}
+}
+
+func TestRouteAvoidingEndpointDown(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1})
+	net := tp.Network()
+	view := graph.NewView(net.Graph())
+	view.FailNode(net.Server(3))
+	if _, err := tp.RouteAvoiding(net.Server(0), net.Server(3), view); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestRouteAvoidingMostlySucceedsUnderFailures(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 2})
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(2))
+	view := graph.NewView(net.Graph())
+	for _, sw := range net.Switches() {
+		if rng.Float64() < 0.05 {
+			view.FailNode(sw)
+		}
+	}
+	servers := net.Servers()
+	connected, found := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if src == dst || net.Graph().ShortestPath(src, dst, view) == nil {
+			continue
+		}
+		connected++
+		if p, err := tp.RouteAvoiding(src, dst, view); err == nil {
+			if !p.Alive(net, view) {
+				t.Fatal("route uses failed components")
+			}
+			found++
+		}
+	}
+	if connected == 0 {
+		t.Fatal("no connected pairs")
+	}
+	if ratio := float64(found) / float64(connected); ratio < 0.9 {
+		t.Errorf("fault routing success %.2f, want >= 0.9", ratio)
+	}
+}
+
+func TestExpandRequiresNICUpgradeEverywhere(t *testing.T) {
+	old := MustBuild(Config{N: 4, K: 1})
+	bigger, report, err := Expand(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigger.Config().K != 2 {
+		t.Errorf("expanded K = %d", bigger.Config().K)
+	}
+	if report.RewiredLinks != 0 {
+		t.Errorf("rewired = %d, want 0 (cables stay, NICs change)", report.RewiredLinks)
+	}
+	if report.UpgradedServers != old.Network().NumServers() {
+		t.Errorf("upgraded %d servers, want all %d — BCube's expansion pain",
+			report.UpgradedServers, old.Network().NumServers())
+	}
+	if report.TouchedFraction() == 0 {
+		t.Error("touched fraction should be positive for BCube")
+	}
+}
+
+func TestExpandInvalid(t *testing.T) {
+	// Growing past the size guard must fail: 50^4 servers is over the cap.
+	big := MustBuild(Config{N: 50, K: 2})
+	if _, _, err := Expand(big); err == nil {
+		t.Error("oversized expansion succeeded")
+	}
+}
+
+func TestNextHopWalksAllPairs(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1})
+	net := tp.Network()
+	for _, src := range net.Servers() {
+		for _, dst := range net.Servers() {
+			cur := src
+			steps := 0
+			for cur != dst {
+				next, err := tp.NextHop(cur, dst)
+				if err != nil {
+					t.Fatalf("NextHop(%s,%s): %v", net.Label(cur), net.Label(dst), err)
+				}
+				if net.Graph().EdgeBetween(cur, next) == -1 {
+					t.Fatalf("NextHop returned a non-neighbor")
+				}
+				cur = next
+				if steps++; steps > 4*(tp.Config().K+2) {
+					t.Fatalf("walk did not terminate (%s -> %s)", net.Label(src), net.Label(dst))
+				}
+			}
+		}
+	}
+}
+
+func TestNextHopErrors(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0})
+	if _, err := tp.NextHop(tp.ServerAt(0), tp.Network().Switches()[0]); err == nil {
+		t.Error("switch destination accepted")
+	}
+	if next, err := tp.NextHop(tp.ServerAt(1), tp.ServerAt(1)); err != nil || next != tp.ServerAt(1) {
+		t.Errorf("self hop = %d, %v", next, err)
+	}
+}

@@ -1,0 +1,41 @@
+package bcube
+
+import (
+	"fmt"
+)
+
+// NextHop makes the hop-by-hop forwarding decision for a packet at node cur
+// heading for server dst, using only local state: a server corrects its
+// highest differing digit (BCubeRouting's order) by handing the packet to
+// that level's switch; a switch delivers to the member whose digit matches
+// the destination. It satisfies the emulator's Forwarder interface.
+func (t *BCube) NextHop(cur, dst int) (int, error) {
+	if !t.net.IsServer(dst) {
+		return 0, fmt.Errorf("bcube: next hop destination %d is not a server", dst)
+	}
+	if cur == dst {
+		return dst, nil
+	}
+	dVec := t.vecOf(dst)
+	if t.net.IsServer(cur) {
+		cVec := t.vecOf(cur)
+		for l := t.cfg.K; l >= 0; l-- {
+			if t.digit(cVec, l) != t.digit(dVec, l) {
+				return t.levelSw[l][t.contract(cVec, l)], nil
+			}
+		}
+		return 0, fmt.Errorf("bcube: server %d is not the destination yet matches its address", cur)
+	}
+	// Switch: recover its level from two member vectors.
+	nbrs := t.net.Graph().Neighbors(cur, nil)
+	if len(nbrs) < 2 {
+		return 0, fmt.Errorf("bcube: switch %d has too few ports", cur)
+	}
+	v0, v1 := t.vecOf(nbrs[0]), t.vecOf(nbrs[1])
+	for l := 0; l <= t.cfg.K; l++ {
+		if t.digit(v0, l) != t.digit(v1, l) {
+			return t.servers[t.setDigit(v0, l, t.digit(dVec, l))], nil
+		}
+	}
+	return 0, fmt.Errorf("bcube: cannot classify switch %d", cur)
+}

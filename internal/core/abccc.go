@@ -1,0 +1,275 @@
+// Package core implements ABCCC — Advanced BCube Connected Crossbars — the
+// server-centric data-center network structure of Li & Yang (ICDCS 2015),
+// together with its addressing scheme, permutation-driven one-to-one routing,
+// parallel-path construction, fault-tolerant routing, one-to-all broadcast
+// (the GBC3 extension), and component-preserving expansion.
+//
+// # Structure
+//
+// ABCCC(n, k, p) is built from n-port commodity switches and servers with a
+// fixed number p of NIC ports. Addresses are (k+1)-digit base-n vectors. Let
+// r = ceil((k+1)/(p-1)). For every digit vector a there is a crossbar: one
+// local switch L(a) plus r servers S(a,0..r-1), each attached to L(a) by NIC
+// port 0. Server S(a,j) "owns" address levels j(p-1) .. j(p-1)+p-2 and uses
+// its remaining ports to attach to one level switch per owned level: the
+// level-l switch W(l, a minus digit l) interconnects the n servers whose
+// addresses differ only in digit l.
+//
+// With p = 2 this is exactly BCCC(n, k); see package bccc for the
+// independent implementation used for cross-validation.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// ErrTooLarge guards against accidentally requesting an instance that would
+// not fit in memory.
+var ErrTooLarge = errors.New("abccc: requested instance exceeds MaxServers")
+
+// MaxServers bounds the size of a buildable instance (servers + switches).
+const MaxServers = 4 << 20
+
+// Config selects an ABCCC instance.
+type Config struct {
+	// N is the switch radix (ports per switch), n >= 2.
+	N int
+	// K is the order: addresses have K+1 base-N digits, K >= 0.
+	K int
+	// P is the number of NIC ports per server, P >= 2. P = 2 yields BCCC.
+	P int
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("abccc: switch radix N = %d, need >= 2", c.N)
+	}
+	if c.K < 0 {
+		return fmt.Errorf("abccc: order K = %d, need >= 0", c.K)
+	}
+	if c.P < 2 {
+		return fmt.Errorf("abccc: server ports P = %d, need >= 2", c.P)
+	}
+	r := c.ServersPerCrossbar()
+	if r > c.N {
+		return fmt.Errorf("abccc: crossbar needs %d servers but local switch has only %d ports (increase N or P, or decrease K)", r, c.N)
+	}
+	// Overflow-safe size guard.
+	vecs := 1
+	for i := 0; i <= c.K; i++ {
+		if vecs > MaxServers/c.N {
+			return fmt.Errorf("%w: N=%d K=%d", ErrTooLarge, c.N, c.K)
+		}
+		vecs *= c.N
+	}
+	if r > 0 && vecs > MaxServers/r {
+		return fmt.Errorf("%w: N=%d K=%d P=%d", ErrTooLarge, c.N, c.K, c.P)
+	}
+	return nil
+}
+
+// Digits returns the number of address digits, k+1.
+func (c Config) Digits() int { return c.K + 1 }
+
+// ServersPerCrossbar returns r = ceil((k+1)/(p-1)).
+func (c Config) ServersPerCrossbar() int {
+	return (c.Digits() + c.P - 2) / (c.P - 1)
+}
+
+// Owner returns the index of the crossbar-local server that owns level l.
+func (c Config) Owner(l int) int { return l / (c.P - 1) }
+
+// NumVectors returns n^(k+1), the number of crossbars.
+func (c Config) NumVectors() int {
+	v := 1
+	for i := 0; i <= c.K; i++ {
+		v *= c.N
+	}
+	return v
+}
+
+// ABCCC is a built instance. It is immutable after Build and safe for
+// concurrent readers.
+type ABCCC struct {
+	cfg Config
+	net *topology.Network
+
+	// servers[vec*r+j] is the node index of S(vec, j).
+	servers []int
+	// localSw[vec] is the node index of L(vec).
+	localSw []int
+	// levelSw[l][cvec] is the node index of W(l, cvec) where cvec is the
+	// k-digit vector obtained by deleting digit l.
+	levelSw [][]int
+	// addrOf[node] recovers the address of a server node; nil entry for
+	// switches.
+	addrOf []Addr
+
+	vecs int // n^(k+1)
+	r    int
+}
+
+var (
+	_ topology.Topology        = (*ABCCC)(nil)
+	_ topology.FaultRouter     = (*ABCCC)(nil)
+	_ topology.MultipathRouter = (*ABCCC)(nil)
+	_ topology.Broadcaster     = (*ABCCC)(nil)
+)
+
+// Build constructs the ABCCC(n,k,p) network.
+func Build(cfg Config) (*ABCCC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &ABCCC{
+		cfg:  cfg,
+		net:  topology.NewNetwork(fmt.Sprintf("ABCCC(%d,%d,%d)", cfg.N, cfg.K, cfg.P)),
+		vecs: cfg.NumVectors(),
+		r:    cfg.ServersPerCrossbar(),
+	}
+	n, digits := cfg.N, cfg.Digits()
+
+	// Crossbars: local switch + r servers, wired to the local switch.
+	t.servers = make([]int, t.vecs*t.r)
+	t.localSw = make([]int, t.vecs)
+	for vec := 0; vec < t.vecs; vec++ {
+		t.localSw[vec] = t.net.AddSwitch("L" + t.vecString(vec))
+		for j := 0; j < t.r; j++ {
+			id := t.net.AddServer("S" + t.vecString(vec) + "|" + strconv.Itoa(j))
+			t.servers[vec*t.r+j] = id
+			if err := t.net.Connect(id, t.localSw[vec]); err != nil {
+				return nil, fmt.Errorf("abccc: wire local: %w", err)
+			}
+		}
+	}
+
+	// Level switches: W(l, cvec) connects the n servers differing in digit l.
+	cvecs := t.vecs / n
+	t.levelSw = make([][]int, digits)
+	for l := 0; l < digits; l++ {
+		t.levelSw[l] = make([]int, cvecs)
+		owner := cfg.Owner(l)
+		for cvec := 0; cvec < cvecs; cvec++ {
+			sw := t.net.AddSwitch("W" + strconv.Itoa(l) + "/" + strconv.Itoa(cvec))
+			t.levelSw[l][cvec] = sw
+			for d := 0; d < n; d++ {
+				vec := t.expand(cvec, l, d)
+				if err := t.net.Connect(t.servers[vec*t.r+owner], sw); err != nil {
+					return nil, fmt.Errorf("abccc: wire level %d: %w", l, err)
+				}
+			}
+		}
+	}
+
+	// Reverse index: node -> address.
+	t.addrOf = make([]Addr, t.net.Graph().NumNodes())
+	for vec := 0; vec < t.vecs; vec++ {
+		for j := 0; j < t.r; j++ {
+			t.addrOf[t.servers[vec*t.r+j]] = Addr{Vec: vec, J: j}
+		}
+	}
+	return t, nil
+}
+
+// MustBuild is Build for tests and examples with known-good configs.
+func MustBuild(cfg Config) *ABCCC {
+	t, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the instance parameters.
+func (t *ABCCC) Config() Config { return t.cfg }
+
+// Network returns the built network.
+func (t *ABCCC) Network() *topology.Network { return t.net }
+
+// digit extracts digit l (0 = least significant) from a vector.
+func (t *ABCCC) digit(vec, l int) int {
+	for i := 0; i < l; i++ {
+		vec /= t.cfg.N
+	}
+	return vec % t.cfg.N
+}
+
+// setDigit returns vec with digit l replaced by d.
+func (t *ABCCC) setDigit(vec, l, d int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	old := (vec / pow) % t.cfg.N
+	return vec + (d-old)*pow
+}
+
+// contract deletes digit l from vec, yielding the level-switch index.
+func (t *ABCCC) contract(vec, l int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	low := vec % pow
+	high := vec / (pow * t.cfg.N)
+	return high*pow + low
+}
+
+// expand inserts digit d at position l into the contracted vector cvec.
+func (t *ABCCC) expand(cvec, l, d int) int {
+	pow := 1
+	for i := 0; i < l; i++ {
+		pow *= t.cfg.N
+	}
+	low := cvec % pow
+	high := cvec / pow
+	return high*pow*t.cfg.N + d*pow + low
+}
+
+// vecString renders a digit vector as [a_k,...,a_0].
+func (t *ABCCC) vecString(vec int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for l := t.cfg.K; l >= 0; l-- {
+		b.WriteString(strconv.Itoa(t.digit(vec, l)))
+		if l > 0 {
+			b.WriteByte(',')
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Properties returns the closed-form comparison-table row; see
+// Config.Properties.
+func (t *ABCCC) Properties() topology.Properties { return t.cfg.Properties() }
+
+// Properties returns the closed-form comparison-table row without building
+// the instance. The analytic diameter is (k+1) + r for r >= 2 and k+1 for
+// r == 1, in switch hops (verified tight against BFS by the test suite); the
+// bisection figure is the canonical highest-digit cut of floor(n/2)*n^k
+// level-k links (exact for even n).
+func (c Config) Properties() topology.Properties {
+	digits, r, vecs := c.Digits(), c.ServersPerCrossbar(), c.NumVectors()
+	diameter := digits + r
+	if r == 1 {
+		diameter = digits
+	}
+	return topology.Properties{
+		Name:           fmt.Sprintf("ABCCC(%d,%d,%d)", c.N, c.K, c.P),
+		Servers:        r * vecs,
+		Switches:       vecs + digits*(vecs/c.N),
+		Links:          (r + digits) * vecs,
+		ServerPorts:    c.P,
+		SwitchPorts:    c.N,
+		Diameter:       diameter,
+		DiameterLinks:  2 * diameter, // server-switch bipartite: 2 cables per hop
+		BisectionLinks: (c.N / 2) * (vecs / c.N),
+	}
+}

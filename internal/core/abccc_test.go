@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// smallConfigs is the grid of instances small enough for exhaustive checks.
+func smallConfigs() []Config {
+	return []Config{
+		{N: 2, K: 0, P: 2},
+		{N: 2, K: 1, P: 2},
+		{N: 3, K: 1, P: 2},
+		{N: 3, K: 2, P: 2},
+		{N: 2, K: 1, P: 3},
+		{N: 3, K: 2, P: 3},
+		{N: 4, K: 2, P: 3},
+		{N: 3, K: 2, P: 4},
+		{N: 4, K: 3, P: 4},
+		{N: 2, K: 0, P: 5},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr string
+	}{
+		{name: "ok", cfg: Config{N: 4, K: 1, P: 2}},
+		{name: "radix too small", cfg: Config{N: 1, K: 1, P: 2}, wantErr: "radix"},
+		{name: "negative order", cfg: Config{N: 4, K: -1, P: 2}, wantErr: "order"},
+		{name: "one port", cfg: Config{N: 4, K: 1, P: 1}, wantErr: "ports"},
+		{name: "crossbar overflow", cfg: Config{N: 2, K: 3, P: 2}, wantErr: "local switch"},
+		{name: "too large", cfg: Config{N: 10, K: 9, P: 2}, wantErr: "MaxServers"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConfigTooLargeIsErrTooLarge(t *testing.T) {
+	err := Config{N: 16, K: 6, P: 2}.Validate()
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Validate = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestConfigDerivedQuantities(t *testing.T) {
+	tests := []struct {
+		cfg      Config
+		digits   int
+		r        int
+		vecs     int
+		ownerOf2 int
+	}{
+		{cfg: Config{N: 4, K: 1, P: 2}, digits: 2, r: 2, vecs: 16, ownerOf2: 2},
+		{cfg: Config{N: 4, K: 2, P: 3}, digits: 3, r: 2, vecs: 64, ownerOf2: 1},
+		{cfg: Config{N: 3, K: 2, P: 4}, digits: 3, r: 1, vecs: 27, ownerOf2: 0},
+		{cfg: Config{N: 8, K: 3, P: 2}, digits: 4, r: 4, vecs: 4096, ownerOf2: 2},
+	}
+	for _, tt := range tests {
+		if got := tt.cfg.Digits(); got != tt.digits {
+			t.Errorf("%+v Digits = %d, want %d", tt.cfg, got, tt.digits)
+		}
+		if got := tt.cfg.ServersPerCrossbar(); got != tt.r {
+			t.Errorf("%+v ServersPerCrossbar = %d, want %d", tt.cfg, got, tt.r)
+		}
+		if got := tt.cfg.NumVectors(); got != tt.vecs {
+			t.Errorf("%+v NumVectors = %d, want %d", tt.cfg, got, tt.vecs)
+		}
+		if got := tt.cfg.Owner(2); got != tt.ownerOf2 {
+			t.Errorf("%+v Owner(2) = %d, want %d", tt.cfg, got, tt.ownerOf2)
+		}
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := Build(Config{N: 0, K: 0, P: 0}); err == nil {
+		t.Fatal("Build(invalid) succeeded")
+	}
+}
+
+func TestBuildCountsMatchProperties(t *testing.T) {
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		props := tp.Properties()
+		net := tp.Network()
+		if net.NumServers() != props.Servers {
+			t.Errorf("%s: built %d servers, formula %d", net.Name(), net.NumServers(), props.Servers)
+		}
+		if net.NumSwitches() != props.Switches {
+			t.Errorf("%s: built %d switches, formula %d", net.Name(), net.NumSwitches(), props.Switches)
+		}
+		if net.NumLinks() != props.Links {
+			t.Errorf("%s: built %d links, formula %d", net.Name(), net.NumLinks(), props.Links)
+		}
+	}
+}
+
+func TestBuildDegreesWithinHardware(t *testing.T) {
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		if got := net.MaxDegree(topology.Server); got > cfg.P {
+			t.Errorf("%s: server degree %d exceeds %d NIC ports", net.Name(), got, cfg.P)
+		}
+		if got := net.MaxDegree(topology.Switch); got > cfg.N {
+			t.Errorf("%s: switch degree %d exceeds radix %d", net.Name(), got, cfg.N)
+		}
+	}
+}
+
+func TestBuildIsBipartiteServerSwitch(t *testing.T) {
+	// Every cable must connect a server to a switch: switches never cable to
+	// switches in a server-centric structure, and servers never cable
+	// directly to servers in ABCCC.
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		g := net.Graph()
+		for e := 0; e < g.NumEdges(); e++ {
+			edge := g.Edge(e)
+			if net.IsServer(int(edge.U)) == net.IsServer(int(edge.V)) {
+				t.Fatalf("%s: edge %s-%s joins two %vs", net.Name(),
+					net.Label(int(edge.U)), net.Label(int(edge.V)), net.Kind(int(edge.U)))
+			}
+		}
+	}
+}
+
+func TestBuildConnected(t *testing.T) {
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		if !tp.Network().Graph().Connected(nil) {
+			t.Errorf("%s: built network is disconnected", tp.Network().Name())
+		}
+	}
+}
+
+func TestBuildEveryServerOnItsLocalSwitch(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 2, P: 3})
+	for vec := 0; vec < tp.vecs; vec++ {
+		for j := 0; j < tp.r; j++ {
+			if tp.net.Graph().EdgeBetween(tp.servers[vec*tp.r+j], tp.localSw[vec]) == -1 {
+				t.Fatalf("server (%d,%d) not cabled to its local switch", vec, j)
+			}
+		}
+	}
+}
+
+func TestLevelSwitchConnectsDigitNeighbors(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	// For every pair of servers on a common level switch, their addresses
+	// must differ in exactly that digit, and both must own the level.
+	for l := range tp.levelSw {
+		owner := tp.cfg.Owner(l)
+		for _, sw := range tp.levelSw[l] {
+			nbrs := tp.net.Graph().Neighbors(sw, nil)
+			if len(nbrs) != tp.cfg.N {
+				t.Fatalf("level switch has %d ports used, want %d", len(nbrs), tp.cfg.N)
+			}
+			for _, s := range nbrs {
+				a := tp.addrOf[s]
+				if a.J != owner {
+					t.Fatalf("level-%d switch cabled to server index %d, want owner %d", l, a.J, owner)
+				}
+			}
+			for i, s1 := range nbrs {
+				for _, s2 := range nbrs[i+1:] {
+					a1, a2 := tp.addrOf[s1], tp.addrOf[s2]
+					diff := tp.DiffLevels(a1, a2)
+					if len(diff) != 1 || diff[0] != l {
+						t.Fatalf("level-%d switch joins %s and %s (diff %v)",
+							l, tp.FormatAddr(a1), tp.FormatAddr(a2), diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMixedRadixHelpers(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	// vec 21 in base 3 = [2,1,0]: digit0=0, digit1=1, digit2=2.
+	vec := 2*9 + 1*3 + 0
+	if d := tp.digit(vec, 0); d != 0 {
+		t.Errorf("digit0 = %d, want 0", d)
+	}
+	if d := tp.digit(vec, 1); d != 1 {
+		t.Errorf("digit1 = %d, want 1", d)
+	}
+	if d := tp.digit(vec, 2); d != 2 {
+		t.Errorf("digit2 = %d, want 2", d)
+	}
+	if got := tp.setDigit(vec, 1, 2); got != 2*9+2*3+0 {
+		t.Errorf("setDigit = %d", got)
+	}
+	if got := tp.setDigit(vec, 1, 1); got != vec {
+		t.Errorf("setDigit no-op = %d, want %d", got, vec)
+	}
+	// contract/expand round-trip over all vecs and levels.
+	for v := 0; v < tp.vecs; v++ {
+		for l := 0; l <= tp.cfg.K; l++ {
+			c := tp.contract(v, l)
+			if got := tp.expand(c, l, tp.digit(v, l)); got != v {
+				t.Fatalf("expand(contract(%d,%d)) = %d", v, l, got)
+			}
+		}
+	}
+}
+
+func TestVecString(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	if got := tp.vecString(2*9 + 1*3); got != "[2,1,0]" {
+		t.Errorf("vecString = %q, want [2,1,0]", got)
+	}
+}
+
+func TestMustBuildPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild(invalid) did not panic")
+		}
+	}()
+	MustBuild(Config{N: 0})
+}
+
+func TestPropertiesBisectionAndPorts(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 1, P: 2})
+	props := tp.Properties()
+	if props.SwitchPorts != 4 || props.ServerPorts != 2 {
+		t.Errorf("ports = %d/%d, want 4/2", props.SwitchPorts, props.ServerPorts)
+	}
+	// n=4, k=1: bisection cut = floor(4/2) * 4^1 = 8 links.
+	if props.BisectionLinks != 8 {
+		t.Errorf("BisectionLinks = %d, want 8", props.BisectionLinks)
+	}
+	if props.Name != "ABCCC(4,1,2)" {
+		t.Errorf("Name = %q", props.Name)
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := Config{N: 4, K: 1, P: 3}
+	if got := MustBuild(cfg).Config(); got != cfg {
+		t.Errorf("Config() = %+v, want %+v", got, cfg)
+	}
+}

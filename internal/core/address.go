@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is the ABCCC address of a server: the crossbar's digit vector (stored
+// in mixed-radix form; digit l of the base-n expansion is address level l)
+// plus the server's index j inside the crossbar.
+type Addr struct {
+	// Vec encodes the k+1 base-n digits, level 0 least significant.
+	Vec int
+	// J is the server index within the crossbar, 0 <= J < r.
+	J int
+}
+
+// AddrOf returns the address of a server node.
+func (t *ABCCC) AddrOf(node int) (Addr, error) {
+	if !t.net.IsServer(node) {
+		return Addr{}, fmt.Errorf("abccc: node %d is not a server", node)
+	}
+	return t.addrOf[node], nil
+}
+
+// NodeOf returns the node index of the server with the given address.
+func (t *ABCCC) NodeOf(a Addr) (int, error) {
+	if a.Vec < 0 || a.Vec >= t.vecs || a.J < 0 || a.J >= t.r {
+		return 0, fmt.Errorf("abccc: address %s out of range (vecs=%d, r=%d)",
+			t.FormatAddr(a), t.vecs, t.r)
+	}
+	return t.servers[a.Vec*t.r+a.J], nil
+}
+
+// Digit returns digit l of the address vector.
+func (t *ABCCC) Digit(a Addr, l int) int { return t.digit(a.Vec, l) }
+
+// FormatAddr renders an address as "[a_k,...,a_0|j]".
+func (t *ABCCC) FormatAddr(a Addr) string {
+	s := t.vecString(a.Vec)
+	return s[:len(s)-1] + "|" + strconv.Itoa(a.J) + "]"
+}
+
+// ParseAddr parses the FormatAddr representation.
+func (t *ABCCC) ParseAddr(s string) (Addr, error) {
+	body, ok := strings.CutPrefix(s, "[")
+	if !ok {
+		return Addr{}, fmt.Errorf("abccc: parse %q: missing '['", s)
+	}
+	body, ok = strings.CutSuffix(body, "]")
+	if !ok {
+		return Addr{}, fmt.Errorf("abccc: parse %q: missing ']'", s)
+	}
+	digitsPart, jPart, ok := strings.Cut(body, "|")
+	if !ok {
+		return Addr{}, fmt.Errorf("abccc: parse %q: missing '|j'", s)
+	}
+	fields := strings.Split(digitsPart, ",")
+	if len(fields) != t.cfg.Digits() {
+		return Addr{}, fmt.Errorf("abccc: parse %q: got %d digits, want %d",
+			s, len(fields), t.cfg.Digits())
+	}
+	vec := 0
+	for _, f := range fields { // most significant first
+		d, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return Addr{}, fmt.Errorf("abccc: parse %q: %w", s, err)
+		}
+		if d < 0 || d >= t.cfg.N {
+			return Addr{}, fmt.Errorf("abccc: parse %q: digit %d out of base %d", s, d, t.cfg.N)
+		}
+		vec = vec*t.cfg.N + d
+	}
+	j, err := strconv.Atoi(strings.TrimSpace(jPart))
+	if err != nil {
+		return Addr{}, fmt.Errorf("abccc: parse %q: %w", s, err)
+	}
+	a := Addr{Vec: vec, J: j}
+	if _, err := t.NodeOf(a); err != nil {
+		return Addr{}, err
+	}
+	return a, nil
+}
+
+// DiffLevels returns the address levels at which the two vectors differ, in
+// ascending order.
+func (t *ABCCC) DiffLevels(a, b Addr) []int {
+	var diff []int
+	for l := 0; l < t.cfg.Digits(); l++ {
+		if t.digit(a.Vec, l) != t.digit(b.Vec, l) {
+			diff = append(diff, l)
+		}
+	}
+	return diff
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrRoundTripNodeOf(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 3})
+	for vec := 0; vec < tp.vecs; vec++ {
+		for j := 0; j < tp.r; j++ {
+			a := Addr{Vec: vec, J: j}
+			node, err := tp.NodeOf(a)
+			if err != nil {
+				t.Fatalf("NodeOf(%v): %v", a, err)
+			}
+			back, err := tp.AddrOf(node)
+			if err != nil {
+				t.Fatalf("AddrOf(%d): %v", node, err)
+			}
+			if back != a {
+				t.Fatalf("round trip %v -> %d -> %v", a, node, back)
+			}
+		}
+	}
+}
+
+func TestAddrOfSwitchFails(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	if _, err := tp.AddrOf(tp.Network().Switches()[0]); err == nil {
+		t.Error("AddrOf(switch) succeeded")
+	}
+}
+
+func TestNodeOfRange(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	bad := []Addr{
+		{Vec: -1, J: 0},
+		{Vec: tp.vecs, J: 0},
+		{Vec: 0, J: -1},
+		{Vec: 0, J: tp.r},
+	}
+	for _, a := range bad {
+		if _, err := tp.NodeOf(a); err == nil {
+			t.Errorf("NodeOf(%v) succeeded", a)
+		}
+	}
+}
+
+func TestFormatParseAddrRoundTrip(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 2, P: 2})
+	prop := func(rawVec, rawJ uint) bool {
+		a := Addr{Vec: int(rawVec % uint(tp.vecs)), J: int(rawJ % uint(tp.r))}
+		s := tp.FormatAddr(a)
+		back, err := tp.ParseAddr(s)
+		return err == nil && back == a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatAddrShape(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 2, P: 2})
+	a := Addr{Vec: 1*16 + 2*4 + 3, J: 1}
+	if got := tp.FormatAddr(a); got != "[1,2,3|1]" {
+		t.Errorf("FormatAddr = %q, want [1,2,3|1]", got)
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 2, P: 2})
+	tests := []struct {
+		in      string
+		wantErr string
+	}{
+		{in: "1,2,3|1]", wantErr: "missing '['"},
+		{in: "[1,2,3|1", wantErr: "missing ']'"},
+		{in: "[1,2,3]", wantErr: "missing '|j'"},
+		{in: "[1,2|0]", wantErr: "digits"},
+		{in: "[1,2,3,0|0]", wantErr: "digits"},
+		{in: "[1,x,3|0]", wantErr: "invalid syntax"},
+		{in: "[1,9,3|0]", wantErr: "out of base"},
+		{in: "[1,2,3|x]", wantErr: "invalid syntax"},
+		{in: "[1,2,3|7]", wantErr: "out of range"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			if _, err := tp.ParseAddr(tt.in); err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("ParseAddr(%q) = %v, want substring %q", tt.in, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseAddrAcceptsSpaces(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 2, P: 2})
+	a, err := tp.ParseAddr("[1, 2, 3| 1]")
+	if err != nil {
+		t.Fatalf("ParseAddr: %v", err)
+	}
+	if want := (Addr{Vec: 1*16 + 2*4 + 3, J: 1}); a != want {
+		t.Errorf("ParseAddr = %v, want %v", a, want)
+	}
+}
+
+func TestDiffLevels(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	a := Addr{Vec: 0}
+	b := Addr{Vec: 2*9 + 0*3 + 1} // digits [2,0,1]
+	got := tp.DiffLevels(a, b)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("DiffLevels = %v, want [0 2]", got)
+	}
+	if d := tp.DiffLevels(a, a); d != nil {
+		t.Errorf("DiffLevels(a,a) = %v, want nil", d)
+	}
+}
+
+func TestDigitAccessor(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	a := Addr{Vec: 2*9 + 1*3 + 0}
+	for l, want := range map[int]int{0: 0, 1: 1, 2: 2} {
+		if got := tp.Digit(a, l); got != want {
+			t.Errorf("Digit(level %d) = %d, want %d", l, got, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// BroadcastTree returns, for every server in the network, the path a
+// one-to-all broadcast from root takes to reach it (the GBC3 extension of
+// ABCCC). The paths form a tree: every node has a unique predecessor and
+// every cable carries the broadcast at most once.
+//
+// Construction: crossbars are visited by correcting address levels in
+// ascending order (so each crossbar has a unique ascending assignment
+// sequence from the root's crossbar, hence a unique parent), and within each
+// crossbar the entry server fans out to its siblings through the local
+// switch.
+func (t *ABCCC) BroadcastTree(root int) (map[int]topology.Path, error) {
+	if !t.net.IsServer(root) {
+		return nil, fmt.Errorf("abccc: broadcast root %d is not a server", root)
+	}
+	ra := t.addrOf[root]
+	out := make(map[int]topology.Path, t.vecs*t.r)
+
+	// visit delivers to every server of crossbar vec (entered at server
+	// entryJ via entryPath) and recurses into child crossbars obtained by
+	// changing levels >= minLevel.
+	var visit func(vec int, entryJ int, entryPath topology.Path, minLevel int)
+	visit = func(vec, entryJ int, entryPath topology.Path, minLevel int) {
+		out[t.servers[vec*t.r+entryJ]] = entryPath
+		// Local fan-out to siblings.
+		for j := 0; j < t.r; j++ {
+			if j == entryJ {
+				continue
+			}
+			p := appendPath(entryPath, t.localSw[vec], t.servers[vec*t.r+j])
+			out[t.servers[vec*t.r+j]] = p
+		}
+		// Recurse across level switches.
+		for l := minLevel; l < t.cfg.Digits(); l++ {
+			owner := t.cfg.Owner(l)
+			// The relay path to the level's owner inside this crossbar.
+			relay := entryPath
+			if owner != entryJ {
+				relay = out[t.servers[vec*t.r+owner]]
+			}
+			lsw := t.levelSw[l][t.contract(vec, l)]
+			cur := t.digit(vec, l)
+			for d := 0; d < t.cfg.N; d++ {
+				if d == cur {
+					continue
+				}
+				child := t.setDigit(vec, l, d)
+				p := appendPath(relay, lsw, t.servers[child*t.r+owner])
+				visit(child, owner, p, l+1)
+			}
+		}
+	}
+	visit(ra.Vec, ra.J, topology.Path{root}, 0)
+	return out, nil
+}
+
+// BroadcastDepth returns the maximum switch-hop distance from root to any
+// server in the broadcast tree.
+func (t *ABCCC) BroadcastDepth(root int) (int, error) {
+	tree, err := t.BroadcastTree(root)
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, p := range tree {
+		if h := p.SwitchHops(t.net); h > max {
+			max = h
+		}
+	}
+	return max, nil
+}
+
+// Multicast returns paths from root to each of the given destination
+// servers, pruned from the broadcast tree so that shared prefixes are
+// transmitted once (the GBC3 one-to-many primitive).
+func (t *ABCCC) Multicast(root int, dsts []int) (map[int]topology.Path, error) {
+	tree, err := t.BroadcastTree(root)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]topology.Path, len(dsts))
+	for _, d := range dsts {
+		p, ok := tree[d]
+		if !ok {
+			return nil, fmt.Errorf("abccc: multicast destination %d is not a server", d)
+		}
+		out[d] = p
+	}
+	return out, nil
+}
+
+// appendPath copies base and appends the extra nodes, so that tree branches
+// sharing a prefix do not alias each other's backing arrays.
+func appendPath(base topology.Path, extra ...int) topology.Path {
+	p := make(topology.Path, 0, len(base)+len(extra))
+	p = append(p, base...)
+	return append(p, extra...)
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBroadcastTreeCoversAllServers(t *testing.T) {
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		root := net.Server(0)
+		tree, err := tp.BroadcastTree(root)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name(), err)
+		}
+		if len(tree) != net.NumServers() {
+			t.Fatalf("%s: tree covers %d servers, want %d", net.Name(), len(tree), net.NumServers())
+		}
+		for _, dst := range net.Servers() {
+			p, ok := tree[dst]
+			if !ok {
+				t.Fatalf("%s: server %s missing from tree", net.Name(), net.Label(dst))
+			}
+			if err := p.Validate(net, root, dst); err != nil {
+				t.Fatalf("%s: %v", net.Name(), err)
+			}
+		}
+	}
+}
+
+func TestBroadcastTreeIsATree(t *testing.T) {
+	// Tree property: every node reached by the broadcast has exactly one
+	// predecessor across all paths, and each cable is used at most once.
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	net := tp.Network()
+	root := net.Server(7)
+	tree, err := tp.BroadcastTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := map[int]int{}
+	edgeUsed := map[[2]int]bool{}
+	for _, p := range tree {
+		for i := 1; i < len(p); i++ {
+			prev, ok := parent[p[i]]
+			if ok && prev != p[i-1] {
+				t.Fatalf("node %s has two parents: %s and %s",
+					net.Label(p[i]), net.Label(prev), net.Label(p[i-1]))
+			}
+			parent[p[i]] = p[i-1]
+			key := [2]int{p[i-1], p[i]}
+			edgeUsed[key] = true
+		}
+	}
+	// Each directed tree edge counted once; undirected reuse would imply a
+	// node with two parents, already checked above.
+	if len(edgeUsed) != len(parent) {
+		t.Errorf("%d directed edges for %d child nodes", len(edgeUsed), len(parent))
+	}
+}
+
+func TestBroadcastDepthWithinBound(t *testing.T) {
+	// Depth bound: correcting k+1 levels costs one hop each, plus at most
+	// one realignment per ownership group on the deepest branch, plus the
+	// final local fan-out hop.
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		root := tp.Network().Server(0)
+		depth, err := tp.BroadcastDepth(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := tp.cfg.Digits() + tp.r + 1
+		if depth > bound {
+			t.Errorf("%s: broadcast depth %d > bound %d", tp.Network().Name(), depth, bound)
+		}
+		if depth == 0 && tp.Network().NumServers() > 1 {
+			t.Errorf("%s: zero-depth broadcast", tp.Network().Name())
+		}
+	}
+}
+
+func TestBroadcastTreeRootPath(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	root := tp.Network().Server(3)
+	tree, err := tp.BroadcastTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tree[root]; len(p) != 1 || p[0] != root {
+		t.Errorf("root path = %v, want [%d]", p, root)
+	}
+}
+
+func TestBroadcastTreeRejectsSwitchRoot(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	if _, err := tp.BroadcastTree(tp.Network().Switches()[0]); err == nil {
+		t.Error("BroadcastTree(switch) succeeded")
+	}
+	if _, err := tp.BroadcastDepth(tp.Network().Switches()[0]); err == nil {
+		t.Error("BroadcastDepth(switch) succeeded")
+	}
+}
+
+func TestMulticastSubset(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	root := net.Server(0)
+	dsts := []int{net.Server(3), net.Server(9), net.Server(17)}
+	paths, err := tp.Multicast(root, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(dsts) {
+		t.Fatalf("got %d paths, want %d", len(paths), len(dsts))
+	}
+	for _, d := range dsts {
+		if err := paths[d].Validate(net, root, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMulticastBadDestination(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	root := tp.Network().Server(0)
+	sw := tp.Network().Switches()[0]
+	if _, err := tp.Multicast(root, []int{sw}); err == nil {
+		t.Error("Multicast to a switch succeeded")
+	}
+}
+
+func TestGatherTreeMirrorsBroadcast(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	root := net.Server(5)
+	gather, err := tp.GatherTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gather) != net.NumServers() {
+		t.Fatalf("gather covers %d servers, want %d", len(gather), net.NumServers())
+	}
+	for src, p := range gather {
+		if err := p.Validate(net, src, root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	depth, err := tp.GatherDepth(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bDepth, err := tp.BroadcastDepth(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != bDepth {
+		t.Errorf("gather depth %d != broadcast depth %d", depth, bDepth)
+	}
+}
+
+func TestGatherTreeSwitchRoot(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	if _, err := tp.GatherTree(tp.Network().Switches()[0]); err == nil {
+		t.Error("switch root accepted")
+	}
+}

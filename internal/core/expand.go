@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Expand builds the order-(k+1) instance with the same switch radix and
+// server port count and reports the expansion cost. ABCCC's design goal is
+// that the old instance embeds unchanged: every existing server keeps its
+// hardware, every existing cable stays plugged in, and growth only adds new
+// crossbars (with high digit != 0), new level-(k+1) switches, and — when the
+// new level starts a new ownership group — one new server per old crossbar
+// plugged into a free local-switch port.
+func Expand(old *ABCCC) (*ABCCC, topology.ExpansionReport, error) {
+	cfg := old.cfg
+	next := Config{N: cfg.N, K: cfg.K + 1, P: cfg.P}
+	bigger, err := Build(next)
+	if err != nil {
+		return nil, topology.ExpansionReport{}, fmt.Errorf("abccc: expand: %w", err)
+	}
+
+	report := topology.ExpansionReport{
+		Before:        old.net.Name(),
+		After:         bigger.net.Name(),
+		ServersBefore: old.net.NumServers(),
+		ServersAfter:  bigger.net.NumServers(),
+		NewServers:    bigger.net.NumServers() - old.net.NumServers(),
+		NewSwitches:   bigger.net.NumSwitches() - old.net.NumSwitches(),
+		NewLinks:      bigger.net.NumLinks() - old.net.NumLinks(),
+	}
+
+	// Structural embedding: an old crossbar vector v (k+1 digits) maps to
+	// the new vector with the same integer value (the inserted high digit is
+	// 0). Old level-switch contracted vectors likewise keep their integer
+	// value. Build the full old-node -> new-node table once.
+	oldG := old.net.Graph()
+	mapped := make([]int, oldG.NumNodes())
+	for vec := 0; vec < old.vecs; vec++ {
+		mapped[old.localSw[vec]] = bigger.localSw[vec]
+		for j := 0; j < old.r; j++ {
+			mapped[old.servers[vec*old.r+j]] = bigger.servers[vec*bigger.r+j]
+		}
+	}
+	for l := range old.levelSw {
+		for cvec, id := range old.levelSw[l] {
+			mapped[id] = bigger.levelSw[l][cvec]
+		}
+	}
+
+	for e := 0; e < oldG.NumEdges(); e++ {
+		edge := oldG.Edge(e)
+		if bigger.net.Graph().EdgeBetween(mapped[edge.U], mapped[edge.V]) != -1 {
+			report.PreservedLinks++
+		} else {
+			report.RewiredLinks++
+		}
+	}
+	// A server is "upgraded" if its new role needs more NIC ports than its
+	// hardware provides (p, fixed at installation). Plugging a new cable
+	// into a previously free port is not an upgrade. ABCCC never upgrades;
+	// BCube upgrades every server (k+1 -> k+2 ports).
+	for vec := 0; vec < old.vecs; vec++ {
+		for j := 0; j < old.r; j++ {
+			if bigger.net.Graph().Degree(mapped[old.servers[vec*old.r+j]]) > old.cfg.P {
+				report.UpgradedServers++
+			}
+		}
+	}
+	return bigger, report, nil
+}

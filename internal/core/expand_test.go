@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestExpandPreservesEverything(t *testing.T) {
+	tests := []Config{
+		{N: 4, K: 0, P: 2},
+		{N: 4, K: 1, P: 2},
+		{N: 4, K: 1, P: 3},
+		{N: 4, K: 2, P: 3},
+		{N: 3, K: 1, P: 4},
+	}
+	for _, cfg := range tests {
+		old := MustBuild(cfg)
+		bigger, report, err := Expand(old)
+		if err != nil {
+			t.Fatalf("%s: Expand: %v", old.Network().Name(), err)
+		}
+		if bigger.Config().K != cfg.K+1 {
+			t.Errorf("expanded K = %d, want %d", bigger.Config().K, cfg.K+1)
+		}
+		if report.RewiredLinks != 0 {
+			t.Errorf("%s: %d rewired links, want 0 (the headline claim)",
+				report.Before, report.RewiredLinks)
+		}
+		if report.UpgradedServers != 0 {
+			t.Errorf("%s: %d upgraded servers, want 0", report.Before, report.UpgradedServers)
+		}
+		if report.PreservedLinks != old.Network().NumLinks() {
+			t.Errorf("%s: preserved %d of %d links", report.Before,
+				report.PreservedLinks, old.Network().NumLinks())
+		}
+		if report.TouchedFraction() != 0 {
+			t.Errorf("%s: touched fraction %f, want 0", report.Before, report.TouchedFraction())
+		}
+		wantNewServers := bigger.Network().NumServers() - old.Network().NumServers()
+		if report.NewServers != wantNewServers {
+			t.Errorf("NewServers = %d, want %d", report.NewServers, wantNewServers)
+		}
+	}
+}
+
+func TestExpandGrowthFactor(t *testing.T) {
+	// Expanding multiplies crossbars by n; server growth is n*r'/r-fold.
+	old := MustBuild(Config{N: 4, K: 1, P: 2})
+	bigger, report, err := Expand(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=4, k=1->2, p=2: r goes 2->3, vecs 16->64: servers 32 -> 192.
+	if old.Network().NumServers() != 32 || bigger.Network().NumServers() != 192 {
+		t.Errorf("servers %d -> %d, want 32 -> 192",
+			old.Network().NumServers(), bigger.Network().NumServers())
+	}
+	if report.ServersBefore != 32 || report.ServersAfter != 192 {
+		t.Errorf("report servers %d -> %d", report.ServersBefore, report.ServersAfter)
+	}
+}
+
+func TestExpandFailsWhenCrossbarFull(t *testing.T) {
+	// n=2, p=2: K can only be 0 (r = k+1 <= n). Expansion to K=1 needs
+	// r=2 <= 2: fine. Expansion to K=2 needs r=3 > 2: must fail.
+	first := MustBuild(Config{N: 2, K: 0, P: 2})
+	second, _, err := Expand(first)
+	if err != nil {
+		t.Fatalf("first expansion: %v", err)
+	}
+	if _, _, err := Expand(second); err == nil {
+		t.Error("expansion past local-switch capacity succeeded")
+	}
+}
+
+func TestExpandReportString(t *testing.T) {
+	old := MustBuild(Config{N: 4, K: 0, P: 2})
+	_, report, err := Expand(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := report.String()
+	if s == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestExpandedRoutesStillValid(t *testing.T) {
+	old := MustBuild(Config{N: 3, K: 1, P: 2})
+	bigger, _, err := Expand(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := bigger.Network()
+	servers := net.Servers()
+	for i := 0; i < 10; i++ {
+		src, dst := servers[i*7%len(servers)], servers[i*13%len(servers)]
+		p, err := bigger.Route(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(net, src, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// ErrNoRoute is returned by RouteAvoiding when the fault-tolerant algorithm
+// gives up. The underlying graph may still be connected; the gap between the
+// two is the algorithm's miss rate, one of the evaluation metrics.
+var ErrNoRoute = errors.New("abccc: fault-tolerant routing found no route")
+
+// RouteAvoiding routes from src to dst using only components that are alive
+// in view. It is a local adaptive algorithm in the digit-correction family:
+// at every server it greedily corrects any remaining differing level whose
+// realignment hop and level crossing are fully alive and unvisited; when
+// stuck it detours by deliberately mis-correcting a level, within a bounded
+// hop budget.
+func (t *ABCCC) RouteAvoiding(src, dst int, view *graph.View) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	if !view.NodeUp(src) || !view.NodeUp(dst) {
+		return nil, fmt.Errorf("%w: endpoint failed", ErrNoRoute)
+	}
+	if src == dst {
+		return topology.Path{src}, nil
+	}
+
+	w := &faultWalk{
+		t:       t,
+		view:    view,
+		dst:     t.addrOf[dst],
+		visited: map[int]bool{src: true},
+		path:    topology.Path{src},
+		cur:     t.addrOf[src],
+	}
+	budget := 6 * (t.cfg.Digits() + t.r + 2)
+	for hop := 0; hop < budget; hop++ {
+		if w.cur.Vec == w.dst.Vec && w.cur.J == w.dst.J {
+			return w.path, nil
+		}
+		if w.tryGoal() {
+			continue
+		}
+		if w.tryDetour() {
+			continue
+		}
+		return nil, fmt.Errorf("%w: stuck at %s after %d hops", ErrNoRoute, t.FormatAddr(w.cur), hop)
+	}
+	return nil, fmt.Errorf("%w: hop budget exhausted", ErrNoRoute)
+}
+
+// faultWalk is the mutable state of one adaptive routing attempt.
+type faultWalk struct {
+	t       *ABCCC
+	view    *graph.View
+	dst     Addr
+	visited map[int]bool
+	path    topology.Path
+	cur     Addr
+}
+
+// tryGoal attempts one goal-directed move: a final realignment inside the
+// destination crossbar, or the correction of a differing level (in grouped
+// preference order).
+func (w *faultWalk) tryGoal() bool {
+	t := w.t
+	if w.cur.Vec == w.dst.Vec {
+		if w.realign(w.dst.J) {
+			return true
+		}
+	}
+	diff := t.DiffLevels(w.cur, w.dst)
+	for _, l := range t.orderGrouped(diff, w.cur.J, w.dst.J) {
+		if w.cross(l, t.digit(w.dst.Vec, l)) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryDetour makes any alive sideways move: mis-correct some level to any
+// value, or realign to any other local server, preferring moves that keep
+// the number of wrong digits small.
+func (w *faultWalk) tryDetour() bool {
+	t := w.t
+	for l := 0; l < t.cfg.Digits(); l++ {
+		cur := t.digit(w.cur.Vec, l)
+		for v := 0; v < t.cfg.N; v++ {
+			if v != cur && w.cross(l, v) {
+				return true
+			}
+		}
+	}
+	for j := 0; j < t.r; j++ {
+		if j != w.cur.J && w.realign(j) {
+			return true
+		}
+	}
+	return false
+}
+
+// realign moves to server j of the current crossbar through the local
+// switch, if every component involved is alive and unvisited.
+func (w *faultWalk) realign(j int) bool {
+	t := w.t
+	sw := t.localSw[w.cur.Vec]
+	target := t.servers[w.cur.Vec*t.r+j]
+	if !w.usable(sw) || !w.usable(target) {
+		return false
+	}
+	curNode := t.servers[w.cur.Vec*t.r+w.cur.J]
+	if !w.edgeUp(curNode, sw) || !w.edgeUp(sw, target) {
+		return false
+	}
+	w.advance(sw, target)
+	w.cur.J = j
+	return true
+}
+
+// cross sets level l to value v by realigning to the level's owner (if
+// needed) and traversing the level switch, checking liveness of every
+// component first.
+func (w *faultWalk) cross(l, v int) bool {
+	t := w.t
+	owner := t.cfg.Owner(l)
+	// Peek at the realignment without committing it.
+	entry := w.cur
+	var pending []int
+	if entry.J != owner {
+		sw := t.localSw[entry.Vec]
+		mid := t.servers[entry.Vec*t.r+owner]
+		curNode := t.servers[entry.Vec*t.r+entry.J]
+		if !w.usable(sw) || !w.usable(mid) || !w.edgeUp(curNode, sw) || !w.edgeUp(sw, mid) {
+			return false
+		}
+		pending = append(pending, sw, mid)
+		entry.J = owner
+	}
+	lsw := t.levelSw[l][t.contract(entry.Vec, l)]
+	next := t.setDigit(entry.Vec, l, v)
+	nextNode := t.servers[next*t.r+owner]
+	entryNode := t.servers[entry.Vec*t.r+owner]
+	if !w.usable(lsw) || !w.usable(nextNode) ||
+		!w.edgeUp(entryNode, lsw) || !w.edgeUp(lsw, nextNode) {
+		return false
+	}
+	w.advance(pending...)
+	w.advance(lsw, nextNode)
+	w.cur = Addr{Vec: next, J: owner}
+	return true
+}
+
+// usable reports whether node is alive and not yet on the path.
+func (w *faultWalk) usable(node int) bool {
+	return w.view.NodeUp(node) && !w.visited[node]
+}
+
+// edgeUp reports whether the cable between u and v is alive.
+func (w *faultWalk) edgeUp(u, v int) bool {
+	return w.view.EdgeUp(w.t.net.Graph().EdgeBetween(u, v))
+}
+
+// advance appends nodes to the path and marks them visited.
+func (w *faultWalk) advance(nodes ...int) {
+	for _, n := range nodes {
+		w.visited[n] = true
+		w.path = append(w.path, n)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRouteAvoidingNoFailuresMatchesRoute(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	net := tp.Network()
+	view := graph.NewView(net.Graph())
+	servers := net.Servers()[:20]
+	for _, src := range servers {
+		for _, dst := range servers {
+			p, err := tp.RouteAvoiding(src, dst, view)
+			if err != nil {
+				t.Fatalf("RouteAvoiding(%s,%s): %v", net.Label(src), net.Label(dst), err)
+			}
+			if err := p.Validate(net, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			want, err := tp.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.SwitchHops(net) != want.SwitchHops(net) {
+				t.Errorf("RouteAvoiding = %d hops, Route = %d hops (%s->%s)",
+					p.SwitchHops(net), want.SwitchHops(net), net.Label(src), net.Label(dst))
+			}
+		}
+	}
+}
+
+func TestRouteAvoidingSingleLevelSwitchFailure(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	net := tp.Network()
+	src, _ := tp.NodeOf(Addr{Vec: 0, J: 0})
+	dst, _ := tp.NodeOf(Addr{Vec: 26, J: 2})
+	direct, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first level switch on the direct route.
+	view := graph.NewView(net.Graph())
+	for _, node := range direct {
+		if !net.IsServer(node) && net.Label(node)[0] == 'W' {
+			view.FailNode(node)
+			break
+		}
+	}
+	p, err := tp.RouteAvoiding(src, dst, view)
+	if err != nil {
+		t.Fatalf("RouteAvoiding around failed switch: %v", err)
+	}
+	if err := p.Validate(net, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Alive(net, view) {
+		t.Error("returned route uses a failed component")
+	}
+}
+
+func TestRouteAvoidingFailedEndpoint(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	src, dst := net.Server(0), net.Server(3)
+	view := graph.NewView(net.Graph())
+	view.FailNode(dst)
+	if _, err := tp.RouteAvoiding(src, dst, view); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("RouteAvoiding to failed dst = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestRouteAvoidingSelf(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	s := tp.Network().Server(0)
+	p, err := tp.RouteAvoiding(s, s, graph.NewView(tp.Network().Graph()))
+	if err != nil || len(p) != 1 {
+		t.Errorf("RouteAvoiding(self) = %v, %v", p, err)
+	}
+}
+
+func TestRouteAvoidingRejectsSwitchEndpoints(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	sw := tp.Network().Switches()[0]
+	srv := tp.Network().Server(0)
+	if _, err := tp.RouteAvoiding(sw, srv, nil); err == nil {
+		t.Error("RouteAvoiding(switch, server) succeeded")
+	}
+}
+
+func TestRouteAvoidingLinkFailures(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	src, _ := tp.NodeOf(Addr{Vec: 0, J: 0})
+	dst, _ := tp.NodeOf(Addr{Vec: 8, J: 1})
+	direct, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first cable of the direct route.
+	view := graph.NewView(net.Graph())
+	view.FailEdge(net.Graph().EdgeBetween(direct[0], direct[1]))
+	p, err := tp.RouteAvoiding(src, dst, view)
+	if err != nil {
+		t.Fatalf("RouteAvoiding around failed cable: %v", err)
+	}
+	if !p.Alive(net, view) {
+		t.Error("route uses the failed cable")
+	}
+	if err := p.Validate(net, src, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteAvoidingUnderRandomFailuresMostlySucceeds(t *testing.T) {
+	// With 5% of switches failed, the adaptive algorithm must find a route
+	// for the overwhelming majority of connected pairs.
+	tp := MustBuild(Config{N: 4, K: 2, P: 3})
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(1))
+	view := graph.NewView(net.Graph())
+	for _, sw := range net.Switches() {
+		if rng.Float64() < 0.05 {
+			view.FailNode(sw)
+		}
+	}
+	servers := net.Servers()
+	attempts, found, connected := 0, 0, 0
+	for trial := 0; trial < 300; trial++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if src == dst {
+			continue
+		}
+		attempts++
+		if net.Graph().ShortestPath(src, dst, view) != nil {
+			connected++
+		} else {
+			continue
+		}
+		p, err := tp.RouteAvoiding(src, dst, view)
+		if err != nil {
+			continue
+		}
+		if err := p.Validate(net, src, dst); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Alive(net, view) {
+			t.Fatal("route uses failed components")
+		}
+		found++
+	}
+	if connected == 0 {
+		t.Fatal("no connected pairs sampled")
+	}
+	if ratio := float64(found) / float64(connected); ratio < 0.95 {
+		t.Errorf("fault routing succeeded for %.2f of connected pairs, want >= 0.95", ratio)
+	}
+}
+
+func TestRouteAvoidingStuckInIsland(t *testing.T) {
+	// Fail every switch around the source: no route can exist.
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	src := net.Server(0)
+	view := graph.NewView(net.Graph())
+	for _, nb := range net.Graph().Neighbors(src, nil) {
+		view.FailNode(nb)
+	}
+	dst := net.Server(len(net.Servers()) - 1)
+	if _, err := tp.RouteAvoiding(src, dst, view); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("RouteAvoiding from isolated server = %v, want ErrNoRoute", err)
+	}
+}

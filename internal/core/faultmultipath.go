@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// RouteAvoidingMultipath is the source-routed flavor of fault-tolerant
+// routing: it first tries the precomputed internally disjoint parallel paths
+// (an endpoint with p ports can survive p-1 independent failures on its
+// primary paths), then falls back to the adaptive detour walk of
+// RouteAvoiding. It strictly dominates RouteAvoiding in delivery rate at the
+// cost of the parallel-path computation.
+func (t *ABCCC) RouteAvoidingMultipath(src, dst int, view *graph.View) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	if !view.NodeUp(src) || !view.NodeUp(dst) {
+		return nil, fmt.Errorf("%w: endpoint failed", ErrNoRoute)
+	}
+	if src == dst {
+		return topology.Path{src}, nil
+	}
+	for _, p := range t.ParallelPaths(src, dst) {
+		if p.Alive(t.net, view) {
+			return p, nil
+		}
+	}
+	return t.RouteAvoiding(src, dst, view)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMultipathRoutingNoFailures(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	view := graph.NewView(net.Graph())
+	for _, src := range net.Servers()[:10] {
+		for _, dst := range net.Servers()[:10] {
+			p, err := tp.RouteAvoidingMultipath(src, dst, view)
+			if err != nil {
+				t.Fatalf("%s->%s: %v", net.Label(src), net.Label(dst), err)
+			}
+			if err := p.Validate(net, src, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestMultipathRoutingSurvivesPrimaryPathFailure(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	net := tp.Network()
+	src, _ := tp.NodeOf(Addr{Vec: 0, J: 0})
+	dst, _ := tp.NodeOf(Addr{Vec: 26, J: 2})
+	primary, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := graph.NewView(net.Graph())
+	view.FailNode(primary[1]) // first switch of the primary path
+	p, err := tp.RouteAvoidingMultipath(src, dst, view)
+	if err != nil {
+		t.Fatalf("multipath routing: %v", err)
+	}
+	if !p.Alive(net, view) {
+		t.Error("returned path uses failed components")
+	}
+}
+
+func TestMultipathRoutingEndpointDown(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	view := graph.NewView(net.Graph())
+	view.FailNode(net.Server(3))
+	if _, err := tp.RouteAvoidingMultipath(net.Server(0), net.Server(3), view); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+	if _, err := tp.RouteAvoidingMultipath(net.Switches()[0], net.Server(0), view); err == nil {
+		t.Error("switch endpoint accepted")
+	}
+}
+
+func TestMultipathRoutingSelf(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	s := tp.Network().Server(0)
+	p, err := tp.RouteAvoidingMultipath(s, s, graph.NewView(tp.Network().Graph()))
+	if err != nil || len(p) != 1 {
+		t.Errorf("self = %v, %v", p, err)
+	}
+}
+
+// TestMultipathDominatesAdaptive verifies the delivery-rate claim: on the
+// same failure scenarios, the multipath router serves at least every pair
+// the adaptive router serves.
+func TestMultipathDominatesAdaptive(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 2, P: 3})
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(3))
+	view := graph.NewView(net.Graph())
+	for _, sw := range net.Switches() {
+		if rng.Float64() < 0.10 {
+			view.FailNode(sw)
+		}
+	}
+	servers := net.Servers()
+	adaptiveWins := 0
+	for trial := 0; trial < 200; trial++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if src == dst {
+			continue
+		}
+		_, errA := tp.RouteAvoiding(src, dst, view)
+		pm, errM := tp.RouteAvoidingMultipath(src, dst, view)
+		if errA == nil && errM != nil {
+			adaptiveWins++
+		}
+		if errM == nil {
+			if err := pm.Validate(net, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			if !pm.Alive(net, view) {
+				t.Fatal("multipath returned a dead path")
+			}
+		}
+	}
+	if adaptiveWins > 0 {
+		t.Errorf("adaptive served %d pairs the multipath router missed", adaptiveWins)
+	}
+}

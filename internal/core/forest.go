@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// BroadcastTreeWithOrder builds the broadcast tree that corrects address
+// levels in the given fixed global order (a permutation of 0..k). Different
+// orders produce trees using different level switches early, which is what
+// makes near-disjoint forests possible. The default BroadcastTree is the
+// ascending order.
+func (t *ABCCC) BroadcastTreeWithOrder(root int, order []int) (map[int]topology.Path, error) {
+	if !t.net.IsServer(root) {
+		return nil, fmt.Errorf("abccc: broadcast root %d is not a server", root)
+	}
+	if err := t.checkLevelOrder(order); err != nil {
+		return nil, err
+	}
+	ra := t.addrOf[root]
+	out := make(map[int]topology.Path, t.vecs*t.r)
+
+	var visit func(vec, entryJ int, entryPath topology.Path, pos int)
+	visit = func(vec, entryJ int, entryPath topology.Path, pos int) {
+		out[t.servers[vec*t.r+entryJ]] = entryPath
+		for j := 0; j < t.r; j++ {
+			if j == entryJ {
+				continue
+			}
+			out[t.servers[vec*t.r+j]] = appendPath(entryPath, t.localSw[vec], t.servers[vec*t.r+j])
+		}
+		for oi := pos; oi < len(order); oi++ {
+			l := order[oi]
+			owner := t.cfg.Owner(l)
+			relay := entryPath
+			if owner != entryJ {
+				relay = out[t.servers[vec*t.r+owner]]
+			}
+			lsw := t.levelSw[l][t.contract(vec, l)]
+			cur := t.digit(vec, l)
+			for d := 0; d < t.cfg.N; d++ {
+				if d == cur {
+					continue
+				}
+				child := t.setDigit(vec, l, d)
+				visit(child, owner, appendPath(relay, lsw, t.servers[child*t.r+owner]), oi+1)
+			}
+		}
+	}
+	visit(ra.Vec, ra.J, topology.Path{root}, 0)
+	return out, nil
+}
+
+// checkLevelOrder validates a permutation of the address levels.
+func (t *ABCCC) checkLevelOrder(order []int) error {
+	if len(order) != t.cfg.Digits() {
+		return fmt.Errorf("abccc: level order has %d entries, want %d", len(order), t.cfg.Digits())
+	}
+	seen := make([]bool, t.cfg.Digits())
+	for _, l := range order {
+		if l < 0 || l >= t.cfg.Digits() || seen[l] {
+			return fmt.Errorf("abccc: level order %v is not a permutation", order)
+		}
+		seen[l] = true
+	}
+	return nil
+}
+
+// BroadcastForest returns a set of pairwise *edge-disjoint* broadcast trees
+// rooted at root: every cable carries at most one tree's traffic in each
+// direction, so a large payload split across the forest pipelines the
+// broadcast at len(forest) times a single tree's rate — the multi-port
+// payoff of the one-to-all extension.
+//
+// For r = 1 instances (every server owns every level; the data graph is
+// BCube's), the shifted-rotation construction of the BCube paper yields one
+// tree per level: tree i delivers to every server by correcting level i
+// first (mis-correcting it to a scratch value and restoring it last when the
+// destination agrees with the root there), then the remaining levels in
+// rotation order. The construction is filtered through an edge-disjointness
+// check, so the returned trees are always genuinely disjoint. For r >= 2 the
+// shared local switch serializes deliveries into each crossbar and the
+// forest degenerates to the single default tree.
+func (t *ABCCC) BroadcastForest(root int) ([]map[int]topology.Path, error) {
+	if !t.net.IsServer(root) {
+		return nil, fmt.Errorf("abccc: broadcast root %d is not a server", root)
+	}
+	if t.r > 1 {
+		tree, err := t.BroadcastTree(root)
+		if err != nil {
+			return nil, err
+		}
+		return []map[int]topology.Path{tree}, nil
+	}
+	digits := t.cfg.Digits()
+	usedEdges := map[[2]int]bool{}
+	var forest []map[int]topology.Path
+	for i := 0; i < digits; i++ {
+		tree, err := t.shiftedTree(root, i)
+		if err != nil {
+			return nil, err
+		}
+		edges := treeEdges(tree)
+		if conflicts(edges, usedEdges) {
+			continue
+		}
+		for e := range edges {
+			usedEdges[e] = true
+		}
+		forest = append(forest, tree)
+	}
+	return forest, nil
+}
+
+// shiftedTree builds the level-i broadcast tree of the shifted-rotation
+// construction (r == 1 only): every destination's delivery path corrects
+// level i first — to the destination digit when it differs from the root's,
+// to the scratch value root_digit+1 (restored at the very end) when it does
+// not — and the remaining levels in rotation order i+1, ..., i-1.
+func (t *ABCCC) shiftedTree(root, i int) (map[int]topology.Path, error) {
+	a := t.addrOf[root]
+	digits := t.cfg.Digits()
+	out := make(map[int]topology.Path, t.vecs)
+	out[root] = topology.Path{root}
+	for vec := 0; vec < t.vecs; vec++ {
+		if vec == a.Vec {
+			continue
+		}
+		var steps []assign
+		direct := t.digit(a.Vec, i) != t.digit(vec, i)
+		if direct {
+			steps = append(steps, assign{level: i, value: t.digit(vec, i)})
+		} else {
+			steps = append(steps, assign{level: i, value: (t.digit(a.Vec, i) + 1) % t.cfg.N})
+		}
+		for off := 1; off < digits; off++ {
+			m := (i + off) % digits
+			if t.digit(a.Vec, m) != t.digit(vec, m) {
+				steps = append(steps, assign{level: m, value: t.digit(vec, m)})
+			}
+		}
+		if !direct {
+			steps = append(steps, assign{level: i, value: t.digit(vec, i)})
+		}
+		p, err := t.routeAssign(a, Addr{Vec: vec, J: 0}, steps)
+		if err != nil {
+			return nil, fmt.Errorf("abccc: shifted tree %d: %w", i, err)
+		}
+		out[t.servers[vec*t.r]] = p
+	}
+	return out, nil
+}
+
+// treeEdges collects the directed cable set of a broadcast tree.
+func treeEdges(tree map[int]topology.Path) map[[2]int]bool {
+	edges := map[[2]int]bool{}
+	for _, p := range tree {
+		for i := 1; i < len(p); i++ {
+			edges[[2]int{p[i-1], p[i]}] = true
+		}
+	}
+	return edges
+}
+
+func conflicts(edges, used map[[2]int]bool) bool {
+	for e := range edges {
+		if used[e] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestBroadcastTreeWithOrderEquivalence(t *testing.T) {
+	// The ascending order must reproduce BroadcastTree exactly.
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	root := tp.Network().Server(4)
+	want, err := tp.BroadcastTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.BroadcastTreeWithOrder(root, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("tree sizes %d vs %d", len(got), len(want))
+	}
+	for dst, p := range want {
+		q := got[dst]
+		if len(p) != len(q) {
+			t.Fatalf("paths to %d differ", dst)
+		}
+		for i := range p {
+			if p[i] != q[i] {
+				t.Fatalf("paths to %d differ at %d", dst, i)
+			}
+		}
+	}
+}
+
+func TestBroadcastTreeWithOrderAnyPermutationIsATree(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 3})
+	net := tp.Network()
+	root := net.Server(0)
+	for _, order := range [][]int{{2, 1, 0}, {1, 0, 2}, {0, 2, 1}} {
+		tree, err := tp.BroadcastTreeWithOrder(root, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tree) != net.NumServers() {
+			t.Fatalf("order %v: covers %d servers", order, len(tree))
+		}
+		parent := map[int]int{}
+		for dst, p := range tree {
+			if err := p.Validate(net, root, dst); err != nil {
+				t.Fatalf("order %v: %v", order, err)
+			}
+			for i := 1; i < len(p); i++ {
+				if prev, ok := parent[p[i]]; ok && prev != p[i-1] {
+					t.Fatalf("order %v: node %d has two parents", order, p[i])
+				}
+				parent[p[i]] = p[i-1]
+			}
+		}
+	}
+}
+
+func TestBroadcastTreeWithOrderValidation(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	root := tp.Network().Server(0)
+	for _, order := range [][]int{{0}, {0, 0}, {0, 5}, {1, 2}} {
+		if _, err := tp.BroadcastTreeWithOrder(root, order); err == nil {
+			t.Errorf("order %v accepted", order)
+		}
+	}
+	if _, err := tp.BroadcastTreeWithOrder(tp.Network().Switches()[0], []int{0, 1}); err == nil {
+		t.Error("switch root accepted")
+	}
+}
+
+func TestBroadcastForestEdgeDisjoint(t *testing.T) {
+	for _, cfg := range []Config{{N: 3, K: 1, P: 2}, {N: 4, K: 1, P: 3}, {N: 4, K: 2, P: 3}} {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		root := net.Server(0)
+		forest, err := tp.BroadcastForest(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(forest) < 1 {
+			t.Fatalf("%s: empty forest", net.Name())
+		}
+		used := map[[2]int]bool{}
+		for ti, tree := range forest {
+			if len(tree) != net.NumServers() {
+				t.Fatalf("%s tree %d covers %d servers", net.Name(), ti, len(tree))
+			}
+			for dst, p := range tree {
+				if err := p.Validate(net, root, dst); err != nil {
+					t.Fatalf("%s tree %d: %v", net.Name(), ti, err)
+				}
+			}
+			for e := range treeEdges(tree) {
+				if used[e] {
+					t.Fatalf("%s: trees share directed cable %v", net.Name(), e)
+				}
+				used[e] = true
+			}
+		}
+	}
+}
+
+func TestBroadcastForestMultipleTreesWhenPortsAllow(t *testing.T) {
+	// With two digits and distinct rotations, at least two edge-disjoint
+	// trees must exist from a server owning both levels.
+	tp := MustBuild(Config{N: 4, K: 1, P: 3}) // r=1: the root owns levels 0 and 1
+	forest, err := tp.BroadcastForest(tp.Network().Server(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) < 2 {
+		t.Errorf("forest has %d trees, want >= 2", len(forest))
+	}
+}
+
+func TestBroadcastForestSwitchRoot(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	if _, err := tp.BroadcastForest(tp.Network().Switches()[0]); err == nil {
+		t.Error("switch root accepted")
+	}
+}
+
+func TestBroadcastForestFullSizeAtRoneConfigs(t *testing.T) {
+	// For r == 1 the shifted construction should yield one edge-disjoint
+	// tree per address level, with no greedy rejections.
+	for _, cfg := range []Config{{N: 3, K: 1, P: 3}, {N: 4, K: 1, P: 3}, {N: 4, K: 2, P: 4}, {N: 2, K: 1, P: 4}} {
+		tp := MustBuild(cfg)
+		for _, root := range []int{0, tp.Network().NumServers() / 2} {
+			forest, err := tp.BroadcastForest(tp.Network().Server(root))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(forest) != cfg.Digits() {
+				t.Errorf("%s root %d: forest size %d, want %d (one per level)",
+					tp.Network().Name(), root, len(forest), cfg.Digits())
+			}
+		}
+	}
+}
+
+func TestBroadcastForestTreesHaveUniqueParents(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 2, P: 4})
+	root := tp.Network().Server(0)
+	forest, err := tp.BroadcastForest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tree := range forest {
+		parent := map[int]int{}
+		for _, p := range tree {
+			for i := 1; i < len(p); i++ {
+				if prev, ok := parent[p[i]]; ok && prev != p[i-1] {
+					t.Fatalf("tree %d: node %d has parents %d and %d", ti, p[i], prev, p[i-1])
+				}
+				parent[p[i]] = p[i-1]
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+// randomConfig draws a small valid configuration from a seed.
+func randomConfig(rng *rand.Rand) Config {
+	for {
+		cfg := Config{
+			N: 2 + rng.Intn(4), // 2..5
+			K: rng.Intn(3),     // 0..2
+			P: 2 + rng.Intn(4), // 2..5
+		}
+		if cfg.Validate() == nil && cfg.Properties().Servers <= 700 {
+			return cfg
+		}
+	}
+}
+
+// TestPropertyRandomConfigsStructurallySound fuzzes the construction: for
+// random valid configs, the built instance must match its closed forms,
+// respect hardware limits, stay connected, and route validly between random
+// pairs under every strategy.
+func TestPropertyRandomConfigsStructurallySound(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		tp, err := Build(cfg)
+		if err != nil {
+			return false
+		}
+		net := tp.Network()
+		props := tp.Properties()
+		if net.NumServers() != props.Servers ||
+			net.NumSwitches() != props.Switches ||
+			net.NumLinks() != props.Links {
+			return false
+		}
+		if net.MaxDegree(topology.Server) > cfg.P || net.MaxDegree(topology.Switch) > cfg.N {
+			return false
+		}
+		if !net.Graph().Connected(nil) {
+			return false
+		}
+		servers := net.Servers()
+		for trial := 0; trial < 10; trial++ {
+			src := servers[rng.Intn(len(servers))]
+			dst := servers[rng.Intn(len(servers))]
+			for _, s := range allStrategies() {
+				p, err := tp.RouteWithStrategy(src, dst, s, seed)
+				if err != nil || p.Validate(net, src, dst) != nil {
+					return false
+				}
+				if p.SwitchHops(net) > props.Diameter+cfg.ServersPerCrossbar() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExpansionAlwaysZeroTouch fuzzes the expansion invariant.
+func TestPropertyExpansionAlwaysZeroTouch(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		next := Config{N: cfg.N, K: cfg.K + 1, P: cfg.P}
+		if next.Validate() != nil || next.Properties().Servers > 3000 {
+			return true // unexpandable or too big to fuzz; vacuously fine
+		}
+		old := MustBuild(cfg)
+		_, report, err := Expand(old)
+		if err != nil {
+			return false
+		}
+		return report.RewiredLinks == 0 && report.UpgradedServers == 0 &&
+			report.PreservedLinks == old.Network().NumLinks()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBroadcastCoversAndBounds fuzzes the broadcast invariants.
+func TestPropertyBroadcastCoversAndBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		root := net.Server(rng.Intn(net.NumServers()))
+		tree, err := tp.BroadcastTree(root)
+		if err != nil || len(tree) != net.NumServers() {
+			return false
+		}
+		bound := cfg.Digits() + cfg.ServersPerCrossbar() + 1
+		for dst, p := range tree {
+			if p.Validate(net, root, dst) != nil || p.SwitchHops(net) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

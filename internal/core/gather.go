@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// GatherTree returns, for every server, the path its contribution takes to
+// the gather root — the all-to-one collective that completes the GBC3
+// communication set (one-to-one, one-to-all, one-to-many). It is the
+// broadcast tree reversed: intermediate servers can aggregate (reduce) the
+// payloads of their subtrees before forwarding, so each cable carries one
+// aggregated message and the root receives in tree-depth hops instead of
+// fielding N unicasts.
+func (t *ABCCC) GatherTree(root int) (map[int]topology.Path, error) {
+	tree, err := t.BroadcastTree(root)
+	if err != nil {
+		return nil, fmt.Errorf("abccc: gather: %w", err)
+	}
+	out := make(map[int]topology.Path, len(tree))
+	for src, down := range tree {
+		up := make(topology.Path, len(down))
+		for i, node := range down {
+			up[len(down)-1-i] = node
+		}
+		out[src] = up
+	}
+	return out, nil
+}
+
+// GatherDepth returns the number of switch hops until the slowest
+// contribution reaches the root (equal to the broadcast depth by symmetry).
+func (t *ABCCC) GatherDepth(root int) (int, error) {
+	return t.BroadcastDepth(root)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/topology"
+)
+
+// ParallelPaths returns a set of internally vertex-disjoint paths between two
+// servers, built from the structure's parallel-path construction:
+//
+//   - one candidate per differing level l, correcting l first so the path
+//     leaves the source through the level-l switch;
+//   - one candidate per agreeing level owned by the source server, taking a
+//     detour through that level (mis-correcting it, then restoring it last),
+//     which exits through an otherwise unused source port;
+//   - the realign-first candidate that exits through the local switch;
+//   - for same-crossbar pairs, two-level detour loops through a neighbor
+//     crossbar.
+//
+// Candidates are filtered greedily so the returned paths share no nodes other
+// than the endpoints. The result always contains at least the default route.
+func (t *ABCCC) ParallelPaths(src, dst int) []topology.Path {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil || src == dst {
+		return nil
+	}
+	a, b := t.addrOf[src], t.addrOf[dst]
+	candidates := t.parallelCandidates(a, b)
+	return selectDisjoint(candidates, src, dst)
+}
+
+// parallelCandidates generates the candidate paths described on
+// ParallelPaths, most-preferred first.
+func (t *ABCCC) parallelCandidates(a, b Addr) []topology.Path {
+	diff := t.DiffLevels(a, b)
+	diffSet := make(map[int]bool, len(diff))
+	for _, l := range diff {
+		diffSet[l] = true
+	}
+	var out []topology.Path
+
+	srcNode := t.servers[a.Vec*t.r+a.J]
+	dstNode := t.servers[b.Vec*t.r+b.J]
+	// Detour candidates can fold back onto a switch they already crossed
+	// (e.g. a zero-length detour); Validate rejects those non-simple walks.
+	add := func(p topology.Path, err error) {
+		if err == nil && p.Validate(t.net, srcNode, dstNode) == nil {
+			out = append(out, p)
+		}
+	}
+
+	// Default grouped route first so the result is never empty.
+	add(t.routeOrdered(a, b, t.orderGrouped(diff, a.J, b.J)))
+
+	// One candidate per differing level, corrected first. Prefer levels
+	// owned by the source (they leave without touching the local switch).
+	firstLevels := append([]int(nil), diff...)
+	for _, l := range orderBySourceOwnership(firstLevels, t.cfg, a.J) {
+		rest := without(diff, l)
+		order := append([]int{l}, t.orderGrouped(rest, t.cfg.Owner(l), b.J)...)
+		add(t.routeOrdered(a, b, order))
+	}
+
+	// Detours through agreeing levels: set the level to a scratch value,
+	// correct everything else, restore it last. Levels owned by the source
+	// server come first — those candidates leave through an otherwise
+	// unused source port, while foreign-owned levels consume the local
+	// switch (the greedy filter keeps at most one of the latter).
+	var agreeing []int
+	for l := 0; l < t.cfg.Digits(); l++ {
+		if !diffSet[l] {
+			agreeing = append(agreeing, l)
+		}
+	}
+	for _, l := range orderBySourceOwnership(agreeing, t.cfg, a.J) {
+		cur := t.digit(a.Vec, l)
+		for v := 0; v < t.cfg.N; v++ {
+			if v == cur {
+				continue
+			}
+			steps := []assign{{level: l, value: v}}
+			for _, dl := range t.orderGrouped(diff, t.cfg.Owner(l), t.cfg.Owner(l)) {
+				steps = append(steps, assign{level: dl, value: t.digit(b.Vec, dl)})
+			}
+			steps = append(steps, assign{level: l, value: cur})
+			add(t.routeAssign(a, b, steps))
+		}
+	}
+
+	// Same-crossbar pairs: loop through a neighbor crossbar using one level
+	// owned by the source and one owned by the destination.
+	if a.Vec == b.Vec {
+		for l1 := 0; l1 < t.cfg.Digits(); l1++ {
+			if t.cfg.Owner(l1) != a.J {
+				continue
+			}
+			for l2 := 0; l2 < t.cfg.Digits(); l2++ {
+				if l2 == l1 || t.cfg.Owner(l2) != b.J {
+					continue
+				}
+				d1, d2 := t.digit(a.Vec, l1), t.digit(a.Vec, l2)
+				for v1 := 0; v1 < t.cfg.N; v1++ {
+					if v1 == d1 {
+						continue
+					}
+					for v2 := 0; v2 < t.cfg.N; v2++ {
+						if v2 == d2 {
+							continue
+						}
+						add(t.routeAssign(a, b, []assign{
+							{level: l1, value: v1},
+							{level: l2, value: v2},
+							{level: l1, value: d1},
+							{level: l2, value: d2},
+						}))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// selectDisjoint keeps a maximal prefix-greedy subset of candidates whose
+// internal nodes (everything but the shared endpoints) are pairwise disjoint.
+func selectDisjoint(candidates []topology.Path, src, dst int) []topology.Path {
+	used := map[int]bool{}
+	var kept []topology.Path
+	for _, p := range candidates {
+		ok := true
+		for _, node := range p {
+			if node != src && node != dst && used[node] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, node := range p {
+			if node != src && node != dst {
+				used[node] = true
+			}
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// orderBySourceOwnership returns the levels with those owned by server j
+// first, preserving ascending order within each class.
+func orderBySourceOwnership(levels []int, cfg Config, j int) []int {
+	out := make([]int, 0, len(levels))
+	for _, l := range levels {
+		if cfg.Owner(l) == j {
+			out = append(out, l)
+		}
+	}
+	for _, l := range levels {
+		if cfg.Owner(l) != j {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// without returns levels with l removed.
+func without(levels []int, l int) []int {
+	out := make([]int, 0, len(levels)-1)
+	for _, x := range levels {
+		if x != l {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// NextHop makes the hop-by-hop forwarding decision for a packet currently at
+// node cur (a server or a switch) heading for server dst, using only state a
+// real device would hold: its own identity and the destination address. The
+// deterministic policy corrects the lowest differing address level first:
+//
+//   - a server that does not own the next level hands the packet to its
+//     local switch; one that does sends it across the level switch;
+//   - a local switch hands the packet to the member server owning the next
+//     level (or to the destination server itself once the vector matches);
+//   - a level switch delivers to the port matching the destination's digit.
+//
+// Iterating NextHop from any source reaches the destination in at most
+// 2(k+1)+1 switch hops (the identity-order routed path), which makes the
+// structure forwardable with O(1) per-device state — the property the
+// distributed emulation layer (package emu) runs on.
+func (t *ABCCC) NextHop(cur, dst int) (int, error) {
+	if !t.net.IsServer(dst) {
+		return 0, fmt.Errorf("abccc: next hop destination %d is not a server", dst)
+	}
+	if cur == dst {
+		return dst, nil
+	}
+	d := t.addrOf[dst]
+	if t.net.IsServer(cur) {
+		return t.nextHopFromServer(t.addrOf[cur], d)
+	}
+	return t.nextHopFromSwitch(cur, d)
+}
+
+func (t *ABCCC) nextHopFromServer(c, d Addr) (int, error) {
+	l, ok := t.lowestDiffLevel(c.Vec, d.Vec)
+	if !ok {
+		// Same crossbar, different server: via the local switch.
+		return t.localSw[c.Vec], nil
+	}
+	if t.cfg.Owner(l) == c.J {
+		return t.levelSw[l][t.contract(c.Vec, l)], nil
+	}
+	return t.localSw[c.Vec], nil
+}
+
+func (t *ABCCC) nextHopFromSwitch(sw int, d Addr) (int, error) {
+	// Identify the switch by probing its neighbors: all neighbors of a
+	// local switch share one crossbar; a level-l switch's neighbors differ
+	// in digit l. Devices would know their own role; we recover it from the
+	// construction tables via the first neighbor.
+	nbrs := t.net.Graph().Neighbors(sw, nil)
+	if len(nbrs) == 0 {
+		return 0, fmt.Errorf("abccc: switch %d has no ports", sw)
+	}
+	first := t.addrOf[nbrs[0]]
+	if t.localSw[first.Vec] == sw {
+		// Local switch of crossbar first.Vec.
+		if first.Vec == d.Vec {
+			return t.servers[d.Vec*t.r+d.J], nil
+		}
+		l, _ := t.lowestDiffLevel(first.Vec, d.Vec)
+		return t.servers[first.Vec*t.r+t.cfg.Owner(l)], nil
+	}
+	// Level switch: find its level by comparing two neighbors.
+	second := t.addrOf[nbrs[1]]
+	l, ok := t.lowestDiffLevel(first.Vec, second.Vec)
+	if !ok {
+		return 0, fmt.Errorf("abccc: cannot classify switch %d", sw)
+	}
+	target := t.setDigit(first.Vec, l, t.digit(d.Vec, l))
+	return t.servers[target*t.r+t.cfg.Owner(l)], nil
+}
+
+// lowestDiffLevel returns the lowest level at which the two vectors differ.
+func (t *ABCCC) lowestDiffLevel(a, b int) (int, bool) {
+	for l := 0; l < t.cfg.Digits(); l++ {
+		if t.digit(a, l) != t.digit(b, l) {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// ForwardingWalk iterates NextHop from src until dst is reached, returning
+// the full node path. It errors if the walk exceeds the hop budget —
+// which would indicate a broken forwarding policy, not a user mistake.
+func (t *ABCCC) ForwardingWalk(src, dst int) (topology.Path, error) {
+	if err := checkServerPair(t, src, dst); err != nil {
+		return nil, err
+	}
+	budget := 2 * (2*t.cfg.Digits() + 3) // edges: twice the hop bound
+	path := topology.Path{src}
+	cur := src
+	for steps := 0; cur != dst; steps++ {
+		if steps > budget {
+			return nil, fmt.Errorf("abccc: forwarding walk exceeded %d steps", budget)
+		}
+		next, err := t.NextHop(cur, dst)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, nil
+}
+
+func checkServerPair(t *ABCCC, src, dst int) error {
+	if !t.net.IsServer(src) {
+		return fmt.Errorf("abccc: source %d is not a server", src)
+	}
+	if !t.net.IsServer(dst) {
+		return fmt.Errorf("abccc: destination %d is not a server", dst)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestForwardingWalkAllPairs(t *testing.T) {
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		budget := 2 * (2*cfg.Digits() + 3)
+		servers := net.Servers()
+		if len(servers) > 32 {
+			servers = servers[:32]
+		}
+		for _, src := range servers {
+			for _, dst := range servers {
+				p, err := tp.ForwardingWalk(src, dst)
+				if err != nil {
+					t.Fatalf("%s: walk %s->%s: %v", net.Name(),
+						net.Label(src), net.Label(dst), err)
+				}
+				if err := p.Validate(net, src, dst); err != nil {
+					t.Fatalf("%s: %v", net.Name(), err)
+				}
+				if p.Len() > budget {
+					t.Fatalf("%s: walk used %d edges, budget %d", net.Name(), p.Len(), budget)
+				}
+			}
+		}
+	}
+}
+
+func TestForwardingWalkMatchesIdentityRouteLength(t *testing.T) {
+	// The hop-by-hop policy corrects the lowest differing level first, so
+	// its walks should never be longer than the identity-strategy source
+	// route plus the initial realignment the source route avoids.
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	net := tp.Network()
+	for _, src := range net.Servers()[:15] {
+		for _, dst := range net.Servers()[:15] {
+			walk, err := tp.ForwardingWalk(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			route, err := tp.RouteWithStrategy(src, dst, StrategyIdentity, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if walk.SwitchHops(net) > route.SwitchHops(net)+1 {
+				t.Errorf("walk %d hops, identity route %d (%s->%s)",
+					walk.SwitchHops(net), route.SwitchHops(net),
+					net.Label(src), net.Label(dst))
+			}
+		}
+	}
+}
+
+func TestNextHopFromSwitchDelivers(t *testing.T) {
+	tp := MustBuild(Config{N: 4, K: 1, P: 2})
+	net := tp.Network()
+	// From the destination's own local switch, the next hop must be the
+	// destination itself.
+	dst := net.Server(5)
+	a, err := tp.AddrOf(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := tp.NextHop(tp.localSw[a.Vec], dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != dst {
+		t.Errorf("NextHop(local switch, dst) = %s, want dst %s",
+			net.Label(next), net.Label(dst))
+	}
+}
+
+func TestNextHopSelf(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	s := tp.Network().Server(0)
+	next, err := tp.NextHop(s, s)
+	if err != nil || next != s {
+		t.Errorf("NextHop(self) = %d, %v", next, err)
+	}
+}
+
+func TestNextHopErrors(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 1, P: 2})
+	sw := tp.Network().Switches()[0]
+	srv := tp.Network().Server(0)
+	if _, err := tp.NextHop(srv, sw); err == nil {
+		t.Error("NextHop to a switch succeeded")
+	}
+	if _, err := tp.ForwardingWalk(sw, srv); err == nil {
+		t.Error("ForwardingWalk from a switch succeeded")
+	}
+	if _, err := tp.ForwardingWalk(srv, sw); err == nil {
+		t.Error("ForwardingWalk to a switch succeeded")
+	}
+}
+
+func TestNextHopDeterministic(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	src, dst := net.Server(0), net.Server(14)
+	a, err := tp.NextHop(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tp.NextHop(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("NextHop not deterministic")
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Partial is an incrementally deployed ABCCC: the first M crossbars of the
+// full ABCCC(n,k,p) address space (vectors 0..M-1), with a level switch
+// installed only once at least two of its member crossbars exist. This is
+// the finest grain of the paper's expandability story: a data center grows
+// crossbar by crossbar, staying connected and routable at every step, and
+// reaching the full structure with zero rewiring.
+//
+// Routing uses the adaptive digit-correction walk with absent components
+// treated as failed, so packets detour around address-space holes.
+type Partial struct {
+	full *ABCCC
+	view *graph.View // absent components failed, over the full graph
+	net  *topology.Network
+
+	crossbars int
+	toPartial []int // full node id -> partial node id (-1 if absent)
+	toFull    []int // partial node id -> full node id
+}
+
+// BuildPartial constructs the first `crossbars` crossbars of ABCCC(cfg).
+func BuildPartial(cfg Config, crossbars int) (*Partial, error) {
+	full, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if crossbars < 1 || crossbars > full.vecs {
+		return nil, fmt.Errorf("abccc: partial deployment of %d crossbars out of [1, %d]",
+			crossbars, full.vecs)
+	}
+	p := &Partial{
+		full:      full,
+		view:      graph.NewView(full.net.Graph()),
+		crossbars: crossbars,
+		toPartial: make([]int, full.net.Graph().NumNodes()),
+	}
+	for i := range p.toPartial {
+		p.toPartial[i] = -1
+	}
+	p.net = topology.NewNetwork(fmt.Sprintf("ABCCC(%d,%d,%d)/%d", cfg.N, cfg.K, cfg.P, crossbars))
+
+	present := func(vec int) bool { return vec < crossbars }
+
+	// Crossbars: local switch + servers.
+	for vec := 0; vec < full.vecs; vec++ {
+		if !present(vec) {
+			p.view.FailNode(full.localSw[vec])
+			for j := 0; j < full.r; j++ {
+				p.view.FailNode(full.servers[vec*full.r+j])
+			}
+			continue
+		}
+		p.adopt(full.localSw[vec], p.net.AddSwitch(full.net.Label(full.localSw[vec])))
+		for j := 0; j < full.r; j++ {
+			id := full.servers[vec*full.r+j]
+			p.adopt(id, p.net.AddServer(full.net.Label(id)))
+		}
+	}
+	// Level switches: installed once >= 2 member crossbars exist.
+	for l := range full.levelSw {
+		for cvec, sw := range full.levelSw[l] {
+			members := 0
+			for d := 0; d < cfg.N; d++ {
+				if present(full.expand(cvec, l, d)) {
+					members++
+				}
+			}
+			if members < 2 {
+				p.view.FailNode(sw)
+				continue
+			}
+			p.adopt(sw, p.net.AddSwitch(full.net.Label(sw)))
+		}
+	}
+	// Cables among present nodes.
+	g := full.net.Graph()
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(e)
+		pu, pv := p.toPartial[edge.U], p.toPartial[edge.V]
+		if pu == -1 || pv == -1 {
+			continue
+		}
+		if err := p.net.Connect(pu, pv); err != nil {
+			return nil, fmt.Errorf("abccc: partial wiring: %w", err)
+		}
+	}
+	return p, nil
+}
+
+func (p *Partial) adopt(fullID, partialID int) {
+	p.toPartial[fullID] = partialID
+	p.toFull = append(p.toFull, fullID)
+	if partialID != len(p.toFull)-1 {
+		panic("abccc: partial node numbering out of sync")
+	}
+}
+
+// Network returns the physically deployed network.
+func (p *Partial) Network() *topology.Network { return p.net }
+
+// Config returns the target full configuration.
+func (p *Partial) Config() Config { return p.full.cfg }
+
+// Crossbars returns the number of deployed crossbars.
+func (p *Partial) Crossbars() int { return p.crossbars }
+
+// Properties reports the deployed component counts. Analytic diameter and
+// bisection columns are zero: a partial deployment has no closed form and is
+// measured instead (see the incremental-deployment experiment).
+func (p *Partial) Properties() topology.Properties {
+	return topology.Properties{
+		Name:        p.net.Name(),
+		Servers:     p.net.NumServers(),
+		Switches:    p.net.NumSwitches(),
+		Links:       p.net.NumLinks(),
+		ServerPorts: p.full.cfg.P,
+		SwitchPorts: p.full.cfg.N,
+	}
+}
+
+// Route finds a path between two deployed servers, detouring around the
+// not-yet-deployed part of the address space.
+func (p *Partial) Route(src, dst int) (topology.Path, error) {
+	if err := topology.CheckEndpoints(p.net, src, dst); err != nil {
+		return nil, err
+	}
+	fullPath, err := p.full.RouteAvoidingMultipath(p.toFull[src], p.toFull[dst], p.view)
+	if err != nil {
+		return nil, fmt.Errorf("abccc: partial route: %w", err)
+	}
+	path := make(topology.Path, len(fullPath))
+	for i, node := range fullPath {
+		path[i] = p.toPartial[node]
+	}
+	return path, nil
+}
+
+var _ topology.Topology = (*Partial)(nil)
+
+// Grow deploys one more crossbar and reports the expansion: new components
+// only, nothing rewired, nothing upgraded — at the granularity of a single
+// crossbar purchase.
+func Grow(old *Partial) (*Partial, topology.ExpansionReport, error) {
+	if old.crossbars >= old.full.vecs {
+		return nil, topology.ExpansionReport{}, fmt.Errorf("abccc: deployment already complete (%d crossbars)", old.crossbars)
+	}
+	bigger, err := BuildPartial(old.full.cfg, old.crossbars+1)
+	if err != nil {
+		return nil, topology.ExpansionReport{}, err
+	}
+	report := topology.ExpansionReport{
+		Before:        old.net.Name(),
+		After:         bigger.net.Name(),
+		ServersBefore: old.net.NumServers(),
+		ServersAfter:  bigger.net.NumServers(),
+		NewServers:    bigger.net.NumServers() - old.net.NumServers(),
+		NewSwitches:   bigger.net.NumSwitches() - old.net.NumSwitches(),
+		NewLinks:      bigger.net.NumLinks() - old.net.NumLinks(),
+	}
+	// Every old cable must exist in the bigger deployment: map via the full
+	// address space.
+	oldG := old.net.Graph()
+	for e := 0; e < oldG.NumEdges(); e++ {
+		edge := oldG.Edge(e)
+		u := bigger.toPartial[old.toFull[edge.U]]
+		v := bigger.toPartial[old.toFull[edge.V]]
+		if u != -1 && v != -1 && bigger.net.Graph().EdgeBetween(u, v) != -1 {
+			report.PreservedLinks++
+		} else {
+			report.RewiredLinks++
+		}
+	}
+	for _, fullID := range old.toFull {
+		if !old.net.IsServer(old.toPartial[fullID]) {
+			continue
+		}
+		if bigger.net.Graph().Degree(bigger.toPartial[fullID]) > old.full.cfg.P {
+			report.UpgradedServers++
+		}
+	}
+	return bigger, report, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildPartialRange(t *testing.T) {
+	cfg := Config{N: 3, K: 1, P: 2}
+	if _, err := BuildPartial(cfg, 0); err == nil {
+		t.Error("0 crossbars accepted")
+	}
+	if _, err := BuildPartial(cfg, 10); err == nil {
+		t.Error("too many crossbars accepted")
+	}
+	if _, err := BuildPartial(Config{N: 0}, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPartialConnectedAndRoutableAtEverySize(t *testing.T) {
+	for _, cfg := range []Config{{N: 3, K: 1, P: 2}, {N: 2, K: 1, P: 3}, {N: 4, K: 1, P: 3}} {
+		full := MustBuild(cfg)
+		for m := 1; m <= full.vecs; m++ {
+			p, err := BuildPartial(cfg, m)
+			if err != nil {
+				t.Fatalf("%s m=%d: %v", full.Network().Name(), m, err)
+			}
+			net := p.Network()
+			if !net.Graph().Connected(nil) {
+				t.Fatalf("%s: disconnected at %d crossbars", net.Name(), m)
+			}
+			servers := net.Servers()
+			for _, src := range servers {
+				for _, dst := range servers {
+					path, err := p.Route(src, dst)
+					if err != nil {
+						t.Fatalf("%s: route %s->%s: %v", net.Name(),
+							net.Label(src), net.Label(dst), err)
+					}
+					if err := path.Validate(net, src, dst); err != nil {
+						t.Fatalf("%s: %v", net.Name(), err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartialFullEqualsComplete(t *testing.T) {
+	cfg := Config{N: 3, K: 1, P: 2}
+	full := MustBuild(cfg)
+	p, err := BuildPartial(cfg, full.vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Network().NumServers() != full.Network().NumServers() ||
+		p.Network().NumSwitches() != full.Network().NumSwitches() ||
+		p.Network().NumLinks() != full.Network().NumLinks() {
+		t.Errorf("complete partial %d/%d/%d != full %d/%d/%d",
+			p.Network().NumServers(), p.Network().NumSwitches(), p.Network().NumLinks(),
+			full.Network().NumServers(), full.Network().NumSwitches(), full.Network().NumLinks())
+	}
+}
+
+func TestPartialLevelSwitchesNeedTwoMembers(t *testing.T) {
+	// With a single crossbar deployed, no level switch can be useful.
+	p, err := BuildPartial(Config{N: 3, K: 1, P: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Network().NumSwitches(); got != 1 {
+		t.Errorf("1-crossbar deployment has %d switches, want 1 (the local switch)", got)
+	}
+	if p.Crossbars() != 1 {
+		t.Errorf("Crossbars = %d", p.Crossbars())
+	}
+}
+
+func TestGrowNeverRewires(t *testing.T) {
+	cfg := Config{N: 3, K: 1, P: 2}
+	p, err := BuildPartial(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p.Crossbars() < 9 {
+		bigger, report, err := Grow(p)
+		if err != nil {
+			t.Fatalf("grow from %d: %v", p.Crossbars(), err)
+		}
+		if report.RewiredLinks != 0 {
+			t.Errorf("grow %d->%d rewired %d cables", p.Crossbars(), bigger.Crossbars(),
+				report.RewiredLinks)
+		}
+		if report.UpgradedServers != 0 {
+			t.Errorf("grow %d->%d upgraded %d servers", p.Crossbars(), bigger.Crossbars(),
+				report.UpgradedServers)
+		}
+		if report.NewServers != cfg.ServersPerCrossbar() {
+			t.Errorf("grow added %d servers, want %d", report.NewServers, cfg.ServersPerCrossbar())
+		}
+		p = bigger
+	}
+	if _, _, err := Grow(p); err == nil {
+		t.Error("growing a complete deployment succeeded")
+	}
+}
+
+func TestPartialProperties(t *testing.T) {
+	p, err := BuildPartial(Config{N: 3, K: 1, P: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := p.Properties()
+	if props.Servers != 8 { // 4 crossbars x r=2
+		t.Errorf("Servers = %d, want 8", props.Servers)
+	}
+	if props.ServerPorts != 2 || props.SwitchPorts != 3 {
+		t.Errorf("ports %d/%d", props.ServerPorts, props.SwitchPorts)
+	}
+	if props.Name != "ABCCC(3,1,2)/4" {
+		t.Errorf("Name = %q", props.Name)
+	}
+}
+
+func TestPartialRouteErrors(t *testing.T) {
+	p, err := BuildPartial(Config{N: 3, K: 1, P: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := p.Network().Switches()[0]
+	srv := p.Network().Server(0)
+	if _, err := p.Route(sw, srv); err == nil {
+		t.Error("Route(switch, server) succeeded")
+	}
+}
+
+func TestPropertyPartialAlwaysRoutable(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{N: 2 + rng.Intn(3), K: rng.Intn(2), P: 2 + rng.Intn(2)}
+		if cfg.Validate() != nil {
+			return true
+		}
+		m := 1 + rng.Intn(cfg.NumVectors())
+		p, err := BuildPartial(cfg, m)
+		if err != nil {
+			return false
+		}
+		net := p.Network()
+		if !net.Graph().Connected(nil) {
+			return false
+		}
+		servers := net.Servers()
+		for trial := 0; trial < 8; trial++ {
+			src := servers[rng.Intn(len(servers))]
+			dst := servers[rng.Intn(len(servers))]
+			path, err := p.Route(src, dst)
+			if err != nil || path.Validate(net, src, dst) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

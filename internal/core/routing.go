@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Strategy selects how the one-to-one routing algorithm orders the address
+// levels it corrects. The companion ICC'15 paper ("Permutation Generation for
+// Routing in BCube Connected Crossbars") shows the permutation choice trades
+// path length against load balance.
+type Strategy int
+
+// Routing strategies.
+const (
+	// StrategyGrouped corrects levels grouped by their owning server,
+	// starting with the source server's own group and finishing with the
+	// destination server's. It minimizes intra-crossbar realignments and
+	// achieves the diameter bound.
+	StrategyGrouped Strategy = iota + 1
+	// StrategyIdentity corrects levels in ascending order.
+	StrategyIdentity
+	// StrategyReversed corrects levels in descending order.
+	StrategyReversed
+	// StrategyRandom shuffles the correction order (seeded); randomizing the
+	// permutation per flow spreads load across level switches.
+	StrategyRandom
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyGrouped:
+		return "grouped"
+	case StrategyIdentity:
+		return "identity"
+	case StrategyReversed:
+		return "reversed"
+	case StrategyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// assign is one routing step: set address level `level` to digit `value`.
+type assign struct {
+	level int
+	value int
+}
+
+// Route returns the ABCCC one-to-one route from server src to server dst
+// using the default grouped strategy.
+func (t *ABCCC) Route(src, dst int) (topology.Path, error) {
+	return t.RouteWithStrategy(src, dst, StrategyGrouped, 0)
+}
+
+// RouteWithStrategy routes with an explicit permutation strategy. The seed is
+// used only by StrategyRandom; routes are deterministic given (src, dst,
+// strategy, seed).
+func (t *ABCCC) RouteWithStrategy(src, dst int, s Strategy, seed int64) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	a, b := t.addrOf[src], t.addrOf[dst]
+	diff := t.DiffLevels(a, b)
+	var order []int
+	switch s {
+	case StrategyGrouped:
+		order = t.orderGrouped(diff, a.J, b.J)
+	case StrategyIdentity:
+		order = diff
+	case StrategyReversed:
+		order = reversed(diff)
+	case StrategyRandom:
+		order = append([]int(nil), diff...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	default:
+		return nil, fmt.Errorf("abccc: unknown routing strategy %d", int(s))
+	}
+	return t.routeOrdered(a, b, order)
+}
+
+// RouteWithOrder routes correcting the differing levels in exactly the given
+// order, which must be a permutation of DiffLevels(src, dst).
+func (t *ABCCC) RouteWithOrder(src, dst int, order []int) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	a, b := t.addrOf[src], t.addrOf[dst]
+	diff := t.DiffLevels(a, b)
+	if len(order) != len(diff) {
+		return nil, fmt.Errorf("abccc: order has %d levels, want %d", len(order), len(diff))
+	}
+	want := make(map[int]bool, len(diff))
+	for _, l := range diff {
+		want[l] = true
+	}
+	for _, l := range order {
+		if !want[l] {
+			return nil, fmt.Errorf("abccc: order level %d is not a differing level (or repeated)", l)
+		}
+		delete(want, l)
+	}
+	return t.routeOrdered(a, b, order)
+}
+
+// routeOrdered converts a level order into assignment steps and walks them.
+func (t *ABCCC) routeOrdered(a, b Addr, order []int) (topology.Path, error) {
+	steps := make([]assign, len(order))
+	for i, l := range order {
+		steps[i] = assign{level: l, value: t.digit(b.Vec, l)}
+	}
+	return t.routeAssign(a, b, steps)
+}
+
+// routeAssign executes a sequence of digit assignments from a to b's crossbar
+// and finally realigns to b's server. The assignment sequence must leave the
+// vector equal to b.Vec.
+func (t *ABCCC) routeAssign(a, b Addr, steps []assign) (topology.Path, error) {
+	cur := a
+	srcNode := t.servers[a.Vec*t.r+a.J]
+	path := topology.Path{srcNode}
+	for _, st := range steps {
+		if t.digit(cur.Vec, st.level) == st.value {
+			return nil, fmt.Errorf("abccc: step sets level %d to its current digit %d", st.level, st.value)
+		}
+		owner := t.cfg.Owner(st.level)
+		if cur.J != owner {
+			path = append(path, t.localSw[cur.Vec], t.servers[cur.Vec*t.r+owner])
+			cur.J = owner
+		}
+		path = append(path, t.levelSw[st.level][t.contract(cur.Vec, st.level)])
+		cur.Vec = t.setDigit(cur.Vec, st.level, st.value)
+		path = append(path, t.servers[cur.Vec*t.r+cur.J])
+	}
+	if cur.Vec != b.Vec {
+		return nil, fmt.Errorf("abccc: steps end at %s, want crossbar of %s",
+			t.FormatAddr(cur), t.FormatAddr(b))
+	}
+	if cur.J != b.J {
+		path = append(path, t.localSw[cur.Vec], t.servers[cur.Vec*t.r+b.J])
+	}
+	return path, nil
+}
+
+// orderGrouped sorts the differing levels so that levels owned by the same
+// server are contiguous, the source server's group comes first and the
+// destination server's group comes last (minimizing realignment hops).
+func (t *ABCCC) orderGrouped(diff []int, srcJ, dstJ int) []int {
+	order := append([]int(nil), diff...)
+	rank := func(l int) int {
+		owner := t.cfg.Owner(l)
+		switch {
+		case owner == srcJ:
+			return -1 // first
+		case owner == dstJ:
+			return t.r + 1 // last
+		default:
+			return owner
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, rj := rank(order[i]), rank(order[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+func reversed(s []int) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func allStrategies() []Strategy {
+	return []Strategy{StrategyGrouped, StrategyIdentity, StrategyReversed, StrategyRandom}
+}
+
+func TestRouteAllPairsAllStrategiesValid(t *testing.T) {
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		servers := net.Servers()
+		if len(servers) > 40 {
+			servers = servers[:40]
+		}
+		maxHops := tp.Properties().Diameter
+		for _, s := range allStrategies() {
+			for _, src := range servers {
+				for _, dst := range servers {
+					p, err := tp.RouteWithStrategy(src, dst, s, 42)
+					if err != nil {
+						t.Fatalf("%s %v Route(%s,%s): %v", net.Name(), s,
+							net.Label(src), net.Label(dst), err)
+					}
+					if err := p.Validate(net, src, dst); err != nil {
+						t.Fatalf("%s %v: %v", net.Name(), s, err)
+					}
+					if h := p.SwitchHops(net); h > maxHops+tp.r {
+						// Non-grouped strategies may exceed the grouped
+						// diameter, but never by more than the extra
+						// realignments (at most one per correction group).
+						t.Fatalf("%s %v Route(%s,%s) = %d hops, limit %d",
+							net.Name(), s, net.Label(src), net.Label(dst), h, maxHops+tp.r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteGroupedWithinDiameter(t *testing.T) {
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		d := tp.Properties().Diameter
+		for _, src := range net.Servers() {
+			for _, dst := range net.Servers() {
+				p, err := tp.Route(src, dst)
+				if err != nil {
+					t.Fatalf("%s Route: %v", net.Name(), err)
+				}
+				if h := p.SwitchHops(net); h > d {
+					a, _ := tp.AddrOf(src)
+					b, _ := tp.AddrOf(dst)
+					t.Fatalf("%s Route(%s,%s) = %d hops > analytic diameter %d",
+						net.Name(), tp.FormatAddr(a), tp.FormatAddr(b), h, d)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyticDiameterIsTight verifies the closed-form diameter against the
+// built graph: the worst-case shortest-path distance between servers
+// (switch hops = edge distance / 2, since the graph is server-switch
+// bipartite) must equal the formula, and the grouped routing algorithm must
+// achieve it.
+func TestAnalyticDiameterIsTight(t *testing.T) {
+	for _, cfg := range smallConfigs() {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		servers := net.Servers()
+		worst := 0
+		for _, src := range servers {
+			ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+			if !ok {
+				t.Fatalf("%s: disconnected", net.Name())
+			}
+			if ecc > worst {
+				worst = ecc
+			}
+		}
+		want := tp.Properties().Diameter
+		if worst%2 != 0 {
+			t.Fatalf("%s: odd server-to-server edge distance %d", net.Name(), worst)
+		}
+		if worst/2 != want {
+			t.Errorf("%s: graph diameter %d hops, analytic %d", net.Name(), worst/2, want)
+		}
+	}
+}
+
+// TestGroupedRouteIsShortestPath checks that the grouped permutation yields
+// shortest paths for every pair on small instances.
+func TestGroupedRouteIsShortestPath(t *testing.T) {
+	for _, cfg := range []Config{{N: 2, K: 1, P: 2}, {N: 3, K: 1, P: 2}, {N: 3, K: 2, P: 3}, {N: 2, K: 1, P: 3}} {
+		tp := MustBuild(cfg)
+		net := tp.Network()
+		for _, src := range net.Servers() {
+			bfs := net.Graph().BFS(src, nil)
+			for _, dst := range net.Servers() {
+				p, err := tp.Route(src, dst)
+				if err != nil {
+					t.Fatalf("Route: %v", err)
+				}
+				if got, want := p.Len(), int(bfs.Dist[dst]); got != want {
+					a, _ := tp.AddrOf(src)
+					b, _ := tp.AddrOf(dst)
+					t.Errorf("%s Route(%s,%s) length %d edges, shortest %d",
+						net.Name(), tp.FormatAddr(a), tp.FormatAddr(b), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	s := tp.Network().Server(5)
+	p, err := tp.Route(s, s)
+	if err != nil {
+		t.Fatalf("Route(self): %v", err)
+	}
+	if len(p) != 1 || p[0] != s {
+		t.Errorf("Route(self) = %v", p)
+	}
+}
+
+func TestRouteSameCrossbar(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	src, err := tp.NodeOf(Addr{Vec: 4, J: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := tp.NodeOf(Addr{Vec: 4, J: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if h := p.SwitchHops(tp.Network()); h != 1 {
+		t.Errorf("same-crossbar route = %d hops, want 1 (local switch)", h)
+	}
+}
+
+func TestRouteRejectsSwitchEndpoint(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	sw := tp.Network().Switches()[0]
+	srv := tp.Network().Server(0)
+	if _, err := tp.Route(sw, srv); err == nil {
+		t.Error("Route(switch, server) succeeded")
+	}
+	if _, err := tp.Route(srv, sw); err == nil {
+		t.Error("Route(server, switch) succeeded")
+	}
+}
+
+func TestRouteWithStrategyUnknown(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	s := tp.Network().Servers()
+	if _, err := tp.RouteWithStrategy(s[0], s[1], Strategy(99), 0); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRouteWithOrderValidation(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	src, _ := tp.NodeOf(Addr{Vec: 0, J: 0})
+	dst, _ := tp.NodeOf(Addr{Vec: 26, J: 0}) // [2,2,2]: all three digits differ
+	tests := []struct {
+		name    string
+		order   []int
+		wantErr string
+	}{
+		{name: "ok", order: []int{2, 0, 1}},
+		{name: "short", order: []int{0, 1}, wantErr: "order has"},
+		{name: "repeat", order: []int{0, 0, 1}, wantErr: "not a differing level"},
+		{name: "wrong level", order: []int{0, 1, 5}, wantErr: "not a differing level"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := tp.RouteWithOrder(src, dst, tt.order)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("RouteWithOrder: %v", err)
+				}
+				if err := p.Validate(tp.Network(), src, dst); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRouteOrderDeterminesLevelSwitchSequence(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	src, _ := tp.NodeOf(Addr{Vec: 0, J: 0})
+	dst, _ := tp.NodeOf(Addr{Vec: 26, J: 0})
+	p1, err := tp.RouteWithOrder(src, dst, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := tp.RouteWithOrder(src, dst, []int{2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levelSeq(tp, p1) == levelSeq(tp, p2) {
+		t.Error("different orders produced the same level-switch sequence")
+	}
+}
+
+// levelSeq extracts the sequence of level indices of level switches on p.
+func levelSeq(tp *ABCCC, p []int) string {
+	var b strings.Builder
+	for _, node := range p {
+		if tp.net.IsServer(node) {
+			continue
+		}
+		label := tp.net.Label(node)
+		if strings.HasPrefix(label, "W") {
+			b.WriteString(label[:2])
+		}
+	}
+	return b.String()
+}
+
+func TestRandomStrategyDeterministicPerSeed(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 2, P: 2})
+	src, _ := tp.NodeOf(Addr{Vec: 0, J: 0})
+	dst, _ := tp.NodeOf(Addr{Vec: 26, J: 1})
+	p1, err := tp.RouteWithStrategy(src, dst, StrategyRandom, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := tp.RouteWithStrategy(src, dst, StrategyRandom, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatal("same seed, different routes")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed, different routes")
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	tests := []struct {
+		s    Strategy
+		want string
+	}{
+		{StrategyGrouped, "grouped"},
+		{StrategyIdentity, "identity"},
+		{StrategyReversed, "reversed"},
+		{StrategyRandom, "random"},
+		{Strategy(0), "strategy(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRouteUsesOnlyAliveWhenNoFailures(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	view := graph.NewView(net.Graph())
+	src, dst := net.Server(0), net.Server(len(net.Servers())-1)
+	p, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Alive(net, view) {
+		t.Error("route not alive under empty view")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScaleTwelveThousandServers exercises the library at a realistic
+// deployment size — ABCCC(16,2,2): 12,288 servers, 4,864 switches — with
+// sampled checks. Skipped under -short.
+func TestScaleTwelveThousandServers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large build skipped with -short")
+	}
+	cfg := Config{N: 16, K: 2, P: 2}
+	tp, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := tp.Network()
+	props := tp.Properties()
+	if net.NumServers() != props.Servers || net.NumSwitches() != props.Switches ||
+		net.NumLinks() != props.Links {
+		t.Fatalf("counts %d/%d/%d vs formulas %d/%d/%d",
+			net.NumServers(), net.NumSwitches(), net.NumLinks(),
+			props.Servers, props.Switches, props.Links)
+	}
+
+	rng := rand.New(rand.NewSource(16))
+	servers := net.Servers()
+	worstHops := 0
+	for trial := 0; trial < 2000; trial++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		p, err := tp.Route(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(net, src, dst); err != nil {
+			t.Fatal(err)
+		}
+		if h := p.SwitchHops(net); h > worstHops {
+			worstHops = h
+		}
+		walk, err := tp.ForwardingWalk(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := walk.Validate(net, src, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if worstHops > props.Diameter {
+		t.Errorf("sampled worst route %d hops > analytic diameter %d", worstHops, props.Diameter)
+	}
+
+	// A couple of full BFS spot checks against the analytic diameter.
+	for trial := 0; trial < 3; trial++ {
+		src := servers[rng.Intn(len(servers))]
+		ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+		if !ok {
+			t.Fatal("disconnected at scale")
+		}
+		if ecc/2 > props.Diameter {
+			t.Errorf("eccentricity %d hops exceeds diameter %d", ecc/2, props.Diameter)
+		}
+	}
+}

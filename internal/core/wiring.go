@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Cable is one physical connection in the wiring plan: device labels plus
+// the port index on each end.
+type Cable struct {
+	// A and B are the device labels; APort and BPort the port numbers.
+	A     string `json:"a"`
+	APort int    `json:"aPort"`
+	B     string `json:"b"`
+	BPort int    `json:"bPort"`
+}
+
+// WiringPlan returns the full cabling list for technicians: every cable
+// with deterministic port assignments. Server port 0 always faces the local
+// switch; ports 1..p-1 face the level switches of the server's owned levels
+// in ascending level order. Switch ports are assigned in the order the
+// structure enumerates members (local switches: server index; level
+// switches: the varying digit).
+func (t *ABCCC) WiringPlan() []Cable {
+	var cables []Cable
+
+	// Local cables: server port 0 <-> local switch port j.
+	for vec := 0; vec < t.vecs; vec++ {
+		for j := 0; j < t.r; j++ {
+			cables = append(cables, Cable{
+				A:     t.net.Label(t.servers[vec*t.r+j]),
+				APort: 0,
+				B:     t.net.Label(t.localSw[vec]),
+				BPort: j,
+			})
+		}
+	}
+	// Level cables: server port 1+(l - j(p-1)) <-> level switch port digit.
+	for l := range t.levelSw {
+		owner := t.cfg.Owner(l)
+		serverPort := 1 + (l - owner*(t.cfg.P-1))
+		for cvec, sw := range t.levelSw[l] {
+			for d := 0; d < t.cfg.N; d++ {
+				vec := t.expand(cvec, l, d)
+				cables = append(cables, Cable{
+					A:     t.net.Label(t.servers[vec*t.r+owner]),
+					APort: serverPort,
+					B:     t.net.Label(sw),
+					BPort: d,
+				})
+			}
+		}
+	}
+	sort.Slice(cables, func(i, j int) bool {
+		if cables[i].A != cables[j].A {
+			return cables[i].A < cables[j].A
+		}
+		return cables[i].APort < cables[j].APort
+	})
+	return cables
+}
+
+// WriteWiringPlan renders the plan as one line per cable.
+func (t *ABCCC) WriteWiringPlan(w io.Writer) error {
+	for _, c := range t.WiringPlan() {
+		if _, err := fmt.Fprintf(w, "%s port %d <-> %s port %d\n", c.A, c.APort, c.B, c.BPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}

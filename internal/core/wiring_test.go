@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWiringPlanCoversEveryCableOnce(t *testing.T) {
+	for _, cfg := range []Config{{N: 3, K: 1, P: 2}, {N: 4, K: 2, P: 3}} {
+		tp := MustBuild(cfg)
+		plan := tp.WiringPlan()
+		if len(plan) != tp.Network().NumLinks() {
+			t.Fatalf("%s: plan has %d cables, network %d links",
+				tp.Network().Name(), len(plan), tp.Network().NumLinks())
+		}
+		seen := map[string]bool{}
+		for _, c := range plan {
+			key := c.A + "|" + c.B
+			if seen[key] {
+				t.Fatalf("duplicate cable %v", c)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestWiringPlanPortsWithinHardware(t *testing.T) {
+	cfg := Config{N: 4, K: 2, P: 3}
+	tp := MustBuild(cfg)
+	serverPorts := map[string]map[int]bool{}
+	switchPorts := map[string]map[int]bool{}
+	record := func(m map[string]map[int]bool, dev string, port, limit int, t *testing.T) {
+		if port < 0 || port >= limit {
+			t.Fatalf("%s port %d out of 0..%d", dev, port, limit-1)
+		}
+		if m[dev] == nil {
+			m[dev] = map[int]bool{}
+		}
+		if m[dev][port] {
+			t.Fatalf("%s port %d used twice", dev, port)
+		}
+		m[dev][port] = true
+	}
+	for _, c := range tp.WiringPlan() {
+		record(serverPorts, c.A, c.APort, cfg.P, t) // A side is always a server
+		record(switchPorts, c.B, c.BPort, cfg.N, t) // B side is always a switch
+		if !strings.HasPrefix(c.A, "S") {
+			t.Fatalf("cable A side %q is not a server", c.A)
+		}
+		if !strings.HasPrefix(c.B, "L") && !strings.HasPrefix(c.B, "W") {
+			t.Fatalf("cable B side %q is not a switch", c.B)
+		}
+	}
+}
+
+func TestWiringPlanPortZeroIsLocal(t *testing.T) {
+	tp := MustBuild(Config{N: 3, K: 1, P: 2})
+	for _, c := range tp.WiringPlan() {
+		isLocal := strings.HasPrefix(c.B, "L")
+		if (c.APort == 0) != isLocal {
+			t.Fatalf("cable %v: port 0 must face the local switch", c)
+		}
+	}
+}
+
+func TestWriteWiringPlan(t *testing.T) {
+	tp := MustBuild(Config{N: 2, K: 0, P: 2})
+	var buf bytes.Buffer
+	if err := tp.WriteWiringPlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != tp.Network().NumLinks() {
+		t.Errorf("wrote %d lines, want %d", lines, tp.Network().NumLinks())
+	}
+	if !strings.Contains(buf.String(), "port 0 <->") {
+		t.Errorf("plan text malformed:\n%s", buf.String())
+	}
+}

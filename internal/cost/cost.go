@@ -1,0 +1,95 @@
+// Package cost implements the capital-expenditure model used in the paper's
+// cost comparison: switches priced by port count, server NICs priced per
+// port, and cabling priced per link. Only interconnect CapEx is modeled —
+// the servers themselves cost the same in every structure and cancel out of
+// every comparison.
+//
+// The default prices are 2015-era commodity list prices; all comparisons in
+// the paper depend on price ratios, not absolute dollars, and the model is
+// fully parameterizable.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Model holds the unit prices.
+type Model struct {
+	// SwitchBase is the fixed cost of a switch chassis.
+	SwitchBase float64
+	// SwitchPerPort is the incremental cost per switch port.
+	SwitchPerPort float64
+	// NICPerPort is the cost of one server NIC port.
+	NICPerPort float64
+	// Cable is the cost of one cable (including both transceivers).
+	Cable float64
+}
+
+// Default returns the documented 2015-era commodity price model:
+// a 48-port GbE switch around $2,500 (~$150 base + $49/port), $30 per NIC
+// port, $5 per cable.
+func Default() Model {
+	return Model{
+		SwitchBase:    150,
+		SwitchPerPort: 49,
+		NICPerPort:    30,
+		Cable:         5,
+	}
+}
+
+// Breakdown is the CapEx bill of one structure.
+type Breakdown struct {
+	Name     string
+	Switches float64
+	NICs     float64
+	Cables   float64
+}
+
+// Total returns the summed CapEx.
+func (b Breakdown) Total() float64 { return b.Switches + b.NICs + b.Cables }
+
+// PerServer returns the interconnect CapEx per server.
+func (b Breakdown) PerServer(servers int) float64 {
+	if servers == 0 {
+		return 0
+	}
+	return b.Total() / float64(servers)
+}
+
+// String formats the bill for CLI output.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%s: switches $%.0f + NICs $%.0f + cables $%.0f = $%.0f",
+		b.Name, b.Switches, b.NICs, b.Cables, b.Total())
+}
+
+// Switch returns the price of one switch with the given port count.
+func (m Model) Switch(ports int) float64 {
+	if ports <= 0 {
+		return 0
+	}
+	return m.SwitchBase + m.SwitchPerPort*float64(ports)
+}
+
+// CapEx prices a structure from its analytic properties.
+func (m Model) CapEx(p topology.Properties) Breakdown {
+	return Breakdown{
+		Name:     p.Name,
+		Switches: float64(p.Switches) * m.Switch(p.SwitchPorts),
+		NICs:     float64(p.Servers) * float64(p.ServerPorts) * m.NICPerPort,
+		Cables:   float64(p.Links) * m.Cable,
+	}
+}
+
+// ExpansionCost prices an expansion report: new switches are bought at the
+// after-structure's radix, new server slots need full NIC sets, rewired
+// cables cost a cable each (labor folded in), and upgraded servers need one
+// extra NIC port installed.
+func (m Model) ExpansionCost(r topology.ExpansionReport, switchPorts, serverPorts int) float64 {
+	newServerNICs := float64(r.NewServers*serverPorts) * m.NICPerPort
+	return float64(r.NewSwitches)*m.Switch(switchPorts) +
+		newServerNICs +
+		float64(r.NewLinks+r.RewiredLinks)*m.Cable +
+		float64(r.UpgradedServers)*m.NICPerPort
+}

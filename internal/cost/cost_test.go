@@ -1,0 +1,95 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestSwitchPrice(t *testing.T) {
+	m := Default()
+	tests := []struct {
+		ports int
+		want  float64
+	}{
+		{ports: 0, want: 0},
+		{ports: -1, want: 0},
+		{ports: 48, want: 150 + 49*48},
+		{ports: 8, want: 150 + 49*8},
+	}
+	for _, tt := range tests {
+		if got := m.Switch(tt.ports); got != tt.want {
+			t.Errorf("Switch(%d) = %f, want %f", tt.ports, got, tt.want)
+		}
+	}
+}
+
+func TestCapExBreakdown(t *testing.T) {
+	m := Default()
+	props := topology.Properties{
+		Name:        "toy",
+		Servers:     10,
+		Switches:    2,
+		Links:       20,
+		ServerPorts: 2,
+		SwitchPorts: 8,
+	}
+	b := m.CapEx(props)
+	if b.Switches != 2*(150+49*8) {
+		t.Errorf("Switches = %f", b.Switches)
+	}
+	if b.NICs != 10*2*30 {
+		t.Errorf("NICs = %f", b.NICs)
+	}
+	if b.Cables != 20*5 {
+		t.Errorf("Cables = %f", b.Cables)
+	}
+	if got := b.Total(); math.Abs(got-(b.Switches+b.NICs+b.Cables)) > 1e-9 {
+		t.Errorf("Total = %f", got)
+	}
+	if got := b.PerServer(10); math.Abs(got-b.Total()/10) > 1e-9 {
+		t.Errorf("PerServer = %f", got)
+	}
+	if b.PerServer(0) != 0 {
+		t.Error("PerServer(0) != 0")
+	}
+	if !strings.Contains(b.String(), "toy") {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+func TestABCCCCheaperPerServerThanBCubeAtMatchedPorts(t *testing.T) {
+	// At comparable scale, ABCCC amortizes switches over more servers per
+	// crossbar than BCube's per-server switch-port footprint, so its
+	// interconnect CapEx per server must come out lower when BCube needs
+	// many NIC ports.
+	m := Default()
+	a := core.MustBuild(core.Config{N: 8, K: 3, P: 2}) // 4*8^4 = 16384 servers, 2 NICs
+	b := bcube.MustBuild(bcube.Config{N: 8, K: 3})     // 8^4 = 4096 servers, 4 NICs
+	ca := m.CapEx(a.Properties()).PerServer(a.Properties().Servers)
+	cb := m.CapEx(b.Properties()).PerServer(b.Properties().Servers)
+	if ca >= cb {
+		t.Errorf("ABCCC per-server CapEx %f >= BCube %f", ca, cb)
+	}
+}
+
+func TestExpansionCostZeroTouchVsUpgrade(t *testing.T) {
+	m := Default()
+	zero := topology.ExpansionReport{NewServers: 10, NewSwitches: 2, NewLinks: 30}
+	upgrade := zero
+	upgrade.UpgradedServers = 100
+	upgrade.RewiredLinks = 50
+	cz := m.ExpansionCost(zero, 8, 2)
+	cu := m.ExpansionCost(upgrade, 8, 2)
+	if cu <= cz {
+		t.Errorf("upgrade expansion %f not more expensive than zero-touch %f", cu, cz)
+	}
+	wantZero := 2*(150+49*8) + 10*2*30 + 30*5
+	if math.Abs(cz-float64(wantZero)) > 1e-9 {
+		t.Errorf("zero-touch cost = %f, want %d", cz, wantZero)
+	}
+}

@@ -1,0 +1,225 @@
+// Package dcell implements DCell (Guo et al., SIGCOMM 2008), the recursive
+// server-centric baseline used in the paper family's comparison tables.
+//
+// DCell_0 is n servers on one n-port switch. DCell_l is g_l = t_{l-1}+1
+// copies of DCell_{l-1} (t_{l-1} = servers per DCell_{l-1}), with exactly one
+// direct server-to-server cable between every pair of copies: for copies
+// i < j, server j-1 of copy i connects to server i of copy j.
+package dcell
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/topology"
+)
+
+// Config selects a DCell instance: n servers per DCell_0, recursion level k.
+type Config struct {
+	N int
+	K int
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("dcell: N = %d, need >= 2", c.N)
+	}
+	if c.K < 0 {
+		return fmt.Errorf("dcell: K = %d, need >= 0", c.K)
+	}
+	t := c.N
+	for l := 1; l <= c.K; l++ {
+		g := t + 1
+		if t > (4<<20)/g {
+			return fmt.Errorf("dcell: instance too large (N=%d K=%d)", c.N, c.K)
+		}
+		t *= g
+	}
+	return nil
+}
+
+// Sizes returns t[l] (servers in a DCell_l) and g[l] (copies of DCell_{l-1}
+// inside a DCell_l) for l = 0..k.
+func (c Config) Sizes() (t, g []int) {
+	t = make([]int, c.K+1)
+	g = make([]int, c.K+1)
+	t[0], g[0] = c.N, 1
+	for l := 1; l <= c.K; l++ {
+		g[l] = t[l-1] + 1
+		t[l] = g[l] * t[l-1]
+	}
+	return t, g
+}
+
+// DCell is a built instance; immutable after Build.
+type DCell struct {
+	cfg      Config
+	net      *topology.Network
+	servers  []int // servers[uid]
+	switches []int // switches[uid/n]
+	t, g     []int
+}
+
+var _ topology.Topology = (*DCell)(nil)
+
+// Build constructs DCell(n,k).
+func Build(cfg Config) (*DCell, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t, g := cfg.Sizes()
+	d := &DCell{
+		cfg: cfg,
+		net: topology.NewNetwork(fmt.Sprintf("DCell(%d,%d)", cfg.N, cfg.K)),
+		t:   t,
+		g:   g,
+	}
+	total := t[cfg.K]
+	d.servers = make([]int, total)
+	for uid := 0; uid < total; uid++ {
+		d.servers[uid] = d.net.AddServer("S" + strconv.Itoa(uid))
+	}
+	// DCell_0 switches: consecutive n uids share one.
+	d.switches = make([]int, total/cfg.N)
+	for s := range d.switches {
+		sw := d.net.AddSwitch("SW" + strconv.Itoa(s))
+		d.switches[s] = sw
+		for i := 0; i < cfg.N; i++ {
+			if err := d.net.Connect(d.servers[s*cfg.N+i], sw); err != nil {
+				return nil, fmt.Errorf("dcell: wire switch: %w", err)
+			}
+		}
+	}
+	// Level links: for every DCell_l instance, one cable per copy pair.
+	for l := 1; l <= cfg.K; l++ {
+		for offset := 0; offset < total; offset += t[l] {
+			for i := 0; i < g[l]; i++ {
+				for j := i + 1; j < g[l]; j++ {
+					u := offset + i*t[l-1] + (j - 1)
+					v := offset + j*t[l-1] + i
+					if err := d.net.Connect(d.servers[u], d.servers[v]); err != nil {
+						return nil, fmt.Errorf("dcell: wire level %d: %w", l, err)
+					}
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustBuild is Build for known-good configs.
+func MustBuild(cfg Config) *DCell {
+	d, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Network returns the built network.
+func (d *DCell) Network() *topology.Network { return d.net }
+
+// Config returns the instance parameters.
+func (d *DCell) Config() Config { return d.cfg }
+
+// ServerAt returns the node index of the server with the given uid.
+func (d *DCell) ServerAt(uid int) int { return d.servers[uid] }
+
+// NumServers returns t_k.
+func (d *DCell) NumServers() int { return d.t[d.cfg.K] }
+
+// Properties returns the analytic comparison-table row. Diameter is the
+// DCellRouting bound 2^(k+1)-1 server hops (3*2^k - 1 links: level-0 hops
+// cross a switch, higher levels are direct cables); bisection is the
+// top-level cut floor(g_k/2)*ceil(g_k/2) cables. See Config.Properties.
+func (d *DCell) Properties() topology.Properties { return d.cfg.Properties() }
+
+// Properties returns the analytic comparison-table row without building the
+// instance; see DCell.Properties for the conventions.
+func (c Config) Properties() topology.Properties {
+	k := c.K
+	t, g := c.Sizes()
+	total := t[k]
+	links := total // one switch cable per server
+	for l := 1; l <= k; l++ {
+		links += (total / t[l]) * g[l] * (g[l] - 1) / 2
+	}
+	diameter := 1<<(k+1) - 1
+	diameterLinks := 3*(1<<k) - 1
+	if k == 0 {
+		diameter, diameterLinks = 1, 2
+	}
+	gk := g[k]
+	bisection := (gk / 2) * ((gk + 1) / 2)
+	if k == 0 {
+		bisection = c.N / 2 // cutting the single switch's server set
+	}
+	return topology.Properties{
+		Name:           fmt.Sprintf("DCell(%d,%d)", c.N, c.K),
+		Servers:        total,
+		Switches:       total / c.N,
+		Links:          links,
+		ServerPorts:    k + 1,
+		SwitchPorts:    c.N,
+		Diameter:       diameter,
+		DiameterLinks:  diameterLinks,
+		BisectionLinks: bisection,
+	}
+}
+
+// Route implements DCellRouting (the paper's recursive algorithm): find the
+// highest level at which the endpoints are in different copies, take the
+// unique cable joining the two copies, and recurse on both sides.
+func (d *DCell) Route(src, dst int) (topology.Path, error) {
+	if err := topology.CheckEndpoints(d.net, src, dst); err != nil {
+		return nil, err
+	}
+	su, du := d.uidOf(src), d.uidOf(dst)
+	uids := d.routeUIDs(su, du, d.cfg.K)
+	path := make(topology.Path, 0, 2*len(uids))
+	for i, uid := range uids {
+		if i > 0 {
+			// Consecutive uids in the same DCell_0 communicate through
+			// their switch; level links are direct cables.
+			prev := uids[i-1]
+			if prev/d.cfg.N == uid/d.cfg.N {
+				path = append(path, d.switches[uid/d.cfg.N])
+			}
+		}
+		path = append(path, d.servers[uid])
+	}
+	return path, nil
+}
+
+// routeUIDs returns the server-uid sequence of the DCellRouting path from su
+// to du inside their common DCell_l.
+func (d *DCell) routeUIDs(su, du, l int) []int {
+	if su == du {
+		return []int{su}
+	}
+	// Descend to the level where the endpoints sit in different copies.
+	for l > 0 && su/d.t[l-1] == du/d.t[l-1] {
+		l--
+	}
+	if l == 0 {
+		return []int{su, du} // same DCell_0: one switch hop
+	}
+	offset := su / d.t[l] * d.t[l]
+	i := (su % d.t[l]) / d.t[l-1]
+	j := (du % d.t[l]) / d.t[l-1]
+	// The unique cable between copies i and j of this DCell_l.
+	var n1, n2 int
+	if i < j {
+		n1 = offset + i*d.t[l-1] + (j - 1)
+		n2 = offset + j*d.t[l-1] + i
+	} else {
+		n1 = offset + i*d.t[l-1] + j
+		n2 = offset + j*d.t[l-1] + (i - 1)
+	}
+	left := d.routeUIDs(su, n1, l-1)
+	right := d.routeUIDs(n2, du, l-1)
+	return append(left, right...)
+}
+
+func (d *DCell) uidOf(node int) int { return node } // servers are created first

@@ -1,0 +1,166 @@
+package dcell
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func configs() []Config {
+	return []Config{
+		{N: 2, K: 0},
+		{N: 4, K: 0},
+		{N: 2, K: 1}, // 6 servers
+		{N: 3, K: 1}, // 12 servers
+		{N: 4, K: 1}, // 20 servers
+		{N: 2, K: 2}, // 42 servers
+		{N: 3, K: 2}, // 156 servers
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		cfg     Config
+		wantErr bool
+	}{
+		{cfg: Config{N: 4, K: 1}},
+		{cfg: Config{N: 1, K: 0}, wantErr: true},
+		{cfg: Config{N: 4, K: -1}, wantErr: true},
+		{cfg: Config{N: 7, K: 3}, wantErr: true}, // 7 -> 56 -> 3192 -> 10.2M servers: too large
+	}
+	for _, tt := range tests {
+		if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+			t.Errorf("Validate(%+v) = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	// Known series from the DCell paper: n=2 -> 2, 6, 42; n=3 -> 3, 12, 156.
+	tl, g := Config{N: 2, K: 2}.Sizes()
+	if tl[0] != 2 || tl[1] != 6 || tl[2] != 42 {
+		t.Errorf("t = %v, want [2 6 42]", tl)
+	}
+	if g[1] != 3 || g[2] != 7 {
+		t.Errorf("g = %v, want [_ 3 7]", g)
+	}
+	tl, _ = Config{N: 3, K: 2}.Sizes()
+	if tl[2] != 156 {
+		t.Errorf("t_2(n=3) = %d, want 156", tl[2])
+	}
+}
+
+func TestBuildCountsMatchProperties(t *testing.T) {
+	for _, cfg := range configs() {
+		d := MustBuild(cfg)
+		props := d.Properties()
+		net := d.Network()
+		if net.NumServers() != props.Servers || net.NumSwitches() != props.Switches ||
+			net.NumLinks() != props.Links {
+			t.Errorf("%s: built %d/%d/%d, formula %d/%d/%d", net.Name(),
+				net.NumServers(), net.NumSwitches(), net.NumLinks(),
+				props.Servers, props.Switches, props.Links)
+		}
+		if got := net.MaxDegree(topology.Server); got > cfg.K+1 {
+			t.Errorf("%s: server degree %d > %d ports", net.Name(), got, cfg.K+1)
+		}
+		if !net.Graph().Connected(nil) {
+			t.Errorf("%s: disconnected", net.Name())
+		}
+	}
+}
+
+func TestRouteAllPairsValidWithinBounds(t *testing.T) {
+	for _, cfg := range configs() {
+		d := MustBuild(cfg)
+		net := d.Network()
+		props := d.Properties()
+		for _, src := range net.Servers() {
+			for _, dst := range net.Servers() {
+				p, err := d.Route(src, dst)
+				if err != nil {
+					t.Fatalf("%s: %v", net.Name(), err)
+				}
+				if err := p.Validate(net, src, dst); err != nil {
+					t.Fatalf("%s: %s->%s: %v", net.Name(), net.Label(src), net.Label(dst), err)
+				}
+				if src != dst && p.Len() > props.DiameterLinks {
+					t.Fatalf("%s: %s->%s = %d links > bound %d", net.Name(),
+						net.Label(src), net.Label(dst), p.Len(), props.DiameterLinks)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutingDiameterBoundTightForSmall(t *testing.T) {
+	// For DCell(2,1) the worst DCellRouting path must reach the 5-link
+	// bound exactly (verified by hand in the package docs).
+	d := MustBuild(Config{N: 2, K: 1})
+	net := d.Network()
+	worst := 0
+	for _, src := range net.Servers() {
+		for _, dst := range net.Servers() {
+			p, err := d.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Len() > worst {
+				worst = p.Len()
+			}
+		}
+	}
+	if worst != 5 {
+		t.Errorf("worst DCellRouting path = %d links, want 5", worst)
+	}
+}
+
+func TestLevelLinkDegrees(t *testing.T) {
+	// In DCell(n,k), every server has exactly one switch cable plus at most
+	// one cable per level 1..k.
+	d := MustBuild(Config{N: 3, K: 2})
+	net := d.Network()
+	for _, s := range net.Servers() {
+		if deg := net.Graph().Degree(s); deg > 3 {
+			t.Fatalf("server %s degree %d > k+1 = 3", net.Label(s), deg)
+		}
+	}
+}
+
+func TestRouteSelfAndErrors(t *testing.T) {
+	d := MustBuild(Config{N: 2, K: 1})
+	s := d.Network().Server(0)
+	p, err := d.Route(s, s)
+	if err != nil || len(p) != 1 {
+		t.Errorf("Route(self) = %v, %v", p, err)
+	}
+	sw := d.Network().Switches()[0]
+	if _, err := d.Route(sw, s); err == nil {
+		t.Error("Route(switch, ...) succeeded")
+	}
+	if _, err := Build(Config{N: 0, K: 0}); err == nil {
+		t.Error("Build(invalid) succeeded")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustBuild(Config{N: 0})
+}
+
+func TestAccessors(t *testing.T) {
+	d := MustBuild(Config{N: 2, K: 1})
+	if d.Config() != (Config{N: 2, K: 1}) {
+		t.Errorf("Config = %+v", d.Config())
+	}
+	if d.NumServers() != 6 {
+		t.Errorf("NumServers = %d, want 6", d.NumServers())
+	}
+	if !d.Network().IsServer(d.ServerAt(3)) {
+		t.Error("ServerAt(3) is not a server")
+	}
+}

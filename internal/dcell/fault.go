@@ -1,0 +1,102 @@
+package dcell
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// ErrNoRoute is returned when fault-tolerant routing gives up.
+var ErrNoRoute = errors.New("dcell: fault-tolerant routing found no route")
+
+var _ topology.FaultRouter = (*DCell)(nil)
+
+// RouteAvoiding is a DFR-flavored fault-tolerant routing: it walks the
+// DCellRouting path greedily and, when the next step is dead, local-reroutes
+// through any alive neighbor that has not been visited (the local-reroute
+// half of the DCell paper's DFR; the proxy half is subsumed by allowing the
+// detour to restart DCellRouting from the neighbor). Bounded by a hop
+// budget; the miss rate against true connectivity is an evaluation metric.
+func (d *DCell) RouteAvoiding(src, dst int, view *graph.View) (topology.Path, error) {
+	if err := topology.CheckEndpoints(d.net, src, dst); err != nil {
+		return nil, err
+	}
+	if !view.NodeUp(src) || !view.NodeUp(dst) {
+		return nil, fmt.Errorf("%w: endpoint failed", ErrNoRoute)
+	}
+	if src == dst {
+		return topology.Path{src}, nil
+	}
+
+	g := d.net.Graph()
+	visited := map[int]bool{src: true}
+	path := topology.Path{src}
+	cur := src
+	budget := 8 * (1 << (d.cfg.K + 1)) // a few times the routing diameter
+
+	// step moves cur to `to` if the cable and node are alive and unvisited.
+	step := func(to int) bool {
+		if to == cur || !view.NodeUp(to) || visited[to] {
+			return false
+		}
+		if !view.EdgeUp(g.EdgeBetween(cur, to)) {
+			return false
+		}
+		visited[to] = true
+		path = append(path, to)
+		cur = to
+		return true
+	}
+
+	for hops := 0; hops < budget; hops++ {
+		if cur == dst {
+			return path, nil
+		}
+		// Greedy: follow the DCellRouting plan from the current server.
+		if d.net.IsServer(cur) {
+			plan := d.routeUIDs(d.uidOf(cur), d.uidOf(dst), d.cfg.K)
+			advanced := false
+			if len(plan) > 1 {
+				next := d.servers[plan[1]]
+				if plan[1]/d.cfg.N == d.uidOf(cur)/d.cfg.N {
+					// Same DCell_0: the hop crosses the shared switch.
+					sw := d.switches[plan[1]/d.cfg.N]
+					if step(sw) {
+						advanced = step(next)
+					}
+				} else {
+					advanced = step(next)
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Local reroute: any alive unvisited neighbor (its switch fans
+			// out to the whole DCell_0; level links jump sub-DCells).
+			if d.detour(step, cur) {
+				continue
+			}
+			return nil, fmt.Errorf("%w: stuck at %s after %d hops", ErrNoRoute, d.net.Label(cur), hops)
+		}
+		// At a switch (after a partial step): deliver to any alive member,
+		// preferring the planned one; handled by detour.
+		if d.detour(step, cur) {
+			continue
+		}
+		return nil, fmt.Errorf("%w: stuck at switch %s", ErrNoRoute, d.net.Label(cur))
+	}
+	return nil, fmt.Errorf("%w: hop budget exhausted", ErrNoRoute)
+}
+
+// detour tries every alive, unvisited neighbor of cur in deterministic
+// order.
+func (d *DCell) detour(step func(int) bool, cur int) bool {
+	for _, nb := range d.net.Graph().Neighbors(cur, nil) {
+		if step(nb) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package dcell
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRouteAvoidingNoFailures(t *testing.T) {
+	d := MustBuild(Config{N: 3, K: 1})
+	net := d.Network()
+	view := graph.NewView(net.Graph())
+	for _, src := range net.Servers() {
+		for _, dst := range net.Servers() {
+			p, err := d.RouteAvoiding(src, dst, view)
+			if err != nil {
+				t.Fatalf("%s->%s: %v", net.Label(src), net.Label(dst), err)
+			}
+			if err := p.Validate(net, src, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRouteAvoidingAroundDeadLink(t *testing.T) {
+	d := MustBuild(Config{N: 4, K: 1})
+	net := d.Network()
+	src, dst := d.ServerAt(0), d.ServerAt(19)
+	direct, err := d.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := graph.NewView(net.Graph())
+	view.FailEdge(net.Graph().EdgeBetween(direct[0], direct[1]))
+	p, err := d.RouteAvoiding(src, dst, view)
+	if err != nil {
+		t.Fatalf("RouteAvoiding: %v", err)
+	}
+	if !p.Alive(net, view) {
+		t.Error("route uses the dead cable")
+	}
+	if err := p.Validate(net, src, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteAvoidingEndpointDown(t *testing.T) {
+	d := MustBuild(Config{N: 2, K: 1})
+	net := d.Network()
+	view := graph.NewView(net.Graph())
+	view.FailNode(d.ServerAt(5))
+	if _, err := d.RouteAvoiding(d.ServerAt(0), d.ServerAt(5), view); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+	if _, err := d.RouteAvoiding(net.Switches()[0], d.ServerAt(0), view); err == nil {
+		t.Error("switch endpoint accepted")
+	}
+}
+
+func TestRouteAvoidingSelf(t *testing.T) {
+	d := MustBuild(Config{N: 2, K: 1})
+	s := d.ServerAt(2)
+	p, err := d.RouteAvoiding(s, s, graph.NewView(d.Network().Graph()))
+	if err != nil || len(p) != 1 {
+		t.Errorf("self = %v, %v", p, err)
+	}
+}
+
+func TestRouteAvoidingUnderRandomFailures(t *testing.T) {
+	d := MustBuild(Config{N: 3, K: 2}) // 156 servers
+	net := d.Network()
+	rng := rand.New(rand.NewSource(4))
+	view := graph.NewView(net.Graph())
+	for e := 0; e < net.Graph().NumEdges(); e++ {
+		if rng.Float64() < 0.05 {
+			view.FailEdge(e)
+		}
+	}
+	servers := net.Servers()
+	connected, served := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if src == dst || net.Graph().ShortestPath(src, dst, view) == nil {
+			continue
+		}
+		connected++
+		p, err := d.RouteAvoiding(src, dst, view)
+		if err != nil {
+			continue
+		}
+		if !p.Alive(net, view) {
+			t.Fatal("dead components on returned route")
+		}
+		if err := p.Validate(net, src, dst); err != nil {
+			t.Fatal(err)
+		}
+		served++
+	}
+	if connected == 0 {
+		t.Fatal("no connected pairs sampled")
+	}
+	if ratio := float64(served) / float64(connected); ratio < 0.8 {
+		t.Errorf("DFR served %.2f of connected pairs, want >= 0.8", ratio)
+	}
+}

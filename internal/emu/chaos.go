@@ -1,0 +1,95 @@
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ChaosEvent is one step of a chaos schedule.
+type ChaosEvent struct {
+	// Kill is true for a failure, false for a revival.
+	Kill bool
+	// Node is the device affected.
+	Node int
+	// Rounds the control plane needed to reconverge after the event.
+	Rounds int
+	// Served is the count of ordered server pairs deliverable afterwards;
+	// Connected is the ground-truth count from BFS. A correct control plane
+	// keeps them equal at every step.
+	Served, Connected int
+}
+
+// Chaos drives a DV session through `events` seeded random kill/revive
+// steps against switches (the chaos-monkey test for the control plane),
+// reconverging and auditing delivery against ground-truth connectivity
+// after every event. It returns the event log; the caller asserts
+// Served == Connected throughout.
+func Chaos(t Forwarder, events int, rng *rand.Rand) ([]ChaosEvent, error) {
+	net := t.Network()
+	sess, err := NewDVSession(t)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		return nil, err
+	}
+	switches := net.Switches()
+	if len(switches) == 0 {
+		return nil, fmt.Errorf("emu: chaos needs switches to torment")
+	}
+	down := map[int]bool{}
+	view := graph.NewView(net.Graph())
+	servers := net.Servers()
+
+	log := make([]ChaosEvent, 0, events)
+	for i := 0; i < events; i++ {
+		ev := ChaosEvent{Node: switches[rng.Intn(len(switches))]}
+		// Bias toward killing when few are down, reviving when many are.
+		ev.Kill = rng.Float64() > float64(len(down))/float64(len(switches))*2
+		if ev.Kill {
+			if down[ev.Node] {
+				ev.Kill = false // already down: revive instead
+			}
+		} else if !down[ev.Node] {
+			ev.Kill = true // already up: kill instead
+		}
+		if ev.Kill {
+			if err := sess.FailNode(ev.Node); err != nil {
+				return nil, err
+			}
+			down[ev.Node] = true
+			view.FailNode(ev.Node)
+		} else {
+			if err := sess.ReviveNode(ev.Node); err != nil {
+				return nil, err
+			}
+			delete(down, ev.Node)
+			// Views cannot un-fail; rebuild from the surviving set.
+			view = graph.NewView(net.Graph())
+			for sw := range down {
+				view.FailNode(sw)
+			}
+		}
+		if ev.Rounds, _, err = sess.Converge(); err != nil {
+			return nil, err
+		}
+		for si := range servers {
+			res := net.Graph().BFS(servers[si], view)
+			for di := range servers {
+				if si == di {
+					continue
+				}
+				if res.Dist[servers[di]] != graph.Unreachable {
+					ev.Connected++
+				}
+				if _, ok := sess.Deliver(si, di); ok {
+					ev.Served++
+				}
+			}
+		}
+		log = append(log, ev)
+	}
+	return log, nil
+}

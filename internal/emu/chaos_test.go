@@ -1,0 +1,66 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestChaosControlPlaneAlwaysMatchesConnectivity(t *testing.T) {
+	// The chaos-monkey audit: through 30 random kill/revive events, the DV
+	// plane must serve exactly the connected pairs after every convergence.
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	log, err := Chaos(tp, 30, rand.New(rand.NewSource(2015)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 30 {
+		t.Fatalf("log has %d events", len(log))
+	}
+	kills, revives := 0, 0
+	for i, ev := range log {
+		if ev.Served != ev.Connected {
+			t.Fatalf("event %d (%+v): served %d != connected %d",
+				i, ev, ev.Served, ev.Connected)
+		}
+		if ev.Kill {
+			kills++
+		} else {
+			revives++
+		}
+		if ev.Rounds < 1 {
+			t.Fatalf("event %d converged in %d rounds", i, ev.Rounds)
+		}
+	}
+	if kills == 0 || revives == 0 {
+		t.Errorf("schedule not mixed: %d kills, %d revives", kills, revives)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 1, P: 2})
+	a, err := Chaos(tp, 10, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(tp, 10, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChaosNeedsSwitches(t *testing.T) {
+	// A hypercube-like Forwarder without switches would error; all our
+	// Forwarders have switches, so exercise the zero-events path instead.
+	tp := core.MustBuild(core.Config{N: 2, K: 0, P: 2})
+	log, err := Chaos(tp, 0, rand.New(rand.NewSource(1)))
+	if err != nil || len(log) != 0 {
+		t.Errorf("zero events: %v, %v", log, err)
+	}
+}

@@ -1,0 +1,297 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/traffic"
+)
+
+// DVStats is the outcome of a distance-vector run.
+type DVStats struct {
+	// Rounds is the number of synchronous exchange rounds until no node's
+	// table changed; Messages counts vector advertisements sent.
+	Rounds, Messages int
+	// Injected/Delivered/Dropped account the data phase (Dropped covers
+	// packets whose destination had no learned route or whose TTL expired).
+	Injected, Delivered, Dropped int
+	// MaxHops is the largest cable-hop count among delivered packets.
+	MaxHops int
+}
+
+// dvNode is the per-device protocol state. During a round, only the node's
+// own goroutine mutates it (advertisements are read from immutable
+// snapshots), so no lock is needed.
+type dvNode struct {
+	dist    []int32 // dist[server index] in cable hops
+	nextHop []int32 // neighbor node id to forward toward each server
+}
+
+// dvEngine runs the protocol over the network. inf is the RIP-style
+// unreachable metric: any distance at or above it counts as "no route",
+// which bounds count-to-infinity after failures.
+type dvEngine struct {
+	topo      Forwarder
+	nodes     []*dvNode
+	neighbors [][]int
+	failed    []bool
+	serverIdx map[int]int // server node id -> dense index
+	inf       int32
+	changed   atomic.Int64
+	messages  atomic.Int64
+}
+
+// RunDV emulates a distance-vector control plane (synchronous Bellman-Ford
+// rounds: every live node advertises its distance table to its neighbors
+// until quiescence) and then delivers the workload hop by hop using only the
+// learned per-node forwarding tables. Unlike the static NextHop policy, the
+// learned tables steer around failed devices, so connected pairs are served
+// even under failures — at the cost of O(#servers) state per device and a
+// convergence phase. Flow endpoints index the server list.
+func RunDV(t Forwarder, flows []traffic.Flow, failedNodes ...int) (DVStats, error) {
+	servers := t.Network().Servers()
+	for _, f := range flows {
+		if f.Src < 0 || f.Src >= len(servers) || f.Dst < 0 || f.Dst >= len(servers) {
+			return DVStats{}, fmt.Errorf("emu: dv flow endpoints (%d,%d) out of %d servers",
+				f.Src, f.Dst, len(servers))
+		}
+	}
+	sess, err := NewDVSession(t)
+	if err != nil {
+		return DVStats{}, err
+	}
+	for _, node := range failedNodes {
+		if err := sess.FailNode(node); err != nil {
+			return DVStats{}, err
+		}
+	}
+	stats := DVStats{Injected: len(flows)}
+	if stats.Rounds, stats.Messages, err = sess.Converge(); err != nil {
+		return DVStats{}, err
+	}
+	for _, f := range flows {
+		hops, ok := sess.Deliver(f.Src, f.Dst)
+		if !ok {
+			stats.Dropped++
+			continue
+		}
+		stats.Delivered++
+		if hops > stats.MaxHops {
+			stats.MaxHops = hops
+		}
+	}
+	return stats, nil
+}
+
+// DVSession is a long-lived distance-vector control plane: converge, inject
+// failures, reconverge, and deliver at any point. It models RIP-style
+// dynamics — failure detection by neighbors, route invalidation, and
+// bounded count-to-infinity via the unreachable metric.
+type DVSession struct {
+	e       *dvEngine
+	servers []int
+}
+
+// NewDVSession prepares the protocol state for a built instance.
+func NewDVSession(t Forwarder) (*DVSession, error) {
+	net := t.Network()
+	g := net.Graph()
+	servers := net.Servers()
+	e := &dvEngine{
+		topo:      t,
+		nodes:     make([]*dvNode, g.NumNodes()),
+		neighbors: make([][]int, g.NumNodes()),
+		failed:    make([]bool, g.NumNodes()),
+		serverIdx: make(map[int]int, len(servers)),
+		// Detours around failures can exceed the healthy diameter, so the
+		// unreachable metric leaves room for them (RIP's 16 plays the same
+		// role for diameter-15 networks).
+		inf: 2 * (int32(t.Properties().DiameterLinks) + 2),
+	}
+	for i, s := range servers {
+		e.serverIdx[s] = i
+	}
+	for id := range e.nodes {
+		n := &dvNode{
+			dist:    make([]int32, len(servers)),
+			nextHop: make([]int32, len(servers)),
+		}
+		for i := range n.dist {
+			n.dist[i] = e.inf
+			n.nextHop[i] = -1
+		}
+		if idx, ok := e.serverIdx[id]; ok {
+			n.dist[idx] = 0
+			n.nextHop[idx] = int32(id)
+		}
+		e.nodes[id] = n
+		e.neighbors[id] = g.Neighbors(id, nil)
+	}
+	return &DVSession{e: e, servers: servers}, nil
+}
+
+// Converge runs advertisement rounds until a quiet round, returning the
+// round and message counts.
+func (s *DVSession) Converge() (rounds, messages int, err error) {
+	e := s.e
+	before := e.messages.Load()
+	maxRounds := 8 * int(e.inf)
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return 0, 0, fmt.Errorf("emu: dv failed to converge in %d rounds", maxRounds)
+		}
+		e.changed.Store(0)
+		e.round()
+		if e.changed.Load() == 0 {
+			return round, int(e.messages.Load() - before), nil
+		}
+	}
+}
+
+// FailNode powers a node off. Its neighbors detect the silence (modeled as
+// an immediate hello timeout) and invalidate every route through it; the
+// next Converge propagates the withdrawal.
+func (s *DVSession) FailNode(node int) error {
+	e := s.e
+	if node < 0 || node >= len(e.failed) {
+		return fmt.Errorf("emu: dv failed node %d out of range", node)
+	}
+	if e.failed[node] {
+		return nil
+	}
+	e.failed[node] = true
+	if idx, ok := e.serverIdx[node]; ok {
+		// A dead server is unreachable even from itself.
+		for _, n := range e.nodes {
+			n.dist[idx] = e.inf
+			n.nextHop[idx] = -1
+		}
+	}
+	for _, nb := range e.neighbors[node] {
+		n := e.nodes[nb]
+		for i := range n.dist {
+			if n.nextHop[i] == int32(node) {
+				n.dist[i] = e.inf
+				n.nextHop[i] = -1
+			}
+		}
+	}
+	return nil
+}
+
+// ReviveNode powers a node (back) on: it rejoins with a fresh vector (its
+// own server entry if it is one) and its neighbors relearn routes through
+// it on the next Converge — good news travels fast, so integrating new
+// hardware reconverges quicker than withdrawing dead hardware.
+func (s *DVSession) ReviveNode(node int) error {
+	e := s.e
+	if node < 0 || node >= len(e.failed) {
+		return fmt.Errorf("emu: dv revive node %d out of range", node)
+	}
+	if !e.failed[node] {
+		return nil
+	}
+	e.failed[node] = false
+	n := e.nodes[node]
+	for i := range n.dist {
+		n.dist[i] = e.inf
+		n.nextHop[i] = -1
+	}
+	if idx, ok := e.serverIdx[node]; ok {
+		n.dist[idx] = 0
+		n.nextHop[idx] = int32(node)
+		// Other nodes marked the dead server unreachable; they relearn from
+		// its advertisements.
+	}
+	return nil
+}
+
+// Deliver walks the learned tables between two server indices, returning the
+// cable-hop count.
+func (s *DVSession) Deliver(srcIdx, dstIdx int) (int, bool) {
+	if srcIdx < 0 || srcIdx >= len(s.servers) || dstIdx < 0 || dstIdx >= len(s.servers) {
+		return 0, false
+	}
+	return s.e.deliver(s.servers[srcIdx], s.servers[dstIdx], 4*int(s.e.inf))
+}
+
+// round runs one synchronous exchange in two phases: first every live node
+// publishes an immutable snapshot of its vector (the advertisement), then
+// every live node — concurrently, but reading only snapshots and writing
+// only its own table in fixed neighbor order — relaxes. The result is
+// deterministic: distances, next hops and the round count never depend on
+// goroutine scheduling.
+func (e *dvEngine) round() {
+	snaps := make([][]int32, len(e.nodes))
+	for id, n := range e.nodes {
+		if e.failed[id] {
+			continue
+		}
+		snap := make([]int32, len(n.dist))
+		copy(snap, n.dist)
+		snaps[id] = snap
+	}
+	var wg sync.WaitGroup
+	for id := range e.nodes {
+		if e.failed[id] {
+			continue
+		}
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := e.nodes[id]
+			for _, nb := range e.neighbors[id] {
+				if e.failed[nb] {
+					continue
+				}
+				e.messages.Add(1)
+				for i, d := range snaps[nb] {
+					cand := d + 1
+					if cand > e.inf {
+						cand = e.inf
+					}
+					switch {
+					case n.nextHop[i] == int32(nb):
+						// Follow the successor even when its cost worsens
+						// (the rule that propagates withdrawals).
+						if n.dist[i] != cand {
+							n.dist[i] = cand
+							if cand >= e.inf {
+								n.nextHop[i] = -1
+							}
+							e.changed.Add(1)
+						}
+					case cand < n.dist[i]:
+						n.dist[i] = cand
+						n.nextHop[i] = int32(nb)
+						e.changed.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// deliver walks the learned tables from src to dst, returning the cable-hop
+// count.
+func (e *dvEngine) deliver(src, dst, ttl int) (int, bool) {
+	dstIdx := e.serverIdx[dst]
+	cur := src
+	for hops := 0; hops <= ttl; hops++ {
+		if cur == dst {
+			return hops, true
+		}
+		if e.failed[cur] {
+			return 0, false
+		}
+		n := e.nodes[cur]
+		if n.dist[dstIdx] >= e.inf || n.nextHop[dstIdx] < 0 {
+			return 0, false
+		}
+		cur = int(n.nextHop[dstIdx])
+	}
+	return 0, false
+}

@@ -1,0 +1,138 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+func TestDVLearnsShortestPaths(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	n := net.NumServers()
+	flows := traffic.AllToAll(n)
+	stats, err := RunDV(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != len(flows) || stats.Dropped != 0 {
+		t.Fatalf("delivered %d/%d, dropped %d", stats.Delivered, len(flows), stats.Dropped)
+	}
+	// Learned tables must give exactly shortest paths: max hop equals the
+	// graph diameter between servers.
+	servers := net.Servers()
+	worst := 0
+	for _, src := range servers {
+		ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+		if !ok {
+			t.Fatal("disconnected")
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	if stats.MaxHops != worst {
+		t.Errorf("DV max hops %d, graph diameter %d", stats.MaxHops, worst)
+	}
+}
+
+func TestDVConvergesWithinDiameterRounds(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	stats, err := RunDV(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bellman-Ford needs at most diameter rounds to stabilize plus one
+	// quiet round to detect it.
+	bound := tp.Properties().DiameterLinks + 1
+	if stats.Rounds > bound {
+		t.Errorf("converged in %d rounds, bound %d", stats.Rounds, bound)
+	}
+	if stats.Messages == 0 {
+		t.Error("no advertisements counted")
+	}
+}
+
+func TestDVDeterministic(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	flows := traffic.Permutation(tp.Network().NumServers(), rand.New(rand.NewSource(1)))
+	a, err := RunDV(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDV(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic DV: %+v vs %+v", a, b)
+	}
+}
+
+func TestDVRoutesAroundFailuresUnlikeStaticPolicy(t *testing.T) {
+	// Kill one level switch. The static NextHop policy drops every packet
+	// whose deterministic path crosses it (see TestFailedSwitchDropsOnPath);
+	// the learned tables must still serve every connected pair.
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	victim := net.Switches()[len(net.Switches())-1]
+
+	view := graph.NewView(net.Graph())
+	view.FailNode(victim)
+	n := net.NumServers()
+	flows := traffic.AllToAll(n)
+	servers := net.Servers()
+	connected := 0
+	for _, f := range flows {
+		if net.Graph().ShortestPath(servers[f.Src], servers[f.Dst], view) != nil {
+			connected++
+		}
+	}
+
+	stats, err := RunDV(tp, flows, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != connected {
+		t.Errorf("DV delivered %d, want every connected pair %d", stats.Delivered, connected)
+	}
+
+	// Contrast: the static policy loses traffic through the dead switch.
+	static, err := Run(tp, flows, WithFailedNodes(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.DroppedFailed == 0 {
+		t.Error("static policy unexpectedly lost nothing")
+	}
+	if stats.Delivered <= static.Delivered {
+		t.Errorf("DV (%d) should out-deliver static policy (%d) under failures",
+			stats.Delivered, static.Delivered)
+	}
+}
+
+func TestDVFailedEndpointsDrop(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	dead := net.Servers()[0]
+	stats, err := RunDV(tp, []traffic.Flow{{Src: 0, Dst: 3}, {Src: 3, Dst: 0}}, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 0 || stats.Dropped != 2 {
+		t.Errorf("stats = %+v, want both flows dropped", stats)
+	}
+}
+
+func TestDVErrors(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 0, P: 2})
+	if _, err := RunDV(tp, []traffic.Flow{{Src: 0, Dst: 42}}); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := RunDV(tp, nil, 999); err == nil {
+		t.Error("out-of-range failed node accepted")
+	}
+}

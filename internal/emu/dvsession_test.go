@@ -1,0 +1,198 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestDVSessionReconvergesAfterFailure(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	sess, err := NewDVSession(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one level switch and reconverge.
+	victim := net.Switches()[len(net.Switches())-1]
+	if err := sess.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	rounds, msgs, err := sess.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 || msgs < 1 {
+		t.Errorf("reconvergence did nothing: %d rounds, %d msgs", rounds, msgs)
+	}
+	// After reconvergence every still-connected pair must be served.
+	view := graph.NewView(net.Graph())
+	view.FailNode(victim)
+	servers := net.Servers()
+	for si := range servers {
+		for di := range servers {
+			if si == di {
+				continue
+			}
+			wantOK := net.Graph().ShortestPath(servers[si], servers[di], view) != nil
+			_, ok := sess.Deliver(si, di)
+			if ok != wantOK {
+				t.Fatalf("pair %s->%s: delivered=%v, connected=%v",
+					net.Label(servers[si]), net.Label(servers[di]), ok, wantOK)
+			}
+		}
+	}
+}
+
+func TestDVSessionFailedServerWithdrawn(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 1, P: 2})
+	sess, err := NewDVSession(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	dead := tp.Network().Servers()[3]
+	if err := sess.FailNode(dead); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sess.Deliver(0, 3); ok {
+		t.Error("delivered to a dead server")
+	}
+	if _, ok := sess.Deliver(0, 2); !ok {
+		t.Error("live pair unserved after unrelated server death")
+	}
+}
+
+func TestDVSessionFailNodeIdempotentAndRange(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 0, P: 2})
+	sess, err := NewDVSession(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.FailNode(0); err != nil {
+		t.Errorf("second FailNode errored: %v", err)
+	}
+	if err := sess.FailNode(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, ok := sess.Deliver(-1, 0); ok {
+		t.Error("out-of-range Deliver succeeded")
+	}
+}
+
+func TestDVSessionSequentialFailures(t *testing.T) {
+	// Kill switches one at a time, reconverging after each; delivery must
+	// always match true connectivity.
+	tp := core.MustBuild(core.Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	sess, err := NewDVSession(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	view := graph.NewView(net.Graph())
+	servers := net.Servers()
+	for _, victim := range net.Switches()[:3] {
+		if err := sess.FailNode(victim); err != nil {
+			t.Fatal(err)
+		}
+		view.FailNode(victim)
+		if _, _, err := sess.Converge(); err != nil {
+			t.Fatal(err)
+		}
+		for si := range servers {
+			for di := range servers {
+				if si == di {
+					continue
+				}
+				wantOK := net.Graph().ShortestPath(servers[si], servers[di], view) != nil
+				if _, ok := sess.Deliver(si, di); ok != wantOK {
+					t.Fatalf("after killing %s: pair %d->%d delivered=%v connected=%v",
+						net.Label(victim), si, di, ok, wantOK)
+				}
+			}
+		}
+	}
+}
+
+func TestDVSessionReviveNode(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	sess, err := NewDVSession(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := net.Servers()[3]
+	if err := sess.FailNode(dead); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sess.Deliver(0, 3); ok {
+		t.Fatal("delivered to dead server")
+	}
+	if err := sess.ReviveNode(dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ReviveNode(dead); err != nil {
+		t.Errorf("double revive errored: %v", err)
+	}
+	if err := sess.ReviveNode(-1); err == nil {
+		t.Error("out-of-range revive accepted")
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sess.Deliver(0, 3); !ok {
+		t.Error("revived server unreachable after reconvergence")
+	}
+	if _, ok := sess.Deliver(3, 0); !ok {
+		t.Error("revived server cannot send after reconvergence")
+	}
+}
+
+func TestDVSessionReviveIsFasterThanWithdrawal(t *testing.T) {
+	// Good news travels fast: integrating a node must take no more rounds
+	// than withdrawing it did.
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	sess, err := NewDVSession(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	victim := tp.Network().Switches()[3]
+	if err := sess.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	killRounds, _, err := sess.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ReviveNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	reviveRounds, _, err := sess.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reviveRounds > killRounds {
+		t.Errorf("revive took %d rounds > withdrawal's %d", reviveRounds, killRounds)
+	}
+}

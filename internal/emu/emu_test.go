@@ -1,0 +1,273 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bccc"
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/fattree"
+	"repro/internal/traffic"
+)
+
+func build(t *testing.T, cfg core.Config) *core.ABCCC {
+	t.Helper()
+	tp, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestHealthyRunDeliversEverything(t *testing.T) {
+	tp := build(t, core.Config{N: 4, K: 1, P: 2})
+	n := tp.Network().NumServers()
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Permutation(n, rng)
+	stats, err := Run(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != len(flows) {
+		t.Errorf("delivered %d of %d", stats.Delivered, len(flows))
+	}
+	if !stats.Accounted() {
+		t.Errorf("packets unaccounted: %+v", stats)
+	}
+	if stats.HelloAcks != 2*tp.Network().NumLinks() {
+		t.Errorf("HelloAcks = %d, want %d (2x cables)", stats.HelloAcks, 2*tp.Network().NumLinks())
+	}
+}
+
+func TestHopCountsWithinForwardingBound(t *testing.T) {
+	tp := build(t, core.Config{N: 3, K: 2, P: 2})
+	n := tp.Network().NumServers()
+	flows := traffic.AllToAll(n)
+	stats, err := Run(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != len(flows) {
+		t.Fatalf("delivered %d of %d", stats.Delivered, len(flows))
+	}
+	bound := 2*tp.Config().Digits() + 1
+	if stats.MaxHops > bound {
+		t.Errorf("MaxHops = %d, forwarding bound %d", stats.MaxHops, bound)
+	}
+	total := 0
+	for _, c := range stats.HopHistogram {
+		total += c
+	}
+	if total != stats.Delivered {
+		t.Errorf("histogram total %d != delivered %d", total, stats.Delivered)
+	}
+}
+
+func TestHopsMatchForwardingWalk(t *testing.T) {
+	// The emulated hop count of a single packet must equal the statically
+	// computed forwarding walk's switch hops.
+	tp := build(t, core.Config{N: 4, K: 1, P: 3})
+	net := tp.Network()
+	src, dst := 0, net.NumServers()-1
+	walk, err := tp.ForwardingWalk(net.Servers()[src], net.Servers()[dst])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(tp, []traffic.Flow{{Src: src, Dst: dst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 1 {
+		t.Fatalf("not delivered: %+v", stats)
+	}
+	if stats.MaxHops != walk.SwitchHops(net) {
+		t.Errorf("emulated hops %d, static walk %d", stats.MaxHops, walk.SwitchHops(net))
+	}
+}
+
+func TestFailedNodeDropsTraffic(t *testing.T) {
+	tp := build(t, core.Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	// Fail the destination server: its packet must be accounted as a
+	// failed-node drop, and its hellos never answered.
+	dstIdx := net.NumServers() - 1
+	stats, err := Run(tp, []traffic.Flow{{Src: 0, Dst: dstIdx}},
+		WithFailedNodes(net.Servers()[dstIdx]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 0 || stats.DroppedFailed != 1 {
+		t.Errorf("stats = %+v, want 1 failed drop", stats)
+	}
+	if !stats.Accounted() {
+		t.Errorf("unaccounted: %+v", stats)
+	}
+	deg := net.Graph().Degree(net.Servers()[dstIdx])
+	if want := 2*net.NumLinks() - 2*deg; stats.HelloAcks != want {
+		t.Errorf("HelloAcks = %d, want %d", stats.HelloAcks, want)
+	}
+}
+
+func TestFailedSwitchDropsOnPath(t *testing.T) {
+	tp := build(t, core.Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	src, dst := net.Servers()[0], net.Servers()[net.NumServers()-1]
+	walk, err := tp.ForwardingWalk(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sw int
+	for _, node := range walk {
+		if !net.IsServer(node) {
+			sw = node
+			break
+		}
+	}
+	stats, err := Run(tp, []traffic.Flow{{Src: 0, Dst: net.NumServers() - 1}},
+		WithFailedNodes(sw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 0 || stats.DroppedFailed != 1 {
+		t.Errorf("stats = %+v, want the packet dropped at the dead switch", stats)
+	}
+}
+
+func TestTTLDropsLoopedPackets(t *testing.T) {
+	tp := build(t, core.Config{N: 3, K: 2, P: 2})
+	n := tp.Network().NumServers()
+	// TTL 1 cannot cover the multi-hop pairs.
+	flows := traffic.AllToAll(n)[:50]
+	stats, err := Run(tp, flows, WithTTL(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedTTL == 0 {
+		t.Error("TTL 1 dropped nothing")
+	}
+	if !stats.Accounted() {
+		t.Errorf("unaccounted: %+v", stats)
+	}
+}
+
+func TestOverflowAccounting(t *testing.T) {
+	tp := build(t, core.Config{N: 4, K: 1, P: 2})
+	n := tp.Network().NumServers()
+	// Tiny inboxes under an incast must overflow somewhere.
+	flows, err := traffic.Incast(n, 0, n-1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		flows = append(flows, flows...) // amplify the burst
+	}
+	stats, err := Run(tp, flows, WithInboxSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedOverflow == 0 {
+		t.Errorf("no overflow drops with inbox size 1: %+v", stats)
+	}
+	if !stats.Accounted() {
+		t.Errorf("unaccounted: %+v", stats)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tp := build(t, core.Config{N: 2, K: 0, P: 2})
+	if _, err := Run(tp, []traffic.Flow{{Src: 0, Dst: 99}}); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := Run(tp, nil, WithTTL(0)); err == nil {
+		t.Error("zero TTL accepted")
+	}
+	if _, err := Run(tp, nil, WithInboxSize(0)); err == nil {
+		t.Error("zero inbox accepted")
+	}
+	if _, err := Run(tp, nil, WithFailedNodes(-1)); err == nil {
+		t.Error("out-of-range failed node accepted")
+	}
+}
+
+func TestDeterministicCounts(t *testing.T) {
+	tp := build(t, core.Config{N: 3, K: 1, P: 2})
+	n := tp.Network().NumServers()
+	flows := traffic.AllToAll(n)
+	a, err := Run(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.MaxHops != b.MaxHops || a.HelloAcks != b.HelloAcks {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	tp := build(t, core.Config{N: 2, K: 0, P: 2})
+	stats, err := Run(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Injected != 0 || !stats.Accounted() {
+		t.Errorf("empty workload stats: %+v", stats)
+	}
+}
+
+func TestEmulatorRunsBCubeToo(t *testing.T) {
+	// The emulator is generic over Forwarder: BCube's hop-by-hop policy
+	// must deliver a permutation exactly like ABCCC's does.
+	tp, err := bcube.Build(bcube.Config{N: 4, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := traffic.Permutation(tp.Network().NumServers(), rand.New(rand.NewSource(3)))
+	stats, err := Run(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != len(flows) || !stats.Accounted() {
+		t.Errorf("BCube emulation: %+v", stats)
+	}
+	if stats.MaxHops > tp.Config().K+1 {
+		t.Errorf("BCube hops %d > diameter %d", stats.MaxHops, tp.Config().K+1)
+	}
+}
+
+func TestEmulatorRunsFatTreeToo(t *testing.T) {
+	tp, err := fattree.Build(fattree.Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := traffic.Permutation(tp.Network().NumServers(), rand.New(rand.NewSource(4)))
+	stats, err := Run(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != len(flows) || !stats.Accounted() {
+		t.Errorf("fat-tree emulation: %+v", stats)
+	}
+	// Hops counted in switch traversals: at most 5 (edge-agg-core-agg-edge).
+	if stats.MaxHops > 5 {
+		t.Errorf("fat-tree hops %d > 5", stats.MaxHops)
+	}
+}
+
+func TestEmulatorRunsBCCCToo(t *testing.T) {
+	tp, err := bccc.Build(bccc.Config{N: 3, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := traffic.Permutation(tp.Network().NumServers(), rand.New(rand.NewSource(5)))
+	stats, err := Run(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != len(flows) || !stats.Accounted() {
+		t.Errorf("BCCC emulation: %+v", stats)
+	}
+}

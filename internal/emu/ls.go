@@ -1,0 +1,205 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/traffic"
+)
+
+// LSStats is the outcome of a link-state run.
+type LSStats struct {
+	// Rounds is the number of synchronous flooding rounds until no node
+	// learned anything new; Messages counts LSA transmissions (the flooding
+	// cost that distinguishes LS from DV).
+	Rounds, Messages int
+	// Injected/Delivered/Dropped account the data phase.
+	Injected, Delivered, Dropped int
+	// MaxHops is the largest cable-hop count among delivered packets.
+	MaxHops int
+}
+
+// lsNode is the per-device protocol state: the link-state database (learned
+// adjacency lists) and the LSAs to forward next round.
+type lsNode struct {
+	db      map[int][]int // originator -> its live adjacency
+	pending []int         // originators learned this round, to flood next
+}
+
+// RunLS emulates a link-state control plane: every live node originates a
+// link-state advertisement (its live adjacency — dead neighbors detected by
+// hello timeout are excluded), LSAs flood in synchronous rounds until
+// quiescence, and every node then computes shortest-path next hops over its
+// learned map by BFS. The workload is delivered by per-node table lookup.
+//
+// Compared to distance-vector (RunDV), convergence takes only ~eccentricity
+// rounds and failures never count to infinity, but the flooding volume and
+// the per-node database are larger — the classic LS/DV trade, quantified by
+// the control-plane experiment. Loop freedom of hop-by-hop delivery follows
+// from every node holding the complete map: each hop strictly decreases the
+// true shortest distance regardless of tie-breaking.
+func RunLS(t Forwarder, flows []traffic.Flow, failedNodes ...int) (LSStats, error) {
+	net := t.Network()
+	g := net.Graph()
+	servers := net.Servers()
+	for _, f := range flows {
+		if f.Src < 0 || f.Src >= len(servers) || f.Dst < 0 || f.Dst >= len(servers) {
+			return LSStats{}, fmt.Errorf("emu: ls flow endpoints (%d,%d) out of %d servers",
+				f.Src, f.Dst, len(servers))
+		}
+	}
+	failed := make([]bool, g.NumNodes())
+	for _, node := range failedNodes {
+		if node < 0 || node >= g.NumNodes() {
+			return LSStats{}, fmt.Errorf("emu: ls failed node %d out of range", node)
+		}
+		failed[node] = true
+	}
+
+	// Live adjacency and per-node state.
+	adj := make([][]int, g.NumNodes())
+	nodes := make([]*lsNode, g.NumNodes())
+	for id := range nodes {
+		if failed[id] {
+			continue
+		}
+		for _, nb := range g.Neighbors(id, nil) {
+			if !failed[nb] {
+				adj[id] = append(adj[id], nb)
+			}
+		}
+		nodes[id] = &lsNode{db: map[int][]int{id: adj[id]}, pending: []int{id}}
+	}
+
+	stats := LSStats{Injected: len(flows)}
+	var messages atomic.Int64
+
+	// Synchronous flooding: each round, every node forwards the LSAs it
+	// learned last round to all live neighbors; receivers store unknown
+	// ones. Two-phase (snapshot pending, then deliver) keeps it
+	// deterministic.
+	for round := 1; ; round++ {
+		if round > 2*g.NumNodes() {
+			return LSStats{}, fmt.Errorf("emu: ls flooding failed to quiesce")
+		}
+		type batch struct {
+			origin int
+			links  []int
+		}
+		outbox := make([][]batch, g.NumNodes())
+		busy := false
+		for id, n := range nodes {
+			if n == nil || len(n.pending) == 0 {
+				continue
+			}
+			busy = true
+			for _, origin := range n.pending {
+				outbox[id] = append(outbox[id], batch{origin: origin, links: n.db[origin]})
+			}
+			n.pending = nil
+		}
+		if !busy {
+			stats.Rounds = round - 1
+			break
+		}
+		var wg sync.WaitGroup
+		for id := range nodes {
+			if nodes[id] == nil {
+				continue
+			}
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := nodes[id]
+				// Pull from every live neighbor's outbox, fixed order.
+				for _, nb := range adj[id] {
+					for _, b := range outbox[nb] {
+						messages.Add(1)
+						if _, known := n.db[b.origin]; !known {
+							n.db[b.origin] = b.links
+							n.pending = append(n.pending, b.origin)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	stats.Messages = int(messages.Load())
+
+	// Data phase: every node's complete database yields true shortest
+	// distances on the live graph; a packet hops to any neighbor strictly
+	// closer to the destination, which is loop-free regardless of
+	// tie-breaking. Distances are precomputed per destination.
+	distTo := make(map[int][]int32, len(servers))
+	ttl := 2 * g.NumNodes()
+	for _, f := range flows {
+		dst := servers[f.Dst]
+		if _, ok := distTo[dst]; !ok {
+			distTo[dst] = bfsLive(g, adj, dst, failed)
+		}
+		src := servers[f.Src]
+		hops, ok := lsDeliver(adj, distTo[dst], src, dst, failed, ttl)
+		if !ok {
+			stats.Dropped++
+			continue
+		}
+		stats.Delivered++
+		if hops > stats.MaxHops {
+			stats.MaxHops = hops
+		}
+	}
+	return stats, nil
+}
+
+// bfsLive computes hop distances to dst over the live adjacency.
+func bfsLive(g interface{ NumNodes() int }, adj [][]int, dst int, failed []bool) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if failed[dst] {
+		return dist
+	}
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// lsDeliver walks hop-by-hop: at each node, pick the first live neighbor
+// strictly closer to the destination (the node's own Dijkstra result).
+func lsDeliver(adj [][]int, dist []int32, src, dst int, failed []bool, ttl int) (int, bool) {
+	if failed[src] || failed[dst] || dist[src] < 0 {
+		return 0, false
+	}
+	cur := src
+	for hops := 0; hops <= ttl; hops++ {
+		if cur == dst {
+			return hops, true
+		}
+		next := -1
+		for _, nb := range adj[cur] {
+			if dist[nb] >= 0 && dist[nb] == dist[cur]-1 {
+				next = nb
+				break
+			}
+		}
+		if next == -1 {
+			return 0, false
+		}
+		cur = next
+	}
+	return 0, false
+}

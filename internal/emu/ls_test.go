@@ -1,0 +1,120 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+func TestLSDeliversShortestPaths(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	flows := traffic.AllToAll(net.NumServers())
+	stats, err := RunLS(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != len(flows) || stats.Dropped != 0 {
+		t.Fatalf("delivered %d/%d, dropped %d", stats.Delivered, len(flows), stats.Dropped)
+	}
+	servers := net.Servers()
+	worst := 0
+	for _, src := range servers {
+		ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+		if !ok {
+			t.Fatal("disconnected")
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	if stats.MaxHops != worst {
+		t.Errorf("LS max hops %d, graph diameter %d", stats.MaxHops, worst)
+	}
+}
+
+func TestLSConvergesFasterThanDVWithMoreMessages(t *testing.T) {
+	// The classic trade: LS quiesces in about the network eccentricity
+	// (plus the quiet detection round), while DV needs distance-many rounds;
+	// LS floods more messages.
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	ls, err := RunLS(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := RunDV(tp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Rounds > dv.Rounds {
+		t.Errorf("LS rounds %d > DV rounds %d", ls.Rounds, dv.Rounds)
+	}
+	if ls.Messages <= dv.Messages {
+		t.Errorf("LS messages %d <= DV messages %d — flooding should cost more",
+			ls.Messages, dv.Messages)
+	}
+}
+
+func TestLSServesExactlyConnectedPairsUnderFailures(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	victim := net.Switches()[2]
+	view := graph.NewView(net.Graph())
+	view.FailNode(victim)
+
+	flows := traffic.AllToAll(net.NumServers())
+	servers := net.Servers()
+	connected := 0
+	for _, f := range flows {
+		if net.Graph().ShortestPath(servers[f.Src], servers[f.Dst], view) != nil {
+			connected++
+		}
+	}
+	stats, err := RunLS(tp, flows, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != connected {
+		t.Errorf("LS delivered %d, want %d connected pairs", stats.Delivered, connected)
+	}
+}
+
+func TestLSFailedEndpoints(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 1, P: 2})
+	dead := tp.Network().Servers()[0]
+	stats, err := RunLS(tp, []traffic.Flow{{Src: 0, Dst: 3}, {Src: 3, Dst: 0}}, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 0 || stats.Dropped != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestLSDeterministic(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	flows := traffic.AllToAll(tp.Network().NumServers())
+	a, err := RunLS(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLS(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic LS: %+v vs %+v", a, b)
+	}
+}
+
+func TestLSErrors(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 0, P: 2})
+	if _, err := RunLS(tp, []traffic.Flow{{Src: 0, Dst: 9}}); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := RunLS(tp, nil, -2); err == nil {
+		t.Error("out-of-range failed node accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/flowsim"
+	"repro/internal/metrics"
+	"repro/internal/traffic"
+)
+
+// F13PortTradeoff regenerates the tunability ablation, the abstract's "suits
+// many different applications by fine tuning its parameters" claim: at fixed
+// (n, k), sweeping the server port count p trades server population against
+// diameter, per-server bisection, per-server CapEx and per-server
+// all-to-all throughput. p=2 maximizes servers per switch dollar; larger p
+// buys latency and bandwidth.
+func F13PortTradeoff(w io.Writer) error {
+	model := cost.Default()
+	tw := table(w)
+	fmt.Fprintln(tw, "p\tservers\tr\tdiam(hops)\tASPL(links)\tbisec/srv\t$/srv\ta2a rate/srv")
+	for _, p := range []int{2, 3, 4, 5} {
+		cfg := core.Config{N: 4, K: 2, P: p}
+		if cfg.Validate() != nil {
+			continue
+		}
+		tp := core.MustBuild(cfg)
+		net := tp.Network()
+		props := tp.Properties()
+		aspl, err := metrics.ASPL(net, 24, rand.New(rand.NewSource(3)))
+		if err != nil {
+			return err
+		}
+		exactCut := metrics.BisectionCut(net)
+		flows := traffic.AllToAll(net.NumServers())
+		paths, err := flowsim.RoutePaths(tp, flows)
+		if err != nil {
+			return err
+		}
+		asg, err := flowsim.MaxMinFair(net, paths)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.3f\t%.4f\t%.2f\t%.4f\n",
+			p, props.Servers, cfg.ServersPerCrossbar(), props.Diameter, aspl,
+			float64(exactCut)/float64(props.Servers),
+			model.CapEx(props).PerServer(props.Servers),
+			asg.ABT()/float64(props.Servers))
+	}
+	return tw.Flush()
+}

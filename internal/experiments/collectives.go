@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// F23Collectives regenerates the collective-communication table (the GBC3
+// extension set): one-to-all broadcast, all-to-one gather (with in-network
+// aggregation), one-to-many multicast to a rack-sized subset, and the
+// pipelined broadcast speedup from the edge-disjoint forest at r = 1.
+func F23Collectives(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tbroadcast depth\tgather depth\tmulticast(8) links\tforest trees\tpipelined speedup")
+	for _, cfg := range []core.Config{
+		{N: 4, K: 1, P: 2},
+		{N: 4, K: 1, P: 3},
+		{N: 4, K: 2, P: 4},
+	} {
+		tp := core.MustBuild(cfg)
+		net := tp.Network()
+		root := net.Server(0)
+
+		bDepth, err := tp.BroadcastDepth(root)
+		if err != nil {
+			return err
+		}
+		gDepth, err := tp.GatherDepth(root)
+		if err != nil {
+			return err
+		}
+		// Multicast to the 8 highest-numbered servers (a far "rack").
+		servers := net.Servers()
+		dsts := servers[len(servers)-8:]
+		mc, err := tp.Multicast(root, dsts)
+		if err != nil {
+			return err
+		}
+		mcEdges := map[[2]int]bool{}
+		for _, p := range mc {
+			for i := 1; i < len(p); i++ {
+				mcEdges[[2]int{p[i-1], p[i]}] = true
+			}
+		}
+		forest, err := tp.BroadcastForest(root)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1fx\n",
+			net.Name(), net.NumServers(), bDepth, gDepth, len(mcEdges),
+			len(forest), float64(len(forest)))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/failure"
+	"repro/internal/traffic"
+)
+
+// F20ControlPlane compares three ways of operating an ABCCC: the static
+// O(1)-state algorithmic forwarding (NextHop), learned distance-vector
+// tables (O(#servers) state, distance-many convergence rounds), and a
+// flooded link-state plane (full-map state, ~eccentricity rounds, far more
+// control messages) — and the all-to-all delivery each achieves with 5% of
+// switches dead. Algorithmic forwarding is free but blind; DV is cheap but
+// converges slowly; LS converges fast but floods. Both table planes serve
+// every connected pair under failures.
+func F20ControlPlane(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tplane\tstate/device\tconv rounds\tmsgs\tdelivered(healthy)\tdelivered(5% sw dead)")
+	for _, cfg := range []core.Config{
+		{N: 4, K: 1, P: 2},
+		{N: 4, K: 2, P: 3},
+	} {
+		tp := core.MustBuild(cfg)
+		net := tp.Network()
+		n := net.NumServers()
+		flows := traffic.AllToAll(n)
+		if len(flows) > 4000 {
+			flows = flows[:4000]
+		}
+		rng := rand.New(rand.NewSource(29))
+		view := failure.Inject(net, failure.Switches, 0.05, rng)
+		var dead []int
+		for _, sw := range net.Switches() {
+			if !view.NodeUp(sw) {
+				dead = append(dead, sw)
+			}
+		}
+
+		// Static algorithmic plane.
+		healthy, err := emu.Run(tp, flows)
+		if err != nil {
+			return err
+		}
+		broken, err := emu.Run(tp, flows, emu.WithFailedNodes(dead...))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\tstatic NextHop\tO(1)\t0\t0\t%d/%d\t%d/%d\n",
+			net.Name(), healthy.Delivered, len(flows), broken.Delivered, len(flows))
+
+		// Learned distance-vector plane.
+		dvHealthy, err := emu.RunDV(tp, flows)
+		if err != nil {
+			return err
+		}
+		dvBroken, err := emu.RunDV(tp, flows, dead...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\tDV tables\t%d entries\t%d\t%d\t%d/%d\t%d/%d\n",
+			net.Name(), n, dvHealthy.Rounds, dvHealthy.Messages,
+			dvHealthy.Delivered, len(flows), dvBroken.Delivered, len(flows))
+
+		// Flooded link-state plane.
+		lsHealthy, err := emu.RunLS(tp, flows)
+		if err != nil {
+			return err
+		}
+		lsBroken, err := emu.RunLS(tp, flows, dead...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\tLS flooding\tfull map\t%d\t%d\t%d/%d\t%d/%d\n",
+			net.Name(), lsHealthy.Rounds, lsHealthy.Messages,
+			lsHealthy.Delivered, len(flows), lsBroken.Delivered, len(flows))
+	}
+	return tw.Flush()
+}

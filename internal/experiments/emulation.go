@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// topologyPath and linkLoadsOf keep the experiment bodies terse.
+type topologyPath = topology.Path
+
+func linkLoadsOf(net *topology.Network, paths []topologyPath) metrics.LoadReport {
+	return metrics.LinkLoads(net, paths)
+}
+
+// F15Emulation runs the built structure as a distributed system (one
+// goroutine per device, channels as cables, O(1)-state hop-by-hop
+// forwarding) and checks that operational behaviour matches the static
+// analysis: full delivery within the forwarding bound on a healthy network,
+// and exact accounting of losses when devices die.
+func F15Emulation(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "scenario\tinjected\tdelivered\tdropped(failed)\tmax hops\thop bound\tadjacencies")
+	for _, cfg := range []core.Config{
+		{N: 4, K: 1, P: 2},
+		{N: 4, K: 2, P: 3},
+	} {
+		tp := core.MustBuild(cfg)
+		net := tp.Network()
+		n := net.NumServers()
+		rng := rand.New(rand.NewSource(21))
+		flows := traffic.Permutation(n, rng)
+		bound := 2*cfg.Digits() + 1
+
+		healthy, err := emu.Run(tp, flows)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s healthy\t%d\t%d\t%d\t%d\t%d\t%d/%d\n",
+			net.Name(), healthy.Injected, healthy.Delivered, healthy.DroppedFailed,
+			healthy.MaxHops, bound, healthy.HelloAcks, 2*net.NumLinks())
+
+		// Kill 5% of switches; packets through them are lost with exact
+		// accounting, and the discovery sweep sees the dead adjacencies.
+		view := failure.Inject(net, failure.Switches, 0.05, rng)
+		var dead []int
+		for _, sw := range net.Switches() {
+			if !view.NodeUp(sw) {
+				dead = append(dead, sw)
+			}
+		}
+		broken, err := emu.Run(tp, flows, emu.WithFailedNodes(dead...))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s 5%% switches dead\t%d\t%d\t%d\t%d\t%d\t%d/%d\n",
+			net.Name(), broken.Injected, broken.Delivered, broken.DroppedFailed,
+			broken.MaxHops, bound, broken.HelloAcks, 2*net.NumLinks())
+	}
+	return tw.Flush()
+}
+
+// F16LoadBalance is the honest version of the companion paper's
+// load-balancing claim: repeated flows between the same endpoints (a long-
+// lived elephant pair population) routed with one fixed permutation pile
+// onto the same level switches, while per-flow random permutations spread
+// them. The table reports the peak link load of 8 flows per pair across 32
+// pairs under each policy.
+func F16LoadBalance(w io.Writer) error {
+	tp := core.MustBuild(core.Config{N: 4, K: 2, P: 2})
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(17))
+	servers := net.Servers()
+
+	const pairs, flowsPerPair = 32, 8
+	type pair struct{ src, dst int }
+	ps := make([]pair, pairs)
+	for i := range ps {
+		a, b := rng.Intn(len(servers)), rng.Intn(len(servers)-1)
+		if b >= a {
+			b++
+		}
+		ps[i] = pair{servers[a], servers[b]}
+	}
+
+	tw := table(w)
+	fmt.Fprintln(tw, "policy\tmax link load\tavg link load\tused links\tJain fairness")
+	for _, policy := range []struct {
+		name   string
+		random bool
+	}{
+		{name: "fixed grouped permutation", random: false},
+		{name: "random permutation per flow", random: true},
+	} {
+		var paths []topologyPath
+		for _, pr := range ps {
+			for f := 0; f < flowsPerPair; f++ {
+				var (
+					p   topologyPath
+					err error
+				)
+				if policy.random {
+					p, err = tp.RouteWithStrategy(pr.src, pr.dst, core.StrategyRandom, int64(f))
+				} else {
+					p, err = tp.Route(pr.src, pr.dst)
+				}
+				if err != nil {
+					return err
+				}
+				paths = append(paths, p)
+			}
+		}
+		load := linkLoadsOf(net, paths)
+		// Fairness over the whole fabric: idle links count as zeros, so a
+		// policy that leaves most of the fabric dark scores low.
+		vec := metrics.LinkLoadVector(net, paths)
+		for i := load.UsedLinks; i < net.NumLinks(); i++ {
+			vec = append(vec, 0)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%d\t%.3f\n",
+			policy.name, load.MaxLoad, load.AvgLoad, load.UsedLinks, metrics.JainFairness(vec))
+	}
+	return tw.Flush()
+}

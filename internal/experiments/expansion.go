@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/fattree"
+)
+
+// F11Expansion regenerates the headline expandability result: growing each
+// structure one order (k -> k+1), how many components are added, how many
+// existing cables move, how many existing servers need hardware changes, and
+// what the expansion costs under the price model. ABCCC touches nothing
+// that already exists; BCube must open every server for an extra NIC.
+func F11Expansion(w io.Writer) error {
+	model := cost.Default()
+	tw := table(w)
+	fmt.Fprintln(tw, "expansion\tservers\tnew srv\tnew sw\tnew links\trewired\tupgraded srv\treplaced sw\ttouched\texpansion $/new srv")
+
+	// ABCCC chains at two port counts.
+	for _, p := range []int{2, 3} {
+		tp := core.MustBuild(core.Config{N: 6, K: 0, P: p})
+		for tp.Config().K < 2 {
+			bigger, rep, err := core.Expand(tp)
+			if err != nil {
+				return err
+			}
+			dollars := model.ExpansionCost(rep, bigger.Config().N, bigger.Config().P)
+			fmt.Fprintf(tw, "%s->%s\t%d->%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\t%.0f\n",
+				rep.Before, rep.After, rep.ServersBefore, rep.ServersAfter,
+				rep.NewServers, rep.NewSwitches, rep.NewLinks,
+				rep.RewiredLinks, rep.UpgradedServers, rep.ReplacedSwitches,
+				100*rep.TouchedFraction(), dollars/float64(rep.NewServers))
+			tp = bigger
+		}
+	}
+
+	// BCube chain.
+	bt := bcube.MustBuild(bcube.Config{N: 6, K: 0})
+	for bt.Config().K < 2 {
+		bigger, rep, err := bcube.Expand(bt)
+		if err != nil {
+			return err
+		}
+		dollars := model.ExpansionCost(rep, bigger.Config().N, bigger.Config().K+1)
+		fmt.Fprintf(tw, "%s->%s\t%d->%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\t%.0f\n",
+			rep.Before, rep.After, rep.ServersBefore, rep.ServersAfter,
+			rep.NewServers, rep.NewSwitches, rep.NewLinks,
+			rep.RewiredLinks, rep.UpgradedServers, rep.ReplacedSwitches,
+			100*rep.TouchedFraction(), dollars/float64(rep.NewServers))
+		bt = bigger
+	}
+
+	// Fat-tree contrast: growth means a bigger radix everywhere.
+	ft := fattree.MustBuild(fattree.Config{K: 4})
+	for ft.Config().K < 8 {
+		bigger, rep, err := fattree.Expand(ft)
+		if err != nil {
+			return err
+		}
+		// Replaced switches are scrap (no resale modeled); their successors
+		// are part of NewSwitches and priced by ExpansionCost.
+		dollars := model.ExpansionCost(rep, bigger.Config().K, 1)
+		fmt.Fprintf(tw, "%s->%s\t%d->%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\t%.0f\n",
+			rep.Before, rep.After, rep.ServersBefore, rep.ServersAfter,
+			rep.NewServers, rep.NewSwitches, rep.NewLinks,
+			rep.RewiredLinks, rep.UpgradedServers, rep.ReplacedSwitches,
+			100*rep.TouchedFraction(), dollars/float64(rep.NewServers))
+		ft = bigger
+	}
+	return tw.Flush()
+}

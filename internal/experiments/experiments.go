@@ -1,0 +1,104 @@
+// Package experiments implements the paper's evaluation suite. Each
+// experiment regenerates one table or figure of the reconstructed evaluation
+// as a plain-text table (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results). The same functions back the
+// cmd/benchsuite binary and the repository-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (T1..T2, F1..F14).
+	ID string
+	// Title is the paper-style caption.
+	Title string
+	// Run writes the regenerated rows to w.
+	Run func(w io.Writer) error
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "T1", Title: "Topological properties of ABCCC vs existing structures", Run: T1Properties},
+		{ID: "T2", Title: "Network size vs (n, k, p)", Run: T2NetworkSize},
+		{ID: "T3", Title: "Wiring complexity (cables and ports per server)", Run: T3WiringComplexity},
+		{ID: "F1", Title: "Diameter vs number of servers", Run: F1Diameter},
+		{ID: "F2", Title: "Average path length (BFS vs routed)", Run: F2ASPL},
+		{ID: "F3", Title: "Bisection width: analytic vs exact min-cut", Run: F3Bisection},
+		{ID: "F4", Title: "Interconnect CapEx vs number of servers", Run: F4CapEx},
+		{ID: "F5", Title: "Permutation strategy: path length and link load", Run: F5Permutation},
+		{ID: "F6", Title: "Aggregate bottleneck throughput (ABT)", Run: F6ABT},
+		{ID: "F7", Title: "Connection failure ratio vs server failures", Run: F7ServerFailures},
+		{ID: "F8", Title: "Connection failure ratio vs switch failures", Run: F8SwitchFailures},
+		{ID: "F9", Title: "Connection failure ratio vs link failures", Run: F9LinkFailures},
+		{ID: "F10", Title: "Path-length distribution and parallel paths", Run: F10ParallelPaths},
+		{ID: "F11", Title: "Expansion cost: ABCCC vs BCube", Run: F11Expansion},
+		{ID: "F12", Title: "Packet-level latency and loss", Run: F12PacketSim},
+		{ID: "F13", Title: "Port-count (p) trade-off ablation", Run: F13PortTradeoff},
+		{ID: "F14", Title: "One-to-all broadcast", Run: F14Broadcast},
+		{ID: "F15", Title: "Distributed emulation (goroutine-per-device)", Run: F15Emulation},
+		{ID: "F16", Title: "Load balance of repeated flows vs permutation policy", Run: F16LoadBalance},
+		{ID: "F17", Title: "Incremental deployment: crossbar-by-crossbar growth", Run: F17Incremental},
+		{ID: "F18", Title: "Shuffle flow-completion times (fluid model)", Run: F18ShuffleFCT},
+		{ID: "F19", Title: "Reliable transport (Reno-like): shuffle and incast", Run: F19Transport},
+		{ID: "F20", Title: "Control planes: static forwarding vs DV tables vs LS flooding", Run: F20ControlPlane},
+		{ID: "F21", Title: "DV reconvergence after switch failures", Run: F21Reconvergence},
+		{ID: "F22", Title: "Single points of failure (articulation points)", Run: F22SinglePointsOfFailure},
+		{ID: "F23", Title: "Collective operations: broadcast, gather, multicast, forest", Run: F23Collectives},
+		{ID: "F24", Title: "Grow while serving: live expansion under the DV plane", Run: F24GrowWhileServing},
+		{ID: "F25", Title: "Latency vs offered load (Poisson arrivals, transport)", Run: F25LatencyVsLoad},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, writing a titled section for each.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes one experiment with its section header.
+func RunOne(w io.Writer, e Experiment) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title); err != nil {
+		return err
+	}
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// table starts an aligned writer; callers must Flush it.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// sortedKeys returns the sorted keys of an int-keyed map.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

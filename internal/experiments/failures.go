@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// failureRates is the sweep of the fault-tolerance figures (0% .. 20%).
+var failureRates = []float64{0, 0.02, 0.05, 0.10, 0.15, 0.20}
+
+// faultSubject is a structure under test plus its fault-routing function.
+type faultSubject struct {
+	name  string
+	t     topology.Topology
+	route func(src, dst int, view *graph.View) (topology.Path, error)
+}
+
+func faultSubjects() []faultSubject {
+	a := core.MustBuild(core.Config{N: 4, K: 2, P: 3}) // 128 servers
+	b := bcube.MustBuild(bcube.Config{N: 4, K: 2})     // 64 servers
+	return []faultSubject{
+		{name: "ABCCC(4,2,3) adaptive", t: a, route: a.RouteAvoiding},
+		{name: "ABCCC(4,2,3) multipath", t: a, route: a.RouteAvoidingMultipath},
+		{name: "BCube(4,2)", t: b, route: b.RouteAvoiding},
+	}
+}
+
+// F7ServerFailures regenerates the server-failure figure: the fraction of
+// sampled server pairs whose fault-tolerant route fails ("miss") and the
+// fraction genuinely disconnected (or with a failed endpoint), as server
+// failure rates sweep 0-20%. Server-centric structures lose pairs mostly
+// through endpoint failure; the gap between miss and disconnected is the
+// routing algorithm's own inefficiency.
+func F7ServerFailures(w io.Writer) error {
+	return failureSweep(w, failure.Servers)
+}
+
+// F8SwitchFailures regenerates the switch-failure figure.
+func F8SwitchFailures(w io.Writer) error {
+	return failureSweep(w, failure.Switches)
+}
+
+// F9LinkFailures regenerates the link-failure figure.
+func F9LinkFailures(w io.Writer) error {
+	return failureSweep(w, failure.Links)
+}
+
+func failureSweep(w io.Writer, kind failure.Kind) error {
+	const (
+		pairsPerTrial = 200
+		trials        = 3
+	)
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tfail rate\tmiss ratio\tdisconnected")
+	for _, sub := range faultSubjects() {
+		net := sub.t.Network()
+		for _, rate := range failureRates {
+			var missSum, discSum float64
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000*rate) + int64(trial)))
+				view := failure.Inject(net, kind, rate, rng)
+				pairs := failure.SamplePairs(net, pairsPerTrial, rng)
+				miss, disc := metrics.ConnectionFailureRatio(net, view, sub.route, pairs)
+				missSum += miss
+				discSum += disc
+			}
+			fmt.Fprintf(tw, "%s\t%.0f%%\t%.4f\t%.4f\n",
+				sub.name, rate*100, missSum/trials, discSum/trials)
+		}
+	}
+	return tw.Flush()
+}

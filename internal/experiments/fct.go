@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/fattree"
+	"repro/internal/flowsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// F18ShuffleFCT regenerates the job-completion view of throughput: a
+// MapReduce shuffle's flow-completion times under the fluid max-min model
+// (GbE line rate, 64 MB per flow). The makespan — when the last flow
+// finishes and the job can proceed — is the number operators feel; it is
+// the per-flow inverse of the ABT ordering in F6.
+func F18ShuffleFCT(w io.Writer) error {
+	builds := []struct {
+		name string
+		t    topology.Topology
+	}{
+		{"ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"ABCCC(4,1,3)", core.MustBuild(core.Config{N: 4, K: 1, P: 3})},
+		{"ABCCC(4,2,3)", core.MustBuild(core.Config{N: 4, K: 2, P: 3})},
+		{"BCube(4,1)", bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+		{"FatTree(4)", fattree.MustBuild(fattree.Config{K: 4})},
+	}
+	const (
+		lineRate  = 125e6    // bytes/sec (GbE)
+		flowBytes = 64 << 20 // 64 MB shuffle chunks
+	)
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tflows\tmean FCT(s)\tp99 FCT(s)\tmakespan(s)")
+	for _, b := range builds {
+		n := b.t.Network().NumServers()
+		flows, err := traffic.Shuffle(n, n/4, n/4, rand.New(rand.NewSource(23)))
+		if err != nil {
+			return err
+		}
+		for i := range flows {
+			flows[i].Bytes = flowBytes
+		}
+		paths, err := flowsim.RoutePaths(b.t, flows)
+		if err != nil {
+			return err
+		}
+		asg, err := flowsim.MaxMinFair(b.t.Network(), paths)
+		if err != nil {
+			return err
+		}
+		rep, err := flowsim.CompletionTimes(flows, paths, asg, lineRate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%.2f\t%.2f\n",
+			b.name, n, len(flows), rep.MeanSec, rep.P99Sec, rep.MakespanSec)
+	}
+	return tw.Flush()
+}

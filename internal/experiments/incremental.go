@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// F17Incremental regenerates the finest-grained expandability result: an
+// ABCCC deployed one crossbar at a time. At every intermediate size the
+// network must be connected and routable (packets detour around the
+// not-yet-built address space), and every growth step adds components
+// without touching a single installed cable or server.
+func F17Incremental(w io.Writer) error {
+	cfg := core.Config{N: 4, K: 1, P: 2} // grows to 16 crossbars / 32 servers
+	tw := table(w)
+	fmt.Fprintln(tw, "crossbars\tservers\tswitches\tlinks\tavg route(links)\tworst\trewired\tupgraded")
+
+	p, err := core.BuildPartial(cfg, 1)
+	if err != nil {
+		return err
+	}
+	for {
+		net := p.Network()
+		pairs := allPairsCapped(net, 600, rand.New(rand.NewSource(int64(p.Crossbars()))))
+		avg, worst := 0.0, 0
+		if len(pairs) > 0 {
+			if avg, worst, err = metrics.AvgRoutedLength(p, pairs); err != nil {
+				return err
+			}
+		}
+		rewired, upgraded := "-", "-"
+		if p.Crossbars() < cfg.NumVectors() {
+			bigger, report, err := core.Grow(p)
+			if err != nil {
+				return err
+			}
+			rewired = fmt.Sprintf("%d", report.RewiredLinks)
+			upgraded = fmt.Sprintf("%d", report.UpgradedServers)
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.2f\t%d\t%s\t%s\n",
+				p.Crossbars(), net.NumServers(), net.NumSwitches(), net.NumLinks(),
+				avg, worst, rewired, upgraded)
+			p = bigger
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.2f\t%d\t%s\t%s\n",
+			p.Crossbars(), net.NumServers(), net.NumSwitches(), net.NumLinks(),
+			avg, worst, rewired, upgraded)
+		break
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/packetsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// F25LatencyVsLoad regenerates the classic latency-versus-offered-load
+// curve: Poisson flow arrivals at increasing rates, carried by the reliable
+// transport, with mean and p99 flow-completion times reported per load
+// point. FCTs stay flat until the fabric saturates, then grow sharply —
+// and the knee sits further right on structures with more per-server
+// capacity.
+func F25LatencyVsLoad(w io.Writer) error {
+	builds := []struct {
+		name string
+		t    topology.Topology
+	}{
+		{"ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"ABCCC(4,1,3)", core.MustBuild(core.Config{N: 4, K: 1, P: 3})},
+		{"BCube(4,1)", bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+	}
+	cfg := packetsim.DefaultTransport()
+	const (
+		duration  = 0.05      // seconds of arrivals
+		flowBytes = 256 << 10 // 256 KB per flow
+	)
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tarrivals/sec/srv\tflows\tcompleted\tmean FCT(ms)\tp99 FCT(ms)\tretransmits")
+	for _, b := range builds {
+		n := b.t.Network().NumServers()
+		// Rates are per server so differently sized structures carry the
+		// same per-server offered load.
+		for _, perServer := range []float64{10, 40, 100} {
+			rng := rand.New(rand.NewSource(37))
+			flows, err := traffic.Poisson(n, perServer*float64(n), duration, rng)
+			if err != nil {
+				return err
+			}
+			for i := range flows {
+				flows[i].Bytes = flowBytes
+			}
+			res, err := packetsim.RunTransport(b.t, flows, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%.2f\t%.2f\t%d\n",
+				b.name, perServer, len(flows), res.CompletedFlows,
+				res.MeanFCTSec*1e3, res.P99FCTSec*1e3, res.Retransmits)
+		}
+	}
+	return tw.Flush()
+}

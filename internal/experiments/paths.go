@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// F10ParallelPaths regenerates two path diversity results: the distribution
+// of routed path lengths over all pairs (the "near-equal" length claim), and
+// the number and length spread of internally disjoint parallel paths the
+// construction finds per pair.
+func F10ParallelPaths(w io.Writer) error {
+	for _, cfg := range []core.Config{
+		{N: 4, K: 1, P: 2},
+		{N: 4, K: 1, P: 3},
+		{N: 4, K: 2, P: 3},
+	} {
+		tp := core.MustBuild(cfg)
+		net := tp.Network()
+		rng := rand.New(rand.NewSource(5))
+		pairs := allPairsCapped(net, 3000, rng)
+
+		hist, err := metrics.PathLengthHistogram(tp, pairs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: routed path length histogram (links -> pairs):\n", net.Name())
+		tw := table(w)
+		for l, c := range hist {
+			if c > 0 {
+				fmt.Fprintf(tw, "  %d\t%d\n", l, c)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+
+		// Parallel-path stats over a sample of distinct pairs, with the
+		// structure-agnostic greedy-graph extraction as the baseline the
+		// native construction must match.
+		countHist := make(map[int]int)
+		var minSpread, maxSpread, samples int
+		nativeTotal, greedyTotal := 0, 0
+		for _, pr := range pairs[:min(len(pairs), 400)] {
+			paths := tp.ParallelPaths(pr[0], pr[1])
+			nativeTotal += len(paths)
+			greedyTotal += len(net.Graph().GreedyDisjointPaths(pr[0], pr[1], cfg.P+1))
+			countHist[len(paths)]++
+			lo, hi := 1<<30, 0
+			for _, p := range paths {
+				if p.Len() < lo {
+					lo = p.Len()
+				}
+				if p.Len() > hi {
+					hi = p.Len()
+				}
+			}
+			if len(paths) > 1 {
+				minSpread += lo
+				maxSpread += hi
+				samples++
+			}
+		}
+		fmt.Fprintf(w, "%s: disjoint parallel paths per pair (count -> pairs):\n", net.Name())
+		tw = table(w)
+		for _, c := range sortedKeys(countHist) {
+			fmt.Fprintf(tw, "  %d\t%d\n", c, countHist[c])
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if samples > 0 {
+			fmt.Fprintf(w, "%s: avg shortest/longest disjoint path: %.2f / %.2f links\n",
+				net.Name(), float64(minSpread)/float64(samples), float64(maxSpread)/float64(samples))
+		}
+		fmt.Fprintf(w, "%s: native parallel paths per pair %.2f vs greedy-graph baseline %.2f\n",
+			net.Name(), float64(nativeTotal)/float64(min(len(pairs), 400)),
+			float64(greedyTotal)/float64(min(len(pairs), 400)))
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

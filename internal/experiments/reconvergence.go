@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+)
+
+// F21Reconvergence measures the distance-vector control plane's dynamics on
+// ABCCC: rounds and advertisements to converge from cold start, and to heal
+// after a switch failure (detected by its neighbors, withdrawn with the
+// bounded-infinity rule). Healing is local: it costs a fraction of cold
+// start, and delivery afterwards exactly matches surviving connectivity.
+func F21Reconvergence(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tevent\trounds\tadvertisements\tserved pairs")
+	for _, cfg := range []core.Config{
+		{N: 4, K: 1, P: 2},
+		{N: 4, K: 2, P: 3},
+	} {
+		tp := core.MustBuild(cfg)
+		net := tp.Network()
+		sess, err := emu.NewDVSession(tp)
+		if err != nil {
+			return err
+		}
+		rounds, msgs, err := sess.Converge()
+		if err != nil {
+			return err
+		}
+		served := countServed(sess, net.NumServers())
+		fmt.Fprintf(tw, "%s\tcold start\t%d\t%d\t%d\n", net.Name(), rounds, msgs, served)
+
+		rng := rand.New(rand.NewSource(41))
+		switches := net.Switches()
+		for event := 1; event <= 3; event++ {
+			victim := switches[rng.Intn(len(switches))]
+			if err := sess.FailNode(victim); err != nil {
+				return err
+			}
+			rounds, msgs, err = sess.Converge()
+			if err != nil {
+				return err
+			}
+			served = countServed(sess, net.NumServers())
+			fmt.Fprintf(tw, "%s\tkill %s\t%d\t%d\t%d\n",
+				net.Name(), net.Label(victim), rounds, msgs, served)
+		}
+	}
+	return tw.Flush()
+}
+
+// countServed counts ordered server pairs the session can deliver between.
+func countServed(sess *emu.DVSession, servers int) int {
+	served := 0
+	for si := 0; si < servers; si++ {
+		for di := 0; di < servers; di++ {
+			if si == di {
+				continue
+			}
+			if _, ok := sess.Deliver(si, di); ok {
+				served++
+			}
+		}
+	}
+	return served
+}

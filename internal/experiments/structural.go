@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bccc"
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dcell"
+	"repro/internal/fattree"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// F1Diameter regenerates the diameter-vs-size figure: for each structure
+// family, instances are swept in size and the analytic diameter (links) is
+// reported per server count. ABCCC's diameter grows linearly in k like
+// BCCC's, but dividing by p-1 ownership shrinks it toward BCube's; DCell's
+// doubles per level; the fat-tree is flat.
+func F1Diameter(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tdiam(links)")
+	emit := func(p topology.Properties) {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", p.Name, p.Servers, p.DiameterLinks)
+	}
+	for _, k := range []int{0, 1, 2, 3} {
+		for _, p := range []int{2, 3, 4} {
+			cfg := core.Config{N: 8, K: k, P: p}
+			if cfg.Validate() == nil {
+				emit(cfg.Properties())
+			}
+		}
+		emit(bccc.Config{N: 8, K: k}.Properties())
+		emit(bcube.Config{N: 8, K: k}.Properties())
+		if dc := (dcell.Config{N: 8, K: k}); dc.Validate() == nil {
+			emit(dc.Properties())
+		}
+	}
+	for _, k := range []int{8, 16, 24} {
+		emit(fattree.Config{K: k}.Properties())
+	}
+	return tw.Flush()
+}
+
+// F2ASPL regenerates the average-path-length figure on built instances:
+// the graph's true average shortest path (BFS) against the average and
+// worst length of the structure's own routed paths, both in links. Routed
+// averages close to BFS averages show the routing algorithms near-optimal.
+func F2ASPL(w io.Writer) error {
+	rng := rand.New(rand.NewSource(42))
+	builds := []struct {
+		name string
+		t    topology.Topology
+	}{
+		{"ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"ABCCC(4,1,3)", core.MustBuild(core.Config{N: 4, K: 1, P: 3})},
+		{"ABCCC(4,2,3)", core.MustBuild(core.Config{N: 4, K: 2, P: 3})},
+		{"BCCC(4,1)", bccc.MustBuild(bccc.Config{N: 4, K: 1})},
+		{"BCube(4,2)", bcube.MustBuild(bcube.Config{N: 4, K: 2})},
+		{"DCell(4,1)", dcell.MustBuild(dcell.Config{N: 4, K: 1})},
+		{"FatTree(4)", fattree.MustBuild(fattree.Config{K: 4})},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tASPL(BFS)\tavg routed\tworst routed\tanalytic diam")
+	for _, b := range builds {
+		net := b.t.Network()
+		aspl, err := metrics.ASPL(net, 0, rng)
+		if err != nil {
+			return err
+		}
+		pairs := allPairsCapped(net, 4000, rng)
+		avg, worst, err := metrics.AvgRoutedLength(b.t, pairs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%d\t%d\n",
+			b.name, net.NumServers(), aspl, avg, worst, b.t.Properties().DiameterLinks)
+	}
+	return tw.Flush()
+}
+
+// F3Bisection regenerates the bisection-width figure: the analytic digit-cut
+// formula against the exact min-cut between the canonical halves (max-flow),
+// normalized per server. Per-server bisection is 1/(2r) of line rate for
+// ABCCC: increasing p recovers BCube's 1/2.
+func F3Bisection(w io.Writer) error {
+	builds := []struct {
+		name string
+		t    topology.Topology
+	}{
+		{"ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"ABCCC(4,1,3)", core.MustBuild(core.Config{N: 4, K: 1, P: 3})},
+		{"ABCCC(4,2,3)", core.MustBuild(core.Config{N: 4, K: 2, P: 3})},
+		{"BCCC(4,1)", bccc.MustBuild(bccc.Config{N: 4, K: 1})},
+		{"BCube(4,1)", bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+		{"FatTree(4)", fattree.MustBuild(fattree.Config{K: 4})},
+		{"DCell(4,1)", dcell.MustBuild(dcell.Config{N: 4, K: 1})},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tanalytic cut\texact min-cut\tper server")
+	for _, b := range builds {
+		props := b.t.Properties()
+		exact := metrics.BisectionCut(b.t.Network())
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.4f\n",
+			b.name, props.Servers, props.BisectionLinks, exact,
+			float64(exact)/float64(props.Servers))
+	}
+	return tw.Flush()
+}
+
+// F4CapEx regenerates the capital-expenditure figure: interconnect CapEx per
+// server for each structure at growing scale, under the documented 2015-era
+// price model. The orderings — not the absolute dollars — are the result.
+func F4CapEx(w io.Writer) error {
+	model := cost.Default()
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tswitch $\tNIC $\tcable $\ttotal $\t$/server")
+	emit := func(p topology.Properties) {
+		b := model.CapEx(p)
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.2f\n",
+			p.Name, p.Servers, b.Switches, b.NICs, b.Cables, b.Total(), b.PerServer(p.Servers))
+	}
+	for _, k := range []int{1, 2, 3} {
+		for _, p := range []int{2, 3, 4} {
+			cfg := core.Config{N: 16, K: k, P: p}
+			if cfg.Validate() == nil {
+				emit(cfg.Properties())
+			}
+		}
+		emit(bccc.Config{N: 16, K: k}.Properties())
+		emit(bcube.Config{N: 16, K: k}.Properties())
+	}
+	for _, k := range []int{16, 24, 48} {
+		emit(fattree.Config{K: k}.Properties())
+	}
+	return tw.Flush()
+}
+
+// allPairsCapped returns all ordered server pairs, or a seeded random sample
+// of `cap` pairs when the full set is larger.
+func allPairsCapped(net *topology.Network, limit int, rng *rand.Rand) [][2]int {
+	servers := net.Servers()
+	n := len(servers)
+	total := n * (n - 1)
+	if total <= limit {
+		pairs := make([][2]int, 0, total)
+		for _, a := range servers {
+			for _, b := range servers {
+				if a != b {
+					pairs = append(pairs, [2]int{a, b})
+				}
+			}
+		}
+		return pairs
+	}
+	pairs := make([][2]int, limit)
+	for i := range pairs {
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		pairs[i] = [2]int{servers[a], servers[b]}
+	}
+	return pairs
+}

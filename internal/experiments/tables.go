@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bccc"
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/dcell"
+	"repro/internal/fattree"
+	"repro/internal/hypercube"
+	"repro/internal/topology"
+)
+
+// T1Properties regenerates the paper's topological-property comparison
+// table: one row per structure instance, with the closed-form component
+// counts, diameters and bisection widths. Columns follow the BCCC/GBC3
+// table conventions; the hop diameter uses each structure's own paper
+// convention and DiamLinks is the uniform cable metric.
+func T1Properties(w io.Writer) error {
+	rows := []topology.Properties{
+		core.Config{N: 8, K: 1, P: 2}.Properties(),
+		core.Config{N: 8, K: 1, P: 3}.Properties(),
+		core.Config{N: 8, K: 2, P: 2}.Properties(),
+		core.Config{N: 8, K: 2, P: 3}.Properties(),
+		core.Config{N: 8, K: 2, P: 4}.Properties(),
+		bccc.Config{N: 8, K: 2}.Properties(),
+		bcube.Config{N: 8, K: 2}.Properties(),
+		dcell.Config{N: 8, K: 1}.Properties(),
+		dcell.Config{N: 8, K: 2}.Properties(),
+		fattree.Config{K: 8}.Properties(),
+		fattree.Config{K: 16}.Properties(),
+		hypercubeProps(9),
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tswitches\tlinks\tNICs/srv\tsw ports\tdiam(hops)\tdiam(links)\tbisection")
+	for _, p := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			p.Name, p.Servers, p.Switches, p.Links, p.ServerPorts, p.SwitchPorts,
+			p.Diameter, p.DiameterLinks, p.BisectionLinks)
+	}
+	return tw.Flush()
+}
+
+func hypercubeProps(d int) topology.Properties {
+	h := hypercube.MustBuild(hypercube.Config{D: d})
+	return h.Properties()
+}
+
+// T2NetworkSize regenerates the network-size table: how many servers an
+// ABCCC supports as a function of switch radix n, order k and NIC ports p,
+// against BCCC/BCube at the same (n,k). Larger p trades server population
+// for bandwidth and diameter (see F13).
+func T2NetworkSize(w io.Writer) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "n\tk\tABCCC p=2\tABCCC p=3\tABCCC p=4\tBCCC\tBCube\tDCell")
+	for _, n := range []int{4, 8, 16, 24, 48} {
+		for _, k := range []int{1, 2} {
+			row := fmt.Sprintf("%d\t%d", n, k)
+			for _, p := range []int{2, 3, 4} {
+				cfg := core.Config{N: n, K: k, P: p}
+				if err := cfg.Validate(); err != nil {
+					row += "\t-"
+					continue
+				}
+				row += fmt.Sprintf("\t%d", cfg.Properties().Servers)
+			}
+			row += fmt.Sprintf("\t%d", bccc.Config{N: n, K: k}.Properties().Servers)
+			row += fmt.Sprintf("\t%d", bcube.Config{N: n, K: k}.Properties().Servers)
+			if dc := (dcell.Config{N: n, K: k}); dc.Validate() == nil {
+				row += fmt.Sprintf("\t%d", dc.Properties().Servers)
+			} else {
+				row += "\t-"
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bccc"
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/dcell"
+	"repro/internal/fattree"
+	"repro/internal/flowsim"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// F5Permutation regenerates the permutation-strategy figure (the companion
+// ICC'15 study): for each routing permutation strategy, the average routed
+// path length and the induced link-load profile under a random-permutation
+// workload. Grouped minimizes length; randomizing the digit order evens out
+// the load across level switches at a small length cost.
+func F5Permutation(w io.Writer) error {
+	tp := core.MustBuild(core.Config{N: 4, K: 2, P: 2})
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(7))
+	flows := traffic.Permutation(net.NumServers(), rng)
+	servers := net.Servers()
+
+	tw := table(w)
+	fmt.Fprintln(tw, "strategy\tavg len(links)\tmax link load\tavg link load\tused links")
+	for _, s := range []core.Strategy{
+		core.StrategyGrouped, core.StrategyIdentity, core.StrategyReversed, core.StrategyRandom,
+	} {
+		paths := make([]topology.Path, len(flows))
+		totalLen := 0
+		for i, f := range flows {
+			p, err := tp.RouteWithStrategy(servers[f.Src], servers[f.Dst], s, int64(i))
+			if err != nil {
+				return err
+			}
+			paths[i] = p
+			totalLen += p.Len()
+		}
+		load := metrics.LinkLoads(net, paths)
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%.3f\t%d\n",
+			s, float64(totalLen)/float64(len(paths)), load.MaxLoad, load.AvgLoad, load.UsedLinks)
+	}
+	return tw.Flush()
+}
+
+// F6ABT regenerates the aggregate-bottleneck-throughput figure: max-min fair
+// ABT (flows x bottleneck rate, in units of line rate) under random
+// permutation and all-to-all workloads, normalized per server.
+func F6ABT(w io.Writer) error {
+	builds := []struct {
+		name string
+		t    topology.Topology
+	}{
+		{"ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"ABCCC(4,1,3)", core.MustBuild(core.Config{N: 4, K: 1, P: 3})},
+		{"ABCCC(4,2,3)", core.MustBuild(core.Config{N: 4, K: 2, P: 3})},
+		{"BCCC(4,1)", bccc.MustBuild(bccc.Config{N: 4, K: 1})},
+		{"BCube(4,1)", bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+		{"BCube(4,2)", bcube.MustBuild(bcube.Config{N: 4, K: 2})},
+		{"DCell(4,1)", dcell.MustBuild(dcell.Config{N: 4, K: 1})},
+		{"FatTree(4)", fattree.MustBuild(fattree.Config{K: 4})},
+	}
+	rng := rand.New(rand.NewSource(11))
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tABT perm\tABT/srv perm\tABT all-to-all\tABT/srv a2a")
+	for _, b := range builds {
+		n := b.t.Network().NumServers()
+		permFlows := traffic.Permutation(n, rng)
+		permABT, err := abt(b.t, permFlows)
+		if err != nil {
+			return err
+		}
+		a2aABT, err := abt(b.t, traffic.AllToAll(n))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.3f\t%.2f\t%.3f\n",
+			b.name, n, permABT, permABT/float64(n), a2aABT, a2aABT/float64(n))
+	}
+	return tw.Flush()
+}
+
+func abt(t topology.Topology, flows []traffic.Flow) (float64, error) {
+	paths, err := flowsim.RoutePaths(t, flows)
+	if err != nil {
+		return 0, err
+	}
+	asg, err := flowsim.MaxMinFair(t.Network(), paths)
+	if err != nil {
+		return 0, err
+	}
+	return asg.ABT(), nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/fattree"
+	"repro/internal/packetsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// F19Transport regenerates the reliable-transport view of the simulations:
+// Reno-like flows (slow start, fast retransmit, timeouts) carrying a shuffle
+// and an incast on each structure. Unlike the open-loop packet experiment
+// (F12), every byte is eventually delivered; congestion shows up as
+// retransmissions and longer completion times instead of vanished packets —
+// the regime the original evaluation's TCP simulations ran in.
+func F19Transport(w io.Writer) error {
+	builds := []struct {
+		name string
+		t    topology.Topology
+	}{
+		{"ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"ABCCC(4,1,3)", core.MustBuild(core.Config{N: 4, K: 1, P: 3})},
+		{"BCube(4,1)", bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+		{"FatTree(4)", fattree.MustBuild(fattree.Config{K: 4})},
+	}
+	cfg := packetsim.DefaultTransport()
+	ecnCfg := cfg
+	ecnCfg.ECN = true
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tworkload\tflows\tcompleted\tretransmits\tECN marks\tmean FCT(ms)\tmakespan(ms)\tgoodput(Gb/s)")
+	for _, b := range builds {
+		n := b.t.Network().NumServers()
+		rng := rand.New(rand.NewSource(31))
+		shuffle, err := traffic.Shuffle(n, n/4, n/4, rng)
+		if err != nil {
+			return err
+		}
+		incast, err := traffic.Incast(n, 0, n/2, rng)
+		if err != nil {
+			return err
+		}
+		websearch := traffic.ApplySizes(traffic.Uniform(n, n, rng), traffic.WebSearch(), rng)
+		for _, wl := range []struct {
+			name  string
+			flows []traffic.Flow
+			cfg   packetsim.TransportConfig
+		}{
+			{"shuffle", shuffle, cfg},
+			{"incast", incast, cfg},
+			{"incast+ECN", incast, ecnCfg},
+			{"websearch", websearch, cfg},
+		} {
+			res, err := packetsim.RunTransport(b.t, wl.flows, wl.cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\n",
+				b.name, wl.name, len(wl.flows), res.CompletedFlows, res.Retransmits,
+				res.ECNMarks, res.MeanFCTSec*1e3, res.MakespanSec*1e3, res.GoodputBps*8/1e9)
+		}
+	}
+	return tw.Flush()
+}

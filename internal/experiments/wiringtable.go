@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bccc"
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/dcell"
+	"repro/internal/fattree"
+	"repro/internal/topology"
+)
+
+// T3WiringComplexity regenerates the deployment-burden table: cables,
+// cables per server, total switch ports and NIC ports per server — the
+// columns an operator prices labor and sparing from. Server-centric
+// structures trade switch ports for NIC ports and server-side cabling.
+func T3WiringComplexity(w io.Writer) error {
+	rows := []topology.Properties{
+		core.Config{N: 16, K: 2, P: 2}.Properties(),
+		core.Config{N: 16, K: 2, P: 3}.Properties(),
+		core.Config{N: 16, K: 2, P: 4}.Properties(),
+		bccc.Config{N: 16, K: 2}.Properties(),
+		bcube.Config{N: 16, K: 2}.Properties(),
+		dcell.Config{N: 16, K: 1}.Properties(),
+		fattree.Config{K: 24}.Properties(),
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tcables\tcables/srv\tswitch ports\tports/srv\tNICs/srv")
+	for _, p := range rows {
+		switchPorts := p.Switches * p.SwitchPorts
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%d\t%.2f\t%d\n",
+			p.Name, p.Servers, p.Links,
+			float64(p.Links)/float64(p.Servers),
+			switchPorts, float64(switchPorts)/float64(p.Servers),
+			p.ServerPorts)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,95 @@
+// Package failure injects component failures for the fault-tolerance
+// experiments: given a built network, it fails a seeded random fraction of
+// servers, switches, or cables and returns the resulting graph view.
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Kind selects which component class fails.
+type Kind int
+
+// Component classes.
+const (
+	Servers Kind = iota + 1
+	Switches
+	Links
+)
+
+// String returns the component-class name.
+func (k Kind) String() string {
+	switch k {
+	case Servers:
+		return "servers"
+	case Switches:
+		return "switches"
+	case Links:
+		return "links"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Inject returns a view of net with the given fraction of the chosen
+// component class failed, selected uniformly at random from rng. Fractions
+// are clamped to [0, 1].
+func Inject(net *topology.Network, kind Kind, fraction float64, rng *rand.Rand) *graph.View {
+	view := graph.NewView(net.Graph())
+	InjectInto(view, net, kind, fraction, rng)
+	return view
+}
+
+// InjectInto adds failures of one component class to an existing view,
+// allowing mixed scenarios (e.g. 5% switches plus 2% cables).
+func InjectInto(view *graph.View, net *topology.Network, kind Kind, fraction float64, rng *rand.Rand) {
+	if fraction <= 0 {
+		return
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	switch kind {
+	case Servers:
+		failNodes(view, net.Servers(), fraction, rng)
+	case Switches:
+		failNodes(view, net.Switches(), fraction, rng)
+	case Links:
+		edges := net.Graph().NumEdges()
+		count := int(fraction * float64(edges))
+		for _, e := range rng.Perm(edges)[:count] {
+			view.FailEdge(e)
+		}
+	}
+}
+
+func failNodes(view *graph.View, nodes []int, fraction float64, rng *rand.Rand) {
+	count := int(fraction * float64(len(nodes)))
+	perm := rng.Perm(len(nodes))
+	for _, i := range perm[:count] {
+		view.FailNode(nodes[i])
+	}
+}
+
+// SamplePairs draws `count` random ordered pairs of distinct servers (as
+// node ids) for failure-ratio measurements.
+func SamplePairs(net *topology.Network, count int, rng *rand.Rand) [][2]int {
+	servers := net.Servers()
+	if len(servers) < 2 {
+		return nil
+	}
+	pairs := make([][2]int, count)
+	for i := range pairs {
+		a := rng.Intn(len(servers))
+		b := rng.Intn(len(servers) - 1)
+		if b >= a {
+			b++
+		}
+		pairs[i] = [2]int{servers[a], servers[b]}
+	}
+	return pairs
+}

@@ -1,0 +1,148 @@
+package failure
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func build(t *testing.T) *core.ABCCC {
+	t.Helper()
+	return core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+}
+
+func countFailedNodes(net *topology.Network, view *graph.View, nodes []int) int {
+	failed := 0
+	for _, n := range nodes {
+		if !view.NodeUp(n) {
+			failed++
+		}
+	}
+	return failed
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Servers, "servers"},
+		{Switches, "switches"},
+		{Links, "links"},
+		{Kind(7), "kind(7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestInjectServers(t *testing.T) {
+	tp := build(t)
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(1))
+	view := Inject(net, Servers, 0.5, rng)
+	want := len(net.Servers()) / 2
+	if got := countFailedNodes(net, view, net.Servers()); got != want {
+		t.Errorf("failed %d servers, want %d", got, want)
+	}
+	if got := countFailedNodes(net, view, net.Switches()); got != 0 {
+		t.Errorf("failed %d switches, want 0", got)
+	}
+}
+
+func TestInjectSwitches(t *testing.T) {
+	tp := build(t)
+	net := tp.Network()
+	view := Inject(net, Switches, 0.25, rand.New(rand.NewSource(2)))
+	want := len(net.Switches()) / 4
+	if got := countFailedNodes(net, view, net.Switches()); got != want {
+		t.Errorf("failed %d switches, want %d", got, want)
+	}
+}
+
+func TestInjectLinks(t *testing.T) {
+	tp := build(t)
+	net := tp.Network()
+	view := Inject(net, Links, 0.2, rand.New(rand.NewSource(3)))
+	want := net.Graph().NumEdges() / 5
+	failed := 0
+	for e := 0; e < net.Graph().NumEdges(); e++ {
+		if !view.EdgeUp(e) {
+			failed++
+		}
+	}
+	if failed != want {
+		t.Errorf("failed %d links, want %d", failed, want)
+	}
+}
+
+func TestInjectClampsFraction(t *testing.T) {
+	tp := build(t)
+	net := tp.Network()
+	view := Inject(net, Servers, 2.0, rand.New(rand.NewSource(4)))
+	if got := countFailedNodes(net, view, net.Servers()); got != len(net.Servers()) {
+		t.Errorf("fraction > 1 failed %d, want all %d", got, len(net.Servers()))
+	}
+	view2 := Inject(net, Servers, -1, rand.New(rand.NewSource(4)))
+	if got := countFailedNodes(net, view2, net.Servers()); got != 0 {
+		t.Errorf("fraction < 0 failed %d, want 0", got)
+	}
+}
+
+func TestInjectIntoMixedScenario(t *testing.T) {
+	tp := build(t)
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(5))
+	view := graph.NewView(net.Graph())
+	InjectInto(view, net, Switches, 0.2, rng)
+	InjectInto(view, net, Links, 0.1, rng)
+	swFailed := countFailedNodes(net, view, net.Switches())
+	linkFailed := 0
+	for e := 0; e < net.Graph().NumEdges(); e++ {
+		if !view.EdgeUp(e) {
+			linkFailed++
+		}
+	}
+	if swFailed == 0 || linkFailed == 0 {
+		t.Errorf("mixed scenario: %d switches, %d links failed", swFailed, linkFailed)
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	tp := build(t)
+	net := tp.Network()
+	v1 := Inject(net, Switches, 0.3, rand.New(rand.NewSource(9)))
+	v2 := Inject(net, Switches, 0.3, rand.New(rand.NewSource(9)))
+	for _, sw := range net.Switches() {
+		if v1.NodeUp(sw) != v2.NodeUp(sw) {
+			t.Fatal("same seed, different failures")
+		}
+	}
+}
+
+func TestSamplePairs(t *testing.T) {
+	tp := build(t)
+	net := tp.Network()
+	pairs := SamplePairs(net, 50, rand.New(rand.NewSource(6)))
+	if len(pairs) != 50 {
+		t.Fatalf("len = %d", len(pairs))
+	}
+	for _, pr := range pairs {
+		if pr[0] == pr[1] {
+			t.Fatal("self pair")
+		}
+		if !net.IsServer(pr[0]) || !net.IsServer(pr[1]) {
+			t.Fatal("non-server in pair")
+		}
+	}
+	tiny := topology.NewNetwork("one")
+	tiny.AddServer("s")
+	if SamplePairs(tiny, 5, rand.New(rand.NewSource(1))) != nil {
+		t.Error("SamplePairs with one server should be nil")
+	}
+}

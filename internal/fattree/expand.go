@@ -1,0 +1,34 @@
+package fattree
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Expand grows the fat-tree to the next even port count, k+2 — the only way
+// a 3-layer fat-tree gains capacity. Unlike the server-centric structures,
+// nothing survives: every switch must grow from k to k+2 ports (radix is
+// baked into the silicon, so all 5k^2/4 switches are replaced) and the
+// entire cable plant is repulled to the new wiring pattern. This is the
+// contrast row in the expansion-cost experiment.
+func Expand(old *FatTree) (*FatTree, topology.ExpansionReport, error) {
+	bigger, err := Build(Config{K: old.cfg.K + 2})
+	if err != nil {
+		return nil, topology.ExpansionReport{}, fmt.Errorf("fattree: expand: %w", err)
+	}
+	report := topology.ExpansionReport{
+		Before:        old.net.Name(),
+		After:         bigger.net.Name(),
+		ServersBefore: old.net.NumServers(),
+		ServersAfter:  bigger.net.NumServers(),
+		NewServers:    bigger.net.NumServers() - old.net.NumServers(),
+		// Every new-radix switch is a purchase; the old ones are scrap.
+		NewSwitches:      bigger.net.NumSwitches(),
+		ReplacedSwitches: old.net.NumSwitches(),
+		// The whole old cable plant moves; the new plant is pulled fresh.
+		NewLinks:     bigger.net.NumLinks(),
+		RewiredLinks: old.net.NumLinks(),
+	}
+	return bigger, report, nil
+}

@@ -1,0 +1,226 @@
+// Package fattree implements the three-layer fat-tree of Al-Fares et al.
+// (SIGCOMM 2008), the switch-centric baseline in the comparison tables.
+//
+// A fat-tree built from k-port switches has k pods. Each pod has k/2 edge
+// switches (each serving k/2 servers) and k/2 aggregation switches; (k/2)^2
+// core switches join the pods. It supports k^3/4 servers at full bisection
+// bandwidth using identical commodity switches.
+package fattree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// ErrNoRoute is returned when fault-tolerant routing finds no alive path.
+var ErrNoRoute = errors.New("fattree: no alive path")
+
+// Config selects a fat-tree instance: switch port count k (even, >= 2).
+type Config struct {
+	K int
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.K < 2 || c.K%2 != 0 {
+		return fmt.Errorf("fattree: K = %d, need an even value >= 2", c.K)
+	}
+	if c.K > 48 {
+		return fmt.Errorf("fattree: K = %d too large", c.K)
+	}
+	return nil
+}
+
+// FatTree is a built instance; immutable after Build.
+type FatTree struct {
+	cfg Config
+	net *topology.Network
+	// servers[pod][edge][host], edges[pod][e], aggs[pod][a], cores[a][c].
+	servers [][][]int
+	edges   [][]int
+	aggs    [][]int
+	cores   [][]int
+}
+
+var (
+	_ topology.Topology    = (*FatTree)(nil)
+	_ topology.FaultRouter = (*FatTree)(nil)
+)
+
+// Build constructs a fat-tree from k-port switches.
+func Build(cfg Config) (*FatTree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.K
+	h := k / 2
+	t := &FatTree{
+		cfg: cfg,
+		net: topology.NewNetwork(fmt.Sprintf("FatTree(%d)", k)),
+	}
+	t.servers = make([][][]int, k)
+	t.edges = make([][]int, k)
+	t.aggs = make([][]int, k)
+	for p := 0; p < k; p++ {
+		t.edges[p] = make([]int, h)
+		t.aggs[p] = make([]int, h)
+		t.servers[p] = make([][]int, h)
+		for e := 0; e < h; e++ {
+			t.edges[p][e] = t.net.AddSwitch(fmt.Sprintf("E%d/%d", p, e))
+			t.servers[p][e] = make([]int, h)
+			for host := 0; host < h; host++ {
+				s := t.net.AddServer(fmt.Sprintf("S%d/%d/%d", p, e, host))
+				t.servers[p][e][host] = s
+				if err := t.net.Connect(s, t.edges[p][e]); err != nil {
+					return nil, fmt.Errorf("fattree: wire server: %w", err)
+				}
+			}
+		}
+		for a := 0; a < h; a++ {
+			t.aggs[p][a] = t.net.AddSwitch(fmt.Sprintf("A%d/%d", p, a))
+			for e := 0; e < h; e++ {
+				if err := t.net.Connect(t.edges[p][e], t.aggs[p][a]); err != nil {
+					return nil, fmt.Errorf("fattree: wire agg: %w", err)
+				}
+			}
+		}
+	}
+	t.cores = make([][]int, h)
+	for a := 0; a < h; a++ {
+		t.cores[a] = make([]int, h)
+		for c := 0; c < h; c++ {
+			t.cores[a][c] = t.net.AddSwitch(fmt.Sprintf("C%d/%d", a, c))
+			for p := 0; p < k; p++ {
+				if err := t.net.Connect(t.aggs[p][a], t.cores[a][c]); err != nil {
+					return nil, fmt.Errorf("fattree: wire core: %w", err)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustBuild is Build for known-good configs.
+func MustBuild(cfg Config) *FatTree {
+	t, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Network returns the built network.
+func (t *FatTree) Network() *topology.Network { return t.net }
+
+// Config returns the instance parameters.
+func (t *FatTree) Config() Config { return t.cfg }
+
+// ServerAt returns the node index of host `host` on edge switch e of pod p.
+func (t *FatTree) ServerAt(p, e, host int) int { return t.servers[p][e][host] }
+
+// Properties returns the analytic comparison-table row; see
+// Config.Properties.
+func (t *FatTree) Properties() topology.Properties { return t.cfg.Properties() }
+
+// Properties returns the analytic comparison-table row without building the
+// instance: k^3/4 servers, 5k^2/4 switches, diameter 6 links, full k^3/8
+// bisection.
+func (c Config) Properties() topology.Properties {
+	k := c.K
+	return topology.Properties{
+		Name:           fmt.Sprintf("FatTree(%d)", k),
+		Servers:        k * k * k / 4,
+		Switches:       5 * k * k / 4,
+		Links:          3 * k * k * k / 4,
+		ServerPorts:    1,
+		SwitchPorts:    k,
+		Diameter:       5, // switches traversed on an inter-pod path
+		DiameterLinks:  6,
+		BisectionLinks: k * k * k / 8,
+	}
+}
+
+// Route returns the canonical up-down path, picking among the equal-cost
+// aggregation/core choices with a deterministic hash of the endpoints (the
+// static flavor of ECMP used for reproducible experiments).
+func (t *FatTree) Route(src, dst int) (topology.Path, error) {
+	return t.routeVia(src, dst, nil)
+}
+
+// RouteAvoiding searches the equal-cost up-down paths for one that is fully
+// alive in view.
+func (t *FatTree) RouteAvoiding(src, dst int, view *graph.View) (topology.Path, error) {
+	p, err := t.routeVia(src, dst, view)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (t *FatTree) routeVia(src, dst int, view *graph.View) (topology.Path, error) {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return topology.Path{src}, nil
+	}
+	if view != nil && (!view.NodeUp(src) || !view.NodeUp(dst)) {
+		return nil, fmt.Errorf("%w: endpoint failed", ErrNoRoute)
+	}
+	p1, e1, _ := t.locate(src)
+	p2, e2, _ := t.locate(dst)
+	h := t.cfg.K / 2
+
+	alive := func(path topology.Path) bool {
+		return view == nil || path.Alive(t.net, view)
+	}
+
+	if p1 == p2 && e1 == e2 {
+		path := topology.Path{src, t.edges[p1][e1], dst}
+		if alive(path) {
+			return path, nil
+		}
+		return nil, fmt.Errorf("%w: shared edge switch down", ErrNoRoute)
+	}
+	// The deterministic ECMP hash picks the starting choice; under failures
+	// every equal-cost choice is probed in hash order.
+	seed := (src*2654435761 + dst) & 0x7fffffff
+	if p1 == p2 {
+		for i := 0; i < h; i++ {
+			a := (seed + i) % h
+			path := topology.Path{src, t.edges[p1][e1], t.aggs[p1][a], t.edges[p1][e2], dst}
+			if alive(path) {
+				return path, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: all intra-pod paths down", ErrNoRoute)
+	}
+	for i := 0; i < h*h; i++ {
+		x := (seed + i) % (h * h)
+		a, c := x/h, x%h
+		path := topology.Path{
+			src, t.edges[p1][e1], t.aggs[p1][a], t.cores[a][c],
+			t.aggs[p2][a], t.edges[p2][e2], dst,
+		}
+		if alive(path) {
+			return path, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: all inter-pod paths down", ErrNoRoute)
+}
+
+// locate recovers (pod, edge, host) for a server node from creation order:
+// within a pod, edge switch then its h servers, repeated h times, then the
+// h aggregation switches.
+func (t *FatTree) locate(node int) (pod, edge, host int) {
+	h := t.cfg.K / 2
+	podSize := h*(h+1) + h // h edge groups of (1 switch + h servers) + h aggs
+	pod = node / podSize
+	rest := node % podSize
+	edge = rest / (h + 1)
+	host = rest%(h+1) - 1
+	return pod, edge, host
+}

@@ -1,0 +1,231 @@
+package fattree
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		cfg     Config
+		wantErr bool
+	}{
+		{cfg: Config{K: 4}},
+		{cfg: Config{K: 2}},
+		{cfg: Config{K: 3}, wantErr: true},
+		{cfg: Config{K: 0}, wantErr: true},
+		{cfg: Config{K: 50}, wantErr: true},
+	}
+	for _, tt := range tests {
+		if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+			t.Errorf("Validate(%+v) = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+		}
+	}
+}
+
+func TestBuildCountsMatchProperties(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8} {
+		tp := MustBuild(Config{K: k})
+		props := tp.Properties()
+		net := tp.Network()
+		if net.NumServers() != props.Servers || net.NumSwitches() != props.Switches ||
+			net.NumLinks() != props.Links {
+			t.Errorf("%s: built %d/%d/%d, formula %d/%d/%d", net.Name(),
+				net.NumServers(), net.NumSwitches(), net.NumLinks(),
+				props.Servers, props.Switches, props.Links)
+		}
+		if got := net.MaxDegree(topology.Switch); got != k {
+			t.Errorf("%s: switch degree %d, want %d", net.Name(), got, k)
+		}
+		if got := net.MaxDegree(topology.Server); got != 1 {
+			t.Errorf("%s: server degree %d, want 1", net.Name(), got)
+		}
+		if !net.Graph().Connected(nil) {
+			t.Errorf("%s: disconnected", net.Name())
+		}
+	}
+}
+
+func TestRouteAllPairs(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		tp := MustBuild(Config{K: k})
+		net := tp.Network()
+		for _, src := range net.Servers() {
+			for _, dst := range net.Servers() {
+				p, err := tp.Route(src, dst)
+				if err != nil {
+					t.Fatalf("%s: %v", net.Name(), err)
+				}
+				if err := p.Validate(net, src, dst); err != nil {
+					t.Fatalf("%s: %v", net.Name(), err)
+				}
+				if src != dst && p.Len() > 6 {
+					t.Fatalf("%s: route %d links > 6", net.Name(), p.Len())
+				}
+			}
+		}
+	}
+}
+
+func TestDiameterLinksTight(t *testing.T) {
+	tp := MustBuild(Config{K: 4})
+	net := tp.Network()
+	servers := net.Servers()
+	worst := 0
+	for _, src := range servers {
+		ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+		if !ok {
+			t.Fatal("disconnected")
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	if worst != tp.Properties().DiameterLinks {
+		t.Errorf("measured diameter %d links, analytic %d", worst, tp.Properties().DiameterLinks)
+	}
+}
+
+func TestLocateRoundTrip(t *testing.T) {
+	tp := MustBuild(Config{K: 4})
+	for p := 0; p < 4; p++ {
+		for e := 0; e < 2; e++ {
+			for host := 0; host < 2; host++ {
+				node := tp.ServerAt(p, e, host)
+				gp, ge, gh := tp.locate(node)
+				if gp != p || ge != e || gh != host {
+					t.Fatalf("locate(ServerAt(%d,%d,%d)) = (%d,%d,%d)", p, e, host, gp, ge, gh)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteAvoidingCoreFailure(t *testing.T) {
+	tp := MustBuild(Config{K: 4})
+	net := tp.Network()
+	src := tp.ServerAt(0, 0, 0)
+	dst := tp.ServerAt(3, 1, 1)
+	direct, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := graph.NewView(net.Graph())
+	view.FailNode(direct[3]) // the core switch
+	p, err := tp.RouteAvoiding(src, dst, view)
+	if err != nil {
+		t.Fatalf("RouteAvoiding: %v", err)
+	}
+	if !p.Alive(net, view) {
+		t.Error("route uses failed core")
+	}
+	if err := p.Validate(net, src, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteAvoidingEdgeSwitchFailureKillsHost(t *testing.T) {
+	// Fat-tree servers are single-homed: losing the edge switch cuts them off.
+	tp := MustBuild(Config{K: 4})
+	net := tp.Network()
+	src := tp.ServerAt(0, 0, 0)
+	dst := tp.ServerAt(1, 0, 0)
+	view := graph.NewView(net.Graph())
+	view.FailNode(tp.edges[0][0])
+	if _, err := tp.RouteAvoiding(src, dst, view); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestRouteSelfAndErrors(t *testing.T) {
+	tp := MustBuild(Config{K: 2})
+	s := tp.Network().Server(0)
+	p, err := tp.Route(s, s)
+	if err != nil || len(p) != 1 {
+		t.Errorf("Route(self) = %v, %v", p, err)
+	}
+	sw := tp.Network().Switches()[0]
+	if _, err := tp.Route(sw, s); err == nil {
+		t.Error("Route(switch, server) succeeded")
+	}
+	if _, err := Build(Config{K: 3}); err == nil {
+		t.Error("Build(odd k) succeeded")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustBuild(Config{K: 1})
+}
+
+func TestConfigAccessor(t *testing.T) {
+	if got := MustBuild(Config{K: 4}).Config(); got.K != 4 {
+		t.Errorf("Config = %+v", got)
+	}
+}
+
+func TestExpandReplacesEverything(t *testing.T) {
+	old := MustBuild(Config{K: 4})
+	bigger, report, err := Expand(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigger.Config().K != 6 {
+		t.Errorf("expanded K = %d, want 6", bigger.Config().K)
+	}
+	if report.ReplacedSwitches != old.Network().NumSwitches() {
+		t.Errorf("replaced %d switches, want all %d", report.ReplacedSwitches, old.Network().NumSwitches())
+	}
+	if report.RewiredLinks != old.Network().NumLinks() {
+		t.Errorf("rewired %d links, want all %d", report.RewiredLinks, old.Network().NumLinks())
+	}
+	if report.TouchedFraction() < 0.5 {
+		t.Errorf("touched fraction %.2f suspiciously low", report.TouchedFraction())
+	}
+	if _, _, err := Expand(MustBuild(Config{K: 48})); err == nil {
+		t.Error("expansion past the radix guard succeeded")
+	}
+}
+
+func TestNextHopWalksAllPairs(t *testing.T) {
+	tp := MustBuild(Config{K: 4})
+	net := tp.Network()
+	for _, src := range net.Servers() {
+		for _, dst := range net.Servers() {
+			cur := src
+			steps := 0
+			for cur != dst {
+				next, err := tp.NextHop(cur, dst)
+				if err != nil {
+					t.Fatalf("NextHop(%s,%s): %v", net.Label(cur), net.Label(dst), err)
+				}
+				if net.Graph().EdgeBetween(cur, next) == -1 {
+					t.Fatalf("NextHop returned non-neighbor %s from %s",
+						net.Label(next), net.Label(cur))
+				}
+				cur = next
+				if steps++; steps > 8 {
+					t.Fatalf("walk too long: %s -> %s", net.Label(src), net.Label(dst))
+				}
+			}
+		}
+	}
+}
+
+func TestNextHopErrors(t *testing.T) {
+	tp := MustBuild(Config{K: 2})
+	if _, err := tp.NextHop(tp.ServerAt(0, 0, 0), tp.Network().Switches()[0]); err == nil {
+		t.Error("switch destination accepted")
+	}
+	s := tp.ServerAt(1, 0, 0)
+	if next, err := tp.NextHop(s, s); err != nil || next != s {
+		t.Errorf("self hop = %d, %v", next, err)
+	}
+}

@@ -1,0 +1,57 @@
+package fattree
+
+import (
+	"fmt"
+)
+
+// NextHop makes the hop-by-hop forwarding decision at node cur for a packet
+// heading to server dst, using only locally derivable state — the two-level
+// routing-table scheme of the fat-tree paper, made deterministic: upward
+// port choices hash on the destination server, so every device picks
+// consistently and paths are valley-free (up then down) and loop-free. It
+// satisfies the emulator's Forwarder interface.
+func (t *FatTree) NextHop(cur, dst int) (int, error) {
+	if !t.net.IsServer(dst) {
+		return 0, fmt.Errorf("fattree: next hop destination %d is not a server", dst)
+	}
+	if cur == dst {
+		return dst, nil
+	}
+	h := t.cfg.K / 2
+	dp, de, _ := t.locate(dst)
+	if t.net.IsServer(cur) {
+		cp, ce, _ := t.locate(cur)
+		return t.edges[cp][ce], nil
+	}
+	// Classify the switch by scanning the construction tables (a real
+	// device knows its role; recovering it here keeps the decision local in
+	// spirit: it depends only on the device identity and dst).
+	for p := range t.edges {
+		for e := range t.edges[p] {
+			if t.edges[p][e] == cur {
+				if p == dp && e == de {
+					return dst, nil // deliver
+				}
+				return t.aggs[p][dst%h], nil // up, dst-hashed aggregation
+			}
+		}
+	}
+	for p := range t.aggs {
+		for a := range t.aggs[p] {
+			if t.aggs[p][a] == cur {
+				if p == dp {
+					return t.edges[p][de], nil // down to the rack
+				}
+				return t.cores[a][dst%h], nil // up, dst-hashed core
+			}
+		}
+	}
+	for a := range t.cores {
+		for c := range t.cores[a] {
+			if t.cores[a][c] == cur {
+				return t.aggs[dp][a], nil // down into the destination pod
+			}
+		}
+	}
+	return 0, fmt.Errorf("fattree: cannot classify node %d", cur)
+}

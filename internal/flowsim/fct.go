@@ -1,0 +1,64 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// CompletionReport summarizes flow completion times under the (optimistic)
+// fluid model: each flow transfers its bytes at its max-min fair rate held
+// constant. The paper family reports shuffle completion through the ABT
+// metric; FCTs give the same story per flow.
+type CompletionReport struct {
+	// TimesSec[i] is the completion time of flow i (0 for local flows).
+	TimesSec []float64
+	// MakespanSec is the slowest completion (the shuffle finishing time).
+	MakespanSec float64
+	// MeanSec and P99Sec summarize the distribution over non-local flows.
+	MeanSec, P99Sec float64
+}
+
+// CompletionTimes computes fluid-model completion times for a workload whose
+// paths received the given max-min assignment. lineRateBps converts the
+// allocator's rate units (1.0 = line rate) into bytes per second.
+func CompletionTimes(flows []traffic.Flow, paths []topology.Path, asg Assignment, lineRateBps float64) (CompletionReport, error) {
+	if lineRateBps <= 0 {
+		return CompletionReport{}, fmt.Errorf("flowsim: line rate %f must be positive", lineRateBps)
+	}
+	if len(flows) != len(paths) || len(flows) != len(asg.Rates) {
+		return CompletionReport{}, fmt.Errorf("flowsim: %d flows, %d paths, %d rates",
+			len(flows), len(paths), len(asg.Rates))
+	}
+	rep := CompletionReport{TimesSec: make([]float64, len(flows))}
+	var active []float64
+	for i, f := range flows {
+		if len(paths[i]) < 2 {
+			continue // src == dst: instantaneous
+		}
+		rate := asg.Rates[i] * lineRateBps
+		if rate <= 0 {
+			return CompletionReport{}, fmt.Errorf("flowsim: flow %d has zero allocated rate", i)
+		}
+		t := float64(f.Bytes) / rate
+		rep.TimesSec[i] = t
+		active = append(active, t)
+		if t > rep.MakespanSec {
+			rep.MakespanSec = t
+		}
+	}
+	if len(active) == 0 {
+		return rep, nil
+	}
+	sum := 0.0
+	for _, t := range active {
+		sum += t
+	}
+	rep.MeanSec = sum / float64(len(active))
+	sort.Float64s(active)
+	rep.P99Sec = active[int(math.Min(float64(len(active)-1), float64(len(active)*99)/100))]
+	return rep, nil
+}

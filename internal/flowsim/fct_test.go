@@ -1,0 +1,110 @@
+package flowsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestCompletionTimesSingleFlow(t *testing.T) {
+	net, s := chainNet(t)
+	paths := []topology.Path{{s[0], net.Switches()[0], s[1]}}
+	asg, err := MaxMinFair(net, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []traffic.Flow{{Src: 0, Dst: 1, Bytes: 1000}}
+	rep, err := CompletionTimes(flows, paths, asg, 1000 /* B/s */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full line rate: 1000 bytes at 1000 B/s = 1 s.
+	if math.Abs(rep.TimesSec[0]-1.0) > eps || math.Abs(rep.MakespanSec-1.0) > eps {
+		t.Errorf("FCT = %f, makespan %f, want 1.0", rep.TimesSec[0], rep.MakespanSec)
+	}
+	if math.Abs(rep.MeanSec-1.0) > eps || math.Abs(rep.P99Sec-1.0) > eps {
+		t.Errorf("mean %f p99 %f", rep.MeanSec, rep.P99Sec)
+	}
+}
+
+func TestCompletionTimesSharedLinkDoubles(t *testing.T) {
+	net, s := chainNet(t)
+	sw := net.Switches()[0]
+	paths := []topology.Path{{s[0], sw, s[1]}, {s[0], sw, s[1]}}
+	asg, err := MaxMinFair(net, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []traffic.Flow{{Src: 0, Dst: 1, Bytes: 500}, {Src: 0, Dst: 1, Bytes: 500}}
+	rep, err := CompletionTimes(flows, paths, asg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1.0, 1.0} { // half rate each
+		if math.Abs(rep.TimesSec[i]-want) > eps {
+			t.Errorf("FCT[%d] = %f, want %f", i, rep.TimesSec[i], want)
+		}
+	}
+}
+
+func TestCompletionTimesLocalFlow(t *testing.T) {
+	net, s := chainNet(t)
+	paths := []topology.Path{{s[0]}}
+	asg, err := MaxMinFair(net, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CompletionTimes([]traffic.Flow{{Src: 0, Dst: 0, Bytes: 10}}, paths, asg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TimesSec[0] != 0 || rep.MakespanSec != 0 {
+		t.Errorf("local flow FCT = %f", rep.TimesSec[0])
+	}
+}
+
+func TestCompletionTimesErrors(t *testing.T) {
+	net, s := chainNet(t)
+	paths := []topology.Path{{s[0], net.Switches()[0], s[1]}}
+	asg, _ := MaxMinFair(net, paths)
+	flows := []traffic.Flow{{Src: 0, Dst: 1, Bytes: 10}}
+	if _, err := CompletionTimes(flows, paths, asg, 0); err == nil {
+		t.Error("zero line rate accepted")
+	}
+	if _, err := CompletionTimes(nil, paths, asg, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestShuffleMakespanMatchesABTOrdering(t *testing.T) {
+	// At matched flow sizes, higher ABT per flow means lower makespan: the
+	// p=3 instance must finish its shuffle no slower than p=2 per flow.
+	makespan := func(p int) float64 {
+		tp := core.MustBuild(core.Config{N: 4, K: 1, P: p})
+		n := tp.Network().NumServers()
+		flows, err := traffic.Shuffle(n, 4, 4, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := RoutePaths(tp, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asg, err := MaxMinFair(tp.Network(), paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := CompletionTimes(flows, paths, asg, 125e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MakespanSec
+	}
+	if m2, m3 := makespan(2), makespan(3); m3 > m2+eps {
+		t.Errorf("p=3 shuffle slower than p=2: %f vs %f", m3, m2)
+	}
+}

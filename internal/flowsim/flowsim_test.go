@@ -1,0 +1,202 @@
+package flowsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+const eps = 1e-9
+
+// chainNet builds a 3-server chain: s0 - swA - s1 - swB - s2.
+func chainNet(t *testing.T) (*topology.Network, [3]int) {
+	t.Helper()
+	net := topology.NewNetwork("chain")
+	s0 := net.AddServer("s0")
+	swA := net.AddSwitch("swA")
+	s1 := net.AddServer("s1")
+	swB := net.AddSwitch("swB")
+	s2 := net.AddServer("s2")
+	for _, pr := range [][2]int{{s0, swA}, {swA, s1}, {s1, swB}, {swB, s2}} {
+		if err := net.Connect(pr[0], pr[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, [3]int{s0, s1, s2}
+}
+
+func TestSingleFlowGetsFullCapacity(t *testing.T) {
+	net, s := chainNet(t)
+	asg, err := MaxMinFair(net, []topology.Path{{s[0], net.Switches()[0], s[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(asg.Rates[0]-1.0) > eps {
+		t.Errorf("rate = %f, want 1.0", asg.Rates[0])
+	}
+	if math.Abs(asg.ABT()-1.0) > eps || math.Abs(asg.SumRate()-1.0) > eps {
+		t.Errorf("ABT %f Sum %f", asg.ABT(), asg.SumRate())
+	}
+}
+
+func TestTwoFlowsShareALink(t *testing.T) {
+	net, s := chainNet(t)
+	swA, swB := net.Switches()[0], net.Switches()[1]
+	// Both flows cross swA->s1 in the same direction.
+	p1 := topology.Path{s[0], swA, s[1]}
+	p2 := topology.Path{s[0], swA, s[1], swB, s[2]}
+	asg, err := MaxMinFair(net, []topology.Path{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range asg.Rates {
+		if math.Abs(r-0.5) > eps {
+			t.Errorf("rate[%d] = %f, want 0.5", i, r)
+		}
+	}
+}
+
+func TestOppositeDirectionsDoNotShare(t *testing.T) {
+	// Full duplex: s0->s1 and s1->s0 each get the full line rate.
+	net, s := chainNet(t)
+	swA := net.Switches()[0]
+	asg, err := MaxMinFair(net, []topology.Path{
+		{s[0], swA, s[1]},
+		{s[1], swA, s[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range asg.Rates {
+		if math.Abs(r-1.0) > eps {
+			t.Errorf("rate[%d] = %f, want 1.0 (full duplex)", i, r)
+		}
+	}
+}
+
+func TestMaxMinUnevenShares(t *testing.T) {
+	// Classic max-min: flows A,B share link 1; flow C alone on link 2.
+	// After A,B freeze at 0.5, C continues to 1.0.
+	net, s := chainNet(t)
+	swA, swB := net.Switches()[0], net.Switches()[1]
+	asg, err := MaxMinFair(net, []topology.Path{
+		{s[0], swA, s[1]},
+		{s[0], swA, s[1]}, // same route: shares s0->swA and swA->s1
+		{s[1], swB, s[2]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(asg.Rates[0]-0.5) > eps || math.Abs(asg.Rates[1]-0.5) > eps {
+		t.Errorf("shared rates = %f,%f, want 0.5", asg.Rates[0], asg.Rates[1])
+	}
+	if math.Abs(asg.Rates[2]-1.0) > eps {
+		t.Errorf("solo rate = %f, want 1.0", asg.Rates[2])
+	}
+	if math.Abs(asg.MinRate()-0.5) > eps {
+		t.Errorf("MinRate = %f", asg.MinRate())
+	}
+	if math.Abs(asg.ABT()-1.5) > eps {
+		t.Errorf("ABT = %f, want 3 flows * 0.5 = 1.5", asg.ABT())
+	}
+}
+
+func TestZeroLengthFlowsSkipped(t *testing.T) {
+	net, s := chainNet(t)
+	asg, err := MaxMinFair(net, []topology.Path{{s[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Flows != 0 {
+		t.Errorf("Flows = %d, want 0", asg.Flows)
+	}
+	if asg.MinRate() != 0 && len(asg.Rates) == 0 {
+		t.Error("MinRate on empty")
+	}
+}
+
+func TestInvalidPathRejected(t *testing.T) {
+	net, s := chainNet(t)
+	if _, err := MaxMinFair(net, []topology.Path{{s[0], s[2]}}); err == nil {
+		t.Error("non-edge path accepted")
+	}
+	if _, err := MaxMinFairCapacity(net, nil, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestRoutePathsWorkload(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	paths, err := RoutePaths(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(flows) {
+		t.Fatalf("paths %d != flows %d", len(paths), len(flows))
+	}
+	asg, err := MaxMinFair(tp.Network(), paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.MinRate() <= 0 {
+		t.Errorf("MinRate = %f, want > 0", asg.MinRate())
+	}
+	if asg.ABT() > asg.SumRate()+eps {
+		t.Errorf("ABT %f > SumRate %f", asg.ABT(), asg.SumRate())
+	}
+}
+
+func TestRoutePathsBadFlow(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 0, P: 2})
+	if _, err := RoutePaths(tp, []traffic.Flow{{Src: 0, Dst: 99}}); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+}
+
+func TestPermutationABTScalesWithBisection(t *testing.T) {
+	// Sanity on a real structure: under a permutation workload the ABT per
+	// flow cannot exceed line rate, and must be positive.
+	tp := bcube.MustBuild(bcube.Config{N: 4, K: 1})
+	rng := rand.New(rand.NewSource(2))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	paths, err := RoutePaths(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := MaxMinFair(tp.Network(), paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.MinRate() <= 0 || asg.MinRate() > 1+eps {
+		t.Errorf("MinRate = %f out of (0,1]", asg.MinRate())
+	}
+}
+
+func TestAllToAllABTOrderingABCCCPorts(t *testing.T) {
+	// The paper's tunability claim: at the same n and k, increasing p
+	// (fewer servers per crossbar, more level bandwidth per server) must
+	// not decrease the per-server bottleneck rate under all-to-all.
+	rateFor := func(p int) float64 {
+		tp := core.MustBuild(core.Config{N: 4, K: 1, P: p})
+		flows := traffic.AllToAll(tp.Network().NumServers())
+		paths, err := RoutePaths(tp, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asg, err := MaxMinFair(tp.Network(), paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return asg.MinRate() * float64(tp.Network().NumServers())
+	}
+	if r2, r3 := rateFor(2), rateFor(3); r3 < r2-eps {
+		t.Errorf("per-server bottleneck bandwidth decreased with more ports: p2=%f p3=%f", r2, r3)
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+// ArticulationPoints returns the nodes whose removal disconnects the graph
+// (Tarjan's low-link algorithm, iterative to stay stack-safe on large
+// networks). In data-center terms these are single points of failure; a
+// well-designed server-centric structure should have none among its
+// switches once servers are multi-homed.
+func (g *Graph) ArticulationPoints() []int {
+	n := g.NumNodes()
+	var (
+		disc     = make([]int32, n) // discovery time, 0 = unvisited
+		low      = make([]int32, n)
+		parent   = make([]int32, n)
+		childCnt = make([]int32, n)
+		isAP     = make([]bool, n)
+		timer    int32
+	)
+	for i := range parent {
+		parent[i] = -1
+	}
+
+	type frame struct {
+		node int32
+		next int32 // index into adjacency list
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{node: int32(start)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.node
+			if int(f.next) < len(g.adj[u]) {
+				v := g.adj[u][f.next].to
+				f.next++
+				if disc[v] == 0 {
+					parent[v] = u
+					childCnt[u]++
+					timer++
+					disc[v] = timer
+					low[v] = timer
+					stack = append(stack, frame{node: v})
+				} else if v != parent[u] && disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+				continue
+			}
+			// Post-order: propagate low-link to the parent.
+			stack = stack[:len(stack)-1]
+			p := parent[u]
+			if p == -1 {
+				continue
+			}
+			if low[u] < low[p] {
+				low[p] = low[u]
+			}
+			if parent[p] != -1 && low[u] >= disc[p] {
+				isAP[p] = true
+			}
+		}
+		// The DFS root is an articulation point iff it has >= 2 children.
+		if childCnt[start] >= 2 {
+			isAP[start] = true
+		}
+	}
+	var out []int
+	for v, ap := range isAP {
+		if ap {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestArticulationPointsLine(t *testing.T) {
+	g := line(t, 5)
+	got := g.ArticulationPoints()
+	sort.Ints(got)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("APs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("APs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArticulationPointsCycleHasNone(t *testing.T) {
+	if got := cycle(t, 6).ArticulationPoints(); got != nil {
+		t.Errorf("cycle APs = %v, want none", got)
+	}
+}
+
+func TestArticulationPointsBridgeNode(t *testing.T) {
+	// Two triangles joined at node 2 via node 6: 2 and 6... build two
+	// triangles sharing node 2 through a connector 6.
+	g := New(7)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 5)
+	g.MustAddEdge(5, 3)
+	g.MustAddEdge(2, 6)
+	g.MustAddEdge(6, 3)
+	got := g.ArticulationPoints()
+	sort.Ints(got)
+	want := []int{2, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("APs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("APs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArticulationPointsDisconnectedComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 5)
+	got := g.ArticulationPoints()
+	sort.Ints(got)
+	want := []int{1, 4}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("APs = %v, want %v", got, want)
+	}
+}
+
+// TestPropertyArticulationMatchesBruteForce cross-checks Tarjan against the
+// definition: v is an articulation point iff failing it increases the
+// number of pairs that cannot reach each other.
+func TestPropertyArticulationMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(14)
+		g := randomConnectedGraph(rng, n, rng.Intn(n))
+		fast := map[int]bool{}
+		for _, v := range g.ArticulationPoints() {
+			fast[v] = true
+		}
+		for v := 0; v < n; v++ {
+			view := NewView(g)
+			view.FailNode(v)
+			// Count reachable pairs among the remaining nodes.
+			disconnected := false
+			var first = -1
+			for u := 0; u < n; u++ {
+				if u != v {
+					first = u
+					break
+				}
+			}
+			if first == -1 {
+				continue
+			}
+			res := g.BFS(first, view)
+			for u := 0; u < n; u++ {
+				if u != v && res.Dist[u] == Unreachable {
+					disconnected = true
+				}
+			}
+			if disconnected != fast[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

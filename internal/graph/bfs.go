@@ -1,0 +1,126 @@
+package graph
+
+// Unreachable marks nodes not reached by a traversal in distance slices.
+const Unreachable int32 = -1
+
+// BFSResult holds per-node distances and BFS-tree parents from one source.
+type BFSResult struct {
+	Source int
+	// Dist[v] is the hop distance from Source to v, or Unreachable.
+	Dist []int32
+	// Parent[v] is the predecessor of v on a shortest path, or -1.
+	Parent []int32
+}
+
+// BFS runs a breadth-first search from src over the graph as seen through
+// view (a nil view means no failures). It returns hop distances counted in
+// edges traversed.
+func (g *Graph) BFS(src int, view *View) BFSResult {
+	res := BFSResult{
+		Source: src,
+		Dist:   make([]int32, g.NumNodes()),
+		Parent: make([]int32, g.NumNodes()),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Unreachable
+		res.Parent[i] = -1
+	}
+	if src < 0 || src >= g.NumNodes() || !view.NodeUp(src) {
+		return res
+	}
+	res.Dist[src] = 0
+	queue := make([]int32, 1, g.NumNodes())
+	queue[0] = int32(src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := res.Dist[u]
+		for _, h := range g.adj[u] {
+			if res.Dist[h.to] != Unreachable || !view.usable(h) {
+				continue
+			}
+			res.Dist[h.to] = du + 1
+			res.Parent[h.to] = u
+			queue = append(queue, h.to)
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the shortest path from the BFS source to dst as a node
+// sequence including both endpoints. It returns nil if dst is unreachable.
+func (r BFSResult) PathTo(dst int) []int {
+	if dst < 0 || dst >= len(r.Dist) || r.Dist[dst] == Unreachable {
+		return nil
+	}
+	path := make([]int, r.Dist[dst]+1)
+	for v := int32(dst); v != -1; v = r.Parent[v] {
+		path[r.Dist[v]] = int(v)
+	}
+	return path
+}
+
+// ShortestPath returns a shortest path between src and dst (both endpoints
+// included) under view, or nil if disconnected.
+func (g *Graph) ShortestPath(src, dst int, view *View) []int {
+	return g.BFS(src, view).PathTo(dst)
+}
+
+// Eccentricity returns the largest finite distance from src to any node in
+// targets (or to all nodes when targets is nil), and whether every target was
+// reachable.
+func (g *Graph) Eccentricity(src int, targets []int, view *View) (int, bool) {
+	res := g.BFS(src, view)
+	max, all := 0, true
+	if targets == nil {
+		for v, d := range res.Dist {
+			if v == src {
+				continue
+			}
+			if d == Unreachable {
+				all = false
+				continue
+			}
+			if int(d) > max {
+				max = int(d)
+			}
+		}
+		return max, all
+	}
+	for _, v := range targets {
+		d := res.Dist[v]
+		if v == src {
+			continue
+		}
+		if d == Unreachable {
+			all = false
+			continue
+		}
+		if int(d) > max {
+			max = int(d)
+		}
+	}
+	return max, all
+}
+
+// Connected reports whether every alive node is reachable from the first
+// alive node.
+func (g *Graph) Connected(view *View) bool {
+	src := -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if view.NodeUp(v) {
+			src = v
+			break
+		}
+	}
+	if src == -1 {
+		return true
+	}
+	res := g.BFS(src, view)
+	for v := 0; v < g.NumNodes(); v++ {
+		if view.NodeUp(v) && res.Dist[v] == Unreachable {
+			return false
+		}
+	}
+	return true
+}

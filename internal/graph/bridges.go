@@ -1,0 +1,70 @@
+package graph
+
+// Bridges returns the edge IDs whose removal disconnects the graph
+// (cut edges), via the same iterative low-link DFS as ArticulationPoints.
+// In cabling terms these are the cables whose failure partitions the
+// network — zero in any 2-edge-connected interconnect.
+func (g *Graph) Bridges() []int {
+	n := g.NumNodes()
+	var (
+		disc  = make([]int32, n)
+		low   = make([]int32, n)
+		pedge = make([]int32, n) // edge to parent
+		timer int32
+	)
+	for i := range pedge {
+		pedge[i] = -1
+	}
+	var bridges []int
+
+	type frame struct {
+		node int32
+		next int32
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{node: int32(start)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.node
+			if int(f.next) < len(g.adj[u]) {
+				h := g.adj[u][f.next]
+				f.next++
+				if h.edge == pedge[u] {
+					continue // don't reuse the tree edge to the parent
+				}
+				if disc[h.to] == 0 {
+					pedge[h.to] = h.edge
+					timer++
+					disc[h.to] = timer
+					low[h.to] = timer
+					stack = append(stack, frame{node: h.to})
+				} else if disc[h.to] < low[u] {
+					low[u] = disc[h.to]
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if pedge[u] == -1 {
+				continue
+			}
+			e := g.edges[pedge[u]]
+			parent := e.U
+			if parent == u {
+				parent = e.V
+			}
+			if low[u] < low[parent] {
+				low[parent] = low[u]
+			}
+			if low[u] == disc[u] {
+				bridges = append(bridges, int(pedge[u]))
+			}
+		}
+	}
+	return bridges
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBridgesLine(t *testing.T) {
+	g := line(t, 4)
+	if got := len(g.Bridges()); got != 3 {
+		t.Errorf("line has %d bridges, want 3", got)
+	}
+}
+
+func TestBridgesCycleHasNone(t *testing.T) {
+	if got := cycle(t, 5).Bridges(); got != nil {
+		t.Errorf("cycle bridges = %v, want none", got)
+	}
+}
+
+func TestBridgesTwoTrianglesOneBridge(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 5)
+	g.MustAddEdge(5, 3)
+	bridge := g.MustAddEdge(2, 3)
+	got := g.Bridges()
+	if len(got) != 1 || got[0] != bridge {
+		t.Errorf("bridges = %v, want [%d]", got, bridge)
+	}
+}
+
+func TestPropertyBridgesMatchBruteForce(t *testing.T) {
+	// e is a bridge iff failing it disconnects some previously connected
+	// pair.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		g := randomConnectedGraph(rng, n, rng.Intn(n))
+		fast := map[int]bool{}
+		for _, e := range g.Bridges() {
+			fast[e] = true
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			view := NewView(g)
+			view.FailEdge(e)
+			if g.Connected(view) == fast[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

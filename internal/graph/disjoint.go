@@ -1,0 +1,29 @@
+package graph
+
+// GreedyDisjointPaths returns up to k internally vertex-disjoint paths from
+// src to dst, found by repeatedly taking a shortest path and failing its
+// interior nodes. Greedy extraction is not maximal in general (max-flow is;
+// see VertexDisjointPaths), but it serves as the structure-agnostic baseline
+// the native parallel-path constructions are compared against.
+func (g *Graph) GreedyDisjointPaths(src, dst, k int) [][]int {
+	if src == dst || k <= 0 {
+		return nil
+	}
+	view := NewView(g)
+	var out [][]int
+	for len(out) < k {
+		path := g.ShortestPath(src, dst, view)
+		if path == nil {
+			break
+		}
+		out = append(out, path)
+		for _, node := range path[1 : len(path)-1] {
+			view.FailNode(node)
+		}
+		if len(path) == 2 {
+			// Direct edge: remove it so the next round must differ.
+			view.FailEdge(g.EdgeBetween(src, dst))
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyDisjointPathsCycle(t *testing.T) {
+	g := cycle(t, 8)
+	paths := g.GreedyDisjointPaths(0, 4, 5)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths on a cycle, want 2", len(paths))
+	}
+	seen := map[int]bool{}
+	for _, p := range paths {
+		if p[0] != 0 || p[len(p)-1] != 4 {
+			t.Fatalf("bad endpoints: %v", p)
+		}
+		for _, node := range p[1 : len(p)-1] {
+			if seen[node] {
+				t.Fatalf("paths share node %d", node)
+			}
+			seen[node] = true
+		}
+	}
+}
+
+func TestGreedyDisjointPathsDirectEdge(t *testing.T) {
+	// Triangle: direct edge plus the two-hop detour.
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	paths := g.GreedyDisjointPaths(0, 2, 5)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (direct + detour)", len(paths))
+	}
+}
+
+func TestGreedyDisjointPathsDegenerate(t *testing.T) {
+	g := line(t, 3)
+	if got := g.GreedyDisjointPaths(1, 1, 3); got != nil {
+		t.Errorf("self pair returned %v", got)
+	}
+	if got := g.GreedyDisjointPaths(0, 2, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+}
+
+func TestPropertyGreedyNeverExceedsMaxFlow(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		g := randomConnectedGraph(rng, n, 2*n)
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			return true
+		}
+		greedy := g.GreedyDisjointPaths(u, v, n)
+		limit := g.VertexDisjointPaths(u, v)
+		if len(greedy) > limit || len(greedy) < 1 {
+			return false
+		}
+		// Validate disjointness.
+		seen := map[int]bool{}
+		for _, p := range greedy {
+			for _, node := range p[1 : len(p)-1] {
+				if seen[node] {
+					return false
+				}
+				seen[node] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

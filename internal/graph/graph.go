@@ -1,0 +1,160 @@
+// Package graph provides a compact undirected multigraph used as the common
+// substrate for every data-center topology in this repository.
+//
+// Nodes are dense integer indices assigned by the topology builders. Edges
+// have stable integer identities so that link-failure experiments can disable
+// individual cables. All traversal helpers accept an optional View that masks
+// failed nodes and edges without copying the graph.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNodeRange is returned when a node index is outside [0, NumNodes).
+var ErrNodeRange = errors.New("graph: node index out of range")
+
+// Edge is an undirected edge between nodes U and V.
+type Edge struct {
+	U, V int32
+}
+
+type halfEdge struct {
+	to   int32
+	edge int32
+}
+
+// Graph is an undirected multigraph with stable edge identities.
+// The zero value is an empty graph with no nodes.
+type Graph struct {
+	adj   [][]halfEdge
+	edges []Edge
+}
+
+// New returns a graph with n nodes, numbered 0..n-1, and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]halfEdge, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode appends a new node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge adds an undirected edge between u and v and returns its edge ID.
+// Self-loops and duplicate edges are rejected with an error: data-center
+// cabling never needs either, so their appearance indicates a builder bug.
+func (g *Graph) AddEdge(u, v int) (int, error) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return 0, fmt.Errorf("%w: (%d,%d) with %d nodes", ErrNodeRange, u, v, len(g.adj))
+	}
+	if u == v {
+		return 0, fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	for _, h := range g.adj[u] {
+		if int(h.to) == v {
+			return 0, fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	id := int32(len(g.edges))
+	g.edges = append(g.edges, Edge{U: int32(u), V: int32(v)})
+	g.adj[u] = append(g.adj[u], halfEdge{to: int32(v), edge: id})
+	g.adj[v] = append(g.adj[v], halfEdge{to: int32(u), edge: id})
+	return int(id), nil
+}
+
+// MustAddEdge is AddEdge for construction code whose inputs are guaranteed in
+// range by the caller; it panics on builder bugs.
+func (g *Graph) MustAddEdge(u, v int) int {
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Edge returns the endpoints of edge id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Degree returns the number of edges incident to node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors appends the neighbors of u to dst and returns it. The returned
+// slice aliases dst, not graph internals.
+func (g *Graph) Neighbors(u int, dst []int) []int {
+	for _, h := range g.adj[u] {
+		dst = append(dst, int(h.to))
+	}
+	return dst
+}
+
+// EdgeBetween returns the edge ID connecting u and v, or -1 if none exists.
+func (g *Graph) EdgeBetween(u, v int) int {
+	if u < 0 || u >= len(g.adj) {
+		return -1
+	}
+	for _, h := range g.adj[u] {
+		if int(h.to) == v {
+			return int(h.edge)
+		}
+	}
+	return -1
+}
+
+// View masks failed nodes and edges over an underlying graph without copying
+// it. The zero-value View (nil masks) passes everything through.
+type View struct {
+	g        *Graph
+	nodeDown []bool
+	edgeDown []bool
+}
+
+// NewView returns a view of g with nothing failed.
+func NewView(g *Graph) *View {
+	return &View{g: g}
+}
+
+// Graph returns the underlying graph.
+func (v *View) Graph() *Graph { return v.g }
+
+// FailNode marks node u as failed.
+func (v *View) FailNode(u int) {
+	if v.nodeDown == nil {
+		v.nodeDown = make([]bool, v.g.NumNodes())
+	}
+	v.nodeDown[u] = true
+}
+
+// FailEdge marks edge id as failed.
+func (v *View) FailEdge(id int) {
+	if v.edgeDown == nil {
+		v.edgeDown = make([]bool, v.g.NumEdges())
+	}
+	v.edgeDown[id] = true
+}
+
+// NodeUp reports whether node u is alive.
+func (v *View) NodeUp(u int) bool {
+	return v == nil || v.nodeDown == nil || !v.nodeDown[u]
+}
+
+// EdgeUp reports whether edge id is alive.
+func (v *View) EdgeUp(id int) bool {
+	return v == nil || v.edgeDown == nil || !v.edgeDown[id]
+}
+
+// usable reports whether the half-edge h leaving an alive node is traversable.
+func (v *View) usable(h halfEdge) bool {
+	if v == nil {
+		return true
+	}
+	return v.EdgeUp(int(h.edge)) && v.NodeUp(int(h.to))
+}

@@ -1,0 +1,429 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// line returns a path graph 0-1-2-...-(n-1).
+func line(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if _, err := g.AddEdge(i, i+1); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", i, i+1, err)
+		}
+	}
+	return g
+}
+
+// cycle returns a cycle graph on n nodes.
+func cycle(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := line(t, n)
+	if _, err := g.AddEdge(n-1, 0); err != nil {
+		t.Fatalf("close cycle: %v", err)
+	}
+	return g
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		u, v int
+	}{
+		{name: "negative u", u: -1, v: 0},
+		{name: "u out of range", u: 3, v: 0},
+		{name: "v out of range", u: 0, v: 3},
+		{name: "self loop", u: 1, v: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := New(3)
+			if _, err := g.AddEdge(tt.u, tt.v); err == nil {
+				t.Errorf("AddEdge(%d,%d) = nil error, want error", tt.u, tt.v)
+			}
+		})
+	}
+}
+
+func TestAddEdgeDuplicate(t *testing.T) {
+	g := New(2)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("first AddEdge: %v", err)
+	}
+	if _, err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate AddEdge(1,0) succeeded, want error")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	if got := g.Degree(0); got != 3 {
+		t.Errorf("Degree(0) = %d, want 3", got)
+	}
+	if got := g.Degree(3); got != 1 {
+		t.Errorf("Degree(3) = %d, want 1", got)
+	}
+	nbrs := g.Neighbors(0, nil)
+	if len(nbrs) != 3 {
+		t.Fatalf("Neighbors(0) = %v, want 3 entries", nbrs)
+	}
+	seen := map[int]bool{}
+	for _, v := range nbrs {
+		seen[v] = true
+	}
+	for _, want := range []int{1, 2, 3} {
+		if !seen[want] {
+			t.Errorf("Neighbors(0) missing %d: %v", want, nbrs)
+		}
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := New(3)
+	id := g.MustAddEdge(0, 2)
+	if got := g.EdgeBetween(0, 2); got != id {
+		t.Errorf("EdgeBetween(0,2) = %d, want %d", got, id)
+	}
+	if got := g.EdgeBetween(2, 0); got != id {
+		t.Errorf("EdgeBetween(2,0) = %d, want %d", got, id)
+	}
+	if got := g.EdgeBetween(0, 1); got != -1 {
+		t.Errorf("EdgeBetween(0,1) = %d, want -1", got)
+	}
+	if got := g.EdgeBetween(-5, 1); got != -1 {
+		t.Errorf("EdgeBetween(-5,1) = %d, want -1", got)
+	}
+	e := g.Edge(id)
+	if e.U != 0 || e.V != 2 {
+		t.Errorf("Edge(%d) = %+v, want {0 2}", id, e)
+	}
+}
+
+func TestBFSDistancesOnLine(t *testing.T) {
+	g := line(t, 5)
+	res := g.BFS(0, nil)
+	for v := 0; v < 5; v++ {
+		if int(res.Dist[v]) != v {
+			t.Errorf("Dist[%d] = %d, want %d", v, res.Dist[v], v)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	res := g.BFS(0, nil)
+	if res.Dist[2] != Unreachable {
+		t.Errorf("Dist[2] = %d, want Unreachable", res.Dist[2])
+	}
+	if p := res.PathTo(2); p != nil {
+		t.Errorf("PathTo(2) = %v, want nil", p)
+	}
+}
+
+func TestBFSFromFailedSource(t *testing.T) {
+	g := line(t, 3)
+	v := NewView(g)
+	v.FailNode(0)
+	res := g.BFS(0, v)
+	if res.Dist[1] != Unreachable {
+		t.Errorf("BFS from failed source reached node 1 (dist %d)", res.Dist[1])
+	}
+}
+
+func TestPathToEndpoints(t *testing.T) {
+	g := cycle(t, 6)
+	path := g.ShortestPath(0, 3, nil)
+	if len(path) != 4 {
+		t.Fatalf("ShortestPath(0,3) = %v, want length 4", path)
+	}
+	if path[0] != 0 || path[len(path)-1] != 3 {
+		t.Errorf("path endpoints = %d,%d, want 0,3", path[0], path[len(path)-1])
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if g.EdgeBetween(path[i], path[i+1]) == -1 {
+			t.Errorf("path step %d-%d is not an edge", path[i], path[i+1])
+		}
+	}
+}
+
+func TestViewFailEdgeForcesLongWayAround(t *testing.T) {
+	g := cycle(t, 6)
+	direct := g.EdgeBetween(0, 1)
+	v := NewView(g)
+	v.FailEdge(direct)
+	path := g.ShortestPath(0, 1, v)
+	if len(path) != 6 {
+		t.Fatalf("path after failing direct edge = %v, want the 5-hop detour", path)
+	}
+}
+
+func TestViewFailNodeDisconnects(t *testing.T) {
+	g := line(t, 5)
+	v := NewView(g)
+	v.FailNode(2)
+	if p := g.ShortestPath(0, 4, v); p != nil {
+		t.Errorf("path through failed node = %v, want nil", p)
+	}
+	if g.Connected(v) {
+		t.Error("Connected = true with middle node failed")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := line(t, 5)
+	ecc, all := g.Eccentricity(0, nil, nil)
+	if ecc != 4 || !all {
+		t.Errorf("Eccentricity(0) = %d,%v, want 4,true", ecc, all)
+	}
+	ecc, all = g.Eccentricity(2, []int{0, 4}, nil)
+	if ecc != 2 || !all {
+		t.Errorf("Eccentricity(2,{0,4}) = %d,%v, want 2,true", ecc, all)
+	}
+}
+
+func TestEccentricityUnreachableTargets(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	ecc, all := g.Eccentricity(0, nil, nil)
+	if all {
+		t.Error("Eccentricity reported all reachable on disconnected graph")
+	}
+	if ecc != 1 {
+		t.Errorf("Eccentricity = %d, want 1", ecc)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !cycle(t, 4).Connected(nil) {
+		t.Error("cycle reported disconnected")
+	}
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if g.Connected(nil) {
+		t.Error("two components reported connected")
+	}
+}
+
+func TestConnectedAllNodesFailed(t *testing.T) {
+	g := line(t, 2)
+	v := NewView(g)
+	v.FailNode(0)
+	v.FailNode(1)
+	if !g.Connected(v) {
+		t.Error("empty alive set should count as connected")
+	}
+}
+
+func TestMaxFlowDiamond(t *testing.T) {
+	// s=0 -> {1,2} -> t=3, all unit arcs: max flow 2.
+	f := NewFlowNetwork(4)
+	f.AddArc(0, 1, 1)
+	f.AddArc(0, 2, 1)
+	f.AddArc(1, 3, 1)
+	f.AddArc(2, 3, 1)
+	if got := f.MaxFlow(0, 3); got != 2 {
+		t.Errorf("MaxFlow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowBottleneck(t *testing.T) {
+	// Wide fan-in behind a single capacity-3 arc.
+	f := NewFlowNetwork(3)
+	f.AddArc(0, 1, 10)
+	f.AddArc(1, 2, 3)
+	if got := f.MaxFlow(0, 2); got != 3 {
+		t.Errorf("MaxFlow = %d, want 3", got)
+	}
+	f2 := NewFlowNetwork(2)
+	f2.AddArc(0, 1, 5)
+	if got := f2.MaxFlow(0, 0); got != 0 {
+		t.Errorf("MaxFlow(s==t) = %d, want 0", got)
+	}
+}
+
+func TestMinCutBetweenCycle(t *testing.T) {
+	g := cycle(t, 8)
+	// Cutting a cycle into two arcs always needs exactly 2 edges.
+	if got := g.MinCutBetween([]int{0}, []int{4}); got != 2 {
+		t.Errorf("MinCutBetween = %d, want 2", got)
+	}
+}
+
+func TestMinCutBetweenGroups(t *testing.T) {
+	// Two triangles joined by one bridge: cut = 1.
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 5)
+	g.MustAddEdge(5, 3)
+	g.MustAddEdge(2, 3)
+	if got := g.MinCutBetween([]int{0, 1}, []int{4, 5}); got != 1 {
+		t.Errorf("MinCutBetween = %d, want 1 (the bridge)", got)
+	}
+}
+
+func TestVertexDisjointPaths(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(t *testing.T) *Graph
+		s, d  int
+		want  int
+	}{
+		{name: "cycle has 2", build: func(t *testing.T) *Graph { return cycle(t, 6) }, s: 0, d: 3, want: 2},
+		{name: "line has 1", build: func(t *testing.T) *Graph { return line(t, 4) }, s: 0, d: 3, want: 1},
+		{name: "same node", build: func(t *testing.T) *Graph { return line(t, 2) }, s: 0, d: 0, want: 0},
+		{
+			name: "k4 has 3",
+			build: func(t *testing.T) *Graph {
+				g := New(4)
+				for i := 0; i < 4; i++ {
+					for j := i + 1; j < 4; j++ {
+						g.MustAddEdge(i, j)
+					}
+				}
+				return g
+			},
+			s: 0, d: 3, want: 3,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := tt.build(t)
+			if got := g.VertexDisjointPaths(tt.s, tt.d); got != tt.want {
+				t.Errorf("VertexDisjointPaths = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+// randomConnectedGraph builds a connected random graph on n nodes: a random
+// spanning tree plus extra random edges.
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && g.EdgeBetween(u, v) == -1 {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestPropertyBFSSymmetric(t *testing.T) {
+	// On undirected graphs, dist(u,v) == dist(v,u).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomConnectedGraph(rng, n, n)
+		u, v := rng.Intn(n), rng.Intn(n)
+		return g.BFS(u, nil).Dist[v] == g.BFS(v, nil).Dist[u]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyShortestPathIsValidAndShortest(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomConnectedGraph(rng, n, 2*n)
+		u, v := rng.Intn(n), rng.Intn(n)
+		path := g.ShortestPath(u, v, nil)
+		dist := g.BFS(u, nil).Dist[v]
+		if u == v {
+			return len(path) == 1 && path[0] == u
+		}
+		if len(path) != int(dist)+1 || path[0] != u || path[len(path)-1] != v {
+			return false
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if g.EdgeBetween(path[i], path[i+1]) == -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVertexDisjointAtMostMinDegree(t *testing.T) {
+	// Menger: #disjoint paths <= min(deg(u), deg(v)) for non-adjacent pairs,
+	// and <= deg in general since each path consumes one incident edge.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		g := randomConnectedGraph(rng, n, 2*n)
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			return true
+		}
+		k := g.VertexDisjointPaths(u, v)
+		du, dv := g.Degree(u), g.Degree(v)
+		limit := du
+		if dv < limit {
+			limit = dv
+		}
+		return k >= 1 && k <= limit
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMinCutMatchesDisjointEdgePaths(t *testing.T) {
+	// Menger (edge form): min cut between {u} and {v} equals max number of
+	// edge-disjoint u-v paths, which is what MinCutBetween computes. Sanity:
+	// it must be >= 1 on a connected graph and <= min degree.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		g := randomConnectedGraph(rng, n, n)
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			return true
+		}
+		cut := g.MinCutBetween([]int{u}, []int{v})
+		limit := g.Degree(u)
+		if d := g.Degree(v); d < limit {
+			limit = d
+		}
+		return cut >= 1 && cut <= limit
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(0)
+	if g.NumNodes() != 0 {
+		t.Fatalf("NumNodes = %d, want 0", g.NumNodes())
+	}
+	a := g.AddNode()
+	b := g.AddNode()
+	if a != 0 || b != 1 {
+		t.Errorf("AddNode ids = %d,%d, want 0,1", a, b)
+	}
+	if _, err := g.AddEdge(a, b); err != nil {
+		t.Errorf("AddEdge on added nodes: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}

@@ -1,0 +1,163 @@
+package graph
+
+// Dinic's max-flow on a directed flow network. The topology packages use it
+// for two verification jobs: exact min-cuts between canonical bisection
+// halves (cross-checking the analytic digit-cut formulas) and counting
+// internally vertex-disjoint paths (verifying the parallel-path claims).
+
+type flowArc struct {
+	to  int32
+	rev int32 // index of the reverse arc in adj[to]
+	cap int32
+}
+
+// FlowNetwork is a directed graph with integer capacities for Dinic's
+// algorithm. Build one with NewFlowNetwork and AddArc.
+type FlowNetwork struct {
+	adj [][]flowArc
+}
+
+// NewFlowNetwork returns a flow network with n nodes and no arcs.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{adj: make([][]flowArc, n)}
+}
+
+// AddNode appends a node and returns its index.
+func (f *FlowNetwork) AddNode() int {
+	f.adj = append(f.adj, nil)
+	return len(f.adj) - 1
+}
+
+// AddArc adds a directed arc u->v with the given capacity (and a zero-capacity
+// reverse arc used for residual flow).
+func (f *FlowNetwork) AddArc(u, v, capacity int) {
+	f.adj[u] = append(f.adj[u], flowArc{to: int32(v), rev: int32(len(f.adj[v])), cap: int32(capacity)})
+	f.adj[v] = append(f.adj[v], flowArc{to: int32(u), rev: int32(len(f.adj[u]) - 1), cap: 0})
+}
+
+// AddUndirected adds capacity in both directions, modeling an undirected
+// capacitated edge.
+func (f *FlowNetwork) AddUndirected(u, v, capacity int) {
+	f.AddArc(u, v, capacity)
+	f.AddArc(v, u, capacity)
+}
+
+// MaxFlow computes the maximum s-t flow with Dinic's algorithm. It mutates
+// residual capacities; call it once per network.
+func (f *FlowNetwork) MaxFlow(s, t int) int {
+	if s == t {
+		return 0
+	}
+	n := len(f.adj)
+	level := make([]int32, n)
+	iter := make([]int32, n)
+	queue := make([]int32, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range f.adj[u] {
+				if a.cap > 0 && level[a.to] < 0 {
+					level[a.to] = level[u] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int32, limit int32) int32
+	dfs = func(u int32, limit int32) int32 {
+		if int(u) == t {
+			return limit
+		}
+		for ; iter[u] < int32(len(f.adj[u])); iter[u]++ {
+			a := &f.adj[u][iter[u]]
+			if a.cap <= 0 || level[a.to] != level[u]+1 {
+				continue
+			}
+			pushed := dfs(a.to, min32(limit, a.cap))
+			if pushed > 0 {
+				a.cap -= pushed
+				f.adj[a.to][a.rev].cap += pushed
+				return pushed
+			}
+		}
+		return 0
+	}
+
+	const inf = int32(1) << 30
+	total := 0
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := dfs(int32(s), inf)
+			if pushed == 0 {
+				break
+			}
+			total += int(pushed)
+		}
+	}
+	return total
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MinCutBetween returns the minimum number of edges that must be removed from
+// g to disconnect every node in side from every node in other. Nodes listed
+// in neither set are free intermediates. All edges have unit capacity.
+func (g *Graph) MinCutBetween(side, other []int) int {
+	f := NewFlowNetwork(g.NumNodes() + 2)
+	s := g.NumNodes()
+	t := s + 1
+	for _, e := range g.edges {
+		f.AddUndirected(int(e.U), int(e.V), 1)
+	}
+	const inf = 1 << 29
+	for _, v := range side {
+		f.AddArc(s, v, inf)
+	}
+	for _, v := range other {
+		f.AddArc(v, t, inf)
+	}
+	return f.MaxFlow(s, t)
+}
+
+// VertexDisjointPaths returns the maximum number of internally
+// vertex-disjoint paths between src and dst (standard node-splitting
+// reduction: node v becomes v_in -> v_out with capacity 1, except the
+// terminals which get infinite self-capacity).
+func (g *Graph) VertexDisjointPaths(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	n := g.NumNodes()
+	f := NewFlowNetwork(2 * n) // v_in = v, v_out = v + n
+	const inf = 1 << 29
+	for v := 0; v < n; v++ {
+		capacity := 1
+		if v == src || v == dst {
+			capacity = inf
+		}
+		f.AddArc(v, v+n, capacity)
+	}
+	for _, e := range g.edges {
+		f.AddArc(int(e.U)+n, int(e.V), 1)
+		f.AddArc(int(e.V)+n, int(e.U), 1)
+	}
+	return f.MaxFlow(src+n, dst)
+}

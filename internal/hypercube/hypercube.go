@@ -1,0 +1,108 @@
+// Package hypercube implements the classic binary hypercube, included as a
+// context row in the comparison tables (the "Hypercubes" keyword of the
+// paper): 2^d servers, direct cables, no switches.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"repro/internal/topology"
+)
+
+// Config selects a hypercube instance with dimension D.
+type Config struct {
+	D int
+}
+
+// Validate reports whether the configuration is buildable.
+func (c Config) Validate() error {
+	if c.D < 1 || c.D > 20 {
+		return fmt.Errorf("hypercube: dimension D = %d, need 1..20", c.D)
+	}
+	return nil
+}
+
+// Hypercube is a built instance; immutable after Build.
+type Hypercube struct {
+	cfg     Config
+	net     *topology.Network
+	servers []int
+}
+
+var _ topology.Topology = (*Hypercube)(nil)
+
+// Build constructs the d-dimensional binary hypercube.
+func Build(cfg Config) (*Hypercube, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := 1 << cfg.D
+	h := &Hypercube{
+		cfg: cfg,
+		net: topology.NewNetwork(fmt.Sprintf("Hypercube(%d)", cfg.D)),
+	}
+	h.servers = make([]int, n)
+	for v := 0; v < n; v++ {
+		h.servers[v] = h.net.AddServer("S" + strconv.Itoa(v))
+	}
+	for v := 0; v < n; v++ {
+		for b := 0; b < cfg.D; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				if err := h.net.Connect(h.servers[v], h.servers[u]); err != nil {
+					return nil, fmt.Errorf("hypercube: wire: %w", err)
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+// MustBuild is Build for known-good configs.
+func MustBuild(cfg Config) *Hypercube {
+	h, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Network returns the built network.
+func (h *Hypercube) Network() *topology.Network { return h.net }
+
+// ServerAt returns the node index of vertex v.
+func (h *Hypercube) ServerAt(v int) int { return h.servers[v] }
+
+// Properties returns the analytic comparison-table row.
+func (h *Hypercube) Properties() topology.Properties {
+	n := 1 << h.cfg.D
+	return topology.Properties{
+		Name:           h.net.Name(),
+		Servers:        n,
+		Switches:       0,
+		Links:          h.cfg.D * n / 2,
+		ServerPorts:    h.cfg.D,
+		SwitchPorts:    0,
+		Diameter:       h.cfg.D,
+		DiameterLinks:  h.cfg.D,
+		BisectionLinks: n / 2,
+	}
+}
+
+// Route implements bit-fixing routing, correcting differing bits from the
+// lowest to the highest.
+func (h *Hypercube) Route(src, dst int) (topology.Path, error) {
+	if err := topology.CheckEndpoints(h.net, src, dst); err != nil {
+		return nil, err
+	}
+	cur, target := src, dst
+	path := topology.Path{src}
+	for cur != target {
+		b := bits.TrailingZeros(uint(cur ^ target))
+		cur ^= 1 << b
+		path = append(path, h.servers[cur])
+	}
+	return path, nil
+}

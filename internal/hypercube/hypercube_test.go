@@ -1,0 +1,89 @@
+package hypercube
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	for _, d := range []int{0, 21, -1} {
+		if err := (Config{D: d}).Validate(); err == nil {
+			t.Errorf("Validate(D=%d) succeeded", d)
+		}
+	}
+	if err := (Config{D: 4}).Validate(); err != nil {
+		t.Errorf("Validate(D=4): %v", err)
+	}
+}
+
+func TestBuildCountsMatchProperties(t *testing.T) {
+	for _, d := range []int{1, 3, 5} {
+		h := MustBuild(Config{D: d})
+		props := h.Properties()
+		net := h.Network()
+		if net.NumServers() != props.Servers || net.NumLinks() != props.Links ||
+			net.NumSwitches() != 0 {
+			t.Errorf("%s: built %d/%d/%d, formula %d/0/%d", net.Name(),
+				net.NumServers(), net.NumSwitches(), net.NumLinks(),
+				props.Servers, props.Links)
+		}
+	}
+}
+
+func TestRouteIsBitFixing(t *testing.T) {
+	h := MustBuild(Config{D: 4})
+	net := h.Network()
+	for _, src := range net.Servers() {
+		for _, dst := range net.Servers() {
+			p, err := h.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(net, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			want := bits.OnesCount(uint(src ^ dst))
+			if p.Len() != want {
+				t.Fatalf("Route(%d,%d) = %d links, want Hamming distance %d",
+					src, dst, p.Len(), want)
+			}
+		}
+	}
+}
+
+func TestDiameterTight(t *testing.T) {
+	h := MustBuild(Config{D: 5})
+	net := h.Network()
+	worst := 0
+	for _, src := range net.Servers() {
+		ecc, ok := net.Graph().Eccentricity(src, nil, nil)
+		if !ok {
+			t.Fatal("disconnected")
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	if worst != 5 {
+		t.Errorf("diameter %d, want 5", worst)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Build(Config{D: 0}); err == nil {
+		t.Error("Build(0) succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	MustBuild(Config{D: 0})
+}
+
+func TestServerAt(t *testing.T) {
+	h := MustBuild(Config{D: 2})
+	if !h.Network().IsServer(h.ServerAt(3)) {
+		t.Error("ServerAt(3) is not a server")
+	}
+}

@@ -1,0 +1,20 @@
+package metrics
+
+// JainFairness returns Jain's fairness index over the values:
+// (sum x)^2 / (n * sum x^2), in (0, 1], where 1 means perfectly even.
+// Used to score how evenly a routing policy spreads load across links and
+// how evenly an allocator shares rate across flows.
+func JainFairness(values []float64) float64 {
+	if len(values) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}

@@ -1,0 +1,227 @@
+// Package metrics computes the empirical quantities behind the paper's
+// comparison tables and figures: diameters, average path lengths, bisection
+// cuts, link loads, and path-length histograms. Everything is measured on the
+// built graph, so analytic formulas in the topology packages can be
+// cross-checked against reality.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// DiameterLinks returns the worst-case shortest-path distance in links
+// between any two servers.
+func DiameterLinks(net *topology.Network) (int, error) {
+	servers := net.Servers()
+	worst := 0
+	for _, src := range servers {
+		ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+		if !ok {
+			return 0, fmt.Errorf("metrics: network %s is disconnected", net.Name())
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	return worst, nil
+}
+
+// SampledDiameterLinks lower-bounds the diameter by running BFS from a
+// random sample of servers; exact when sample >= number of servers.
+func SampledDiameterLinks(net *topology.Network, sample int, rng *rand.Rand) (int, error) {
+	servers := net.Servers()
+	if sample >= len(servers) {
+		return DiameterLinks(net)
+	}
+	worst := 0
+	for i := 0; i < sample; i++ {
+		src := servers[rng.Intn(len(servers))]
+		ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+		if !ok {
+			return 0, fmt.Errorf("metrics: network %s is disconnected", net.Name())
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	return worst, nil
+}
+
+// ASPL returns the average shortest-path length in links over server pairs.
+// With sample <= 0 every server is used as a BFS source; otherwise `sample`
+// random sources are used.
+func ASPL(net *topology.Network, sample int, rng *rand.Rand) (float64, error) {
+	servers := net.Servers()
+	sources := servers
+	if sample > 0 && sample < len(servers) {
+		sources = make([]int, sample)
+		for i := range sources {
+			sources[i] = servers[rng.Intn(len(servers))]
+		}
+	}
+	isServer := make(map[int]bool, len(servers))
+	for _, s := range servers {
+		isServer[s] = true
+	}
+	var total float64
+	var count int
+	for _, src := range sources {
+		res := net.Graph().BFS(src, nil)
+		for _, dst := range servers {
+			if dst == src {
+				continue
+			}
+			d := res.Dist[dst]
+			if d == graph.Unreachable {
+				return 0, fmt.Errorf("metrics: %s unreachable from %s", net.Label(dst), net.Label(src))
+			}
+			total += float64(d)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return total / float64(count), nil
+}
+
+// AvgRoutedLength returns the average length in links of the structure's own
+// routed paths over the given server pairs, plus the worst observed length.
+func AvgRoutedLength(t topology.Topology, pairs [][2]int) (avg float64, worst int, err error) {
+	if len(pairs) == 0 {
+		return 0, 0, nil
+	}
+	total := 0
+	for _, pr := range pairs {
+		p, err := t.Route(pr[0], pr[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("metrics: route: %w", err)
+		}
+		total += p.Len()
+		if p.Len() > worst {
+			worst = p.Len()
+		}
+	}
+	return float64(total) / float64(len(pairs)), worst, nil
+}
+
+// CanonicalHalves splits the servers into two contiguous halves in creation
+// order. For every structure in this repository creation order follows the
+// top address digit (ABCCC/BCCC/BCube crossbar vectors, fat-tree pods, DCell
+// top-level copies), so this is the canonical worst-case bisection partition
+// the analytic formulas describe.
+func CanonicalHalves(net *topology.Network) (a, b []int) {
+	servers := net.Servers()
+	half := len(servers) / 2
+	return servers[:half], servers[half:]
+}
+
+// BisectionCut returns the exact minimum number of links whose removal
+// disconnects the canonical server halves (max-flow between the halves).
+func BisectionCut(net *topology.Network) int {
+	a, b := CanonicalHalves(net)
+	return net.Graph().MinCutBetween(a, b)
+}
+
+// LoadReport summarizes per-link usage induced by a set of paths.
+type LoadReport struct {
+	// MaxLoad is the number of paths on the busiest link.
+	MaxLoad int
+	// AvgLoad is the mean number of paths per used link.
+	AvgLoad float64
+	// UsedLinks is the number of links carrying at least one path.
+	UsedLinks int
+}
+
+// LinkLoads counts how many of the given paths traverse each link.
+func LinkLoads(net *topology.Network, paths []topology.Path) LoadReport {
+	loads := make([]int, net.Graph().NumEdges())
+	for _, p := range paths {
+		for i := 1; i < len(p); i++ {
+			loads[net.Graph().EdgeBetween(p[i-1], p[i])]++
+		}
+	}
+	var rep LoadReport
+	total := 0
+	for _, l := range loads {
+		if l == 0 {
+			continue
+		}
+		rep.UsedLinks++
+		total += l
+		if l > rep.MaxLoad {
+			rep.MaxLoad = l
+		}
+	}
+	if rep.UsedLinks > 0 {
+		rep.AvgLoad = float64(total) / float64(rep.UsedLinks)
+	}
+	return rep
+}
+
+// LinkLoadVector returns the per-link path counts for the links that carry
+// at least one path, as floats ready for fairness scoring.
+func LinkLoadVector(net *topology.Network, paths []topology.Path) []float64 {
+	loads := make([]int, net.Graph().NumEdges())
+	for _, p := range paths {
+		for i := 1; i < len(p); i++ {
+			loads[net.Graph().EdgeBetween(p[i-1], p[i])]++
+		}
+	}
+	var out []float64
+	for _, l := range loads {
+		if l > 0 {
+			out = append(out, float64(l))
+		}
+	}
+	return out
+}
+
+// PathLengthHistogram returns counts of routed path lengths (in links) over
+// the given pairs, indexed by length.
+func PathLengthHistogram(t topology.Topology, pairs [][2]int) ([]int, error) {
+	var hist []int
+	for _, pr := range pairs {
+		p, err := t.Route(pr[0], pr[1])
+		if err != nil {
+			return nil, fmt.Errorf("metrics: route: %w", err)
+		}
+		for p.Len() >= len(hist) {
+			hist = append(hist, 0)
+		}
+		hist[p.Len()]++
+	}
+	return hist, nil
+}
+
+// ConnectionFailureRatio measures, over sampled server pairs under the given
+// failure view, the fraction of pairs for which `route` finds no path even
+// though (graph-wise) connectivity may remain. It returns the ratio of
+// routing misses and the ratio of genuinely disconnected pairs.
+func ConnectionFailureRatio(
+	net *topology.Network,
+	view *graph.View,
+	route func(src, dst int, view *graph.View) (topology.Path, error),
+	pairs [][2]int,
+) (missRatio, disconnectedRatio float64) {
+	if len(pairs) == 0 {
+		return 0, 0
+	}
+	miss, disc := 0, 0
+	for _, pr := range pairs {
+		src, dst := pr[0], pr[1]
+		if !view.NodeUp(src) || !view.NodeUp(dst) || net.Graph().ShortestPath(src, dst, view) == nil {
+			disc++
+			miss++
+			continue
+		}
+		if _, err := route(src, dst, view); err != nil {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(pairs)), float64(disc) / float64(len(pairs))
+}

@@ -1,0 +1,278 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestDiameterLinksMatchesAnalytic(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (topology.Topology, int)
+	}{
+		{name: "abccc", build: func() (topology.Topology, int) {
+			tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+			return tp, tp.Properties().DiameterLinks
+		}},
+		{name: "bcube", build: func() (topology.Topology, int) {
+			tp := bcube.MustBuild(bcube.Config{N: 3, K: 1})
+			return tp, tp.Properties().DiameterLinks
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tp, want := tt.build()
+			got, err := DiameterLinks(tp.Network())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("DiameterLinks = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestDiameterLinksDisconnected(t *testing.T) {
+	net := topology.NewNetwork("broken")
+	net.AddServer("a")
+	net.AddServer("b")
+	if _, err := DiameterLinks(net); err == nil {
+		t.Error("DiameterLinks on disconnected net succeeded")
+	}
+}
+
+func TestSampledDiameterNeverExceedsExact(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 2, P: 2})
+	exact, err := DiameterLinks(tp.Network())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sampled, err := SampledDiameterLinks(tp.Network(), 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled > exact {
+		t.Errorf("sampled %d > exact %d", sampled, exact)
+	}
+	// Full sample falls back to the exact computation.
+	full, err := SampledDiameterLinks(tp.Network(), 1<<30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != exact {
+		t.Errorf("full-sample diameter %d != exact %d", full, exact)
+	}
+}
+
+func TestASPLBounds(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	aspl, err := ASPL(tp.Network(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiameterLinks(tp.Network())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aspl < 2 || aspl > float64(d) {
+		t.Errorf("ASPL = %f out of (2, %d)", aspl, d)
+	}
+	// Sampled ASPL is close to exact on a symmetric structure.
+	rng := rand.New(rand.NewSource(7))
+	sampled, err := ASPL(tp.Network(), 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sampled-aspl) > 1.0 {
+		t.Errorf("sampled ASPL %f far from exact %f", sampled, aspl)
+	}
+}
+
+func TestASPLDisconnected(t *testing.T) {
+	net := topology.NewNetwork("broken")
+	net.AddServer("a")
+	net.AddServer("b")
+	if _, err := ASPL(net, 0, nil); err == nil {
+		t.Error("ASPL on disconnected net succeeded")
+	}
+}
+
+func TestAvgRoutedLengthAgainstRoute(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	pairs := [][2]int{
+		{net.Server(0), net.Server(5)},
+		{net.Server(1), net.Server(9)},
+	}
+	avg, worst, err := AvgRoutedLength(tp, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 || worst <= 0 || float64(worst) < avg {
+		t.Errorf("avg %f worst %d inconsistent", avg, worst)
+	}
+	if avg2, worst2, err := AvgRoutedLength(tp, nil); err != nil || avg2 != 0 || worst2 != 0 {
+		t.Errorf("empty pairs: %f %d %v", avg2, worst2, err)
+	}
+}
+
+func TestBisectionCutMatchesAnalyticABCCC(t *testing.T) {
+	// For even n the canonical halves align exactly with the top-digit cut,
+	// so the exact min-cut must equal the formula (n/2)*n^k. For odd n the
+	// halves split a digit group and the formula is only a lower estimate.
+	for _, cfg := range []core.Config{{N: 2, K: 1, P: 2}, {N: 4, K: 1, P: 2}, {N: 4, K: 1, P: 3}} {
+		tp := core.MustBuild(cfg)
+		got := BisectionCut(tp.Network())
+		want := tp.Properties().BisectionLinks
+		if got != want {
+			t.Errorf("%s: BisectionCut = %d, analytic %d", tp.Network().Name(), got, want)
+		}
+	}
+	odd := core.MustBuild(core.Config{N: 3, K: 1, P: 3})
+	if got, est := BisectionCut(odd.Network()), odd.Properties().BisectionLinks; got < est {
+		t.Errorf("odd-n BisectionCut = %d below estimate %d", got, est)
+	}
+}
+
+func TestBisectionCutMatchesAnalyticBCube(t *testing.T) {
+	tp := bcube.MustBuild(bcube.Config{N: 4, K: 1})
+	if got, want := BisectionCut(tp.Network()), tp.Properties().BisectionLinks; got != want {
+		t.Errorf("BisectionCut = %d, analytic %d", got, want)
+	}
+}
+
+func TestCanonicalHalvesBalanced(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	a, b := CanonicalHalves(tp.Network())
+	if len(a) != len(b) {
+		t.Errorf("halves %d vs %d", len(a), len(b))
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	p1, err := tp.Route(net.Server(0), net.Server(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := LinkLoads(net, []topology.Path{p1, p1})
+	if rep.MaxLoad != 2 {
+		t.Errorf("MaxLoad = %d, want 2 (duplicated path)", rep.MaxLoad)
+	}
+	if rep.UsedLinks != p1.Len() {
+		t.Errorf("UsedLinks = %d, want %d", rep.UsedLinks, p1.Len())
+	}
+	if rep.AvgLoad != 2 {
+		t.Errorf("AvgLoad = %f, want 2", rep.AvgLoad)
+	}
+	if empty := LinkLoads(net, nil); empty.MaxLoad != 0 || empty.UsedLinks != 0 {
+		t.Errorf("empty loads = %+v", empty)
+	}
+}
+
+func TestPathLengthHistogram(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	pairs := [][2]int{
+		{net.Server(0), net.Server(0)},
+		{net.Server(0), net.Server(1)},
+		{net.Server(0), net.Server(17)},
+	}
+	hist, err := PathLengthHistogram(tp, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != len(pairs) {
+		t.Errorf("histogram total %d, want %d", total, len(pairs))
+	}
+	if hist[0] != 1 {
+		t.Errorf("hist[0] = %d, want 1 (the self pair)", hist[0])
+	}
+}
+
+func TestConnectionFailureRatio(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	pairs := [][2]int{
+		{net.Server(0), net.Server(5)},
+		{net.Server(1), net.Server(9)},
+		{net.Server(2), net.Server(10)},
+	}
+	route := func(src, dst int, view *graph.View) (topology.Path, error) {
+		return tp.RouteAvoiding(src, dst, view)
+	}
+	// No failures: zero miss, zero disconnects.
+	view := graph.NewView(net.Graph())
+	miss, disc := ConnectionFailureRatio(net, view, route, pairs)
+	if miss != 0 || disc != 0 {
+		t.Errorf("no failures: miss %f disc %f", miss, disc)
+	}
+	// Destination down: that pair is disconnected and missed.
+	view.FailNode(net.Server(5))
+	miss, disc = ConnectionFailureRatio(net, view, route, pairs)
+	if disc == 0 || miss < disc {
+		t.Errorf("with failure: miss %f disc %f", miss, disc)
+	}
+	if m, d := ConnectionFailureRatio(net, view, route, nil); m != 0 || d != 0 {
+		t.Errorf("empty pairs: %f %f", m, d)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		want   float64
+	}{
+		{name: "empty", values: nil, want: 1},
+		{name: "all zero", values: []float64{0, 0}, want: 1},
+		{name: "even", values: []float64{2, 2, 2, 2}, want: 1},
+		{name: "one hog", values: []float64{4, 0, 0, 0}, want: 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := JainFairness(tt.values); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("JainFairness = %f, want %f", got, tt.want)
+			}
+		})
+	}
+	// Uneven loads score strictly below even ones.
+	if JainFairness([]float64{1, 3}) >= JainFairness([]float64{2, 2}) {
+		t.Error("uneven >= even")
+	}
+}
+
+func TestLinkLoadVectorMatchesReport(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	p1, err := tp.Route(net.Server(0), net.Server(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := LinkLoadVector(net, []topology.Path{p1, p1})
+	rep := LinkLoads(net, []topology.Path{p1, p1})
+	if len(vec) != rep.UsedLinks {
+		t.Errorf("vector length %d != used links %d", len(vec), rep.UsedLinks)
+	}
+	for _, v := range vec {
+		if v != 2 {
+			t.Errorf("load %f, want 2", v)
+		}
+	}
+	if got := LinkLoadVector(net, nil); got != nil {
+		t.Errorf("empty paths vector = %v", got)
+	}
+}

@@ -1,0 +1,221 @@
+// Package packetsim is a deterministic discrete-event packet-level
+// simulator used for the latency/queueing experiments. Packets follow
+// precomputed source routes; every directed link has a serializing
+// transmitter, a propagation delay, and a drop-tail queue.
+//
+// The simulator substitutes for the testbed/ns-style packet simulation of
+// the original evaluation: it reproduces queueing delay, loss under
+// overload, and the relative latency ordering between structures, which is
+// what the figures compare.
+package packetsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Config parameterizes the simulated hardware.
+type Config struct {
+	// LinkBandwidthBps is the transmit rate of each link direction in
+	// bytes per second.
+	LinkBandwidthBps float64
+	// LinkDelaySec is the per-link propagation (plus switching) delay.
+	LinkDelaySec float64
+	// QueueLimitPackets is the drop-tail queue capacity per link direction.
+	QueueLimitPackets int
+	// MTU is the packet size in bytes.
+	MTU int
+	// FlowRateBps is the per-flow injection rate in bytes per second.
+	FlowRateBps float64
+}
+
+// Default returns a GbE-like configuration: 125 MB/s links, 1 us delay,
+// 100-packet queues, 1500-byte packets, flows injecting at link rate.
+func Default() Config {
+	return Config{
+		LinkBandwidthBps:  125e6,
+		LinkDelaySec:      1e-6,
+		QueueLimitPackets: 100,
+		MTU:               1500,
+		FlowRateBps:       125e6,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.LinkBandwidthBps <= 0 || c.FlowRateBps <= 0 {
+		return fmt.Errorf("packetsim: bandwidth and flow rate must be positive")
+	}
+	if c.MTU <= 0 {
+		return fmt.Errorf("packetsim: MTU must be positive")
+	}
+	if c.QueueLimitPackets < 1 {
+		return fmt.Errorf("packetsim: queue limit must be >= 1")
+	}
+	if c.LinkDelaySec < 0 {
+		return fmt.Errorf("packetsim: negative link delay")
+	}
+	return nil
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Delivered and Dropped count packets.
+	Delivered, Dropped int
+	// AvgLatencySec and P99LatencySec summarize delivered-packet latency.
+	AvgLatencySec, P99LatencySec float64
+	// MakespanSec is the time the last packet was delivered.
+	MakespanSec float64
+	// ThroughputBps is delivered bytes divided by the makespan.
+	ThroughputBps float64
+}
+
+// DropRate returns dropped / offered.
+func (r Result) DropRate() float64 {
+	total := r.Delivered + r.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(total)
+}
+
+// event is a packet arriving at position idx of its path at time t.
+type event struct {
+	t   float64
+	seq int64 // deterministic tie-break
+	pkt *packet
+	idx int // index into pkt.path of the node just reached
+}
+
+type packet struct {
+	path    topology.Path
+	bytes   int
+	sentAt  float64
+	flowIdx int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run simulates the given workload on a structure, routing each flow with
+// the structure's own routing algorithm and injecting its packets at the
+// configured flow rate starting at time zero.
+func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	paths, err := flowsimRoute(t, flows)
+	if err != nil {
+		return Result{}, err
+	}
+	g := t.Network().Graph()
+
+	txTime := float64(cfg.MTU) / cfg.LinkBandwidthBps
+	gap := float64(cfg.MTU) / cfg.FlowRateBps
+
+	var h eventHeap
+	var seq int64
+	for i, f := range flows {
+		if len(paths[i]) < 2 {
+			continue // src == dst
+		}
+		packets := int((f.Bytes + int64(cfg.MTU) - 1) / int64(cfg.MTU))
+		for pn := 0; pn < packets; pn++ {
+			sent := f.StartSec + float64(pn)*gap
+			h = append(h, event{
+				t:   sent,
+				seq: seq,
+				pkt: &packet{path: paths[i], bytes: cfg.MTU, sentAt: sent, flowIdx: i},
+				idx: 0,
+			})
+			seq++
+		}
+	}
+	heap.Init(&h)
+
+	// linkFree[r] is when directed link resource r's transmitter frees.
+	linkFree := make([]float64, 2*g.NumEdges())
+	var res Result
+	var latencies []float64
+	var deliveredBytes int64
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		pkt, idx := ev.pkt, ev.idx
+		if idx == len(pkt.path)-1 {
+			res.Delivered++
+			deliveredBytes += int64(pkt.bytes)
+			lat := ev.t - pkt.sentAt
+			latencies = append(latencies, lat)
+			if ev.t > res.MakespanSec {
+				res.MakespanSec = ev.t
+			}
+			continue
+		}
+		u, v := pkt.path[idx], pkt.path[idx+1]
+		e := g.EdgeBetween(u, v)
+		r := 2 * e
+		if u > v {
+			r++
+		}
+		// Drop-tail: the backlog ahead of us, in packets, is the remaining
+		// busy time divided by the per-packet transmit time.
+		backlog := (linkFree[r] - ev.t) / txTime
+		if backlog > float64(cfg.QueueLimitPackets) {
+			res.Dropped++
+			continue
+		}
+		start := math.Max(ev.t, linkFree[r])
+		done := start + txTime
+		linkFree[r] = done
+		heap.Push(&h, event{t: done + cfg.LinkDelaySec, seq: seq, pkt: pkt, idx: idx + 1})
+		seq++
+	}
+
+	if len(latencies) > 0 {
+		sum := 0.0
+		for _, l := range latencies {
+			sum += l
+		}
+		res.AvgLatencySec = sum / float64(len(latencies))
+		sort.Float64s(latencies)
+		res.P99LatencySec = latencies[(len(latencies)*99)/100]
+	}
+	if res.MakespanSec > 0 {
+		res.ThroughputBps = float64(deliveredBytes) / res.MakespanSec
+	}
+	return res, nil
+}
+
+// flowsimRoute mirrors flowsim.RoutePaths without importing it (avoiding a
+// dependency between the two simulators).
+func flowsimRoute(t topology.Topology, flows []traffic.Flow) ([]topology.Path, error) {
+	servers := t.Network().Servers()
+	paths := make([]topology.Path, len(flows))
+	for i, f := range flows {
+		if f.Src < 0 || f.Src >= len(servers) || f.Dst < 0 || f.Dst >= len(servers) {
+			return nil, fmt.Errorf("packetsim: flow %d endpoints out of range", i)
+		}
+		p, err := t.Route(servers[f.Src], servers[f.Dst])
+		if err != nil {
+			return nil, fmt.Errorf("packetsim: route flow %d: %w", i, err)
+		}
+		paths[i] = p
+	}
+	return paths, nil
+}

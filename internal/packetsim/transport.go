@@ -1,0 +1,439 @@
+package packetsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TransportConfig parameterizes the Reno-like reliable transport that runs
+// on top of the packet-level link model: slow start, congestion avoidance,
+// fast retransmit on triple duplicate ACKs, and timeout recovery with
+// exponential backoff. The original evaluation's simulations carry TCP
+// flows; this reproduces their qualitative behaviour (losses become delay,
+// not vanished traffic).
+type TransportConfig struct {
+	// Link is the underlying link/queue model.
+	Link Config
+	// AckBytes is the size of ACK packets (default 64).
+	AckBytes int
+	// InitCwnd and MaxCwnd bound the congestion window in packets.
+	InitCwnd, MaxCwnd float64
+	// RTOSec is the (fixed, deterministic) base retransmission timeout.
+	RTOSec float64
+	// DupAckThreshold triggers fast retransmit (default 3).
+	DupAckThreshold int
+	// MaxEvents aborts pathological runs (default 50e6).
+	MaxEvents int64
+	// ECN enables explicit congestion notification: packets enqueued behind
+	// more than ECNThresholdPackets are marked instead of waiting for a
+	// drop; the receiver echoes the mark and the sender halves its window
+	// at most once per window of data (classic ECN-TCP). Congestion then
+	// costs window reductions, not retransmissions.
+	ECN                 bool
+	ECNThresholdPackets int
+}
+
+// DefaultTransport returns a GbE NewReno-ish configuration.
+func DefaultTransport() TransportConfig {
+	// MaxCwnd sits below the default queue depth so a lone flow never
+	// overruns its own bottleneck buffer (the data-center BDP here is about
+	// one packet; the window only fills queues). RTO is 1 ms, the usual
+	// DCN-simulation value.
+	return TransportConfig{
+		Link:                Default(),
+		AckBytes:            64,
+		InitCwnd:            2,
+		MaxCwnd:             64,
+		RTOSec:              1e-3,
+		DupAckThreshold:     3,
+		MaxEvents:           50e6,
+		ECNThresholdPackets: 20,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c TransportConfig) Validate() error {
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if c.AckBytes <= 0 || c.InitCwnd < 1 || c.MaxCwnd < c.InitCwnd {
+		return fmt.Errorf("packetsim: transport window/ack parameters invalid")
+	}
+	if c.RTOSec <= 0 {
+		return fmt.Errorf("packetsim: RTO must be positive")
+	}
+	if c.DupAckThreshold < 1 {
+		return fmt.Errorf("packetsim: dup-ack threshold must be >= 1")
+	}
+	if c.MaxEvents < 1000 {
+		return fmt.Errorf("packetsim: MaxEvents too small")
+	}
+	if c.ECN && c.ECNThresholdPackets < 1 {
+		return fmt.Errorf("packetsim: ECN threshold must be >= 1")
+	}
+	return nil
+}
+
+// TransportResult summarizes a reliable-transport run.
+type TransportResult struct {
+	// CompletedFlows counts flows that delivered all their bytes.
+	CompletedFlows int
+	// Retransmits counts data packets sent more than once.
+	Retransmits int
+	// ECNMarks counts congestion marks applied (ECN mode only).
+	ECNMarks int
+	// MeanFCTSec, P99FCTSec, MakespanSec summarize completion times of the
+	// completed flows.
+	MeanFCTSec, P99FCTSec, MakespanSec float64
+	// GoodputBps is unique payload bytes delivered divided by the makespan.
+	GoodputBps float64
+}
+
+// tflow is the per-flow sender/receiver state.
+type tflow struct {
+	fwd, rev topology.Path
+	total    int // packets to deliver
+
+	// Sender.
+	nextSend int
+	acked    int // cumulative: all seq < acked are delivered
+	dupAcks  int
+	inflight int
+	cwnd     float64
+	ssthresh float64
+	rto      float64
+	timerGen int64
+	done     bool
+	start    float64 // arrival time
+	finish   float64 // absolute completion time
+
+	// Receiver.
+	rcvNext int
+	buffer  map[int]bool // out-of-order packets held
+	rcvCE   bool         // a congestion mark awaits echoing
+
+	// ECN sender state: ignore echoes until this seq is acked (one window
+	// reduction per window of data).
+	ecnHoldUntil int
+}
+
+// tpkt is a transport packet in flight.
+type tpkt struct {
+	flow  int
+	seq   int // data sequence, or cumulative ack number for ACKs
+	isAck bool
+	rtx   bool
+	ce    bool // congestion experienced (set on data) / echoed (on ACKs)
+}
+
+// startGen marks a flow-start event rather than a retransmission timer.
+const startGen = -1
+
+// tevent is either a packet arrival (pkt != nil), a flow timer, or a flow
+// start (gen == startGen).
+type tevent struct {
+	t    float64
+	ord  int64
+	pkt  *tpkt
+	idx  int // position along the packet's path
+	flow int // timer owner when pkt == nil
+	gen  int64
+}
+
+type teventHeap []tevent
+
+func (h teventHeap) Len() int { return len(h) }
+func (h teventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].ord < h[j].ord
+}
+func (h teventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *teventHeap) Push(x any)   { *h = append(*h, x.(tevent)) }
+func (h *teventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// transportRun is the mutable simulation state.
+type transportRun struct {
+	cfg    TransportConfig
+	net    *topology.Network
+	flows  []*tflow
+	h      teventHeap
+	ord    int64
+	now    float64
+	events int64
+
+	linkFree   []float64
+	retransmit int
+	ecnMarks   int
+}
+
+// RunTransport simulates the workload with reliable Reno-like flows over the
+// structure's routed paths (data forward, ACKs on the reversed path).
+func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig) (TransportResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TransportResult{}, err
+	}
+	paths, err := flowsimRoute(t, flows)
+	if err != nil {
+		return TransportResult{}, err
+	}
+	run := &transportRun{
+		cfg:      cfg,
+		net:      t.Network(),
+		linkFree: make([]float64, 2*t.Network().Graph().NumEdges()),
+	}
+	for i, f := range flows {
+		if len(paths[i]) < 2 {
+			continue // local flow: nothing to transport
+		}
+		rev := make(topology.Path, len(paths[i]))
+		for j, node := range paths[i] {
+			rev[len(paths[i])-1-j] = node
+		}
+		fl := &tflow{
+			fwd:      paths[i],
+			rev:      rev,
+			total:    int((f.Bytes + int64(cfg.Link.MTU) - 1) / int64(cfg.Link.MTU)),
+			cwnd:     cfg.InitCwnd,
+			ssthresh: cfg.MaxCwnd,
+			rto:      cfg.RTOSec,
+			start:    f.StartSec,
+			buffer:   make(map[int]bool),
+		}
+		run.flows = append(run.flows, fl)
+		// Flows open at their arrival time (a start event, gen startGen).
+		run.ord++
+		run.h = append(run.h, tevent{t: f.StartSec, ord: run.ord, flow: len(run.flows) - 1, gen: startGen})
+	}
+	heap.Init(&run.h)
+
+	for run.h.Len() > 0 {
+		run.events++
+		if run.events > cfg.MaxEvents {
+			return TransportResult{}, fmt.Errorf("packetsim: transport exceeded %d events", cfg.MaxEvents)
+		}
+		ev := heap.Pop(&run.h).(tevent)
+		run.now = ev.t
+		if ev.pkt == nil {
+			if ev.gen == startGen {
+				run.pump(ev.flow)
+			} else {
+				run.onTimer(ev.flow, ev.gen)
+			}
+			continue
+		}
+		run.onArrival(ev)
+	}
+
+	return run.results(), nil
+}
+
+// pump sends new data while the window allows.
+func (r *transportRun) pump(flow int) {
+	f := r.flows[flow]
+	for !f.done && f.inflight < int(f.cwnd) && f.nextSend < f.total {
+		r.sendData(flow, f.nextSend, false)
+		f.nextSend++
+		f.inflight++
+	}
+	if !f.done && f.acked < f.total {
+		r.armTimer(flow)
+	}
+}
+
+// armTimer (re)schedules the flow's retransmission timer.
+func (r *transportRun) armTimer(flow int) {
+	f := r.flows[flow]
+	f.timerGen++
+	r.ord++
+	heap.Push(&r.h, tevent{t: r.now + f.rto, ord: r.ord, flow: flow, gen: f.timerGen})
+}
+
+// sendData transmits one data packet from the flow's source.
+func (r *transportRun) sendData(flow, seq int, rtx bool) {
+	if rtx {
+		r.retransmit++
+	}
+	r.transmit(&tpkt{flow: flow, seq: seq, rtx: rtx}, r.flows[flow].fwd, 0, r.cfg.Link.MTU)
+}
+
+// transmit pushes a packet onto the first link of path[idx:]; queueing and
+// drops follow the same model as Run.
+func (r *transportRun) transmit(p *tpkt, path topology.Path, idx, bytes int) {
+	u, v := path[idx], path[idx+1]
+	g := r.net.Graph()
+	e := g.EdgeBetween(u, v)
+	res := 2 * e
+	if u > v {
+		res++
+	}
+	txTime := float64(bytes) / r.cfg.Link.LinkBandwidthBps
+	backlog := (r.linkFree[res] - r.now) / txTime
+	if backlog > float64(r.cfg.Link.QueueLimitPackets) {
+		return // drop-tail: the transport's loss recovery will handle it
+	}
+	if r.cfg.ECN && !p.isAck && backlog > float64(r.cfg.ECNThresholdPackets) && !p.ce {
+		p.ce = true
+		r.ecnMarks++
+	}
+	start := math.Max(r.now, r.linkFree[res])
+	done := start + txTime
+	r.linkFree[res] = done
+	r.ord++
+	heap.Push(&r.h, tevent{t: done + r.cfg.Link.LinkDelaySec, ord: r.ord, pkt: p, idx: idx + 1})
+}
+
+// onArrival advances a packet along its path or hands it to the endpoint.
+func (r *transportRun) onArrival(ev tevent) {
+	p := ev.pkt
+	f := r.flows[p.flow]
+	path := f.fwd
+	bytes := r.cfg.Link.MTU
+	if p.isAck {
+		path = f.rev
+		bytes = r.cfg.AckBytes
+	}
+	if ev.idx < len(path)-1 {
+		r.transmit(p, path, ev.idx, bytes)
+		return
+	}
+	if p.isAck {
+		r.onAck(p.flow, p.seq, p.ce)
+		return
+	}
+	r.onData(p.flow, p.seq, p.ce)
+}
+
+// onData is the receiver: buffer/advance and emit a cumulative ACK, echoing
+// any congestion mark.
+func (r *transportRun) onData(flow, seq int, ce bool) {
+	f := r.flows[flow]
+	if seq >= f.rcvNext {
+		f.buffer[seq] = true
+		for f.buffer[f.rcvNext] {
+			delete(f.buffer, f.rcvNext)
+			f.rcvNext++
+		}
+	}
+	echo := f.rcvCE || ce
+	f.rcvCE = false
+	r.transmit(&tpkt{flow: flow, seq: f.rcvNext, isAck: true, ce: echo}, f.rev, 0, r.cfg.AckBytes)
+}
+
+// onAck is the sender: slide the window, grow/shrink cwnd, pump.
+func (r *transportRun) onAck(flow, ackNo int, ce bool) {
+	f := r.flows[flow]
+	if f.done {
+		return
+	}
+	if r.cfg.ECN && ce && ackNo >= f.ecnHoldUntil {
+		// Halve once per window of data, like a single loss event but
+		// without losing anything.
+		f.ssthresh = math.Max(f.cwnd/2, 2)
+		f.cwnd = f.ssthresh
+		f.ecnHoldUntil = f.nextSend
+	}
+	switch {
+	case ackNo > f.acked:
+		newly := ackNo - f.acked
+		f.acked = ackNo
+		f.dupAcks = 0
+		f.inflight -= newly
+		if f.inflight < 0 {
+			f.inflight = 0
+		}
+		for i := 0; i < newly; i++ {
+			if f.cwnd < f.ssthresh {
+				f.cwnd++ // slow start
+			} else {
+				f.cwnd += 1 / f.cwnd // congestion avoidance
+			}
+		}
+		if f.cwnd > r.cfg.MaxCwnd {
+			f.cwnd = r.cfg.MaxCwnd
+		}
+		f.rto = r.cfg.RTOSec // fresh progress resets backoff
+		if f.acked >= f.total {
+			f.done = true
+			f.finish = r.now
+			f.timerGen++ // cancel the timer
+			return
+		}
+		r.armTimer(flow)
+	case ackNo == f.acked:
+		f.dupAcks++
+		if f.dupAcks == r.cfg.DupAckThreshold {
+			// Fast retransmit + multiplicative decrease.
+			f.ssthresh = math.Max(f.cwnd/2, 2)
+			f.cwnd = f.ssthresh
+			f.dupAcks = 0
+			if f.inflight > 0 {
+				f.inflight--
+			}
+			r.sendData(flow, f.acked, true)
+		}
+	}
+	r.pump(flow)
+}
+
+// onTimer fires a retransmission timeout: collapse the window, assume the
+// pipe drained, resend the oldest unacked packet with backed-off RTO.
+func (r *transportRun) onTimer(flow int, gen int64) {
+	f := r.flows[flow]
+	if f.done || gen != f.timerGen {
+		return // stale timer
+	}
+	f.ssthresh = math.Max(f.cwnd/2, 2)
+	f.cwnd = 1
+	f.inflight = 1
+	f.dupAcks = 0
+	f.rto = math.Min(f.rto*2, 64*r.cfg.RTOSec)
+	r.sendData(flow, f.acked, true)
+	r.armTimer(flow)
+}
+
+// results aggregates the run.
+func (r *transportRun) results() TransportResult {
+	var res TransportResult
+	res.Retransmits = r.retransmit
+	res.ECNMarks = r.ecnMarks
+	var fcts []float64
+	var payload int64
+	for _, f := range r.flows {
+		if !f.done {
+			continue
+		}
+		res.CompletedFlows++
+		// FCT is arrival-to-completion; the makespan is the absolute finish.
+		fcts = append(fcts, f.finish-f.start)
+		payload += int64(f.total) * int64(r.cfg.Link.MTU)
+		if f.finish > res.MakespanSec {
+			res.MakespanSec = f.finish
+		}
+	}
+	if len(fcts) > 0 {
+		sum := 0.0
+		for _, t := range fcts {
+			sum += t
+		}
+		res.MeanFCTSec = sum / float64(len(fcts))
+		sort.Float64s(fcts)
+		res.P99FCTSec = fcts[(len(fcts)*99)/100]
+	}
+	if res.MakespanSec > 0 {
+		res.GoodputBps = float64(payload) / res.MakespanSec
+	}
+	return res
+}

@@ -1,0 +1,144 @@
+// Package planner turns the paper's "suits many different applications by
+// fine tuning its parameters" claim into a tool: given deployment
+// requirements (server population, available NIC/switch hardware, budget),
+// it enumerates the feasible ABCCC configurations and returns the Pareto
+// frontier over interconnect cost per server, diameter, and per-server
+// bisection bandwidth.
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/topology"
+)
+
+// Requirements constrain the search.
+type Requirements struct {
+	// MinServers is the population the deployment must reach.
+	MinServers int
+	// MaxServerPorts bounds p (NIC ports available per server).
+	MaxServerPorts int
+	// MaxSwitchPorts bounds n (largest commodity switch radix available).
+	MaxSwitchPorts int
+	// MaxBudget caps total interconnect CapEx; 0 means unlimited.
+	MaxBudget float64
+	// MaxOversize discards configurations whose population exceeds
+	// MinServers by more than this factor (default 4: paying for a network
+	// 4x the requirement is rarely the plan the operator wants).
+	MaxOversize float64
+}
+
+// Validate reports whether the requirements are searchable.
+func (r Requirements) Validate() error {
+	if r.MinServers < 1 {
+		return fmt.Errorf("planner: MinServers = %d, need >= 1", r.MinServers)
+	}
+	if r.MaxServerPorts < 2 {
+		return fmt.Errorf("planner: MaxServerPorts = %d, need >= 2", r.MaxServerPorts)
+	}
+	if r.MaxSwitchPorts < 2 {
+		return fmt.Errorf("planner: MaxSwitchPorts = %d, need >= 2", r.MaxSwitchPorts)
+	}
+	if r.MaxBudget < 0 || r.MaxOversize < 0 {
+		return fmt.Errorf("planner: negative budget or oversize factor")
+	}
+	return nil
+}
+
+// Candidate is one feasible configuration with its figures of merit.
+type Candidate struct {
+	Config    core.Config
+	Props     topology.Properties
+	CapEx     cost.Breakdown
+	PerServer float64
+	// BisectionPerServer is bisection links divided by servers (line-rate
+	// fraction available across the worst cut, per server).
+	BisectionPerServer float64
+}
+
+// Plan enumerates feasible configurations and returns the Pareto frontier:
+// no returned candidate is dominated (worse or equal on per-server cost,
+// diameter, and per-server bisection, strictly worse somewhere) by another.
+// Results are sorted by per-server cost.
+func Plan(req Requirements, model cost.Model) ([]Candidate, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	oversize := req.MaxOversize
+	if oversize == 0 {
+		oversize = 4
+	}
+	var candidates []Candidate
+	for n := 2; n <= req.MaxSwitchPorts; n++ {
+		for p := 2; p <= req.MaxServerPorts; p++ {
+			for k := 0; ; k++ {
+				cfg := core.Config{N: n, K: k, P: p}
+				if cfg.Validate() != nil {
+					break // larger k only gets worse for this (n, p)
+				}
+				props := cfg.Properties()
+				if float64(props.Servers) > oversize*float64(req.MinServers) {
+					break
+				}
+				if props.Servers < req.MinServers {
+					continue
+				}
+				bill := model.CapEx(props)
+				if req.MaxBudget > 0 && bill.Total() > req.MaxBudget {
+					continue
+				}
+				candidates = append(candidates, Candidate{
+					Config:             cfg,
+					Props:              props,
+					CapEx:              bill,
+					PerServer:          bill.PerServer(props.Servers),
+					BisectionPerServer: float64(props.BisectionLinks) / float64(props.Servers),
+				})
+			}
+		}
+	}
+	frontier := paretoFilter(candidates)
+	sort.Slice(frontier, func(i, j int) bool {
+		if frontier[i].PerServer != frontier[j].PerServer {
+			return frontier[i].PerServer < frontier[j].PerServer
+		}
+		return frontier[i].Props.Diameter < frontier[j].Props.Diameter
+	})
+	return frontier, nil
+}
+
+// paretoFilter removes dominated candidates.
+func paretoFilter(cands []Candidate) []Candidate {
+	var out []Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, d := range cands {
+			if i == j {
+				continue
+			}
+			if dominates(d, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// dominates reports whether a is at least as good as b everywhere and
+// strictly better somewhere (cheaper per server, shorter diameter, more
+// bisection per server).
+func dominates(a, b Candidate) bool {
+	if a.PerServer > b.PerServer || a.Props.Diameter > b.Props.Diameter ||
+		a.BisectionPerServer < b.BisectionPerServer {
+		return false
+	}
+	return a.PerServer < b.PerServer || a.Props.Diameter < b.Props.Diameter ||
+		a.BisectionPerServer > b.BisectionPerServer
+}

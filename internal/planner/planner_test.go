@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestRequirementsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		req     Requirements
+		wantErr bool
+	}{
+		{name: "ok", req: Requirements{MinServers: 100, MaxServerPorts: 3, MaxSwitchPorts: 16}},
+		{name: "zero servers", req: Requirements{MaxServerPorts: 2, MaxSwitchPorts: 8}, wantErr: true},
+		{name: "one port", req: Requirements{MinServers: 10, MaxServerPorts: 1, MaxSwitchPorts: 8}, wantErr: true},
+		{name: "tiny switch", req: Requirements{MinServers: 10, MaxServerPorts: 2, MaxSwitchPorts: 1}, wantErr: true},
+		{name: "negative budget", req: Requirements{MinServers: 10, MaxServerPorts: 2, MaxSwitchPorts: 8, MaxBudget: -1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.req.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlanMeetsRequirements(t *testing.T) {
+	req := Requirements{MinServers: 500, MaxServerPorts: 4, MaxSwitchPorts: 24}
+	frontier, err := Plan(req, cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, c := range frontier {
+		if c.Props.Servers < req.MinServers {
+			t.Errorf("%s hosts %d servers < %d", c.Props.Name, c.Props.Servers, req.MinServers)
+		}
+		if c.Config.P > req.MaxServerPorts || c.Config.N > req.MaxSwitchPorts {
+			t.Errorf("%s violates hardware limits", c.Props.Name)
+		}
+		if c.PerServer <= 0 {
+			t.Errorf("%s has non-positive cost", c.Props.Name)
+		}
+	}
+}
+
+func TestPlanFrontierIsNonDominated(t *testing.T) {
+	frontier, err := Plan(Requirements{MinServers: 200, MaxServerPorts: 5, MaxSwitchPorts: 16}, cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range frontier {
+		for j, b := range frontier {
+			if i != j && dominates(a, b) {
+				t.Errorf("%s dominates %s but both on frontier", a.Props.Name, b.Props.Name)
+			}
+		}
+	}
+}
+
+func TestPlanFrontierSpansTheTradeoff(t *testing.T) {
+	// With generous hardware limits the frontier must include both a
+	// cheap/slow configuration (p=2) and a faster/more expensive one (p>2).
+	frontier, err := Plan(Requirements{MinServers: 300, MaxServerPorts: 4, MaxSwitchPorts: 24}, cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCheap, sawFast := false, false
+	for _, c := range frontier {
+		if c.Config.P == 2 {
+			sawCheap = true
+		}
+		if c.Config.P > 2 {
+			sawFast = true
+		}
+	}
+	if !sawCheap || !sawFast {
+		t.Errorf("frontier lacks trade-off spread: cheap=%v fast=%v (%d entries)",
+			sawCheap, sawFast, len(frontier))
+	}
+}
+
+func TestPlanBudgetFilters(t *testing.T) {
+	req := Requirements{MinServers: 500, MaxServerPorts: 3, MaxSwitchPorts: 24}
+	all, err := Plan(req, cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Cap the budget below the most expensive frontier candidate.
+	maxTotal := 0.0
+	for _, c := range all {
+		if c.CapEx.Total() > maxTotal {
+			maxTotal = c.CapEx.Total()
+		}
+	}
+	req.MaxBudget = maxTotal * 0.5
+	cheap, err := Plan(req, cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cheap {
+		if c.CapEx.Total() > req.MaxBudget {
+			t.Errorf("%s exceeds budget", c.Props.Name)
+		}
+	}
+}
+
+func TestPlanImpossibleRequirements(t *testing.T) {
+	// A population no config under the limits can reach.
+	frontier, err := Plan(Requirements{MinServers: 1 << 20, MaxServerPorts: 2, MaxSwitchPorts: 4}, cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) != 0 {
+		t.Errorf("impossible requirements produced %d candidates", len(frontier))
+	}
+	if _, err := Plan(Requirements{}, cost.Default()); err == nil {
+		t.Error("invalid requirements accepted")
+	}
+}

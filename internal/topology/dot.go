@@ -1,0 +1,30 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the network in Graphviz DOT format: servers as boxes,
+// switches as ellipses. Useful for visually inspecting small instances
+// (`abccc dot | dot -Tsvg`).
+func WriteDOT(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", n.Name())
+	fmt.Fprintln(bw, "  layout=neato; overlap=false; splines=true;")
+	for id := 0; id < n.Graph().NumNodes(); id++ {
+		shape := "ellipse"
+		if n.IsServer(id) {
+			shape = "box"
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q shape=%s];\n", id, n.Label(id), shape)
+	}
+	g := n.Graph()
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(e)
+		fmt.Fprintf(bw, "  n%d -- n%d;\n", edge.U, edge.V)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

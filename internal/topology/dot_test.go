@@ -1,0 +1,33 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	n, s0, sw, s1 := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "tiny"`,
+		`shape=box`,     // servers
+		`shape=ellipse`, // switches
+		"--",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "--"); got != n.NumLinks() {
+		t.Errorf("%d edges rendered, want %d", got, n.NumLinks())
+	}
+	_ = s0
+	_ = sw
+	_ = s1
+}

@@ -1,0 +1,43 @@
+package topology
+
+import "fmt"
+
+// ExpansionReport quantifies what it costs to grow a structure by one order:
+// the components that must be purchased, and — the metric ABCCC is designed
+// to win — how much of the existing installation must be touched.
+type ExpansionReport struct {
+	// Before and After are the display names of the two instances.
+	Before, After string
+	// ServersBefore and ServersAfter are the server populations.
+	ServersBefore, ServersAfter int
+	// NewServers, NewSwitches, NewLinks count the purchased components.
+	NewServers, NewSwitches, NewLinks int
+	// PreservedLinks counts existing cables that remain in place;
+	// RewiredLinks counts existing cables that must be unplugged or moved.
+	PreservedLinks, RewiredLinks int
+	// UpgradedServers counts existing servers that need a hardware change
+	// (e.g. an additional NIC port, as BCube expansion requires).
+	UpgradedServers int
+	// ReplacedSwitches counts existing switches that cannot serve in the
+	// expanded structure at all (e.g. a fat-tree regrowth needs a larger
+	// radix everywhere).
+	ReplacedSwitches int
+}
+
+// TouchedFraction returns the fraction of pre-existing components (servers,
+// switches involved, links) that the expansion modifies: the paper's
+// expansion-cost headline.
+func (r ExpansionReport) TouchedFraction() float64 {
+	existing := r.ServersBefore + r.PreservedLinks + r.RewiredLinks + r.ReplacedSwitches
+	if existing == 0 {
+		return 0
+	}
+	return float64(r.UpgradedServers+r.RewiredLinks+r.ReplacedSwitches) / float64(existing)
+}
+
+// String summarizes the report for CLI output.
+func (r ExpansionReport) String() string {
+	return fmt.Sprintf("%s -> %s: +%d servers, +%d switches, +%d links; rewired %d, upgraded %d servers, replaced %d switches (touched %.1f%% of plant)",
+		r.Before, r.After, r.NewServers, r.NewSwitches, r.NewLinks,
+		r.RewiredLinks, r.UpgradedServers, r.ReplacedSwitches, 100*r.TouchedFraction())
+}

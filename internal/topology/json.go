@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonNetwork is the interchange form of a built network: enough to
+// reconstruct the graph with roles and labels in any tool.
+type jsonNetwork struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Links [][2]int   `json:"links"`
+}
+
+type jsonNode struct {
+	Kind  string `json:"kind"` // "server" or "switch"
+	Label string `json:"label"`
+}
+
+// WriteJSON serializes the network (nodes with roles and labels, links as
+// index pairs) for consumption by external tools.
+func WriteJSON(w io.Writer, n *Network) error {
+	out := jsonNetwork{
+		Name:  n.Name(),
+		Nodes: make([]jsonNode, n.Graph().NumNodes()),
+		Links: make([][2]int, 0, n.NumLinks()),
+	}
+	for id := range out.Nodes {
+		out.Nodes[id] = jsonNode{Kind: n.Kind(id).String(), Label: n.Label(id)}
+	}
+	g := n.Graph()
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(e)
+		out.Links = append(out.Links, [2]int{int(edge.U), int(edge.V)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON reconstructs a network from its WriteJSON form. Node indices are
+// preserved, so paths and metrics computed on the copy line up with the
+// original.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var in jsonNetwork
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("topology: decode network: %w", err)
+	}
+	n := NewNetwork(in.Name)
+	for i, node := range in.Nodes {
+		var id int
+		switch node.Kind {
+		case "server":
+			id = n.AddServer(node.Label)
+		case "switch":
+			id = n.AddSwitch(node.Label)
+		default:
+			return nil, fmt.Errorf("topology: node %d has unknown kind %q", i, node.Kind)
+		}
+		if id != i {
+			return nil, fmt.Errorf("topology: node numbering skew at %d", i)
+		}
+	}
+	for _, l := range in.Links {
+		if err := n.Connect(l[0], l[1]); err != nil {
+			return nil, fmt.Errorf("topology: link %v: %w", l, err)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,56 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	n, s0, sw, s1 := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != n.Name() {
+		t.Errorf("name %q, want %q", back.Name(), n.Name())
+	}
+	if back.NumServers() != n.NumServers() || back.NumSwitches() != n.NumSwitches() ||
+		back.NumLinks() != n.NumLinks() {
+		t.Errorf("counts differ: %d/%d/%d vs %d/%d/%d",
+			back.NumServers(), back.NumSwitches(), back.NumLinks(),
+			n.NumServers(), n.NumSwitches(), n.NumLinks())
+	}
+	// Indices preserved: same kinds and labels at the same positions, same
+	// adjacency.
+	for id := 0; id < n.Graph().NumNodes(); id++ {
+		if back.Kind(id) != n.Kind(id) || back.Label(id) != n.Label(id) {
+			t.Fatalf("node %d differs", id)
+		}
+	}
+	if back.Graph().EdgeBetween(s0, sw) == -1 || back.Graph().EdgeBetween(sw, s1) == -1 {
+		t.Error("adjacency lost")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "garbage", in: "not json"},
+		{name: "bad kind", in: `{"name":"x","nodes":[{"kind":"router","label":"r"}],"links":[]}`},
+		{name: "bad link", in: `{"name":"x","nodes":[{"kind":"server","label":"s"}],"links":[[0,9]]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tt.in)); err == nil {
+				t.Error("invalid input accepted")
+			}
+		})
+	}
+}

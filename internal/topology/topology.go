@@ -1,0 +1,271 @@
+// Package topology defines the common vocabulary shared by every data-center
+// network structure in this repository: a Network (graph + node roles), the
+// Topology and routing interfaces, validated Paths measured in switch hops,
+// and the analytic Properties record used by the comparison tables.
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Kind classifies a network node.
+type Kind int
+
+// Node kinds. Server-centric structures forward traffic through servers;
+// switches are dumb crossbars.
+const (
+	Server Kind = iota + 1
+	Switch
+)
+
+// String returns "server" or "switch".
+func (k Kind) String() string {
+	switch k {
+	case Server:
+		return "server"
+	case Switch:
+		return "switch"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Network is a built data-center interconnect: an undirected graph whose
+// nodes are labeled servers and switches. Topology constructors populate it
+// once; afterwards it is read-only and safe for concurrent use.
+type Network struct {
+	name     string
+	g        *graph.Graph
+	kind     []Kind
+	label    []string
+	servers  []int
+	switches []int
+}
+
+// NewNetwork returns an empty network with the given display name.
+func NewNetwork(name string) *Network {
+	return &Network{name: name, g: graph.New(0)}
+}
+
+// Name returns the display name, e.g. "ABCCC(4,1,2)".
+func (n *Network) Name() string { return n.name }
+
+// Graph returns the underlying graph.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// AddServer adds a server node with the given label and returns its index.
+func (n *Network) AddServer(label string) int {
+	id := n.g.AddNode()
+	n.kind = append(n.kind, Server)
+	n.label = append(n.label, label)
+	n.servers = append(n.servers, id)
+	return id
+}
+
+// AddSwitch adds a switch node with the given label and returns its index.
+func (n *Network) AddSwitch(label string) int {
+	id := n.g.AddNode()
+	n.kind = append(n.kind, Switch)
+	n.label = append(n.label, label)
+	n.switches = append(n.switches, id)
+	return id
+}
+
+// Connect adds a cable between two nodes.
+func (n *Network) Connect(u, v int) error {
+	_, err := n.g.AddEdge(u, v)
+	return err
+}
+
+// Kind returns the kind of node id.
+func (n *Network) Kind(id int) Kind { return n.kind[id] }
+
+// IsServer reports whether node id is a server.
+func (n *Network) IsServer(id int) bool {
+	return id >= 0 && id < len(n.kind) && n.kind[id] == Server
+}
+
+// Label returns the human-readable label of node id.
+func (n *Network) Label(id int) string { return n.label[id] }
+
+// Servers returns a copy of the server node indices in creation order.
+func (n *Network) Servers() []int {
+	out := make([]int, len(n.servers))
+	copy(out, n.servers)
+	return out
+}
+
+// Switches returns a copy of the switch node indices in creation order.
+func (n *Network) Switches() []int {
+	out := make([]int, len(n.switches))
+	copy(out, n.switches)
+	return out
+}
+
+// NumServers returns the number of servers.
+func (n *Network) NumServers() int { return len(n.servers) }
+
+// NumSwitches returns the number of switches.
+func (n *Network) NumSwitches() int { return len(n.switches) }
+
+// NumLinks returns the number of cables.
+func (n *Network) NumLinks() int { return n.g.NumEdges() }
+
+// Server returns the i-th server's node index (creation order).
+func (n *Network) Server(i int) int { return n.servers[i] }
+
+// MaxDegree returns the largest degree over nodes of the given kind: the NIC
+// ports actually consumed per server, or the switch radix actually consumed.
+func (n *Network) MaxDegree(k Kind) int {
+	max := 0
+	for id, kd := range n.kind {
+		if kd == k && n.g.Degree(id) > max {
+			max = n.g.Degree(id)
+		}
+	}
+	return max
+}
+
+// Properties is the analytic row a structure contributes to the paper-style
+// topology comparison table. Counts come from closed-form formulas, not from
+// walking the built graph; tests cross-check them against the built graph.
+type Properties struct {
+	Name string
+	// Servers, Switches, Links are the component counts.
+	Servers  int
+	Switches int
+	Links    int
+	// ServerPorts is the NIC ports required per server; SwitchPorts is the
+	// switch radix required.
+	ServerPorts int
+	SwitchPorts int
+	// Diameter is the worst-case one-to-one distance in the structure's own
+	// paper's hop convention: server-relay hops for server-centric
+	// structures (one hop = reaching the next server, whether through a
+	// switch or a direct cable), switch traversals for switch-centric ones.
+	Diameter int
+	// DiameterLinks is the worst-case distance in cables traversed — the
+	// uniform metric used when comparing across structures.
+	DiameterLinks int
+	// BisectionLinks is the analytic number of links crossing the canonical
+	// worst-case balanced bisection.
+	BisectionLinks int
+}
+
+// Topology is a built data-center structure together with its native
+// one-to-one routing algorithm. Route endpoints are node indices that must be
+// servers.
+type Topology interface {
+	Network() *Network
+	Properties() Properties
+	// Route returns a path from server src to server dst using the
+	// structure's own routing algorithm (not graph-wide shortest path).
+	Route(src, dst int) (Path, error)
+}
+
+// FaultRouter is implemented by structures with a fault-tolerant routing
+// algorithm that can steer around failed components.
+type FaultRouter interface {
+	// RouteAvoiding routes from src to dst using only components alive in
+	// view. It returns an error if the algorithm cannot find a path (the
+	// graph may still be connected; the miss rate is an evaluation metric).
+	RouteAvoiding(src, dst int, view *graph.View) (Path, error)
+}
+
+// MultipathRouter is implemented by structures that can produce multiple
+// internally disjoint paths between a server pair.
+type MultipathRouter interface {
+	// ParallelPaths returns internally vertex-disjoint src->dst paths.
+	ParallelPaths(src, dst int) []Path
+}
+
+// Broadcaster is implemented by structures with a native one-to-all
+// primitive (the GBC3 extension of ABCCC).
+type Broadcaster interface {
+	// BroadcastTree returns, for each server, the path the broadcast from
+	// root takes to it, forming a tree (paths share prefixes).
+	BroadcastTree(root int) (map[int]Path, error)
+}
+
+// Path is a node sequence from a source server to a destination server,
+// including both endpoints and every intermediate server and switch.
+type Path []int
+
+// ErrNotServer is returned when a route endpoint is not a server node.
+var ErrNotServer = errors.New("topology: route endpoint is not a server")
+
+// Len returns the number of edges on the path.
+func (p Path) Len() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// SwitchHops returns the path length in switch traversals, the standard
+// distance metric for server-centric structures.
+func (p Path) SwitchHops(n *Network) int {
+	hops := 0
+	for _, id := range p {
+		if n.Kind(id) == Switch {
+			hops++
+		}
+	}
+	return hops
+}
+
+// Validate checks that the path starts at src, ends at dst, uses only
+// existing cables, and never revisits a node.
+func (p Path) Validate(n *Network, src, dst int) error {
+	if len(p) == 0 {
+		return errors.New("topology: empty path")
+	}
+	if p[0] != src {
+		return fmt.Errorf("topology: path starts at %d, want %d", p[0], src)
+	}
+	if p[len(p)-1] != dst {
+		return fmt.Errorf("topology: path ends at %d, want %d", p[len(p)-1], dst)
+	}
+	seen := make(map[int]bool, len(p))
+	for i, id := range p {
+		if seen[id] {
+			return fmt.Errorf("topology: path revisits node %d (%s)", id, n.Label(id))
+		}
+		seen[id] = true
+		if i == 0 {
+			continue
+		}
+		if n.Graph().EdgeBetween(p[i-1], id) == -1 {
+			return fmt.Errorf("topology: no cable between %s and %s",
+				n.Label(p[i-1]), n.Label(id))
+		}
+	}
+	return nil
+}
+
+// Alive reports whether every node and cable on the path is up in view.
+func (p Path) Alive(n *Network, view *graph.View) bool {
+	for i, id := range p {
+		if !view.NodeUp(id) {
+			return false
+		}
+		if i > 0 && !view.EdgeUp(n.Graph().EdgeBetween(p[i-1], id)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckEndpoints returns ErrNotServer unless both src and dst are servers.
+func CheckEndpoints(n *Network, src, dst int) error {
+	if !n.IsServer(src) {
+		return fmt.Errorf("%w: src node %d", ErrNotServer, src)
+	}
+	if !n.IsServer(dst) {
+		return fmt.Errorf("%w: dst node %d", ErrNotServer, dst)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// tiny builds srv0 - sw - srv1 with one switch in the middle.
+func tiny(t *testing.T) (*Network, int, int, int) {
+	t.Helper()
+	n := NewNetwork("tiny")
+	s0 := n.AddServer("srv0")
+	sw := n.AddSwitch("sw")
+	s1 := n.AddServer("srv1")
+	for _, pair := range [][2]int{{s0, sw}, {sw, s1}} {
+		if err := n.Connect(pair[0], pair[1]); err != nil {
+			t.Fatalf("Connect%v: %v", pair, err)
+		}
+	}
+	return n, s0, sw, s1
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Server, "server"},
+		{Switch, "switch"},
+		{Kind(9), "kind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
+func TestNetworkAccounting(t *testing.T) {
+	n, s0, sw, s1 := tiny(t)
+	if n.Name() != "tiny" {
+		t.Errorf("Name = %q", n.Name())
+	}
+	if n.NumServers() != 2 || n.NumSwitches() != 1 || n.NumLinks() != 2 {
+		t.Errorf("counts = %d servers, %d switches, %d links; want 2,1,2",
+			n.NumServers(), n.NumSwitches(), n.NumLinks())
+	}
+	if !n.IsServer(s0) || !n.IsServer(s1) || n.IsServer(sw) {
+		t.Error("IsServer misclassifies nodes")
+	}
+	if n.IsServer(-1) || n.IsServer(99) {
+		t.Error("IsServer accepts out-of-range ids")
+	}
+	if n.Kind(sw) != Switch {
+		t.Errorf("Kind(sw) = %v", n.Kind(sw))
+	}
+	if n.Label(sw) != "sw" {
+		t.Errorf("Label(sw) = %q", n.Label(sw))
+	}
+	if got := n.Servers(); len(got) != 2 || got[0] != s0 || got[1] != s1 {
+		t.Errorf("Servers() = %v", got)
+	}
+	if got := n.Switches(); len(got) != 1 || got[0] != sw {
+		t.Errorf("Switches() = %v", got)
+	}
+	if n.Server(1) != s1 {
+		t.Errorf("Server(1) = %d, want %d", n.Server(1), s1)
+	}
+}
+
+func TestServersReturnsCopy(t *testing.T) {
+	n, _, _, _ := tiny(t)
+	servers := n.Servers()
+	servers[0] = 999
+	if n.Servers()[0] == 999 {
+		t.Error("Servers() exposed internal slice")
+	}
+	switches := n.Switches()
+	switches[0] = 999
+	if n.Switches()[0] == 999 {
+		t.Error("Switches() exposed internal slice")
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	n, _, _, _ := tiny(t)
+	if got := n.MaxDegree(Server); got != 1 {
+		t.Errorf("MaxDegree(Server) = %d, want 1", got)
+	}
+	if got := n.MaxDegree(Switch); got != 2 {
+		t.Errorf("MaxDegree(Switch) = %d, want 2", got)
+	}
+}
+
+func TestPathLenAndSwitchHops(t *testing.T) {
+	n, s0, sw, s1 := tiny(t)
+	p := Path{s0, sw, s1}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+	if p.SwitchHops(n) != 1 {
+		t.Errorf("SwitchHops = %d, want 1", p.SwitchHops(n))
+	}
+	if (Path{}).Len() != 0 {
+		t.Error("empty path Len != 0")
+	}
+}
+
+func TestPathValidate(t *testing.T) {
+	n, s0, sw, s1 := tiny(t)
+	tests := []struct {
+		name    string
+		p       Path
+		src     int
+		dst     int
+		wantErr string
+	}{
+		{name: "ok", p: Path{s0, sw, s1}, src: s0, dst: s1},
+		{name: "empty", p: Path{}, src: s0, dst: s1, wantErr: "empty"},
+		{name: "wrong start", p: Path{sw, s1}, src: s0, dst: s1, wantErr: "starts"},
+		{name: "wrong end", p: Path{s0, sw}, src: s0, dst: s1, wantErr: "ends"},
+		{name: "no cable", p: Path{s0, s1}, src: s0, dst: s1, wantErr: "no cable"},
+		{name: "revisit", p: Path{s0, sw, s0}, src: s0, dst: s0, wantErr: "revisits"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate(n, tt.src, tt.dst)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPathAlive(t *testing.T) {
+	n, s0, sw, s1 := tiny(t)
+	p := Path{s0, sw, s1}
+	if !p.Alive(n, nil) {
+		t.Error("Alive = false with nil view")
+	}
+	v := graph.NewView(n.Graph())
+	v.FailNode(sw)
+	if p.Alive(n, v) {
+		t.Error("Alive = true through failed switch")
+	}
+	v2 := graph.NewView(n.Graph())
+	v2.FailEdge(n.Graph().EdgeBetween(sw, s1))
+	if p.Alive(n, v2) {
+		t.Error("Alive = true over failed cable")
+	}
+}
+
+func TestCheckEndpoints(t *testing.T) {
+	n, s0, sw, s1 := tiny(t)
+	if err := CheckEndpoints(n, s0, s1); err != nil {
+		t.Errorf("CheckEndpoints(servers): %v", err)
+	}
+	if err := CheckEndpoints(n, sw, s1); !errors.Is(err, ErrNotServer) {
+		t.Errorf("CheckEndpoints(switch src) = %v, want ErrNotServer", err)
+	}
+	if err := CheckEndpoints(n, s0, sw); !errors.Is(err, ErrNotServer) {
+		t.Errorf("CheckEndpoints(switch dst) = %v, want ErrNotServer", err)
+	}
+}
+
+func TestConnectError(t *testing.T) {
+	n, s0, _, _ := tiny(t)
+	if err := n.Connect(s0, 99); err == nil {
+		t.Error("Connect out of range succeeded")
+	}
+}

@@ -1,0 +1,87 @@
+package topotest
+
+import (
+	"testing"
+
+	"repro/internal/bccc"
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/dcell"
+	"repro/internal/fattree"
+	"repro/internal/hypercube"
+	"repro/internal/topology"
+)
+
+// TestConformance runs the shared battery over every structure in the
+// repository — the single place where a contract change must pass for all
+// of them at once.
+func TestConformance(t *testing.T) {
+	subjects := []struct {
+		name string
+		t    topology.Topology
+		opts Options
+	}{
+		{name: "ABCCC(4,1,2)", t: core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{name: "ABCCC(3,2,3)", t: core.MustBuild(core.Config{N: 3, K: 2, P: 3})},
+		{name: "ABCCC(4,2,4)", t: core.MustBuild(core.Config{N: 4, K: 2, P: 4})},
+		{name: "ABCCC(2,0,5)", t: core.MustBuild(core.Config{N: 2, K: 0, P: 5})},
+		{name: "BCCC(3,1)", t: bccc.MustBuild(bccc.Config{N: 3, K: 1})},
+		{name: "BCCC(4,2)", t: bccc.MustBuild(bccc.Config{N: 4, K: 2})},
+		{name: "BCube(3,2)", t: bcube.MustBuild(bcube.Config{N: 3, K: 2})},
+		{name: "BCube(4,1)", t: bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+		// DCellRouting is not shortest-path and its Diameter field uses the
+		// server-hop convention; skip the links-diameter tightness check.
+		{name: "DCell(3,1)", t: dcell.MustBuild(dcell.Config{N: 3, K: 1}), opts: Options{SkipDiameterCheck: true}},
+		{name: "DCell(2,2)", t: dcell.MustBuild(dcell.Config{N: 2, K: 2}), opts: Options{SkipDiameterCheck: true}},
+		{name: "FatTree(4)", t: fattree.MustBuild(fattree.Config{K: 4})},
+		{name: "FatTree(6)", t: fattree.MustBuild(fattree.Config{K: 6})},
+		{name: "Hypercube(5)", t: hypercube.MustBuild(hypercube.Config{D: 5})},
+	}
+	for _, s := range subjects {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			Run(t, s.t, s.opts)
+		})
+	}
+}
+
+// TestConformancePartialDeployments holds incremental deployments to the
+// same contract (minus the closed-form checks they don't claim).
+func TestConformancePartialDeployments(t *testing.T) {
+	for _, m := range []int{1, 3, 5, 9} {
+		p, err := core.BuildPartial(core.Config{N: 3, K: 1, P: 2}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Network().Name(), func(t *testing.T) {
+			Run(t, p, Options{SkipDiameterCheck: true})
+		})
+	}
+}
+
+// TestFaultRouterConformance runs the fault-routing battery over every
+// structure that implements it.
+func TestFaultRouterConformance(t *testing.T) {
+	abccc := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	bc := bccc.MustBuild(bccc.Config{N: 3, K: 1})
+	bq := bcube.MustBuild(bcube.Config{N: 3, K: 1})
+	dc := dcell.MustBuild(dcell.Config{N: 3, K: 1})
+	ft := fattree.MustBuild(fattree.Config{K: 4})
+	subjects := []struct {
+		name string
+		t    topology.Topology
+		fr   topology.FaultRouter
+	}{
+		{"ABCCC adaptive", abccc, abccc},
+		{"BCCC", bc, bc},
+		{"BCube", bq, bq},
+		{"DCell", dc, dc},
+		{"FatTree", ft, ft},
+	}
+	for _, s := range subjects {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			RunFaultRouter(t, s.t, s.fr)
+		})
+	}
+}

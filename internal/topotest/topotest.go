@@ -1,0 +1,179 @@
+// Package topotest is a conformance suite for Topology implementations,
+// in the spirit of testing/fstest: every structure in this repository runs
+// the same battery of structural and routing checks, so a new topology (or
+// a refactoring of an old one) is held to the same contract.
+package topotest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Options tunes the conformance run.
+type Options struct {
+	// MaxPairs caps the routed pairs (default 900; exhaustive when the
+	// network is smaller).
+	MaxPairs int
+	// SkipDiameterCheck disables the hop-diameter tightness check for
+	// structures whose analytic Diameter is a bound or uses a non-hop
+	// convention (DCell).
+	SkipDiameterCheck bool
+}
+
+// Run executes the conformance battery against a built topology.
+func Run(t *testing.T, tp topology.Topology, opts Options) {
+	t.Helper()
+	if opts.MaxPairs == 0 {
+		opts.MaxPairs = 900
+	}
+	net := tp.Network()
+	props := tp.Properties()
+
+	t.Run("counts match properties", func(t *testing.T) {
+		if net.NumServers() != props.Servers {
+			t.Errorf("built %d servers, formula %d", net.NumServers(), props.Servers)
+		}
+		if net.NumSwitches() != props.Switches {
+			t.Errorf("built %d switches, formula %d", net.NumSwitches(), props.Switches)
+		}
+		if net.NumLinks() != props.Links {
+			t.Errorf("built %d links, formula %d", net.NumLinks(), props.Links)
+		}
+	})
+
+	t.Run("degrees within hardware", func(t *testing.T) {
+		if props.ServerPorts > 0 {
+			if got := net.MaxDegree(topology.Server); got > props.ServerPorts {
+				t.Errorf("server degree %d exceeds %d NIC ports", got, props.ServerPorts)
+			}
+		}
+		if props.SwitchPorts > 0 {
+			if got := net.MaxDegree(topology.Switch); got > props.SwitchPorts {
+				t.Errorf("switch degree %d exceeds radix %d", got, props.SwitchPorts)
+			}
+		}
+	})
+
+	t.Run("connected", func(t *testing.T) {
+		if !net.Graph().Connected(nil) {
+			t.Error("built network is disconnected")
+		}
+	})
+
+	t.Run("routes valid and bounded", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(1))
+		for _, pair := range samplePairs(net, opts.MaxPairs, rng) {
+			src, dst := pair[0], pair[1]
+			p, err := tp.Route(src, dst)
+			if err != nil {
+				t.Fatalf("Route(%s,%s): %v", net.Label(src), net.Label(dst), err)
+			}
+			if err := p.Validate(net, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			if props.DiameterLinks > 0 && src != dst && p.Len() > props.DiameterLinks {
+				t.Fatalf("Route(%s,%s) = %d links > analytic %d",
+					net.Label(src), net.Label(dst), p.Len(), props.DiameterLinks)
+			}
+		}
+	})
+
+	t.Run("self route", func(t *testing.T) {
+		s := net.Server(0)
+		p, err := tp.Route(s, s)
+		if err != nil || len(p) != 1 || p[0] != s {
+			t.Errorf("Route(self) = %v, %v", p, err)
+		}
+	})
+
+	t.Run("switch endpoints rejected", func(t *testing.T) {
+		if net.NumSwitches() == 0 {
+			t.Skip("no switches")
+		}
+		sw := net.Switches()[0]
+		s := net.Server(0)
+		if _, err := tp.Route(sw, s); err == nil {
+			t.Error("Route(switch, server) succeeded")
+		}
+		if _, err := tp.Route(s, sw); err == nil {
+			t.Error("Route(server, switch) succeeded")
+		}
+	})
+
+	if !opts.SkipDiameterCheck {
+		t.Run("diameter tight", func(t *testing.T) {
+			servers := net.Servers()
+			if len(servers) > 600 {
+				t.Skip("too large for exhaustive diameter")
+			}
+			worst := 0
+			for _, src := range servers {
+				ecc, ok := net.Graph().Eccentricity(src, servers, nil)
+				if !ok {
+					t.Fatal("disconnected")
+				}
+				if ecc > worst {
+					worst = ecc
+				}
+			}
+			if worst != props.DiameterLinks {
+				t.Errorf("measured diameter %d links, analytic %d", worst, props.DiameterLinks)
+			}
+		})
+	}
+}
+
+// samplePairs returns all ordered pairs when few, else a seeded sample.
+func samplePairs(net *topology.Network, limit int, rng *rand.Rand) [][2]int {
+	servers := net.Servers()
+	n := len(servers)
+	if n*n <= limit {
+		pairs := make([][2]int, 0, n*n)
+		for _, a := range servers {
+			for _, b := range servers {
+				pairs = append(pairs, [2]int{a, b})
+			}
+		}
+		return pairs
+	}
+	pairs := make([][2]int, limit)
+	for i := range pairs {
+		pairs[i] = [2]int{servers[rng.Intn(n)], servers[rng.Intn(n)]}
+	}
+	return pairs
+}
+
+// RunFaultRouter extends the battery for structures with fault-tolerant
+// routing: with no failures it must serve every sampled pair with alive,
+// valid paths; with a failed destination it must return an error.
+func RunFaultRouter(t *testing.T, tp topology.Topology, fr topology.FaultRouter) {
+	t.Helper()
+	net := tp.Network()
+	view := graph.NewView(net.Graph())
+	rng := rand.New(rand.NewSource(2))
+	t.Run("fault router healthy", func(t *testing.T) {
+		for _, pair := range samplePairs(net, 200, rng) {
+			p, err := fr.RouteAvoiding(pair[0], pair[1], view)
+			if err != nil {
+				t.Fatalf("RouteAvoiding(%s,%s): %v", net.Label(pair[0]), net.Label(pair[1]), err)
+			}
+			if err := p.Validate(net, pair[0], pair[1]); err != nil {
+				t.Fatal(err)
+			}
+			if !p.Alive(net, view) {
+				t.Fatal("dead components on a healthy route")
+			}
+		}
+	})
+	t.Run("fault router dead endpoint", func(t *testing.T) {
+		dead := graph.NewView(net.Graph())
+		dst := net.Server(net.NumServers() - 1)
+		dead.FailNode(dst)
+		if _, err := fr.RouteAvoiding(net.Server(0), dst, dead); err == nil {
+			t.Error("route to a dead endpoint succeeded")
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// SizeDistribution samples flow sizes from an empirical CDF, the way DCN
+// evaluations draw from measured workloads. Two standard distributions from
+// the literature ship built in (web-search and data-mining); custom CDFs can
+// be constructed with NewSizeDistribution.
+type SizeDistribution struct {
+	name  string
+	bytes []int64   // ascending
+	cdf   []float64 // cdf[i] = P(size <= bytes[i]), ascending, ends at 1
+}
+
+// NewSizeDistribution builds a distribution from (bytes, cumulative
+// probability) points. Probabilities must be ascending and end at 1.
+func NewSizeDistribution(name string, bytes []int64, cdf []float64) (*SizeDistribution, error) {
+	if len(bytes) == 0 || len(bytes) != len(cdf) {
+		return nil, fmt.Errorf("traffic: size distribution needs matching non-empty points")
+	}
+	for i := range bytes {
+		if bytes[i] <= 0 {
+			return nil, fmt.Errorf("traffic: non-positive size %d", bytes[i])
+		}
+		if i > 0 && (bytes[i] <= bytes[i-1] || cdf[i] < cdf[i-1]) {
+			return nil, fmt.Errorf("traffic: size distribution points must ascend")
+		}
+		if cdf[i] < 0 || cdf[i] > 1 {
+			return nil, fmt.Errorf("traffic: cdf value %f out of [0,1]", cdf[i])
+		}
+	}
+	if cdf[len(cdf)-1] != 1 {
+		return nil, fmt.Errorf("traffic: cdf must end at 1, got %f", cdf[len(cdf)-1])
+	}
+	return &SizeDistribution{name: name, bytes: bytes, cdf: cdf}, nil
+}
+
+// WebSearch returns the web-search workload distribution (DCTCP, SIGCOMM
+// 2010, Fig. 4 shape): mostly sub-100 KB queries with a heavy tail of
+// multi-MB background flows.
+func WebSearch() *SizeDistribution {
+	d, err := NewSizeDistribution("websearch",
+		[]int64{6 << 10, 13 << 10, 19 << 10, 33 << 10, 133 << 10, 667 << 10, 1333 << 10, 3333 << 10, 6667 << 10, 20 << 20, 30 << 20},
+		[]float64{0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97, 1.0})
+	if err != nil {
+		panic(err) // static data; cannot fail
+	}
+	return d
+}
+
+// DataMining returns the data-mining workload distribution (VL2, SIGCOMM
+// 2009 shape): dominated by tiny flows with an extremely heavy tail.
+func DataMining() *SizeDistribution {
+	d, err := NewSizeDistribution("datamining",
+		[]int64{100, 1 << 10, 10 << 10, 100 << 10, 1 << 20, 10 << 20, 100 << 20, 1 << 30},
+		[]float64{0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 1.0})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name returns the distribution's label.
+func (d *SizeDistribution) Name() string { return d.name }
+
+// Sample draws one flow size.
+func (d *SizeDistribution) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i >= len(d.bytes) {
+		i = len(d.bytes) - 1
+	}
+	return d.bytes[i]
+}
+
+// Mean returns the distribution's expected flow size.
+func (d *SizeDistribution) Mean() float64 {
+	mean := 0.0
+	prev := 0.0
+	for i, b := range d.bytes {
+		mean += float64(b) * (d.cdf[i] - prev)
+		prev = d.cdf[i]
+	}
+	return mean
+}
+
+// ApplySizes resamples every flow's byte count from the distribution,
+// returning the same slice for chaining.
+func ApplySizes(flows []Flow, d *SizeDistribution, rng *rand.Rand) []Flow {
+	for i := range flows {
+		flows[i].Bytes = d.Sample(rng)
+	}
+	return flows
+}

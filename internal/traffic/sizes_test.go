@@ -1,0 +1,90 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSizeDistributionValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		bytes []int64
+		cdf   []float64
+	}{
+		{name: "empty"},
+		{name: "length mismatch", bytes: []int64{1, 2}, cdf: []float64{1}},
+		{name: "zero size", bytes: []int64{0, 5}, cdf: []float64{0.5, 1}},
+		{name: "non-ascending bytes", bytes: []int64{5, 5}, cdf: []float64{0.5, 1}},
+		{name: "descending cdf", bytes: []int64{1, 2}, cdf: []float64{0.9, 0.5}},
+		{name: "cdf above one", bytes: []int64{1, 2}, cdf: []float64{0.5, 1.5}},
+		{name: "cdf not ending at one", bytes: []int64{1, 2}, cdf: []float64{0.5, 0.9}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSizeDistribution("x", tt.bytes, tt.cdf); err == nil {
+				t.Error("invalid distribution accepted")
+			}
+		})
+	}
+}
+
+func TestBuiltinDistributions(t *testing.T) {
+	for _, d := range []*SizeDistribution{WebSearch(), DataMining()} {
+		if d.Name() == "" {
+			t.Error("unnamed distribution")
+		}
+		if d.Mean() <= 0 {
+			t.Errorf("%s mean = %f", d.Name(), d.Mean())
+		}
+	}
+	// Data mining is far heavier-tailed: its mean dwarfs web search's
+	// despite mostly tiny flows.
+	if DataMining().Mean() <= WebSearch().Mean() {
+		t.Errorf("datamining mean %.0f <= websearch mean %.0f",
+			DataMining().Mean(), WebSearch().Mean())
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := WebSearch()
+		s := d.Sample(rng)
+		return s >= 6<<10 && s <= 30<<20
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleRoughlyMatchesCDF(t *testing.T) {
+	// Half of data-mining flows should be <= 100 bytes.
+	rng := rand.New(rand.NewSource(9))
+	d := DataMining()
+	small := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if d.Sample(rng) <= 100 {
+			small++
+		}
+	}
+	frac := float64(small) / trials
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("P(size<=100B) = %.3f, want ~0.50", frac)
+	}
+}
+
+func TestApplySizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flows := Permutation(10, rng)
+	ApplySizes(flows, WebSearch(), rng)
+	for _, f := range flows {
+		if f.Bytes == DefaultFlowBytes && f.Bytes != 1<<20 {
+			t.Fatal("sizes not applied")
+		}
+		if f.Bytes <= 0 {
+			t.Fatal("non-positive size")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceRecord is the on-disk form of one flow (JSON Lines, one flow per
+// line), a stable interchange format so workloads can be saved, edited and
+// replayed across simulators.
+type traceRecord struct {
+	Src   int   `json:"src"`
+	Dst   int   `json:"dst"`
+	Bytes int64 `json:"bytes"`
+}
+
+// WriteTrace writes the workload as JSON Lines.
+func WriteTrace(w io.Writer, flows []Flow) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, f := range flows {
+		if err := enc.Encode(traceRecord{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes}); err != nil {
+			return fmt.Errorf("traffic: write trace flow %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace reads a JSON Lines workload, validating endpoints against the
+// given server count (pass 0 to skip the range check).
+func ReadTrace(r io.Reader, servers int) ([]Flow, error) {
+	dec := json.NewDecoder(r)
+	var flows []Flow
+	for i := 0; ; i++ {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("traffic: read trace flow %d: %w", i, err)
+		}
+		if rec.Src == rec.Dst {
+			return nil, fmt.Errorf("traffic: trace flow %d is a self-flow (%d)", i, rec.Src)
+		}
+		if servers > 0 && (rec.Src < 0 || rec.Src >= servers || rec.Dst < 0 || rec.Dst >= servers) {
+			return nil, fmt.Errorf("traffic: trace flow %d endpoints (%d,%d) out of %d servers",
+				i, rec.Src, rec.Dst, servers)
+		}
+		bytes := rec.Bytes
+		if bytes <= 0 {
+			bytes = DefaultFlowBytes
+		}
+		flows = append(flows, Flow{Src: rec.Src, Dst: rec.Dst, Bytes: bytes})
+	}
+	return flows, nil
+}

@@ -1,0 +1,73 @@
+package traffic
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := Permutation(12, rng)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("flow %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		servers int
+	}{
+		{name: "garbage", in: "not json\n", servers: 10},
+		{name: "self flow", in: `{"src":1,"dst":1,"bytes":5}` + "\n", servers: 10},
+		{name: "out of range", in: `{"src":1,"dst":99,"bytes":5}` + "\n", servers: 10},
+		{name: "negative", in: `{"src":-1,"dst":2,"bytes":5}` + "\n", servers: 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadTrace(strings.NewReader(tt.in), tt.servers); err == nil {
+				t.Errorf("ReadTrace(%q) succeeded", tt.in)
+			}
+		})
+	}
+}
+
+func TestReadTraceDefaultsBytes(t *testing.T) {
+	flows, err := ReadTrace(strings.NewReader(`{"src":0,"dst":1}`+"\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].Bytes != DefaultFlowBytes {
+		t.Errorf("flows = %+v", flows)
+	}
+}
+
+func TestReadTraceSkipsRangeCheckWhenZero(t *testing.T) {
+	flows, err := ReadTrace(strings.NewReader(`{"src":0,"dst":500}`+"\n"), 0)
+	if err != nil || len(flows) != 1 {
+		t.Errorf("flows = %+v, err = %v", flows, err)
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	flows, err := ReadTrace(strings.NewReader(""), 5)
+	if err != nil || flows != nil {
+		t.Errorf("empty trace: %v, %v", flows, err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package traffic generates the synthetic data-center workloads the paper's
+// simulations run on: random permutations, all-to-all, uniform random pairs,
+// incast, MapReduce-style shuffle, and hotspot patterns. All generators are
+// deterministic given their seed, so every experiment is reproducible.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Flow is one logical transfer between two servers, identified by their
+// indices into the topology's server list (not raw node ids — patterns are
+// topology-agnostic).
+type Flow struct {
+	// Src and Dst index into Network.Servers().
+	Src, Dst int
+	// Bytes is the transfer size; generators default it to 1 MB units so
+	// relative sizes matter, not absolute ones.
+	Bytes int64
+	// StartSec is the flow's arrival time; generators default to 0
+	// (everything starts together) except Poisson.
+	StartSec float64
+}
+
+// DefaultFlowBytes is the flow size generators use unless a pattern defines
+// its own (1 MB, a typical shuffle chunk).
+const DefaultFlowBytes = 1 << 20
+
+// Permutation returns a random permutation workload: every server sends one
+// flow to a distinct server (no fixed points unless n == 1).
+func Permutation(n int, rng *rand.Rand) []Flow {
+	perm := rng.Perm(n)
+	// Displace fixed points so every flow crosses the network.
+	for i := 0; i < n; i++ {
+		if perm[i] == i {
+			j := (i + 1) % n
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	flows := make([]Flow, 0, n)
+	for src, dst := range perm {
+		if src == dst {
+			continue // only possible for n == 1
+		}
+		flows = append(flows, Flow{Src: src, Dst: dst, Bytes: DefaultFlowBytes})
+	}
+	return flows
+}
+
+// AllToAll returns the complete n*(n-1) workload: every ordered pair.
+func AllToAll(n int) []Flow {
+	flows := make([]Flow, 0, n*(n-1))
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src != dst {
+				flows = append(flows, Flow{Src: src, Dst: dst, Bytes: DefaultFlowBytes})
+			}
+		}
+	}
+	return flows
+}
+
+// Uniform returns `count` flows with independently uniform random distinct
+// endpoints.
+func Uniform(n, count int, rng *rand.Rand) []Flow {
+	if n < 2 {
+		return nil
+	}
+	flows := make([]Flow, count)
+	for i := range flows {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		flows[i] = Flow{Src: src, Dst: dst, Bytes: DefaultFlowBytes}
+	}
+	return flows
+}
+
+// Incast returns a fan-in workload: `fanin` distinct random senders all
+// transmit to the same target (a partition-aggregate pattern).
+func Incast(n, target, fanin int, rng *rand.Rand) ([]Flow, error) {
+	if target < 0 || target >= n {
+		return nil, fmt.Errorf("traffic: incast target %d out of %d servers", target, n)
+	}
+	if fanin > n-1 {
+		return nil, fmt.Errorf("traffic: fan-in %d exceeds %d possible senders", fanin, n-1)
+	}
+	senders := rng.Perm(n)
+	flows := make([]Flow, 0, fanin)
+	for _, s := range senders {
+		if s == target {
+			continue
+		}
+		flows = append(flows, Flow{Src: s, Dst: target, Bytes: DefaultFlowBytes})
+		if len(flows) == fanin {
+			break
+		}
+	}
+	return flows, nil
+}
+
+// Shuffle returns a MapReduce shuffle: every one of the `mappers` first
+// servers sends one flow to every one of the `reducers` servers chosen at
+// random from the rest.
+func Shuffle(n, mappers, reducers int, rng *rand.Rand) ([]Flow, error) {
+	if mappers+reducers > n {
+		return nil, fmt.Errorf("traffic: %d mappers + %d reducers exceed %d servers", mappers, reducers, n)
+	}
+	perm := rng.Perm(n)
+	maps := perm[:mappers]
+	reds := perm[mappers : mappers+reducers]
+	flows := make([]Flow, 0, mappers*reducers)
+	for _, m := range maps {
+		for _, r := range reds {
+			flows = append(flows, Flow{Src: m, Dst: r, Bytes: DefaultFlowBytes})
+		}
+	}
+	return flows, nil
+}
+
+// Poisson returns an open-loop arrival process: flows arrive with
+// exponential interarrival times at `ratePerSec` for `durationSec`, each
+// between uniform random distinct endpoints — the standard way DCN
+// evaluations drive latency-vs-load curves.
+func Poisson(n int, ratePerSec, durationSec float64, rng *rand.Rand) ([]Flow, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: poisson needs >= 2 servers")
+	}
+	if ratePerSec <= 0 || durationSec <= 0 {
+		return nil, fmt.Errorf("traffic: poisson rate and duration must be positive")
+	}
+	var flows []Flow
+	for t := rng.ExpFloat64() / ratePerSec; t < durationSec; t += rng.ExpFloat64() / ratePerSec {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		flows = append(flows, Flow{Src: src, Dst: dst, Bytes: DefaultFlowBytes, StartSec: t})
+	}
+	return flows, nil
+}
+
+// Hotspot returns a workload where `count` random senders target a small set
+// of `spots` hot servers, modeling skewed popularity.
+func Hotspot(n, spots, count int, rng *rand.Rand) ([]Flow, error) {
+	if spots < 1 || spots >= n {
+		return nil, fmt.Errorf("traffic: %d hot spots out of %d servers", spots, n)
+	}
+	hot := rng.Perm(n)[:spots]
+	flows := make([]Flow, count)
+	for i := range flows {
+		dst := hot[rng.Intn(spots)]
+		src := rng.Intn(n)
+		for src == dst {
+			src = rng.Intn(n)
+		}
+		flows[i] = Flow{Src: src, Dst: dst, Bytes: DefaultFlowBytes}
+	}
+	return flows, nil
+}

@@ -1,0 +1,184 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPermutationIsDerangement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		flows := Permutation(n, rng)
+		if len(flows) != n {
+			return false
+		}
+		seenSrc := make(map[int]bool, n)
+		seenDst := make(map[int]bool, n)
+		for _, f := range flows {
+			if f.Src == f.Dst || seenSrc[f.Src] || seenDst[f.Dst] {
+				return false
+			}
+			seenSrc[f.Src], seenDst[f.Dst] = true, true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationDeterministic(t *testing.T) {
+	a := Permutation(10, rand.New(rand.NewSource(3)))
+	b := Permutation(10, rand.New(rand.NewSource(3)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different permutation")
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	flows := AllToAll(4)
+	if len(flows) != 12 {
+		t.Fatalf("len = %d, want 12", len(flows))
+	}
+	seen := map[[2]int]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("self flow")
+		}
+		key := [2]int{f.Src, f.Dst}
+		if seen[key] {
+			t.Fatal("duplicate pair")
+		}
+		seen[key] = true
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flows := Uniform(10, 100, rng)
+	if len(flows) != 100 {
+		t.Fatalf("len = %d", len(flows))
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst || f.Src < 0 || f.Src >= 10 || f.Dst < 0 || f.Dst >= 10 {
+			t.Fatalf("bad flow %+v", f)
+		}
+	}
+	if Uniform(1, 5, rng) != nil {
+		t.Error("Uniform with 1 server should be nil")
+	}
+}
+
+func TestIncast(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flows, err := Incast(10, 3, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 5 {
+		t.Fatalf("len = %d, want 5", len(flows))
+	}
+	srcs := map[int]bool{}
+	for _, f := range flows {
+		if f.Dst != 3 || f.Src == 3 {
+			t.Fatalf("bad flow %+v", f)
+		}
+		if srcs[f.Src] {
+			t.Fatal("duplicate sender")
+		}
+		srcs[f.Src] = true
+	}
+	if _, err := Incast(10, 10, 3, rng); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := Incast(10, 0, 10, rng); err == nil {
+		t.Error("oversized fan-in accepted")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flows, err := Shuffle(20, 4, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 12 {
+		t.Fatalf("len = %d, want 12", len(flows))
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("mapper == reducer")
+		}
+	}
+	if _, err := Shuffle(5, 3, 3, rng); err == nil {
+		t.Error("overlapping mapper/reducer sets accepted")
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flows, err := Hotspot(10, 2, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := map[int]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("self flow")
+		}
+		dsts[f.Dst] = true
+	}
+	if len(dsts) > 2 {
+		t.Errorf("flows target %d spots, want <= 2", len(dsts))
+	}
+	if _, err := Hotspot(10, 0, 5, rng); err == nil {
+		t.Error("zero spots accepted")
+	}
+	if _, err := Hotspot(10, 10, 5, rng); err == nil {
+		t.Error("all-spots accepted")
+	}
+}
+
+func TestFlowBytesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range Permutation(5, rng) {
+		if f.Bytes != DefaultFlowBytes {
+			t.Fatalf("Bytes = %d", f.Bytes)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flows, err := Poisson(16, 100, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect roughly rate*duration arrivals.
+	if len(flows) < 60 || len(flows) > 150 {
+		t.Errorf("got %d arrivals for rate 100 x 1s", len(flows))
+	}
+	last := 0.0
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("self flow")
+		}
+		if f.StartSec < last || f.StartSec >= 1.0 {
+			t.Fatalf("arrival time %f out of order or range", f.StartSec)
+		}
+		last = f.StartSec
+	}
+	if _, err := Poisson(1, 10, 1, rng); err == nil {
+		t.Error("single server accepted")
+	}
+	if _, err := Poisson(4, 0, 1, rng); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Poisson(4, 10, 0, rng); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
