@@ -1,0 +1,32 @@
+# Development targets for the ABCCC reproduction.
+#
+#   make build   compile everything
+#   make test    full test suite (tier-1 gate: go build ./... && go test ./...)
+#   make vet     static analysis
+#   make race    race-check the concurrent packages (parallel metrics,
+#                heap allocator equivalence, experiment worker pool, and the
+#                goroutine-per-device emulator); slow on small machines
+#   make bench   micro + experiment benchmarks with allocation counts
+#   make check   everything a PR must pass locally
+
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+	$(GO) test -bench=MaxMin -benchmem -run XXX ./internal/flowsim
+
+check: build vet test race

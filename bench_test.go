@@ -17,6 +17,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/experiments"
 	"repro/internal/flowsim"
+	"repro/internal/metrics"
 	"repro/internal/packetsim"
 	"repro/internal/planner"
 	"repro/internal/traffic"
@@ -28,6 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(io.Discard); err != nil {
@@ -57,6 +59,7 @@ func BenchmarkF14Broadcast(b *testing.B)     { benchExperiment(b, "F14") }
 
 func BenchmarkBuildABCCC(b *testing.B) {
 	cfg := core.Config{N: 8, K: 2, P: 3} // 1024 servers
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Build(cfg); err != nil {
 			b.Fatal(err)
@@ -68,6 +71,7 @@ func BenchmarkRouteABCCC(b *testing.B) {
 	tp := core.MustBuild(core.Config{N: 8, K: 2, P: 3})
 	servers := tp.Network().Servers()
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := servers[rng.Intn(len(servers))]
@@ -82,6 +86,7 @@ func BenchmarkParallelPathsABCCC(b *testing.B) {
 	tp := core.MustBuild(core.Config{N: 8, K: 2, P: 3})
 	servers := tp.Network().Servers()
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := servers[rng.Intn(len(servers))]
@@ -95,6 +100,7 @@ func BenchmarkParallelPathsABCCC(b *testing.B) {
 func BenchmarkBroadcastTreeABCCC(b *testing.B) {
 	tp := core.MustBuild(core.Config{N: 4, K: 2, P: 2})
 	root := tp.Network().Server(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tp.BroadcastTree(root); err != nil {
@@ -111,9 +117,52 @@ func BenchmarkMaxMinFairPermutation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := flowsim.MaxMinFair(tp.Network(), paths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinFairPermutationLarge(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 8, K: 2, P: 3}) // 1024 servers
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	paths, err := flowsim.RoutePaths(tp, flows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flowsim.MaxMinFair(tp.Network(), paths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// All-pairs metric benchmarks: BFS fans out over every server source with
+// per-worker scratch (internal/graph.ForEachBFS).
+
+func BenchmarkDiameterLinksABCCC(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 8, K: 2, P: 3}) // 1024 servers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.DiameterLinks(tp.Network()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkASPLExactABCCC(b *testing.B) {
+	tp := core.MustBuild(core.Config{N: 4, K: 2, P: 3}) // 128 servers, all sources
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.ASPL(tp.Network(), 0, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,6 +173,7 @@ func BenchmarkPacketSimUniform(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	flows := traffic.Uniform(tp.Network().NumServers(), 16, rng)
 	cfg := packetsim.Default()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := packetsim.Run(tp, flows, cfg); err != nil {
@@ -139,6 +189,7 @@ func BenchmarkEmulatorPermutation(b *testing.B) {
 	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
 	rng := rand.New(rand.NewSource(1))
 	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats, err := emu.Run(tp, flows)
@@ -152,6 +203,7 @@ func BenchmarkNextHop(b *testing.B) {
 	tp := core.MustBuild(core.Config{N: 8, K: 2, P: 3})
 	servers := tp.Network().Servers()
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := servers[rng.Intn(len(servers))]
@@ -167,6 +219,7 @@ func BenchmarkF18ShuffleFCT(b *testing.B)  { benchExperiment(b, "F18") }
 
 func BenchmarkBuildPartial(b *testing.B) {
 	cfg := core.Config{N: 8, K: 1, P: 2}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuildPartial(cfg, 40); err != nil {
 			b.Fatal(err)
@@ -184,6 +237,7 @@ func BenchmarkTransportShuffle(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := packetsim.DefaultTransport()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := packetsim.RunTransport(tp, flows, cfg); err != nil {
@@ -209,6 +263,7 @@ func BenchmarkF25LatencyVsLoad(b *testing.B) { benchExperiment(b, "F25") }
 func BenchmarkPlannerSearch(b *testing.B) {
 	req := planner.Requirements{MinServers: 5000, MaxServerPorts: 4, MaxSwitchPorts: 48}
 	model := cost.Default()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := planner.Plan(req, model); err != nil {
 			b.Fatal(err)
@@ -218,6 +273,7 @@ func BenchmarkPlannerSearch(b *testing.B) {
 
 func BenchmarkDVColdStart(b *testing.B) {
 	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := emu.RunDV(tp, nil); err != nil {
 			b.Fatal(err)
@@ -227,6 +283,7 @@ func BenchmarkDVColdStart(b *testing.B) {
 
 func BenchmarkChaosSchedule(b *testing.B) {
 	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := emu.Chaos(tp, 10, rand.New(rand.NewSource(1))); err != nil {
 			b.Fatal(err)

@@ -3,18 +3,37 @@
 //
 // Usage:
 //
-//	benchsuite            # run everything
+//	benchsuite            # run everything on all CPUs
+//	benchsuite -j 1       # run everything serially (same output, slower)
 //	benchsuite -run F11   # run one experiment by ID
 //	benchsuite -list      # list experiment IDs and titles
+//	benchsuite -json      # emit per-experiment wall-clock timings as JSON
+//
+// Experiments render on a worker pool (-j workers) and are emitted in
+// presentation order, so the output is identical for every -j. With -json
+// the experiment tables are discarded and a machine-readable timing report
+// is printed instead — the format committed as BENCH_*.json to track the
+// repository's performance trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 )
+
+// report is the -json output schema.
+type report struct {
+	Workers      int                  `json:"workers"`
+	TotalSeconds float64              `json:"total_seconds"`
+	Experiments  []experiments.Timing `json:"experiments"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -26,8 +45,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	var (
-		list = fs.Bool("list", false, "list experiments and exit")
-		only = fs.String("run", "", "run a single experiment by ID (e.g. F11)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		only    = fs.String("run", "", "run a single experiment by ID (e.g. F11)")
+		workers = fs.Int("j", runtime.NumCPU(), "render experiments on this many parallel workers")
+		asJSON  = fs.Bool("json", false, "discard tables, print per-experiment timings as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,7 +64,38 @@ func run(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", *only)
 		}
-		return experiments.RunOne(os.Stdout, e)
+		if !*asJSON {
+			return experiments.RunOne(os.Stdout, e)
+		}
+		start := time.Now()
+		if err := experiments.RunOne(io.Discard, e); err != nil {
+			return err
+		}
+		return emitReport(os.Stdout, report{
+			Workers:      1,
+			TotalSeconds: time.Since(start).Seconds(),
+			Experiments: []experiments.Timing{
+				{ID: e.ID, Title: e.Title, Seconds: time.Since(start).Seconds()},
+			},
+		})
 	}
-	return experiments.RunAll(os.Stdout)
+	if !*asJSON {
+		return experiments.RunAllParallel(os.Stdout, *workers)
+	}
+	start := time.Now()
+	timings, err := experiments.RunAllTimed(io.Discard, *workers)
+	if err != nil {
+		return err
+	}
+	return emitReport(os.Stdout, report{
+		Workers:      *workers,
+		TotalSeconds: time.Since(start).Seconds(),
+		Experiments:  timings,
+	})
+}
+
+func emitReport(w io.Writer, r report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }

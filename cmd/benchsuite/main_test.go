@@ -27,3 +27,15 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunSingleParallelFlag(t *testing.T) {
+	if err := run([]string{"-j", "2", "-run", "T2"}); err != nil {
+		t.Fatalf("run(-j 2 -run T2): %v", err)
+	}
+}
+
+func TestRunSingleJSON(t *testing.T) {
+	if err := run([]string{"-json", "-run", "T2"}); err != nil {
+		t.Fatalf("run(-json -run T2): %v", err)
+	}
+}

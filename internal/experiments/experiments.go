@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"text/tabwriter"
 )
 
@@ -22,9 +23,17 @@ type Experiment struct {
 	Run func(w io.Writer) error
 }
 
-// All returns every experiment in presentation order.
-func All() []Experiment {
-	return []Experiment{
+// registry holds the experiment list in presentation order plus an ID index.
+// It is built exactly once: All() used to rebuild the slice on every call and
+// ByID scanned it linearly, which put a few thousand allocations on the hot
+// path of every benchmark loop.
+type registry struct {
+	list []Experiment
+	byID map[string]Experiment
+}
+
+var experimentRegistry = sync.OnceValue(func() *registry {
+	list := []Experiment{
 		{ID: "T1", Title: "Topological properties of ABCCC vs existing structures", Run: T1Properties},
 		{ID: "T2", Title: "Network size vs (n, k, p)", Run: T2NetworkSize},
 		{ID: "T3", Title: "Wiring complexity (cables and ports per server)", Run: T3WiringComplexity},
@@ -54,16 +63,32 @@ func All() []Experiment {
 		{ID: "F24", Title: "Grow while serving: live expansion under the DV plane", Run: F24GrowWhileServing},
 		{ID: "F25", Title: "Latency vs offered load (Poisson arrivals, transport)", Run: F25LatencyVsLoad},
 	}
+	byID := make(map[string]Experiment, len(list))
+	for _, e := range list {
+		byID[e.ID] = e
+	}
+	return &registry{list: list, byID: byID}
+})
+
+// All returns every experiment in presentation order. The returned slice is
+// a fresh copy; callers may reorder it freely.
+func All() []Experiment {
+	reg := experimentRegistry()
+	out := make([]Experiment, len(reg.list))
+	copy(out, reg.list)
+	return out
+}
+
+// NumExperiments returns the number of registered experiments without
+// copying the registry.
+func NumExperiments() int {
+	return len(experimentRegistry().list)
 }
 
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+	e, ok := experimentRegistry().byID[id]
+	return e, ok
 }
 
 // RunAll executes every experiment, writing a titled section for each.

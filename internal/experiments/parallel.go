@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Timing records one experiment's wall clock, ready for machine-readable
+// benchmark trajectories (cmd/benchsuite -json).
+type Timing struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
+
+// RunAllParallel executes every experiment on a pool of `workers` goroutines
+// (non-positive: GOMAXPROCS), rendering each into its own buffer, and emits
+// the sections in presentation order — its output is byte-for-byte identical
+// to the serial RunAll. On failure the sections preceding (and the partial
+// section of) the first failing experiment are still written, as they would
+// be serially.
+func RunAllParallel(w io.Writer, workers int) error {
+	_, err := RunAllTimed(w, workers)
+	return err
+}
+
+// RunAllTimed is RunAllParallel returning per-experiment wall-clock timings
+// in presentation order. Timings of experiments after a failing one are
+// still measured and returned alongside the error.
+func RunAllTimed(w io.Writer, workers int) ([]Timing, error) {
+	reg := experimentRegistry()
+	n := len(reg.list)
+	bufs := make([]bytes.Buffer, n)
+	errs := make([]error, n)
+	timings := make([]Timing, n)
+
+	workers = graph.Workers(workers, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for p := 0; p < workers; p++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				e := reg.list[i]
+				start := time.Now()
+				errs[i] = RunOne(&bufs[i], e)
+				timings[i] = Timing{ID: e.ID, Title: e.Title, Seconds: time.Since(start).Seconds()}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return timings, err
+		}
+		if errs[i] != nil {
+			return timings, errs[i]
+		}
+	}
+	return timings, nil
+}

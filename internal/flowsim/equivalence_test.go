@@ -1,0 +1,195 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// workloadPaths routes a workload on a small ABCCC instance for the
+// heap-vs-reference property tests.
+func workloadPaths(t testing.TB, cfg core.Config, kind string, seed int64) (*topology.Network, []topology.Path) {
+	t.Helper()
+	tp := core.MustBuild(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	n := tp.Network().NumServers()
+	var flows []traffic.Flow
+	switch kind {
+	case "permutation":
+		flows = traffic.Permutation(n, rng)
+	case "uniform":
+		flows = traffic.Uniform(n, n, rng)
+	case "alltoall":
+		flows = traffic.AllToAll(n)
+	default:
+		t.Fatalf("unknown workload %q", kind)
+	}
+	paths, err := RoutePaths(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp.Network(), paths
+}
+
+// TestHeapMatchesReference is the equivalence property test of the tentpole
+// rewrite: on random permutation and uniform workloads (and all-to-all), the
+// heap-based active-set allocator must reproduce the reference progressive
+// filling rates within 1e-9.
+func TestHeapMatchesReference(t *testing.T) {
+	const tol = 1e-9
+	cfgs := []core.Config{
+		{N: 3, K: 1, P: 2},
+		{N: 4, K: 1, P: 3},
+		{N: 4, K: 2, P: 2},
+	}
+	for _, cfg := range cfgs {
+		for _, kind := range []string{"permutation", "uniform", "alltoall"} {
+			for seed := int64(1); seed <= 5; seed++ {
+				if kind == "alltoall" && seed > 1 {
+					continue // deterministic workload: one seed is enough
+				}
+				name := fmt.Sprintf("%v/%s/seed%d", cfg, kind, seed)
+				t.Run(name, func(t *testing.T) {
+					net, paths := workloadPaths(t, cfg, kind, seed)
+					for _, capacity := range []float64{1.0, 2.5} {
+						got, err := MaxMinFairCapacity(net, paths, capacity)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, err := referenceMaxMinFairCapacity(net, paths, capacity)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Flows != want.Flows {
+							t.Fatalf("Flows = %d, reference %d", got.Flows, want.Flows)
+						}
+						if len(got.Rates) != len(want.Rates) {
+							t.Fatalf("len(Rates) = %d, reference %d", len(got.Rates), len(want.Rates))
+						}
+						for i := range got.Rates {
+							if math.Abs(got.Rates[i]-want.Rates[i]) > tol {
+								t.Errorf("cap %.1f rate[%d] = %.12f, reference %.12f",
+									capacity, i, got.Rates[i], want.Rates[i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHeapMatchesReferenceSyntheticChains stresses the uneven-share cascades
+// (many distinct freeze levels) that a single data-center permutation rarely
+// produces: random flows over a long chain of switches.
+func TestHeapMatchesReferenceSyntheticChains(t *testing.T) {
+	const tol = 1e-9
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := topology.NewNetwork("chain")
+		const hosts = 12
+		nodes := make([]int, 0, 2*hosts-1)
+		for i := 0; i < hosts; i++ {
+			nodes = append(nodes, net.AddServer(fmt.Sprintf("s%d", i)))
+			if i < hosts-1 {
+				nodes = append(nodes, net.AddSwitch(fmt.Sprintf("sw%d", i)))
+			}
+		}
+		for i := 1; i < len(nodes); i++ {
+			if err := net.Connect(nodes[i-1], nodes[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Random sub-chain flows, including reverse direction and repeats.
+		paths := make([]topology.Path, 30)
+		for i := range paths {
+			a, b := rng.Intn(len(nodes)), rng.Intn(len(nodes))
+			if a == b {
+				b = (b + 2) % len(nodes)
+			}
+			if a > b {
+				a, b = b, a
+			}
+			p := make(topology.Path, 0, b-a+1)
+			for v := a; v <= b; v++ {
+				p = append(p, nodes[v])
+			}
+			if rng.Intn(2) == 0 { // reverse half the flows
+				for l, r := 0, len(p)-1; l < r; l, r = l+1, r-1 {
+					p[l], p[r] = p[r], p[l]
+				}
+			}
+			paths[i] = p
+		}
+		got, err := MaxMinFairCapacity(net, paths, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceMaxMinFairCapacity(net, paths, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Rates {
+			if math.Abs(got.Rates[i]-want.Rates[i]) > tol {
+				t.Errorf("seed %d rate[%d] = %.12f, reference %.12f", seed, i, got.Rates[i], want.Rates[i])
+			}
+		}
+	}
+}
+
+func benchPermutationPaths(b *testing.B, cfg core.Config) (*topology.Network, []topology.Path) {
+	b.Helper()
+	net, paths := workloadPaths(b, cfg, "permutation", 1)
+	return net, paths
+}
+
+// BenchmarkMaxMinHeap / BenchmarkMaxMinReference give the before/after view
+// of the tentpole rewrite at the benchmark configs quoted in the PR.
+func BenchmarkMaxMinHeap192(b *testing.B) {
+	net, paths := benchPermutationPaths(b, core.Config{N: 4, K: 2, P: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxMinFairCapacity(net, paths, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinReference192(b *testing.B) {
+	net, paths := benchPermutationPaths(b, core.Config{N: 4, K: 2, P: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := referenceMaxMinFairCapacity(net, paths, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinHeap1024(b *testing.B) {
+	net, paths := benchPermutationPaths(b, core.Config{N: 8, K: 2, P: 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxMinFairCapacity(net, paths, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinReference1024(b *testing.B) {
+	net, paths := benchPermutationPaths(b, core.Config{N: 8, K: 2, P: 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := referenceMaxMinFairCapacity(net, paths, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

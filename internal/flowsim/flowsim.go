@@ -67,8 +67,12 @@ func MaxMinFair(net *topology.Network, paths []topology.Path) (Assignment, error
 	return MaxMinFairCapacity(net, paths, DefaultCapacity)
 }
 
-// MaxMinFairCapacity is MaxMinFair with an explicit per-link capacity.
-func MaxMinFairCapacity(net *topology.Network, paths []topology.Path, capacity float64) (Assignment, error) {
+// referenceMaxMinFairCapacity is the original O(rounds·links) progressive
+// filling loop: every round rescans all 2·E directed resources to find the
+// next saturating link and drains all of them. It is kept as the executable
+// specification that the production heap-based MaxMinFairCapacity is tested
+// against (see maxminheap.go and the equivalence tests).
+func referenceMaxMinFairCapacity(net *topology.Network, paths []topology.Path, capacity float64) (Assignment, error) {
 	if capacity <= 0 {
 		return Assignment{}, fmt.Errorf("flowsim: capacity %f must be positive", capacity)
 	}

@@ -1,0 +1,226 @@
+package flowsim
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// MaxMinFairCapacity is MaxMinFair with an explicit per-link capacity.
+//
+// It implements progressive filling with an active set: directed link
+// resources sit in an indexed min-heap keyed by the fill level at which each
+// would saturate (level + remaining/active). Each round pops the bottleneck
+// resource, freezes its flows at that level, and lazily settles only the
+// resources those flows touch — instead of rescanning and draining all 2·E
+// resources every round. Every resource is popped at most once, so the whole
+// allocation costs O((F·L + E)·log E) for F flows of path length L rather
+// than the reference implementation's O(rounds·(E + F·L)).
+func MaxMinFairCapacity(net *topology.Network, paths []topology.Path, capacity float64) (Assignment, error) {
+	if capacity <= 0 {
+		return Assignment{}, fmt.Errorf("flowsim: capacity %f must be positive", capacity)
+	}
+	g := net.Graph()
+	numRes := 2 * g.NumEdges() // resource 2*edge+direction, as in the reference
+
+	// Flow → resource lists in CSR form: flow i uses
+	// flowRes[flowStart[i]:flowStart[i+1]].
+	flowStart := make([]int32, len(paths)+1)
+	for i, p := range paths {
+		flowStart[i+1] = flowStart[i]
+		if len(p) >= 2 {
+			flowStart[i+1] += int32(len(p) - 1)
+		}
+	}
+	flowRes := make([]int32, flowStart[len(paths)])
+	active := make([]int32, numRes)
+	for i, p := range paths {
+		if len(p) < 2 {
+			continue // zero-length flow (src == dst): infinite local rate, skip
+		}
+		idx := flowStart[i]
+		for j := 1; j < len(p); j++ {
+			e := g.EdgeBetween(p[j-1], p[j])
+			if e == -1 {
+				return Assignment{}, fmt.Errorf("flowsim: path %d hops a non-edge %s-%s",
+					i, net.Label(p[j-1]), net.Label(p[j]))
+			}
+			r := int32(2 * e)
+			if p[j-1] > p[j] {
+				r++
+			}
+			flowRes[idx] = r
+			idx++
+			active[r]++
+		}
+	}
+
+	// Resource → flow lists, also CSR (resFlows[resStart[r]:resStart[r+1]]).
+	resStart := make([]int32, numRes+1)
+	for _, r := range flowRes {
+		resStart[r+1]++
+	}
+	for r := 0; r < numRes; r++ {
+		resStart[r+1] += resStart[r]
+	}
+	resFlows := make([]int32, len(flowRes))
+	cursor := make([]int32, numRes)
+	copy(cursor, resStart[:numRes])
+	for i := range paths {
+		for _, r := range flowRes[flowStart[i]:flowStart[i+1]] {
+			resFlows[cursor[r]] = int32(i)
+			cursor[r]++
+		}
+	}
+
+	// Lazy per-resource accounting: remaining[r] is the capacity left as of
+	// fill level settledAt[r]; a resource is settled to the current level
+	// only when one of its flows freezes.
+	remaining := make([]float64, numRes)
+	settledAt := make([]float64, numRes)
+	for r := range remaining {
+		remaining[r] = capacity
+	}
+
+	h := newResourceHeap(numRes)
+	for r := 0; r < numRes; r++ {
+		if active[r] > 0 {
+			h.push(int32(r), capacity/float64(active[r]))
+		}
+	}
+
+	rates := make([]float64, len(paths))
+	frozen := make([]bool, len(paths))
+	level := 0.0
+	for h.len() > 0 {
+		r, sat := h.pop()
+		level = sat
+		for _, f := range resFlows[resStart[r]:resStart[r+1]] {
+			if frozen[f] {
+				continue
+			}
+			frozen[f] = true
+			rates[f] = level
+			for _, rr := range flowRes[flowStart[f]:flowStart[f+1]] {
+				remaining[rr] -= (level - settledAt[rr]) * float64(active[rr])
+				settledAt[rr] = level
+				active[rr]--
+				if h.pos[rr] < 0 {
+					continue // the popped bottleneck itself, or already drained
+				}
+				if active[rr] == 0 {
+					h.remove(rr)
+				} else {
+					h.update(rr, level+remaining[rr]/float64(active[rr]))
+				}
+			}
+		}
+	}
+
+	// Count allocated flows; every flow that crosses at least one finite-
+	// capacity link froze when its bottleneck was popped (guard as in the
+	// reference implementation).
+	count := 0
+	for i := range rates {
+		if flowStart[i] == flowStart[i+1] {
+			continue
+		}
+		count++
+		if !frozen[i] {
+			rates[i] = level
+		}
+	}
+	return Assignment{Rates: rates, Flows: count}, nil
+}
+
+// resourceHeap is an indexed binary min-heap of link resources keyed by
+// saturation level, supporting in-place key updates and removal by resource
+// id — the decrease/increase-key operations the active-set filling needs.
+type resourceHeap struct {
+	ids []int32   // heap order: ids[0] has the smallest key
+	key []float64 // key[r] is resource r's saturation level
+	pos []int32   // pos[r] is r's index in ids, or -1 when absent
+}
+
+func newResourceHeap(numRes int) *resourceHeap {
+	h := &resourceHeap{
+		ids: make([]int32, 0, numRes),
+		key: make([]float64, numRes),
+		pos: make([]int32, numRes),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *resourceHeap) len() int { return len(h.ids) }
+
+func (h *resourceHeap) push(r int32, k float64) {
+	h.key[r] = k
+	h.pos[r] = int32(len(h.ids))
+	h.ids = append(h.ids, r)
+	h.siftUp(len(h.ids) - 1)
+}
+
+func (h *resourceHeap) pop() (int32, float64) {
+	r := h.ids[0]
+	h.removeAt(0)
+	return r, h.key[r]
+}
+
+func (h *resourceHeap) remove(r int32) { h.removeAt(int(h.pos[r])) }
+
+func (h *resourceHeap) update(r int32, k float64) {
+	h.key[r] = k
+	i := int(h.pos[r])
+	h.siftDown(i)
+	h.siftUp(i)
+}
+
+func (h *resourceHeap) removeAt(i int) {
+	r := h.ids[i]
+	last := len(h.ids) - 1
+	h.swap(i, last)
+	h.ids = h.ids[:last]
+	h.pos[r] = -1
+	if i < last {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
+func (h *resourceHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *resourceHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.key[h.ids[parent]] <= h.key[h.ids[i]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *resourceHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.ids) && h.key[h.ids[l]] < h.key[h.ids[small]] {
+			small = l
+		}
+		if r < len(h.ids) && h.key[h.ids[r]] < h.key[h.ids[small]] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

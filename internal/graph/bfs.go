@@ -12,38 +12,73 @@ type BFSResult struct {
 	Parent []int32
 }
 
+// BFSScratch holds the reusable buffers of one breadth-first search. A
+// scratch amortizes the per-call dist/parent/queue allocations away: the
+// all-pairs metrics reuse one scratch per worker across thousands of
+// sources. A scratch must not be shared between concurrent searches.
+type BFSScratch struct {
+	dist   []int32
+	parent []int32
+	queue  []int32
+}
+
+// NewBFSScratch returns a scratch sized for an n-node graph. Scratches grow
+// on demand, so sizing is an optimization, not a requirement.
+func NewBFSScratch(n int) *BFSScratch {
+	return &BFSScratch{
+		dist:   make([]int32, n),
+		parent: make([]int32, n),
+		queue:  make([]int32, 0, n),
+	}
+}
+
+// reset grows the buffers to n nodes and marks every node unreached.
+func (s *BFSScratch) reset(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]int32, n)
+		s.parent = make([]int32, n)
+		s.queue = make([]int32, 0, n)
+	}
+	s.dist = s.dist[:n]
+	s.parent = s.parent[:n]
+	for i := range s.dist {
+		s.dist[i] = Unreachable
+		s.parent[i] = -1
+	}
+	s.queue = s.queue[:0]
+}
+
 // BFS runs a breadth-first search from src over the graph as seen through
 // view (a nil view means no failures). It returns hop distances counted in
 // edges traversed.
 func (g *Graph) BFS(src int, view *View) BFSResult {
-	res := BFSResult{
-		Source: src,
-		Dist:   make([]int32, g.NumNodes()),
-		Parent: make([]int32, g.NumNodes()),
-	}
-	for i := range res.Dist {
-		res.Dist[i] = Unreachable
-		res.Parent[i] = -1
-	}
+	return g.BFSScratched(src, view, NewBFSScratch(g.NumNodes()))
+}
+
+// BFSScratched is BFS reusing the buffers of s. The returned result aliases
+// the scratch: it is valid only until the next search with the same scratch,
+// and callers needing to retain it must copy the slices out.
+func (g *Graph) BFSScratched(src int, view *View, s *BFSScratch) BFSResult {
+	s.reset(g.NumNodes())
+	res := BFSResult{Source: src, Dist: s.dist, Parent: s.parent}
 	if src < 0 || src >= g.NumNodes() || !view.NodeUp(src) {
 		return res
 	}
-	res.Dist[src] = 0
-	queue := make([]int32, 1, g.NumNodes())
-	queue[0] = int32(src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		du := res.Dist[u]
+	s.dist[src] = 0
+	queue := append(s.queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := s.dist[u]
 		for _, h := range g.adj[u] {
-			if res.Dist[h.to] != Unreachable || !view.usable(h) {
+			if s.dist[h.to] != Unreachable || !view.usable(h) {
 				continue
 			}
-			res.Dist[h.to] = du + 1
-			res.Parent[h.to] = u
+			s.dist[h.to] = du + 1
+			s.parent[h.to] = u
 			queue = append(queue, h.to)
 		}
 	}
+	s.queue = queue[:0]
 	return res
 }
 
@@ -66,15 +101,14 @@ func (g *Graph) ShortestPath(src, dst int, view *View) []int {
 	return g.BFS(src, view).PathTo(dst)
 }
 
-// Eccentricity returns the largest finite distance from src to any node in
-// targets (or to all nodes when targets is nil), and whether every target was
-// reachable.
-func (g *Graph) Eccentricity(src int, targets []int, view *View) (int, bool) {
-	res := g.BFS(src, view)
+// Eccentricity returns the largest finite distance from the BFS source to any
+// node in targets (or to all nodes when targets is nil), and whether every
+// target was reachable.
+func (r BFSResult) Eccentricity(targets []int) (int, bool) {
 	max, all := 0, true
 	if targets == nil {
-		for v, d := range res.Dist {
-			if v == src {
+		for v, d := range r.Dist {
+			if v == r.Source {
 				continue
 			}
 			if d == Unreachable {
@@ -88,8 +122,8 @@ func (g *Graph) Eccentricity(src int, targets []int, view *View) (int, bool) {
 		return max, all
 	}
 	for _, v := range targets {
-		d := res.Dist[v]
-		if v == src {
+		d := r.Dist[v]
+		if v == r.Source {
 			continue
 		}
 		if d == Unreachable {
@@ -101,6 +135,13 @@ func (g *Graph) Eccentricity(src int, targets []int, view *View) (int, bool) {
 		}
 	}
 	return max, all
+}
+
+// Eccentricity returns the largest finite distance from src to any node in
+// targets (or to all nodes when targets is nil), and whether every target was
+// reachable.
+func (g *Graph) Eccentricity(src int, targets []int, view *View) (int, bool) {
+	return g.BFS(src, view).Eccentricity(targets)
 }
 
 // Connected reports whether every alive node is reachable from the first

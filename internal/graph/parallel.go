@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers clamps a requested worker count: non-positive means "use all
+// available parallelism" (GOMAXPROCS), and the count never exceeds the number
+// of work items.
+func Workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEachBFS runs a breadth-first search from every source, fanning the
+// sources out over `workers` goroutines (non-positive: GOMAXPROCS). Each
+// worker owns one BFSScratch, so the steady state allocates nothing per
+// source. visit is called once per source, concurrently from the worker
+// goroutines and in unspecified order; its res aliases worker-local scratch
+// and is valid only during the call. Callers keep determinism by writing
+// results into per-index slots of a pre-sized slice (the i argument is the
+// index of the source in sources).
+func (g *Graph) ForEachBFS(sources []int, view *View, workers int, visit func(i int, res BFSResult)) {
+	workers = Workers(workers, len(sources))
+	if workers == 1 {
+		s := NewBFSScratch(g.NumNodes())
+		for i, src := range sources {
+			visit(i, g.BFSScratched(src, view, s))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := NewBFSScratch(g.NumNodes())
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sources) {
+					return
+				}
+				visit(i, g.BFSScratched(sources[i], view, s))
+			}
+		}()
+	}
+	wg.Wait()
+}

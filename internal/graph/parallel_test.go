@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"testing"
+)
+
+// gridGraph builds a w×h grid with a few failed cells to exercise views.
+func gridGraph(w, h int) *Graph {
+	g := New(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.MustAddEdge(y*w+x, y*w+x+1)
+			}
+			if y+1 < h {
+				g.MustAddEdge(y*w+x, (y+1)*w+x)
+			}
+		}
+	}
+	return g
+}
+
+func TestBFSScratchedMatchesBFSAcrossReuse(t *testing.T) {
+	g := gridGraph(7, 5)
+	view := NewView(g)
+	view.FailNode(12)
+	view.FailEdge(3)
+	s := NewBFSScratch(g.NumNodes())
+	// Reuse one scratch across every source; each result must match a fresh
+	// allocation-per-call BFS.
+	for src := 0; src < g.NumNodes(); src++ {
+		want := g.BFS(src, view)
+		got := g.BFSScratched(src, view, s)
+		for v := range want.Dist {
+			if want.Dist[v] != got.Dist[v] {
+				t.Fatalf("src %d: Dist[%d] = %d, want %d", src, v, got.Dist[v], want.Dist[v])
+			}
+		}
+		if p, q := want.PathTo(g.NumNodes()-1), got.PathTo(g.NumNodes()-1); len(p) != len(q) {
+			t.Fatalf("src %d: path lengths differ: %d vs %d", src, len(q), len(p))
+		}
+	}
+}
+
+func TestBFSScratchGrowsAcrossGraphs(t *testing.T) {
+	small, big := gridGraph(2, 2), gridGraph(9, 9)
+	s := NewBFSScratch(small.NumNodes())
+	if res := small.BFSScratched(0, nil, s); res.Dist[3] != 2 {
+		t.Fatalf("small grid corner distance = %d, want 2", res.Dist[3])
+	}
+	if res := big.BFSScratched(0, nil, s); res.Dist[80] != 16 {
+		t.Fatalf("big grid corner distance = %d, want 16", res.Dist[80])
+	}
+}
+
+func TestForEachBFSMatchesSerialForEveryWorkerCount(t *testing.T) {
+	g := gridGraph(6, 6)
+	sources := make([]int, g.NumNodes())
+	for i := range sources {
+		sources[i] = i
+	}
+	want := make([]int, len(sources))
+	for i, src := range sources {
+		ecc, ok := g.Eccentricity(src, nil, nil)
+		if !ok {
+			t.Fatal("grid disconnected")
+		}
+		want[i] = ecc
+	}
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		got := make([]int, len(sources))
+		g.ForEachBFS(sources, nil, workers, func(i int, res BFSResult) {
+			ecc, ok := res.Eccentricity(nil)
+			if !ok {
+				t.Error("grid disconnected under ForEachBFS")
+			}
+			got[i] = ecc
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers %d: ecc[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	cases := []struct{ req, items, min, max int }{
+		{0, 100, 1, 1 << 20}, // GOMAXPROCS-sized, whatever the machine has
+		{-3, 5, 1, 5},
+		{8, 3, 3, 3},
+		{2, 100, 2, 2},
+		{4, 0, 1, 1},
+	}
+	for _, c := range cases {
+		got := Workers(c.req, c.items)
+		if got < c.min || got > c.max {
+			t.Errorf("Workers(%d, %d) = %d, want in [%d, %d]", c.req, c.items, got, c.min, c.max)
+		}
+	}
+}

@@ -14,20 +14,9 @@ import (
 )
 
 // DiameterLinks returns the worst-case shortest-path distance in links
-// between any two servers.
+// between any two servers. The BFS sources fan out over all CPUs.
 func DiameterLinks(net *topology.Network) (int, error) {
-	servers := net.Servers()
-	worst := 0
-	for _, src := range servers {
-		ecc, ok := net.Graph().Eccentricity(src, servers, nil)
-		if !ok {
-			return 0, fmt.Errorf("metrics: network %s is disconnected", net.Name())
-		}
-		if ecc > worst {
-			worst = ecc
-		}
-	}
-	return worst, nil
+	return diameterFrom(net, net.Servers())
 }
 
 // SampledDiameterLinks lower-bounds the diameter by running BFS from a
@@ -37,11 +26,27 @@ func SampledDiameterLinks(net *topology.Network, sample int, rng *rand.Rand) (in
 	if sample >= len(servers) {
 		return DiameterLinks(net)
 	}
+	// Draw the sources serially so the sample is reproducible for a given
+	// rng regardless of how the BFS sweep is scheduled.
+	sources := make([]int, sample)
+	for i := range sources {
+		sources[i] = servers[rng.Intn(len(servers))]
+	}
+	return diameterFrom(net, sources)
+}
+
+// diameterFrom runs the eccentricity sweep from the given BFS sources in
+// parallel and reduces deterministically over per-source slots.
+func diameterFrom(net *topology.Network, sources []int) (int, error) {
+	servers := net.Servers()
+	eccs := make([]int, len(sources))
+	ok := make([]bool, len(sources))
+	net.Graph().ForEachBFS(sources, nil, 0, func(i int, res graph.BFSResult) {
+		eccs[i], ok[i] = res.Eccentricity(servers)
+	})
 	worst := 0
-	for i := 0; i < sample; i++ {
-		src := servers[rng.Intn(len(servers))]
-		ecc, ok := net.Graph().Eccentricity(src, servers, nil)
-		if !ok {
+	for i, ecc := range eccs {
+		if !ok[i] {
 			return 0, fmt.Errorf("metrics: network %s is disconnected", net.Name())
 		}
 		if ecc > worst {
@@ -63,25 +68,37 @@ func ASPL(net *topology.Network, sample int, rng *rand.Rand) (float64, error) {
 			sources[i] = servers[rng.Intn(len(servers))]
 		}
 	}
-	isServer := make(map[int]bool, len(servers))
-	for _, s := range servers {
-		isServer[s] = true
-	}
-	var total float64
-	var count int
-	for _, src := range sources {
-		res := net.Graph().BFS(src, nil)
+	// Per-source partial sums land in per-index slots and are reduced in
+	// source order, so the result is bit-identical to the serial sweep no
+	// matter how the workers interleave.
+	totals := make([]float64, len(sources))
+	counts := make([]int, len(sources))
+	badDst := make([]int, len(sources))
+	net.Graph().ForEachBFS(sources, nil, 0, func(i int, res graph.BFSResult) {
+		badDst[i] = -1
 		for _, dst := range servers {
-			if dst == src {
+			if dst == res.Source {
 				continue
 			}
 			d := res.Dist[dst]
 			if d == graph.Unreachable {
-				return 0, fmt.Errorf("metrics: %s unreachable from %s", net.Label(dst), net.Label(src))
+				if badDst[i] == -1 {
+					badDst[i] = dst
+				}
+				continue
 			}
-			total += float64(d)
-			count++
+			totals[i] += float64(d)
+			counts[i]++
 		}
+	})
+	var total float64
+	var count int
+	for i := range sources {
+		if badDst[i] != -1 {
+			return 0, fmt.Errorf("metrics: %s unreachable from %s", net.Label(badDst[i]), net.Label(sources[i]))
+		}
+		total += totals[i]
+		count += counts[i]
 	}
 	if count == 0 {
 		return 0, nil
@@ -95,15 +112,24 @@ func AvgRoutedLength(t topology.Topology, pairs [][2]int) (avg float64, worst in
 	if len(pairs) == 0 {
 		return 0, 0, nil
 	}
-	total := 0
-	for _, pr := range pairs {
-		p, err := t.Route(pr[0], pr[1])
+	lens := make([]int, len(pairs))
+	errs := make([]error, len(pairs))
+	forEachIndex(0, len(pairs), func(_, i int) {
+		p, err := t.Route(pairs[i][0], pairs[i][1])
 		if err != nil {
-			return 0, 0, fmt.Errorf("metrics: route: %w", err)
+			errs[i] = fmt.Errorf("metrics: route: %w", err)
+			return
 		}
-		total += p.Len()
-		if p.Len() > worst {
-			worst = p.Len()
+		lens[i] = p.Len()
+	})
+	if err := firstError(errs); err != nil {
+		return 0, 0, err
+	}
+	total := 0
+	for _, l := range lens {
+		total += l
+		if l > worst {
+			worst = l
 		}
 	}
 	return float64(total) / float64(len(pairs)), worst, nil
@@ -184,16 +210,25 @@ func LinkLoadVector(net *topology.Network, paths []topology.Path) []float64 {
 // PathLengthHistogram returns counts of routed path lengths (in links) over
 // the given pairs, indexed by length.
 func PathLengthHistogram(t topology.Topology, pairs [][2]int) ([]int, error) {
-	var hist []int
-	for _, pr := range pairs {
-		p, err := t.Route(pr[0], pr[1])
+	lens := make([]int, len(pairs))
+	errs := make([]error, len(pairs))
+	forEachIndex(0, len(pairs), func(_, i int) {
+		p, err := t.Route(pairs[i][0], pairs[i][1])
 		if err != nil {
-			return nil, fmt.Errorf("metrics: route: %w", err)
+			errs[i] = fmt.Errorf("metrics: route: %w", err)
+			return
 		}
-		for p.Len() >= len(hist) {
+		lens[i] = p.Len()
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	var hist []int
+	for _, l := range lens {
+		for l >= len(hist) {
 			hist = append(hist, 0)
 		}
-		hist[p.Len()]++
+		hist[l]++
 	}
 	return hist, nil
 }
@@ -211,16 +246,34 @@ func ConnectionFailureRatio(
 	if len(pairs) == 0 {
 		return 0, 0
 	}
-	miss, disc := 0, 0
-	for _, pr := range pairs {
-		src, dst := pr[0], pr[1]
-		if !view.NodeUp(src) || !view.NodeUp(dst) || net.Graph().ShortestPath(src, dst, view) == nil {
-			disc++
-			miss++
-			continue
+	// One BFS scratch per worker: the reachability probe is the hot path of
+	// the failure sweeps and must not allocate per pair.
+	workers := graph.Workers(0, len(pairs))
+	scratch := make([]*graph.BFSScratch, workers)
+	for w := range scratch {
+		scratch[w] = graph.NewBFSScratch(net.Graph().NumNodes())
+	}
+	missed := make([]bool, len(pairs))
+	disconnected := make([]bool, len(pairs))
+	forEachIndex(workers, len(pairs), func(worker, i int) {
+		src, dst := pairs[i][0], pairs[i][1]
+		if !view.NodeUp(src) || !view.NodeUp(dst) ||
+			net.Graph().BFSScratched(src, view, scratch[worker]).Dist[dst] == graph.Unreachable {
+			disconnected[i] = true
+			missed[i] = true
+			return
 		}
 		if _, err := route(src, dst, view); err != nil {
+			missed[i] = true
+		}
+	})
+	miss, disc := 0, 0
+	for i := range pairs {
+		if missed[i] {
 			miss++
+		}
+		if disconnected[i] {
+			disc++
 		}
 	}
 	return float64(miss) / float64(len(pairs)), float64(disc) / float64(len(pairs))

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// forEachIndex runs body(worker, i) for every i in [0, n) over `workers`
+// goroutines (non-positive: GOMAXPROCS). Each worker has a stable worker id
+// in [0, workers) so callers can give workers private scratch. Work is
+// handed out dynamically, so callers must not depend on the order of calls;
+// determinism comes from writing results into per-index slots.
+func forEachIndex(workers, n int, body func(worker, i int)) {
+	workers = graph.Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// firstError returns the lowest-index non-nil error, making parallel sweeps
+// report the same failure a serial left-to-right loop would.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
