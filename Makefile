@@ -23,10 +23,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu
+	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 	$(GO) test -bench=MaxMin -benchmem -run XXX ./internal/flowsim
+	$(GO) test -bench=. -benchmem -run XXX ./internal/obs
+	$(GO) test -bench=BenchmarkRun -benchmem -run XXX ./internal/packetsim ./internal/emu
 
 check: build vet test race

@@ -8,12 +8,17 @@
 //	benchsuite -run F11   # run one experiment by ID
 //	benchsuite -list      # list experiment IDs and titles
 //	benchsuite -json      # emit per-experiment wall-clock timings as JSON
+//	benchsuite -metrics   # print an instrumentation summary after the run
+//	benchsuite -trace f   # write per-experiment progress events as JSONL
+//	benchsuite -pprof a   # serve net/http/pprof on address a during the run
 //
 // Experiments render on a worker pool (-j workers) and are emitted in
 // presentation order, so the output is identical for every -j. With -json
 // the experiment tables are discarded and a machine-readable timing report
 // is printed instead — the format committed as BENCH_*.json to track the
-// repository's performance trajectory across PRs.
+// repository's performance trajectory across PRs. The report carries a
+// provenance header (go version, GOMAXPROCS, CPU count, VCS revision,
+// timestamp) so trajectories stay comparable across machines.
 package main
 
 import (
@@ -23,41 +28,94 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// provenance identifies the machine and source revision a timing report came
+// from.
+type provenance struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Revision   string `json:"revision"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// buildProvenance stamps the current run. The revision comes from the VCS
+// metadata the Go linker embeds (absent in plain `go test` binaries, then
+// "unknown"); a locally modified tree gets a "-dirty" suffix.
+func buildProvenance() provenance {
+	rev := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if dirty && rev != "unknown" {
+			rev += "-dirty"
+		}
+	}
+	return provenance{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Revision:   rev,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
 
 // report is the -json output schema.
 type report struct {
+	Provenance   provenance           `json:"provenance"`
 	Workers      int                  `json:"workers"`
 	TotalSeconds float64              `json:"total_seconds"`
 	Experiments  []experiments.Timing `json:"experiments"`
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	var (
 		list    = fs.Bool("list", false, "list experiments and exit")
 		only    = fs.String("run", "", "run a single experiment by ID (e.g. F11)")
 		workers = fs.Int("j", runtime.NumCPU(), "render experiments on this many parallel workers")
 		asJSON  = fs.Bool("json", false, "discard tables, print per-experiment timings as JSON")
+		metrics = fs.Bool("metrics", false, "print an instrumentation summary after the run")
+		trace   = fs.String("trace", "", "write per-experiment progress events as JSONL to this file")
+		pprofFl = fs.String("pprof", "", "serve net/http/pprof on this address during the run")
 	)
+	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(w, "%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
+	}
+	if *pprofFl != "" {
+		addr, stop, err := obs.StartPprof(*pprofFl)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "benchsuite: pprof serving on http://%s/debug/pprof/\n", addr)
 	}
 	if *only != "" {
 		e, ok := experiments.ByID(*only)
@@ -65,13 +123,14 @@ func run(args []string) error {
 			return fmt.Errorf("unknown experiment %q (use -list)", *only)
 		}
 		if !*asJSON {
-			return experiments.RunOne(os.Stdout, e)
+			return experiments.RunOne(w, e)
 		}
 		start := time.Now()
 		if err := experiments.RunOne(io.Discard, e); err != nil {
 			return err
 		}
-		return emitReport(os.Stdout, report{
+		return emitReport(w, report{
+			Provenance:   buildProvenance(),
 			Workers:      1,
 			TotalSeconds: time.Since(start).Seconds(),
 			Experiments: []experiments.Timing{
@@ -79,15 +138,49 @@ func run(args []string) error {
 			},
 		})
 	}
-	if !*asJSON {
-		return experiments.RunAllParallel(os.Stdout, *workers)
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *trace != "" {
+		tracer = obs.NewTracer(0)
+	}
+
+	out := w
+	if *asJSON {
+		out = io.Discard
 	}
 	start := time.Now()
-	timings, err := experiments.RunAllTimed(io.Discard, *workers)
+	timings, err := experiments.RunAllObserved(out, *workers, reg, tracer)
 	if err != nil {
 		return err
 	}
-	return emitReport(os.Stdout, report{
+	if tracer != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		fmt.Fprintln(w, "instrumentation summary:")
+		if err := obs.WriteSummary(w, reg); err != nil {
+			return err
+		}
+	}
+	if !*asJSON {
+		return nil
+	}
+	return emitReport(w, report{
+		Provenance:   buildProvenance(),
 		Workers:      *workers,
 		TotalSeconds: time.Since(start).Seconds(),
 		Experiments:  timings,

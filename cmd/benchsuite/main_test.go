@@ -1,41 +1,138 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
 		t.Fatalf("run(-list): %v", err)
+	}
+	if !strings.Contains(buf.String(), "T2") {
+		t.Errorf("-list output missing T2:\n%s", buf.String())
 	}
 }
 
 func TestRunSingle(t *testing.T) {
-	if err := run([]string{"-run", "T2"}); err != nil {
+	if err := run([]string{"-run", "T2"}, io.Discard); err != nil {
 		t.Fatalf("run(-run T2): %v", err)
 	}
 }
 
 func TestRunUnknown(t *testing.T) {
-	if err := run([]string{"-run", "XX"}); err == nil {
+	if err := run([]string{"-run", "XX"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
 
 func TestRunSingleParallelFlag(t *testing.T) {
-	if err := run([]string{"-j", "2", "-run", "T2"}); err != nil {
+	if err := run([]string{"-j", "2", "-run", "T2"}, io.Discard); err != nil {
 		t.Fatalf("run(-j 2 -run T2): %v", err)
 	}
 }
 
 func TestRunSingleJSON(t *testing.T) {
-	if err := run([]string{"-json", "-run", "T2"}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-run", "T2"}, &buf); err != nil {
 		t.Fatalf("run(-json -run T2): %v", err)
+	}
+	var r report
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	checkProvenance(t, r.Provenance)
+}
+
+// TestJSONProvenanceHeader is the satellite contract: -json reports carry
+// enough machine context to compare BENCH_*.json trajectories across hosts.
+func TestJSONProvenanceHeader(t *testing.T) {
+	p := buildProvenance()
+	checkProvenance(t, p)
+}
+
+func checkProvenance(t *testing.T, p provenance) {
+	t.Helper()
+	if p.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", p.GoVersion, runtime.Version())
+	}
+	if p.GOMAXPROCS < 1 || p.NumCPU < 1 {
+		t.Errorf("gomaxprocs/num_cpu = %d/%d, want >= 1", p.GOMAXPROCS, p.NumCPU)
+	}
+	if p.Revision == "" {
+		t.Error("revision must never be empty (falls back to \"unknown\")")
+	}
+	ts, err := time.Parse(time.RFC3339, p.Timestamp)
+	if err != nil {
+		t.Fatalf("timestamp %q is not RFC3339: %v", p.Timestamp, err)
+	}
+	if age := time.Since(ts); age < 0 || age > time.Hour {
+		t.Errorf("timestamp %q is not recent (age %v)", p.Timestamp, age)
+	}
+}
+
+// TestFullRunWithMetricsAndTrace drives the complete observed pipeline: all
+// experiments, a progress trace on disk, and a printed metrics summary.
+func TestFullRunWithMetricsAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchsuite run; skipped with -short")
+	}
+	traceFile := filepath.Join(t.TempDir(), "progress.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-metrics", "-trace", traceFile}, &buf); err != nil {
+		t.Fatalf("run(-json -metrics -trace): %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "instrumentation summary") ||
+		!strings.Contains(out, experiments.MetricCompleted) {
+		t.Errorf("output missing metrics summary:\n%s", out)
+	}
+	if !strings.Contains(out, "\"provenance\"") {
+		t.Errorf("-json output missing provenance header:\n%s", out)
+	}
+
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every experiment contributes an exp_start and an exp_done.
+	want := 2 * experiments.NumExperiments()
+	if len(events) != want {
+		t.Fatalf("trace has %d events, want %d", len(events), want)
+	}
+	starts := map[string]bool{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case "exp_start":
+			starts[ev.Detail] = true
+		case "exp_done":
+			if !starts[ev.Detail] {
+				t.Errorf("experiment %s finished without starting", ev.Detail)
+			}
+		default:
+			t.Errorf("unexpected event kind %q", ev.Kind)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fattree"
 	"repro/internal/flowsim"
 	"repro/internal/hypercube"
+	"repro/internal/obs"
 	"repro/internal/packetsim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -47,6 +48,9 @@ func run(args []string, w io.Writer) error {
 		count   = fs.Int("count", 0, "flow count for uniform/hotspot (default: one per server)")
 		load    = fs.String("load", "", "replay a JSONL workload trace instead of -pattern")
 		save    = fs.String("save", "", "write the generated workload as a JSONL trace")
+		metrics = fs.Bool("metrics", false, "print an instrumentation summary (counters, drop causes, histograms) after the run")
+		trace   = fs.String("trace", "", "write a JSONL event trace (per-packet hops, drops, deliveries) to this file")
+		pprofFl = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -89,40 +93,85 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "%s: %d servers, %d flows (%s)\n",
 		t.Network().Name(), servers, len(flows), *pattern)
 
+	// Observability: a nil registry/tracer disables instrumentation inside
+	// the simulators; -pprof serves profiles for the duration of the run.
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *trace != "" {
+		tracer = obs.NewTracer(0)
+	}
+	if *pprofFl != "" {
+		addr, stop, err := obs.StartPprof(*pprofFl)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer stop()
+		fmt.Fprintf(w, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+
 	switch *sim {
 	case "flow":
 		paths, err := flowsim.RoutePaths(t, flows)
 		if err != nil {
 			return err
 		}
-		asg, err := flowsim.MaxMinFair(t.Network(), paths)
+		asg, err := flowsim.MaxMinFairCapacityObserved(t.Network(), paths, flowsim.DefaultCapacity, reg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "max-min fair: bottleneck rate %.4f, sum %.2f, ABT %.2f (per server %.4f)\n",
 			asg.MinRate(), asg.SumRate(), asg.ABT(), asg.ABT()/float64(servers))
-		return nil
 	case "packet":
-		res, err := packetsim.Run(t, flows, packetsim.Default())
+		cfg := packetsim.Default()
+		cfg.Metrics = reg
+		cfg.Trace = tracer
+		res, err := packetsim.Run(t, flows, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "packet sim: delivered %d, dropped %d (%.2f%%), avg latency %.1fus, p99 %.1fus, throughput %.2f Gb/s\n",
 			res.Delivered, res.Dropped, 100*res.DropRate(),
 			res.AvgLatencySec*1e6, res.P99LatencySec*1e6, res.ThroughputBps*8/1e9)
-		return nil
 	case "transport":
-		res, err := packetsim.RunTransport(t, flows, packetsim.DefaultTransport())
+		cfg := packetsim.DefaultTransport()
+		cfg.Link.Metrics = reg
+		cfg.Link.Trace = tracer
+		res, err := packetsim.RunTransport(t, flows, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "transport sim: %d/%d flows completed, %d retransmits, mean FCT %.2fms, makespan %.2fms, goodput %.2f Gb/s\n",
 			res.CompletedFlows, len(flows), res.Retransmits,
 			res.MeanFCTSec*1e3, res.MakespanSec*1e3, res.GoodputBps*8/1e9)
-		return nil
 	default:
 		return fmt.Errorf("unknown simulator %q", *sim)
 	}
+
+	if tracer != nil {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace: wrote %d events to %s (%d overwritten by ring wraparound)\n",
+			len(tracer.Events()), *trace, tracer.Dropped())
+	}
+	if reg != nil {
+		fmt.Fprintln(w, "\ninstrumentation summary:")
+		if err := obs.WriteSummary(w, reg); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func buildTopology(name string, n, k, p int) (topology.Topology, error) {

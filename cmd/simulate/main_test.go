@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunSimulations(t *testing.T) {
@@ -77,6 +81,93 @@ func TestWorkloadDefaults(t *testing.T) {
 		if err := run(args, &buf); err != nil {
 			t.Errorf("pattern %s on tiny net: %v", pattern, err)
 		}
+	}
+}
+
+// TestMetricsSummary is the acceptance contract: `-sim packet -metrics`
+// prints a drop-cause/latency-histogram summary after the run.
+func TestMetricsSummary(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-topo", "abccc", "-pattern", "alltoall", "-sim", "packet", "-metrics"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"instrumentation summary",
+		"packetsim_delivered",
+		"packetsim_dropped_droptail",
+		"packetsim_latency_ns",
+		"packetsim_queue_depth_pkts",
+		"p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsSummaryFlowAndTransport(t *testing.T) {
+	for sim, want := range map[string]string{
+		"flow":      "flowsim_rounds",
+		"transport": "transport_completed_flows",
+	} {
+		var buf bytes.Buffer
+		args := []string{"-topo", "abccc", "-pattern", "permutation", "-sim", sim, "-metrics"}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("sim %s: %v", sim, err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("sim %s summary missing %q:\n%s", sim, want, buf.String())
+		}
+	}
+}
+
+// TestHopTraceJSONL exercises -trace end to end: the written file must be
+// valid JSONL that parses back into hop events.
+func TestHopTraceJSONL(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "hops.jsonl")
+	var buf bytes.Buffer
+	args := []string{"-topo", "abccc", "-pattern", "permutation", "-sim", "packet", "-trace", traceFile}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	var delivers int
+	for _, ev := range events {
+		if ev.Kind == "deliver" {
+			delivers++
+		}
+	}
+	if delivers == 0 {
+		t.Error("trace has no deliver events")
+	}
+	if err := run([]string{"-sim", "packet", "-trace", t.TempDir() + "/nope/x.jsonl"}, &buf); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+}
+
+func TestPprofFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-topo", "abccc", "-pprof", "127.0.0.1:0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pprof: serving") {
+		t.Errorf("output missing pprof banner:\n%s", buf.String())
+	}
+	if err := run([]string{"-pprof", "256.0.0.1:bad"}, &buf); err == nil {
+		t.Error("bad pprof address accepted")
 	}
 }
 

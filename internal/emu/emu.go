@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -41,6 +43,8 @@ type options struct {
 	ttl       int
 	inboxSize int
 	failed    []int
+	metrics   *obs.Registry
+	trace     *obs.Tracer
 }
 
 type ttlOption int
@@ -66,6 +70,37 @@ func (o failedOption) apply(opts *options) { opts.failed = append(opts.failed, o
 // WithFailedNodes marks nodes as failed: they drop every message silently,
 // like powered-off hardware.
 func WithFailedNodes(nodes ...int) Option { return failedOption(nodes) }
+
+type metricsOption struct{ reg *obs.Registry }
+
+func (o metricsOption) apply(opts *options) { opts.metrics = o.reg }
+
+// WithMetrics attaches an instrumentation registry: the run records
+// per-cause drop counters, delivered/ack counters, an inbox-occupancy
+// histogram sampled at every send, and a delivered hop-count histogram (see
+// the Metric* constants). The default (nil) costs one pointer test per
+// update.
+func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg} }
+
+type traceOption struct{ tr *obs.Tracer }
+
+func (o traceOption) apply(opts *options) { opts.trace = o.tr }
+
+// WithTrace attaches an event tracer: every data packet records "hop",
+// "deliver" and per-cause "drop" events stamped with wall-clock nanoseconds
+// since the run started. Packet IDs are the flow indices.
+func WithTrace(tr *obs.Tracer) Option { return traceOption{tr} }
+
+// Instrument names registered by Run on the WithMetrics registry.
+const (
+	MetricDelivered       = "emu_delivered"
+	MetricDroppedFailed   = "emu_dropped_failed"
+	MetricDroppedTTL      = "emu_dropped_ttl"
+	MetricDroppedOverflow = "emu_dropped_overflow"
+	MetricHelloAcks       = "emu_hello_acks"
+	MetricInboxOccupancy  = "emu_inbox_occupancy_msgs"
+	MetricHops            = "emu_hops"
+)
 
 // Stats is the fully-accounted outcome of a run.
 type Stats struct {
@@ -98,11 +133,17 @@ const (
 	msgData
 )
 
+// message is the wire format between device goroutines. Fields are int32 to
+// keep the struct at 20 bytes — every node's inbox channel buffers
+// inboxSize of these, so message size directly scales the emulator's
+// boot-time allocation footprint (node ids and hop counts are far below
+// 2^31 at any buildable scale).
 type message struct {
+	from int32 // sender node (hello/ack)
+	dst  int32 // destination server (data)
+	hops int32 // switch hops so far (data)
+	id   int32 // packet id for tracing (data: the flow index)
 	kind msgKind
-	from int // sender node (hello/ack)
-	dst  int // destination server (data)
-	hops int // switch hops so far (data)
 }
 
 // emulator is the per-run state; one goroutine per node.
@@ -123,7 +164,17 @@ type emulator struct {
 
 	mu   sync.Mutex
 	hops map[int]int // delivered hop count -> packets
+
+	// Hoisted nil-able instruments (WithMetrics / WithTrace); updates are
+	// nil-check no-ops when instrumentation is off.
+	cDelivered, cFailed, cTTL, cOverflow, cAcks *obs.Counter
+	hInbox, hHops                               *obs.Histogram
+	tracer                                      *obs.Tracer
+	start                                       time.Time
 }
+
+// sinceNs stamps trace events with wall-clock time since the run booted.
+func (e *emulator) sinceNs() int64 { return int64(time.Since(e.start)) }
 
 // Run boots the network, performs the hello/ack discovery sweep, injects one
 // data packet per flow (flow endpoints index the server list), drains the
@@ -149,11 +200,20 @@ func Run(t Forwarder, flows []traffic.Flow, opts ...Option) (Stats, error) {
 	}
 
 	e := &emulator{
-		topo:   t,
-		inbox:  make([]chan message, net.Graph().NumNodes()),
-		failed: make([]bool, net.Graph().NumNodes()),
-		opts:   o,
-		hops:   make(map[int]int),
+		topo:       t,
+		inbox:      make([]chan message, net.Graph().NumNodes()),
+		failed:     make([]bool, net.Graph().NumNodes()),
+		opts:       o,
+		hops:       make(map[int]int),
+		cDelivered: o.metrics.Counter(MetricDelivered),
+		cFailed:    o.metrics.Counter(MetricDroppedFailed),
+		cTTL:       o.metrics.Counter(MetricDroppedTTL),
+		cOverflow:  o.metrics.Counter(MetricDroppedOverflow),
+		cAcks:      o.metrics.Counter(MetricHelloAcks),
+		hInbox:     o.metrics.Histogram(MetricInboxOccupancy),
+		hHops:      o.metrics.Histogram(MetricHops),
+		tracer:     o.trace,
+		start:      time.Now(),
 	}
 	for _, node := range o.failed {
 		if node < 0 || node >= len(e.failed) {
@@ -174,14 +234,14 @@ func Run(t Forwarder, flows []traffic.Flow, opts ...Option) (Stats, error) {
 			continue
 		}
 		for _, nb := range g.Neighbors(id, nil) {
-			e.send(nb, message{kind: msgHello, from: id})
+			e.send(nb, message{kind: msgHello, from: int32(id)})
 		}
 	}
 	e.inflight.Wait()
 
 	// Data phase: one packet per flow, injected at its source server.
-	for _, f := range flows {
-		e.send(servers[f.Src], message{kind: msgData, dst: servers[f.Dst]})
+	for i, f := range flows {
+		e.send(servers[f.Src], message{kind: msgData, dst: int32(servers[f.Dst]), id: int32(i)})
 	}
 	e.inflight.Wait()
 
@@ -227,14 +287,20 @@ func (e *emulator) handle(id int, m message) {
 	if e.failed[id] {
 		if m.kind == msgData {
 			e.droppedFailed.Add(1)
+			e.cFailed.Inc()
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{TimeNs: e.sinceNs(), Kind: "drop",
+					ID: int64(m.id), Node: id, Hop: int(m.hops), Detail: "failed"})
+			}
 		}
 		return
 	}
 	switch m.kind {
 	case msgHello:
-		e.send(m.from, message{kind: msgAck, from: id})
+		e.send(int(m.from), message{kind: msgAck, from: int32(id)})
 	case msgAck:
 		e.helloAcks.Add(1)
+		e.cAcks.Inc()
 	case msgData:
 		e.forward(id, m)
 	}
@@ -243,34 +309,53 @@ func (e *emulator) handle(id int, m message) {
 // forward applies the hop-by-hop policy at a live node.
 func (e *emulator) forward(id int, m message) {
 	net := e.topo.Network()
-	if net.IsServer(id) && id == m.dst {
+	if net.IsServer(id) && id == int(m.dst) {
 		e.delivered.Add(1)
+		e.cDelivered.Inc()
+		e.hHops.Observe(int64(m.hops))
+		if e.tracer != nil {
+			e.tracer.Record(obs.Event{TimeNs: e.sinceNs(), Kind: "deliver",
+				ID: int64(m.id), Node: id, Hop: int(m.hops)})
+		}
 		e.mu.Lock()
-		e.hops[m.hops]++
+		e.hops[int(m.hops)]++
 		e.mu.Unlock()
 		return
 	}
-	if m.hops >= e.opts.ttl {
+	if int(m.hops) >= e.opts.ttl {
 		e.droppedTTL.Add(1)
+		e.cTTL.Inc()
+		if e.tracer != nil {
+			e.tracer.Record(obs.Event{TimeNs: e.sinceNs(), Kind: "drop",
+				ID: int64(m.id), Node: id, Hop: int(m.hops), Detail: "ttl"})
+		}
 		return
 	}
-	next, err := e.topo.NextHop(id, m.dst)
+	next, err := e.topo.NextHop(id, int(m.dst))
 	if err != nil {
 		// Unroutable destination: impossible after Run's validation, but a
 		// real device would also discard such a packet.
 		e.droppedTTL.Add(1)
+		e.cTTL.Inc()
 		return
+	}
+	if e.tracer != nil {
+		e.tracer.Record(obs.Event{TimeNs: e.sinceNs(), Kind: "hop",
+			ID: int64(m.id), Node: id, Hop: int(m.hops)})
 	}
 	hops := m.hops
 	if !net.IsServer(id) {
 		hops++ // leaving a switch completes one switch hop
 	}
-	e.send(next, message{kind: msgData, dst: m.dst, hops: hops})
+	e.send(next, message{kind: msgData, dst: m.dst, hops: hops, id: m.id})
 }
 
 // send enqueues a message, dropping (with accounting for data packets) when
 // the receiver's inbox is full.
 func (e *emulator) send(to int, m message) {
+	if e.hInbox != nil {
+		e.hInbox.Observe(int64(len(e.inbox[to])))
+	}
 	e.inflight.Add(1)
 	select {
 	case e.inbox[to] <- m:
@@ -278,6 +363,11 @@ func (e *emulator) send(to int, m message) {
 		e.inflight.Done()
 		if m.kind == msgData {
 			e.droppedOverflow.Add(1)
+			e.cOverflow.Inc()
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{TimeNs: e.sinceNs(), Kind: "drop",
+					ID: int64(m.id), Node: to, Hop: int(m.hops), Detail: "overflow"})
+			}
 		}
 	}
 }

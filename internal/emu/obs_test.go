@@ -1,0 +1,131 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/traffic"
+)
+
+// TestChaosRunAccountedWithTracing is the satellite contract: under chaotic
+// conditions (random dead switches, starved inboxes, tight TTL) with full
+// instrumentation attached, every injected packet must still be accounted as
+// delivered or dropped, and the obs counters must agree with the Stats the
+// emulator computes internally.
+func TestChaosRunAccountedWithTracing(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(42))
+
+	for round := 0; round < 5; round++ {
+		// Kill a random third of the switches.
+		switches := net.Switches()
+		var dead []int
+		for _, sw := range switches {
+			if rng.Intn(3) == 0 {
+				dead = append(dead, sw)
+			}
+		}
+		flows := traffic.Uniform(net.NumServers(), 4*net.NumServers(), rng)
+
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(1 << 14)
+		stats, err := Run(tp, flows,
+			WithFailedNodes(dead...),
+			WithInboxSize(2), // starved inboxes force overflow drops
+			WithMetrics(reg),
+			WithTrace(tracer))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Accounted() {
+			t.Fatalf("round %d: not accounted: %+v", round, stats)
+		}
+		if stats.Injected != len(flows) {
+			t.Fatalf("round %d: injected %d, want %d", round, stats.Injected, len(flows))
+		}
+
+		// The registry must mirror the internal accounting exactly.
+		for name, want := range map[string]int{
+			MetricDelivered:       stats.Delivered,
+			MetricDroppedFailed:   stats.DroppedFailed,
+			MetricDroppedTTL:      stats.DroppedTTL,
+			MetricDroppedOverflow: stats.DroppedOverflow,
+			MetricHelloAcks:       stats.HelloAcks,
+		} {
+			if got := reg.Counter(name).Value(); got != int64(want) {
+				t.Errorf("round %d: %s = %d, want %d", round, name, got, want)
+			}
+		}
+		if got := reg.Histogram(MetricHops).Snapshot().Count; got != int64(stats.Delivered) {
+			t.Errorf("round %d: hop histogram count %d, want %d", round, got, stats.Delivered)
+		}
+
+		// Trace events must cover every terminal outcome (the ring is sized
+		// not to wrap; verify that assumption holds).
+		if tracer.Dropped() != 0 {
+			t.Fatalf("round %d: trace ring wrapped; enlarge for this test", round)
+		}
+		terminal := map[string]int{}
+		for _, ev := range tracer.Events() {
+			if ev.Kind == "deliver" || ev.Kind == "drop" {
+				terminal[ev.Kind]++
+			}
+		}
+		wantTerminal := stats.Delivered + stats.DroppedFailed + stats.DroppedTTL + stats.DroppedOverflow
+		if got := terminal["deliver"] + terminal["drop"]; got != wantTerminal {
+			t.Errorf("round %d: %d terminal trace events, want %d", round, got, wantTerminal)
+		}
+	}
+}
+
+// TestRunStatsUnchangedByInstrumentation pins that attaching obs does not
+// perturb the emulator's observable accounting on a healthy network.
+func TestRunStatsUnchangedByInstrumentation(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(5))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+
+	plain, err := Run(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	instrumented, err := Run(tp, flows, WithMetrics(reg), WithTrace(obs.NewTracer(1<<14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivery on a healthy network is deterministic even though message
+	// interleaving is not.
+	if plain.Delivered != instrumented.Delivered || plain.HelloAcks != instrumented.HelloAcks {
+		t.Errorf("instrumentation changed accounting: %+v vs %+v", plain, instrumented)
+	}
+	occ := reg.Histogram(MetricInboxOccupancy).Snapshot()
+	if occ.Count == 0 {
+		t.Error("inbox occupancy histogram recorded nothing")
+	}
+}
+
+func benchEmuRun(b *testing.B, opts ...Option) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := Run(tp, flows, opts...)
+		if err != nil || !stats.Accounted() {
+			b.Fatalf("stats %+v err %v", stats, err)
+		}
+	}
+}
+
+// BenchmarkRunInstrumentationOff is the emulator hot path with telemetry
+// disabled; compare against BenchmarkRunMetrics for the enabled cost.
+func BenchmarkRunInstrumentationOff(b *testing.B) { benchEmuRun(b) }
+
+func BenchmarkRunMetrics(b *testing.B) {
+	benchEmuRun(b, WithMetrics(obs.NewRegistry()))
+}

@@ -8,6 +8,16 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Instrument names registered by RunAllObserved.
+const (
+	// MetricCompleted and MetricFailed count finished experiments.
+	MetricCompleted = "experiments_completed"
+	MetricFailed    = "experiments_failed"
+	// MetricExperimentNs is a histogram of per-experiment wall clock.
+	MetricExperimentNs = "experiment_wall_ns"
 )
 
 // Timing records one experiment's wall clock, ready for machine-readable
@@ -33,11 +43,27 @@ func RunAllParallel(w io.Writer, workers int) error {
 // in presentation order. Timings of experiments after a failing one are
 // still measured and returned alongside the error.
 func RunAllTimed(w io.Writer, workers int) ([]Timing, error) {
+	return RunAllObserved(w, workers, nil, nil)
+}
+
+// RunAllObserved is RunAllTimed with live instrumentation: each experiment
+// records "exp_start"/"exp_done" ("exp_fail" on error) events into tr —
+// stamped with wall-clock nanoseconds since the call started, ID = registry
+// index, Detail = experiment ID — and completion counters plus a wall-clock
+// histogram into m (see the Metric* constants). The per-experiment seconds
+// come from the same clock the Timing machinery reports, so the trace and
+// the -json timings agree. Both m and tr may be nil.
+func RunAllObserved(w io.Writer, workers int, m *obs.Registry, tr *obs.Tracer) ([]Timing, error) {
 	reg := experimentRegistry()
 	n := len(reg.list)
 	bufs := make([]bytes.Buffer, n)
 	errs := make([]error, n)
 	timings := make([]Timing, n)
+
+	cCompleted := m.Counter(MetricCompleted)
+	cFailed := m.Counter(MetricFailed)
+	hWall := m.Histogram(MetricExperimentNs)
+	began := time.Now()
 
 	workers = graph.Workers(workers, n)
 	var next atomic.Int64
@@ -52,9 +78,26 @@ func RunAllTimed(w io.Writer, workers int) ([]Timing, error) {
 					return
 				}
 				e := reg.list[i]
+				if tr != nil {
+					tr.Record(obs.Event{TimeNs: int64(time.Since(began)), Kind: "exp_start",
+						ID: int64(i), Node: -1, Detail: e.ID})
+				}
 				start := time.Now()
 				errs[i] = RunOne(&bufs[i], e)
-				timings[i] = Timing{ID: e.ID, Title: e.Title, Seconds: time.Since(start).Seconds()}
+				elapsed := time.Since(start)
+				timings[i] = Timing{ID: e.ID, Title: e.Title, Seconds: elapsed.Seconds()}
+				hWall.Observe(int64(elapsed))
+				kind := "exp_done"
+				if errs[i] != nil {
+					kind = "exp_fail"
+					cFailed.Inc()
+				} else {
+					cCompleted.Inc()
+				}
+				if tr != nil {
+					tr.Record(obs.Event{TimeNs: int64(time.Since(began)), Kind: kind,
+						ID: int64(i), Node: -1, Detail: e.ID})
+				}
 			}
 		}()
 	}

@@ -3,7 +3,20 @@ package flowsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
+)
+
+// Instrument names registered by MaxMinFairCapacityObserved.
+const (
+	// MetricRounds counts progressive-filling rounds (bottleneck pops).
+	MetricRounds = "flowsim_rounds"
+	// MetricHeapUpdates counts saturation-key updates on the resource heap.
+	MetricHeapUpdates = "flowsim_heap_updates"
+	// MetricHeapRemoves counts resources drained from the heap early.
+	MetricHeapRemoves = "flowsim_heap_removes"
+	// MetricFlowsFrozen counts flows frozen at their bottleneck level.
+	MetricFlowsFrozen = "flowsim_flows_frozen"
 )
 
 // MaxMinFairCapacity is MaxMinFair with an explicit per-link capacity.
@@ -17,6 +30,14 @@ import (
 // allocation costs O((F·L + E)·log E) for F flows of path length L rather
 // than the reference implementation's O(rounds·(E + F·L)).
 func MaxMinFairCapacity(net *topology.Network, paths []topology.Path, capacity float64) (Assignment, error) {
+	return MaxMinFairCapacityObserved(net, paths, capacity, nil)
+}
+
+// MaxMinFairCapacityObserved is MaxMinFairCapacity recording allocator work
+// metrics — filling rounds, heap updates/removals, frozen flows (see the
+// Metric* constants) — into m. Tallies accumulate in locals and are flushed
+// once at the end, so a nil m costs nothing on the allocation hot path.
+func MaxMinFairCapacityObserved(net *topology.Network, paths []topology.Path, capacity float64, m *obs.Registry) (Assignment, error) {
 	if capacity <= 0 {
 		return Assignment{}, fmt.Errorf("flowsim: capacity %f must be positive", capacity)
 	}
@@ -92,15 +113,18 @@ func MaxMinFairCapacity(net *topology.Network, paths []topology.Path, capacity f
 	rates := make([]float64, len(paths))
 	frozen := make([]bool, len(paths))
 	level := 0.0
+	var rounds, heapUpdates, heapRemoves, flowsFrozen int64
 	for h.len() > 0 {
 		r, sat := h.pop()
 		level = sat
+		rounds++
 		for _, f := range resFlows[resStart[r]:resStart[r+1]] {
 			if frozen[f] {
 				continue
 			}
 			frozen[f] = true
 			rates[f] = level
+			flowsFrozen++
 			for _, rr := range flowRes[flowStart[f]:flowStart[f+1]] {
 				remaining[rr] -= (level - settledAt[rr]) * float64(active[rr])
 				settledAt[rr] = level
@@ -110,11 +134,19 @@ func MaxMinFairCapacity(net *topology.Network, paths []topology.Path, capacity f
 				}
 				if active[rr] == 0 {
 					h.remove(rr)
+					heapRemoves++
 				} else {
 					h.update(rr, level+remaining[rr]/float64(active[rr]))
+					heapUpdates++
 				}
 			}
 		}
+	}
+	if m != nil {
+		m.Counter(MetricRounds).Add(rounds)
+		m.Counter(MetricHeapUpdates).Add(heapUpdates)
+		m.Counter(MetricHeapRemoves).Add(heapRemoves)
+		m.Counter(MetricFlowsFrozen).Add(flowsFrozen)
 	}
 
 	// Count allocated flows; every flow that crosses at least one finite-

@@ -1,0 +1,58 @@
+package flowsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/traffic"
+)
+
+// TestObservedAllocationMatchesPlain pins that attaching a registry changes
+// nothing about the allocation itself, and that the allocator-work counters
+// are self-consistent.
+func TestObservedAllocationMatchesPlain(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(9))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	paths, err := RoutePaths(tp, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := MaxMinFairCapacity(tp.Network(), paths, DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	observed, err := MaxMinFairCapacityObserved(tp.Network(), paths, DefaultCapacity, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Rates) != len(observed.Rates) || plain.Flows != observed.Flows {
+		t.Fatalf("observed allocation differs: %+v vs %+v", plain, observed)
+	}
+	for i := range plain.Rates {
+		if plain.Rates[i] != observed.Rates[i] {
+			t.Fatalf("rate %d differs: %f vs %f", i, plain.Rates[i], observed.Rates[i])
+		}
+	}
+
+	rounds := reg.Counter(MetricRounds).Value()
+	frozen := reg.Counter(MetricFlowsFrozen).Value()
+	if rounds < 1 {
+		t.Error("no filling rounds recorded")
+	}
+	if frozen > int64(observed.Flows) {
+		t.Errorf("froze %d flows, only %d allocated", frozen, observed.Flows)
+	}
+	// Progressive filling freezes every allocated flow at most once; flows
+	// that never meet a saturated link are settled by the final-level guard.
+	if frozen < 1 {
+		t.Error("no flows frozen on a loaded network")
+	}
+	if reg.Counter(MetricHeapUpdates).Value() == 0 && reg.Counter(MetricHeapRemoves).Value() == 0 {
+		t.Error("no heap operations recorded")
+	}
+}

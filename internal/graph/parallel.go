@@ -4,6 +4,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Instrument names registered by ForEachBFSObserved.
+const (
+	// MetricBFSSources counts BFS sources processed.
+	MetricBFSSources = "graph_bfs_sources"
+	// MetricBFSWorkers counts worker goroutines launched.
+	MetricBFSWorkers = "graph_bfs_workers"
+	// MetricWorkerItems is a histogram of per-worker item counts — with
+	// dynamic work-stealing hand-out, a tight distribution means even
+	// utilization, a wide one means stragglers hogged the queue.
+	MetricWorkerItems = "graph_bfs_worker_items"
 )
 
 // Workers clamps a requested worker count: non-positive means "use all
@@ -32,12 +46,24 @@ func Workers(requested, items int) int {
 // results into per-index slots of a pre-sized slice (the i argument is the
 // index of the source in sources).
 func (g *Graph) ForEachBFS(sources []int, view *View, workers int, visit func(i int, res BFSResult)) {
+	g.ForEachBFSObserved(sources, view, workers, nil, visit)
+}
+
+// ForEachBFSObserved is ForEachBFS recording driver utilization into m:
+// sources processed, workers launched, and a per-worker item-count histogram
+// (see the Metric* constants). Per-worker tallies stay in locals until the
+// worker exits, so a nil m adds nothing to the per-source cost.
+func (g *Graph) ForEachBFSObserved(sources []int, view *View, workers int, m *obs.Registry, visit func(i int, res BFSResult)) {
 	workers = Workers(workers, len(sources))
+	m.Counter(MetricBFSSources).Add(int64(len(sources)))
+	m.Counter(MetricBFSWorkers).Add(int64(workers))
+	hItems := m.Histogram(MetricWorkerItems)
 	if workers == 1 {
 		s := NewBFSScratch(g.NumNodes())
 		for i, src := range sources {
 			visit(i, g.BFSScratched(src, view, s))
 		}
+		hItems.Observe(int64(len(sources)))
 		return
 	}
 	var next atomic.Int64
@@ -47,11 +73,14 @@ func (g *Graph) ForEachBFS(sources []int, view *View, workers int, visit func(i 
 		go func() {
 			defer wg.Done()
 			s := NewBFSScratch(g.NumNodes())
+			var items int64
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(sources) {
+					hItems.Observe(items)
 					return
 				}
+				items++
 				visit(i, g.BFSScratched(sources[i], view, s))
 			}
 		}()

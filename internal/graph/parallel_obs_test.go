@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestForEachBFSObservedUtilization checks the worker-utilization
+// instrumentation of the parallel BFS driver: every source is counted, every
+// worker reports its item tally, and the tallies sum back to the source
+// count.
+func TestForEachBFSObservedUtilization(t *testing.T) {
+	g := gridGraph(8, 8)
+	sources := make([]int, g.NumNodes())
+	for i := range sources {
+		sources[i] = i
+	}
+	for _, workers := range []int{1, 3, 0} {
+		reg := obs.NewRegistry()
+		var visited atomic.Int64
+		g.ForEachBFSObserved(sources, nil, workers, reg, func(i int, res BFSResult) {
+			visited.Add(1)
+			if res.Dist[sources[i]] != 0 {
+				t.Errorf("source %d has nonzero self-distance", sources[i])
+			}
+		})
+		if visited.Load() != int64(len(sources)) {
+			t.Fatalf("workers=%d: visited %d sources, want %d", workers, visited.Load(), len(sources))
+		}
+		if got := reg.Counter(MetricBFSSources).Value(); got != int64(len(sources)) {
+			t.Errorf("workers=%d: %s = %d, want %d", workers, MetricBFSSources, got, len(sources))
+		}
+		items := reg.Histogram(MetricWorkerItems).Snapshot()
+		launched := reg.Counter(MetricBFSWorkers).Value()
+		if items.Count != launched {
+			t.Errorf("workers=%d: %d worker tallies from %d workers", workers, items.Count, launched)
+		}
+		if items.Sum != int64(len(sources)) {
+			t.Errorf("workers=%d: worker items sum to %d, want %d", workers, items.Sum, len(sources))
+		}
+	}
+}
+
+// TestForEachBFSNilRegistry pins that the unobserved entry point still works
+// (the instrumented driver with a nil registry is the production path).
+func TestForEachBFSNilRegistry(t *testing.T) {
+	g := gridGraph(4, 4)
+	sources := []int{0, 5, 15}
+	var visited atomic.Int64
+	g.ForEachBFS(sources, nil, 2, func(i int, res BFSResult) { visited.Add(1) })
+	if visited.Load() != int64(len(sources)) {
+		t.Fatalf("visited %d, want %d", visited.Load(), len(sources))
+	}
+}

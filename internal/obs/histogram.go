@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers bucket 0 (values <= 0) plus one bucket per bit position
+// of a positive int64 (bits.Len64 of a positive int64 is 1..63).
+const numBuckets = 64
+
+// Histogram is a lock-free histogram with power-of-two bucket boundaries:
+// bucket 0 counts non-positive observations and bucket i (i >= 1) counts
+// values in [2^(i-1), 2^i - 1]. Observations are a couple of atomic adds —
+// no locks, no allocation — so it is safe and cheap to update from many
+// goroutines on a hot path. A nil *Histogram discards observations.
+//
+// Power-of-two buckets give a fixed 64-slot footprint over the whole int64
+// range with at most a 2x relative quantile error, which is plenty for the
+// latency/occupancy distributions the simulators record (values are expected
+// in a unit-suffixed scale such as nanoseconds or packets).
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLowerBound returns the smallest value in bucket i.
+func BucketLowerBound(i int) int64 {
+	if i <= 0 {
+		return math.MinInt64
+	}
+	return 1 << (i - 1)
+}
+
+// BucketUpperBound returns the largest value in bucket i.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Bucket is one non-empty histogram bucket: Count observations fell in the
+// value range [Lo, Hi].
+type Bucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count, Sum, Min, Max int64
+	Buckets              []Bucket
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) from the
+// bucket boundaries: the upper edge of the bucket containing the q-th
+// observation, clamped to the observed maximum. Empty histograms return 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			if b.Hi > s.Max {
+				return s.Max
+			}
+			return b.Hi
+		}
+	}
+	return s.Max
+}
+
+// Snapshot copies the histogram's current state. Safe to call concurrently
+// with writers; per-field reads are atomic, so totals can be transiently
+// off-by-a-few relative to the buckets while writers are mid-flight.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo := BucketLowerBound(i)
+		hi := BucketUpperBound(i)
+		if s.Count > 0 {
+			if lo < s.Min {
+				lo = s.Min
+			}
+			if hi > s.Max {
+				hi = s.Max
+			}
+		}
+		s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return s
+}

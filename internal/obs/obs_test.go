@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	var tr *Tracer
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(42)
+	tr.Record(Event{Kind: "hop"})
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	if hs := h.Snapshot(); hs.Count != 0 {
+		t.Error("nil histogram must snapshot empty")
+	}
+	if tr.Recorded() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer must read empty")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry must snapshot empty")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Errorf("counter = %d, want 10", got)
+	}
+	if r.Counter("pkts") != c {
+		t.Error("same name must return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Add(3)
+	g.Add(-6)
+	if g.Value() != 2 || g.Max() != 8 {
+		t.Errorf("gauge value/max = %d/%d, want 2/8", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	if mean := s.Mean(); math.Abs(mean-500.5) > 1e-9 {
+		t.Errorf("mean = %f, want 500.5", mean)
+	}
+	// Power-of-two buckets bound each quantile estimate by the next power of
+	// two above the true quantile.
+	if q := s.Quantile(0.5); q < 500 || q > 1023 {
+		t.Errorf("p50 = %d, want within [500, 1023]", q)
+	}
+	if q := s.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 = %d, want clamped to max 1000", q)
+	}
+	if q := s.Quantile(0.0); q < 1 {
+		t.Errorf("p0 = %d, want >= 1", q)
+	}
+	total := int64(0)
+	last := int64(math.MinInt64)
+	for _, b := range s.Buckets {
+		if b.Lo > b.Hi || b.Lo <= last {
+			t.Errorf("bucket [%d,%d] out of order", b.Lo, b.Hi)
+		}
+		last = b.Hi
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestHistogramNonPositiveValues(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	h.Observe(0)
+	h.Observe(7)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Min != -5 || s.Max != 7 || s.Sum != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("want 2 buckets (non-positive, [4,7]), got %+v", s.Buckets)
+	}
+	if s.Buckets[0].Count != 2 || s.Buckets[0].Hi != 0 {
+		t.Errorf("non-positive bucket = %+v", s.Buckets[0])
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{TimeNs: int64(i), Kind: "hop", ID: int64(i)})
+	}
+	if tr.Recorded() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("recorded/dropped = %d/%d, want 10/6", tr.Recorded(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.ID != int64(6+i) {
+			t.Errorf("event %d has ID %d, want %d (oldest-first)", i, ev.ID, 6+i)
+		}
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	want := []Event{
+		{TimeNs: 100, Kind: "hop", ID: 1, Node: 0, Hop: 0},
+		{TimeNs: 250, Kind: "hop", ID: 1, Node: 3, Hop: 1, Detail: "queued"},
+		{TimeNs: 300, Kind: "drop", ID: 2, Node: 5, Hop: 2, Detail: "droptail"},
+	}
+	for _, ev := range want {
+		tr.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-tripped %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := ReadEvents(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no instruments") {
+		t.Errorf("empty summary = %q", buf.String())
+	}
+	r := NewRegistry()
+	r.Counter("drops").Add(3)
+	r.Gauge("inflight").Set(7)
+	r.Histogram("latency_ns").Observe(1500)
+	buf.Reset()
+	if err := WriteSummary(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drops", "3", "inflight", "7", "latency_ns", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStartPprof(t *testing.T) {
+	addr, stop, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+}

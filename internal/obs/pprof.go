@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves net/http/pprof profiling endpoints on addr (host:port;
+// use port 0 for an ephemeral port) for the duration of a run. It returns
+// the bound address and a stop function that shuts the server down. Only the
+// /debug/pprof/ endpoints are exposed — the handler is an explicit mux, not
+// http.DefaultServeMux.
+func StartPprof(addr string) (boundAddr string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersAndSnapshots hammers one registry from many writer
+// goroutines while a reader snapshots continuously — the contract that makes
+// obs safe to wire into the goroutine-per-device emulator and the parallel
+// experiment pool. Run under -race (make race) this is the detector's meal.
+func TestConcurrentWritersAndSnapshots(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	r := NewRegistry()
+	tr := NewTracer(256)
+	done := make(chan struct{})
+
+	// Reader: snapshot registry, histogram quantiles, tracer, and the
+	// summary sink while writers are live.
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			for _, h := range s.Histograms {
+				_ = h.Snapshot.Quantile(0.99)
+			}
+			_ = tr.Events()
+			_ = WriteSummary(io.Discard, r)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("ops")
+			ga := r.Gauge("depth")
+			h := r.Histogram("lat_ns")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(int64(g*perG + i))
+				tr.Record(Event{TimeNs: int64(i), Kind: "hop", ID: int64(g)})
+				ga.Add(-1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	readerWG.Wait()
+
+	if got := r.Counter("ops").Value(); got != writers*perG {
+		t.Errorf("ops counter = %d, want %d", got, writers*perG)
+	}
+	if got := r.Histogram("lat_ns").Snapshot().Count; got != writers*perG {
+		t.Errorf("histogram count = %d, want %d", got, writers*perG)
+	}
+	if got := r.Gauge("depth").Value(); got != 0 {
+		t.Errorf("depth gauge = %d, want 0 after balanced adds", got)
+	}
+	if got := tr.Recorded(); got != writers*perG {
+		t.Errorf("tracer recorded %d, want %d", got, writers*perG)
+	}
+}

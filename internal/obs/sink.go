@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteSummary renders a human-readable table of every instrument in the
+// registry: counters and gauges with their values, histograms with count,
+// mean, bucket-estimated quantiles, and extrema. An empty (or nil) registry
+// writes a single placeholder line so callers can always print the section.
+func WriteSummary(w io.Writer, r *Registry) error {
+	s := r.Snapshot()
+	if len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0 {
+		_, err := fmt.Fprintln(w, "(no instruments recorded)")
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, c := range s.Counters {
+			fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue\tmax")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(tw, "%s\t%d\t%d\n", g.Name, g.Value, g.Max)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp90\tp99\tmin\tmax")
+		for _, h := range s.Histograms {
+			hs := h.Snapshot
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%d\t%d\t%d\t%d\n",
+				h.Name, hs.Count, hs.Mean(),
+				hs.Quantile(0.50), hs.Quantile(0.90), hs.Quantile(0.99),
+				hs.Min, hs.Max)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one trace record: a packet (or flow, or experiment) doing
+// something at a node at a point in time. Time is an int64 nanosecond value
+// whose epoch the producer chooses — simulators stamp simulated time,
+// real-time components stamp time since run start — so traces stay
+// deterministic where the producer is.
+type Event struct {
+	// TimeNs is the event time in nanoseconds (producer-defined epoch).
+	TimeNs int64 `json:"t_ns"`
+	// Kind names the event, e.g. "hop", "deliver", "drop", "exp_start".
+	Kind string `json:"kind"`
+	// ID identifies the traced entity (packet, flow, experiment index).
+	ID int64 `json:"id"`
+	// Node is the node at which the event happened (-1 when not applicable).
+	Node int `json:"node"`
+	// Hop is the entity's hop index at the event (0 at the source).
+	Hop int `json:"hop"`
+	// Detail is an optional free-form annotation (e.g. a drop cause).
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultTracerCapacity is the ring size used when NewTracer is given a
+// non-positive capacity: 64k events, about 4 MiB.
+const DefaultTracerCapacity = 1 << 16
+
+// Tracer records events into a fixed-capacity ring buffer: recording never
+// allocates and never blocks on I/O, and once the ring is full the oldest
+// events are overwritten (Dropped reports how many). A nil *Tracer discards
+// events, so the disabled path is a single pointer test. Recording takes a
+// short mutex — event recording is orders of magnitude rarer than counter
+// updates, and the mutex keeps snapshots exact.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	total uint64
+}
+
+// NewTracer returns a tracer holding the most recent `capacity` events
+// (DefaultTracerCapacity when non-positive).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.total%uint64(len(t.ring))] = ev
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recorded returns the total number of events recorded, including any that
+// have since been overwritten.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many recorded events were overwritten by wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total <= uint64(len(t.ring)) {
+		return 0
+	}
+	return t.total - uint64(len(t.ring))
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	capacity := uint64(len(t.ring))
+	if n <= capacity {
+		out := make([]Event, n)
+		copy(out, t.ring[:n])
+		return out
+	}
+	out := make([]Event, capacity)
+	start := n % capacity
+	copy(out, t.ring[start:])
+	copy(out[capacity-start:], t.ring[:start])
+	return out
+}
+
+// WriteJSONL writes the retained events as JSON Lines, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("obs: write trace event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEvents parses a JSON Lines trace back into events, the inverse of
+// WriteJSONL.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for i := 0; ; i++ {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: read trace event %d: %w", i, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

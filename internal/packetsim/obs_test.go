@@ -1,0 +1,202 @@
+package packetsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/traffic"
+)
+
+// TestTraceRoundTripMonotone emits a packetsim hop trace, serializes it to
+// JSONL, re-parses it, and verifies that per-packet hop indices increase one
+// at a time and timestamps are monotone — the satellite contract that makes
+// -trace output trustworthy for latency forensics.
+func TestTraceRoundTripMonotone(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(7))
+	flows := traffic.Uniform(tp.Network().NumServers(), 32, rng)
+
+	cfg := Default()
+	cfg.Trace = obs.NewTracer(1 << 20) // big enough that nothing wraps
+	cfg.Metrics = obs.NewRegistry()
+	res, err := Run(tp, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Trace.Dropped() != 0 {
+		t.Fatalf("ring wrapped (%d dropped); enlarge the tracer", cfg.Trace.Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events traced")
+	}
+
+	// Global order: the simulator pops events in time order, so the trace
+	// itself must be time-sorted.
+	for i := 1; i < len(events); i++ {
+		if events[i].TimeNs < events[i-1].TimeNs {
+			t.Fatalf("trace not globally time-ordered at %d: %d < %d",
+				i, events[i].TimeNs, events[i-1].TimeNs)
+		}
+	}
+
+	// Per-packet order: hops advance one at a time from 0, timestamps are
+	// monotone, and a packet's trace ends in exactly one deliver or drop.
+	type pktState struct {
+		nextHop int
+		lastT   int64
+		ended   bool
+	}
+	perPkt := map[int64]*pktState{}
+	var delivered, dropped int
+	for i, ev := range events {
+		ps, ok := perPkt[ev.ID]
+		if !ok {
+			ps = &pktState{lastT: -1 << 62}
+			perPkt[ev.ID] = ps
+		}
+		if ps.ended {
+			t.Fatalf("event %d: packet %d continues after its terminal event", i, ev.ID)
+		}
+		if ev.TimeNs < ps.lastT {
+			t.Fatalf("event %d: packet %d time went backwards (%d < %d)", i, ev.ID, ev.TimeNs, ps.lastT)
+		}
+		ps.lastT = ev.TimeNs
+		switch ev.Kind {
+		case "hop":
+			if ev.Hop != ps.nextHop {
+				t.Fatalf("event %d: packet %d at hop %d, want %d", i, ev.ID, ev.Hop, ps.nextHop)
+			}
+			ps.nextHop++
+		case "deliver":
+			if ev.Hop != ps.nextHop {
+				t.Fatalf("event %d: packet %d delivered at hop %d, want %d", i, ev.ID, ev.Hop, ps.nextHop)
+			}
+			ps.ended = true
+			delivered++
+		case "drop":
+			if ev.Detail != "droptail" {
+				t.Errorf("event %d: drop cause %q, want droptail", i, ev.Detail)
+			}
+			ps.ended = true
+			dropped++
+		default:
+			t.Fatalf("event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	for id, ps := range perPkt {
+		if !ps.ended {
+			t.Errorf("packet %d trace never reached a terminal event", id)
+		}
+	}
+
+	// The trace and the result must tell the same story, and the metrics
+	// registry must agree with both.
+	if delivered != res.Delivered || dropped != res.Dropped {
+		t.Errorf("trace saw %d/%d delivered/dropped, result says %d/%d",
+			delivered, dropped, res.Delivered, res.Dropped)
+	}
+	if got := cfg.Metrics.Counter(MetricDelivered).Value(); got != int64(res.Delivered) {
+		t.Errorf("metrics delivered = %d, result %d", got, res.Delivered)
+	}
+	if got := cfg.Metrics.Counter(MetricDroppedTail).Value(); got != int64(res.Dropped) {
+		t.Errorf("metrics dropped = %d, result %d", got, res.Dropped)
+	}
+	if got := cfg.Metrics.Histogram(MetricLatencyNs).Snapshot().Count; got != int64(res.Delivered) {
+		t.Errorf("latency histogram count = %d, want %d", got, res.Delivered)
+	}
+}
+
+// TestRunMetricsMatchResultUnderOverload checks the counters against the
+// Result on a workload that actually drops packets.
+func TestRunMetricsMatchResultUnderOverload(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	servers := tp.Network().NumServers()
+	rng := rand.New(rand.NewSource(3))
+	flows, err := traffic.Incast(servers, 0, servers-1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.QueueLimitPackets = 4 // tiny buffers force drop-tail losses
+	cfg.Metrics = obs.NewRegistry()
+	res, err := Run(tp, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("overload scenario dropped nothing; tighten the queue")
+	}
+	if got := cfg.Metrics.Counter(MetricDroppedTail).Value(); got != int64(res.Dropped) {
+		t.Errorf("drop counter = %d, result %d", got, res.Dropped)
+	}
+	qs := cfg.Metrics.Histogram(MetricQueueDepth).Snapshot()
+	if qs.Count == 0 || qs.Max < int64(cfg.QueueLimitPackets) {
+		t.Errorf("queue-depth histogram %+v should have seen the full queue", qs)
+	}
+}
+
+// TestRunIdenticalWithAndWithoutInstrumentation pins the zero-interference
+// contract: attaching metrics and tracing must not change simulation output.
+func TestRunIdenticalWithAndWithoutInstrumentation(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(11))
+	flows := traffic.Uniform(tp.Network().NumServers(), 64, rng)
+
+	plain, err := Run(tp, flows, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Trace = obs.NewTracer(1 << 10)
+	instrumented, err := Run(tp, flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != instrumented {
+		t.Errorf("instrumentation changed the result:\nplain        %+v\ninstrumented %+v", plain, instrumented)
+	}
+}
+
+func benchRun(b *testing.B, cfg Config) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Uniform(tp.Network().NumServers(), 16, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tp, flows, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunInstrumentationOff is the hot path every uninstrumented caller
+// pays; compare against BenchmarkRunMetrics/BenchmarkRunTraced for the cost
+// of turning telemetry on (see README "Observability" for recorded numbers).
+func BenchmarkRunInstrumentationOff(b *testing.B) { benchRun(b, Default()) }
+
+func BenchmarkRunMetrics(b *testing.B) {
+	cfg := Default()
+	cfg.Metrics = obs.NewRegistry()
+	benchRun(b, cfg)
+}
+
+func BenchmarkRunTraced(b *testing.B) {
+	cfg := Default()
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Trace = obs.NewTracer(0)
+	benchRun(b, cfg)
+}

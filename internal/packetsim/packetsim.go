@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -32,7 +33,26 @@ type Config struct {
 	MTU int
 	// FlowRateBps is the per-flow injection rate in bytes per second.
 	FlowRateBps float64
+
+	// Metrics, when non-nil, receives run instrumentation: delivered/dropped
+	// counters, queue-depth, hop-count and end-to-end latency histograms
+	// (see METRIC_* constants for the instrument names). Nil — the default —
+	// disables metrics at the cost of a pointer test per packet event.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records one obs.Event per packet hop ("hop"),
+	// delivery ("deliver") and drop ("drop", Detail "droptail"), stamped
+	// with simulated time in nanoseconds. Nil disables tracing.
+	Trace *obs.Tracer
 }
+
+// Instrument names registered on Config.Metrics by Run.
+const (
+	MetricDelivered   = "packetsim_delivered"
+	MetricDroppedTail = "packetsim_dropped_droptail"
+	MetricQueueDepth  = "packetsim_queue_depth_pkts"
+	MetricHops        = "packetsim_hops"
+	MetricLatencyNs   = "packetsim_latency_ns"
+)
 
 // Default returns a GbE-like configuration: 125 MB/s links, 1 us delay,
 // 100-packet queues, 1500-byte packets, flows injecting at link rate.
@@ -92,11 +112,15 @@ type event struct {
 	idx int // index into pkt.path of the node just reached
 }
 
+// packet stays in the 48-byte allocation size class — one is heap-allocated
+// per simulated packet, so flowIdx/id are int32 (flow and packet counts are
+// far below 2^31 in any runnable scenario).
 type packet struct {
 	path    topology.Path
 	bytes   int
 	sentAt  float64
-	flowIdx int
+	flowIdx int32
+	id      int32 // stable per-packet id for tracing
 }
 
 type eventHeap []event
@@ -140,13 +164,24 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 			h = append(h, event{
 				t:   sent,
 				seq: seq,
-				pkt: &packet{path: paths[i], bytes: cfg.MTU, sentAt: sent, flowIdx: i},
+				pkt: &packet{path: paths[i], bytes: cfg.MTU, sentAt: sent, flowIdx: int32(i), id: int32(seq)},
 				idx: 0,
 			})
 			seq++
 		}
 	}
 	heap.Init(&h)
+
+	// Instrumentation: hoisted nil-able instruments; every update below is a
+	// nil-check no-op when cfg.Metrics/cfg.Trace are unset.
+	var (
+		cDelivered = cfg.Metrics.Counter(MetricDelivered)
+		cDropped   = cfg.Metrics.Counter(MetricDroppedTail)
+		hQueue     = cfg.Metrics.Histogram(MetricQueueDepth)
+		hHops      = cfg.Metrics.Histogram(MetricHops)
+		hLatency   = cfg.Metrics.Histogram(MetricLatencyNs)
+		tracer     = cfg.Trace
+	)
 
 	// linkFree[r] is when directed link resource r's transmitter frees.
 	linkFree := make([]float64, 2*g.NumEdges())
@@ -165,6 +200,13 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 			if ev.t > res.MakespanSec {
 				res.MakespanSec = ev.t
 			}
+			cDelivered.Inc()
+			hHops.Observe(int64(len(pkt.path) - 1))
+			hLatency.Observe(int64(lat * 1e9))
+			if tracer != nil {
+				tracer.Record(obs.Event{TimeNs: int64(ev.t * 1e9), Kind: "deliver",
+					ID: int64(pkt.id), Node: pkt.path[idx], Hop: idx})
+			}
 			continue
 		}
 		u, v := pkt.path[idx], pkt.path[idx+1]
@@ -176,9 +218,21 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 		// Drop-tail: the backlog ahead of us, in packets, is the remaining
 		// busy time divided by the per-packet transmit time.
 		backlog := (linkFree[r] - ev.t) / txTime
+		if hQueue != nil {
+			hQueue.Observe(int64(math.Max(backlog, 0)))
+		}
 		if backlog > float64(cfg.QueueLimitPackets) {
 			res.Dropped++
+			cDropped.Inc()
+			if tracer != nil {
+				tracer.Record(obs.Event{TimeNs: int64(ev.t * 1e9), Kind: "drop",
+					ID: int64(pkt.id), Node: u, Hop: idx, Detail: "droptail"})
+			}
 			continue
+		}
+		if tracer != nil {
+			tracer.Record(obs.Event{TimeNs: int64(ev.t * 1e9), Kind: "hop",
+				ID: int64(pkt.id), Node: u, Hop: idx})
 		}
 		start := math.Max(ev.t, linkFree[r])
 		done := start + txTime

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -94,6 +95,15 @@ type TransportResult struct {
 	GoodputBps float64
 }
 
+// Instrument names registered on TransportConfig.Link.Metrics by
+// RunTransport. Queue-depth observations reuse MetricQueueDepth.
+const (
+	MetricRetransmits    = "transport_retransmits"
+	MetricECNMarks       = "transport_ecn_marks"
+	MetricCompletedFlows = "transport_completed_flows"
+	MetricTransportDrops = "transport_dropped_droptail"
+)
+
 // tflow is the per-flow sender/receiver state.
 type tflow struct {
 	fwd, rev topology.Path
@@ -177,6 +187,11 @@ type transportRun struct {
 	linkFree   []float64
 	retransmit int
 	ecnMarks   int
+
+	// Hoisted nil-able instruments (see TransportConfig.Link.Metrics).
+	cRtx, cECN, cDone, cDrops *obs.Counter
+	hQueue                    *obs.Histogram
+	tracer                    *obs.Tracer
 }
 
 // RunTransport simulates the workload with reliable Reno-like flows over the
@@ -193,6 +208,12 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 		cfg:      cfg,
 		net:      t.Network(),
 		linkFree: make([]float64, 2*t.Network().Graph().NumEdges()),
+		cRtx:     cfg.Link.Metrics.Counter(MetricRetransmits),
+		cECN:     cfg.Link.Metrics.Counter(MetricECNMarks),
+		cDone:    cfg.Link.Metrics.Counter(MetricCompletedFlows),
+		cDrops:   cfg.Link.Metrics.Counter(MetricTransportDrops),
+		hQueue:   cfg.Link.Metrics.Histogram(MetricQueueDepth),
+		tracer:   cfg.Link.Trace,
 	}
 	for i, f := range flows {
 		if len(paths[i]) < 2 {
@@ -265,6 +286,11 @@ func (r *transportRun) armTimer(flow int) {
 func (r *transportRun) sendData(flow, seq int, rtx bool) {
 	if rtx {
 		r.retransmit++
+		r.cRtx.Inc()
+		if r.tracer != nil {
+			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "retransmit",
+				ID: int64(flow), Node: r.flows[flow].fwd[0], Hop: seq})
+		}
 	}
 	r.transmit(&tpkt{flow: flow, seq: seq, rtx: rtx}, r.flows[flow].fwd, 0, r.cfg.Link.MTU)
 }
@@ -281,12 +307,21 @@ func (r *transportRun) transmit(p *tpkt, path topology.Path, idx, bytes int) {
 	}
 	txTime := float64(bytes) / r.cfg.Link.LinkBandwidthBps
 	backlog := (r.linkFree[res] - r.now) / txTime
+	if r.hQueue != nil {
+		r.hQueue.Observe(int64(math.Max(backlog, 0)))
+	}
 	if backlog > float64(r.cfg.Link.QueueLimitPackets) {
+		r.cDrops.Inc()
+		if r.tracer != nil {
+			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "drop",
+				ID: int64(p.flow), Node: u, Hop: idx, Detail: "droptail"})
+		}
 		return // drop-tail: the transport's loss recovery will handle it
 	}
 	if r.cfg.ECN && !p.isAck && backlog > float64(r.cfg.ECNThresholdPackets) && !p.ce {
 		p.ce = true
 		r.ecnMarks++
+		r.cECN.Inc()
 	}
 	start := math.Max(r.now, r.linkFree[res])
 	done := start + txTime
@@ -369,6 +404,11 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 			f.done = true
 			f.finish = r.now
 			f.timerGen++ // cancel the timer
+			r.cDone.Inc()
+			if r.tracer != nil {
+				r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "flow_done",
+					ID: int64(flow), Node: f.fwd[len(f.fwd)-1], Hop: f.total})
+			}
 			return
 		}
 		r.armTimer(flow)
