@@ -7,11 +7,13 @@
 #                heap allocator equivalence, experiment worker pool, and the
 #                goroutine-per-device emulator); slow on small machines
 #   make bench   micro + experiment benchmarks with allocation counts
+#   make bench-smoke  one fast suite pass diffed against the recorded
+#                BENCH_pr1.json baseline; fails on a large regression
 #   make check   everything a PR must pass locally
 
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -23,12 +25,18 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim
+	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 	$(GO) test -bench=MaxMin -benchmem -run XXX ./internal/flowsim
 	$(GO) test -bench=. -benchmem -run XXX ./internal/obs
 	$(GO) test -bench=BenchmarkRun -benchmem -run XXX ./internal/packetsim ./internal/emu
+
+# The 10x threshold only catches order-of-magnitude blowups: CI machines are
+# shared and noisy, so a tight gate would flake. Use `cmd/benchsuite
+# -compare old.json new.json` locally for real before/after numbers.
+bench-smoke:
+	$(GO) run ./cmd/benchsuite -compare BENCH_pr1.json -threshold 10
 
 check: build vet test race

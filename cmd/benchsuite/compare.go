@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+)
+
+// loadReport reads a benchsuite -json report from disk.
+func loadReport(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Experiments) == 0 {
+		return r, fmt.Errorf("%s: no experiment timings", path)
+	}
+	return r, nil
+}
+
+// regressionError carries the experiments that slowed past the threshold;
+// main turns it into a nonzero exit.
+type regressionError struct {
+	ids       []string
+	threshold float64
+}
+
+func (e *regressionError) Error() string {
+	return fmt.Sprintf("benchsuite: %d experiment(s) regressed more than %.0f%%: %v",
+		len(e.ids), e.threshold*100, e.ids)
+}
+
+// compareReports diffs two timing reports experiment by experiment and
+// writes a delta table. Experiments present in only one report are listed
+// but never counted as regressions (the suite grows across PRs). A
+// regression is new > old * (1 + threshold); any regression makes the
+// returned error non-nil.
+func compareReports(w io.Writer, oldRep, newRep report, threshold float64) error {
+	index := make(map[string]experiments.Timing, len(oldRep.Experiments))
+	for _, t := range oldRep.Experiments {
+		index[t.ID] = t
+	}
+
+	fmt.Fprintf(w, "old: %s (%s, j=%d)\n", oldRep.Provenance.Revision, oldRep.Provenance.Timestamp, oldRep.Workers)
+	fmt.Fprintf(w, "new: %s (%s, j=%d)\n", newRep.Provenance.Revision, newRep.Provenance.Timestamp, newRep.Workers)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "id\told(s)\tnew(s)\tdelta\t")
+
+	var regressed []string
+	seen := make(map[string]bool, len(newRep.Experiments))
+	for _, n := range newRep.Experiments {
+		seen[n.ID] = true
+		o, ok := index[n.ID]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.4f\tnew\t\n", n.ID, n.Seconds)
+			continue
+		}
+		delta := 0.0
+		if o.Seconds > 0 {
+			delta = n.Seconds/o.Seconds - 1
+		}
+		flag := ""
+		if o.Seconds > 0 && n.Seconds > o.Seconds*(1+threshold) {
+			flag = "REGRESSED"
+			regressed = append(regressed, n.ID)
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%+.1f%%\t%s\n", n.ID, o.Seconds, n.Seconds, delta*100, flag)
+	}
+	for _, o := range oldRep.Experiments {
+		if !seen[o.ID] {
+			fmt.Fprintf(tw, "%s\t%.4f\t-\tremoved\t\n", o.ID, o.Seconds)
+		}
+	}
+	fmt.Fprintf(tw, "total\t%.4f\t%.4f\t%+.1f%%\t\n",
+		oldRep.TotalSeconds, newRep.TotalSeconds, (newRep.TotalSeconds/oldRep.TotalSeconds-1)*100)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(regressed) > 0 {
+		return &regressionError{ids: regressed, threshold: threshold}
+	}
+	return nil
+}

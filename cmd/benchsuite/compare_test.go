@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func writeReport(t *testing.T, dir, name string, r report) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleReports() (report, report) {
+	oldRep := report{
+		Workers:      1,
+		TotalSeconds: 3,
+		Experiments: []experiments.Timing{
+			{ID: "F1", Seconds: 1.0},
+			{ID: "F2", Seconds: 1.0},
+			{ID: "F3", Seconds: 1.0},
+		},
+	}
+	newRep := report{
+		Workers:      1,
+		TotalSeconds: 2.6,
+		Experiments: []experiments.Timing{
+			{ID: "F1", Seconds: 0.5}, // improved
+			{ID: "F2", Seconds: 1.1}, // +10%, within default threshold
+			{ID: "F4", Seconds: 1.0}, // new experiment
+		},
+	}
+	return oldRep, newRep
+}
+
+func TestCompareReportsWithinThreshold(t *testing.T) {
+	oldRep, newRep := sampleReports()
+	var buf bytes.Buffer
+	if err := compareReports(&buf, oldRep, newRep, 0.2); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"F1", "-50.0%", "F2", "+10.0%", "new", "F3", "removed", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSED") {
+		t.Errorf("no regression expected:\n%s", out)
+	}
+}
+
+func TestCompareReportsFlagsRegression(t *testing.T) {
+	oldRep, newRep := sampleReports()
+	var buf bytes.Buffer
+	err := compareReports(&buf, oldRep, newRep, 0.05) // F2's +10% now regresses
+	var reg *regressionError
+	if !errors.As(err, &reg) {
+		t.Fatalf("err = %v, want regressionError", err)
+	}
+	if len(reg.ids) != 1 || reg.ids[0] != "F2" {
+		t.Errorf("regressed = %v, want [F2]", reg.ids)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("table does not mark the regression:\n%s", buf.String())
+	}
+	// New-only and removed experiments must never count as regressions.
+	for _, id := range reg.ids {
+		if id == "F4" || id == "F3" {
+			t.Errorf("asymmetric experiment %s counted as regression", id)
+		}
+	}
+}
+
+func TestRunCompareTwoFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldRep, newRep := sampleReports()
+	oldPath := writeReport(t, dir, "old.json", oldRep)
+	newPath := writeReport(t, dir, "new.json", newRep)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("compare: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "F1") {
+		t.Errorf("missing delta table:\n%s", buf.String())
+	}
+	if err := run([]string{"-compare", oldPath, "-threshold", "0.05", newPath}, &buf); err == nil {
+		t.Error("tight threshold did not fail")
+	}
+}
+
+func TestRunCompareErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-compare", filepath.Join(dir, "absent.json")}, io.Discard); err == nil {
+		t.Error("missing old report accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", bad}, io.Discard); err == nil {
+		t.Error("malformed report accepted")
+	}
+	empty := writeReport(t, dir, "empty.json", report{})
+	if err := run([]string{"-compare", empty}, io.Discard); err == nil {
+		t.Error("report without timings accepted")
+	}
+}

@@ -12,6 +12,10 @@
 //	benchsuite -trace f   # write per-experiment progress events as JSONL
 //	benchsuite -pprof a   # serve net/http/pprof on address a during the run
 //
+//	benchsuite -compare old.json             # run the suite, diff against old.json
+//	benchsuite -compare old.json new.json    # diff two recorded reports
+//	benchsuite -compare old.json -threshold 0.5
+//
 // Experiments render on a worker pool (-j workers) and are emitted in
 // presentation order, so the output is identical for every -j. With -json
 // the experiment tables are discarded and a machine-readable timing report
@@ -19,6 +23,12 @@
 // repository's performance trajectory across PRs. The report carries a
 // provenance header (go version, GOMAXPROCS, CPU count, VCS revision,
 // timestamp) so trajectories stay comparable across machines.
+//
+// -compare diffs per-experiment timings (the old report against a second
+// file, or against a fresh run when no second file is given) and exits
+// nonzero when any experiment slowed by more than -threshold (a fraction;
+// the 0.2 default flags +20%). Experiments present in only one report are
+// listed but never fail the comparison, so the suite can keep growing.
 package main
 
 import (
@@ -91,17 +101,45 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list experiments and exit")
-		only    = fs.String("run", "", "run a single experiment by ID (e.g. F11)")
-		workers = fs.Int("j", runtime.NumCPU(), "render experiments on this many parallel workers")
-		asJSON  = fs.Bool("json", false, "discard tables, print per-experiment timings as JSON")
-		metrics = fs.Bool("metrics", false, "print an instrumentation summary after the run")
-		trace   = fs.String("trace", "", "write per-experiment progress events as JSONL to this file")
-		pprofFl = fs.String("pprof", "", "serve net/http/pprof on this address during the run")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		only      = fs.String("run", "", "run a single experiment by ID (e.g. F11)")
+		workers   = fs.Int("j", runtime.NumCPU(), "render experiments on this many parallel workers")
+		asJSON    = fs.Bool("json", false, "discard tables, print per-experiment timings as JSON")
+		metrics   = fs.Bool("metrics", false, "print an instrumentation summary after the run")
+		trace     = fs.String("trace", "", "write per-experiment progress events as JSONL to this file")
+		pprofFl   = fs.String("pprof", "", "serve net/http/pprof on this address during the run")
+		compare   = fs.String("compare", "", "diff timings against this benchsuite -json report; nonzero exit on regression")
+		threshold = fs.Float64("threshold", 0.2, "with -compare, flag experiments that slowed by more than this fraction")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare != "" {
+		oldRep, err := loadReport(*compare)
+		if err != nil {
+			return err
+		}
+		var newRep report
+		if path := fs.Arg(0); path != "" {
+			if newRep, err = loadReport(path); err != nil {
+				return err
+			}
+		} else {
+			// No second file: measure the suite as it stands now.
+			start := time.Now()
+			timings, err := experiments.RunAllTimed(io.Discard, *workers)
+			if err != nil {
+				return err
+			}
+			newRep = report{
+				Provenance:   buildProvenance(),
+				Workers:      *workers,
+				TotalSeconds: time.Since(start).Seconds(),
+				Experiments:  timings,
+			}
+		}
+		return compareReports(w, oldRep, newRep, *threshold)
 	}
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,0 +1,179 @@
+package eventq
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPopOrderIsSortedByTimeThenSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	type key struct {
+		t   float64
+		seq int64
+	}
+	var q Queue[int]
+	var want []key
+	for i := 0; i < 5000; i++ {
+		// Coarse times force plenty of ties for the seq tiebreak.
+		k := key{t: float64(rng.Intn(50)), seq: int64(i)}
+		want = append(want, k)
+		q.Push(k.t, k.seq, i)
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].t != want[j].t {
+			return want[i].t < want[j].t
+		}
+		return want[i].seq < want[j].seq
+	})
+	for i, k := range want {
+		tm, seq, v := q.Pop()
+		if tm != k.t || seq != k.seq {
+			t.Fatalf("pop %d: got (%g,%d), want (%g,%d)", i, tm, seq, k.t, k.seq)
+		}
+		if int64(v) != k.seq {
+			t.Fatalf("pop %d: payload %d does not match seq %d", i, v, k.seq)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+// oracle is a reference container/heap implementation with the same ordering.
+type oracleItem struct {
+	t   float64
+	seq int64
+	v   int
+}
+
+type oracle []oracleItem
+
+func (o oracle) Len() int { return len(o) }
+func (o oracle) Less(i, j int) bool {
+	if o[i].t != o[j].t {
+		return o[i].t < o[j].t
+	}
+	return o[i].seq < o[j].seq
+}
+func (o oracle) Swap(i, j int)        { o[i], o[j] = o[j], o[i] }
+func (o *oracle) Push(x any)          { *o = append(*o, x.(oracleItem)) }
+func (o *oracle) Pop() any            { old := *o; n := len(old); e := old[n-1]; *o = old[:n-1]; return e }
+func (o *oracle) popItem() oracleItem { return heap.Pop(o).(oracleItem) }
+
+func TestInterleavedAgainstContainerHeap(t *testing.T) {
+	// Random interleaving of pushes and pops must match container/heap
+	// exactly — the discrete-event loop is precisely this access pattern
+	// (pop one, push zero or more slightly-later events).
+	rng := rand.New(rand.NewSource(7))
+	var q Queue[int]
+	var o oracle
+	var seq int64
+	now := 0.0
+	for step := 0; step < 20000; step++ {
+		if q.Len() != o.Len() {
+			t.Fatalf("step %d: length mismatch %d vs %d", step, q.Len(), o.Len())
+		}
+		if q.Len() == 0 || rng.Intn(3) > 0 {
+			dt := float64(rng.Intn(4)) // frequent exact ties
+			q.Push(now+dt, seq, int(seq))
+			heap.Push(&o, oracleItem{t: now + dt, seq: seq, v: int(seq)})
+			seq++
+			continue
+		}
+		tm, s, v := q.Pop()
+		want := o.popItem()
+		if tm != want.t || s != want.seq || v != want.v {
+			t.Fatalf("step %d: pop (%g,%d,%d), oracle (%g,%d,%d)",
+				step, tm, s, v, want.t, want.seq, want.v)
+		}
+		if tm < now {
+			t.Fatalf("step %d: time went backwards %g < %g", step, tm, now)
+		}
+		now = tm
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue[string]
+	q.Push(2, 0, "late")
+	q.Push(1, 1, "early")
+	tm, seq, v := q.Peek()
+	if tm != 1 || seq != 1 || v != "early" {
+		t.Fatalf("Peek = (%g,%d,%q)", tm, seq, v)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek consumed an entry: len %d", q.Len())
+	}
+}
+
+func TestResetReuse(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 10; i++ {
+		q.Push(float64(10-i), int64(i), i)
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	q.Push(5, 0, 42)
+	if tm, _, v := q.Pop(); tm != 5 || v != 42 {
+		t.Fatalf("pop after Reset = (%g, %d)", tm, v)
+	}
+}
+
+func TestPointerPayloadsReleasedOnPop(t *testing.T) {
+	// Pop must clear the vacated slot so payload pointers do not pin
+	// otherwise-dead memory in the backing array.
+	q := New[*int](1)
+	x := new(int)
+	q.Push(1, 0, x)
+	if _, _, got := q.Pop(); got != x {
+		t.Fatal("payload identity lost")
+	}
+	if e := q.entries[:1][0]; e.val != nil {
+		t.Error("popped slot still references the payload")
+	}
+}
+
+func BenchmarkPushPop4ary(b *testing.B) {
+	// Steady-state discrete-event pattern: pop one, push one slightly later.
+	type payload struct {
+		flow, id, idx int32
+		sentAt        float64
+	}
+	rng := rand.New(rand.NewSource(1))
+	var q Queue[payload]
+	var seq int64
+	for i := 0; i < 1024; i++ {
+		q.Push(rng.Float64(), seq, payload{})
+		seq++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm, _, v := q.Pop()
+		q.Push(tm+rng.Float64(), seq, v)
+		seq++
+	}
+}
+
+func BenchmarkPushPopContainerHeap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var o oracle
+	var seq int64
+	for i := 0; i < 1024; i++ {
+		heap.Push(&o, oracleItem{t: rng.Float64(), seq: seq})
+		seq++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := o.popItem()
+		it.t += rng.Float64()
+		it.seq = seq
+		heap.Push(&o, it)
+		seq++
+	}
+}

@@ -32,8 +32,17 @@ func F25LatencyVsLoad(w io.Writer) error {
 		duration  = 0.05      // seconds of arrivals
 		flowBytes = 256 << 10 // 256 KB per flow
 	)
-	tw := table(w)
-	fmt.Fprintln(tw, "structure\tarrivals/sec/srv\tflows\tcompleted\tmean FCT(ms)\tp99 FCT(ms)\tretransmits")
+
+	// Arrival processes are drawn serially (fresh seed per load point, as
+	// before); the transport simulations — the dominant cost — sweep the
+	// (structure, load) grid on the worker pool.
+	type job struct {
+		structure string
+		t         topology.Topology
+		perServer float64
+		flows     []traffic.Flow
+	}
+	var jobs []job
 	for _, b := range builds {
 		n := b.t.Network().NumServers()
 		// Rates are per server so differently sized structures carry the
@@ -47,14 +56,28 @@ func F25LatencyVsLoad(w io.Writer) error {
 			for i := range flows {
 				flows[i].Bytes = flowBytes
 			}
-			res, err := packetsim.RunTransport(b.t, flows, cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%.2f\t%.2f\t%d\n",
-				b.name, perServer, len(flows), res.CompletedFlows,
-				res.MeanFCTSec*1e3, res.P99FCTSec*1e3, res.Retransmits)
+			jobs = append(jobs, job{b.name, b.t, perServer, flows})
 		}
+	}
+
+	rows, err := sweepRows(len(jobs), func(i int) (string, error) {
+		j := jobs[i]
+		res, err := packetsim.RunTransport(j.t, j.flows, cfg)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s\t%.0f\t%d\t%d\t%.2f\t%.2f\t%d\n",
+			j.structure, j.perServer, len(j.flows), res.CompletedFlows,
+			res.MeanFCTSec*1e3, res.P99FCTSec*1e3, res.Retransmits), nil
+	})
+
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tarrivals/sec/srv\tflows\tcompleted\tmean FCT(ms)\tp99 FCT(ms)\tretransmits")
+	for _, row := range rows {
+		fmt.Fprint(tw, row)
+	}
+	if err != nil {
+		return err
 	}
 	return tw.Flush()
 }

@@ -31,8 +31,17 @@ func F12PacketSim(w io.Writer) error {
 	light := packetsim.Default()
 	light.FlowRateBps = light.LinkBandwidthBps / 4 // 25% offered load per flow
 	heavy := packetsim.Default()
-	tw := table(w)
-	fmt.Fprintln(tw, "structure\tworkload\tdelivered\tdropped\tdrop rate\tavg lat(us)\tp99 lat(us)\tthroughput(Gb/s)")
+
+	// Workload generation stays serial (it is cheap and its RNG streams
+	// define the figure); only the packet simulations fan out on the pool.
+	type job struct {
+		structure string
+		t         topology.Topology
+		workload  string
+		flows     []traffic.Flow
+		cfg       packetsim.Config
+	}
+	var jobs []job
 	for _, b := range builds {
 		n := b.t.Network().NumServers()
 		rng := rand.New(rand.NewSource(13))
@@ -41,19 +50,29 @@ func F12PacketSim(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		for _, wl := range []struct {
-			name  string
-			flows []traffic.Flow
-			cfg   packetsim.Config
-		}{{"uniform-25%", uniform, light}, {"shuffle-100%", shuffle, heavy}} {
-			res, err := packetsim.Run(b.t, wl.flows, wl.cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.4f\t%.1f\t%.1f\t%.2f\n",
-				b.name, wl.name, res.Delivered, res.Dropped, res.DropRate(),
-				res.AvgLatencySec*1e6, res.P99LatencySec*1e6, res.ThroughputBps*8/1e9)
+		jobs = append(jobs,
+			job{b.name, b.t, "uniform-25%", uniform, light},
+			job{b.name, b.t, "shuffle-100%", shuffle, heavy})
+	}
+
+	rows, err := sweepRows(len(jobs), func(i int) (string, error) {
+		j := jobs[i]
+		res, err := packetsim.Run(j.t, j.flows, j.cfg)
+		if err != nil {
+			return "", err
 		}
+		return fmt.Sprintf("%s\t%s\t%d\t%d\t%.4f\t%.1f\t%.1f\t%.2f\n",
+			j.structure, j.workload, res.Delivered, res.Dropped, res.DropRate(),
+			res.AvgLatencySec*1e6, res.P99LatencySec*1e6, res.ThroughputBps*8/1e9), nil
+	})
+
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tworkload\tdelivered\tdropped\tdrop rate\tavg lat(us)\tp99 lat(us)\tthroughput(Gb/s)")
+	for _, row := range rows {
+		fmt.Fprint(tw, row)
+	}
+	if err != nil {
+		return err
 	}
 	return tw.Flush()
 }

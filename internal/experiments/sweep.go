@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// sweepRows runs n independent jobs on a worker pool and returns their
+// formatted table rows in index order, so a parallel sweep emits exactly
+// what the serial loop would. Jobs must be self-contained — the sweep-heavy
+// experiments precompute flows (and their RNG streams) serially and leave
+// only the simulator runs to the pool. On failure the rows before the first
+// failing index are still returned, matching where a serial loop would have
+// stopped.
+func sweepRows(n int, job func(i int) (string, error)) ([]string, error) {
+	rows := make([]string, n)
+	errs := make([]error, n)
+
+	workers := graph.Workers(0, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for p := 0; p < workers; p++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				rows[i], errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return rows[:i], err
+		}
+	}
+	return rows, nil
+}

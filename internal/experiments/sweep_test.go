@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSweepRowsMatchesSerialOrder(t *testing.T) {
+	job := func(i int) (string, error) {
+		return fmt.Sprintf("row %d\n", i), nil
+	}
+	var serial []string
+	for i := 0; i < 37; i++ {
+		row, err := job(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, row)
+	}
+	got, err := sweepRows(37, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(serial) {
+		t.Fatalf("got %d rows, want %d", len(got), len(serial))
+	}
+	for i := range got {
+		if got[i] != serial[i] {
+			t.Fatalf("row %d = %q, want %q", i, got[i], serial[i])
+		}
+	}
+}
+
+func TestSweepRowsStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	rows, err := sweepRows(10, func(i int) (string, error) {
+		if i == 4 || i == 7 {
+			return "", fmt.Errorf("job %d: %w", i, boom)
+		}
+		return fmt.Sprintf("row %d\n", i), nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if err.Error() != "job 4: boom" {
+		t.Errorf("err = %v, want the first failing index", err)
+	}
+	if len(rows) != 4 {
+		t.Errorf("got %d rows before the failure, want 4", len(rows))
+	}
+}
+
+func TestSweepRowsEmpty(t *testing.T) {
+	rows, err := sweepRows(0, func(int) (string, error) { return "", errors.New("never") })
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty sweep = (%v, %v)", rows, err)
+	}
+}
+
+// TestSweepExperimentsDeterministic re-renders the parallel-sweep
+// experiments and requires byte-identical output — the pool must not leak
+// scheduling order into the figures.
+func TestSweepExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"F12", "F19", "F25"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		var a, b bytes.Buffer
+		if err := e.Run(&a); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := e.Run(&b); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: parallel sweep output differs between runs:\n%s\n---\n%s", id, a.String(), b.String())
+		}
+	}
+}

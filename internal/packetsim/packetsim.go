@@ -7,14 +7,22 @@
 // the original evaluation: it reproduces queueing delay, loss under
 // overload, and the relative latency ordering between structures, which is
 // what the figures compare.
+//
+// The event core is built for sweep-heavy evaluation: events are unboxed
+// values on a 4-ary eventq.Queue (no allocation per event), routes are
+// compiled once per (topology, workload) into flat link-resource arrays and
+// cached across runs, and packets are injected lazily — one pending event
+// per flow instead of materializing every packet up front — so the heap
+// stays O(flows + in-flight) no matter how heavy the workload. The
+// pre-overhaul engines survive in reference.go as the oracle the
+// equivalence tests pin these results against, event for event.
 package packetsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
+	"repro/internal/eventq"
 	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -104,73 +112,60 @@ func (r Result) DropRate() float64 {
 	return float64(r.Dropped) / float64(total)
 }
 
-// event is a packet arriving at position idx of its path at time t.
-type event struct {
-	t   float64
-	seq int64 // deterministic tie-break
-	pkt *packet
-	idx int // index into pkt.path of the node just reached
+// simEvent is an unboxed event payload: packet pn of flow has just reached
+// position idx of its path. idx == 0 means the packet is being injected at
+// its source (forwarded arrivals always have idx >= 1), which doubles as
+// the cue to schedule the flow's next injection. The packet's send time and
+// trace id derive from (flow, pn), so the event carries no pointers and a
+// Push/Pop moves 16 bytes inline through the heap.
+type simEvent struct {
+	flow int32
+	pn   int32 // packet number within the flow
+	idx  int32 // index into the flow's path of the node just reached
 }
-
-// packet stays in the 48-byte allocation size class — one is heap-allocated
-// per simulated packet, so flowIdx/id are int32 (flow and packet counts are
-// far below 2^31 in any runnable scenario).
-type packet struct {
-	path    topology.Path
-	bytes   int
-	sentAt  float64
-	flowIdx int32
-	id      int32 // stable per-packet id for tracing
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Run simulates the given workload on a structure, routing each flow with
 // the structure's own routing algorithm and injecting its packets at the
 // configured flow rate starting at time zero.
+//
+// Injection is lazy: the queue holds one pending-injection event per flow
+// (plus in-flight packets), not every future packet, so heavy all-to-all
+// workloads no longer materialize O(total packets) events up front. Event
+// keys reproduce the eager engine's numbering — injections take
+// flowBase+pn, forwards a counter starting past all injections — so the pop
+// sequence, and therefore every float operation, is identical to the
+// reference engine's.
 func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	paths, err := flowsimRoute(t, flows)
+	plan, err := planFor(t, flows)
 	if err != nil {
 		return Result{}, err
 	}
-	g := t.Network().Graph()
 
 	txTime := float64(cfg.MTU) / cfg.LinkBandwidthBps
 	gap := float64(cfg.MTU) / cfg.FlowRateBps
 
-	var h eventHeap
-	var seq int64
+	// packets[i] is flow i's packet count; base[i] its first packet's event
+	// key (the eager engine's per-packet seq numbering, preserved so ties
+	// between flows resolve identically).
+	packets := make([]int32, len(flows))
+	base := make([]int64, len(flows))
+	var totalPackets int64
+	q := eventq.New[simEvent](64)
 	for i, f := range flows {
-		if len(paths[i]) < 2 {
+		base[i] = totalPackets
+		if len(plan.paths[i]) < 2 {
 			continue // src == dst
 		}
-		packets := int((f.Bytes + int64(cfg.MTU) - 1) / int64(cfg.MTU))
-		for pn := 0; pn < packets; pn++ {
-			sent := f.StartSec + float64(pn)*gap
-			h = append(h, event{
-				t:   sent,
-				seq: seq,
-				pkt: &packet{path: paths[i], bytes: cfg.MTU, sentAt: sent, flowIdx: int32(i), id: int32(seq)},
-				idx: 0,
-			})
-			seq++
+		packets[i] = int32((f.Bytes + int64(cfg.MTU) - 1) / int64(cfg.MTU))
+		totalPackets += int64(packets[i])
+		if packets[i] > 0 {
+			q.Push(f.StartSec, base[i], simEvent{flow: int32(i), pn: 0, idx: 0})
 		}
 	}
-	heap.Init(&h)
+	seq := totalPackets // forwarded-event keys sort after all injections
 
 	// Instrumentation: hoisted nil-able instruments; every update below is a
 	// nil-check no-op when cfg.Metrics/cfg.Trace are unset.
@@ -184,40 +179,46 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 	)
 
 	// linkFree[r] is when directed link resource r's transmitter frees.
-	linkFree := make([]float64, 2*g.NumEdges())
+	linkFree := make([]float64, plan.numRes)
 	var res Result
-	var latencies []float64
+	latencies := make([]float64, 0, totalPackets)
 	var deliveredBytes int64
 
-	for h.Len() > 0 {
-		ev := heap.Pop(&h).(event)
-		pkt, idx := ev.pkt, ev.idx
-		if idx == len(pkt.path)-1 {
+	for q.Len() > 0 {
+		now, _, ev := q.Pop()
+		fi := int(ev.flow)
+		path := plan.paths[fi]
+		if ev.idx == 0 && ev.pn+1 < packets[fi] {
+			// This packet just left its source: queue the flow's next
+			// injection. The send-time formula matches the eager engine's
+			// bit for bit.
+			pn := ev.pn + 1
+			q.Push(flows[fi].StartSec+float64(pn)*gap, base[fi]+int64(pn),
+				simEvent{flow: ev.flow, pn: pn, idx: 0})
+		}
+		idx := int(ev.idx)
+		if idx == len(path)-1 {
+			sentAt := flows[fi].StartSec + float64(ev.pn)*gap
 			res.Delivered++
-			deliveredBytes += int64(pkt.bytes)
-			lat := ev.t - pkt.sentAt
+			deliveredBytes += int64(cfg.MTU)
+			lat := now - sentAt
 			latencies = append(latencies, lat)
-			if ev.t > res.MakespanSec {
-				res.MakespanSec = ev.t
+			if now > res.MakespanSec {
+				res.MakespanSec = now
 			}
 			cDelivered.Inc()
-			hHops.Observe(int64(len(pkt.path) - 1))
+			hHops.Observe(int64(len(path) - 1))
 			hLatency.Observe(int64(lat * 1e9))
 			if tracer != nil {
-				tracer.Record(obs.Event{TimeNs: int64(ev.t * 1e9), Kind: "deliver",
-					ID: int64(pkt.id), Node: pkt.path[idx], Hop: idx})
+				tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "deliver",
+					ID: base[fi] + int64(ev.pn), Node: path[idx], Hop: idx})
 			}
 			continue
 		}
-		u, v := pkt.path[idx], pkt.path[idx+1]
-		e := g.EdgeBetween(u, v)
-		r := 2 * e
-		if u > v {
-			r++
-		}
+		r := plan.flowRes(fi)[idx]
 		// Drop-tail: the backlog ahead of us, in packets, is the remaining
 		// busy time divided by the per-packet transmit time.
-		backlog := (linkFree[r] - ev.t) / txTime
+		backlog := (linkFree[r] - now) / txTime
 		if hQueue != nil {
 			hQueue.Observe(int64(math.Max(backlog, 0)))
 		}
@@ -225,19 +226,19 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 			res.Dropped++
 			cDropped.Inc()
 			if tracer != nil {
-				tracer.Record(obs.Event{TimeNs: int64(ev.t * 1e9), Kind: "drop",
-					ID: int64(pkt.id), Node: u, Hop: idx, Detail: "droptail"})
+				tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "drop",
+					ID: base[fi] + int64(ev.pn), Node: path[idx], Hop: idx, Detail: "droptail"})
 			}
 			continue
 		}
 		if tracer != nil {
-			tracer.Record(obs.Event{TimeNs: int64(ev.t * 1e9), Kind: "hop",
-				ID: int64(pkt.id), Node: u, Hop: idx})
+			tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "hop",
+				ID: base[fi] + int64(ev.pn), Node: path[idx], Hop: idx})
 		}
-		start := math.Max(ev.t, linkFree[r])
+		start := math.Max(now, linkFree[r])
 		done := start + txTime
 		linkFree[r] = done
-		heap.Push(&h, event{t: done + cfg.LinkDelaySec, seq: seq, pkt: pkt, idx: idx + 1})
+		q.Push(done+cfg.LinkDelaySec, seq, simEvent{flow: ev.flow, pn: ev.pn, idx: ev.idx + 1})
 		seq++
 	}
 
@@ -247,8 +248,7 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 			sum += l
 		}
 		res.AvgLatencySec = sum / float64(len(latencies))
-		sort.Float64s(latencies)
-		res.P99LatencySec = latencies[(len(latencies)*99)/100]
+		res.P99LatencySec = quantile(latencies, 0.99)
 	}
 	if res.MakespanSec > 0 {
 		res.ThroughputBps = float64(deliveredBytes) / res.MakespanSec

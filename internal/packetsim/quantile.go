@@ -1,0 +1,87 @@
+package packetsim
+
+import "math"
+
+// quantile returns the nearest-rank q-quantile of xs, partially reordering
+// xs in place. Nearest-rank over n samples is the ceil(q*n)-th smallest
+// value (the old code floored the rank, which for n = 100 read the maximum
+// instead of the 99th percentile). Quickselect finds that order statistic in
+// expected O(n) without the full sort the percentile path used to pay.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return quickselect(xs, nearestRankIndex(len(xs), q))
+}
+
+// nearestRankIndex returns the 0-based index of the nearest-rank q-quantile
+// in a sorted n-sample slice: ceil(q*n)-1, clamped to [0, n-1].
+func nearestRankIndex(n int, q float64) int {
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// quickselect places the k-th smallest element of xs at index k and returns
+// it, using Hoare partitioning around a median-of-three pivot (deterministic,
+// and robust against the long runs of duplicate values queueing-free
+// latencies produce).
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		j := hoarePartition(xs, lo, hi)
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return xs[k]
+}
+
+// hoarePartition partitions xs[lo..hi] and returns j such that every element
+// of xs[lo..j] <= every element of xs[j+1..hi], with both halves non-empty.
+func hoarePartition(xs []float64, lo, hi int) int {
+	// Median-of-three: order lo/mid/hi, then pivot on the median, which
+	// hoists to xs[lo]. This keeps sorted and reverse-sorted inputs — the
+	// common shapes after near-FIFO delivery — at O(n).
+	mid := lo + (hi-lo)/2
+	if xs[mid] < xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] < xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[mid] < xs[hi] {
+		xs[mid], xs[hi] = xs[hi], xs[mid]
+	}
+	// The three swaps above leave min at lo, median at hi, max at mid;
+	// hoist the median to lo as the pivot (the min lands at hi, which also
+	// guarantees the j-scan below terminates inside the range).
+	xs[lo], xs[hi] = xs[hi], xs[lo]
+	pivot := xs[lo]
+	i, j := lo-1, hi+1
+	for {
+		for {
+			i++
+			if xs[i] >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if xs[j] <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			return j
+		}
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,92 @@
+package packetsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNearestRankIndex(t *testing.T) {
+	tests := []struct {
+		n    int
+		q    float64
+		want int
+	}{
+		// The motivating bug: for n = 100 the old floor formula (n*99)/100
+		// read index 99 — the maximum — instead of the 99th percentile.
+		{100, 0.99, 98},
+		{1, 0.99, 0},
+		{2, 0.99, 1},
+		{10, 0.5, 4},   // ceil(5) - 1
+		{11, 0.5, 5},   // ceil(5.5) - 1
+		{100, 1.0, 99}, // max
+		{100, 0.0, 0},  // clamped to the minimum
+		{200, 0.99, 197},
+		{101, 0.99, 99},
+	}
+	for _, tt := range tests {
+		if got := nearestRankIndex(tt.n, tt.q); got != tt.want {
+			t.Errorf("nearestRankIndex(%d, %g) = %d, want %d", tt.n, tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shapes := map[string]func(n int) []float64{
+		"random": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			return xs
+		},
+		"sorted": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			return xs
+		},
+		"reversed": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(n - i)
+			}
+			return xs
+		},
+		"constant": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = 3.14
+			}
+			return xs
+		},
+		"few-distinct": func(n int) []float64 { // heavy duplicates, like queueing-free latencies
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(rng.Intn(3))
+			}
+			return xs
+		},
+	}
+	for name, gen := range shapes {
+		for _, n := range []int{1, 2, 3, 7, 100, 101, 1000} {
+			for _, q := range []float64{0.0, 0.5, 0.9, 0.99, 1.0} {
+				xs := gen(n)
+				sorted := append([]float64(nil), xs...)
+				sort.Float64s(sorted)
+				want := sorted[nearestRankIndex(n, q)]
+				if got := quantile(xs, q); got != want {
+					t.Fatalf("%s n=%d q=%g: quantile = %g, sort says %g", name, n, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if got := quantile(nil, 0.99); got != 0 {
+		t.Errorf("quantile(nil) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,131 @@
+package packetsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// routePlan is a workload's routes compiled for the event loop: every flow's
+// forward path flattened into directed link-resource indices, so advancing a
+// packet one hop is a single slice load instead of an EdgeBetween adjacency
+// scan. Plans are immutable once built and safe to share across concurrent
+// runs — the parallel experiment sweeps lean on this.
+type routePlan struct {
+	// paths[i] is flow i's forward node path (len < 2 for a local flow).
+	paths []topology.Path
+	// res holds the directed link resource of every forward hop of every
+	// flow, flow-major; off[i]:off[i+1] is flow i's slice. Resource r for
+	// the hop u->v over edge e is 2e (u < v) or 2e+1 (u > v), matching the
+	// engines' linkFree indexing. The reverse hop's resource is r^1.
+	res []int32
+	off []int32
+	// pairs[i] is flow i's Src<<32|Dst, recorded so a cache hit can verify
+	// the flows slice still describes the same endpoints.
+	pairs []int64
+	// numRes is 2 * NumEdges, the linkFree table size.
+	numRes int
+}
+
+// flowRes returns flow i's per-hop forward resources.
+func (p *routePlan) flowRes(i int) []int32 { return p.res[p.off[i]:p.off[i+1]] }
+
+// matches reports whether the plan was compiled for these flows' endpoints.
+func (p *routePlan) matches(flows []traffic.Flow) bool {
+	if len(flows) != len(p.pairs) {
+		return false
+	}
+	for i := range flows {
+		if p.pairs[i] != int64(flows[i].Src)<<32|int64(flows[i].Dst) {
+			return false
+		}
+	}
+	return true
+}
+
+// compileRoutes routes every flow with the structure's own algorithm and
+// flattens the paths into link resources.
+func compileRoutes(t topology.Topology, flows []traffic.Flow) (*routePlan, error) {
+	paths, err := flowsimRoute(t, flows)
+	if err != nil {
+		return nil, err
+	}
+	g := t.Network().Graph()
+	plan := &routePlan{
+		paths:  paths,
+		off:    make([]int32, len(flows)+1),
+		pairs:  make([]int64, len(flows)),
+		numRes: 2 * g.NumEdges(),
+	}
+	hops := 0
+	for _, p := range paths {
+		if len(p) >= 2 {
+			hops += len(p) - 1
+		}
+	}
+	plan.res = make([]int32, 0, hops)
+	for i, p := range paths {
+		plan.off[i] = int32(len(plan.res))
+		plan.pairs[i] = int64(flows[i].Src)<<32 | int64(flows[i].Dst)
+		for j := 0; j+1 < len(p); j++ {
+			u, v := p[j], p[j+1]
+			e := g.EdgeBetween(u, v)
+			if e < 0 {
+				return nil, fmt.Errorf("packetsim: flow %d path hop %d->%d is not a cable", i, u, v)
+			}
+			r := int32(2 * e)
+			if u > v {
+				r++
+			}
+			plan.res = append(plan.res, r)
+		}
+	}
+	plan.off[len(flows)] = int32(len(plan.res))
+	return plan, nil
+}
+
+// routeCacheCap bounds the plan cache; past it the cache is dropped
+// wholesale (sweeps cycle through a handful of (topology, workload) pairs,
+// so anything smarter than "small and flat" is wasted machinery).
+const routeCacheCap = 64
+
+type routeCacheKey struct {
+	topo  topology.Topology
+	first *traffic.Flow // backing-array identity
+	n     int
+}
+
+var routeCache struct {
+	sync.Mutex
+	m map[routeCacheKey]*routePlan
+}
+
+// planFor returns the compiled routes for (t, flows), reusing a cached plan
+// when the same topology and flows slice were routed before — the shape of
+// an experiment sweep, which re-runs one workload across many load points.
+// Identity is (topology, backing array); a hit is verified against the
+// flows' endpoints so slices rebuilt in place recompile instead of aliasing
+// stale routes. Mutating Bytes/StartSec between runs — how sweeps vary load
+// — keeps the cached routes valid.
+func planFor(t topology.Topology, flows []traffic.Flow) (*routePlan, error) {
+	if len(flows) == 0 {
+		return compileRoutes(t, flows)
+	}
+	key := routeCacheKey{topo: t, first: &flows[0], n: len(flows)}
+	routeCache.Lock()
+	defer routeCache.Unlock()
+	if plan, ok := routeCache.m[key]; ok && plan.matches(flows) {
+		return plan, nil
+	}
+	plan, err := compileRoutes(t, flows)
+	if err != nil {
+		return nil, err
+	}
+	if routeCache.m == nil || len(routeCache.m) >= routeCacheCap {
+		routeCache.m = make(map[routeCacheKey]*routePlan, routeCacheCap)
+	}
+	routeCache.m[key] = plan
+	return plan, nil
+}

@@ -1,11 +1,10 @@
 package packetsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
+	"repro/internal/eventq"
 	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -104,10 +103,16 @@ const (
 	MetricTransportDrops = "transport_dropped_droptail"
 )
 
-// tflow is the per-flow sender/receiver state.
+// tflow is the per-flow sender/receiver state. Flows live in one flat slice
+// per run; the forward node path and compiled per-hop link resources alias
+// the run's shared routePlan. The reverse (ACK) direction needs no
+// materialized path: node i of the reverse path is fwd[len-1-i] and the
+// resource of reverse hop i is res[len-2-i]^1 (the paired direction of the
+// mirrored forward hop).
 type tflow struct {
-	fwd, rev topology.Path
-	total    int // packets to deliver
+	fwd   topology.Path
+	res   []int32 // forward per-hop link resources (len(fwd)-1)
+	total int     // packets to deliver
 
 	// Sender.
 	nextSend int
@@ -117,14 +122,14 @@ type tflow struct {
 	cwnd     float64
 	ssthresh float64
 	rto      float64
-	timerGen int64
+	timerGen int32
 	done     bool
 	start    float64 // arrival time
 	finish   float64 // absolute completion time
 
 	// Receiver.
 	rcvNext int
-	buffer  map[int]bool // out-of-order packets held
+	buffer  map[int]bool // out-of-order packets held, allocated on first use
 	rcvCE   bool         // a congestion mark awaits echoing
 
 	// ECN sender state: ignore echoes until this seq is acked (one window
@@ -132,54 +137,34 @@ type tflow struct {
 	ecnHoldUntil int
 }
 
-// tpkt is a transport packet in flight.
-type tpkt struct {
-	flow  int
-	seq   int // data sequence, or cumulative ack number for ACKs
-	isAck bool
-	rtx   bool
-	ce    bool // congestion experienced (set on data) / echoed (on ACKs)
-}
+// tevent kinds. Start and timer events carry the timer generation in gen;
+// data and ACK arrivals carry the data sequence / cumulative ack in seq and
+// their path position in idx.
+const (
+	tevData = iota
+	tevAck
+	tevTimer
+	tevStart
+)
 
-// startGen marks a flow-start event rather than a retransmission timer.
-const startGen = -1
-
-// tevent is either a packet arrival (pkt != nil), a flow timer, or a flow
-// start (gen == startGen).
+// tevent is an unboxed transport event: a data or ACK packet reaching
+// position idx of its path, a retransmission timer, or a flow start. One
+// 16-byte value replaces the old engine's heap-allocated tpkt plus boxed
+// container/heap entry.
 type tevent struct {
-	t    float64
-	ord  int64
-	pkt  *tpkt
-	idx  int // position along the packet's path
-	flow int // timer owner when pkt == nil
-	gen  int64
-}
-
-type teventHeap []tevent
-
-func (h teventHeap) Len() int { return len(h) }
-func (h teventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].ord < h[j].ord
-}
-func (h teventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *teventHeap) Push(x any)   { *h = append(*h, x.(tevent)) }
-func (h *teventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	flow int32
+	seq  int32 // data sequence / cumulative ack (tevData, tevAck)
+	gen  int32 // timer generation (tevTimer)
+	idx  int16 // position along the packet's path
+	kind uint8
+	ce   bool // congestion experienced (data) / echoed (ACKs)
 }
 
 // transportRun is the mutable simulation state.
 type transportRun struct {
 	cfg    TransportConfig
-	net    *topology.Network
-	flows  []*tflow
-	h      teventHeap
+	flows  []tflow
+	q      eventq.Queue[tevent]
 	ord    int64
 	now    float64
 	events int64
@@ -194,20 +179,30 @@ type transportRun struct {
 	tracer                    *obs.Tracer
 }
 
+// push enqueues ev with the next ordinal, preserving the reference engine's
+// push-order tie-break.
+func (r *transportRun) push(t float64, ev tevent) {
+	r.ord++
+	r.q.Push(t, r.ord, ev)
+}
+
 // RunTransport simulates the workload with reliable Reno-like flows over the
 // structure's routed paths (data forward, ACKs on the reversed path).
+//
+// Like Run it drives value events through an eventq.Queue over routes
+// compiled (and cached) once per workload; the reference engine in
+// reference.go pins its results exactly.
 func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig) (TransportResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return TransportResult{}, err
 	}
-	paths, err := flowsimRoute(t, flows)
+	plan, err := planFor(t, flows)
 	if err != nil {
 		return TransportResult{}, err
 	}
 	run := &transportRun{
 		cfg:      cfg,
-		net:      t.Network(),
-		linkFree: make([]float64, 2*t.Network().Graph().NumEdges()),
+		linkFree: make([]float64, plan.numRes),
 		cRtx:     cfg.Link.Metrics.Counter(MetricRetransmits),
 		cECN:     cfg.Link.Metrics.Counter(MetricECNMarks),
 		cDone:    cfg.Link.Metrics.Counter(MetricCompletedFlows),
@@ -216,46 +211,37 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 		tracer:   cfg.Link.Trace,
 	}
 	for i, f := range flows {
-		if len(paths[i]) < 2 {
+		if len(plan.paths[i]) < 2 {
 			continue // local flow: nothing to transport
 		}
-		rev := make(topology.Path, len(paths[i]))
-		for j, node := range paths[i] {
-			rev[len(paths[i])-1-j] = node
-		}
-		fl := &tflow{
-			fwd:      paths[i],
-			rev:      rev,
+		run.flows = append(run.flows, tflow{
+			fwd:      plan.paths[i],
+			res:      plan.flowRes(i),
 			total:    int((f.Bytes + int64(cfg.Link.MTU) - 1) / int64(cfg.Link.MTU)),
 			cwnd:     cfg.InitCwnd,
 			ssthresh: cfg.MaxCwnd,
 			rto:      cfg.RTOSec,
 			start:    f.StartSec,
-			buffer:   make(map[int]bool),
-		}
-		run.flows = append(run.flows, fl)
-		// Flows open at their arrival time (a start event, gen startGen).
-		run.ord++
-		run.h = append(run.h, tevent{t: f.StartSec, ord: run.ord, flow: len(run.flows) - 1, gen: startGen})
+		})
+		// Flows open at their arrival time.
+		run.push(f.StartSec, tevent{flow: int32(len(run.flows) - 1), kind: tevStart})
 	}
-	heap.Init(&run.h)
 
-	for run.h.Len() > 0 {
+	for run.q.Len() > 0 {
 		run.events++
 		if run.events > cfg.MaxEvents {
 			return TransportResult{}, fmt.Errorf("packetsim: transport exceeded %d events", cfg.MaxEvents)
 		}
-		ev := heap.Pop(&run.h).(tevent)
-		run.now = ev.t
-		if ev.pkt == nil {
-			if ev.gen == startGen {
-				run.pump(ev.flow)
-			} else {
-				run.onTimer(ev.flow, ev.gen)
-			}
-			continue
+		now, _, ev := run.q.Pop()
+		run.now = now
+		switch ev.kind {
+		case tevStart:
+			run.pump(int(ev.flow))
+		case tevTimer:
+			run.onTimer(int(ev.flow), ev.gen)
+		default:
+			run.onArrival(ev)
 		}
-		run.onArrival(ev)
 	}
 
 	return run.results(), nil
@@ -263,7 +249,7 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 
 // pump sends new data while the window allows.
 func (r *transportRun) pump(flow int) {
-	f := r.flows[flow]
+	f := &r.flows[flow]
 	for !f.done && f.inflight < int(f.cwnd) && f.nextSend < f.total {
 		r.sendData(flow, f.nextSend, false)
 		f.nextSend++
@@ -276,10 +262,9 @@ func (r *transportRun) pump(flow int) {
 
 // armTimer (re)schedules the flow's retransmission timer.
 func (r *transportRun) armTimer(flow int) {
-	f := r.flows[flow]
+	f := &r.flows[flow]
 	f.timerGen++
-	r.ord++
-	heap.Push(&r.h, tevent{t: r.now + f.rto, ord: r.ord, flow: flow, gen: f.timerGen})
+	r.push(r.now+f.rto, tevent{flow: int32(flow), gen: f.timerGen, kind: tevTimer})
 }
 
 // sendData transmits one data packet from the flow's source.
@@ -292,18 +277,26 @@ func (r *transportRun) sendData(flow, seq int, rtx bool) {
 				ID: int64(flow), Node: r.flows[flow].fwd[0], Hop: seq})
 		}
 	}
-	r.transmit(&tpkt{flow: flow, seq: seq, rtx: rtx}, r.flows[flow].fwd, 0, r.cfg.Link.MTU)
+	r.transmit(tevent{flow: int32(flow), seq: int32(seq), kind: tevData}, 0)
 }
 
-// transmit pushes a packet onto the first link of path[idx:]; queueing and
-// drops follow the same model as Run.
-func (r *transportRun) transmit(p *tpkt, path topology.Path, idx, bytes int) {
-	u, v := path[idx], path[idx+1]
-	g := r.net.Graph()
-	e := g.EdgeBetween(u, v)
-	res := 2 * e
-	if u > v {
-		res++
+// transmit pushes packet ev onto the link at position idx of its path;
+// queueing and drops follow the same model as Run. The pushed arrival event
+// is ev itself, advanced one hop (and congestion-marked when ECN fires).
+func (r *transportRun) transmit(ev tevent, idx int) {
+	f := &r.flows[ev.flow]
+	isAck := ev.kind == tevAck
+	bytes := r.cfg.Link.MTU
+	last := len(f.fwd) - 2 // index of the final hop on either direction
+	var res int32
+	var u int
+	if isAck {
+		bytes = r.cfg.AckBytes
+		res = f.res[last-idx] ^ 1
+		u = f.fwd[len(f.fwd)-1-idx]
+	} else {
+		res = f.res[idx]
+		u = f.fwd[idx]
 	}
 	txTime := float64(bytes) / r.cfg.Link.LinkBandwidthBps
 	backlog := (r.linkFree[res] - r.now) / txTime
@@ -314,48 +307,47 @@ func (r *transportRun) transmit(p *tpkt, path topology.Path, idx, bytes int) {
 		r.cDrops.Inc()
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "drop",
-				ID: int64(p.flow), Node: u, Hop: idx, Detail: "droptail"})
+				ID: int64(ev.flow), Node: u, Hop: idx, Detail: "droptail"})
 		}
 		return // drop-tail: the transport's loss recovery will handle it
 	}
-	if r.cfg.ECN && !p.isAck && backlog > float64(r.cfg.ECNThresholdPackets) && !p.ce {
-		p.ce = true
+	if r.cfg.ECN && !isAck && backlog > float64(r.cfg.ECNThresholdPackets) && !ev.ce {
+		ev.ce = true
 		r.ecnMarks++
 		r.cECN.Inc()
 	}
 	start := math.Max(r.now, r.linkFree[res])
 	done := start + txTime
 	r.linkFree[res] = done
-	r.ord++
-	heap.Push(&r.h, tevent{t: done + r.cfg.Link.LinkDelaySec, ord: r.ord, pkt: p, idx: idx + 1})
+	ev.idx = int16(idx + 1)
+	r.push(done+r.cfg.Link.LinkDelaySec, ev)
 }
 
 // onArrival advances a packet along its path or hands it to the endpoint.
 func (r *transportRun) onArrival(ev tevent) {
-	p := ev.pkt
-	f := r.flows[p.flow]
-	path := f.fwd
-	bytes := r.cfg.Link.MTU
-	if p.isAck {
-		path = f.rev
-		bytes = r.cfg.AckBytes
-	}
-	if ev.idx < len(path)-1 {
-		r.transmit(p, path, ev.idx, bytes)
+	f := &r.flows[ev.flow]
+	if int(ev.idx) < len(f.fwd)-1 {
+		r.transmit(ev, int(ev.idx))
 		return
 	}
-	if p.isAck {
-		r.onAck(p.flow, p.seq, p.ce)
+	if ev.kind == tevAck {
+		r.onAck(int(ev.flow), int(ev.seq), ev.ce)
 		return
 	}
-	r.onData(p.flow, p.seq, p.ce)
+	r.onData(int(ev.flow), int(ev.seq), ev.ce)
 }
 
 // onData is the receiver: buffer/advance and emit a cumulative ACK, echoing
-// any congestion mark.
+// any congestion mark. The out-of-order buffer is allocated on first
+// reordering, so in-order flows never pay for it.
 func (r *transportRun) onData(flow, seq int, ce bool) {
-	f := r.flows[flow]
-	if seq >= f.rcvNext {
+	f := &r.flows[flow]
+	if seq == f.rcvNext && f.buffer == nil {
+		f.rcvNext++ // in-order fast path
+	} else if seq >= f.rcvNext {
+		if f.buffer == nil {
+			f.buffer = make(map[int]bool)
+		}
 		f.buffer[seq] = true
 		for f.buffer[f.rcvNext] {
 			delete(f.buffer, f.rcvNext)
@@ -364,12 +356,12 @@ func (r *transportRun) onData(flow, seq int, ce bool) {
 	}
 	echo := f.rcvCE || ce
 	f.rcvCE = false
-	r.transmit(&tpkt{flow: flow, seq: f.rcvNext, isAck: true, ce: echo}, f.rev, 0, r.cfg.AckBytes)
+	r.transmit(tevent{flow: int32(flow), seq: int32(f.rcvNext), kind: tevAck, ce: echo}, 0)
 }
 
 // onAck is the sender: slide the window, grow/shrink cwnd, pump.
 func (r *transportRun) onAck(flow, ackNo int, ce bool) {
-	f := r.flows[flow]
+	f := &r.flows[flow]
 	if f.done {
 		return
 	}
@@ -430,8 +422,8 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 
 // onTimer fires a retransmission timeout: collapse the window, assume the
 // pipe drained, resend the oldest unacked packet with backed-off RTO.
-func (r *transportRun) onTimer(flow int, gen int64) {
-	f := r.flows[flow]
+func (r *transportRun) onTimer(flow int, gen int32) {
+	f := &r.flows[flow]
 	if f.done || gen != f.timerGen {
 		return // stale timer
 	}
@@ -449,9 +441,10 @@ func (r *transportRun) results() TransportResult {
 	var res TransportResult
 	res.Retransmits = r.retransmit
 	res.ECNMarks = r.ecnMarks
-	var fcts []float64
+	fcts := make([]float64, 0, len(r.flows))
 	var payload int64
-	for _, f := range r.flows {
+	for i := range r.flows {
+		f := &r.flows[i]
 		if !f.done {
 			continue
 		}
@@ -469,8 +462,7 @@ func (r *transportRun) results() TransportResult {
 			sum += t
 		}
 		res.MeanFCTSec = sum / float64(len(fcts))
-		sort.Float64s(fcts)
-		res.P99FCTSec = fcts[(len(fcts)*99)/100]
+		res.P99FCTSec = quantile(fcts, 0.99)
 	}
 	if res.MakespanSec > 0 {
 		res.GoodputBps = float64(payload) / res.MakespanSec

@@ -1,0 +1,169 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Every generator must be a pure function of (parameters, seed): the
+// experiment figures and the engine equivalence tests both lean on replaying
+// identical workloads. These tests pin that, plus the endpoint invariants
+// shared by all patterns.
+
+// generators enumerates every flow generator behind a uniform signature.
+var generators = []struct {
+	name string
+	gen  func(n int, rng *rand.Rand) ([]Flow, error)
+}{
+	{"Permutation", func(n int, rng *rand.Rand) ([]Flow, error) { return Permutation(n, rng), nil }},
+	{"Uniform", func(n int, rng *rand.Rand) ([]Flow, error) { return Uniform(n, 3*n, rng), nil }},
+	{"Incast", func(n int, rng *rand.Rand) ([]Flow, error) { return Incast(n, n/2, n/2, rng) }},
+	{"Shuffle", func(n int, rng *rand.Rand) ([]Flow, error) { return Shuffle(n, n/4, n/4, rng) }},
+	{"Poisson", func(n int, rng *rand.Rand) ([]Flow, error) { return Poisson(n, 50*float64(n), 0.1, rng) }},
+	{"Hotspot", func(n int, rng *rand.Rand) ([]Flow, error) { return Hotspot(n, 2, 4*n, rng) }},
+}
+
+func TestGeneratorsDeterministicAcrossSeeds(t *testing.T) {
+	for _, g := range generators {
+		t.Run(g.name, func(t *testing.T) {
+			for _, seed := range []int64{0, 1, 42, 1 << 40} {
+				for _, n := range []int{8, 16, 33} {
+					a, err := g.gen(n, rand.New(rand.NewSource(seed)))
+					if err != nil {
+						t.Fatalf("seed %d n %d: %v", seed, n, err)
+					}
+					b, err := g.gen(n, rand.New(rand.NewSource(seed)))
+					if err != nil {
+						t.Fatalf("seed %d n %d: %v", seed, n, err)
+					}
+					if len(a) != len(b) {
+						t.Fatalf("seed %d n %d: %d vs %d flows", seed, n, len(a), len(b))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("seed %d n %d flow %d: %+v vs %+v", seed, n, i, a[i], b[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsSeedSensitive(t *testing.T) {
+	// Different seeds must actually change the workload (all-to-all aside,
+	// the patterns are random); a generator ignoring its RNG would silently
+	// collapse every trial of an experiment into one.
+	for _, g := range generators {
+		t.Run(g.name, func(t *testing.T) {
+			a, err := g.gen(32, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := g.gen(32, rand.New(rand.NewSource(2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) == len(b) {
+				same := true
+				for i := range a {
+					if a[i] != b[i] {
+						same = false
+						break
+					}
+				}
+				if same {
+					t.Error("seeds 1 and 2 generated identical workloads")
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorEndpointInvariants(t *testing.T) {
+	for _, g := range generators {
+		t.Run(g.name, func(t *testing.T) {
+			for _, n := range []int{4, 9, 32} {
+				flows, err := g.gen(n, rand.New(rand.NewSource(7)))
+				if err != nil {
+					t.Fatalf("n %d: %v", n, err)
+				}
+				if len(flows) == 0 {
+					t.Fatalf("n %d: empty workload", n)
+				}
+				for i, f := range flows {
+					if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
+						t.Fatalf("n %d flow %d: endpoints %d->%d out of range", n, i, f.Src, f.Dst)
+					}
+					if f.Src == f.Dst {
+						t.Fatalf("n %d flow %d: self flow at %d", n, i, f.Src)
+					}
+					if f.Bytes <= 0 {
+						t.Fatalf("n %d flow %d: non-positive size %d", n, i, f.Bytes)
+					}
+					if f.StartSec < 0 {
+						t.Fatalf("n %d flow %d: negative start %g", n, i, f.StartSec)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestApplySizesSamplesWithinCDFSupport(t *testing.T) {
+	for _, d := range []*SizeDistribution{WebSearch(), DataMining()} {
+		t.Run(d.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			flows := ApplySizes(Uniform(16, 2000, rng), d, rng)
+			support := make(map[int64]bool, len(d.bytes))
+			for _, b := range d.bytes {
+				support[b] = true
+			}
+			min, max := d.bytes[0], d.bytes[len(d.bytes)-1]
+			seen := make(map[int64]int)
+			for i, f := range flows {
+				if f.Bytes < min || f.Bytes > max {
+					t.Fatalf("flow %d: size %d outside [%d, %d]", i, f.Bytes, min, max)
+				}
+				if !support[f.Bytes] {
+					t.Fatalf("flow %d: size %d is not a CDF support point", i, f.Bytes)
+				}
+				seen[f.Bytes]++
+			}
+			// 2000 draws must spread over the support, not collapse onto one
+			// point (the CDF inversion walking the wrong way would do that).
+			if len(seen) < len(d.bytes)/2 {
+				t.Errorf("only %d of %d support points sampled", len(seen), len(d.bytes))
+			}
+		})
+	}
+}
+
+func TestApplySizesDeterministic(t *testing.T) {
+	d := WebSearch()
+	a := ApplySizes(Uniform(8, 100, rand.New(rand.NewSource(3))), d, rand.New(rand.NewSource(5)))
+	b := ApplySizes(Uniform(8, 100, rand.New(rand.NewSource(3))), d, rand.New(rand.NewSource(5)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleRespectsCDFQuantiles(t *testing.T) {
+	// The smallest support point of WebSearch carries 15% of the mass; over
+	// many draws its share must be in that neighborhood.
+	d := WebSearch()
+	rng := rand.New(rand.NewSource(11))
+	const draws = 20000
+	small := 0
+	for i := 0; i < draws; i++ {
+		if d.Sample(rng) == d.bytes[0] {
+			small++
+		}
+	}
+	frac := float64(small) / draws
+	if frac < 0.13 || frac > 0.17 {
+		t.Errorf("smallest size drawn %.3f of the time, want ~0.15", frac)
+	}
+}
