@@ -9,11 +9,14 @@
 #   make bench   micro + experiment benchmarks with allocation counts
 #   make bench-smoke  one fast suite pass diffed against the recorded
 #                BENCH_pr1.json baseline; fails on a large regression
+#   make fuzz-smoke  fuzz arbitrary fault schedules against the packet
+#                conservation invariant for a few seconds
 #   make check   everything a PR must pass locally
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench bench-smoke check
+.PHONY: build test vet race bench bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -25,7 +28,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq
+	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq ./internal/failure
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
@@ -38,5 +41,8 @@ bench:
 # -compare old.json new.json` locally for real before/after numbers.
 bench-smoke:
 	$(GO) run ./cmd/benchsuite -compare BENCH_pr1.json -threshold 10
+
+fuzz-smoke:
+	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzFaultPlanConservation -fuzztime $(FUZZTIME)
 
 check: build vet test race

@@ -260,6 +260,8 @@ func BenchmarkF24GrowWhileServing(b *testing.B) { benchExperiment(b, "F24") }
 
 func BenchmarkF25LatencyVsLoad(b *testing.B) { benchExperiment(b, "F25") }
 
+func BenchmarkF26RecoveryTimeline(b *testing.B) { benchExperiment(b, "F26") }
+
 func BenchmarkPlannerSearch(b *testing.B) {
 	req := planner.Requirements{MinServers: 5000, MaxServerPorts: 4, MaxSwitchPorts: 48}
 	model := cost.Default()

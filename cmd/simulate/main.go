@@ -14,11 +14,14 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/bccc"
 	"repro/internal/bcube"
 	"repro/internal/core"
 	"repro/internal/dcell"
+	"repro/internal/failure"
 	"repro/internal/fattree"
 	"repro/internal/flowsim"
 	"repro/internal/hypercube"
@@ -51,6 +54,9 @@ func run(args []string, w io.Writer) error {
 		metrics = fs.Bool("metrics", false, "print an instrumentation summary (counters, drop causes, histograms) after the run")
 		trace   = fs.String("trace", "", "write a JSONL event trace (per-packet hops, drops, deliveries) to this file")
 		pprofFl = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
+		faults  = fs.String("faults", "", "inject live failures into these component classes (comma list of servers,switches,links; packet/transport sims only)")
+		mtbf    = fs.Duration("mtbf", 500*time.Microsecond, "mean time between failure onsets for -faults")
+		mttr    = fs.Duration("mttr", 1*time.Millisecond, "mean down-for-duration repair window for -faults")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +118,40 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "pprof: serving on http://%s/debug/pprof/\n", addr)
 	}
 
+	// Live fault injection: a seeded Poisson schedule of down/up events for
+	// the requested component classes, fed through the packet simulators'
+	// event queues. The schedule draws from the workload RNG after the flows
+	// are built, so -faults never perturbs the workload itself.
+	var plan *failure.FaultPlan
+	var timeline *packetsim.Timeline
+	if *faults != "" {
+		if *sim == "flow" {
+			return fmt.Errorf("-faults requires -sim packet or transport (the flow model has no notion of time)")
+		}
+		var kinds []failure.Kind
+		for _, name := range strings.Split(*faults, ",") {
+			kind, err := failure.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			kinds = append(kinds, kind)
+		}
+		// The horizon tracks MTBF so the schedule always holds a meaningful
+		// number of failure onsets, whatever time scale the user picked.
+		scfg := failure.ScheduleConfig{
+			Kinds:      kinds,
+			MTBFSec:    mtbf.Seconds(),
+			MTTRSec:    mttr.Seconds(),
+			HorizonSec: 20 * mtbf.Seconds(),
+		}
+		if plan, err = failure.Schedule(t.Network(), scfg, rng); err != nil {
+			return err
+		}
+		timeline = &packetsim.Timeline{}
+		fmt.Fprintf(w, "faults: %d scheduled events (%s; MTBF %v, MTTR %v, horizon %v)\n",
+			plan.Len(), *faults, *mtbf, *mttr, 20**mtbf)
+	}
+
 	switch *sim {
 	case "flow":
 		paths, err := flowsim.RoutePaths(t, flows)
@@ -128,26 +168,33 @@ func run(args []string, w io.Writer) error {
 		cfg := packetsim.Default()
 		cfg.Metrics = reg
 		cfg.Trace = tracer
+		cfg.Faults = plan
+		cfg.Timeline = timeline
 		res, err := packetsim.Run(t, flows, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "packet sim: delivered %d, dropped %d (%.2f%%), avg latency %.1fus, p99 %.1fus, throughput %.2f Gb/s\n",
-			res.Delivered, res.Dropped, 100*res.DropRate(),
+		fmt.Fprintf(w, "packet sim: delivered %d, dropped %d+%d fault (%.2f%%), avg latency %.1fus, p99 %.1fus, throughput %.2f Gb/s\n",
+			res.Delivered, res.Dropped, res.DroppedFault, 100*res.DropRate(),
 			res.AvgLatencySec*1e6, res.P99LatencySec*1e6, res.ThroughputBps*8/1e9)
 	case "transport":
 		cfg := packetsim.DefaultTransport()
 		cfg.Link.Metrics = reg
 		cfg.Link.Trace = tracer
+		cfg.Faults = plan
+		cfg.Timeline = timeline
 		res, err := packetsim.RunTransport(t, flows, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "transport sim: %d/%d flows completed, %d retransmits, mean FCT %.2fms, makespan %.2fms, goodput %.2f Gb/s\n",
-			res.CompletedFlows, len(flows), res.Retransmits,
+		fmt.Fprintf(w, "transport sim: %d/%d flows completed (%d failed), %d retransmits, %d reroutes, mean FCT %.2fms, makespan %.2fms, goodput %.2f Gb/s\n",
+			res.CompletedFlows, len(flows), res.FailedFlows, res.Retransmits, res.Reroutes,
 			res.MeanFCTSec*1e3, res.MakespanSec*1e3, res.GoodputBps*8/1e9)
 	default:
 		return fmt.Errorf("unknown simulator %q", *sim)
+	}
+	if timeline != nil {
+		writeTimeline(w, timeline)
 	}
 
 	if tracer != nil {
@@ -172,6 +219,16 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeTimeline prints the per-epoch availability series of a fault run.
+func writeTimeline(w io.Writer, tl *packetsim.Timeline) {
+	fmt.Fprintf(w, "fault timeline (%d epochs):\n", len(tl.Epochs))
+	for i, e := range tl.Epochs {
+		fmt.Fprintf(w, "  epoch %2d  %8.3f-%8.3fms  goodput %7.3f Gb/s  avail %.4f  drops fault/stale/tail %d/%d/%d  reroutes %d\n",
+			i, e.StartSec*1e3, e.EndSec*1e3, e.GoodputBps()*8/1e9, e.Availability(),
+			e.DroppedFault, e.DroppedStale, e.DroppedTail, e.Reroutes)
+	}
 }
 
 func buildTopology(name string, n, k, p int) (topology.Topology, error) {

@@ -47,10 +47,23 @@ func TestRunSimulations(t *testing.T) {
 			args: []string{"-topo", "abccc", "-pattern", "hotspot", "-count", "20"},
 			want: "max-min fair",
 		},
+		{
+			name: "packet with faults",
+			args: []string{"-topo", "abccc", "-pattern", "shuffle", "-sim", "packet", "-faults", "links"},
+			want: "fault timeline",
+		},
+		{
+			name: "transport with faults",
+			args: []string{"-topo", "abccc", "-pattern", "shuffle", "-sim", "transport", "-faults", "switches, links"},
+			want: "reroutes",
+		},
 		{name: "bad topo", args: []string{"-topo", "torus"}, wantErr: true},
 		{name: "bad pattern", args: []string{"-pattern", "chaos"}, wantErr: true},
 		{name: "bad sim", args: []string{"-sim", "quantum"}, wantErr: true},
 		{name: "bad config", args: []string{"-topo", "fattree", "-k", "3"}, wantErr: true},
+		{name: "faults with flow sim", args: []string{"-sim", "flow", "-faults", "links"}, wantErr: true},
+		{name: "bad fault kind", args: []string{"-sim", "packet", "-faults", "gremlins"}, wantErr: true},
+		{name: "bad mtbf", args: []string{"-sim", "packet", "-faults", "links", "-mtbf", "0s"}, wantErr: true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -69,6 +82,23 @@ func TestRunSimulations(t *testing.T) {
 				t.Errorf("output missing %q:\n%s", tt.want, buf.String())
 			}
 		})
+	}
+}
+
+// TestFaultRunDeterministic: the seeded fault schedule and both engines are
+// deterministic, so the whole report must reproduce byte for byte.
+func TestFaultRunDeterministic(t *testing.T) {
+	args := []string{"-topo", "abccc", "-pattern", "shuffle", "-sim", "transport",
+		"-faults", "switches,links", "-seed", "9"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("same seed, different reports:\n%s\n---\n%s", a.String(), b.String())
 	}
 }
 

@@ -62,6 +62,7 @@ var experimentRegistry = sync.OnceValue(func() *registry {
 		{ID: "F23", Title: "Collective operations: broadcast, gather, multicast, forest", Run: F23Collectives},
 		{ID: "F24", Title: "Grow while serving: live expansion under the DV plane", Run: F24GrowWhileServing},
 		{ID: "F25", Title: "Latency vs offered load (Poisson arrivals, transport)", Run: F25LatencyVsLoad},
+		{ID: "F26", Title: "Recovery timeline: goodput through a switch burst and repair", Run: F26RecoveryTimeline},
 	}
 	byID := make(map[string]Experiment, len(list))
 	for _, e := range list {

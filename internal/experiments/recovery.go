@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fattree"
+	"repro/internal/packetsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Recovery-timeline scenario parameters: a quarter of the switches fail
+// together at 2 ms and all come back at 6 ms, while a half-shuffle of
+// transport flows is in progress.
+const (
+	recoveryBurstAtSec = 2e-3
+	recoveryRepairSec  = 6e-3
+	recoveryFlowBytes  = 256 << 10
+	recoverySeed       = 26
+)
+
+// recoverySubjects are the structures the recovery figure compares. All three
+// implement topology.FaultRouter, so timed-out flows recompile routes around
+// the dead switches.
+func recoverySubjects() []struct {
+	name string
+	t    topology.Topology
+} {
+	return []struct {
+		name string
+		t    topology.Topology
+	}{
+		{"ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"BCube(4,1)", bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+		{"FatTree(4)", fattree.MustBuild(fattree.Config{K: 4})},
+	}
+}
+
+// runRecovery executes the scenario on one structure and returns the result
+// together with its per-epoch timeline (pre-fault, outage, post-repair).
+func runRecovery(t topology.Topology) (packetsim.TransportResult, *packetsim.Timeline, error) {
+	net := t.Network()
+	n := net.NumServers()
+	rng := rand.New(rand.NewSource(recoverySeed))
+	flows, err := traffic.Shuffle(n, n/2, n/2, rng)
+	if err != nil {
+		return packetsim.TransportResult{}, nil, err
+	}
+	for i := range flows {
+		flows[i].Bytes = recoveryFlowBytes
+	}
+	nKill := len(net.Switches()) / 4
+	if nKill < 1 {
+		nKill = 1
+	}
+	plan, err := failure.Burst(net, failure.Switches, nKill, recoveryBurstAtSec, recoveryRepairSec, rng)
+	if err != nil {
+		return packetsim.TransportResult{}, nil, err
+	}
+	cfg := packetsim.DefaultTransport()
+	cfg.Faults = plan
+	cfg.Timeline = &packetsim.Timeline{}
+	res, err := packetsim.RunTransport(t, flows, cfg)
+	return res, cfg.Timeline, err
+}
+
+// F26RecoveryTimeline regenerates the recovery figure: goodput and
+// availability per fault epoch as a switch burst hits mid-run and is later
+// repaired. The outage epoch shows the goodput dip and the fault/stale drop
+// burst; the post-repair epoch shows the recovery, with the reroute count
+// separating structures that route around the holes from ones that just wait.
+func F26RecoveryTimeline(w io.Writer) error {
+	subjects := recoverySubjects()
+	type out struct {
+		res packetsim.TransportResult
+		tl  *packetsim.Timeline
+	}
+	outs := make([]out, len(subjects))
+	// The pool runs the simulations; formatting stays serial because the
+	// rows-per-subject count varies with each timeline's epoch count.
+	if _, err := sweepRows(len(subjects), func(i int) (string, error) {
+		res, tl, err := runRecovery(subjects[i].t)
+		outs[i] = out{res, tl}
+		return "", err
+	}); err != nil {
+		return err
+	}
+
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tepoch\twindow(ms)\tgoodput(Gb/s)\tavail\tdrops fault/stale/tail\treroutes\trtx\tflows done")
+	labels := []string{"pre-fault", "outage", "post-repair"}
+	for i, sub := range subjects {
+		for j, e := range outs[i].tl.Epochs {
+			label := fmt.Sprintf("epoch %d", j)
+			if j < len(labels) {
+				label = labels[j]
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.2f-%.2f\t%.3f\t%.4f\t%d/%d/%d\t%d\t%d\t%d\n",
+				sub.name, label, e.StartSec*1e3, e.EndSec*1e3,
+				e.GoodputBps()*8/1e9, e.Availability(),
+				e.DroppedFault, e.DroppedStale, e.DroppedTail,
+				e.Reroutes, e.Retransmits, e.CompletedFlows)
+		}
+		res := outs[i].res
+		fmt.Fprintf(tw, "%s\ttotal\t0.00-%.2f\t%.3f\t\t%d/%d/-\t%d\t%d\t%d (%d failed)\n",
+			sub.name, res.MakespanSec*1e3, res.GoodputBps*8/1e9,
+			res.DroppedFault, res.DroppedStale, res.Reroutes, res.Retransmits,
+			res.CompletedFlows, res.FailedFlows)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRecoveryTimelineDipAndRecovery pins the shape the figure exists to
+// show: on every structure the outage epoch's goodput dips below the
+// pre-fault epoch's, availability recovers after the repair, and no flow is
+// permanently lost (failures cost time, not data).
+func TestRecoveryTimelineDipAndRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery runs are slow; skipped with -short")
+	}
+	for _, sub := range recoverySubjects() {
+		res, tl, err := runRecovery(sub.t)
+		if err != nil {
+			t.Fatalf("%s: %v", sub.name, err)
+		}
+		if len(tl.Epochs) != 3 {
+			t.Fatalf("%s: %d epochs, want 3 (pre-fault, outage, post-repair)", sub.name, len(tl.Epochs))
+		}
+		pre, outage, post := tl.Epochs[0], tl.Epochs[1], tl.Epochs[2]
+		if outage.GoodputBps() >= pre.GoodputBps() {
+			t.Errorf("%s: no goodput dip: outage %.0f >= pre-fault %.0f",
+				sub.name, outage.GoodputBps(), pre.GoodputBps())
+		}
+		if outage.DroppedFault == 0 {
+			t.Errorf("%s: outage epoch saw no fault drops", sub.name)
+		}
+		if post.DroppedFault != 0 {
+			t.Errorf("%s: %d fault drops after repair", sub.name, post.DroppedFault)
+		}
+		if post.Availability() <= outage.Availability() {
+			t.Errorf("%s: availability did not recover: post %.4f <= outage %.4f",
+				sub.name, post.Availability(), outage.Availability())
+		}
+		if res.FailedFlows != 0 {
+			t.Errorf("%s: %d flows permanently failed", sub.name, res.FailedFlows)
+		}
+	}
+}
+
+// TestRecoveryTimelineDeterministic: same seed, byte-identical figure.
+func TestRecoveryTimelineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery runs are slow; skipped with -short")
+	}
+	var a, b bytes.Buffer
+	if err := F26RecoveryTimeline(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := F26RecoveryTimeline(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two F26 runs differ byte-for-byte")
+	}
+}

@@ -5,6 +5,7 @@ package failure
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -35,6 +36,20 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind parses a component-class name as printed by Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "servers":
+		return Servers, nil
+	case "switches":
+		return Switches, nil
+	case "links":
+		return Links, nil
+	default:
+		return 0, fmt.Errorf("failure: unknown component class %q", s)
+	}
+}
+
 // Inject returns a view of net with the given fraction of the chosen
 // component class failed, selected uniformly at random from rng. Fractions
 // are clamped to [0, 1].
@@ -60,19 +75,54 @@ func InjectInto(view *graph.View, net *topology.Network, kind Kind, fraction flo
 		failNodes(view, net.Switches(), fraction, rng)
 	case Links:
 		edges := net.Graph().NumEdges()
-		count := int(fraction * float64(edges))
-		for _, e := range rng.Perm(edges)[:count] {
+		for _, e := range sampleIndices(edges, roundCount(fraction, edges), rng) {
 			view.FailEdge(e)
 		}
 	}
 }
 
 func failNodes(view *graph.View, nodes []int, fraction float64, rng *rand.Rand) {
-	count := int(fraction * float64(len(nodes)))
-	perm := rng.Perm(len(nodes))
-	for _, i := range perm[:count] {
+	for _, i := range sampleIndices(len(nodes), roundCount(fraction, len(nodes)), rng) {
 		view.FailNode(nodes[i])
 	}
+}
+
+// roundCount converts a failure fraction into a component count, rounding to
+// nearest. Flooring here silently turned small sweep points (2% of 48
+// switches) into no-ops, flattening the low end of the F7-F9 curves.
+func roundCount(fraction float64, n int) int {
+	count := int(math.Round(fraction * float64(n)))
+	if count > n {
+		count = n
+	}
+	return count
+}
+
+// sampleIndices draws count distinct indices uniformly from [0, n) with a
+// partial Fisher-Yates shuffle: only the count inspected slots of the
+// virtual index table are materialized (in a map), instead of permuting all
+// n indices to keep a prefix. Draw order is deterministic in rng.
+func sampleIndices(n, count int, rng *rand.Rand) []int {
+	if count > n {
+		count = n
+	}
+	if count <= 0 {
+		return nil
+	}
+	out := make([]int, count)
+	displaced := make(map[int]int, count)
+	at := func(i int) int {
+		if v, ok := displaced[i]; ok {
+			return v
+		}
+		return i
+	}
+	for i := 0; i < count; i++ {
+		j := i + rng.Intn(n-i)
+		out[i] = at(j)
+		displaced[j] = at(i)
+	}
+	return out
 }
 
 // SamplePairs draws `count` random ordered pairs of distinct servers (as

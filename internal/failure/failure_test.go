@@ -59,7 +59,7 @@ func TestInjectSwitches(t *testing.T) {
 	tp := build(t)
 	net := tp.Network()
 	view := Inject(net, Switches, 0.25, rand.New(rand.NewSource(2)))
-	want := len(net.Switches()) / 4
+	want := roundCount(0.25, len(net.Switches()))
 	if got := countFailedNodes(net, view, net.Switches()); got != want {
 		t.Errorf("failed %d switches, want %d", got, want)
 	}
@@ -69,7 +69,7 @@ func TestInjectLinks(t *testing.T) {
 	tp := build(t)
 	net := tp.Network()
 	view := Inject(net, Links, 0.2, rand.New(rand.NewSource(3)))
-	want := net.Graph().NumEdges() / 5
+	want := roundCount(0.2, net.Graph().NumEdges())
 	failed := 0
 	for e := 0; e < net.Graph().NumEdges(); e++ {
 		if !view.EdgeUp(e) {
@@ -144,5 +144,106 @@ func TestSamplePairs(t *testing.T) {
 	tiny.AddServer("s")
 	if SamplePairs(tiny, 5, rand.New(rand.NewSource(1))) != nil {
 		t.Error("SamplePairs with one server should be nil")
+	}
+}
+
+// Regression for the floor-truncation bug: 2% of 48 switches used to floor to
+// zero, silently injecting nothing. Round-to-nearest must fail one.
+func TestInjectSmallFractionRounds(t *testing.T) {
+	net := topology.NewNetwork("switchfarm")
+	for i := 0; i < 48; i++ {
+		net.AddSwitch("sw")
+	}
+	view := Inject(net, Switches, 0.02, rand.New(rand.NewSource(11)))
+	if got := countFailedNodes(net, view, net.Switches()); got != 1 {
+		t.Errorf("2%% of 48 switches failed %d, want 1 (floor bug regression)", got)
+	}
+}
+
+func TestRoundCount(t *testing.T) {
+	tests := []struct {
+		frac float64
+		n    int
+		want int
+	}{
+		{0.02, 48, 1}, // the old floor bug: used to be 0
+		{0.25, 10, 3}, // 2.5 rounds half away from zero
+		{0.5, 3, 2},
+		{1.0, 7, 7},
+		{2.0, 7, 7}, // clamped to n
+		{0.0, 7, 0},
+	}
+	for _, tt := range tests {
+		if got := roundCount(tt.frac, tt.n); got != tt.want {
+			t.Errorf("roundCount(%v, %d) = %d, want %d", tt.frac, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		count := rng.Intn(n + 1)
+		got := sampleIndices(n, count, rng)
+		if len(got) != count {
+			t.Fatalf("n=%d count=%d: len = %d", n, count, len(got))
+		}
+		seen := make(map[int]bool, count)
+		for _, i := range got {
+			if i < 0 || i >= n {
+				t.Fatalf("index %d out of [0,%d)", i, n)
+			}
+			if seen[i] {
+				t.Fatalf("duplicate index %d (n=%d count=%d)", i, n, count)
+			}
+			seen[i] = true
+		}
+	}
+	if sampleIndices(10, 0, rng) != nil {
+		t.Error("count 0 should return nil")
+	}
+	if got := sampleIndices(5, 9, rng); len(got) != 5 {
+		t.Errorf("count > n clamps to n, got len %d", len(got))
+	}
+	a := sampleIndices(30, 10, rand.New(rand.NewSource(5)))
+	b := sampleIndices(30, 10, rand.New(rand.NewSource(5)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different samples")
+		}
+	}
+}
+
+func TestInjectEmptyClassNoPanic(t *testing.T) {
+	// A network with servers but no switches and no links: injecting into the
+	// empty classes must be a quiet no-op, not a panic.
+	net := topology.NewNetwork("lonely")
+	net.AddServer("a")
+	net.AddServer("b")
+	view := Inject(net, Switches, 0.5, rand.New(rand.NewSource(7)))
+	if got := countFailedNodes(net, view, net.Servers()); got != 0 {
+		t.Errorf("failed %d nodes injecting into empty switch class", got)
+	}
+	view = Inject(net, Links, 1.0, rand.New(rand.NewSource(7)))
+	for _, s := range net.Servers() {
+		if !view.NodeUp(s) {
+			t.Error("link injection on linkless network touched a node")
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tt := range []struct {
+		s    string
+		want Kind
+	}{{"servers", Servers}, {"switches", Switches}, {"links", Links}} {
+		got, err := ParseKind(tt.s)
+		if err != nil || got != tt.want {
+			t.Errorf("ParseKind(%q) = %v, %v", tt.s, got, err)
+		}
+	}
+	if _, err := ParseKind("gremlins"); err == nil {
+		t.Error("ParseKind should reject unknown kinds")
 	}
 }

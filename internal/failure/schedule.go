@@ -1,0 +1,195 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// FaultEvent is one timed component state change: at TimeSec, the component
+// identified by (Kind, Index) goes down (Up == false) or comes back
+// (Up == true). For Servers and Switches, Index is the node id; for Links it
+// is the edge id.
+type FaultEvent struct {
+	TimeSec float64
+	Kind    Kind
+	Index   int
+	Up      bool
+}
+
+// Apply transitions the event's component in view.
+func (e FaultEvent) Apply(view *graph.View) {
+	switch {
+	case e.Kind == Links && e.Up:
+		view.RepairEdge(e.Index)
+	case e.Kind == Links:
+		view.FailEdge(e.Index)
+	case e.Up:
+		view.RepairNode(e.Index)
+	default:
+		view.FailNode(e.Index)
+	}
+}
+
+// FaultPlan is a deterministic schedule of timed fault events, ordered by
+// time with schedule order breaking ties. The discrete-event simulators feed
+// these events through their own queues alongside packet events, so a plan
+// fully determines when each component dies and recovers during a run. An
+// empty (or nil) plan injects nothing.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// Len returns the number of scheduled events; safe on a nil plan.
+func (p *FaultPlan) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Events)
+}
+
+// Sort orders events by time, keeping the relative order of same-time events
+// (so "down then up" pairs emitted at one instant stay in cause order).
+func (p *FaultPlan) Sort() {
+	sort.SliceStable(p.Events, func(i, j int) bool {
+		return p.Events[i].TimeSec < p.Events[j].TimeSec
+	})
+}
+
+// Validate checks every event against the network it will be injected into:
+// times must be finite and non-negative, kinds valid, and indices must name
+// an existing component of the right class.
+func (p *FaultPlan) Validate(net *topology.Network) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if math.IsNaN(e.TimeSec) || math.IsInf(e.TimeSec, 0) || e.TimeSec < 0 {
+			return fmt.Errorf("failure: event %d has invalid time %v", i, e.TimeSec)
+		}
+		switch e.Kind {
+		case Servers:
+			if !net.IsServer(e.Index) {
+				return fmt.Errorf("failure: event %d: node %d is not a server", i, e.Index)
+			}
+		case Switches:
+			if e.Index < 0 || e.Index >= net.Graph().NumNodes() || net.Kind(e.Index) != topology.Switch {
+				return fmt.Errorf("failure: event %d: node %d is not a switch", i, e.Index)
+			}
+		case Links:
+			if e.Index < 0 || e.Index >= net.Graph().NumEdges() {
+				return fmt.Errorf("failure: event %d: edge %d out of range", i, e.Index)
+			}
+		default:
+			return fmt.Errorf("failure: event %d has invalid kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// ScheduleConfig parameterizes Schedule.
+type ScheduleConfig struct {
+	// Kinds lists the component classes eligible to fail. Classes with no
+	// components in the network are skipped.
+	Kinds []Kind
+	// MTBFSec is the mean time between failure onsets across the whole
+	// network (exponentially distributed inter-failure gaps).
+	MTBFSec float64
+	// MTTRSec is the mean down-for-duration repair window (exponential);
+	// every failure is paired with a repair event, possibly past the horizon.
+	MTTRSec float64
+	// HorizonSec bounds failure onsets; no component dies at or after it.
+	HorizonSec float64
+}
+
+// Schedule generates a seeded failure/repair schedule: failure onsets arrive
+// as a Poisson process with mean gap MTBFSec over [0, HorizonSec); each
+// picks a uniformly random component of a uniformly random eligible class
+// and holds it down for an exponential MTTRSec window. A component already
+// down at an onset is skipped (the onset is consumed, keeping the rng stream
+// — and therefore the schedule — deterministic per seed). The returned plan
+// is sorted and valid for net.
+func Schedule(net *topology.Network, cfg ScheduleConfig, rng *rand.Rand) (*FaultPlan, error) {
+	if cfg.MTBFSec <= 0 || cfg.MTTRSec <= 0 || cfg.HorizonSec <= 0 {
+		return nil, fmt.Errorf("failure: MTBF, MTTR and horizon must be positive")
+	}
+	var kinds []Kind
+	pools := make(map[Kind][]int)
+	for _, k := range cfg.Kinds {
+		if pool := components(net, k); len(pool) > 0 {
+			kinds = append(kinds, k)
+			pools[k] = pool
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("failure: no eligible components in any requested class")
+	}
+
+	plan := &FaultPlan{}
+	type compKey struct {
+		kind Kind
+		idx  int
+	}
+	repairAt := make(map[compKey]float64)
+	for t := rng.ExpFloat64() * cfg.MTBFSec; t < cfg.HorizonSec; t += rng.ExpFloat64() * cfg.MTBFSec {
+		kind := kinds[rng.Intn(len(kinds))]
+		pool := pools[kind]
+		idx := pool[rng.Intn(len(pool))]
+		down := rng.ExpFloat64() * cfg.MTTRSec
+		key := compKey{kind, idx}
+		if repairAt[key] > t {
+			continue // still down from an earlier failure
+		}
+		repairAt[key] = t + down
+		plan.Events = append(plan.Events,
+			FaultEvent{TimeSec: t, Kind: kind, Index: idx},
+			FaultEvent{TimeSec: t + down, Kind: kind, Index: idx, Up: true})
+	}
+	plan.Sort()
+	return plan, nil
+}
+
+// Burst builds the recovery-timeline scenario: count distinct components of
+// one class all fail at atSec and all recover at repairSec. Components are
+// drawn uniformly without replacement from rng.
+func Burst(net *topology.Network, kind Kind, count int, atSec, repairSec float64, rng *rand.Rand) (*FaultPlan, error) {
+	if atSec < 0 || repairSec <= atSec {
+		return nil, fmt.Errorf("failure: burst window [%v, %v) is not a valid down-for-duration window", atSec, repairSec)
+	}
+	pool := components(net, kind)
+	if count < 1 || count > len(pool) {
+		return nil, fmt.Errorf("failure: burst of %d from %d %s", count, len(pool), kind)
+	}
+	plan := &FaultPlan{Events: make([]FaultEvent, 0, 2*count)}
+	picks := sampleIndices(len(pool), count, rng)
+	for _, i := range picks {
+		plan.Events = append(plan.Events, FaultEvent{TimeSec: atSec, Kind: kind, Index: pool[i]})
+	}
+	for _, i := range picks {
+		plan.Events = append(plan.Events, FaultEvent{TimeSec: repairSec, Kind: kind, Index: pool[i], Up: true})
+	}
+	return plan, nil
+}
+
+// components returns the ids of a class's components (node ids for servers
+// and switches, edge ids for links).
+func components(net *topology.Network, kind Kind) []int {
+	switch kind {
+	case Servers:
+		return net.Servers()
+	case Switches:
+		return net.Switches()
+	case Links:
+		ids := make([]int, net.Graph().NumEdges())
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,174 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func scheduleCfg() ScheduleConfig {
+	return ScheduleConfig{
+		Kinds:      []Kind{Switches, Links},
+		MTBFSec:    1e-3,
+		MTTRSec:    2e-3,
+		HorizonSec: 20e-3,
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	net := build(t).Network()
+	p1, err := Schedule(net, scheduleCfg(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := Schedule(net, scheduleCfg(), rand.New(rand.NewSource(42)))
+	if len(p1.Events) != len(p2.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Events), len(p2.Events))
+	}
+	for i := range p1.Events {
+		if p1.Events[i] != p2.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, p1.Events[i], p2.Events[i])
+		}
+	}
+	if p1.Len() == 0 {
+		t.Fatal("20ms horizon at 1ms MTBF produced no failures")
+	}
+}
+
+func TestScheduleSortedAndPaired(t *testing.T) {
+	net := build(t).Network()
+	plan, err := Schedule(net, scheduleCfg(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(net); err != nil {
+		t.Fatalf("schedule invalid for its own network: %v", err)
+	}
+	downs, ups := 0, 0
+	for i, e := range plan.Events {
+		if i > 0 && e.TimeSec < plan.Events[i-1].TimeSec {
+			t.Fatalf("event %d out of order", i)
+		}
+		if e.Up {
+			ups++
+		} else {
+			downs++
+			if e.TimeSec >= scheduleCfg().HorizonSec {
+				t.Fatalf("failure onset %v past horizon", e.TimeSec)
+			}
+		}
+	}
+	if downs != ups {
+		t.Errorf("unpaired events: %d downs, %d ups", downs, ups)
+	}
+	// Replaying the plan through a view must end all-alive: every failure has
+	// a matching repair.
+	view := graph.NewView(net.Graph())
+	for _, e := range plan.Events {
+		e.Apply(view)
+	}
+	for n := 0; n < net.Graph().NumNodes(); n++ {
+		if !view.NodeUp(n) {
+			t.Fatalf("node %d still down after full replay", n)
+		}
+	}
+	for e := 0; e < net.Graph().NumEdges(); e++ {
+		if !view.EdgeUp(e) {
+			t.Fatalf("edge %d still down after full replay", e)
+		}
+	}
+}
+
+func TestScheduleRejectsBadConfig(t *testing.T) {
+	net := build(t).Network()
+	rng := rand.New(rand.NewSource(1))
+	bad := []ScheduleConfig{
+		{Kinds: []Kind{Switches}, MTBFSec: 0, MTTRSec: 1, HorizonSec: 1},
+		{Kinds: []Kind{Switches}, MTBFSec: 1, MTTRSec: -1, HorizonSec: 1},
+		{Kinds: []Kind{Switches}, MTBFSec: 1, MTTRSec: 1, HorizonSec: 0},
+		{Kinds: nil, MTBFSec: 1, MTTRSec: 1, HorizonSec: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Schedule(net, cfg, rng); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	net := build(t).Network()
+	sw := net.Switches()[0]
+	srv := net.Servers()[0]
+	cases := []struct {
+		name string
+		ev   FaultEvent
+		ok   bool
+	}{
+		{"good switch", FaultEvent{TimeSec: 1, Kind: Switches, Index: sw}, true},
+		{"good server", FaultEvent{TimeSec: 0, Kind: Servers, Index: srv}, true},
+		{"good link", FaultEvent{TimeSec: 2, Kind: Links, Index: 0}, true},
+		{"server as switch", FaultEvent{TimeSec: 1, Kind: Switches, Index: srv}, false},
+		{"switch as server", FaultEvent{TimeSec: 1, Kind: Servers, Index: sw}, false},
+		{"edge out of range", FaultEvent{TimeSec: 1, Kind: Links, Index: net.Graph().NumEdges()}, false},
+		{"negative time", FaultEvent{TimeSec: -1, Kind: Links, Index: 0}, false},
+		{"nan time", FaultEvent{TimeSec: math.NaN(), Kind: Links, Index: 0}, false},
+		{"bad kind", FaultEvent{TimeSec: 1, Kind: Kind(9), Index: 0}, false},
+	}
+	for _, tc := range cases {
+		plan := &FaultPlan{Events: []FaultEvent{tc.ev}}
+		err := plan.Validate(net)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	var nilPlan *FaultPlan
+	if err := nilPlan.Validate(net); err != nil {
+		t.Errorf("nil plan should validate: %v", err)
+	}
+	if nilPlan.Len() != 0 {
+		t.Error("nil plan Len != 0")
+	}
+}
+
+func TestBurst(t *testing.T) {
+	net := core.MustBuild(core.Config{N: 4, K: 1, P: 2}).Network()
+	plan, err := Burst(net, Switches, 3, 2e-3, 6e-3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(net); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 (3 downs + 3 ups)", plan.Len())
+	}
+	downed := make(map[int]bool)
+	for _, e := range plan.Events[:3] {
+		if e.Up || e.TimeSec != 2e-3 || net.Kind(e.Index) != topology.Switch {
+			t.Fatalf("bad down event %+v", e)
+		}
+		if downed[e.Index] {
+			t.Fatalf("switch %d failed twice", e.Index)
+		}
+		downed[e.Index] = true
+	}
+	for _, e := range plan.Events[3:] {
+		if !e.Up || e.TimeSec != 6e-3 || !downed[e.Index] {
+			t.Fatalf("repair event %+v does not match a failure", e)
+		}
+	}
+
+	if _, err := Burst(net, Switches, 0, 1, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := Burst(net, Switches, 1e6, 1, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("count > pool accepted")
+	}
+	if _, err := Burst(net, Switches, 1, 5, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty repair window accepted")
+	}
+}

@@ -141,6 +141,21 @@ func (v *View) FailEdge(id int) {
 	v.edgeDown[id] = true
 }
 
+// RepairNode marks node u as alive again. Views started as all-alive, so
+// repairing a node that never failed is a no-op.
+func (v *View) RepairNode(u int) {
+	if v.nodeDown != nil {
+		v.nodeDown[u] = false
+	}
+}
+
+// RepairEdge marks edge id as alive again.
+func (v *View) RepairEdge(id int) {
+	if v.edgeDown != nil {
+		v.edgeDown[id] = false
+	}
+}
+
 // NodeUp reports whether node u is alive.
 func (v *View) NodeUp(u int) bool {
 	return v == nil || v.nodeDown == nil || !v.nodeDown[u]

@@ -427,3 +427,32 @@ func TestAddNode(t *testing.T) {
 		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
 	}
 }
+
+func TestViewRepair(t *testing.T) {
+	g := New(3)
+	e, _ := g.AddEdge(0, 1)
+	v := NewView(g)
+
+	// Repair before any failure must be a no-op, not a panic.
+	v.RepairNode(0)
+	v.RepairEdge(e)
+	if !v.NodeUp(0) || !v.EdgeUp(e) {
+		t.Fatal("repair on a fresh view changed state")
+	}
+
+	v.FailNode(1)
+	v.FailEdge(e)
+	if v.NodeUp(1) || v.EdgeUp(e) {
+		t.Fatal("failures not applied")
+	}
+	v.RepairNode(1)
+	v.RepairEdge(e)
+	if !v.NodeUp(1) || !v.EdgeUp(e) {
+		t.Fatal("repairs not applied")
+	}
+	// Fail again after repair: the down/up cycle must be repeatable.
+	v.FailNode(1)
+	if v.NodeUp(1) {
+		t.Fatal("re-failure after repair not applied")
+	}
+}

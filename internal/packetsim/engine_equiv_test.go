@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bcube"
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/fattree"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -101,6 +102,13 @@ func TestRunMatchesReferenceEngine(t *testing.T) {
 			c.FlowRateBps = c.LinkBandwidthBps / 7
 			return c
 		},
+		// An armed but empty fault plan must not perturb a single float op:
+		// the fault machinery only acts when events actually fire.
+		"empty-faults": func() Config {
+			c := Default()
+			c.Faults = &failure.FaultPlan{}
+			return c
+		},
 	}
 	for cname, mk := range cfgs {
 		for _, tc := range equivCases(t) {
@@ -132,6 +140,13 @@ func TestRunTransportMatchesReferenceEngine(t *testing.T) {
 		"lossy": func() TransportConfig {
 			c := DefaultTransport()
 			c.Link.QueueLimitPackets = 4 // exercise retransmission paths
+			return c
+		},
+		// Armed-but-empty plan: route-epoch stamping and the timeout counter
+		// are live, but with no fault events they must change nothing.
+		"empty-faults": func() TransportConfig {
+			c := DefaultTransport()
+			c.Faults = &failure.FaultPlan{}
 			return c
 		},
 	}

@@ -1,0 +1,102 @@
+package packetsim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// fuzzEnv is built once: fuzzing re-invokes the target thousands of times and
+// the topology/workload never change, only the fault plan does.
+var fuzzEnv struct {
+	once  sync.Once
+	topo  *core.ABCCC
+	net   *topology.Network
+	flows []traffic.Flow
+}
+
+func fuzzSetup() {
+	fuzzEnv.once.Do(func() {
+		fuzzEnv.topo = core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+		fuzzEnv.net = fuzzEnv.topo.Network()
+		n := fuzzEnv.net.NumServers()
+		flows, err := traffic.Shuffle(n, n/2, n/2, rand.New(rand.NewSource(77)))
+		if err != nil {
+			panic(err)
+		}
+		fuzzEnv.flows = sized(flows, 8<<10)
+	})
+}
+
+// decodePlan turns arbitrary fuzz bytes into a valid fault plan: each
+// 4-byte chunk becomes one event, with the raw values clamped into range so
+// every input exercises the engine instead of tripping Validate. Byte 0 is
+// the time (in 0.1 ms ticks), byte 1 picks the component class, byte 2 the
+// component, byte 3 the direction.
+func decodePlan(net *topology.Network, raw []byte) *failure.FaultPlan {
+	plan := &failure.FaultPlan{}
+	servers, switches := net.Servers(), net.Switches()
+	edges := net.Graph().NumEdges()
+	for i := 0; i+4 <= len(raw) && len(plan.Events) < 64; i += 4 {
+		ev := failure.FaultEvent{
+			TimeSec: float64(raw[i]) * 1e-4,
+			Up:      raw[i+3]&1 == 1,
+		}
+		switch raw[i+1] % 3 {
+		case 0:
+			ev.Kind, ev.Index = failure.Servers, servers[int(raw[i+2])%len(servers)]
+		case 1:
+			ev.Kind, ev.Index = failure.Switches, switches[int(raw[i+2])%len(switches)]
+		default:
+			ev.Kind, ev.Index = failure.Links, int(raw[i+2])%edges
+		}
+		plan.Events = append(plan.Events, ev)
+	}
+	plan.Sort()
+	return plan
+}
+
+// FuzzFaultPlanConservation feeds arbitrary fault schedules — including
+// shapes Schedule never emits, like repairs of never-failed components,
+// double failures, and events at time zero — through the packet engine and
+// checks packet conservation: every injected packet is delivered or dropped
+// with a cause, exactly once. `make fuzz-smoke` runs this for a few seconds
+// in CI.
+func FuzzFaultPlanConservation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 0, 3, 0})                             // one server down, never repaired
+	f.Add([]byte{5, 1, 2, 0, 20, 1, 2, 1})                 // switch down then up
+	f.Add([]byte{0, 2, 7, 0, 0, 2, 7, 0, 9, 2, 7, 1})      // double link failure at t=0
+	f.Add([]byte{3, 0, 1, 1, 8, 1, 0, 0, 8, 2, 5, 0})      // repair-before-fail, same-time mixed burst
+	f.Add([]byte{255, 1, 9, 0, 1, 0, 0, 0, 128, 2, 40, 1}) // late + early + mid
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fuzzSetup()
+		plan := decodePlan(fuzzEnv.net, raw)
+		cfg := Default()
+		cfg.Faults = plan
+		cfg.Timeline = &Timeline{}
+		res, err := Run(fuzzEnv.topo, fuzzEnv.flows, cfg)
+		if err != nil {
+			t.Fatalf("valid decoded plan rejected: %v", err)
+		}
+		injected := injectedPackets(fuzzEnv.flows, cfg.MTU)
+		if got := res.Delivered + res.Dropped + res.DroppedFault; got != injected {
+			t.Fatalf("conservation violated: delivered %d + droptail %d + fault %d != injected %d (plan %+v)",
+				res.Delivered, res.Dropped, res.DroppedFault, injected, plan.Events)
+		}
+		for i, e := range cfg.Timeline.Epochs {
+			if e.EndSec < e.StartSec {
+				t.Fatalf("epoch %d runs backwards: [%v, %v)", i, e.StartSec, e.EndSec)
+			}
+			if i > 0 && e.StartSec != cfg.Timeline.Epochs[i-1].EndSec {
+				t.Fatalf("epoch %d not contiguous", i)
+			}
+		}
+	})
+}

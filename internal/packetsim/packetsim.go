@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"repro/internal/eventq"
+	"repro/internal/failure"
 	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -51,6 +52,17 @@ type Config struct {
 	// delivery ("deliver") and drop ("drop", Detail "droptail"), stamped
 	// with simulated time in nanoseconds. Nil disables tracing.
 	Trace *obs.Tracer
+
+	// Faults, when non-nil, is a live fault-injection schedule: its timed
+	// down/up events flow through the event queue alongside packets, and a
+	// packet transmitted across a dead link or node drops with the
+	// DropCauseFault cause. Nil (the default) leaves the run bit-identical
+	// to the fault-free engine.
+	Faults *failure.FaultPlan
+	// Timeline, when non-nil (and Faults is set), receives per-epoch
+	// delivery/drop statistics — one epoch per fault-event boundary. A
+	// Timeline must not be shared across concurrent runs.
+	Timeline *Timeline
 }
 
 // Instrument names registered on Config.Metrics by Run.
@@ -93,8 +105,11 @@ func (c Config) Validate() error {
 
 // Result summarizes one simulation run.
 type Result struct {
-	// Delivered and Dropped count packets.
+	// Delivered and Dropped count packets (Dropped is drop-tail overflow).
 	Delivered, Dropped int
+	// DroppedFault counts packets lost to a failed link or node while a
+	// fault plan was active (always 0 without one).
+	DroppedFault int
 	// AvgLatencySec and P99LatencySec summarize delivered-packet latency.
 	AvgLatencySec, P99LatencySec float64
 	// MakespanSec is the time the last packet was delivered.
@@ -103,13 +118,13 @@ type Result struct {
 	ThroughputBps float64
 }
 
-// DropRate returns dropped / offered.
+// DropRate returns dropped (any cause) / offered.
 func (r Result) DropRate() float64 {
-	total := r.Delivered + r.Dropped
+	total := r.Delivered + r.Dropped + r.DroppedFault
 	if total == 0 {
 		return 0
 	}
-	return float64(r.Dropped) / float64(total)
+	return float64(r.Dropped+r.DroppedFault) / float64(total)
 }
 
 // simEvent is an unboxed event payload: packet pn of flow has just reached
@@ -117,7 +132,8 @@ func (r Result) DropRate() float64 {
 // its source (forwarded arrivals always have idx >= 1), which doubles as
 // the cue to schedule the flow's next injection. The packet's send time and
 // trace id derive from (flow, pn), so the event carries no pointers and a
-// Push/Pop moves 16 bytes inline through the heap.
+// Push/Pop moves 16 bytes inline through the heap. A negative flow marks a
+// fault-plan event instead: pn indexes the plan and idx is unused.
 type simEvent struct {
 	flow int32
 	pn   int32 // packet number within the flow
@@ -167,11 +183,27 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 	}
 	seq := totalPackets // forwarded-event keys sort after all injections
 
+	// Live faults: schedule events carry negative keys, so a fault at time T
+	// applies before any packet event at T, and plan order breaks same-time
+	// ties. Nothing is pushed (and fs stays nil) without a plan.
+	var fs *faultState
+	if cfg.Faults != nil {
+		fs, err = newFaultState(cfg.Faults, t.Network(), cfg.Timeline, cfg.Metrics, cfg.Trace)
+		if err != nil {
+			return Result{}, err
+		}
+		for i, fe := range cfg.Faults.Events {
+			q.Push(fe.TimeSec, int64(i)-int64(len(cfg.Faults.Events)),
+				simEvent{flow: -1, pn: int32(i)})
+		}
+	}
+
 	// Instrumentation: hoisted nil-able instruments; every update below is a
 	// nil-check no-op when cfg.Metrics/cfg.Trace are unset.
 	var (
 		cDelivered = cfg.Metrics.Counter(MetricDelivered)
 		cDropped   = cfg.Metrics.Counter(MetricDroppedTail)
+		cFault     = cfg.Metrics.Counter(MetricDroppedFault)
 		hQueue     = cfg.Metrics.Histogram(MetricQueueDepth)
 		hHops      = cfg.Metrics.Histogram(MetricHops)
 		hLatency   = cfg.Metrics.Histogram(MetricLatencyNs)
@@ -186,6 +218,10 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 
 	for q.Len() > 0 {
 		now, _, ev := q.Pop()
+		if ev.flow < 0 {
+			fs.apply(now, int(ev.pn))
+			continue
+		}
 		fi := int(ev.flow)
 		path := plan.paths[fi]
 		if ev.idx == 0 && ev.pn+1 < packets[fi] {
@@ -209,6 +245,10 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 			cDelivered.Inc()
 			hHops.Observe(int64(len(path) - 1))
 			hLatency.Observe(int64(lat * 1e9))
+			if fs != nil {
+				fs.cur.Delivered++
+				fs.cur.DeliveredBytes += int64(cfg.MTU)
+			}
 			if tracer != nil {
 				tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "deliver",
 					ID: base[fi] + int64(ev.pn), Node: path[idx], Hop: idx})
@@ -216,6 +256,17 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 			continue
 		}
 		r := plan.flowRes(fi)[idx]
+		if fs != nil && !fs.hopAlive(path[idx], path[idx+1], r) {
+			// The next hop touches a dead component: the packet is lost.
+			res.DroppedFault++
+			cFault.Inc()
+			fs.cur.DroppedFault++
+			if tracer != nil {
+				tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "drop",
+					ID: base[fi] + int64(ev.pn), Node: path[idx], Hop: idx, Detail: DropCauseFault})
+			}
+			continue
+		}
 		// Drop-tail: the backlog ahead of us, in packets, is the remaining
 		// busy time divided by the per-packet transmit time.
 		backlog := (linkFree[r] - now) / txTime
@@ -225,9 +276,12 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 		if backlog > float64(cfg.QueueLimitPackets) {
 			res.Dropped++
 			cDropped.Inc()
+			if fs != nil {
+				fs.cur.DroppedTail++
+			}
 			if tracer != nil {
 				tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "drop",
-					ID: base[fi] + int64(ev.pn), Node: path[idx], Hop: idx, Detail: "droptail"})
+					ID: base[fi] + int64(ev.pn), Node: path[idx], Hop: idx, Detail: DropCauseTail})
 			}
 			continue
 		}
@@ -252,6 +306,9 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 	}
 	if res.MakespanSec > 0 {
 		res.ThroughputBps = float64(deliveredBytes) / res.MakespanSec
+	}
+	if fs != nil {
+		fs.finish(res.MakespanSec)
 	}
 	return res, nil
 }

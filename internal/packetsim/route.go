@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/graph"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -69,21 +70,33 @@ func compileRoutes(t topology.Topology, flows []traffic.Flow) (*routePlan, error
 	for i, p := range paths {
 		plan.off[i] = int32(len(plan.res))
 		plan.pairs[i] = int64(flows[i].Src)<<32 | int64(flows[i].Dst)
-		for j := 0; j+1 < len(p); j++ {
-			u, v := p[j], p[j+1]
-			e := g.EdgeBetween(u, v)
-			if e < 0 {
-				return nil, fmt.Errorf("packetsim: flow %d path hop %d->%d is not a cable", i, u, v)
-			}
-			r := int32(2 * e)
-			if u > v {
-				r++
-			}
-			plan.res = append(plan.res, r)
+		var err error
+		if plan.res, err = appendPathRes(plan.res, g, p); err != nil {
+			return nil, fmt.Errorf("packetsim: flow %d: %w", i, err)
 		}
 	}
 	plan.off[len(flows)] = int32(len(plan.res))
 	return plan, nil
+}
+
+// appendPathRes flattens one node path into directed link resources,
+// appending to dst. It backs both the whole-workload compile above and the
+// per-flow recompilation a rerouting transport flow performs when its cached
+// route dies: the fresh slice keeps the shared (cached) plan immutable.
+func appendPathRes(dst []int32, g *graph.Graph, p topology.Path) ([]int32, error) {
+	for j := 0; j+1 < len(p); j++ {
+		u, v := p[j], p[j+1]
+		e := g.EdgeBetween(u, v)
+		if e < 0 {
+			return dst, fmt.Errorf("path hop %d->%d is not a cable", u, v)
+		}
+		r := int32(2 * e)
+		if u > v {
+			r++
+		}
+		dst = append(dst, r)
+	}
+	return dst, nil
 }
 
 // routeCacheCap bounds the plan cache; past it the cache is dropped

@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"repro/internal/eventq"
+	"repro/internal/failure"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -36,6 +38,23 @@ type TransportConfig struct {
 	// costs window reductions, not retransmissions.
 	ECN                 bool
 	ECNThresholdPackets int
+
+	// Faults, when non-nil, injects the plan's timed down/up events into the
+	// run. Packets transmitted across dead components drop with the
+	// DropCauseFault cause, and a flow whose retransmission timer fires
+	// after the failure set changed recompiles its route around the dead
+	// components (structures implementing topology.FaultRouter; see
+	// reroute). Nil keeps the engine bit-identical to the fault-free run.
+	Faults *failure.FaultPlan
+	// Timeline, when non-nil (and Faults is set), receives per-epoch
+	// goodput/drop/reroute statistics. Not safe to share across runs.
+	Timeline *Timeline
+	// MaxFlowTimeouts aborts a flow after this many consecutive
+	// retransmission timeouts without forward progress — the give-up that
+	// lets a run terminate when failures permanently strand a flow (dead
+	// endpoint, partitioned network). Only enforced while Faults is set;
+	// 0 disables the cap.
+	MaxFlowTimeouts int
 }
 
 // DefaultTransport returns a GbE NewReno-ish configuration.
@@ -53,6 +72,7 @@ func DefaultTransport() TransportConfig {
 		DupAckThreshold:     3,
 		MaxEvents:           50e6,
 		ECNThresholdPackets: 20,
+		MaxFlowTimeouts:     30,
 	}
 }
 
@@ -76,6 +96,9 @@ func (c TransportConfig) Validate() error {
 	if c.ECN && c.ECNThresholdPackets < 1 {
 		return fmt.Errorf("packetsim: ECN threshold must be >= 1")
 	}
+	if c.MaxFlowTimeouts < 0 {
+		return fmt.Errorf("packetsim: MaxFlowTimeouts must be >= 0")
+	}
 	return nil
 }
 
@@ -83,8 +106,16 @@ func (c TransportConfig) Validate() error {
 type TransportResult struct {
 	// CompletedFlows counts flows that delivered all their bytes.
 	CompletedFlows int
+	// FailedFlows counts flows that gave up after MaxFlowTimeouts
+	// consecutive timeouts (fault runs only).
+	FailedFlows int
 	// Retransmits counts data packets sent more than once.
 	Retransmits int
+	// Reroutes counts per-flow route recompilations around failures.
+	Reroutes int
+	// DroppedFault and DroppedStale count packets lost to dead components
+	// and to route changes while in flight (fault runs only).
+	DroppedFault, DroppedStale int
 	// ECNMarks counts congestion marks applied (ECN mode only).
 	ECNMarks int
 	// MeanFCTSec, P99FCTSec, MakespanSec summarize completion times of the
@@ -127,6 +158,18 @@ type tflow struct {
 	start    float64 // arrival time
 	finish   float64 // absolute completion time
 
+	// Fault-run state. routeEpoch versions the flow's compiled route:
+	// every data/ACK packet is stamped with it at send time, and a packet
+	// whose stamp no longer matches is stale (its path no longer exists)
+	// and silently lost. planEpoch records the fault epoch the route was
+	// last validated against, so a timeout recompiles at most once per
+	// failure-set change. timeouts counts consecutive RTOs without
+	// progress; aborted marks a flow that gave up.
+	routeEpoch int32
+	planEpoch  int32
+	timeouts   int
+	aborted    bool
+
 	// Receiver.
 	rcvNext int
 	buffer  map[int]bool // out-of-order packets held, allocated on first use
@@ -137,24 +180,26 @@ type tflow struct {
 	ecnHoldUntil int
 }
 
-// tevent kinds. Start and timer events carry the timer generation in gen;
-// data and ACK arrivals carry the data sequence / cumulative ack in seq and
-// their path position in idx.
+// tevent kinds. Timer events carry the timer generation in gen; data and
+// ACK arrivals carry the data sequence / cumulative ack in seq, their path
+// position in idx, and the sending flow's route epoch in gen. Fault events
+// carry the fault-plan index in seq.
 const (
 	tevData = iota
 	tevAck
 	tevTimer
 	tevStart
+	tevFault
 )
 
 // tevent is an unboxed transport event: a data or ACK packet reaching
-// position idx of its path, a retransmission timer, or a flow start. One
-// 16-byte value replaces the old engine's heap-allocated tpkt plus boxed
-// container/heap entry.
+// position idx of its path, a retransmission timer, a flow start, or a
+// fault-plan transition. One 16-byte value replaces the old engine's
+// heap-allocated tpkt plus boxed container/heap entry.
 type tevent struct {
 	flow int32
-	seq  int32 // data sequence / cumulative ack (tevData, tevAck)
-	gen  int32 // timer generation (tevTimer)
+	seq  int32 // data sequence / cumulative ack (tevData, tevAck); plan index (tevFault)
+	gen  int32 // timer generation (tevTimer); route epoch (tevData, tevAck)
 	idx  int16 // position along the packet's path
 	kind uint8
 	ce   bool // congestion experienced (data) / echoed (ACKs)
@@ -173,10 +218,24 @@ type transportRun struct {
 	retransmit int
 	ecnMarks   int
 
+	// Fault-run state: the live failure view/epoch, the structure's
+	// fault-tolerant router for recompiles (nil if not implemented), and
+	// the graph for flattening rerouted paths into link resources.
+	fs          *faultState
+	frouter     topology.FaultRouter
+	g           *graph.Graph
+	net         *topology.Network
+	reroutes    int
+	faultDrops  int
+	staleDrops  int
+	failedFlows int
+
 	// Hoisted nil-able instruments (see TransportConfig.Link.Metrics).
-	cRtx, cECN, cDone, cDrops *obs.Counter
-	hQueue                    *obs.Histogram
-	tracer                    *obs.Tracer
+	cRtx, cECN, cDone, cDrops              *obs.Counter
+	cFault, cStale, cReroute, cFailed      *obs.Counter
+	cDataSent, cDataArr, cAckSent, cAckArr *obs.Counter
+	hQueue                                 *obs.Histogram
+	tracer                                 *obs.Tracer
 }
 
 // push enqueues ev with the next ordinal, preserving the reference engine's
@@ -201,14 +260,37 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 		return TransportResult{}, err
 	}
 	run := &transportRun{
-		cfg:      cfg,
-		linkFree: make([]float64, plan.numRes),
-		cRtx:     cfg.Link.Metrics.Counter(MetricRetransmits),
-		cECN:     cfg.Link.Metrics.Counter(MetricECNMarks),
-		cDone:    cfg.Link.Metrics.Counter(MetricCompletedFlows),
-		cDrops:   cfg.Link.Metrics.Counter(MetricTransportDrops),
-		hQueue:   cfg.Link.Metrics.Histogram(MetricQueueDepth),
-		tracer:   cfg.Link.Trace,
+		cfg:       cfg,
+		linkFree:  make([]float64, plan.numRes),
+		g:         t.Network().Graph(),
+		net:       t.Network(),
+		cRtx:      cfg.Link.Metrics.Counter(MetricRetransmits),
+		cECN:      cfg.Link.Metrics.Counter(MetricECNMarks),
+		cDone:     cfg.Link.Metrics.Counter(MetricCompletedFlows),
+		cDrops:    cfg.Link.Metrics.Counter(MetricTransportDrops),
+		cFault:    cfg.Link.Metrics.Counter(MetricTransportFaultDrops),
+		cStale:    cfg.Link.Metrics.Counter(MetricTransportStaleDrops),
+		cReroute:  cfg.Link.Metrics.Counter(MetricReroutes),
+		cFailed:   cfg.Link.Metrics.Counter(MetricFailedFlows),
+		cDataSent: cfg.Link.Metrics.Counter(MetricDataSent),
+		cDataArr:  cfg.Link.Metrics.Counter(MetricDataArrived),
+		cAckSent:  cfg.Link.Metrics.Counter(MetricAckSent),
+		cAckArr:   cfg.Link.Metrics.Counter(MetricAckArrived),
+		hQueue:    cfg.Link.Metrics.Histogram(MetricQueueDepth),
+		tracer:    cfg.Link.Trace,
+	}
+	if cfg.Faults != nil {
+		run.fs, err = newFaultState(cfg.Faults, t.Network(), cfg.Timeline, cfg.Link.Metrics, cfg.Link.Trace)
+		if err != nil {
+			return TransportResult{}, err
+		}
+		run.frouter, _ = t.(topology.FaultRouter)
+		// Fault events carry negative keys so a transition at time T applies
+		// before any packet event at T, in plan order.
+		for i, fe := range cfg.Faults.Events {
+			run.q.Push(fe.TimeSec, int64(i)-int64(len(cfg.Faults.Events)),
+				tevent{kind: tevFault, seq: int32(i)})
+		}
 	}
 	for i, f := range flows {
 		if len(plan.paths[i]) < 2 {
@@ -239,6 +321,8 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 			run.pump(int(ev.flow))
 		case tevTimer:
 			run.onTimer(int(ev.flow), ev.gen)
+		case tevFault:
+			run.fs.apply(now, int(ev.seq))
 		default:
 			run.onArrival(ev)
 		}
@@ -250,6 +334,9 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 // pump sends new data while the window allows.
 func (r *transportRun) pump(flow int) {
 	f := &r.flows[flow]
+	if f.aborted {
+		return
+	}
 	for !f.done && f.inflight < int(f.cwnd) && f.nextSend < f.total {
 		r.sendData(flow, f.nextSend, false)
 		f.nextSend++
@@ -267,17 +354,21 @@ func (r *transportRun) armTimer(flow int) {
 	r.push(r.now+f.rto, tevent{flow: int32(flow), gen: f.timerGen, kind: tevTimer})
 }
 
-// sendData transmits one data packet from the flow's source.
+// sendData transmits one data packet from the flow's source, stamped with
+// the flow's current route epoch.
 func (r *transportRun) sendData(flow, seq int, rtx bool) {
 	if rtx {
 		r.retransmit++
 		r.cRtx.Inc()
+		if r.fs != nil {
+			r.fs.cur.Retransmits++
+		}
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "retransmit",
 				ID: int64(flow), Node: r.flows[flow].fwd[0], Hop: seq})
 		}
 	}
-	r.transmit(tevent{flow: int32(flow), seq: int32(seq), kind: tevData}, 0)
+	r.transmit(tevent{flow: int32(flow), seq: int32(seq), gen: r.flows[flow].routeEpoch, kind: tevData}, 0)
 }
 
 // transmit pushes packet ev onto the link at position idx of its path;
@@ -289,14 +380,36 @@ func (r *transportRun) transmit(ev tevent, idx int) {
 	bytes := r.cfg.Link.MTU
 	last := len(f.fwd) - 2 // index of the final hop on either direction
 	var res int32
-	var u int
+	var u, v int
 	if isAck {
 		bytes = r.cfg.AckBytes
 		res = f.res[last-idx] ^ 1
 		u = f.fwd[len(f.fwd)-1-idx]
+		v = f.fwd[len(f.fwd)-2-idx]
 	} else {
 		res = f.res[idx]
 		u = f.fwd[idx]
+		v = f.fwd[idx+1]
+	}
+	if idx == 0 {
+		// Conservation probe: a packet journey begins (see MetricDataSent).
+		if isAck {
+			r.cAckSent.Inc()
+		} else {
+			r.cDataSent.Inc()
+		}
+	}
+	if r.fs != nil && !r.fs.hopAlive(u, v, res) {
+		// The hop touches a dead component: the packet is lost; the
+		// transport's loss recovery (and rerouting) will handle it.
+		r.faultDrops++
+		r.cFault.Inc()
+		r.fs.cur.DroppedFault++
+		if r.tracer != nil {
+			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "drop",
+				ID: int64(ev.flow), Node: u, Hop: idx, Detail: DropCauseFault})
+		}
+		return
 	}
 	txTime := float64(bytes) / r.cfg.Link.LinkBandwidthBps
 	backlog := (r.linkFree[res] - r.now) / txTime
@@ -305,9 +418,12 @@ func (r *transportRun) transmit(ev tevent, idx int) {
 	}
 	if backlog > float64(r.cfg.Link.QueueLimitPackets) {
 		r.cDrops.Inc()
+		if r.fs != nil {
+			r.fs.cur.DroppedTail++
+		}
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "drop",
-				ID: int64(ev.flow), Node: u, Hop: idx, Detail: "droptail"})
+				ID: int64(ev.flow), Node: u, Hop: idx, Detail: DropCauseTail})
 		}
 		return // drop-tail: the transport's loss recovery will handle it
 	}
@@ -324,16 +440,31 @@ func (r *transportRun) transmit(ev tevent, idx int) {
 }
 
 // onArrival advances a packet along its path or hands it to the endpoint.
+// During fault runs a packet whose route-epoch stamp is stale — its flow
+// rerouted while it was in flight — is discarded first: its idx indexes a
+// path that no longer exists.
 func (r *transportRun) onArrival(ev tevent) {
 	f := &r.flows[ev.flow]
+	if r.fs != nil && ev.gen != f.routeEpoch {
+		r.staleDrops++
+		r.cStale.Inc()
+		r.fs.cur.DroppedStale++
+		if r.tracer != nil {
+			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "drop",
+				ID: int64(ev.flow), Node: -1, Hop: int(ev.idx), Detail: DropCauseStale})
+		}
+		return
+	}
 	if int(ev.idx) < len(f.fwd)-1 {
 		r.transmit(ev, int(ev.idx))
 		return
 	}
 	if ev.kind == tevAck {
+		r.cAckArr.Inc()
 		r.onAck(int(ev.flow), int(ev.seq), ev.ce)
 		return
 	}
+	r.cDataArr.Inc()
 	r.onData(int(ev.flow), int(ev.seq), ev.ce)
 }
 
@@ -356,13 +487,13 @@ func (r *transportRun) onData(flow, seq int, ce bool) {
 	}
 	echo := f.rcvCE || ce
 	f.rcvCE = false
-	r.transmit(tevent{flow: int32(flow), seq: int32(f.rcvNext), kind: tevAck, ce: echo}, 0)
+	r.transmit(tevent{flow: int32(flow), seq: int32(f.rcvNext), gen: f.routeEpoch, kind: tevAck, ce: echo}, 0)
 }
 
 // onAck is the sender: slide the window, grow/shrink cwnd, pump.
 func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 	f := &r.flows[flow]
-	if f.done {
+	if f.done || f.aborted {
 		return
 	}
 	if r.cfg.ECN && ce && ackNo >= f.ecnHoldUntil {
@@ -377,9 +508,15 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 		newly := ackNo - f.acked
 		f.acked = ackNo
 		f.dupAcks = 0
+		f.timeouts = 0 // forward progress: reset the give-up counter
 		f.inflight -= newly
 		if f.inflight < 0 {
 			f.inflight = 0
+		}
+		if r.fs != nil {
+			// Goodput accrues at the sender when bytes are acknowledged.
+			r.fs.cur.Delivered += int64(newly)
+			r.fs.cur.DeliveredBytes += int64(newly) * int64(r.cfg.Link.MTU)
 		}
 		for i := 0; i < newly; i++ {
 			if f.cwnd < f.ssthresh {
@@ -397,6 +534,9 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 			f.finish = r.now
 			f.timerGen++ // cancel the timer
 			r.cDone.Inc()
+			if r.fs != nil {
+				r.fs.cur.CompletedFlows++
+			}
 			if r.tracer != nil {
 				r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "flow_done",
 					ID: int64(flow), Node: f.fwd[len(f.fwd)-1], Hop: f.total})
@@ -422,10 +562,31 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 
 // onTimer fires a retransmission timeout: collapse the window, assume the
 // pipe drained, resend the oldest unacked packet with backed-off RTO.
+// During fault runs a timeout is also the reroute trigger — retransmitting
+// into a black hole is pointless, so if the failure set changed since the
+// route was last checked the flow recompiles it first — and the give-up
+// point: after MaxFlowTimeouts consecutive timeouts without progress the
+// flow aborts, letting the run terminate despite permanently dead flows.
 func (r *transportRun) onTimer(flow int, gen int32) {
 	f := &r.flows[flow]
-	if f.done || gen != f.timerGen {
+	if f.done || f.aborted || gen != f.timerGen {
 		return // stale timer
+	}
+	if r.fs != nil {
+		f.timeouts++
+		if r.cfg.MaxFlowTimeouts > 0 && f.timeouts >= r.cfg.MaxFlowTimeouts {
+			f.aborted = true
+			r.failedFlows++
+			r.cFailed.Inc()
+			if r.tracer != nil {
+				r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "flow_abort",
+					ID: int64(flow), Node: f.fwd[0], Hop: f.acked})
+			}
+			return // no rearm: the flow's remaining events drain
+		}
+		if f.planEpoch != r.fs.epoch {
+			r.reroute(flow)
+		}
 	}
 	f.ssthresh = math.Max(f.cwnd/2, 2)
 	f.cwnd = 1
@@ -436,11 +597,54 @@ func (r *transportRun) onTimer(flow int, gen int32) {
 	r.armTimer(flow)
 }
 
+// reroute revalidates a flow's route against the current failure view: if
+// the compiled path still lives the epoch stamp is simply refreshed; if it
+// died and the structure has a fault-tolerant router, the flow recompiles a
+// path avoiding every dead component and bumps its route epoch, orphaning
+// (as stale) whatever was in flight on the old path. The new resources are
+// a fresh slice — the cached routePlan shared across runs is never mutated.
+// The reverse (ACK) direction needs no separate route: it uses resource^1
+// of each mirrored forward hop, which survives rerouting by construction.
+func (r *transportRun) reroute(flow int) {
+	f := &r.flows[flow]
+	f.planEpoch = r.fs.epoch
+	if topology.Path(f.fwd).Alive(r.net, r.fs.view) {
+		return // current route survived this failure set
+	}
+	if r.frouter == nil {
+		return // no fault router: keep timing out until repair
+	}
+	p, err := r.frouter.RouteAvoiding(f.fwd[0], f.fwd[len(f.fwd)-1], r.fs.view)
+	if err != nil || len(p) < 2 {
+		// Unroutable under this failure set (the router is deterministic, so
+		// retrying against the same view is pointless): back off until the
+		// next epoch change revalidates.
+		return
+	}
+	res, err := appendPathRes(make([]int32, 0, len(p)-1), r.g, p)
+	if err != nil {
+		return
+	}
+	f.fwd, f.res = p, res
+	f.routeEpoch++
+	r.reroutes++
+	r.cReroute.Inc()
+	r.fs.cur.Reroutes++
+	if r.tracer != nil {
+		r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "reroute",
+			ID: int64(flow), Node: f.fwd[0], Hop: len(p) - 1})
+	}
+}
+
 // results aggregates the run.
 func (r *transportRun) results() TransportResult {
 	var res TransportResult
 	res.Retransmits = r.retransmit
 	res.ECNMarks = r.ecnMarks
+	res.Reroutes = r.reroutes
+	res.DroppedFault = r.faultDrops
+	res.DroppedStale = r.staleDrops
+	res.FailedFlows = r.failedFlows
 	fcts := make([]float64, 0, len(r.flows))
 	var payload int64
 	for i := range r.flows {
@@ -466,6 +670,9 @@ func (r *transportRun) results() TransportResult {
 	}
 	if res.MakespanSec > 0 {
 		res.GoodputBps = float64(payload) / res.MakespanSec
+	}
+	if r.fs != nil {
+		r.fs.finish(res.MakespanSec)
 	}
 	return res
 }
