@@ -9,8 +9,9 @@
 #   make bench   micro + experiment benchmarks with allocation counts
 #   make bench-smoke  one fast suite pass diffed against the recorded
 #                BENCH_pr1.json baseline; fails on a large regression
-#   make fuzz-smoke  fuzz arbitrary fault schedules against the packet
-#                conservation invariant for a few seconds
+#   make fuzz-smoke  fuzz arbitrary fault schedules against the packet and
+#                multipath-transport conservation invariants for a few
+#                seconds each
 #   make check   everything a PR must pass locally
 
 GO ?= go
@@ -28,7 +29,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq ./internal/failure
+	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq ./internal/failure ./internal/bcube ./internal/topotest
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
@@ -42,7 +43,10 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchsuite -compare BENCH_pr1.json -threshold 10
 
+# go test accepts one -fuzz target at a time, so each invariant gets its own
+# invocation.
 fuzz-smoke:
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzFaultPlanConservation -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzMultipathConservation -fuzztime $(FUZZTIME)
 
 check: build vet test race

@@ -262,6 +262,8 @@ func BenchmarkF25LatencyVsLoad(b *testing.B) { benchExperiment(b, "F25") }
 
 func BenchmarkF26RecoveryTimeline(b *testing.B) { benchExperiment(b, "F26") }
 
+func BenchmarkF27GracefulDegradation(b *testing.B) { benchExperiment(b, "F27") }
+
 func BenchmarkPlannerSearch(b *testing.B) {
 	req := planner.Requirements{MinServers: 5000, MaxServerPorts: 4, MaxSwitchPorts: 48}
 	model := cost.Default()

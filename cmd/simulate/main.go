@@ -57,10 +57,22 @@ func run(args []string, w io.Writer) error {
 		faults  = fs.String("faults", "", "inject live failures into these component classes (comma list of servers,switches,links; packet/transport sims only)")
 		mtbf    = fs.Duration("mtbf", 500*time.Microsecond, "mean time between failure onsets for -faults")
 		mttr    = fs.Duration("mttr", 1*time.Millisecond, "mean down-for-duration repair window for -faults")
+		mpath   = fs.Bool("multipath", false, "proactive multipath failover over precompiled disjoint paths (transport sim with -faults only)")
+		paths   = fs.Int("paths", 0, "per-flow path-set cap for -multipath (default 4)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if (*mpath || *paths != 0) && *sim != "transport" {
+		return fmt.Errorf("-multipath/-paths require -sim transport")
+	}
+	if *paths != 0 && !*mpath {
+		return fmt.Errorf("-paths requires -multipath")
+	}
+	if *mpath && *faults == "" {
+		return fmt.Errorf("-multipath requires -faults (the proactive layer only arms under a fault plan)")
 	}
 
 	t, err := buildTopology(*topo, *n, *k, *p)
@@ -183,6 +195,8 @@ func run(args []string, w io.Writer) error {
 		cfg.Link.Trace = tracer
 		cfg.Faults = plan
 		cfg.Timeline = timeline
+		cfg.Multipath = *mpath
+		cfg.MultipathPaths = *paths
 		res, err := packetsim.RunTransport(t, flows, cfg)
 		if err != nil {
 			return err
@@ -190,6 +204,10 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "transport sim: %d/%d flows completed (%d failed), %d retransmits, %d reroutes, mean FCT %.2fms, makespan %.2fms, goodput %.2f Gb/s\n",
 			res.CompletedFlows, len(flows), res.FailedFlows, res.Retransmits, res.Reroutes,
 			res.MeanFCTSec*1e3, res.MakespanSec*1e3, res.GoodputBps*8/1e9)
+		if *mpath {
+			fmt.Fprintf(w, "multipath: %d failovers, %d path switches, probes %d ok / %d failed\n",
+				res.Failovers, res.PathSwitches, res.ProbeSuccesses, res.ProbeFailures)
+		}
 	default:
 		return fmt.Errorf("unknown simulator %q", *sim)
 	}
@@ -225,9 +243,9 @@ func run(args []string, w io.Writer) error {
 func writeTimeline(w io.Writer, tl *packetsim.Timeline) {
 	fmt.Fprintf(w, "fault timeline (%d epochs):\n", len(tl.Epochs))
 	for i, e := range tl.Epochs {
-		fmt.Fprintf(w, "  epoch %2d  %8.3f-%8.3fms  goodput %7.3f Gb/s  avail %.4f  drops fault/stale/tail %d/%d/%d  reroutes %d\n",
+		fmt.Fprintf(w, "  epoch %2d  %8.3f-%8.3fms  goodput %7.3f Gb/s  avail %.4f  drops fault/stale/tail %d/%d/%d  reroutes %d  failovers %d\n",
 			i, e.StartSec*1e3, e.EndSec*1e3, e.GoodputBps()*8/1e9, e.Availability(),
-			e.DroppedFault, e.DroppedStale, e.DroppedTail, e.Reroutes)
+			e.DroppedFault, e.DroppedStale, e.DroppedTail, e.Reroutes, e.Failovers)
 	}
 }
 

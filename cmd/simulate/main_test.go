@@ -57,6 +57,11 @@ func TestRunSimulations(t *testing.T) {
 			args: []string{"-topo", "abccc", "-pattern", "shuffle", "-sim", "transport", "-faults", "switches, links"},
 			want: "reroutes",
 		},
+		{
+			name: "transport multipath",
+			args: []string{"-topo", "abccc", "-pattern", "shuffle", "-sim", "transport", "-faults", "switches", "-multipath", "-paths", "3"},
+			want: "failovers",
+		},
 		{name: "bad topo", args: []string{"-topo", "torus"}, wantErr: true},
 		{name: "bad pattern", args: []string{"-pattern", "chaos"}, wantErr: true},
 		{name: "bad sim", args: []string{"-sim", "quantum"}, wantErr: true},
@@ -64,6 +69,9 @@ func TestRunSimulations(t *testing.T) {
 		{name: "faults with flow sim", args: []string{"-sim", "flow", "-faults", "links"}, wantErr: true},
 		{name: "bad fault kind", args: []string{"-sim", "packet", "-faults", "gremlins"}, wantErr: true},
 		{name: "bad mtbf", args: []string{"-sim", "packet", "-faults", "links", "-mtbf", "0s"}, wantErr: true},
+		{name: "multipath with flow sim", args: []string{"-sim", "flow", "-multipath"}, wantErr: true},
+		{name: "multipath without faults", args: []string{"-sim", "transport", "-multipath"}, wantErr: true},
+		{name: "paths without multipath", args: []string{"-sim", "transport", "-faults", "switches", "-paths", "2"}, wantErr: true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

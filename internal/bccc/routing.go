@@ -163,6 +163,25 @@ func (t *BCCC) ParallelPaths(src, dst int) []topology.Path {
 			add(t.routeVia(src, dst, l, v, diff))
 		}
 	}
+	// Corner detours: when neither endpoint's own level needs correcting
+	// (and the endpoints sit on different levels), the default route burns
+	// both endpoint local switches, so every single-level detour collides
+	// with it on one side. Leaving through the source's level and arriving
+	// through the destination's splits the two local switches between the
+	// default route and the detour.
+	if sL != dL && !diffSet[sL] && !diffSet[dL] && len(diff) > 0 {
+		for v1 := 0; v1 < t.cfg.N; v1++ {
+			if v1 == t.digit(sVec, sL) {
+				continue
+			}
+			for v2 := 0; v2 < t.cfg.N; v2++ {
+				if v2 == t.digit(sVec, dL) {
+					continue
+				}
+				add(t.routeCorner(src, dst, v1, v2, diff))
+			}
+		}
+	}
 	// Same-crossbar pairs: loop out through the source's level and back
 	// through the destination's (distinct switches at every crossing).
 	if sVec == dVec && sL != dL {
@@ -178,7 +197,7 @@ func (t *BCCC) ParallelPaths(src, dst int) []topology.Path {
 			}
 		}
 	}
-	return selectDisjointPaths(out, src, dst)
+	return topology.DisjointSubset(out, src, dst)
 }
 
 // routeVia detours through (level, value) before correcting diff and
@@ -212,6 +231,42 @@ func (t *BCCC) routeVia(src, dst, level, value int, diff []int) (topology.Path, 
 	return path, nil
 }
 
+// routeCorner builds the double detour for pairs whose endpoint levels both
+// already agree: mis-correct the source's level (leaving via its level
+// switch, not the local one), mis-correct the destination's, fix the
+// differing digits, then restore both — landing on the destination server
+// through its level switch.
+func (t *BCCC) routeCorner(src, dst, v1, v2 int, diff []int) (topology.Path, error) {
+	digits := t.cfg.K + 1
+	sVec, sL := t.locate(src)
+	dVec, dL := t.locate(dst)
+	cur, curL := sVec, sL
+	path := topology.Path{src}
+	step := func(l, v int) {
+		if curL != l {
+			path = append(path, t.localSw[cur], t.servers[cur*digits+l])
+			curL = l
+		}
+		path = append(path, t.levelSw[l][t.contract(cur, l)])
+		cur = t.setDigit(cur, l, v)
+		path = append(path, t.servers[cur*digits+l])
+	}
+	step(sL, v1)
+	step(dL, v2)
+	for _, l := range groupedOrder(diff, dL, dL) {
+		step(l, t.digit(dVec, l))
+	}
+	step(sL, t.digit(dVec, sL))
+	step(dL, t.digit(dVec, dL))
+	if cur != dVec {
+		return nil, fmt.Errorf("bccc: corner detour missed destination")
+	}
+	if curL != dL {
+		path = append(path, t.localSw[cur], dst)
+	}
+	return path, nil
+}
+
 // routeLoop builds the same-crossbar loop detour: change the source's level
 // to v1, the destination's level to v2, then restore both, landing on the
 // destination server.
@@ -238,31 +293,6 @@ func (t *BCCC) routeLoop(src, dst, v1, v2 int) (topology.Path, error) {
 		return nil, fmt.Errorf("bccc: loop detour did not land on destination")
 	}
 	return path, nil
-}
-
-// selectDisjointPaths keeps a greedy internally-disjoint subset.
-func selectDisjointPaths(candidates []topology.Path, src, dst int) []topology.Path {
-	used := map[int]bool{}
-	var kept []topology.Path
-	for _, p := range candidates {
-		ok := true
-		for _, node := range p {
-			if node != src && node != dst && used[node] {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		for _, node := range p {
-			if node != src && node != dst {
-				used[node] = true
-			}
-		}
-		kept = append(kept, p)
-	}
-	return kept
 }
 
 // RouteAvoiding routes around failed components: it tries the parallel

@@ -83,39 +83,8 @@ func TestRouteLengthsMatchABCCCP2(t *testing.T) {
 	}
 }
 
-func TestParallelPathsDisjointAndPlural(t *testing.T) {
-	tp := MustBuild(Config{N: 3, K: 1})
-	net := tp.Network()
-	servers := net.Servers()
-	for _, src := range servers[:12] {
-		for _, dst := range servers[:12] {
-			if src == dst {
-				continue
-			}
-			paths := tp.ParallelPaths(src, dst)
-			if len(paths) < 2 {
-				t.Fatalf("%s->%s: %d paths, want >= 2", net.Label(src), net.Label(dst), len(paths))
-			}
-			used := map[int]bool{}
-			for _, p := range paths {
-				if err := p.Validate(net, src, dst); err != nil {
-					t.Fatal(err)
-				}
-				for _, node := range p {
-					if node != src && node != dst {
-						if used[node] {
-							t.Fatal("paths share a node")
-						}
-						used[node] = true
-					}
-				}
-			}
-		}
-	}
-	if got := tp.ParallelPaths(servers[0], servers[0]); got != nil {
-		t.Error("self pair returned paths")
-	}
-}
+// ParallelPaths validity, disjointness, plurality, and the max-flow bound
+// are covered by the shared topotest.RunMultipathRouter battery.
 
 func TestRouteAvoidingSurvivesPrimaryFailure(t *testing.T) {
 	tp := MustBuild(Config{N: 3, K: 1})

@@ -1,0 +1,68 @@
+package bcube
+
+import "repro/internal/topology"
+
+// ParallelPaths returns BCube's classic k+1 internally vertex-disjoint paths
+// (Guo et al., SIGCOMM 2009, BuildPathSet): for each level where the address
+// vectors differ, the DCRouting path that corrects that level first and the
+// remaining levels in cyclic descending order; for each level where they
+// agree, the AltDCRouting detour that first mis-corrects the level to a
+// neighbor value and restores it last. Differing levels are listed in
+// descending order, so the first candidate is exactly the default Route path.
+func (t *BCube) ParallelPaths(src, dst int) []topology.Path {
+	if err := topology.CheckEndpoints(t.net, src, dst); err != nil || src == dst {
+		return nil
+	}
+	sVec, dVec := t.vecOf(src), t.vecOf(dst)
+	var candidates []topology.Path
+	add := func(p topology.Path) {
+		if p.Validate(t.net, src, dst) == nil {
+			candidates = append(candidates, p)
+		}
+	}
+	for l := t.cfg.K; l >= 0; l-- {
+		if t.digit(sVec, l) != t.digit(dVec, l) {
+			add(t.permutationPath(sVec, dVec, l, -1))
+		}
+	}
+	for l := t.cfg.K; l >= 0; l-- {
+		if t.digit(sVec, l) == t.digit(dVec, l) {
+			add(t.permutationPath(sVec, dVec, l, (t.digit(sVec, l)+1)%t.cfg.N))
+		}
+	}
+	return topology.DisjointSubset(candidates, src, dst)
+}
+
+// permutationPath walks the digit corrections in cyclic descending order
+// starting at level start. With alt < 0 it is DCRouting (level start must
+// differ, and is corrected first). With alt >= 0 level start agrees between
+// the endpoints: the walk first sets it to the scratch value alt, corrects
+// the differing levels, and restores it last (AltDCRouting).
+func (t *BCube) permutationPath(sVec, dVec, start, alt int) topology.Path {
+	digits := t.cfg.K + 1
+	cur := sVec
+	path := topology.Path{t.servers[cur]}
+	step := func(l, v int) {
+		path = append(path, t.levelSw[l][t.contract(cur, l)])
+		cur = t.setDigit(cur, l, v)
+		path = append(path, t.servers[cur])
+	}
+	if alt >= 0 {
+		step(start, alt)
+	}
+	for d := 0; d < digits; d++ {
+		l := ((start-d)%digits + digits) % digits
+		if l == start && alt >= 0 {
+			continue // restored last, below
+		}
+		if t.digit(cur, l) != t.digit(dVec, l) {
+			step(l, t.digit(dVec, l))
+		}
+	}
+	if alt >= 0 {
+		step(start, t.digit(dVec, start))
+	}
+	return path
+}
+
+var _ topology.MultipathRouter = (*BCube)(nil)

@@ -24,7 +24,7 @@ func (t *ABCCC) ParallelPaths(src, dst int) []topology.Path {
 	}
 	a, b := t.addrOf[src], t.addrOf[dst]
 	candidates := t.parallelCandidates(a, b)
-	return selectDisjoint(candidates, src, dst)
+	return topology.DisjointSubset(candidates, src, dst)
 }
 
 // parallelCandidates generates the candidate paths described on
@@ -117,32 +117,6 @@ func (t *ABCCC) parallelCandidates(a, b Addr) []topology.Path {
 		}
 	}
 	return out
-}
-
-// selectDisjoint keeps a maximal prefix-greedy subset of candidates whose
-// internal nodes (everything but the shared endpoints) are pairwise disjoint.
-func selectDisjoint(candidates []topology.Path, src, dst int) []topology.Path {
-	used := map[int]bool{}
-	var kept []topology.Path
-	for _, p := range candidates {
-		ok := true
-		for _, node := range p {
-			if node != src && node != dst && used[node] {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		for _, node := range p {
-			if node != src && node != dst {
-				used[node] = true
-			}
-		}
-		kept = append(kept, p)
-	}
-	return kept
 }
 
 // orderBySourceOwnership returns the levels with those owned by server j

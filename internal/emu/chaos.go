@@ -22,9 +22,11 @@ type ChaosEvent struct {
 }
 
 // Chaos drives a DV session through `events` seeded random kill/revive
-// steps against switches (the chaos-monkey test for the control plane),
-// reconverging and auditing delivery against ground-truth connectivity
-// after every event. It returns the event log; the caller asserts
+// steps against switches and servers alike (the chaos-monkey test for the
+// control plane), reconverging and auditing delivery against ground-truth
+// connectivity after every event. Dead servers are excluded from the audit
+// as sources and destinations — the contract covers only pairs that could
+// possibly talk. It returns the event log; the caller asserts
 // Served == Connected throughout.
 func Chaos(t Forwarder, events int, rng *rand.Rand) ([]ChaosEvent, error) {
 	net := t.Network()
@@ -35,9 +37,9 @@ func Chaos(t Forwarder, events int, rng *rand.Rand) ([]ChaosEvent, error) {
 	if _, _, err := sess.Converge(); err != nil {
 		return nil, err
 	}
-	switches := net.Switches()
-	if len(switches) == 0 {
-		return nil, fmt.Errorf("emu: chaos needs switches to torment")
+	pool := append(append([]int(nil), net.Switches()...), net.Servers()...)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("emu: chaos needs devices to torment")
 	}
 	down := map[int]bool{}
 	view := graph.NewView(net.Graph())
@@ -45,9 +47,9 @@ func Chaos(t Forwarder, events int, rng *rand.Rand) ([]ChaosEvent, error) {
 
 	log := make([]ChaosEvent, 0, events)
 	for i := 0; i < events; i++ {
-		ev := ChaosEvent{Node: switches[rng.Intn(len(switches))]}
+		ev := ChaosEvent{Node: pool[rng.Intn(len(pool))]}
 		// Bias toward killing when few are down, reviving when many are.
-		ev.Kill = rng.Float64() > float64(len(down))/float64(len(switches))*2
+		ev.Kill = rng.Float64() > float64(len(down))/float64(len(pool))*2
 		if ev.Kill {
 			if down[ev.Node] {
 				ev.Kill = false // already down: revive instead
@@ -68,17 +70,20 @@ func Chaos(t Forwarder, events int, rng *rand.Rand) ([]ChaosEvent, error) {
 			delete(down, ev.Node)
 			// Views cannot un-fail; rebuild from the surviving set.
 			view = graph.NewView(net.Graph())
-			for sw := range down {
-				view.FailNode(sw)
+			for node := range down {
+				view.FailNode(node)
 			}
 		}
 		if ev.Rounds, _, err = sess.Converge(); err != nil {
 			return nil, err
 		}
 		for si := range servers {
+			if down[servers[si]] {
+				continue
+			}
 			res := net.Graph().BFS(servers[si], view)
 			for di := range servers {
-				if si == di {
+				if si == di || down[servers[di]] {
 					continue
 				}
 				if res.Dist[servers[di]] != graph.Unreachable {

@@ -5,20 +5,23 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/topology"
 )
 
 func TestChaosControlPlaneAlwaysMatchesConnectivity(t *testing.T) {
-	// The chaos-monkey audit: through 30 random kill/revive events, the DV
-	// plane must serve exactly the connected pairs after every convergence.
+	// The chaos-monkey audit: through 40 random kill/revive events over
+	// switches AND servers, the DV plane must serve exactly the connected
+	// pairs of live servers after every convergence.
 	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
-	log, err := Chaos(tp, 30, rand.New(rand.NewSource(2015)))
+	log, err := Chaos(tp, 40, rand.New(rand.NewSource(2015)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(log) != 30 {
+	if len(log) != 40 {
 		t.Fatalf("log has %d events", len(log))
 	}
-	kills, revives := 0, 0
+	net := tp.Network()
+	kills, revives, serverHits, switchHits := 0, 0, 0, 0
 	for i, ev := range log {
 		if ev.Served != ev.Connected {
 			t.Fatalf("event %d (%+v): served %d != connected %d",
@@ -29,12 +32,54 @@ func TestChaosControlPlaneAlwaysMatchesConnectivity(t *testing.T) {
 		} else {
 			revives++
 		}
+		if net.Kind(ev.Node) == topology.Server {
+			serverHits++
+		} else {
+			switchHits++
+		}
 		if ev.Rounds < 1 {
 			t.Fatalf("event %d converged in %d rounds", i, ev.Rounds)
 		}
 	}
 	if kills == 0 || revives == 0 {
 		t.Errorf("schedule not mixed: %d kills, %d revives", kills, revives)
+	}
+	if serverHits == 0 || switchHits == 0 {
+		t.Errorf("schedule spared a device class: %d server hits, %d switch hits",
+			serverHits, switchHits)
+	}
+}
+
+func TestChaosDeadServersExcludedFromAudit(t *testing.T) {
+	// Kill one server directly: the session must refuse to deliver to or
+	// from it, and the chaos audit over the remaining n-1 live servers must
+	// still balance (ground truth for the exclusion rule in Chaos).
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	sess, err := NewDVSession(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	if err := sess.FailNode(tp.Network().Server(dead)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	n := tp.Network().NumServers()
+	for i := 0; i < n; i++ {
+		if i == dead {
+			continue
+		}
+		if _, ok := sess.Deliver(i, dead); ok {
+			t.Fatalf("delivered to dead server from %d", i)
+		}
+		if _, ok := sess.Deliver(dead, i); ok {
+			t.Fatalf("delivered from dead server to %d", i)
+		}
 	}
 }
 
@@ -55,9 +100,9 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
-func TestChaosNeedsSwitches(t *testing.T) {
-	// A hypercube-like Forwarder without switches would error; all our
-	// Forwarders have switches, so exercise the zero-events path instead.
+func TestChaosZeroEvents(t *testing.T) {
+	// Zero events: an empty log and no error, with the session still built
+	// and converged once.
 	tp := core.MustBuild(core.Config{N: 2, K: 0, P: 2})
 	log, err := Chaos(tp, 0, rand.New(rand.NewSource(1)))
 	if err != nil || len(log) != 0 {

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fattree"
+	"repro/internal/packetsim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// degradationSubject is one structure in the graceful-degradation sweep.
+type degradationSubject struct {
+	name string
+	t    topology.Topology
+}
+
+// degradationSubjects mirrors the recovery-figure lineup: ABCCC and BCube
+// both expose disjoint parallel paths; fat-tree is the single-NIC control.
+func degradationSubjects() []degradationSubject {
+	return []degradationSubject{
+		{"ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"BCube(4,1)", bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+		{"FatTree(4)", fattree.MustBuild(fattree.Config{K: 4})},
+	}
+}
+
+// Graceful-degradation scenario parameters: a fraction of the switches die
+// at 1 ms into a half-shuffle and never recover; the sweep reuses the
+// fault-tolerance failure rates (0% .. 20%).
+const (
+	degradationFaultAtSec = 1e-3
+	degradationFlowBytes  = 64 << 10
+	degradationSeed       = 27
+)
+
+// degradationPoint runs the scenario on one structure at one failure rate,
+// reactive-only or with the proactive multipath layer. Flows and the fault
+// plan are seeded per (structure, rate) so the two modes face the identical
+// outage, and the sweep is byte-deterministic.
+func degradationPoint(sub degradationSubject, rate float64, multipath bool) (packetsim.TransportResult, error) {
+	net := sub.t.Network()
+	n := net.NumServers()
+	rng := rand.New(rand.NewSource(degradationSeed + int64(1000*rate)))
+	flows, err := traffic.Shuffle(n, n/2, n/2, rng)
+	if err != nil {
+		return packetsim.TransportResult{}, err
+	}
+	for i := range flows {
+		flows[i].Bytes = degradationFlowBytes
+	}
+	plan, err := failure.Downs(net, failure.Switches, rate, degradationFaultAtSec, rng)
+	if err != nil {
+		return packetsim.TransportResult{}, err
+	}
+	cfg := packetsim.DefaultTransport()
+	cfg.Faults = plan
+	cfg.Multipath = multipath
+	// Dead switches never recover: stranded flows must abort, not grind
+	// through the full RTO backoff ladder.
+	cfg.MaxFlowTimeouts = 8
+	return packetsim.RunTransport(sub.t, flows, cfg)
+}
+
+// F27GracefulDegradation regenerates the graceful-degradation figure: goodput
+// and flow completion as permanent switch failures sweep 0-20%, with the
+// reactive-only transport (RTO + RouteAvoiding) side by side against the
+// proactive multipath layer on every structure. The "% of healthy" columns
+// are each mode's goodput relative to its own zero-failure baseline — the
+// degradation curve the title promises. Fat-tree rides along as the
+// single-NIC control: with no disjoint paths to precompile, its multipath
+// column can only match its reactive one.
+func F27GracefulDegradation(w io.Writer) error {
+	subjects := degradationSubjects()
+	type point struct {
+		reactive, mp packetsim.TransportResult
+	}
+	points := make([]point, len(subjects)*len(failureRates))
+	if _, err := sweepRows(len(points), func(i int) (string, error) {
+		sub := subjects[i/len(failureRates)]
+		rate := failureRates[i%len(failureRates)]
+		reactive, err := degradationPoint(sub, rate, false)
+		if err != nil {
+			return "", err
+		}
+		mp, err := degradationPoint(sub, rate, true)
+		if err != nil {
+			return "", err
+		}
+		points[i] = point{reactive, mp}
+		return "", nil
+	}); err != nil {
+		return err
+	}
+
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tfail rate\tmode\tgoodput(Gb/s)\t% of healthy\tflows done/failed\tfailovers\tdrops fault/stale")
+	for si, sub := range subjects {
+		base := points[si*len(failureRates)]
+		for ri, rate := range failureRates {
+			p := points[si*len(failureRates)+ri]
+			row := func(mode string, res, healthy packetsim.TransportResult, failovers string) {
+				pct := 0.0
+				if healthy.GoodputBps > 0 {
+					pct = res.GoodputBps / healthy.GoodputBps * 100
+				}
+				fmt.Fprintf(tw, "%s\t%.0f%%\t%s\t%.3f\t%.1f%%\t%d/%d\t%s\t%d/%d\n",
+					sub.name, rate*100, mode, res.GoodputBps*8/1e9, pct,
+					res.CompletedFlows, res.FailedFlows, failovers,
+					res.DroppedFault, res.DroppedStale)
+			}
+			row("reactive", p.reactive, base.reactive, "-")
+			row("multipath", p.mp, base.mp, fmt.Sprintf("%d", p.mp.Failovers))
+		}
+	}
+	return tw.Flush()
+}

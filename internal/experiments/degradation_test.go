@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGracefulDegradationCurve pins the shape the figure exists to show: on
+// ABCCC, goodput at a healthy 0% rate beats goodput at the heaviest rate in
+// both modes (degradation is real), and at the heaviest rate the multipath
+// run fails over at least once while the reactive run records none.
+func TestGracefulDegradationCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degradation sweep points are slow; skipped with -short")
+	}
+	sub := degradationSubjects()[0]
+	heaviest := failureRates[len(failureRates)-1]
+
+	healthy, err := degradationPoint(sub, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Failovers != 0 || healthy.FailedFlows != 0 {
+		t.Fatalf("healthy multipath run not clean: %+v", healthy)
+	}
+	mp, err := degradationPoint(sub, heaviest, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reactive, err := degradationPoint(sub, heaviest, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.GoodputBps >= healthy.GoodputBps {
+		t.Errorf("no degradation: %.0f%% failures goodput %.0f >= healthy %.0f",
+			heaviest*100, mp.GoodputBps, healthy.GoodputBps)
+	}
+	if mp.Failovers == 0 {
+		t.Errorf("%.0f%% of switches dead but multipath never failed over", heaviest*100)
+	}
+	if reactive.Failovers != 0 || reactive.PathSwitches != 0 {
+		t.Errorf("reactive run reports multipath activity: %+v", reactive)
+	}
+}
+
+// TestGracefulDegradationDeterministic: same seed, byte-identical figure.
+func TestGracefulDegradationDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degradation sweep is slow; skipped with -short")
+	}
+	var a, b bytes.Buffer
+	if err := F27GracefulDegradation(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := F27GracefulDegradation(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two F27 runs differ byte-for-byte")
+	}
+}

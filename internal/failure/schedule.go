@@ -175,6 +175,30 @@ func Burst(net *topology.Network, kind Kind, count int, atSec, repairSec float64
 	return plan, nil
 }
 
+// Downs builds the graceful-degradation scenario: a fraction `rate` of one
+// component class fails at atSec and never recovers — the sustained-damage
+// counterpart of Burst. A zero rate yields an empty plan (the healthy
+// baseline of a sweep); the count rounds to nearest so small networks still
+// see low rates.
+func Downs(net *topology.Network, kind Kind, rate, atSec float64, rng *rand.Rand) (*FaultPlan, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("failure: rate %v outside [0, 1]", rate)
+	}
+	if atSec < 0 {
+		return nil, fmt.Errorf("failure: negative fault time %v", atSec)
+	}
+	pool := components(net, kind)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("failure: no %s to fail", kind)
+	}
+	count := int(math.Round(rate * float64(len(pool))))
+	plan := &FaultPlan{Events: make([]FaultEvent, 0, count)}
+	for _, i := range sampleIndices(len(pool), count, rng) {
+		plan.Events = append(plan.Events, FaultEvent{TimeSec: atSec, Kind: kind, Index: pool[i]})
+	}
+	return plan, nil
+}
+
 // components returns the ids of a class's components (node ids for servers
 // and switches, edge ids for links).
 func components(net *topology.Network, kind Kind) []int {

@@ -172,3 +172,41 @@ func TestBurst(t *testing.T) {
 		t.Error("empty repair window accepted")
 	}
 }
+
+func TestDowns(t *testing.T) {
+	net := core.MustBuild(core.Config{N: 4, K: 1, P: 2}).Network()
+	plan, err := Downs(net, Switches, 0.25, 1e-3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(net); err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Round(0.25 * float64(len(net.Switches()))))
+	if plan.Len() != want {
+		t.Fatalf("Len = %d, want %d", plan.Len(), want)
+	}
+	downed := make(map[int]bool)
+	for _, e := range plan.Events {
+		if e.Up || e.TimeSec != 1e-3 || net.Kind(e.Index) != topology.Switch {
+			t.Fatalf("bad event %+v: Downs must only fail, at the given time", e)
+		}
+		if downed[e.Index] {
+			t.Fatalf("switch %d failed twice", e.Index)
+		}
+		downed[e.Index] = true
+	}
+
+	if zero, err := Downs(net, Switches, 0, 1e-3, rand.New(rand.NewSource(5))); err != nil || zero.Len() != 0 {
+		t.Errorf("rate 0: plan %v, err %v; want empty plan", zero, err)
+	}
+	if _, err := Downs(net, Switches, 1.5, 1e-3, rand.New(rand.NewSource(5))); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := Downs(net, Switches, -0.1, 1e-3, rand.New(rand.NewSource(5))); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := Downs(net, Switches, 0.5, -1, rand.New(rand.NewSource(5))); err == nil {
+		t.Error("negative time accepted")
+	}
+}

@@ -149,6 +149,24 @@ func TestRunTransportMatchesReferenceEngine(t *testing.T) {
 			c.Faults = &failure.FaultPlan{}
 			return c
 		},
+		// Multipath without a fault plan: the layer never arms and must be
+		// invisible.
+		"multipath-no-faults": func() TransportConfig {
+			c := DefaultTransport()
+			c.Multipath = true
+			c.MultipathPaths = 3
+			return c
+		},
+		// Multipath armed (scoreboards compiled, probes and failover hooks
+		// live) over an empty plan: nothing ever dies, so no scoreboard
+		// action may fire and every float op must match the single-path
+		// reference.
+		"multipath-empty-faults": func() TransportConfig {
+			c := DefaultTransport()
+			c.Multipath = true
+			c.Faults = &failure.FaultPlan{}
+			return c
+		},
 	}
 	for cname, mk := range cfgs {
 		for _, tc := range equivCases(t) {

@@ -65,10 +65,11 @@ type EpochStat struct {
 	DroppedTail  int64
 	DroppedFault int64
 	DroppedStale int64
-	// Transport-only: retransmissions, route recompilations, and flows that
-	// completed during the epoch.
+	// Transport-only: retransmissions, route recompilations, fast multipath
+	// failovers, and flows that completed during the epoch.
 	Retransmits    int64
 	Reroutes       int64
+	Failovers      int64
 	CompletedFlows int64
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -97,6 +98,44 @@ func FuzzFaultPlanConservation(f *testing.F) {
 			if i > 0 && e.StartSec != cfg.Timeline.Epochs[i-1].EndSec {
 				t.Fatalf("epoch %d not contiguous", i)
 			}
+		}
+	})
+}
+
+// FuzzMultipathConservation drives the multipath transport through arbitrary
+// fault schedules: whatever sequence of failovers, path switches, probes,
+// reverts and RouteAvoiding fallbacks a plan provokes, the packet-journey
+// ledger — sent == arrived + dropped, per cause, data and ACKs alike — must
+// hold, and the run must terminate. `make fuzz-smoke` runs this in CI.
+func FuzzMultipathConservation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 1, 3, 0})                             // one switch down, never repaired
+	f.Add([]byte{5, 1, 2, 0, 20, 1, 2, 1})                 // primary dies then revives (probe revert)
+	f.Add([]byte{0, 1, 1, 0, 0, 1, 4, 0, 0, 1, 7, 0})      // burst at t=0: scoreboard attrition
+	f.Add([]byte{3, 0, 1, 0, 8, 2, 5, 0, 40, 0, 1, 1})     // dead endpoint + link, late repair
+	f.Add([]byte{255, 1, 9, 0, 1, 0, 0, 0, 128, 2, 40, 1}) // late + early + mid
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fuzzSetup()
+		plan := decodePlan(fuzzEnv.net, raw)
+		cfg := DefaultTransport()
+		cfg.Faults = plan
+		cfg.Multipath = true
+		cfg.MultipathPaths = 3
+		cfg.MaxFlowTimeouts = 6
+		reg := obs.NewRegistry()
+		cfg.Link.Metrics = reg
+		if _, err := RunTransport(fuzzEnv.topo, fuzzEnv.flows, cfg); err != nil {
+			t.Fatalf("valid decoded plan rejected: %v", err)
+		}
+		sent := reg.Counter(MetricDataSent).Value() + reg.Counter(MetricAckSent).Value()
+		arrived := reg.Counter(MetricDataArrived).Value() + reg.Counter(MetricAckArrived).Value()
+		dropped := reg.Counter(MetricTransportDrops).Value() +
+			reg.Counter(MetricTransportFaultDrops).Value() +
+			reg.Counter(MetricTransportStaleDrops).Value()
+		if sent != arrived+dropped {
+			t.Fatalf("conservation violated: sent %d != arrived %d + dropped %d (plan %+v)",
+				sent, arrived, dropped, plan.Events)
 		}
 	})
 }

@@ -1,0 +1,282 @@
+// Proactive multipath failover for the transport engine. Structures
+// implementing topology.MultipathRouter expose multiple internally
+// vertex-disjoint paths per server pair; this file compiles them into the
+// engine's flat link-resource form up front (cached on the routePlan, so
+// sweeps pay once per workload) and defines the per-flow scoreboard the
+// event loop consults: on a fast-failover signal — a fault-epoch transition
+// touching the active path, or duplicate ACKs while it is dead — the flow
+// switches to the next healthy precompiled path immediately instead of
+// waiting for RTO. Failed paths enter exponential-backoff probation and are
+// re-probed (tevProbe events) until repair; RTO plus RouteAvoiding remains
+// the last resort when the whole scoreboard is dead.
+
+package packetsim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// DefaultMultipathPaths is the per-flow path-set cap used when
+// TransportConfig.Multipath is set and MultipathPaths is 0.
+const DefaultMultipathPaths = 4
+
+// Multipath instrument names registered on TransportConfig.Link.Metrics.
+// Per-path goodput counters are named by pathGoodputMetric.
+const (
+	MetricFailovers    = "transport_failovers"
+	MetricPathSwitches = "transport_path_switches"
+	MetricProbeSuccess = "transport_probe_success"
+	MetricProbeFailure = "transport_probe_failure"
+)
+
+// pathGoodputMetric names the per-path goodput counter for scoreboard index
+// j of a k-path configuration; index k is the off-scoreboard RouteAvoiding
+// fallback.
+func pathGoodputMetric(j, k int) string {
+	if j >= k {
+		return "transport_path_goodput_bytes_fallback"
+	}
+	return "transport_path_goodput_bytes_" + strconv.Itoa(j)
+}
+
+// pathAlt is one precompiled path alternative: the node path and its per-hop
+// directed link resources (the same flat form routePlan uses).
+type pathAlt struct {
+	fwd topology.Path
+	res []int32
+}
+
+// multipathPlan holds every flow's disjoint path set. alts[flow][0] aliases
+// the routePlan primary exactly, which is what keeps the armed-but-idle
+// configuration byte-identical to the single-path engine; local flows have a
+// nil set. Immutable once built and shared across concurrent runs.
+type multipathPlan struct {
+	alts [][]pathAlt
+}
+
+// multipathFor returns the plan's path sets capped at k alternatives per
+// flow, compiling them on first use. Cached per k alongside the routes, so
+// the sweep shape — one workload re-run across many load points — pays the
+// ParallelPaths cost once.
+func (p *routePlan) multipathFor(t topology.Topology, k int) (*multipathPlan, error) {
+	p.mpMu.Lock()
+	defer p.mpMu.Unlock()
+	if mp, ok := p.mpByK[k]; ok {
+		return mp, nil
+	}
+	mp, err := compileMultipath(t, p, k)
+	if err != nil {
+		return nil, err
+	}
+	if p.mpByK == nil {
+		p.mpByK = make(map[int]*multipathPlan)
+	}
+	p.mpByK[k] = mp
+	return mp, nil
+}
+
+// compileMultipath builds the per-flow path sets: the routePlan primary
+// first (aliased, not recompiled), then up to k-1 of the structure's
+// parallel paths, skipping the primary's duplicate. Structures without a
+// MultipathRouter get singleton sets — the scoreboard then degenerates to
+// the RouteAvoiding-only behaviour.
+func compileMultipath(t topology.Topology, plan *routePlan, k int) (*multipathPlan, error) {
+	mrouter, _ := t.(topology.MultipathRouter)
+	g := t.Network().Graph()
+	mp := &multipathPlan{alts: make([][]pathAlt, len(plan.paths))}
+	for i, primary := range plan.paths {
+		if len(primary) < 2 {
+			continue // local flow: never transported
+		}
+		alts := []pathAlt{{fwd: primary, res: plan.flowRes(i)}}
+		if mrouter != nil {
+			for _, p := range mrouter.ParallelPaths(primary[0], primary[len(primary)-1]) {
+				if len(alts) >= k {
+					break
+				}
+				if len(p) < 2 || samePath(p, primary) {
+					continue
+				}
+				res, err := appendPathRes(make([]int32, 0, len(p)-1), g, p)
+				if err != nil {
+					return nil, fmt.Errorf("packetsim: flow %d multipath: %w", i, err)
+				}
+				alts = append(alts, pathAlt{fwd: p, res: res})
+			}
+		}
+		mp.alts[i] = alts
+	}
+	return mp, nil
+}
+
+// samePath reports whether two node paths are identical.
+func samePath(a, b topology.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pickPath returns the lowest-indexed scoreboard path that is alive and not
+// in probation; with none, the lowest-indexed alive one (an untested path
+// beats RouteAvoiding); -1 when the whole scoreboard is dead. Index order
+// makes the choice deterministic and biases flows back toward the primary.
+func (r *transportRun) pickPath(flow int) int {
+	f := &r.flows[flow]
+	benched := -1
+	for j := range f.alts {
+		if !f.alts[j].fwd.Alive(r.net, r.fs.view) {
+			continue
+		}
+		if f.probing[j] {
+			if benched < 0 {
+				benched = j
+			}
+			continue
+		}
+		return j
+	}
+	return benched
+}
+
+// switchPath activates scoreboard path j: the flow's working route becomes
+// the precompiled alternative and the route epoch advances, orphaning (as
+// stale) whatever is still in flight on the old path.
+func (r *transportRun) switchPath(flow, j int) {
+	f := &r.flows[flow]
+	f.cur = j
+	f.fwd, f.res = f.alts[j].fwd, f.alts[j].res
+	f.routeEpoch++
+	r.pathSwitches++
+	r.cSwitch.Inc()
+	if r.tracer != nil {
+		r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "path_switch",
+			ID: int64(flow), Node: f.fwd[0], Hop: j})
+	}
+}
+
+// probation benches scoreboard path j after a failure: a probe event will
+// re-test it after the path's current backoff, which doubles (capped at 64
+// RTO) until a probe finds it alive again.
+func (r *transportRun) probation(flow, j int) {
+	f := &r.flows[flow]
+	if j < 0 || f.probing[j] {
+		return
+	}
+	f.probing[j] = true
+	f.probeGen[j]++
+	r.push(r.now+f.backoff[j], tevent{flow: int32(flow), seq: int32(j), gen: f.probeGen[j], kind: tevProbe})
+	f.backoff[j] = math.Min(f.backoff[j]*2, 64*r.cfg.RTOSec)
+}
+
+// onProbe re-tests benched path j against the live failure view. Success
+// clears probation, resets the backoff, and — when j is preferred over the
+// active path (lower index, or the flow is off-scoreboard) — reverts the
+// flow to it. Failure extends probation with the doubled backoff.
+func (r *transportRun) onProbe(flow, j int, gen int32) {
+	f := &r.flows[flow]
+	if f.alts == nil || gen != f.probeGen[j] || !f.probing[j] {
+		return // superseded probe
+	}
+	if f.done || f.aborted {
+		f.probing[j] = false
+		return // flow over: stop probing so the run can drain
+	}
+	if f.alts[j].fwd.Alive(r.net, r.fs.view) {
+		f.probing[j] = false
+		f.probeGen[j]++
+		f.backoff[j] = r.cfg.RTOSec
+		r.probeOK++
+		r.cProbeOK.Inc()
+		if r.tracer != nil {
+			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "probe",
+				ID: int64(flow), Node: f.alts[j].fwd[0], Hop: j, Detail: "up"})
+		}
+		if f.cur < 0 || j < f.cur {
+			r.switchPath(flow, j)
+			if f.started {
+				r.restartPipe(flow)
+			}
+		}
+		return
+	}
+	r.probeFail++
+	r.cProbeFail.Inc()
+	if r.tracer != nil {
+		r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "probe",
+			ID: int64(flow), Node: f.alts[j].fwd[0], Hop: j, Detail: "down"})
+	}
+	f.probeGen[j]++
+	r.push(r.now+f.backoff[j], tevent{flow: int32(flow), seq: int32(j), gen: f.probeGen[j], kind: tevProbe})
+	f.backoff[j] = math.Min(f.backoff[j]*2, 64*r.cfg.RTOSec)
+}
+
+// failover is the fast-signal recovery path (fault-epoch notification or
+// duplicate ACKs on a dead path): recover a route via the scoreboard — or
+// RouteAvoiding as last resort — and restart the pipe immediately instead
+// of waiting for RTO. A flow that cannot switch (nothing alive) is left for
+// the RTO/probe machinery.
+func (r *transportRun) failover(flow int) {
+	f := &r.flows[flow]
+	if f.done || f.aborted {
+		return
+	}
+	oldEpoch := f.routeEpoch
+	r.reroute(flow)
+	if f.routeEpoch == oldEpoch {
+		return // nowhere to go under this failure set
+	}
+	r.failovers++
+	r.cFailover.Inc()
+	r.fs.cur.Failovers++
+	if r.tracer != nil {
+		r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "failover",
+			ID: int64(flow), Node: f.fwd[0], Hop: f.cur})
+	}
+	if f.started {
+		r.restartPipe(flow)
+	}
+}
+
+// restartPipe restarts the sender on a freshly activated path: halve the
+// window (a failover is one loss event, not a full RTO collapse), write off
+// the orphaned in-flight packets, resend the oldest unacked one, and refill
+// the window. pump re-arms the retransmission timer.
+func (r *transportRun) restartPipe(flow int) {
+	f := &r.flows[flow]
+	f.ssthresh = math.Max(f.cwnd/2, 2)
+	f.cwnd = f.ssthresh
+	f.dupAcks = 0
+	f.inflight = 1
+	r.sendData(flow, f.acked, true)
+	r.pump(flow)
+}
+
+// onFaultEvent is the proactive trigger: after every fault-plan transition,
+// multipath flows whose active path now touches a dead component fail over
+// immediately. Repairs ride the same scan — they bump the epoch, and benched
+// paths come back via their scheduled probes.
+func (r *transportRun) onFaultEvent() {
+	if r.mpK == 0 {
+		return
+	}
+	for i := range r.flows {
+		f := &r.flows[i]
+		if f.done || f.aborted || f.alts == nil {
+			continue
+		}
+		if !f.fwd.Alive(r.net, r.fs.view) {
+			r.failover(i)
+		}
+	}
+}

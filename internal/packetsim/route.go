@@ -28,6 +28,13 @@ type routePlan struct {
 	pairs []int64
 	// numRes is 2 * NumEdges, the linkFree table size.
 	numRes int
+
+	// mpByK lazily caches the per-flow disjoint path sets (multipath.go)
+	// keyed by the path cap, guarded because plans are shared across
+	// concurrent sweep runs. The routes above stay immutable; this is an
+	// add-only side table.
+	mpMu  sync.Mutex
+	mpByK map[int]*multipathPlan
 }
 
 // flowRes returns flow i's per-hop forward resources.

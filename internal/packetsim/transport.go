@@ -55,6 +55,17 @@ type TransportConfig struct {
 	// endpoint, partitioned network). Only enforced while Faults is set;
 	// 0 disables the cap.
 	MaxFlowTimeouts int
+
+	// Multipath arms proactive failover (multipath.go): each flow
+	// precompiles up to MultipathPaths internally disjoint paths and
+	// switches between them on fast-failover signals instead of waiting for
+	// RTO. Only meaningful with Faults set — without a plan there are no
+	// failures to react to and the engine stays bit-identical to the
+	// single-path run.
+	Multipath bool
+	// MultipathPaths caps the per-flow path-set size; 0 means
+	// DefaultMultipathPaths.
+	MultipathPaths int
 }
 
 // DefaultTransport returns a GbE NewReno-ish configuration.
@@ -99,6 +110,9 @@ func (c TransportConfig) Validate() error {
 	if c.MaxFlowTimeouts < 0 {
 		return fmt.Errorf("packetsim: MaxFlowTimeouts must be >= 0")
 	}
+	if c.MultipathPaths < 0 {
+		return fmt.Errorf("packetsim: MultipathPaths must be >= 0")
+	}
 	return nil
 }
 
@@ -116,6 +130,13 @@ type TransportResult struct {
 	// DroppedFault and DroppedStale count packets lost to dead components
 	// and to route changes while in flight (fault runs only).
 	DroppedFault, DroppedStale int
+	// Failovers counts fast failovers (fault-epoch or dup-ACK triggered
+	// path changes that skipped the RTO wait); PathSwitches counts every
+	// scoreboard activation including RTO-driven ones and reverts;
+	// ProbeSuccesses and ProbeFailures count probation re-probe outcomes
+	// (multipath runs only).
+	Failovers, PathSwitches       int
+	ProbeSuccesses, ProbeFailures int
 	// ECNMarks counts congestion marks applied (ECN mode only).
 	ECNMarks int
 	// MeanFCTSec, P99FCTSec, MakespanSec summarize completion times of the
@@ -169,6 +190,18 @@ type tflow struct {
 	planEpoch  int32
 	timeouts   int
 	aborted    bool
+	started    bool // the flow's start event has fired
+
+	// Multipath scoreboard (multipath.go; nil alts when the layer is off).
+	// alts[0] aliases the shared routePlan primary; cur is the active index,
+	// -1 after falling off the scoreboard onto a RouteAvoiding recompile.
+	// probing marks benched paths awaiting a probe; probeGen invalidates
+	// superseded probe events; backoff is each path's next probation length.
+	alts     []pathAlt
+	cur      int
+	probing  []bool
+	probeGen []int32
+	backoff  []float64
 
 	// Receiver.
 	rcvNext int
@@ -183,13 +216,15 @@ type tflow struct {
 // tevent kinds. Timer events carry the timer generation in gen; data and
 // ACK arrivals carry the data sequence / cumulative ack in seq, their path
 // position in idx, and the sending flow's route epoch in gen. Fault events
-// carry the fault-plan index in seq.
+// carry the fault-plan index in seq. Probe events carry the scoreboard path
+// index in seq and the probe generation in gen.
 const (
 	tevData = iota
 	tevAck
 	tevTimer
 	tevStart
 	tevFault
+	tevProbe
 )
 
 // tevent is an unboxed transport event: a data or ACK packet reaching
@@ -230,10 +265,21 @@ type transportRun struct {
 	staleDrops  int
 	failedFlows int
 
+	// Multipath state (multipath.go): the path cap (0 = layer off) and the
+	// failover/probe tallies.
+	mpK          int
+	failovers    int
+	pathSwitches int
+	probeOK      int
+	probeFail    int
+
 	// Hoisted nil-able instruments (see TransportConfig.Link.Metrics).
 	cRtx, cECN, cDone, cDrops              *obs.Counter
 	cFault, cStale, cReroute, cFailed      *obs.Counter
 	cDataSent, cDataArr, cAckSent, cAckArr *obs.Counter
+	cFailover, cSwitch                     *obs.Counter
+	cProbeOK, cProbeFail                   *obs.Counter
+	cPathBytes                             []*obs.Counter
 	hQueue                                 *obs.Histogram
 	tracer                                 *obs.Tracer
 }
@@ -292,6 +338,24 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 				tevent{kind: tevFault, seq: int32(i)})
 		}
 	}
+	var mpPlan *multipathPlan
+	if cfg.Multipath && cfg.Faults != nil {
+		run.mpK = cfg.MultipathPaths
+		if run.mpK <= 0 {
+			run.mpK = DefaultMultipathPaths
+		}
+		if mpPlan, err = plan.multipathFor(t, run.mpK); err != nil {
+			return TransportResult{}, err
+		}
+		run.cFailover = cfg.Link.Metrics.Counter(MetricFailovers)
+		run.cSwitch = cfg.Link.Metrics.Counter(MetricPathSwitches)
+		run.cProbeOK = cfg.Link.Metrics.Counter(MetricProbeSuccess)
+		run.cProbeFail = cfg.Link.Metrics.Counter(MetricProbeFailure)
+		run.cPathBytes = make([]*obs.Counter, run.mpK+1)
+		for j := range run.cPathBytes {
+			run.cPathBytes[j] = cfg.Link.Metrics.Counter(pathGoodputMetric(j, run.mpK))
+		}
+	}
 	for i, f := range flows {
 		if len(plan.paths[i]) < 2 {
 			continue // local flow: nothing to transport
@@ -305,6 +369,16 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 			rto:      cfg.RTOSec,
 			start:    f.StartSec,
 		})
+		if mpPlan != nil {
+			fl := &run.flows[len(run.flows)-1]
+			fl.alts = mpPlan.alts[i]
+			fl.probing = make([]bool, len(fl.alts))
+			fl.probeGen = make([]int32, len(fl.alts))
+			fl.backoff = make([]float64, len(fl.alts))
+			for j := range fl.backoff {
+				fl.backoff[j] = cfg.RTOSec
+			}
+		}
 		// Flows open at their arrival time.
 		run.push(f.StartSec, tevent{flow: int32(len(run.flows) - 1), kind: tevStart})
 	}
@@ -318,11 +392,15 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 		run.now = now
 		switch ev.kind {
 		case tevStart:
+			run.flows[ev.flow].started = true
 			run.pump(int(ev.flow))
 		case tevTimer:
 			run.onTimer(int(ev.flow), ev.gen)
 		case tevFault:
 			run.fs.apply(now, int(ev.seq))
+			run.onFaultEvent()
+		case tevProbe:
+			run.onProbe(int(ev.flow), int(ev.seq), ev.gen)
 		default:
 			run.onArrival(ev)
 		}
@@ -518,6 +596,14 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 			r.fs.cur.Delivered += int64(newly)
 			r.fs.cur.DeliveredBytes += int64(newly) * int64(r.cfg.Link.MTU)
 		}
+		if f.alts != nil {
+			// Attribute the goodput to the path that carried it.
+			idx := f.cur
+			if idx < 0 {
+				idx = len(r.cPathBytes) - 1
+			}
+			r.cPathBytes[idx].Add(int64(newly) * int64(r.cfg.Link.MTU))
+		}
 		for i := 0; i < newly; i++ {
 			if f.cwnd < f.ssthresh {
 				f.cwnd++ // slow start
@@ -547,14 +633,22 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 	case ackNo == f.acked:
 		f.dupAcks++
 		if f.dupAcks == r.cfg.DupAckThreshold {
-			// Fast retransmit + multiplicative decrease.
-			f.ssthresh = math.Max(f.cwnd/2, 2)
-			f.cwnd = f.ssthresh
-			f.dupAcks = 0
-			if f.inflight > 0 {
-				f.inflight--
+			if f.alts != nil && !f.fwd.Alive(r.net, r.fs.view) {
+				// Fast-failover signal: duplicate ACKs while the active
+				// path is dead mean the loss is a black hole, not
+				// congestion — switch paths instead of retransmitting into
+				// it (multipath.go).
+				r.failover(flow)
+			} else {
+				// Fast retransmit + multiplicative decrease.
+				f.ssthresh = math.Max(f.cwnd/2, 2)
+				f.cwnd = f.ssthresh
+				f.dupAcks = 0
+				if f.inflight > 0 {
+					f.inflight--
+				}
+				r.sendData(flow, f.acked, true)
 			}
-			r.sendData(flow, f.acked, true)
 		}
 	}
 	r.pump(flow)
@@ -611,6 +705,16 @@ func (r *transportRun) reroute(flow int) {
 	if topology.Path(f.fwd).Alive(r.net, r.fs.view) {
 		return // current route survived this failure set
 	}
+	if f.alts != nil {
+		// Scoreboard first: bench the dead path and activate the best
+		// precompiled alternative; RouteAvoiding below stays the last
+		// resort for a fully dead scoreboard (multipath.go).
+		r.probation(flow, f.cur)
+		if j := r.pickPath(flow); j >= 0 {
+			r.switchPath(flow, j)
+			return
+		}
+	}
 	if r.frouter == nil {
 		return // no fault router: keep timing out until repair
 	}
@@ -626,6 +730,9 @@ func (r *transportRun) reroute(flow int) {
 		return
 	}
 	f.fwd, f.res = p, res
+	if f.alts != nil {
+		f.cur = -1 // off the scoreboard; probes can pull it back on
+	}
 	f.routeEpoch++
 	r.reroutes++
 	r.cReroute.Inc()
@@ -645,6 +752,10 @@ func (r *transportRun) results() TransportResult {
 	res.DroppedFault = r.faultDrops
 	res.DroppedStale = r.staleDrops
 	res.FailedFlows = r.failedFlows
+	res.Failovers = r.failovers
+	res.PathSwitches = r.pathSwitches
+	res.ProbeSuccesses = r.probeOK
+	res.ProbeFailures = r.probeFail
 	fcts := make([]float64, 0, len(r.flows))
 	var payload int64
 	for i := range r.flows {

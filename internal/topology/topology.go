@@ -182,6 +182,37 @@ type MultipathRouter interface {
 	ParallelPaths(src, dst int) []Path
 }
 
+// DisjointSubset keeps a maximal prefix-greedy subset of candidate src->dst
+// paths whose internal nodes (everything but the shared endpoints) are
+// pairwise disjoint. Candidates are considered in order, so callers list the
+// preferred (e.g. default) route first. Every ParallelPaths implementation
+// funnels its candidates through this filter, which is what makes the
+// MultipathRouter contract — internal vertex-disjointness — hold by
+// construction.
+func DisjointSubset(candidates []Path, src, dst int) []Path {
+	used := map[int]bool{}
+	var kept []Path
+	for _, p := range candidates {
+		ok := true
+		for _, node := range p {
+			if node != src && node != dst && used[node] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, node := range p {
+			if node != src && node != dst {
+				used[node] = true
+			}
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
 // Broadcaster is implemented by structures with a native one-to-all
 // primitive (the GBC3 extension of ABCCC).
 type Broadcaster interface {

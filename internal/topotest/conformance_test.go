@@ -85,3 +85,37 @@ func TestFaultRouterConformance(t *testing.T) {
 		})
 	}
 }
+
+// TestMultipathRouterConformance runs the parallel-path battery over every
+// structure that implements MultipathRouter. Fat-tree is absent by design:
+// its servers have one NIC port, so no two internally disjoint paths exist.
+func TestMultipathRouterConformance(t *testing.T) {
+	subjects := []struct {
+		name string
+		t    topology.Topology
+		mr   topology.MultipathRouter
+	}{}
+	add := func(name string, tp topology.Topology) {
+		mr, ok := tp.(topology.MultipathRouter)
+		if !ok {
+			t.Fatalf("%s does not implement MultipathRouter", name)
+		}
+		subjects = append(subjects, struct {
+			name string
+			t    topology.Topology
+			mr   topology.MultipathRouter
+		}{name, tp, mr})
+	}
+	add("ABCCC(4,1,2)", core.MustBuild(core.Config{N: 4, K: 1, P: 2}))
+	add("ABCCC(3,2,3)", core.MustBuild(core.Config{N: 3, K: 2, P: 3}))
+	add("BCCC(3,1)", bccc.MustBuild(bccc.Config{N: 3, K: 1}))
+	add("BCCC(4,2)", bccc.MustBuild(bccc.Config{N: 4, K: 2}))
+	add("BCube(4,1)", bcube.MustBuild(bcube.Config{N: 4, K: 1}))
+	add("BCube(3,2)", bcube.MustBuild(bcube.Config{N: 3, K: 2}))
+	for _, s := range subjects {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			RunMultipathRouter(t, s.t, s.mr)
+		})
+	}
+}

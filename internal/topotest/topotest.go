@@ -177,3 +177,74 @@ func RunFaultRouter(t *testing.T, tp topology.Topology, fr topology.FaultRouter)
 		}
 	})
 }
+
+// RunMultipathRouter is the conformance battery for parallel-path
+// constructions — the contract the transport engine's multipath failover
+// layer leans on. For every sampled distinct server pair the path set must
+// be non-empty, every path valid, the paths pairwise internally
+// vertex-disjoint, at least two whenever the graph admits two, and never
+// more than the max-flow bound; same-node and non-server inputs must come
+// back empty.
+func RunMultipathRouter(t *testing.T, tp topology.Topology, mr topology.MultipathRouter) {
+	t.Helper()
+	net := tp.Network()
+	g := net.Graph()
+	rng := rand.New(rand.NewSource(3))
+
+	t.Run("parallel paths valid and disjoint", func(t *testing.T) {
+		for _, pair := range samplePairs(net, 150, rng) {
+			src, dst := pair[0], pair[1]
+			if src == dst {
+				continue
+			}
+			paths := mr.ParallelPaths(src, dst)
+			if len(paths) == 0 {
+				t.Fatalf("ParallelPaths(%s,%s) empty", net.Label(src), net.Label(dst))
+			}
+			used := make(map[int]int)
+			for i, p := range paths {
+				if err := p.Validate(net, src, dst); err != nil {
+					t.Fatalf("path %d: %v", i, err)
+				}
+				for _, node := range p {
+					if node == src || node == dst {
+						continue
+					}
+					if prev, ok := used[node]; ok {
+						t.Fatalf("paths %d and %d share internal node %s",
+							prev, i, net.Label(node))
+					}
+					used[node] = i
+				}
+			}
+			limit := g.VertexDisjointPaths(src, dst)
+			if len(paths) > limit {
+				t.Fatalf("ParallelPaths(%s,%s) = %d paths, max-flow bound %d",
+					net.Label(src), net.Label(dst), len(paths), limit)
+			}
+			if limit >= 2 && len(paths) < 2 {
+				t.Errorf("ParallelPaths(%s,%s) = 1 path, graph admits %d",
+					net.Label(src), net.Label(dst), limit)
+			}
+		}
+	})
+
+	t.Run("parallel paths degenerate inputs", func(t *testing.T) {
+		s := net.Server(0)
+		if got := mr.ParallelPaths(s, s); len(got) != 0 {
+			t.Errorf("ParallelPaths(self) = %d paths, want none", len(got))
+		}
+		if net.NumSwitches() > 0 {
+			sw := net.Switches()[0]
+			if got := mr.ParallelPaths(s, sw); len(got) != 0 {
+				t.Errorf("ParallelPaths(server, switch) = %d paths, want none", len(got))
+			}
+			if got := mr.ParallelPaths(sw, s); len(got) != 0 {
+				t.Errorf("ParallelPaths(switch, server) = %d paths, want none", len(got))
+			}
+		}
+		if got := mr.ParallelPaths(-1, s); len(got) != 0 {
+			t.Errorf("ParallelPaths(-1, server) = %d paths, want none", len(got))
+		}
+	})
+}
