@@ -10,14 +10,17 @@
 #   make bench-smoke  one fast suite pass diffed against the recorded
 #                BENCH_pr1.json baseline; fails on a large regression
 #   make fuzz-smoke  fuzz arbitrary fault schedules against the packet and
-#                multipath-transport conservation invariants for a few
-#                seconds each
+#                multipath-transport conservation invariants (serial and
+#                sharded engines) for a few seconds each
+#   make bench-scale  quick sharded-engine scaling sweep (1k servers); the
+#                full 1k/10k/100k sweep is `cmd/benchsuite -scale`, recorded
+#                as BENCH_pr6.json
 #   make check   everything a PR must pass locally
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench bench-smoke fuzz-smoke check
+.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -43,10 +46,14 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchsuite -compare BENCH_pr1.json -threshold 10
 
+bench-scale:
+	$(GO) run ./cmd/benchsuite -scale -sizes 1k -shards 1,2,4,8
+
 # go test accepts one -fuzz target at a time, so each invariant gets its own
 # invocation.
 fuzz-smoke:
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzFaultPlanConservation -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzMultipathConservation -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzShardConservation -fuzztime $(FUZZTIME)
 
 check: build vet test race

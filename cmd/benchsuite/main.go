@@ -16,6 +16,9 @@
 //	benchsuite -compare old.json new.json    # diff two recorded reports
 //	benchsuite -compare old.json -threshold 0.5
 //
+//	benchsuite -scale                        # sharded-engine scaling sweep (JSON)
+//	benchsuite -scale -sizes 1k -shards 1,4  # restrict sizes and shard counts
+//
 // Experiments render on a worker pool (-j workers) and are emitted in
 // presentation order, so the output is identical for every -j. With -json
 // the experiment tables are discarded and a machine-readable timing report
@@ -110,10 +113,17 @@ func run(args []string, w io.Writer) error {
 		pprofFl   = fs.String("pprof", "", "serve net/http/pprof on this address during the run")
 		compare   = fs.String("compare", "", "diff timings against this benchsuite -json report; nonzero exit on regression")
 		threshold = fs.Float64("threshold", 0.2, "with -compare, flag experiments that slowed by more than this fraction")
+		scale     = fs.Bool("scale", false, "run the sharded-engine scaling sweep instead of the experiment suite; emits a JSON report")
+		sizes     = fs.String("sizes", "1k,10k,100k", "with -scale, comma list of ABCCC sizes (1k|10k|100k)")
+		shards    = fs.String("shards", "1,2,4,8", "with -scale, comma list of shard counts to sweep")
+		flowBytes = fs.Int("bytes", 16<<10, "with -scale, bytes per workload flow")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scale {
+		return runScale(w, *sizes, *shards, *flowBytes)
 	}
 	if *compare != "" {
 		oldRep, err := loadReport(*compare)
@@ -225,7 +235,7 @@ func run(args []string, w io.Writer) error {
 	})
 }
 
-func emitReport(w io.Writer, r report) error {
+func emitReport(w io.Writer, r any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packetsim"
+	"repro/internal/traffic"
+)
+
+// The -scale mode benchmarks the sharded engine on large ABCCC builds: for
+// each topology size it runs the same workload once per requested shard
+// count, times the runs, and checks every result against the shards=1 run.
+// The JSON report (committed as BENCH_pr6.json) carries the usual provenance
+// header — speedup columns are only meaningful when num_cpu allows the
+// workers to actually run in parallel.
+
+// scaleSizes maps the -sizes tokens to ABCCC configurations: 1k, 10k, and
+// 100k servers within a few percent (1536, 12288, 98304).
+var scaleSizes = map[string]core.Config{
+	"1k":   {N: 8, K: 2, P: 2},
+	"10k":  {N: 16, K: 2, P: 2},
+	"100k": {N: 32, K: 2, P: 2},
+}
+
+// scaleRow is one (size, shard-count) measurement.
+type scaleRow struct {
+	Size      string  `json:"size"`
+	Servers   int     `json:"servers"`
+	Flows     int     `json:"flows"`
+	Shards    int     `json:"shards"`
+	Workers   int     `json:"workers"`
+	Seconds   float64 `json:"seconds"`
+	Speedup   float64 `json:"speedup"`
+	Delivered int     `json:"delivered"`
+	Identical bool    `json:"identical"`
+}
+
+// scaleReport is the -scale -json output schema.
+type scaleReport struct {
+	Provenance provenance `json:"provenance"`
+	Engine     string     `json:"engine"`
+	FlowBytes  int        `json:"flow_bytes"`
+	Rows       []scaleRow `json:"rows"`
+}
+
+// runScale executes the scaling sweep and emits the JSON report.
+func runScale(w io.Writer, sizes, shardList string, flowBytes int) error {
+	shardCounts, err := parseShardList(shardList)
+	if err != nil {
+		return err
+	}
+	rep := scaleReport{
+		Provenance: buildProvenance(),
+		Engine:     "packet",
+		FlowBytes:  flowBytes,
+	}
+	for _, size := range strings.Split(sizes, ",") {
+		size = strings.TrimSpace(size)
+		cfg, ok := scaleSizes[size]
+		if !ok {
+			return fmt.Errorf("unknown -sizes token %q (have 1k, 10k, 100k)", size)
+		}
+		tp, err := core.Build(cfg)
+		if err != nil {
+			return err
+		}
+		n := tp.Network().NumServers()
+		rng := rand.New(rand.NewSource(1))
+		flows := traffic.Permutation(n, rng)
+		for i := range flows {
+			flows[i].Bytes = int64(flowBytes)
+		}
+		var base packetsim.Result
+		var baseSec float64
+		for i, s := range shardCounts {
+			opts := packetsim.ShardOpts{Shards: s}
+			start := time.Now()
+			res, err := packetsim.RunSharded(tp, flows, packetsim.Default(), opts)
+			if err != nil {
+				return err
+			}
+			sec := time.Since(start).Seconds()
+			if i == 0 {
+				base, baseSec = res, sec
+			}
+			workers := s
+			if g := runtime.GOMAXPROCS(0); workers > g {
+				workers = g
+			}
+			rep.Rows = append(rep.Rows, scaleRow{
+				Size:      size,
+				Servers:   n,
+				Flows:     len(flows),
+				Shards:    s,
+				Workers:   workers,
+				Seconds:   sec,
+				Speedup:   baseSec / sec,
+				Delivered: res.Delivered,
+				Identical: res == base,
+			})
+			fmt.Fprintf(os.Stderr, "benchsuite: scale %s shards=%d: %.2fs (x%.2f), delivered %d, identical=%v\n",
+				size, s, sec, baseSec/sec, res.Delivered, res == base)
+		}
+	}
+	return emitReport(w, rep)
+}
+
+// parseShardList parses a "1,2,4,8"-style shard sweep.
+func parseShardList(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers, e.g. 1,2,4)", tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -shards list")
+	}
+	return out, nil
+}

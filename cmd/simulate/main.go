@@ -59,6 +59,8 @@ func run(args []string, w io.Writer) error {
 		mttr    = fs.Duration("mttr", 1*time.Millisecond, "mean down-for-duration repair window for -faults")
 		mpath   = fs.Bool("multipath", false, "proactive multipath failover over precompiled disjoint paths (transport sim with -faults only)")
 		paths   = fs.Int("paths", 0, "per-flow path-set cap for -multipath (default 4)")
+		shards  = fs.Int("shards", 0, "run the sharded parallel engine over this many topology shards (packet/transport sims; results are identical for every value)")
+		workers = fs.Int("workers", 0, "goroutines driving -shards (default min(shards, GOMAXPROCS))")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +75,15 @@ func run(args []string, w io.Writer) error {
 	}
 	if *mpath && *faults == "" {
 		return fmt.Errorf("-multipath requires -faults (the proactive layer only arms under a fault plan)")
+	}
+	if (*shards != 0 || *workers != 0) && *sim == "flow" {
+		return fmt.Errorf("-shards/-workers require -sim packet or transport")
+	}
+	if *workers != 0 && *shards == 0 {
+		return fmt.Errorf("-workers requires -shards")
+	}
+	if *shards != 0 && *trace != "" && *workers != 1 {
+		return fmt.Errorf("-trace with -shards needs -workers 1 (parallel drains interleave trace records nondeterministically)")
 	}
 
 	t, err := buildTopology(*topo, *n, *k, *p)
@@ -182,7 +193,12 @@ func run(args []string, w io.Writer) error {
 		cfg.Trace = tracer
 		cfg.Faults = plan
 		cfg.Timeline = timeline
-		res, err := packetsim.Run(t, flows, cfg)
+		var res packetsim.Result
+		if *shards != 0 {
+			res, err = packetsim.RunSharded(t, flows, cfg, packetsim.ShardOpts{Shards: *shards, Workers: *workers})
+		} else {
+			res, err = packetsim.Run(t, flows, cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -197,7 +213,12 @@ func run(args []string, w io.Writer) error {
 		cfg.Timeline = timeline
 		cfg.Multipath = *mpath
 		cfg.MultipathPaths = *paths
-		res, err := packetsim.RunTransport(t, flows, cfg)
+		var res packetsim.TransportResult
+		if *shards != 0 {
+			res, err = packetsim.RunTransportSharded(t, flows, cfg, packetsim.ShardOpts{Shards: *shards, Workers: *workers})
+		} else {
+			res, err = packetsim.RunTransport(t, flows, cfg)
+		}
 		if err != nil {
 			return err
 		}

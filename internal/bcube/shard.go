@@ -1,0 +1,21 @@
+package bcube
+
+import "repro/internal/topology"
+
+var _ topology.Sharder = (*BCube)(nil)
+
+// ShardOf implements topology.Sharder: the partition cuts along the address
+// space by level-0 group — the N servers sharing a level-0 switch, BCube's
+// tightest locality — so a server always lands with its level-0 switch.
+// Every level switch follows its digit-0 attached server's group; contiguous
+// group ranges share their high address digits, so low-level traffic stays
+// intra-shard and only top-digit hops cross the cut.
+func (t *BCube) ShardOf(id, s int) int {
+	groups := t.vecs / t.cfg.N
+	if id < t.vecs {
+		return topology.ContiguousShard(id/t.cfg.N, groups, s)
+	}
+	lid := id - t.vecs
+	l, cvec := lid/groups, lid%groups
+	return topology.ContiguousShard(t.expand(cvec, l, 0)/t.cfg.N, groups, s)
+}

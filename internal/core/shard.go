@@ -1,0 +1,25 @@
+package core
+
+import "repro/internal/topology"
+
+var _ topology.Sharder = (*ABCCC)(nil)
+
+// ShardOf implements topology.Sharder: the partition cuts along the address
+// space, keeping whole crossbars — the local switch plus its r servers, the
+// tightest traffic locality ABCCC has — inside one shard and assigning each
+// level switch to the crossbar of its digit-0 member. Contiguous vector
+// ranges share their high address digits, so level-l traffic for l below the
+// top digit stays intra-shard and only top-digit hops cross the cut, which
+// is exactly the crossbar/level-switch locality the sharded simulator's
+// handoff volume depends on.
+func (t *ABCCC) ShardOf(id, s int) int {
+	block := 1 + t.r // local switch + r servers per crossbar
+	if id < t.vecs*block {
+		return topology.ContiguousShard(id/block, t.vecs, s)
+	}
+	// Level switch W(l, cvec): follow its digit-0 attached crossbar.
+	lid := id - t.vecs*block
+	cvecs := t.vecs / t.cfg.N
+	l, cvec := lid/cvecs, lid%cvecs
+	return topology.ContiguousShard(t.expand(cvec, l, 0), t.vecs, s)
+}

@@ -75,6 +75,18 @@ func (q *Queue[T]) Reset() {
 	q.entries = q.entries[:0]
 }
 
+// Grow ensures the queue can absorb n more pushes without reallocating. The
+// sharded simulators call it before draining a window's handoff batch into a
+// shard heap, so steady-state windows stay allocation-free.
+func (q *Queue[T]) Grow(n int) {
+	if n <= cap(q.entries)-len(q.entries) {
+		return
+	}
+	grown := make([]entry[T], len(q.entries), len(q.entries)+n)
+	copy(grown, q.entries)
+	q.entries = grown
+}
+
 // siftUp restores heap order along the path from leaf i to the root, moving
 // the (single) displaced entry rather than swapping pairwise.
 func (q *Queue[T]) siftUp(i int) {

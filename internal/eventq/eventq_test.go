@@ -177,3 +177,62 @@ func BenchmarkPushPopContainerHeap(b *testing.B) {
 		seq++
 	}
 }
+
+func TestGrowReservesCapacity(t *testing.T) {
+	q := New[int](2)
+	q.Push(1, 0, 1)
+	q.Grow(100)
+	if got := cap(q.entries) - q.Len(); got < 100 {
+		t.Fatalf("Grow(100) left room for %d", got)
+	}
+	// Contents survive the regrow.
+	if tm, _, v := q.Pop(); tm != 1 || v != 1 {
+		t.Fatalf("pop after Grow = (%g, %d)", tm, v)
+	}
+	// A no-op Grow must not shrink or reallocate.
+	before := cap(q.entries)
+	q.Grow(1)
+	if cap(q.entries) != before {
+		t.Errorf("no-op Grow changed capacity %d -> %d", before, cap(q.entries))
+	}
+}
+
+// TestWindowReuseAllocatesNothing pins the sharded simulators' steady state:
+// once Grow has sized the backing array, a Reset + Grow + refill + drain
+// cycle — one synchronization window — performs zero allocations.
+func TestWindowReuseAllocatesNothing(t *testing.T) {
+	const batch = 256
+	q := New[int64](batch)
+	allocs := testing.AllocsPerRun(100, func() {
+		q.Reset()
+		q.Grow(batch)
+		for i := int64(0); i < batch; i++ {
+			q.Push(float64(batch-i), i, i)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("window cycle allocates %v times, want 0", allocs)
+	}
+}
+
+func BenchmarkWindowReuse(b *testing.B) {
+	// The sharded engines' barrier pattern: Reset, Grow for the incoming
+	// handoff batch, refill, drain. Must report 0 allocs/op.
+	const batch = 512
+	q := New[int64](batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Reset()
+		q.Grow(batch)
+		for j := int64(0); j < batch; j++ {
+			q.Push(float64(batch-j), j, j)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}

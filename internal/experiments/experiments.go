@@ -64,6 +64,7 @@ var experimentRegistry = sync.OnceValue(func() *registry {
 		{ID: "F25", Title: "Latency vs offered load (Poisson arrivals, transport)", Run: F25LatencyVsLoad},
 		{ID: "F26", Title: "Recovery timeline: goodput through a switch burst and repair", Run: F26RecoveryTimeline},
 		{ID: "F27", Title: "Graceful degradation: goodput vs permanent switch failures, reactive vs multipath", Run: F27GracefulDegradation},
+		{ID: "F28", Title: "Sharded engine equivalence: shuffle results across shard counts", Run: F28ShardScaling},
 	}
 	byID := make(map[string]Experiment, len(list))
 	for _, e := range list {

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestShardScalingAllIdentical pins the figure's whole point: every row of
+// every block reports results identical to shards=1. A single "NO" cell
+// means the sharded engine's equivalence contract broke.
+func TestShardScalingAllIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard sweep runs are slow; skipped with -short")
+	}
+	var buf bytes.Buffer
+	if err := F28ShardScaling(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "NO") {
+		t.Errorf("a shard count diverged from serial:\n%s", out)
+	}
+	for _, want := range []string{"packet", "transport", "burst", "burst+mp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q block:\n%s", want, out)
+		}
+	}
+	rows := strings.Count(out, "yes")
+	if want := 4 * len(scaleShardCounts); rows != want {
+		t.Errorf("%d identical rows, want %d", rows, want)
+	}
+}
+
+// TestShardScalingDeterministic: same seed, byte-identical figure.
+func TestShardScalingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard sweep runs are slow; skipped with -short")
+	}
+	var a, b bytes.Buffer
+	if err := F28ShardScaling(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := F28ShardScaling(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two F28 runs differ byte-for-byte")
+	}
+}

@@ -1,0 +1,19 @@
+package fattree
+
+import "repro/internal/topology"
+
+var _ topology.Sharder = (*FatTree)(nil)
+
+// ShardOf implements topology.Sharder: whole pods — edge switches, their
+// servers, and the pod's aggregation layer — stay inside one shard, so only
+// core-layer hops cross the cut. Core switches, which talk to every pod,
+// spread evenly across shards by core index.
+func (t *FatTree) ShardOf(id, s int) int {
+	k := t.cfg.K
+	h := k / 2
+	podBlock := h*(1+h) + h // h edge switches, h*h servers, h aggs
+	if id < k*podBlock {
+		return topology.ContiguousShard(id/podBlock, k, s)
+	}
+	return topology.ContiguousShard(id-k*podBlock, h*h, s)
+}

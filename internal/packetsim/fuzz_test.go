@@ -139,3 +139,75 @@ func FuzzMultipathConservation(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShardConservation drives the sharded engines' handoff/barrier path
+// through arbitrary fault schedules and shard counts. The first fuzz byte
+// picks the shard count; the rest decode into a fault plan. Three properties
+// must survive every input: packet conservation in the sharded packet
+// engine, the journey ledger in the sharded multipath transport, and
+// byte-identical results against the single-shard run of the same engine.
+// `make fuzz-smoke` runs this in CI.
+func FuzzShardConservation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2})                                            // two shards, no faults
+	f.Add([]byte{4, 10, 1, 3, 0})                               // one switch down, never repaired
+	f.Add([]byte{7, 5, 1, 2, 0, 20, 1, 2, 1})                   // prime shards, down-then-up
+	f.Add([]byte{3, 0, 1, 1, 0, 0, 1, 4, 0, 0, 1, 7, 0})        // burst at t=0
+	f.Add([]byte{255, 255, 1, 9, 0, 1, 0, 0, 0, 128, 2, 40, 1}) // oversized shard count
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fuzzSetup()
+		shards := 1
+		if len(raw) > 0 {
+			shards = 1 + int(raw[0])%8
+			raw = raw[1:]
+		}
+		plan := decodePlan(fuzzEnv.net, raw)
+
+		// Packet engine: conservation plus single-shard equivalence.
+		cfg := Default()
+		cfg.Faults = plan
+		res, err := RunSharded(fuzzEnv.topo, fuzzEnv.flows, cfg, ShardOpts{Shards: shards})
+		if err != nil {
+			t.Fatalf("valid decoded plan rejected: %v", err)
+		}
+		injected := injectedPackets(fuzzEnv.flows, cfg.MTU)
+		if got := res.Delivered + res.Dropped + res.DroppedFault; got != injected {
+			t.Fatalf("shards=%d conservation violated: %d != injected %d (plan %+v)",
+				shards, got, injected, plan.Events)
+		}
+		if base, err := RunSharded(fuzzEnv.topo, fuzzEnv.flows, cfg, ShardOpts{Shards: 1}); err != nil {
+			t.Fatal(err)
+		} else if res != base {
+			t.Fatalf("shards=%d result %+v != shards=1 %+v (plan %+v)", shards, res, base, plan.Events)
+		}
+
+		// Multipath transport: journey ledger plus single-shard equivalence.
+		tcfg := DefaultTransport()
+		tcfg.Faults = plan
+		tcfg.Multipath = true
+		tcfg.MultipathPaths = 3
+		tcfg.MaxFlowTimeouts = 6
+		reg := obs.NewRegistry()
+		tcfg.Link.Metrics = reg
+		tres, err := RunTransportSharded(fuzzEnv.topo, fuzzEnv.flows, tcfg, ShardOpts{Shards: shards})
+		if err != nil {
+			t.Fatalf("valid decoded plan rejected: %v", err)
+		}
+		sent := reg.Counter(MetricDataSent).Value() + reg.Counter(MetricAckSent).Value()
+		arrived := reg.Counter(MetricDataArrived).Value() + reg.Counter(MetricAckArrived).Value()
+		dropped := reg.Counter(MetricTransportDrops).Value() +
+			reg.Counter(MetricTransportFaultDrops).Value() +
+			reg.Counter(MetricTransportStaleDrops).Value()
+		if sent != arrived+dropped {
+			t.Fatalf("shards=%d conservation violated: sent %d != arrived %d + dropped %d (plan %+v)",
+				shards, sent, arrived, dropped, plan.Events)
+		}
+		tcfg.Link.Metrics = nil
+		if tbase, err := RunTransportSharded(fuzzEnv.topo, fuzzEnv.flows, tcfg, ShardOpts{Shards: 1}); err != nil {
+			t.Fatal(err)
+		} else if tres != tbase {
+			t.Fatalf("shards=%d transport %+v != shards=1 %+v (plan %+v)", shards, tres, tbase, plan.Events)
+		}
+	})
+}

@@ -1,0 +1,368 @@
+// Shared machinery of the sharded discrete-event engines (shardrun.go,
+// shardtransport.go): topology partitioning, the conservative time-windowed
+// synchronization loop with deterministic cross-shard handoff, and the
+// order-independent merges that keep a sharded run's results byte-identical
+// for every shard count and GOMAXPROCS.
+//
+// # Conservative windows
+//
+// The compiled link-resource arrays partition cleanly: directed resource r
+// (transmitter u) belongs to the shard of u, and a packet reaching node v is
+// processed on v's shard. Every cross-shard event is therefore a packet
+// arrival pushed at least lookahead = min-transmit-time + link-delay into
+// the future, so the loop can safely drain, in parallel, all events with
+// time < M + lookahead (M = global minimum pending time) before exchanging
+// handoffs at a barrier: nothing generated inside the window can land inside
+// it on another shard. Timers, probes, injections, and fault transitions are
+// shard-local (fault plans are replicated into every shard's queue up
+// front), so they never constrain the lookahead.
+//
+// # Determinism
+//
+// Event keys are content-derived (packet identity, not push order), so each
+// shard's heap pops in an order fixed by the workload alone, and all events
+// touching one link resource are processed on its owner shard in global
+// (time, key) order no matter how many shards exist. Commutative aggregates
+// (counts, maxima) merge trivially; float aggregates (latency sums,
+// quantiles) are computed over sorted samples, which fixes the accumulation
+// order. The shard-equivalence tests pin byte-identical results across
+// -shards 1..N; shard_test.go documents the (tie-break only) tolerance
+// against the serial engines.
+
+package packetsim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/eventq"
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// ShardOpts parameterizes a sharded run.
+type ShardOpts struct {
+	// Shards is the number of topology shards; values below 1 mean 1. The
+	// result is byte-identical for every value.
+	Shards int
+	// Workers caps the goroutines driving shards; 0 means
+	// min(Shards, GOMAXPROCS).
+	Workers int
+}
+
+// normalized clamps the options against the network size.
+func (o ShardOpts) normalized(numNodes int) (shards, workers int) {
+	shards = o.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if numNodes > 0 && shards > numNodes {
+		shards = numNodes
+	}
+	workers = o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	return shards, workers
+}
+
+// Sharded-engine instrument names registered on the run's metrics registry.
+const (
+	// MetricShardWindows counts synchronization windows (barriers).
+	MetricShardWindows = "shardsim_windows"
+	// MetricShardHandoffs counts cross-shard packet handoffs.
+	MetricShardHandoffs = "shardsim_handoffs"
+	// MetricShardHandoffBatch observes the size of each nonempty src->dst
+	// handoff batch exchanged at a barrier.
+	MetricShardHandoffBatch = "shardsim_handoff_batch"
+	// MetricShardWindowEvents observes events drained per shard per window.
+	MetricShardWindowEvents = "shardsim_window_events"
+	// MetricShardWindowStall gauges how many shards drained zero events in
+	// the last window (its Max is the worst window's stall count).
+	MetricShardWindowStall = "shardsim_window_stall"
+)
+
+// shardPool runs per-shard closures on persistent worker goroutines; nil
+// (workers <= 1) degrades to inline serial execution with zero overhead.
+type shardPool struct {
+	tasks chan func()
+}
+
+func newShardPool(workers int) *shardPool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &shardPool{tasks: make(chan func())}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// forEach executes fn(0..n-1) across the pool and waits for all of them; the
+// WaitGroup barrier gives every write before it a happens-before edge into
+// everything after it, which is what makes the phase exchanges race-free.
+func (p *shardPool) forEach(n int, fn func(int)) {
+	if p == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+func (p *shardPool) close() {
+	if p != nil {
+		close(p.tasks)
+	}
+}
+
+// handoff is one cross-shard event in flight between windows.
+type handoff[T any] struct {
+	time float64
+	key  int64
+	ev   T
+}
+
+// windowShard is the per-shard queue state the window loop drives.
+type windowShard[T any] struct {
+	q eventq.Queue[T]
+	// out[dst] collects this shard's cross-shard pushes for the window.
+	out [][]handoff[T]
+	// processed counts events drained in the current window.
+	processed int64
+}
+
+// push routes an event to its destination shard: local events enter the heap
+// directly, remote ones wait in the outbox for the window barrier.
+func (w *windowShard[T]) push(dst, self int, time float64, key int64, ev T) {
+	if dst == self {
+		w.q.Push(time, key, ev)
+		return
+	}
+	w.out[dst] = append(w.out[dst], handoff[T]{time: time, key: key, ev: ev})
+}
+
+// shardDriver is the coordinator's bookkeeping: the pool plus the sharded
+// engines' instruments (all nil-safe when the run has no metrics registry).
+type shardDriver struct {
+	shards int
+	pool   *shardPool
+
+	cWindows  *obs.Counter
+	cHandoffs *obs.Counter
+	hBatch    *obs.Histogram
+	hWindow   *obs.Histogram
+	gStall    *obs.Gauge
+}
+
+func newShardDriver(shards, workers int, metrics *obs.Registry) *shardDriver {
+	return &shardDriver{
+		shards:    shards,
+		pool:      newShardPool(workers),
+		cWindows:  metrics.Counter(MetricShardWindows),
+		cHandoffs: metrics.Counter(MetricShardHandoffs),
+		hBatch:    metrics.Histogram(MetricShardHandoffBatch),
+		hWindow:   metrics.Histogram(MetricShardWindowEvents),
+		gStall:    metrics.Gauge(MetricShardWindowStall),
+	}
+}
+
+// runWindows drives the conservative loop until every shard heap drains.
+// drain(s, end) must process shard s's local events with time < end in
+// (time, key) order, routing pushes through windowShard.push and adding to
+// processed. budget > 0 aborts the run once the total processed event count
+// exceeds it (the transport engine's MaxEvents brake).
+func runWindows[T any](d *shardDriver, shards []*windowShard[T], lookahead float64, drain func(s int, end float64), budget int64) error {
+	defer d.pool.close()
+	var total int64
+	for {
+		// Coordinator: the global minimum pending time opens the window.
+		minT := math.Inf(1)
+		for _, sh := range shards {
+			if sh.q.Len() > 0 {
+				if t, _, _ := sh.q.Peek(); t < minT {
+					minT = t
+				}
+			}
+		}
+		if math.IsInf(minT, 1) {
+			return nil // every heap is dry: the run is over
+		}
+		// The window edge must sit at or below every cross-shard arrival a
+		// drained event can generate. Mathematically that is minT + lookahead,
+		// but the engines compute an arrival as ((t + tx) + delay) while the
+		// edge would be minT + (tx + delay): float non-associativity can land
+		// an arrival an ulp BEFORE the edge, deferring it behind events it
+		// must precede. A relative margin of 1e-12 (thousands of ulps, yet
+		// vanishing against any physical lookahead) keeps the edge strictly
+		// conservative.
+		end := minT + lookahead
+		end -= end * 1e-12
+		if end <= minT {
+			end = math.Nextafter(minT, math.Inf(1)) // degenerate lookahead: still make progress
+		}
+		if len(shards) == 1 {
+			end = math.Inf(1) // one shard: no cross-shard events, one window
+		}
+
+		// Drain phase: every shard advances to the window edge in parallel.
+		d.pool.forEach(len(shards), func(s int) {
+			shards[s].processed = 0
+			drain(s, end)
+		})
+
+		d.cWindows.Inc()
+		stalled := 0
+		for _, sh := range shards {
+			if sh.processed == 0 {
+				stalled++
+			}
+			total += sh.processed
+			d.hWindow.Observe(sh.processed)
+		}
+		d.gStall.Set(int64(stalled))
+		if budget > 0 && total > budget {
+			return fmt.Errorf("packetsim: sharded run exceeded %d events", budget)
+		}
+
+		// Exchange phase: each destination drains every source's outbox into
+		// its heap. Push order cannot affect pop order (keys are a strict
+		// total order), and the barrier between phases makes the cross-shard
+		// reads race-free.
+		d.pool.forEach(len(shards), func(dst int) {
+			n := 0
+			for _, src := range shards {
+				n += len(src.out[dst])
+			}
+			if n == 0 {
+				return
+			}
+			shards[dst].q.Grow(n)
+			for _, src := range shards {
+				batch := src.out[dst]
+				if len(batch) == 0 {
+					continue
+				}
+				for _, h := range batch {
+					shards[dst].q.Push(h.time, h.key, h.ev)
+				}
+				d.hBatch.Observe(int64(len(batch)))
+				src.out[dst] = src.out[dst][:0]
+			}
+			d.cHandoffs.Add(int64(n))
+		})
+	}
+}
+
+// newShardFaultStates arms one independent faultState per shard: every shard
+// applies the full plan at the exact simulated times (the plan events are
+// replicated into each shard's queue), so all per-shard failure views agree
+// at every instant and the per-shard epoch timelines align boundary for
+// boundary. Only shard 0 carries the run's metrics and tracer — fault
+// transitions would otherwise be counted and traced once per shard.
+func newShardFaultStates(plan *failure.FaultPlan, net *topology.Network, shards int, wantTimeline bool, metrics *obs.Registry, tracer *obs.Tracer) ([]*faultState, error) {
+	states := make([]*faultState, shards)
+	for s := range states {
+		var tl *Timeline
+		if wantTimeline {
+			tl = &Timeline{}
+		}
+		reg, tr := (*obs.Registry)(nil), (*obs.Tracer)(nil)
+		if s == 0 {
+			reg, tr = metrics, tracer
+		}
+		fs, err := newFaultState(plan, net, tl, reg, tr)
+		if err != nil {
+			return nil, err
+		}
+		states[s] = fs
+	}
+	return states, nil
+}
+
+// finishShardTimelines closes every shard's final epoch at the global
+// makespan and merges the per-shard timelines into dst. Epoch boundaries are
+// identical across shards by construction; counts sum, and FaultEvents —
+// counted once per shard — come from shard 0 alone.
+func finishShardTimelines(dst *Timeline, states []*faultState, makespanSec float64) error {
+	if dst == nil {
+		return nil
+	}
+	for _, fs := range states {
+		fs.finish(makespanSec)
+	}
+	base := states[0].timeline
+	dst.Epochs = append(dst.Epochs[:0], base.Epochs...)
+	for s := 1; s < len(states); s++ {
+		part := states[s].timeline
+		if len(part.Epochs) != len(base.Epochs) {
+			return fmt.Errorf("packetsim: shard %d saw %d fault epochs, shard 0 saw %d",
+				s, len(part.Epochs), len(base.Epochs))
+		}
+		for i, e := range part.Epochs {
+			m := &dst.Epochs[i]
+			if e.StartSec != m.StartSec || e.EndSec != m.EndSec {
+				return fmt.Errorf("packetsim: shard %d epoch %d boundary mismatch", s, i)
+			}
+			m.Delivered += e.Delivered
+			m.DeliveredBytes += e.DeliveredBytes
+			m.DroppedTail += e.DroppedTail
+			m.DroppedFault += e.DroppedFault
+			m.DroppedStale += e.DroppedStale
+			m.Retransmits += e.Retransmits
+			m.Reroutes += e.Reroutes
+			m.Failovers += e.Failovers
+			m.CompletedFlows += e.CompletedFlows
+		}
+	}
+	return nil
+}
+
+// mergeLatencies concatenates the shards' delivery-latency samples, sorts
+// them, and returns the mean and nearest-rank p99. Sorting first makes both
+// numbers independent of how deliveries were distributed across shards: the
+// multiset is identical for every shard count, the quantile is an order
+// statistic, and summing in ascending order fixes the float accumulation
+// order bit for bit. It reuses the serial engine's nearestRankIndex so the
+// sharded and serial quantile definitions can never drift apart.
+func mergeLatencies(parts [][]float64) (avg, p99 float64) {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	all := make([]float64, 0, n)
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Float64s(all)
+	sum := 0.0
+	for _, v := range all {
+		sum += v
+	}
+	return sum / float64(n), all[nearestRankIndex(n, 0.99)]
+}

@@ -1,0 +1,56 @@
+package topology
+
+// Sharder is implemented by structures with a natural locality-preserving
+// partition: nodes that exchange most of their traffic — an ABCCC crossbar,
+// a fat-tree pod — land in the same shard, so the sharded simulators hand
+// off as few packets as possible at window barriers.
+type Sharder interface {
+	// ShardOf returns the shard of node id under an s-way partition. It
+	// must be deterministic, independent of any run state, and in [0, s).
+	ShardOf(id, s int) int
+}
+
+// ShardNodes partitions every node of t's network into s shards and returns
+// the node-indexed shard table. Structures implementing Sharder choose their
+// own cut; everything else falls back to contiguous node-id blocks, which
+// already follows locality for the constructors in this repository (they add
+// nodes crossbar by crossbar / pod by pod). s is clamped to [1, NumNodes].
+func ShardNodes(t Topology, s int) []int32 {
+	n := t.Network().Graph().NumNodes()
+	if s < 1 {
+		s = 1
+	}
+	if s > n && n > 0 {
+		s = n
+	}
+	out := make([]int32, n)
+	if sh, ok := t.(Sharder); ok {
+		for id := 0; id < n; id++ {
+			v := sh.ShardOf(id, s)
+			if v < 0 || v >= s {
+				v = 0 // defensive: a broken Sharder must not corrupt the run
+			}
+			out[id] = int32(v)
+		}
+		return out
+	}
+	for id := 0; id < n; id++ {
+		out[id] = int32(ContiguousShard(id, n, s))
+	}
+	return out
+}
+
+// ContiguousShard maps index id of a 0..n-1 range onto s equal contiguous
+// blocks. It is the fallback partition and the building block family-specific
+// Sharder implementations use to cut their own position spaces (crossbar
+// vectors, pods) into s pieces.
+func ContiguousShard(id, n, s int) int {
+	if n <= 0 || s <= 1 {
+		return 0
+	}
+	v := int(int64(id) * int64(s) / int64(n))
+	if v >= s {
+		v = s - 1
+	}
+	return v
+}

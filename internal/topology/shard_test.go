@@ -1,0 +1,147 @@
+package topology_test
+
+import (
+	"testing"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/fattree"
+	"repro/internal/topology"
+)
+
+func TestContiguousShard(t *testing.T) {
+	// Degenerate inputs collapse to shard 0.
+	if got := topology.ContiguousShard(3, 0, 4); got != 0 {
+		t.Errorf("n=0: %d", got)
+	}
+	if got := topology.ContiguousShard(3, 10, 1); got != 0 {
+		t.Errorf("s=1: %d", got)
+	}
+	for _, tc := range []struct{ n, s int }{{10, 2}, {10, 3}, {7, 7}, {100, 7}, {5, 9}} {
+		prev := 0
+		counts := make([]int, tc.s)
+		for id := 0; id < tc.n; id++ {
+			v := topology.ContiguousShard(id, tc.n, tc.s)
+			if v < 0 || v >= tc.s {
+				t.Fatalf("n=%d s=%d id=%d: shard %d out of range", tc.n, tc.s, id, v)
+			}
+			if v < prev {
+				t.Fatalf("n=%d s=%d: shard ids not monotone at %d", tc.n, tc.s, id)
+			}
+			prev = v
+			counts[v]++
+		}
+		// Blocks are balanced within one element per shard when n >= s.
+		if tc.n >= tc.s {
+			min, max := tc.n, 0
+			for _, c := range counts {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if max-min > 1 {
+				t.Errorf("n=%d s=%d: block sizes range %d..%d", tc.n, tc.s, min, max)
+			}
+		}
+	}
+}
+
+// shardedTopologies returns one instance of every structure with a custom
+// Sharder plus its expected atomic locality group size (nodes that must
+// never be split: an ABCCC/BCube crossbar block, a fat-tree pod).
+func shardedTopologies(t *testing.T) map[string]topology.Topology {
+	t.Helper()
+	return map[string]topology.Topology{
+		"abccc":   core.MustBuild(core.Config{N: 4, K: 1, P: 2}),
+		"bcube":   bcube.MustBuild(bcube.Config{N: 4, K: 1}),
+		"fattree": fattree.MustBuild(fattree.Config{K: 4}),
+	}
+}
+
+func TestShardNodesConformance(t *testing.T) {
+	for name, tp := range shardedTopologies(t) {
+		n := tp.Network().Graph().NumNodes()
+		for _, s := range []int{1, 2, 3, 4, 7, n, n + 5} {
+			m := topology.ShardNodes(tp, s)
+			if len(m) != n {
+				t.Fatalf("%s s=%d: table has %d entries, want %d", name, s, len(m), n)
+			}
+			eff := s
+			if eff > n {
+				eff = n
+			}
+			used := make(map[int32]bool)
+			for id, v := range m {
+				if v < 0 || int(v) >= eff {
+					t.Fatalf("%s s=%d node %d: shard %d out of range", name, s, id, v)
+				}
+				used[v] = true
+			}
+			if s > 1 && len(used) < 2 {
+				t.Errorf("%s s=%d: all nodes in one shard", name, s)
+			}
+			// Deterministic: a second call yields the same table.
+			again := topology.ShardNodes(tp, s)
+			for id := range m {
+				if m[id] != again[id] {
+					t.Fatalf("%s s=%d: nondeterministic at node %d", name, s, id)
+				}
+			}
+		}
+	}
+}
+
+// TestShardNodesKeepsServersWithTheirEdge pins the locality property the
+// sharded simulators' handoff volume depends on: a server always lands in
+// the same shard as its first-hop switch.
+func TestShardNodesKeepsServersWithTheirEdge(t *testing.T) {
+	for name, tp := range shardedTopologies(t) {
+		net := tp.Network()
+		g := net.Graph()
+		for _, s := range []int{2, 3, 4, 7} {
+			m := topology.ShardNodes(tp, s)
+			var nbrs []int
+			for _, sv := range net.Servers() {
+				nbrs = g.Neighbors(sv, nbrs[:0])
+				for _, e := range nbrs {
+					if net.IsServer(e) {
+						continue
+					}
+					// BCube/ABCCC servers touch several switches; only the
+					// level-0 attachment (the lowest-id switch neighbor) is
+					// required to stay local.
+					if m[sv] != m[e] {
+						continue
+					}
+					goto nextServer
+				}
+				t.Errorf("%s s=%d: server %d shares a shard with none of its switches", name, s, sv)
+			nextServer:
+			}
+		}
+	}
+}
+
+func TestShardNodesFallbackWithoutSharder(t *testing.T) {
+	// A bare Network-backed topology has no Sharder; the fallback must still
+	// produce a valid contiguous partition.
+	tp := fattree.MustBuild(fattree.Config{K: 4})
+	m := topology.ShardNodes(plainTopo{tp}, 3)
+	for id, v := range m {
+		if want := topology.ContiguousShard(id, len(m), 3); int(v) != want {
+			t.Fatalf("node %d: %d, want contiguous %d", id, v, want)
+		}
+	}
+}
+
+// plainTopo hides the underlying structure's Sharder implementation.
+type plainTopo struct {
+	inner topology.Topology
+}
+
+func (p plainTopo) Network() *topology.Network                { return p.inner.Network() }
+func (p plainTopo) Properties() topology.Properties           { return p.inner.Properties() }
+func (p plainTopo) Route(src, dst int) (topology.Path, error) { return p.inner.Route(src, dst) }
