@@ -15,12 +15,15 @@
 #   make bench-scale  quick sharded-engine scaling sweep (1k servers); the
 #                full 1k/10k/100k sweep is `cmd/benchsuite -scale`, recorded
 #                as BENCH_pr6.json
+#   make obsreport-smoke  render the committed F26 run record through
+#                cmd/obsreport (terminal, HTML, diff) and assert malformed
+#                input exits nonzero
 #   make check   everything a PR must pass locally
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke check
+.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke obsreport-smoke check
 
 build:
 	$(GO) build ./...
@@ -55,5 +58,14 @@ fuzz-smoke:
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzFaultPlanConservation -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzMultipathConservation -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzShardConservation -fuzztime $(FUZZTIME)
+
+# Renders every obsreport mode against the committed fixture, then checks
+# the failure path: malformed JSONL must exit nonzero.
+obsreport-smoke:
+	$(GO) run ./cmd/obsreport cmd/obsreport/testdata/f26.jsonl.gz
+	$(GO) run ./cmd/obsreport -html /tmp/obsreport-smoke.html cmd/obsreport/testdata/f26.jsonl.gz
+	$(GO) run ./cmd/obsreport -diff cmd/obsreport/testdata/f26.jsonl.gz cmd/obsreport/testdata/mini.jsonl
+	printf '{not json\n' > /tmp/obsreport-smoke-bad.jsonl
+	! $(GO) run ./cmd/obsreport /tmp/obsreport-smoke-bad.jsonl 2>/dev/null
 
 check: build vet test race

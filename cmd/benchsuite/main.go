@@ -49,19 +49,30 @@ import (
 )
 
 // provenance identifies the machine and source revision a timing report came
-// from.
+// from, plus which observability layers were armed during the measured run —
+// instrumentation has a (small) cost, so reports are only comparable when
+// their obs configurations match.
 type provenance struct {
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"num_cpu"`
-	Revision   string `json:"revision"`
-	Timestamp  string `json:"timestamp"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Revision   string    `json:"revision"`
+	Timestamp  string    `json:"timestamp"`
+	Obs        obsConfig `json:"obs"`
+}
+
+// obsConfig records which telemetry layers were live while timings were
+// taken.
+type obsConfig struct {
+	Metrics bool `json:"metrics"`
+	Trace   bool `json:"trace"`
+	Series  bool `json:"series"`
 }
 
 // buildProvenance stamps the current run. The revision comes from the VCS
 // metadata the Go linker embeds (absent in plain `go test` binaries, then
 // "unknown"); a locally modified tree gets a "-dirty" suffix.
-func buildProvenance() provenance {
+func buildProvenance(oc obsConfig) provenance {
 	rev := "unknown"
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		var dirty bool
@@ -83,6 +94,7 @@ func buildProvenance() provenance {
 		NumCPU:     runtime.NumCPU(),
 		Revision:   rev,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Obs:        oc,
 	}
 }
 
@@ -110,6 +122,7 @@ func run(args []string, w io.Writer) error {
 		asJSON    = fs.Bool("json", false, "discard tables, print per-experiment timings as JSON")
 		metrics   = fs.Bool("metrics", false, "print an instrumentation summary after the run")
 		trace     = fs.String("trace", "", "write per-experiment progress events as JSONL to this file")
+		series    = fs.String("series", "", "write suite wall-clock telemetry (per-window experiment completions and runtimes) as run-record JSONL to this file; render with obsreport")
 		pprofFl   = fs.String("pprof", "", "serve net/http/pprof on this address during the run")
 		compare   = fs.String("compare", "", "diff timings against this benchsuite -json report; nonzero exit on regression")
 		threshold = fs.Float64("threshold", 0.2, "with -compare, flag experiments that slowed by more than this fraction")
@@ -143,7 +156,7 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			newRep = report{
-				Provenance:   buildProvenance(),
+				Provenance:   buildProvenance(obsConfig{}),
 				Workers:      *workers,
 				TotalSeconds: time.Since(start).Seconds(),
 				Experiments:  timings,
@@ -178,7 +191,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		return emitReport(w, report{
-			Provenance:   buildProvenance(),
+			Provenance:   buildProvenance(obsConfig{}),
 			Workers:      1,
 			TotalSeconds: time.Since(start).Seconds(),
 			Experiments: []experiments.Timing{
@@ -192,7 +205,9 @@ func run(args []string, w io.Writer) error {
 		reg = obs.NewRegistry()
 	}
 	var tracer *obs.Tracer
-	if *trace != "" {
+	if *trace != "" || *series != "" {
+		// -series folds the trace's exp_start/exp_done pairs into windowed
+		// curves, so it arms the tracer even when no trace file was asked for.
 		tracer = obs.NewTracer(0)
 	}
 
@@ -205,7 +220,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if tracer != nil {
+	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
 			return err
@@ -215,6 +230,11 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *series != "" {
+		if err := writeSuiteSeries(*series, tracer, len(timings), *workers); err != nil {
 			return err
 		}
 	}
@@ -228,11 +248,56 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	return emitReport(w, report{
-		Provenance:   buildProvenance(),
+		Provenance:   buildProvenance(obsConfig{Metrics: *metrics, Trace: *trace != "", Series: *series != ""}),
 		Workers:      *workers,
 		TotalSeconds: time.Since(start).Seconds(),
 		Experiments:  timings,
 	})
+}
+
+// suiteSeriesWindowNs is the wall-clock window width of -series curves: fine
+// enough to see the pool drain, coarse enough that a full suite run stays a
+// few dozen windows.
+const suiteSeriesWindowNs = int64(100 * time.Millisecond)
+
+// writeSuiteSeries folds the suite trace into wall-clock windowed curves —
+// experiment completions per window and summed/peak experiment runtimes
+// attributed to the window each experiment finished in — and writes the
+// combined run record (trace included) for obsreport.
+func writeSuiteSeries(path string, tr *obs.Tracer, n, workers int) error {
+	ser := obs.NewSeries(suiteSeriesWindowNs)
+	completions := ser.Track("exp_completions")
+	runtimes := ser.Track("exp_runtime_ns")
+	starts := map[int64]int64{}
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case "exp_start":
+			starts[ev.ID] = ev.TimeNs
+		case "exp_done", "exp_fail":
+			completions.Add(ev.TimeNs, 1)
+			if s, ok := starts[ev.ID]; ok {
+				runtimes.Add(ev.TimeNs, ev.TimeNs-s)
+			}
+		}
+	}
+	meta := obs.RunMeta{
+		Label:          "benchsuite",
+		Engine:         "suite",
+		Workload:       fmt.Sprintf("%d experiments, %d workers", n, workers),
+		Workers:        workers,
+		SeriesWindowNs: suiteSeriesWindowNs,
+		Trace:          true,
+		Series:         true,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteRun(f, meta, tr, ser, nil); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func emitReport(w io.Writer, r any) error {

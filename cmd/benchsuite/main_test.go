@@ -64,7 +64,7 @@ func TestRunSingleJSON(t *testing.T) {
 // TestJSONProvenanceHeader is the satellite contract: -json reports carry
 // enough machine context to compare BENCH_*.json trajectories across hosts.
 func TestJSONProvenanceHeader(t *testing.T) {
-	p := buildProvenance()
+	p := buildProvenance(obsConfig{})
 	checkProvenance(t, p)
 }
 

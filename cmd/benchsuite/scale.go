@@ -58,7 +58,7 @@ func runScale(w io.Writer, sizes, shardList string, flowBytes int) error {
 		return err
 	}
 	rep := scaleReport{
-		Provenance: buildProvenance(),
+		Provenance: buildProvenance(obsConfig{}),
 		Engine:     "packet",
 		FlowBytes:  flowBytes,
 	}

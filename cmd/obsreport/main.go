@@ -1,0 +1,116 @@
+// Command obsreport renders offline reports from run-record JSONL files —
+// the combined telemetry stream (meta header, trace events, series points,
+// shard profile rows) written by obs.WriteRun, or any legacy trace written by
+// obs.Tracer.WriteJSONL. Files ending in .gz are decompressed transparently.
+//
+// Usage:
+//
+//	obsreport run.jsonl            terminal timeline report
+//	obsreport -html out.html run.jsonl
+//	obsreport -diff a.jsonl b.jsonl
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
+	var (
+		htmlOut = fs.String("html", "", "write a self-contained HTML report to this file instead of the terminal timeline")
+		diff    = fs.Bool("diff", false, "compare two run records side by side (takes exactly two files)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: obsreport [-html out.html] run.jsonl | obsreport -diff a.jsonl b.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff takes exactly two files, got %d", fs.NArg())
+		}
+		a, err := load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := load(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		return writeDiff(w, a, b)
+	}
+
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected one run-record file, got %d args", fs.NArg())
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := writeHTML(f, r); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *htmlOut)
+		return nil
+	}
+	return writeReport(w, r)
+}
+
+// runFile is one loaded record file: the parsed records plus the name the
+// report refers to it by.
+type runFile struct {
+	name string
+	recs *obs.RunRecords
+}
+
+// load reads a run-record file, decompressing .gz transparently.
+func load(path string) (*runFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	recs, err := obs.ReadRecords(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs.Events) == 0 && len(recs.Series) == 0 && len(recs.ShardWindows) == 0 {
+		return nil, fmt.Errorf("%s: no records", path)
+	}
+	return &runFile{name: path, recs: recs}, nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// -update regenerates testdata: the f26.jsonl.gz fixture (re-running the F26
+// smoke scenario via experiments.WriteRecoveryRun) and every golden file.
+// Shard busy/wait numbers are wall-clock, so regeneration rewrites fixture
+// and goldens together; committed, the pair is byte-stable.
+var update = flag.Bool("update", false, "regenerate testdata fixtures and golden files")
+
+const fixture = "testdata/f26.jsonl.gz"
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if *update {
+		if err := regenFixture(); err != nil {
+			fmt.Fprintln(os.Stderr, "regenerate fixture:", err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+func regenFixture() error {
+	var raw bytes.Buffer
+	if err := experiments.WriteRecoveryRun(&raw); err != nil {
+		return err
+	}
+	f, err := os.Create(fixture)
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// golden compares got against testdata/name, or rewrites it under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s: %v (regenerate with: go test ./cmd/obsreport -update)", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden (regenerate with: go test ./cmd/obsreport -update)\ngot:\n%s",
+			name, truncate(got, 2000))
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "…"
+}
+
+func TestTerminalGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{fixture}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden(t, "f26.txt", out.Bytes())
+}
+
+func TestHTMLGolden(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "f26.html")
+	var msg bytes.Buffer
+	if err := run([]string{"-html", outPath, fixture}, &msg); err != nil {
+		t.Fatalf("run -html: %v", err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	for _, want := range []string{`id="goodput"`, `id="shards"`, `class="cell"`, `id="obs-data"`, "</html>"} {
+		if !strings.Contains(string(got), want) {
+			t.Errorf("HTML output missing %q", want)
+		}
+	}
+	golden(t, "f26.html", got)
+}
+
+func TestDiffGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-diff", fixture, "testdata/mini.jsonl"}, &out); err != nil {
+		t.Fatalf("run -diff: %v", err)
+	}
+	golden(t, "diff.txt", out.Bytes())
+}
+
+// TestMixedLegacyFile pins the tolerant-read path: legacy events with no
+// "type" field, a blank line, an unknown record type, and typed sections all
+// in one file.
+func TestMixedLegacyFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"testdata/mini.jsonl"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"no meta header", "1 unknown (skipped)", "pkt_send", "pkt_recv"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"malformed json", []string{write("bad.jsonl", "{not json\n")}},
+		{"empty file", []string{write("empty.jsonl", "")}},
+		{"missing file", []string{filepath.Join(dir, "nope.jsonl")}},
+		{"truncated gzip", []string{write("trunc.jsonl.gz", "\x1f\x8b\x08")}},
+		{"diff arity", []string{"-diff", fixture}},
+		{"no args", nil},
+	}
+	for _, tc := range cases {
+		if err := run(tc.args, io.Discard); err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}

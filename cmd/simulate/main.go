@@ -61,6 +61,9 @@ func run(args []string, w io.Writer) error {
 		paths   = fs.Int("paths", 0, "per-flow path-set cap for -multipath (default 4)")
 		shards  = fs.Int("shards", 0, "run the sharded parallel engine over this many topology shards (packet/transport sims; results are identical for every value)")
 		workers = fs.Int("workers", 0, "goroutines driving -shards (default min(shards, GOMAXPROCS))")
+		series  = fs.String("series", "", "write sim-time-windowed telemetry (goodput, drop causes, queue depth) as run-record JSONL to this file (packet/transport sims; render with obsreport)")
+		serWin  = fs.Duration("series-window", time.Millisecond, "window width for -series")
+		profSh  = fs.Bool("profile-shards", false, "record per-shard busy/wait runtime windows into the -series run record (requires -shards and -series)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +87,15 @@ func run(args []string, w io.Writer) error {
 	}
 	if *shards != 0 && *trace != "" && *workers != 1 {
 		return fmt.Errorf("-trace with -shards needs -workers 1 (parallel drains interleave trace records nondeterministically)")
+	}
+	if *series != "" && *sim == "flow" {
+		return fmt.Errorf("-series requires -sim packet or transport (the flow model has no notion of time)")
+	}
+	if *series != "" && *serWin <= 0 {
+		return fmt.Errorf("-series-window must be positive, got %v", *serWin)
+	}
+	if *profSh && (*shards == 0 || *series == "") {
+		return fmt.Errorf("-profile-shards requires -shards and -series (the profile rides in the run record)")
 	}
 
 	t, err := buildTopology(*topo, *n, *k, *p)
@@ -131,6 +143,14 @@ func run(args []string, w io.Writer) error {
 	var tracer *obs.Tracer
 	if *trace != "" {
 		tracer = obs.NewTracer(0)
+	}
+	var ser *obs.Series
+	if *series != "" {
+		ser = obs.NewSeries(serWin.Nanoseconds())
+	}
+	var prof *obs.ShardProfile
+	if *profSh {
+		prof = obs.NewShardProfile()
 	}
 	if *pprofFl != "" {
 		addr, stop, err := obs.StartPprof(*pprofFl)
@@ -193,9 +213,10 @@ func run(args []string, w io.Writer) error {
 		cfg.Trace = tracer
 		cfg.Faults = plan
 		cfg.Timeline = timeline
+		cfg.Series = ser
 		var res packetsim.Result
 		if *shards != 0 {
-			res, err = packetsim.RunSharded(t, flows, cfg, packetsim.ShardOpts{Shards: *shards, Workers: *workers})
+			res, err = packetsim.RunSharded(t, flows, cfg, packetsim.ShardOpts{Shards: *shards, Workers: *workers, Profile: prof})
 		} else {
 			res, err = packetsim.Run(t, flows, cfg)
 		}
@@ -211,11 +232,12 @@ func run(args []string, w io.Writer) error {
 		cfg.Link.Trace = tracer
 		cfg.Faults = plan
 		cfg.Timeline = timeline
+		cfg.Link.Series = ser
 		cfg.Multipath = *mpath
 		cfg.MultipathPaths = *paths
 		var res packetsim.TransportResult
 		if *shards != 0 {
-			res, err = packetsim.RunTransportSharded(t, flows, cfg, packetsim.ShardOpts{Shards: *shards, Workers: *workers})
+			res, err = packetsim.RunTransportSharded(t, flows, cfg, packetsim.ShardOpts{Shards: *shards, Workers: *workers, Profile: prof})
 		} else {
 			res, err = packetsim.RunTransport(t, flows, cfg)
 		}
@@ -236,6 +258,35 @@ func run(args []string, w io.Writer) error {
 		writeTimeline(w, timeline)
 	}
 
+	if ser != nil {
+		engine := *sim
+		if *shards != 0 {
+			engine += "-sharded"
+		}
+		meta := obs.RunMeta{
+			Label:          fmt.Sprintf("%s/%s", t.Network().Name(), *pattern),
+			Engine:         engine,
+			Topology:       t.Network().Name(),
+			Workload:       fmt.Sprintf("%s, %d flows, seed %d", *pattern, len(flows), *seed),
+			Shards:         *shards,
+			Workers:        *workers,
+			SeriesWindowNs: serWin.Nanoseconds(),
+			Series:         true,
+			Profile:        prof != nil,
+		}
+		f, err := os.Create(*series)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteRun(f, meta, nil, ser, prof); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "series: wrote %d points to %s (render with obsreport)\n", len(ser.Points()), *series)
+	}
 	if tracer != nil {
 		f, err := os.Create(*trace)
 		if err != nil {

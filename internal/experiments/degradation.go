@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/fattree"
+	"repro/internal/obs"
 	"repro/internal/packetsim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -32,18 +33,22 @@ func degradationSubjects() []degradationSubject {
 
 // Graceful-degradation scenario parameters: a fraction of the switches die
 // at 1 ms into a half-shuffle and never recover; the sweep reuses the
-// fault-tolerance failure rates (0% .. 20%).
+// fault-tolerance failure rates (0% .. 20%). The series window divides the
+// fault time exactly, so the outage start lands on a window boundary.
 const (
-	degradationFaultAtSec = 1e-3
-	degradationFlowBytes  = 64 << 10
-	degradationSeed       = 27
+	degradationFaultAtSec      = 1e-3
+	degradationFlowBytes       = 64 << 10
+	degradationSeed            = 27
+	degradationSeriesWindowSec = 5e-4
 )
 
 // degradationPoint runs the scenario on one structure at one failure rate,
 // reactive-only or with the proactive multipath layer. Flows and the fault
 // plan are seeded per (structure, rate) so the two modes face the identical
-// outage, and the sweep is byte-deterministic.
-func degradationPoint(sub degradationSubject, rate float64, multipath bool) (packetsim.TransportResult, error) {
+// outage, and the sweep is byte-deterministic. A non-nil series collects the
+// run's windowed curves (telemetry never changes the result — pinned by
+// TestSeriesArmedKeepsResultsIdentical in packetsim).
+func degradationPoint(sub degradationSubject, rate float64, multipath bool, series *obs.Series) (packetsim.TransportResult, error) {
 	net := sub.t.Network()
 	n := net.NumServers()
 	rng := rand.New(rand.NewSource(degradationSeed + int64(1000*rate)))
@@ -61,6 +66,7 @@ func degradationPoint(sub degradationSubject, rate float64, multipath bool) (pac
 	cfg := packetsim.DefaultTransport()
 	cfg.Faults = plan
 	cfg.Multipath = multipath
+	cfg.Link.Series = series
 	// Dead switches never recover: stranded flows must abort, not grind
 	// through the full RTO backoff ladder.
 	cfg.MaxFlowTimeouts = 8
@@ -79,20 +85,30 @@ func F27GracefulDegradation(w io.Writer) error {
 	subjects := degradationSubjects()
 	type point struct {
 		reactive, mp packetsim.TransportResult
+		// Series are armed only at the sweep's worst failure rate; the
+		// time-resolved section below compares the two modes there.
+		reactiveSeries, mpSeries *obs.Series
 	}
 	points := make([]point, len(subjects)*len(failureRates))
+	worst := len(failureRates) - 1
+	seriesWindowNs := int64(degradationSeriesWindowSec * 1e9)
 	if _, err := sweepRows(len(points), func(i int) (string, error) {
 		sub := subjects[i/len(failureRates)]
 		rate := failureRates[i%len(failureRates)]
-		reactive, err := degradationPoint(sub, rate, false)
+		p := &points[i]
+		if i%len(failureRates) == worst {
+			p.reactiveSeries = obs.NewSeries(seriesWindowNs)
+			p.mpSeries = obs.NewSeries(seriesWindowNs)
+		}
+		reactive, err := degradationPoint(sub, rate, false, p.reactiveSeries)
 		if err != nil {
 			return "", err
 		}
-		mp, err := degradationPoint(sub, rate, true)
+		mp, err := degradationPoint(sub, rate, true, p.mpSeries)
 		if err != nil {
 			return "", err
 		}
-		points[i] = point{reactive, mp}
+		p.reactive, p.mp = reactive, mp
 		return "", nil
 	}); err != nil {
 		return err
@@ -116,6 +132,43 @@ func F27GracefulDegradation(w io.Writer) error {
 			}
 			row("reactive", p.reactive, base.reactive, "-")
 			row("multipath", p.mp, base.mp, fmt.Sprintf("%d", p.mp.Failovers))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Time-resolved view of the worst point: the same goodput collapse the
+	// sweep table reports, now as per-window curves showing the multipath
+	// layer's failover burst absorbing the outage while the reactive mode
+	// bleeds fault drops.
+	fmt.Fprintf(w, "\ntime series at %.0f%% failures (%.1f ms windows):\n",
+		failureRates[len(failureRates)-1]*100, degradationSeriesWindowSec*1e3)
+	tw = table(w)
+	fmt.Fprintln(tw, "structure\twindow\tgoodput r/m(Gb/s)\tdrops fault r/m\tfailovers(m)")
+	for si, sub := range subjects {
+		p := points[si*len(failureRates)+worst]
+		rw, mw := foldSeriesWindows(p.reactiveSeries), foldSeriesWindows(p.mpSeries)
+		n := len(rw)
+		if len(mw) > n {
+			n = len(mw)
+		}
+		gbps := func(rows []seriesWindow, i int) float64 {
+			if i >= len(rows) {
+				return 0
+			}
+			return float64(rows[i].goodputBytes) / degradationSeriesWindowSec * 8 / 1e9
+		}
+		cell := func(rows []seriesWindow, i int) seriesWindow {
+			if i >= len(rows) {
+				return seriesWindow{}
+			}
+			return rows[i]
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(tw, "%s\t%d\t%.3f/%.3f\t%d/%d\t%d\n",
+				sub.name, i, gbps(rw, i), gbps(mw, i),
+				cell(rw, i).dropFault, cell(mw, i).dropFault, cell(mw, i).failovers)
 		}
 	}
 	return tw.Flush()

@@ -16,18 +16,18 @@ func TestGracefulDegradationCurve(t *testing.T) {
 	sub := degradationSubjects()[0]
 	heaviest := failureRates[len(failureRates)-1]
 
-	healthy, err := degradationPoint(sub, 0, true)
+	healthy, err := degradationPoint(sub, 0, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if healthy.Failovers != 0 || healthy.FailedFlows != 0 {
 		t.Fatalf("healthy multipath run not clean: %+v", healthy)
 	}
-	mp, err := degradationPoint(sub, heaviest, true)
+	mp, err := degradationPoint(sub, heaviest, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reactive, err := degradationPoint(sub, heaviest, false)
+	reactive, err := degradationPoint(sub, heaviest, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

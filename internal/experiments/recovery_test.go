@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestRecoveryTimelineDipAndRecovery pins the shape the figure exists to
@@ -14,7 +16,7 @@ func TestRecoveryTimelineDipAndRecovery(t *testing.T) {
 		t.Skip("recovery runs are slow; skipped with -short")
 	}
 	for _, sub := range recoverySubjects() {
-		res, tl, err := runRecovery(sub.t)
+		res, tl, _, err := runRecovery(sub.t)
 		if err != nil {
 			t.Fatalf("%s: %v", sub.name, err)
 		}
@@ -39,6 +41,92 @@ func TestRecoveryTimelineDipAndRecovery(t *testing.T) {
 		if res.FailedFlows != 0 {
 			t.Errorf("%s: %d flows permanently failed", sub.name, res.FailedFlows)
 		}
+	}
+}
+
+// TestRecoverySeriesMatchesTimeline pins the equivalence between the two
+// time-resolved views of one run: the 1 ms series windows, aggregated along
+// the fault-epoch boundaries (which the window width divides exactly), must
+// reproduce the Timeline's per-epoch tallies field for field.
+func TestRecoverySeriesMatchesTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery runs are slow; skipped with -short")
+	}
+	for _, sub := range recoverySubjects() {
+		_, tl, series, err := runRecovery(sub.t)
+		if err != nil {
+			t.Fatalf("%s: %v", sub.name, err)
+		}
+		windows := foldSeriesWindows(series)
+		if len(windows) == 0 {
+			t.Fatalf("%s: run produced no series windows", sub.name)
+		}
+		// Each window lies wholly inside one epoch; classify by midpoint so
+		// float boundary comparisons have half a window of slack.
+		agg := make([]seriesWindow, len(tl.Epochs))
+		for w, row := range windows {
+			mid := (float64(w) + 0.5) * recoverySeriesWindowSec
+			e := len(tl.Epochs) - 1
+			for ; e > 0; e-- {
+				if tl.Epochs[e].StartSec <= mid {
+					break
+				}
+			}
+			a := &agg[e]
+			a.goodputBytes += row.goodputBytes
+			a.dropFault += row.dropFault
+			a.dropStale += row.dropStale
+			a.dropTail += row.dropTail
+			a.rtx += row.rtx
+			a.reroutes += row.reroutes
+			a.failovers += row.failovers
+		}
+		for e, epoch := range tl.Epochs {
+			a := agg[e]
+			check := func(what string, series, timeline int64) {
+				if series != timeline {
+					t.Errorf("%s epoch %d: series %s %d != timeline %d",
+						sub.name, e, what, series, timeline)
+				}
+			}
+			check("goodput bytes", a.goodputBytes, epoch.DeliveredBytes)
+			check("fault drops", a.dropFault, epoch.DroppedFault)
+			check("stale drops", a.dropStale, epoch.DroppedStale)
+			check("tail drops", a.dropTail, epoch.DroppedTail)
+			check("retransmits", a.rtx, epoch.Retransmits)
+			check("reroutes", a.reroutes, epoch.Reroutes)
+			check("failovers", a.failovers, epoch.Failovers)
+		}
+	}
+}
+
+// TestRecoveryRunRecordLoads pins the run-record export the report tool and
+// CI smoke test consume: WriteRecoveryRun's output must load back with its
+// meta header and all three telemetry sections populated.
+func TestRecoveryRunRecordLoads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery runs are slow; skipped with -short")
+	}
+	var buf bytes.Buffer
+	if err := WriteRecoveryRun(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs.HasMeta {
+		t.Error("run record has no meta header")
+	}
+	if recs.Meta.Engine != "transport-sharded" || !recs.Meta.Series || !recs.Meta.Profile {
+		t.Errorf("unexpected meta: %+v", recs.Meta)
+	}
+	if len(recs.Events) == 0 || len(recs.Series) == 0 || len(recs.ShardWindows) == 0 {
+		t.Errorf("sections missing: %d events, %d series points, %d shard windows",
+			len(recs.Events), len(recs.Series), len(recs.ShardWindows))
+	}
+	if recs.Unknown != 0 {
+		t.Errorf("%d unknown record lines in a freshly written file", recs.Unknown)
 	}
 }
 

@@ -98,7 +98,8 @@ type HistogramSnapshot struct {
 	Buckets              []Bucket
 }
 
-// Mean returns the arithmetic mean of the observations (0 when empty).
+// Mean returns the arithmetic mean of the observations. An empty snapshot
+// returns exactly 0 (never NaN), so callers can print it unconditionally.
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {
 		return 0
@@ -106,12 +107,20 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
-// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) from the
-// bucket boundaries: the upper edge of the bucket containing the q-th
-// observation, clamped to the observed maximum. Empty histograms return 0.
+// Quantile returns an upper bound for the q-quantile from the bucket
+// boundaries: the upper edge of the bucket containing the ceil(q*Count)-th
+// observation (1-based nearest-rank), clamped to the observed maximum.
+// q is clamped to [0, 1] (NaN behaves as 0). An empty snapshot returns
+// exactly 0 for every q — there is no observation to bound, and 0 is the
+// same value an empty snapshot reports for Min, Max, and Mean.
 func (s HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
+	}
+	if !(q > 0) { // also catches NaN
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := int64(math.Ceil(q * float64(s.Count)))
 	if rank < 1 {

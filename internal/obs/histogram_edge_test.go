@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases for HistogramSnapshot.Quantile and Mean: empty snapshot,
+// single sample, and every observation landing in one bucket. These pin the
+// documented zero-value behavior — an empty snapshot answers 0 for every
+// statistic, never NaN or a stale bucket edge.
+func TestHistogramEmptySnapshot(t *testing.T) {
+	for _, s := range []HistogramSnapshot{
+		{},                        // zero value
+		NewHistogram().Snapshot(), // freshly built, nothing observed
+		(*Histogram)(nil).Snapshot(),
+	} {
+		if got := s.Mean(); got != 0 || math.IsNaN(got) {
+			t.Errorf("empty Mean = %v, want exactly 0", got)
+		}
+		for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+			if got := s.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+		if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+			t.Errorf("empty snapshot carries values: %+v", s)
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42)
+	s := h.Snapshot()
+	if got := s.Mean(); got != 42 {
+		t.Errorf("Mean = %v, want 42", got)
+	}
+	// Every quantile of a single observation is that observation.
+	for _, q := range []float64{-1, 0, 0.01, 0.5, 0.99, 1, 2, math.NaN()} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+	if s.Min != 42 || s.Max != 42 || s.Count != 1 || s.Sum != 42 {
+		t.Errorf("snapshot = %+v, want min=max=42 count=1 sum=42", s)
+	}
+}
+
+func TestHistogramAllOneBucket(t *testing.T) {
+	// 100, 101, ..., 127 all land in bucket [64, 127].
+	h := NewHistogram()
+	var sum int64
+	for v := int64(100); v <= 127; v++ {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("got %d buckets, want 1: %+v", len(s.Buckets), s.Buckets)
+	}
+	// The bucket is clamped to the observed range.
+	if b := s.Buckets[0]; b.Lo != 100 || b.Hi != 127 || b.Count != 28 {
+		t.Errorf("bucket = %+v, want [100,127] count 28", b)
+	}
+	if got, want := s.Mean(), float64(sum)/28; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	// Any quantile resolves to the single bucket's clamped upper edge.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 127 {
+			t.Errorf("Quantile(%v) = %d, want 127", q, got)
+		}
+	}
+}

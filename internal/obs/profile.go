@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ShardWindow is one shard's runtime profile for one conservative time
+// window of a sharded engine run: how long the shard's event loop actually
+// ran (BusyNs) versus sat at the window barrier (WaitNs), how many events it
+// processed, and how much handoff traffic it exchanged. Times are wall-clock
+// nanoseconds; T0Ns/LookaheadNs are simulated nanoseconds describing the
+// window itself.
+type ShardWindow struct {
+	// Window is the window's ordinal within the run (0-based).
+	Window int64 `json:"win"`
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// T0Ns is the window's start in simulated nanoseconds.
+	T0Ns int64 `json:"t0_ns"`
+	// LookaheadNs is the window width in simulated nanoseconds (-1 for the
+	// unbounded final window of a single-shard run).
+	LookaheadNs int64 `json:"lookahead_ns"`
+	// BusyNs is wall-clock time the shard spent draining its heap.
+	BusyNs int64 `json:"busy_ns"`
+	// WaitNs is wall-clock time the shard spent stalled: from the start of
+	// the parallel drain phase until its own drain began plus until the
+	// barrier released (with fewer workers than shards this includes
+	// worker-slot queueing, which is exactly the stall being measured).
+	WaitNs int64 `json:"wait_ns"`
+	// Events is how many events the shard processed in the window.
+	Events int64 `json:"events"`
+	// HandoffOut / HandoffIn count cross-shard events sent and received at
+	// the window barrier.
+	HandoffOut int64 `json:"out"`
+	HandoffIn  int64 `json:"in"`
+}
+
+// ShardProfile collects per-shard per-window runtime measurements from a
+// sharded engine run. The engine records one batch per barrier (the whole
+// window's rows at once, under one short mutex), so profiling adds no
+// per-event cost; a nil *ShardProfile discards batches, keeping the
+// disabled path a single pointer test.
+type ShardProfile struct {
+	mu      sync.Mutex
+	windows []ShardWindow
+}
+
+// NewShardProfile returns an empty profile.
+func NewShardProfile() *ShardProfile {
+	return &ShardProfile{}
+}
+
+// RecordWindow appends one window's per-shard rows.
+func (p *ShardProfile) RecordWindow(rows []ShardWindow) {
+	if p == nil || len(rows) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.windows = append(p.windows, rows...)
+	p.mu.Unlock()
+}
+
+// Windows returns a copy of all recorded rows in (window, shard) order.
+func (p *ShardProfile) Windows() []ShardWindow {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]ShardWindow, len(p.windows))
+	copy(out, p.windows)
+	p.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Window != out[j].Window {
+			return out[i].Window < out[j].Window
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}
+
+// ShardSummary is one shard's totals over a whole run.
+type ShardSummary struct {
+	Shard      int
+	BusyNs     int64
+	WaitNs     int64
+	Events     int64
+	HandoffOut int64
+	HandoffIn  int64
+}
+
+// Summary aggregates the profile per shard, ordered by shard index.
+func (p *ShardProfile) Summary() []ShardSummary {
+	rows := p.Windows()
+	if len(rows) == 0 {
+		return nil
+	}
+	byShard := map[int]*ShardSummary{}
+	for _, r := range rows {
+		s, ok := byShard[r.Shard]
+		if !ok {
+			s = &ShardSummary{Shard: r.Shard}
+			byShard[r.Shard] = s
+		}
+		s.BusyNs += r.BusyNs
+		s.WaitNs += r.WaitNs
+		s.Events += r.Events
+		s.HandoffOut += r.HandoffOut
+		s.HandoffIn += r.HandoffIn
+	}
+	out := make([]ShardSummary, 0, len(byShard))
+	for _, s := range byShard {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
+// ImbalanceIndex measures load imbalance: the mean over windows of
+// max(busy) * nShards / sum(busy). 1.0 means perfectly balanced shards;
+// N means one shard did all the work. Windows where no shard was busy are
+// skipped; an empty profile returns 0.
+func (p *ShardProfile) ImbalanceIndex() float64 {
+	rows := p.Windows()
+	if len(rows) == 0 {
+		return 0
+	}
+	type acc struct {
+		max, sum int64
+		n        int
+	}
+	byWin := map[int64]*acc{}
+	for _, r := range rows {
+		a, ok := byWin[r.Window]
+		if !ok {
+			a = &acc{}
+			byWin[r.Window] = a
+		}
+		if r.BusyNs > a.max {
+			a.max = r.BusyNs
+		}
+		a.sum += r.BusyNs
+		a.n++
+	}
+	var total float64
+	var windows int
+	for _, a := range byWin {
+		if a.sum == 0 {
+			continue
+		}
+		total += float64(a.max) * float64(a.n) / float64(a.sum)
+		windows++
+	}
+	if windows == 0 {
+		return 0
+	}
+	return total / float64(windows)
+}
+
+// WriteJSONL writes the profile rows as JSON Lines in (window, shard) order.
+func (p *ShardProfile) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, row := range p.Windows() {
+		if err := enc.Encode(row); err != nil {
+			return fmt.Errorf("obs: write shard window %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Run-record JSONL: a single file format carrying everything one run
+// produced — a metadata header, trace events, series points, and shard
+// profile rows — one JSON object per line, discriminated by a "type" field:
+//
+//	{"type":"meta", ...RunMeta}
+//	{"type":"event", ...Event}
+//	{"type":"series", ...SeriesPoint}
+//	{"type":"shard_window", ...ShardWindow}
+//
+// Lines WITHOUT a "type" field are legacy PR 2 trace lines and parse as
+// events, so every trace file ever written by Tracer.WriteJSONL still loads;
+// lines with an unrecognized type are counted and skipped, so files written
+// by a future schema still yield everything this version understands.
+
+// Record type discriminators.
+const (
+	RecordMeta        = "meta"
+	RecordEvent       = "event"
+	RecordSeries      = "series"
+	RecordShardWindow = "shard_window"
+)
+
+// RunMetaSchema is the current run-record schema version.
+const RunMetaSchema = 1
+
+// RunMeta describes the run that produced a record file: which engine and
+// inputs, and which telemetry layers were armed. All fields are optional —
+// a zero RunMeta is a valid header.
+type RunMeta struct {
+	// Schema is the record-format version (RunMetaSchema at write time).
+	Schema int `json:"schema"`
+	// Label is a free-form run name, e.g. "F26/abccc(4,1,2)".
+	Label string `json:"label,omitempty"`
+	// Engine names the producer, e.g. "packetsim", "transport-sharded".
+	Engine string `json:"engine,omitempty"`
+	// Topology / Workload describe the simulated input.
+	Topology string `json:"topology,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// Shards / Workers are the sharded-engine parameters (0 for serial).
+	Shards  int `json:"shards,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// SeriesWindowNs is the series window width (0 when series was off).
+	SeriesWindowNs int64 `json:"series_window_ns,omitempty"`
+	// Metrics/Trace/Series/Profile record which obs layers were armed.
+	Metrics bool `json:"metrics,omitempty"`
+	Trace   bool `json:"trace,omitempty"`
+	Series  bool `json:"series,omitempty"`
+	Profile bool `json:"profile,omitempty"`
+}
+
+// Typed wrappers flatten the payload next to the discriminator so a line
+// reads {"type":"series","track":...} rather than nesting the payload.
+type metaRecord struct {
+	Type string `json:"type"`
+	RunMeta
+}
+
+type eventRecord struct {
+	Type string `json:"type"`
+	Event
+}
+
+type seriesRecord struct {
+	Type string `json:"type"`
+	SeriesPoint
+}
+
+type shardWindowRecord struct {
+	Type string `json:"type"`
+	ShardWindow
+}
+
+// RunRecords is everything loaded from one run-record file.
+type RunRecords struct {
+	// Meta is the first meta record, or a zero RunMeta if the file has none
+	// (HasMeta distinguishes).
+	Meta    RunMeta
+	HasMeta bool
+	// Events holds trace events, both typed and legacy untyped lines,
+	// in file order.
+	Events []Event
+	// Series holds the series points in file order.
+	Series []SeriesPoint
+	// ShardWindows holds the shard profile rows in file order.
+	ShardWindows []ShardWindow
+	// Unknown counts lines with an unrecognized "type" (skipped).
+	Unknown int
+}
+
+// WriteRun writes a complete run-record file: the meta header, then every
+// retained trace event, series point, and shard profile row. Nil tracer,
+// series, or profile sections are simply omitted.
+func WriteRun(w io.Writer, meta RunMeta, tracer *Tracer, series *Series, profile *ShardProfile) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	meta.Schema = RunMetaSchema
+	if err := enc.Encode(metaRecord{Type: RecordMeta, RunMeta: meta}); err != nil {
+		return fmt.Errorf("obs: write run meta: %w", err)
+	}
+	for i, ev := range tracer.Events() {
+		if err := enc.Encode(eventRecord{Type: RecordEvent, Event: ev}); err != nil {
+			return fmt.Errorf("obs: write run event %d: %w", i, err)
+		}
+	}
+	for i, pt := range series.Points() {
+		if err := enc.Encode(seriesRecord{Type: RecordSeries, SeriesPoint: pt}); err != nil {
+			return fmt.Errorf("obs: write run series point %d: %w", i, err)
+		}
+	}
+	for i, row := range profile.Windows() {
+		if err := enc.Encode(shardWindowRecord{Type: RecordShardWindow, ShardWindow: row}); err != nil {
+			return fmt.Errorf("obs: write run shard window %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses a run-record JSONL stream. It accepts files written by
+// WriteRun, raw Tracer.WriteJSONL traces (no "type" field: every line loads
+// as an event), and mixed or future files (unknown types are counted in
+// Unknown, not errors). Malformed JSON is an error identifying the line.
+func ReadRecords(r io.Reader) (*RunRecords, error) {
+	out := &RunRecords{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(trimSpace(raw)) == 0 {
+			continue
+		}
+		var probe struct {
+			Type *string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("obs: read records line %d: %w", line, err)
+		}
+		kind := RecordEvent // legacy lines have no "type" field
+		if probe.Type != nil {
+			kind = *probe.Type
+		}
+		switch kind {
+		case RecordMeta:
+			var rec metaRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("obs: read records line %d (meta): %w", line, err)
+			}
+			if !out.HasMeta {
+				out.Meta = rec.RunMeta
+				out.HasMeta = true
+			}
+		case RecordEvent:
+			var rec eventRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("obs: read records line %d (event): %w", line, err)
+			}
+			out.Events = append(out.Events, rec.Event)
+		case RecordSeries:
+			var rec seriesRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("obs: read records line %d (series): %w", line, err)
+			}
+			out.Series = append(out.Series, rec.SeriesPoint)
+		case RecordShardWindow:
+			var rec shardWindowRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("obs: read records line %d (shard_window): %w", line, err)
+			}
+			out.ShardWindows = append(out.ShardWindows, rec.ShardWindow)
+		default:
+			out.Unknown++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read records: %w", err)
+	}
+	return out, nil
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r' || b[len(b)-1] == '\n') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

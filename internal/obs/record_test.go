@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunRecordRoundTrip writes a full run-record file (meta + events +
+// series + shard windows) and reads it back unchanged.
+func TestRunRecordRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Event{TimeNs: 10, Kind: "hop", ID: 1, Node: 2, Hop: 0})
+	tr.Record(Event{TimeNs: 20, Kind: "drop", ID: 1, Node: 3, Hop: 1, Detail: "fault"})
+
+	s := NewSeries(100)
+	g := s.Track("goodput_bytes")
+	g.Add(10, 1500)
+	g.Add(150, 1500)
+	s.Track("drops").Add(20, 1)
+
+	p := NewShardProfile()
+	p.RecordWindow([]ShardWindow{
+		{Window: 0, Shard: 0, T0Ns: 0, LookaheadNs: 100, BusyNs: 900, WaitNs: 100, Events: 12, HandoffOut: 2},
+		{Window: 0, Shard: 1, T0Ns: 0, LookaheadNs: 100, BusyNs: 500, WaitNs: 500, Events: 6, HandoffIn: 2},
+	})
+
+	meta := RunMeta{
+		Label: "F26/abccc(4,1,2)", Engine: "transport-sharded",
+		Topology: "abccc(4,1,2)", Workload: "256KB flows",
+		Shards: 2, Workers: 1, SeriesWindowNs: 100,
+		Metrics: true, Trace: true, Series: true, Profile: true,
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, meta, tr, s, p); err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadRecords: %v", err)
+	}
+	if !got.HasMeta {
+		t.Fatal("round trip lost the meta record")
+	}
+	wantMeta := meta
+	wantMeta.Schema = RunMetaSchema
+	if got.Meta != wantMeta {
+		t.Errorf("meta = %+v, want %+v", got.Meta, wantMeta)
+	}
+	if len(got.Events) != 2 || got.Events[1].Detail != "fault" {
+		t.Errorf("events = %+v, want the 2 recorded events", got.Events)
+	}
+	wantPts := s.Points()
+	if len(got.Series) != len(wantPts) {
+		t.Fatalf("series has %d points, want %d", len(got.Series), len(wantPts))
+	}
+	for i := range wantPts {
+		if got.Series[i] != wantPts[i] {
+			t.Errorf("series point %d = %+v, want %+v", i, got.Series[i], wantPts[i])
+		}
+	}
+	wantRows := p.Windows()
+	if len(got.ShardWindows) != len(wantRows) {
+		t.Fatalf("profile has %d rows, want %d", len(got.ShardWindows), len(wantRows))
+	}
+	for i := range wantRows {
+		if got.ShardWindows[i] != wantRows[i] {
+			t.Errorf("shard window %d = %+v, want %+v", i, got.ShardWindows[i], wantRows[i])
+		}
+	}
+	if got.Unknown != 0 {
+		t.Errorf("Unknown = %d, want 0", got.Unknown)
+	}
+}
+
+// TestRunRecordNilSections writes a run with no tracer, series, or profile:
+// just the meta header.
+func TestRunRecordNilSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, RunMeta{Label: "empty"}, nil, nil, nil); err != nil {
+		t.Fatalf("WriteRun with nil sections: %v", err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadRecords: %v", err)
+	}
+	if !got.HasMeta || got.Meta.Label != "empty" {
+		t.Errorf("meta = %+v (has=%v), want label \"empty\"", got.Meta, got.HasMeta)
+	}
+	if len(got.Events)+len(got.Series)+len(got.ShardWindows) != 0 {
+		t.Errorf("empty run produced payload records: %+v", got)
+	}
+}
+
+// TestReadRecordsLegacyTrace loads a PR 2-era trace file — raw Event lines
+// with no "type" field, as written by Tracer.WriteJSONL — and checks every
+// line surfaces as an event.
+func TestReadRecordsLegacyTrace(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Event{TimeNs: 5, Kind: "hop", ID: 7, Node: 1})
+	tr.Record(Event{TimeNs: 9, Kind: "deliver", ID: 7, Node: 2, Hop: 1})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatalf("ReadRecords on legacy trace: %v", err)
+	}
+	if got.HasMeta {
+		t.Error("legacy trace produced a meta record")
+	}
+	want := tr.Events()
+	if len(got.Events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got.Events), len(want))
+	}
+	for i := range want {
+		if got.Events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got.Events[i], want[i])
+		}
+	}
+}
+
+// TestReadRecordsMixedVersions feeds a file interleaving legacy untyped
+// lines, typed records, blank lines, and an unknown future type.
+func TestReadRecordsMixedVersions(t *testing.T) {
+	input := strings.Join([]string{
+		`{"type":"meta","schema":1,"label":"mixed"}`,
+		`{"t_ns":1,"kind":"hop","id":1,"node":0,"hop":0}`, // legacy, no type
+		``,
+		`{"type":"event","t_ns":2,"kind":"drop","id":1,"node":3,"hop":1,"detail":"fault"}`,
+		`{"type":"series","track":"goodput","win":0,"t0_ns":0,"t1_ns":100,"count":2,"sum":3000,"max":1500}`,
+		`{"type":"hologram","payload":"from the future"}`,
+		`{"type":"shard_window","win":0,"shard":1,"t0_ns":0,"lookahead_ns":100,"busy_ns":5,"wait_ns":6,"events":7,"out":1,"in":2}`,
+	}, "\n") + "\n"
+
+	got, err := ReadRecords(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadRecords: %v", err)
+	}
+	if !got.HasMeta || got.Meta.Label != "mixed" || got.Meta.Schema != 1 {
+		t.Errorf("meta = %+v", got.Meta)
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("got %d events, want 2 (legacy + typed): %+v", len(got.Events), got.Events)
+	}
+	if got.Events[0].Kind != "hop" || got.Events[1].Detail != "fault" {
+		t.Errorf("events = %+v", got.Events)
+	}
+	if len(got.Series) != 1 || got.Series[0].Track != "goodput" || got.Series[0].Sum != 3000 {
+		t.Errorf("series = %+v", got.Series)
+	}
+	if len(got.ShardWindows) != 1 || got.ShardWindows[0].Shard != 1 || got.ShardWindows[0].HandoffIn != 2 {
+		t.Errorf("shard windows = %+v", got.ShardWindows)
+	}
+	if got.Unknown != 1 {
+		t.Errorf("Unknown = %d, want 1 (the hologram line)", got.Unknown)
+	}
+}
+
+// TestReadRecordsMalformed: broken JSON must error, naming the line.
+func TestReadRecordsMalformed(t *testing.T) {
+	for _, tc := range []struct{ name, input string }{
+		{"truncated", `{"type":"meta","label":"x"}` + "\n" + `{"type":"series","track":`},
+		{"not json", "this is not json\n"},
+		{"bad payload", `{"type":"series","track":1234}` + "\n"}, // track must be a string
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadRecords(strings.NewReader(tc.input)); err == nil {
+				t.Errorf("ReadRecords accepted malformed input %q", tc.input)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Series is the sim-time-windowed telemetry layer: a named set of Tracks,
+// each accumulating (count, sum, max) cells over fixed-width time windows.
+// Unlike the whole-run counters and histograms, a Track keys every update by
+// the producer's timestamp, so after a run the per-window cells reconstruct
+// time-resolved curves — goodput over a fault epoch, drop bursts, queue
+// depth — instead of a single end-of-run total.
+//
+// Writers are lock-free on the hot path, exactly like Histogram: a window
+// update is a chunk-pointer load plus three atomic adds, and window storage
+// grows by appending fixed-size chunks whose cells never move, so concurrent
+// writers racing a growth still land every update. Because cells only ever
+// accumulate commutative quantities (integer sums and maxima), the per-window
+// values are a pure function of the multiset of updates — the property that
+// keeps a sharded engine's series byte-identical for every shard and worker
+// count.
+//
+// A nil *Series hands out nil Tracks and a nil *Track discards updates, so
+// the disabled path costs one pointer test per update site, the same
+// contract as the rest of the package.
+type Series struct {
+	widthNs    int64
+	maxWindows int64
+
+	mu     sync.Mutex
+	byName map[string]*Track
+}
+
+// DefaultSeriesWindowNs is the window width used when NewSeries is given a
+// non-positive width: 100 us of simulated time.
+const DefaultSeriesWindowNs = 100_000
+
+// DefaultSeriesMaxWindows bounds a track's window range (64k windows; at the
+// default width that is 6.5 s of simulated time). Updates past the bound
+// clamp into the final window and are counted by Clamped, so a pathological
+// run cannot grow telemetry without limit.
+const DefaultSeriesMaxWindows = 1 << 16
+
+// seriesChunkWindows is the growth granularity of a track's window storage.
+// Chunks are allocated whole and never moved, which is what lets writers
+// keep lock-free access across growth.
+const seriesChunkWindows = 256
+
+// seriesCell is one (track, window) accumulator.
+type seriesCell struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// seriesChunk is a fixed block of consecutive window cells.
+type seriesChunk [seriesChunkWindows]seriesCell
+
+// NewSeries returns an empty series with the given window width in
+// nanoseconds (DefaultSeriesWindowNs when non-positive).
+func NewSeries(widthNs int64) *Series {
+	if widthNs <= 0 {
+		widthNs = DefaultSeriesWindowNs
+	}
+	return &Series{
+		widthNs:    widthNs,
+		maxWindows: DefaultSeriesMaxWindows,
+		byName:     make(map[string]*Track),
+	}
+}
+
+// WindowNs returns the window width in nanoseconds (0 on a nil series).
+func (s *Series) WindowNs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.widthNs
+}
+
+// Track returns the named track, creating it on first use (nil on a nil
+// series). Like Registry instruments, tracks are shared by name.
+func (s *Series) Track(name string) *Track {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.byName[name]
+	if !ok {
+		tr = &Track{name: name, widthNs: s.widthNs, maxWindows: s.maxWindows}
+		s.byName[name] = tr
+	}
+	return tr
+}
+
+// Track is one named windowed accumulator of a Series. Add routes an update
+// to the window containing its timestamp; each window keeps the update
+// count, the value sum, and the value maximum (maxima assume non-negative
+// values, like every instrument in this package).
+type Track struct {
+	name       string
+	widthNs    int64
+	maxWindows int64
+
+	mu      sync.Mutex // guards chunk-list growth only
+	chunks  atomic.Pointer[[]*seriesChunk]
+	clamped atomic.Int64
+}
+
+// Add records one update of value v at time tNs (nanoseconds, the
+// producer's epoch — simulators stamp simulated time). Negative times land
+// in window 0; times past the window bound clamp into the final window.
+func (tr *Track) Add(tNs, v int64) {
+	if tr == nil {
+		return
+	}
+	w := tNs / tr.widthNs
+	if tNs < 0 {
+		w = 0
+	}
+	if w >= tr.maxWindows {
+		w = tr.maxWindows - 1
+		tr.clamped.Add(1)
+	}
+	chunk := tr.cell(int(w / seriesChunkWindows))
+	cell := &chunk[w%seriesChunkWindows]
+	cell.count.Add(1)
+	cell.sum.Add(v)
+	for {
+		old := cell.max.Load()
+		if v <= old || cell.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Clamped returns how many updates were clamped into the final window
+// because their time exceeded the window bound (0 on a nil track).
+func (tr *Track) Clamped() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.clamped.Load()
+}
+
+// cell returns chunk ci, growing the chunk list if needed. The fast path is
+// one atomic pointer load; growth copies only the slice of chunk pointers —
+// cells themselves never move, so writers mid-update are unaffected.
+func (tr *Track) cell(ci int) *seriesChunk {
+	chunks := tr.chunks.Load()
+	if chunks == nil || ci >= len(*chunks) {
+		tr.grow(ci)
+		chunks = tr.chunks.Load()
+	}
+	return (*chunks)[ci]
+}
+
+func (tr *Track) grow(ci int) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var cur []*seriesChunk
+	if p := tr.chunks.Load(); p != nil {
+		cur = *p
+	}
+	if ci < len(cur) {
+		return // another writer grew past us while we waited
+	}
+	next := make([]*seriesChunk, ci+1)
+	copy(next, cur)
+	for i := len(cur); i <= ci; i++ {
+		next[i] = new(seriesChunk)
+	}
+	tr.chunks.Store(&next)
+}
+
+// SeriesPoint is one non-empty (track, window) cell: Count updates totalling
+// Sum with maximum Max landed in [T0Ns, T1Ns).
+type SeriesPoint struct {
+	Track  string `json:"track"`
+	Window int64  `json:"win"`
+	T0Ns   int64  `json:"t0_ns"`
+	T1Ns   int64  `json:"t1_ns"`
+	Count  int64  `json:"count"`
+	Sum    int64  `json:"sum"`
+	Max    int64  `json:"max"`
+}
+
+// Points snapshots every non-empty window cell of every track, sorted by
+// (window, track name) — a deterministic flattening of the whole series.
+// Safe to call while writers are live (per-cell fields are read atomically,
+// so a point is internally consistent up to in-flight updates); a nil series
+// snapshots empty.
+func (s *Series) Points() []SeriesPoint {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	tracks := make([]*Track, 0, len(s.byName))
+	for _, tr := range s.byName {
+		tracks = append(tracks, tr)
+	}
+	s.mu.Unlock()
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i].name < tracks[j].name })
+
+	var pts []SeriesPoint
+	for _, tr := range tracks {
+		chunks := tr.chunks.Load()
+		if chunks == nil {
+			continue
+		}
+		for ci, ch := range *chunks {
+			for off := range ch {
+				c := ch[off].count.Load()
+				if c == 0 {
+					continue
+				}
+				w := int64(ci)*seriesChunkWindows + int64(off)
+				pts = append(pts, SeriesPoint{
+					Track:  tr.name,
+					Window: w,
+					T0Ns:   w * s.widthNs,
+					T1Ns:   (w + 1) * s.widthNs,
+					Count:  c,
+					Sum:    ch[off].sum.Load(),
+					Max:    ch[off].max.Load(),
+				})
+			}
+		}
+	}
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Window != pts[j].Window {
+			return pts[i].Window < pts[j].Window
+		}
+		return pts[i].Track < pts[j].Track
+	})
+	return pts
+}

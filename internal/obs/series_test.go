@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSeriesNilSafe(t *testing.T) {
+	var s *Series
+	if got := s.WindowNs(); got != 0 {
+		t.Errorf("nil series WindowNs = %d, want 0", got)
+	}
+	tr := s.Track("goodput")
+	if tr != nil {
+		t.Fatalf("nil series handed out non-nil track")
+	}
+	tr.Add(123, 456) // must not panic
+	if got := tr.Clamped(); got != 0 {
+		t.Errorf("nil track Clamped = %d, want 0", got)
+	}
+	if pts := s.Points(); pts != nil {
+		t.Errorf("nil series Points = %v, want nil", pts)
+	}
+}
+
+func TestSeriesWindowing(t *testing.T) {
+	s := NewSeries(100) // 100 ns windows
+	tr := s.Track("bytes")
+	tr.Add(0, 10)    // window 0
+	tr.Add(99, 5)    // window 0
+	tr.Add(100, 7)   // window 1
+	tr.Add(250, 3)   // window 2
+	tr.Add(-50, 100) // negative time clamps into window 0
+
+	pts := s.Points()
+	want := []SeriesPoint{
+		{Track: "bytes", Window: 0, T0Ns: 0, T1Ns: 100, Count: 3, Sum: 115, Max: 100},
+		{Track: "bytes", Window: 1, T0Ns: 100, T1Ns: 200, Count: 1, Sum: 7, Max: 7},
+		{Track: "bytes", Window: 2, T0Ns: 200, T1Ns: 300, Count: 1, Sum: 3, Max: 3},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d: %+v", len(pts), len(want), pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestSeriesDefaultWindow(t *testing.T) {
+	s := NewSeries(0)
+	if got := s.WindowNs(); got != DefaultSeriesWindowNs {
+		t.Errorf("WindowNs = %d, want default %d", got, DefaultSeriesWindowNs)
+	}
+}
+
+func TestSeriesTrackSharedByName(t *testing.T) {
+	s := NewSeries(10)
+	a := s.Track("x")
+	b := s.Track("x")
+	if a != b {
+		t.Fatalf("Track(\"x\") returned distinct tracks")
+	}
+	a.Add(0, 1)
+	b.Add(0, 1)
+	pts := s.Points()
+	if len(pts) != 1 || pts[0].Count != 2 {
+		t.Fatalf("shared track points = %+v, want one window with count 2", pts)
+	}
+}
+
+func TestSeriesClampPastBound(t *testing.T) {
+	s := NewSeries(1) // 1 ns windows: window index == tNs
+	tr := s.Track("x")
+	farNs := int64(DefaultSeriesMaxWindows) * 10
+	tr.Add(farNs, 1)
+	tr.Add(farNs+1, 2)
+	if got := tr.Clamped(); got != 2 {
+		t.Errorf("Clamped = %d, want 2", got)
+	}
+	pts := s.Points()
+	if len(pts) != 1 {
+		t.Fatalf("points = %+v, want 1 clamped window", pts)
+	}
+	if pts[0].Window != DefaultSeriesMaxWindows-1 || pts[0].Count != 2 || pts[0].Sum != 3 {
+		t.Errorf("clamped window = %+v, want last window with count 2 sum 3", pts[0])
+	}
+}
+
+// TestSeriesChunkGrowth crosses several chunk boundaries and verifies no
+// update is lost and empty windows stay absent from Points.
+func TestSeriesChunkGrowth(t *testing.T) {
+	s := NewSeries(1)
+	tr := s.Track("x")
+	// One update every 3 windows across 4 chunks' worth of windows.
+	n := int64(seriesChunkWindows * 4)
+	var added int64
+	for w := int64(0); w < n; w += 3 {
+		tr.Add(w, 1)
+		added++
+	}
+	pts := s.Points()
+	if int64(len(pts)) != added {
+		t.Fatalf("got %d points, want %d", len(pts), added)
+	}
+	for i, pt := range pts {
+		if pt.Window != int64(i)*3 {
+			t.Fatalf("point %d at window %d, want %d", i, pt.Window, i*3)
+		}
+		if pt.Count != 1 || pt.Sum != 1 {
+			t.Errorf("point %d = %+v, want count 1 sum 1", i, pt)
+		}
+	}
+}
+
+// TestSeriesPointsDeterministic pins the flattening order: (window, track).
+func TestSeriesPointsDeterministic(t *testing.T) {
+	build := func() []SeriesPoint {
+		s := NewSeries(10)
+		// Create tracks in varying orders; the flattening must not care.
+		for _, name := range []string{"zeta", "alpha", "mid"} {
+			tr := s.Track(name)
+			tr.Add(25, 1)
+			tr.Add(5, 2)
+		}
+		return s.Points()
+	}
+	a, b := build(), build()
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("got %d / %d points, want 6 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across builds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Windows ascend; track names ascend within a window.
+	for i := 1; i < len(a); i++ {
+		prev, cur := a[i-1], a[i]
+		if cur.Window < prev.Window {
+			t.Errorf("windows out of order at %d: %+v after %+v", i, cur, prev)
+		}
+		if cur.Window == prev.Window && cur.Track <= prev.Track {
+			t.Errorf("tracks out of order at %d: %q after %q", i, cur.Track, prev.Track)
+		}
+	}
+}
+
+// TestSeriesConcurrentAdds hammers one track from many goroutines spanning
+// chunk growth; totals must be exact — the property the sharded engines
+// rely on for byte-identical series. Run under -race via make race.
+func TestSeriesConcurrentAdds(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 4000
+	)
+	s := NewSeries(1)
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			tr := s.Track("x")
+			for i := 0; i < perG; i++ {
+				// Spread across many windows to force concurrent growth.
+				tr.Add(int64(i*7%2048), int64(g))
+			}
+		}(g)
+	}
+	// Concurrent reader while writers are live.
+	done := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = s.Points()
+		}
+	}()
+	wg.Wait()
+	close(done)
+	readerWG.Wait()
+
+	var count, sum int64
+	for _, pt := range s.Points() {
+		count += pt.Count
+		sum += pt.Sum
+	}
+	if count != writers*perG {
+		t.Errorf("total count = %d, want %d", count, writers*perG)
+	}
+	wantSum := int64(perG) * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7)
+	if sum != wantSum {
+		t.Errorf("total sum = %d, want %d", sum, wantSum)
+	}
+}
+
+func TestShardProfileNilSafe(t *testing.T) {
+	var p *ShardProfile
+	p.RecordWindow([]ShardWindow{{Window: 0, Shard: 0}}) // must not panic
+	if got := p.Windows(); got != nil {
+		t.Errorf("nil profile Windows = %v, want nil", got)
+	}
+	if got := p.Summary(); got != nil {
+		t.Errorf("nil profile Summary = %v, want nil", got)
+	}
+	if got := p.ImbalanceIndex(); got != 0 {
+		t.Errorf("nil profile ImbalanceIndex = %v, want 0", got)
+	}
+}
+
+func TestShardProfileSummaryAndImbalance(t *testing.T) {
+	p := NewShardProfile()
+	p.RecordWindow([]ShardWindow{
+		{Window: 0, Shard: 0, BusyNs: 300, WaitNs: 0, Events: 30, HandoffOut: 3},
+		{Window: 0, Shard: 1, BusyNs: 100, WaitNs: 200, Events: 10, HandoffIn: 3},
+	})
+	p.RecordWindow([]ShardWindow{
+		{Window: 1, Shard: 0, BusyNs: 100, WaitNs: 100, Events: 10},
+		{Window: 1, Shard: 1, BusyNs: 100, WaitNs: 100, Events: 10},
+	})
+	sum := p.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("summary has %d shards, want 2", len(sum))
+	}
+	if sum[0].Shard != 0 || sum[0].BusyNs != 400 || sum[0].Events != 40 || sum[0].HandoffOut != 3 {
+		t.Errorf("shard 0 summary = %+v", sum[0])
+	}
+	if sum[1].Shard != 1 || sum[1].BusyNs != 200 || sum[1].WaitNs != 300 || sum[1].HandoffIn != 3 {
+		t.Errorf("shard 1 summary = %+v", sum[1])
+	}
+	// Window 0: max=300, sum=400, n=2 -> 1.5. Window 1: balanced -> 1.0.
+	// Mean = 1.25.
+	if got := p.ImbalanceIndex(); got < 1.249 || got > 1.251 {
+		t.Errorf("ImbalanceIndex = %v, want 1.25", got)
+	}
+}
+
+func BenchmarkTrackAddDisabled(b *testing.B) {
+	var tr *Track
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(int64(i), 1)
+	}
+}
+
+func BenchmarkTrackAddEnabled(b *testing.B) {
+	tr := NewSeries(100).Track("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(int64(i%1_000_000), 1)
+	}
+}

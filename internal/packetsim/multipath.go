@@ -239,6 +239,9 @@ func (r *transportRun) failover(flow int) {
 	r.failovers++
 	r.cFailover.Inc()
 	r.fs.cur.Failovers++
+	if r.st.armed {
+		r.st.failover.Add(int64(r.now*1e9), 1)
+	}
 	if r.tracer != nil {
 		r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "failover",
 			ID: int64(flow), Node: f.fwd[0], Hop: f.cur})

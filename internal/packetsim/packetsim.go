@@ -52,6 +52,12 @@ type Config struct {
 	// delivery ("deliver") and drop ("drop", Detail "droptail"), stamped
 	// with simulated time in nanoseconds. Nil disables tracing.
 	Trace *obs.Tracer
+	// Series, when non-nil, receives sim-time-windowed telemetry: per-window
+	// goodput, drop-cause, and queue-depth curves (see the Series* track
+	// names in series.go; the transport engines add retransmit, failover,
+	// and reroute curves). The windowed cells are byte-identical for every
+	// shard and worker count. Nil disables the layer.
+	Series *obs.Series
 
 	// Faults, when non-nil, is a live fault-injection schedule: its timed
 	// down/up events flow through the event queue alongside packets, and a
@@ -208,6 +214,7 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 		hHops      = cfg.Metrics.Histogram(MetricHops)
 		hLatency   = cfg.Metrics.Histogram(MetricLatencyNs)
 		tracer     = cfg.Trace
+		st         = newSeriesTracks(cfg.Series)
 	)
 
 	// linkFree[r] is when directed link resource r's transmitter frees.
@@ -245,6 +252,9 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 			cDelivered.Inc()
 			hHops.Observe(int64(len(path) - 1))
 			hLatency.Observe(int64(lat * 1e9))
+			if st.armed {
+				st.goodput.Add(int64(now*1e9), int64(cfg.MTU))
+			}
 			if fs != nil {
 				fs.cur.Delivered++
 				fs.cur.DeliveredBytes += int64(cfg.MTU)
@@ -261,6 +271,9 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 			res.DroppedFault++
 			cFault.Inc()
 			fs.cur.DroppedFault++
+			if st.armed {
+				st.dropFault.Add(int64(now*1e9), 1)
+			}
 			if tracer != nil {
 				tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "drop",
 					ID: base[fi] + int64(ev.pn), Node: path[idx], Hop: idx, Detail: DropCauseFault})
@@ -273,11 +286,17 @@ func Run(t topology.Topology, flows []traffic.Flow, cfg Config) (Result, error) 
 		if hQueue != nil {
 			hQueue.Observe(int64(math.Max(backlog, 0)))
 		}
+		if st.armed {
+			st.queue.Add(int64(now*1e9), int64(math.Max(backlog, 0)))
+		}
 		if backlog > float64(cfg.QueueLimitPackets) {
 			res.Dropped++
 			cDropped.Inc()
 			if fs != nil {
 				fs.cur.DroppedTail++
+			}
+			if st.armed {
+				st.dropTail.Add(int64(now*1e9), 1)
 			}
 			if tracer != nil {
 				tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "drop",

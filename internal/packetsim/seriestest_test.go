@@ -1,0 +1,330 @@
+package packetsim
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/obs"
+)
+
+const testSeriesWindowNs = 100_000 // 100 us
+
+// seriesPoints runs fn with a fresh armed series and returns its flattened
+// points.
+func seriesPoints(t *testing.T, fn func(s *obs.Series)) []obs.SeriesPoint {
+	t.Helper()
+	s := obs.NewSeries(testSeriesWindowNs)
+	fn(s)
+	return s.Points()
+}
+
+func comparePoints(t *testing.T, label string, got, want []obs.SeriesPoint) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d series points, want %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: point %d = %+v, want %+v", label, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// TestSeriesArmedKeepsResultsIdentical pins the zero-interference contract:
+// arming Series (and the profiler, for sharded runs) cannot change a single
+// bit of the simulation result.
+func TestSeriesArmedKeepsResultsIdentical(t *testing.T) {
+	tp := faultTopo(t)
+	flows := faultFlows(t, tp, 31, 64<<10)
+	plan, err := failure.Burst(tp.Network(), failure.Switches,
+		len(tp.Network().Switches())/4, 1e-4, 2e-3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("packet", func(t *testing.T) {
+		cfg := Default()
+		cfg.Faults = plan
+		plainRes, err := Run(tp, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Series = obs.NewSeries(testSeriesWindowNs)
+		armedRes, err := Run(tp, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if armedRes != plainRes {
+			t.Errorf("series armed changed Run result:\n  %+v\n  != %+v", armedRes, plainRes)
+		}
+	})
+	t.Run("transport", func(t *testing.T) {
+		cfg := DefaultTransport()
+		cfg.Faults = plan
+		cfg.Multipath = true
+		plainRes, err := RunTransport(tp, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Link.Series = obs.NewSeries(testSeriesWindowNs)
+		armedRes, err := RunTransport(tp, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if armedRes != plainRes {
+			t.Errorf("series armed changed RunTransport result:\n  %+v\n  != %+v", armedRes, plainRes)
+		}
+	})
+	t.Run("sharded", func(t *testing.T) {
+		cfg := DefaultTransport()
+		cfg.Faults = plan
+		plainRes, err := RunTransportSharded(tp, flows, cfg, ShardOpts{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Link.Series = obs.NewSeries(testSeriesWindowNs)
+		armedRes, err := RunTransportSharded(tp, flows, cfg,
+			ShardOpts{Shards: 4, Profile: obs.NewShardProfile()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if armedRes != plainRes {
+			t.Errorf("series+profile armed changed sharded result:\n  %+v\n  != %+v", armedRes, plainRes)
+		}
+	})
+}
+
+// TestShardSeriesEquivalenceMatrix extends the equivalence matrix to
+// series-on runs: with telemetry armed, both the Result and the entire
+// windowed series must stay byte-identical for every shard count. The series
+// holds because every cell is a commutative fold over updates stamped with
+// event times that are themselves bit-identical across shard counts.
+func TestShardSeriesEquivalenceMatrix(t *testing.T) {
+	tp := faultTopo(t)
+	flows := faultFlows(t, tp, 17, 64<<10)
+	plan, err := failure.Burst(tp.Network(), failure.Switches,
+		len(tp.Network().Switches())/4, 1e-4, 2e-3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(shards int) (Result, []obs.SeriesPoint) {
+		var res Result
+		pts := seriesPoints(t, func(s *obs.Series) {
+			cfg := Default()
+			cfg.Faults = plan
+			cfg.Series = s
+			var err error
+			res, err = RunSharded(tp, flows, cfg,
+				ShardOpts{Shards: shards, Profile: obs.NewShardProfile()})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return res, pts
+	}
+	want, wantPts := run(1)
+	if want.Delivered == 0 {
+		t.Fatal("oracle run delivered nothing")
+	}
+	if len(wantPts) == 0 {
+		t.Fatal("oracle run produced no series points")
+	}
+	for _, s := range shardCounts[1:] {
+		got, gotPts := run(s)
+		if got != want {
+			t.Errorf("shards=%d result %+v\n  != shards=1 %+v", s, got, want)
+		}
+		comparePoints(t, "shards="+itoa(s), gotPts, wantPts)
+	}
+}
+
+// TestTransportShardSeriesEquivalenceMatrix is the transport-engine version,
+// in the hardest mode (faults + multipath), with the profiler armed too.
+func TestTransportShardSeriesEquivalenceMatrix(t *testing.T) {
+	tp := faultTopo(t)
+	flows := faultFlows(t, tp, 23, 256<<10)
+	plan, err := failure.Burst(tp.Network(), failure.Switches,
+		len(tp.Network().Switches())/4, 1e-4, 2e-3, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(shards int) (TransportResult, []obs.SeriesPoint) {
+		var res TransportResult
+		pts := seriesPoints(t, func(s *obs.Series) {
+			cfg := DefaultTransport()
+			cfg.Faults = plan
+			cfg.Multipath = true
+			cfg.Link.Series = s
+			var err error
+			res, err = RunTransportSharded(tp, flows, cfg,
+				ShardOpts{Shards: shards, Profile: obs.NewShardProfile()})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return res, pts
+	}
+	want, wantPts := run(1)
+	if want.CompletedFlows == 0 {
+		t.Fatal("oracle run completed no flows")
+	}
+	var sawGoodput bool
+	for _, pt := range wantPts {
+		if pt.Track == SeriesGoodputBytes {
+			sawGoodput = true
+		}
+	}
+	if !sawGoodput {
+		t.Fatal("oracle series has no goodput track")
+	}
+	for _, s := range shardCounts[1:] {
+		got, gotPts := run(s)
+		if got != want {
+			t.Errorf("shards=%d result %+v\n  != shards=1 %+v", s, got, want)
+		}
+		comparePoints(t, "shards="+itoa(s), gotPts, wantPts)
+	}
+}
+
+// TestSeriesTotalsMatchResult cross-checks the windowed series against the
+// run's whole-run tallies: summing every window of a curve must reproduce
+// the corresponding Result field.
+func TestSeriesTotalsMatchResult(t *testing.T) {
+	tp := faultTopo(t)
+	flows := faultFlows(t, tp, 31, 64<<10)
+	plan, err := failure.Burst(tp.Network(), failure.Switches,
+		len(tp.Network().Switches())/4, 1e-4, 2e-3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.Faults = plan
+	var res Result
+	pts := seriesPoints(t, func(s *obs.Series) {
+		cfg.Series = s
+		var err error
+		res, err = Run(tp, flows, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	totals := map[string]int64{}
+	for _, pt := range pts {
+		totals[pt.Track] += pt.Sum
+	}
+	if got, want := totals[SeriesGoodputBytes], int64(res.Delivered)*int64(cfg.MTU); got != want {
+		t.Errorf("goodput series sums to %d bytes, Result says %d", got, want)
+	}
+	if got, want := totals[SeriesDropTail], int64(res.Dropped); got != want {
+		t.Errorf("droptail series sums to %d, Result says %d", got, want)
+	}
+	if got, want := totals[SeriesDropFault], int64(res.DroppedFault); got != want {
+		t.Errorf("fault-drop series sums to %d, Result says %d", got, want)
+	}
+}
+
+// TestShardProfiler checks the runtime profiler's structural invariants on a
+// real sharded transport run: every window carries one row per shard, event
+// counts reconcile with the registry's window instrument, handoff traffic
+// balances (every sent event is received), and the derived summaries and
+// imbalance index are sane.
+func TestShardProfiler(t *testing.T) {
+	tp := faultTopo(t)
+	flows := faultFlows(t, tp, 23, 256<<10)
+	const shards = 4
+
+	prof := obs.NewShardProfile()
+	reg := obs.NewRegistry()
+	cfg := DefaultTransport()
+	cfg.Link.Metrics = reg
+	res, err := RunTransportSharded(tp, flows, cfg,
+		ShardOpts{Shards: shards, Workers: 2, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedFlows == 0 {
+		t.Fatal("run completed no flows")
+	}
+
+	rows := prof.Windows()
+	if len(rows) == 0 {
+		t.Fatal("profiler recorded no windows")
+	}
+	if len(rows)%shards != 0 {
+		t.Fatalf("%d profile rows is not a multiple of %d shards", len(rows), shards)
+	}
+	numWindows := len(rows) / shards
+	if got := reg.Counter(MetricShardWindows).Value(); got != int64(numWindows) {
+		t.Errorf("profiler saw %d windows, registry counted %d", numWindows, got)
+	}
+
+	var events, out, in, busy int64
+	perWindow := map[int64]int{}
+	for _, r := range rows {
+		if r.Shard < 0 || r.Shard >= shards {
+			t.Fatalf("row has shard %d outside [0,%d)", r.Shard, shards)
+		}
+		if r.BusyNs < 0 || r.WaitNs < 0 || r.Events < 0 {
+			t.Fatalf("negative measurement in row %+v", r)
+		}
+		if r.LookaheadNs <= 0 {
+			t.Errorf("window %d lookahead %d, want positive (multi-shard run)", r.Window, r.LookaheadNs)
+		}
+		perWindow[r.Window]++
+		events += r.Events
+		out += r.HandoffOut
+		in += r.HandoffIn
+		busy += r.BusyNs
+	}
+	for w, n := range perWindow {
+		if n != shards {
+			t.Errorf("window %d has %d rows, want %d", w, n, shards)
+		}
+	}
+	if out != in {
+		t.Errorf("handoff volumes do not balance: out %d, in %d", out, in)
+	}
+	if got := reg.Counter(MetricShardHandoffs).Value(); got != out {
+		t.Errorf("profiler counted %d handoffs, registry counted %d", out, got)
+	}
+	if events == 0 || busy == 0 {
+		t.Errorf("profiler totals empty: events %d, busy %d ns", events, busy)
+	}
+	if got := reg.Counter(MetricShardBusyNs).Value(); got != busy {
+		t.Errorf("registry busy total %d, profile rows sum to %d", got, busy)
+	}
+
+	if sum := prof.Summary(); len(sum) != shards {
+		t.Errorf("summary has %d shards, want %d", len(sum), shards)
+	}
+	if imb := prof.ImbalanceIndex(); imb < 1 || imb > shards {
+		t.Errorf("imbalance index %v outside [1, %d]", imb, shards)
+	}
+}
+
+// TestShardProfilerDisabledRecordsNothing: without Profile the profiler
+// instruments must not even register.
+func TestShardProfilerDisabledRecordsNothing(t *testing.T) {
+	tp := faultTopo(t)
+	flows := faultFlows(t, tp, 31, 64<<10)
+	reg := obs.NewRegistry()
+	cfg := Default()
+	cfg.Metrics = reg
+	if _, err := RunSharded(tp, flows, cfg, ShardOpts{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == MetricShardBusyNs || c.Name == MetricShardWaitNs {
+			t.Errorf("unprofiled run registered %s", c.Name)
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

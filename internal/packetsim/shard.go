@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/eventq"
 	"repro/internal/failure"
@@ -52,6 +53,15 @@ type ShardOpts struct {
 	// Workers caps the goroutines driving shards; 0 means
 	// min(Shards, GOMAXPROCS).
 	Workers int
+	// Profile, when non-nil, arms the shard runtime profiler: every
+	// synchronization window records one obs.ShardWindow per shard —
+	// wall-clock busy vs barrier-wait time, events processed, handoff
+	// outbox/inbox volumes, and the window's lookahead width — and the
+	// busy/wait totals and per-window load-imbalance index register on the
+	// run's metrics (MetricShardBusyNs and friends). Profiling measures
+	// wall-clock around whole window phases, never inside the event loop,
+	// and cannot change simulation results. Nil disables it.
+	Profile *obs.ShardProfile
 }
 
 // normalized clamps the options against the network size.
@@ -87,6 +97,14 @@ const (
 	// MetricShardWindowStall gauges how many shards drained zero events in
 	// the last window (its Max is the worst window's stall count).
 	MetricShardWindowStall = "shardsim_window_stall"
+	// Profiler instruments, registered only when ShardOpts.Profile is set:
+	// total wall-clock nanoseconds shards spent draining events vs waiting
+	// at (or queueing for) the window barrier, and a histogram of the
+	// per-window load-imbalance index in milli-units (1000 = perfectly
+	// balanced, N*1000 = one shard did all the work).
+	MetricShardBusyNs         = "shardsim_busy_ns"
+	MetricShardWaitNs         = "shardsim_wait_ns"
+	MetricShardImbalanceMilli = "shardsim_imbalance_milli"
 )
 
 // shardPool runs per-shard closures on persistent worker goroutines; nil
@@ -165,7 +183,8 @@ func (w *windowShard[T]) push(dst, self int, time float64, key int64, ev T) {
 }
 
 // shardDriver is the coordinator's bookkeeping: the pool plus the sharded
-// engines' instruments (all nil-safe when the run has no metrics registry).
+// engines' instruments (all nil-safe when the run has no metrics registry)
+// and, when ShardOpts.Profile is armed, the runtime profiler state.
 type shardDriver struct {
 	shards int
 	pool   *shardPool
@@ -175,10 +194,20 @@ type shardDriver struct {
 	hBatch    *obs.Histogram
 	hWindow   *obs.Histogram
 	gStall    *obs.Gauge
+
+	// Profiler (nil profile = off; the window loop then takes no clock
+	// readings at all). The busy/wait counters and imbalance histogram are
+	// registered lazily in newShardDriver only when profiling, so an
+	// unprofiled metrics run's summary stays unchanged.
+	profile *obs.ShardProfile
+	tracer  *obs.Tracer
+	cBusy   *obs.Counter
+	cWait   *obs.Counter
+	hImb    *obs.Histogram
 }
 
-func newShardDriver(shards, workers int, metrics *obs.Registry) *shardDriver {
-	return &shardDriver{
+func newShardDriver(shards, workers int, metrics *obs.Registry, tracer *obs.Tracer, profile *obs.ShardProfile) *shardDriver {
+	d := &shardDriver{
 		shards:    shards,
 		pool:      newShardPool(workers),
 		cWindows:  metrics.Counter(MetricShardWindows),
@@ -187,6 +216,14 @@ func newShardDriver(shards, workers int, metrics *obs.Registry) *shardDriver {
 		hWindow:   metrics.Histogram(MetricShardWindowEvents),
 		gStall:    metrics.Gauge(MetricShardWindowStall),
 	}
+	if profile != nil {
+		d.profile = profile
+		d.tracer = tracer
+		d.cBusy = metrics.Counter(MetricShardBusyNs)
+		d.cWait = metrics.Counter(MetricShardWaitNs)
+		d.hImb = metrics.Histogram(MetricShardImbalanceMilli)
+	}
+	return d
 }
 
 // runWindows drives the conservative loop until every shard heap drains.
@@ -197,6 +234,12 @@ func newShardDriver(shards, workers int, metrics *obs.Registry) *shardDriver {
 func runWindows[T any](d *shardDriver, shards []*windowShard[T], lookahead float64, drain func(s int, end float64), budget int64) error {
 	defer d.pool.close()
 	var total int64
+	prof := d.profile != nil
+	var busyNs []int64
+	var winIdx int64
+	if prof {
+		busyNs = make([]int64, len(shards))
+	}
 	for {
 		// Coordinator: the global minimum pending time opens the window.
 		minT := math.Inf(1)
@@ -228,10 +271,29 @@ func runWindows[T any](d *shardDriver, shards []*windowShard[T], lookahead float
 		}
 
 		// Drain phase: every shard advances to the window edge in parallel.
+		// When profiling, each shard clocks its own drain; the phase clock
+		// wraps the whole forEach, so phase − busy is the shard's stall —
+		// barrier wait plus (with fewer workers than shards) the time its
+		// task queued for a worker slot, which is exactly the serialization
+		// being measured.
+		var phaseStart time.Time
+		if prof {
+			phaseStart = time.Now()
+		}
 		d.pool.forEach(len(shards), func(s int) {
 			shards[s].processed = 0
-			drain(s, end)
+			if prof {
+				t0 := time.Now()
+				drain(s, end)
+				busyNs[s] = time.Since(t0).Nanoseconds()
+			} else {
+				drain(s, end)
+			}
 		})
+		var phaseNs int64
+		if prof {
+			phaseNs = time.Since(phaseStart).Nanoseconds()
+		}
 
 		d.cWindows.Inc()
 		stalled := 0
@@ -246,6 +308,12 @@ func runWindows[T any](d *shardDriver, shards []*windowShard[T], lookahead float
 		if budget > 0 && total > budget {
 			return fmt.Errorf("packetsim: sharded run exceeded %d events", budget)
 		}
+
+		// Profile the window before the exchange phase empties the outboxes.
+		if prof {
+			d.profileWindow(winIdx, minT, end, phaseNs, busyNs, shardStats(shards))
+		}
+		winIdx++
 
 		// Exchange phase: each destination drains every source's outbox into
 		// its heap. Push order cannot affect pop order (keys are a strict
@@ -274,6 +342,69 @@ func runWindows[T any](d *shardDriver, shards []*windowShard[T], lookahead float
 			d.cHandoffs.Add(int64(n))
 		})
 	}
+}
+
+// shardWindowStat is the per-shard event/handoff tallies of one window,
+// extracted from the generic shard slice before the exchange phase empties
+// the outboxes (methods cannot be generic, so the extraction is a function).
+type shardWindowStat struct {
+	events, out, in int64
+}
+
+func shardStats[T any](shards []*windowShard[T]) []shardWindowStat {
+	stats := make([]shardWindowStat, len(shards))
+	for s, sh := range shards {
+		stats[s].events = sh.processed
+		for _, b := range sh.out {
+			stats[s].out += int64(len(b))
+		}
+		for _, src := range shards {
+			stats[s].in += int64(len(src.out[s]))
+		}
+	}
+	return stats
+}
+
+// profileWindow records one window into the armed profiler: a ShardWindow
+// row per shard, busy/wait totals on the registry, the window's imbalance
+// index into the histogram (in milli-units), and — when the run traces — a
+// "shard_window" event per shard so the runtime profile interleaves with
+// the packet trace.
+func (d *shardDriver) profileWindow(win int64, minT, end float64, phaseNs int64, busyNs []int64, stats []shardWindowStat) {
+	t0Ns := int64(minT * 1e9)
+	lookNs := int64(-1) // unbounded final window of a single-shard run
+	if !math.IsInf(end, 1) {
+		lookNs = int64((end - minT) * 1e9)
+	}
+	rows := make([]obs.ShardWindow, len(stats))
+	var maxBusy, sumBusy int64
+	for s, stat := range stats {
+		wait := phaseNs - busyNs[s]
+		if wait < 0 {
+			wait = 0
+		}
+		rows[s] = obs.ShardWindow{
+			Window: win, Shard: s, T0Ns: t0Ns, LookaheadNs: lookNs,
+			BusyNs: busyNs[s], WaitNs: wait, Events: stat.events,
+			HandoffOut: stat.out, HandoffIn: stat.in,
+		}
+		d.cBusy.Add(busyNs[s])
+		d.cWait.Add(wait)
+		if busyNs[s] > maxBusy {
+			maxBusy = busyNs[s]
+		}
+		sumBusy += busyNs[s]
+		if d.tracer != nil {
+			d.tracer.Record(obs.Event{TimeNs: t0Ns, Kind: "shard_window",
+				ID: win, Node: s, Hop: int(stat.events),
+				Detail: fmt.Sprintf("busy_ns=%d wait_ns=%d out=%d in=%d",
+					busyNs[s], wait, stat.out, stat.in)})
+		}
+	}
+	if sumBusy > 0 {
+		d.hImb.Observe(int64(float64(maxBusy) * float64(len(stats)) / float64(sumBusy) * 1000))
+	}
+	d.profile.RecordWindow(rows)
 }
 
 // newShardFaultStates arms one independent faultState per shard: every shard

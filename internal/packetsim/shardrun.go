@@ -115,6 +115,7 @@ func RunSharded(t topology.Topology, flows []traffic.Flow, cfg Config, opts Shar
 		hHops      = cfg.Metrics.Histogram(MetricHops)
 		hLatency   = cfg.Metrics.Histogram(MetricLatencyNs)
 		tracer     = cfg.Trace
+		st         = newSeriesTracks(cfg.Series)
 	)
 
 	// linkFree is shared, but each element is touched only by the owner shard
@@ -158,6 +159,9 @@ func RunSharded(t topology.Topology, flows []traffic.Flow, cfg Config, opts Shar
 				cDelivered.Inc()
 				hHops.Observe(int64(len(path) - 1))
 				hLatency.Observe(int64(lat * 1e9))
+				if st.armed {
+					st.goodput.Add(int64(now*1e9), int64(cfg.MTU))
+				}
 				if fs != nil {
 					fs.cur.Delivered++
 					fs.cur.DeliveredBytes += int64(cfg.MTU)
@@ -173,6 +177,9 @@ func RunSharded(t topology.Topology, flows []traffic.Flow, cfg Config, opts Shar
 				ps.droppedFault++
 				cFault.Inc()
 				fs.cur.DroppedFault++
+				if st.armed {
+					st.dropFault.Add(int64(now*1e9), 1)
+				}
 				if tracer != nil {
 					tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "drop",
 						ID: pid, Node: path[idx], Hop: idx, Detail: DropCauseFault})
@@ -183,11 +190,17 @@ func RunSharded(t topology.Topology, flows []traffic.Flow, cfg Config, opts Shar
 			if hQueue != nil {
 				hQueue.Observe(int64(math.Max(backlog, 0)))
 			}
+			if st.armed {
+				st.queue.Add(int64(now*1e9), int64(math.Max(backlog, 0)))
+			}
 			if backlog > float64(cfg.QueueLimitPackets) {
 				ps.dropped++
 				cDropped.Inc()
 				if fs != nil {
 					fs.cur.DroppedTail++
+				}
+				if st.armed {
+					st.dropTail.Add(int64(now*1e9), 1)
 				}
 				if tracer != nil {
 					tracer.Record(obs.Event{TimeNs: int64(now * 1e9), Kind: "drop",
@@ -207,7 +220,7 @@ func RunSharded(t topology.Topology, flows []traffic.Flow, cfg Config, opts Shar
 		}
 	}
 
-	driver := newShardDriver(numShards, workers, cfg.Metrics)
+	driver := newShardDriver(numShards, workers, cfg.Metrics, cfg.Trace, opts.Profile)
 	if err := runWindows(driver, winArr, lookahead, drain, 0); err != nil {
 		return Result{}, err
 	}

@@ -145,6 +145,7 @@ type stRun struct {
 	cPathBytes                             []*obs.Counter
 	hQueue                                 *obs.Histogram
 	tracer                                 *obs.Tracer
+	st                                     seriesTracks
 }
 
 // pktKey returns the event key of one packet journey: journey jn of the
@@ -192,6 +193,7 @@ func RunTransportSharded(t topology.Topology, flows []traffic.Flow, cfg Transpor
 		cAckArr:   cfg.Link.Metrics.Counter(MetricAckArrived),
 		hQueue:    cfg.Link.Metrics.Histogram(MetricQueueDepth),
 		tracer:    cfg.Link.Trace,
+		st:        newSeriesTracks(cfg.Link.Series),
 	}
 
 	var mpPlan *multipathPlan
@@ -321,7 +323,7 @@ func RunTransportSharded(t topology.Topology, flows []traffic.Flow, cfg Transpor
 		}
 	}
 
-	driver := newShardDriver(numShards, workers, cfg.Link.Metrics)
+	driver := newShardDriver(numShards, workers, cfg.Link.Metrics, cfg.Link.Trace, opts.Profile)
 	if err := runWindows(driver, winArr, lookahead, drain, cfg.MaxEvents); err != nil {
 		return TransportResult{}, err
 	}
@@ -360,6 +362,9 @@ func (r *stRun) sendData(sh *stShard, flow, seq int, rtx bool) {
 	if rtx {
 		sh.retransmit++
 		r.cRtx.Inc()
+		if r.st.armed {
+			r.st.rtx.Add(int64(sh.now*1e9), 1)
+		}
 		if sh.fs != nil {
 			sh.fs.cur.Retransmits++
 		}
@@ -406,6 +411,9 @@ func (r *stRun) transmit(sh *stShard, ev stevent, idx int) {
 		sh.faultDrops++
 		r.cFault.Inc()
 		sh.fs.cur.DroppedFault++
+		if r.st.armed {
+			r.st.dropFault.Add(int64(sh.now*1e9), 1)
+		}
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{TimeNs: int64(sh.now * 1e9), Kind: "drop",
 				ID: int64(ev.flow), Node: u, Hop: idx, Detail: DropCauseFault})
@@ -417,10 +425,16 @@ func (r *stRun) transmit(sh *stShard, ev stevent, idx int) {
 	if r.hQueue != nil {
 		r.hQueue.Observe(int64(math.Max(backlog, 0)))
 	}
+	if r.st.armed {
+		r.st.queue.Add(int64(sh.now*1e9), int64(math.Max(backlog, 0)))
+	}
 	if backlog > float64(r.cfg.Link.QueueLimitPackets) {
 		r.cDrops.Inc()
 		if sh.fs != nil {
 			sh.fs.cur.DroppedTail++
+		}
+		if r.st.armed {
+			r.st.dropTail.Add(int64(sh.now*1e9), 1)
 		}
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{TimeNs: int64(sh.now * 1e9), Kind: "drop",
@@ -506,6 +520,9 @@ func (r *stRun) onAck(sh *stShard, flow, ackNo int, ce bool) {
 		if sh.fs != nil {
 			sh.fs.cur.Delivered += int64(newly)
 			sh.fs.cur.DeliveredBytes += int64(newly) * int64(r.cfg.Link.MTU)
+		}
+		if r.st.armed {
+			r.st.goodput.Add(int64(sh.now*1e9), int64(newly)*int64(r.cfg.Link.MTU))
 		}
 		if f.alts != nil {
 			idx := f.curIdx
@@ -627,6 +644,9 @@ func (r *stRun) reroute(sh *stShard, flow int) {
 	sh.reroutes++
 	r.cReroute.Inc()
 	sh.fs.cur.Reroutes++
+	if r.st.armed {
+		r.st.reroute.Add(int64(sh.now*1e9), 1)
+	}
 	if r.tracer != nil {
 		r.tracer.Record(obs.Event{TimeNs: int64(sh.now * 1e9), Kind: "reroute",
 			ID: int64(flow), Node: f.cur.fwd[0], Hop: len(p) - 1})
@@ -741,6 +761,9 @@ func (r *stRun) failover(sh *stShard, flow int) {
 	sh.failovers++
 	r.cFailover.Inc()
 	sh.fs.cur.Failovers++
+	if r.st.armed {
+		r.st.failover.Add(int64(sh.now*1e9), 1)
+	}
 	if r.tracer != nil {
 		r.tracer.Record(obs.Event{TimeNs: int64(sh.now * 1e9), Kind: "failover",
 			ID: int64(flow), Node: f.cur.fwd[0], Hop: f.curIdx})

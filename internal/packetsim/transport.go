@@ -282,6 +282,7 @@ type transportRun struct {
 	cPathBytes                             []*obs.Counter
 	hQueue                                 *obs.Histogram
 	tracer                                 *obs.Tracer
+	st                                     seriesTracks
 }
 
 // push enqueues ev with the next ordinal, preserving the reference engine's
@@ -324,6 +325,7 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 		cAckArr:   cfg.Link.Metrics.Counter(MetricAckArrived),
 		hQueue:    cfg.Link.Metrics.Histogram(MetricQueueDepth),
 		tracer:    cfg.Link.Trace,
+		st:        newSeriesTracks(cfg.Link.Series),
 	}
 	if cfg.Faults != nil {
 		run.fs, err = newFaultState(cfg.Faults, t.Network(), cfg.Timeline, cfg.Link.Metrics, cfg.Link.Trace)
@@ -438,6 +440,9 @@ func (r *transportRun) sendData(flow, seq int, rtx bool) {
 	if rtx {
 		r.retransmit++
 		r.cRtx.Inc()
+		if r.st.armed {
+			r.st.rtx.Add(int64(r.now*1e9), 1)
+		}
 		if r.fs != nil {
 			r.fs.cur.Retransmits++
 		}
@@ -483,6 +488,9 @@ func (r *transportRun) transmit(ev tevent, idx int) {
 		r.faultDrops++
 		r.cFault.Inc()
 		r.fs.cur.DroppedFault++
+		if r.st.armed {
+			r.st.dropFault.Add(int64(r.now*1e9), 1)
+		}
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "drop",
 				ID: int64(ev.flow), Node: u, Hop: idx, Detail: DropCauseFault})
@@ -494,10 +502,16 @@ func (r *transportRun) transmit(ev tevent, idx int) {
 	if r.hQueue != nil {
 		r.hQueue.Observe(int64(math.Max(backlog, 0)))
 	}
+	if r.st.armed {
+		r.st.queue.Add(int64(r.now*1e9), int64(math.Max(backlog, 0)))
+	}
 	if backlog > float64(r.cfg.Link.QueueLimitPackets) {
 		r.cDrops.Inc()
 		if r.fs != nil {
 			r.fs.cur.DroppedTail++
+		}
+		if r.st.armed {
+			r.st.dropTail.Add(int64(r.now*1e9), 1)
 		}
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "drop",
@@ -527,6 +541,9 @@ func (r *transportRun) onArrival(ev tevent) {
 		r.staleDrops++
 		r.cStale.Inc()
 		r.fs.cur.DroppedStale++
+		if r.st.armed {
+			r.st.dropStale.Add(int64(r.now*1e9), 1)
+		}
 		if r.tracer != nil {
 			r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "drop",
 				ID: int64(ev.flow), Node: -1, Hop: int(ev.idx), Detail: DropCauseStale})
@@ -595,6 +612,9 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 			// Goodput accrues at the sender when bytes are acknowledged.
 			r.fs.cur.Delivered += int64(newly)
 			r.fs.cur.DeliveredBytes += int64(newly) * int64(r.cfg.Link.MTU)
+		}
+		if r.st.armed {
+			r.st.goodput.Add(int64(r.now*1e9), int64(newly)*int64(r.cfg.Link.MTU))
 		}
 		if f.alts != nil {
 			// Attribute the goodput to the path that carried it.
@@ -737,6 +757,9 @@ func (r *transportRun) reroute(flow int) {
 	r.reroutes++
 	r.cReroute.Inc()
 	r.fs.cur.Reroutes++
+	if r.st.armed {
+		r.st.reroute.Add(int64(r.now*1e9), 1)
+	}
 	if r.tracer != nil {
 		r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "reroute",
 			ID: int64(flow), Node: f.fwd[0], Hop: len(p) - 1})
