@@ -18,12 +18,16 @@
 #   make obsreport-smoke  render the committed F26 run record through
 #                cmd/obsreport (terminal, HTML, diff) and assert malformed
 #                input exits nonzero
+#   make emu-smoke  pin the actor engine's accounting equivalence against the
+#                goroutine oracle on small configs, then check 1k-server
+#                serving throughput against the committed BENCH_emu_smoke.json
+#                baseline (generous threshold; CI machines are noisy)
 #   make check   everything a PR must pass locally
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke obsreport-smoke check
+.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke obsreport-smoke emu-smoke check
 
 build:
 	$(GO) build ./...
@@ -58,6 +62,14 @@ fuzz-smoke:
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzFaultPlanConservation -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzMultipathConservation -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzShardConservation -fuzztime $(FUZZTIME)
+
+# Equivalence first (the engines must agree message-for-message on
+# overflow-free configs), then throughput: a fresh 1k sweep must not lose
+# more than 75% of the committed baseline's msgs/sec — loose enough for
+# shared CI machines, tight enough to catch an engine falling off a cliff.
+emu-smoke:
+	$(GO) test -run 'TestEngineMatchesReference|TestEngineShardCountInvariance' ./internal/emu
+	$(GO) run ./cmd/benchsuite -scale -engine emu -sizes 1k -baseline BENCH_emu_smoke.json -threshold 0.75 > /dev/null
 
 # Renders every obsreport mode against the committed fixture, then checks
 # the failure path: malformed JSONL must exit nonzero.

@@ -266,6 +266,8 @@ func BenchmarkF27GracefulDegradation(b *testing.B) { benchExperiment(b, "F27") }
 
 func BenchmarkF28ShardScaling(b *testing.B) { benchExperiment(b, "F28") }
 
+func BenchmarkF29ServingWorkloads(b *testing.B) { benchExperiment(b, "F29") }
+
 func BenchmarkPlannerSearch(b *testing.B) {
 	req := planner.Requirements{MinServers: 5000, MaxServerPorts: 4, MaxSwitchPorts: 48}
 	model := cost.Default()

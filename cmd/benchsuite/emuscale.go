@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/traffic"
+)
+
+// The -scale -engine emu mode benchmarks the emulator's two execution cores
+// against each other: for each topology size and serving workload it runs
+// the sharded actor engine (emu.RunWorkload) and, where feasible, the
+// goroutine-per-node oracle (emu.Run) on an equivalent one-shot flow volume.
+// The unit of comparison is messages handled per wall second — both engines
+// count every hello, ack, data, request and response they process, and on
+// overflow-free configs they handle identical message sets, so the ratio is
+// a clean engine comparison. The JSON report is committed as BENCH_pr8.json;
+// -baseline re-checks a fresh sharded run against a committed report and
+// fails on throughput regressions, mirroring -compare.
+
+// emuOracleCutoff names the size above which the goroutine oracle is not
+// run: at 1M servers its boot alone (one goroutine and one 20 KB channel per
+// node) dwarfs any useful measurement, which is the point of the new engine.
+const emuOracleCutoff = "1m"
+
+// emuScaleRow is one (size, workload, engine) measurement.
+type emuScaleRow struct {
+	Size       string  `json:"size"`
+	Servers    int     `json:"servers"`
+	Workload   string  `json:"workload"`
+	Engine     string  `json:"engine"` // "goroutine" or "sharded"
+	Requests   int     `json:"requests"`
+	Completed  int     `json:"completed"`
+	TimedOut   int     `json:"timed_out"`
+	Messages   int     `json:"messages"`
+	Delivered  int     `json:"delivered"`
+	Seconds    float64 `json:"seconds"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// Speedup is sharded msgs/sec over the goroutine engine's on the same
+	// (size, workload); 0 when the oracle was skipped.
+	Speedup   float64 `json:"speedup,omitempty"`
+	Accounted bool    `json:"accounted"`
+}
+
+// emuScaleReport is the -scale -engine emu JSON schema.
+type emuScaleReport struct {
+	Provenance provenance    `json:"provenance"`
+	Engine     string        `json:"engine"`
+	Shards     int           `json:"shards"`
+	Rows       []emuScaleRow `json:"rows"`
+}
+
+// emuWorkloadFor builds the serving workload for one -workloads token. The
+// request volumes are fixed across sizes: past 10k servers the discovery
+// sweep dominates the message count anyway, which is exactly the uniform
+// all-nodes traffic an engine comparison wants.
+func emuWorkloadFor(kind string, servers int) (emu.Workload, error) {
+	clamp := func(v, hi int) int {
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	switch kind {
+	case "rpc":
+		return emu.Workload{Kind: emu.RPCFanout, Requests: 1024,
+			Fanout: clamp(4, servers-1), RetryBudget: 1, Seed: 8}, nil
+	case "incast":
+		return emu.Workload{Kind: emu.IncastWave, Requests: 8,
+			Fanout: clamp(256, servers-1), RetryBudget: 2, Seed: 8}, nil
+	case "shuffle":
+		m := clamp(64, servers/2)
+		return emu.Workload{Kind: emu.StorageShuffle, Mappers: m,
+			Reducers: clamp(32, servers-m), Seed: 8}, nil
+	}
+	return emu.Workload{}, fmt.Errorf("unknown -workloads token %q (have rpc, incast, shuffle)", kind)
+}
+
+// emuOracleFlows derives the goroutine engine's one-shot workload for a
+// serving pattern: the same endpoint distribution at the same message
+// volume (request legs plus response legs), minus the request semantics the
+// oracle does not have.
+func emuOracleFlows(kind string, wl emu.Workload, servers int, rng *rand.Rand) ([]traffic.Flow, error) {
+	switch kind {
+	case "rpc":
+		return traffic.Uniform(servers, 2*wl.Requests*wl.Fanout, rng), nil
+	case "incast":
+		var flows []traffic.Flow
+		for i := 0; i < wl.Requests; i++ {
+			wave, err := traffic.Incast(servers, 0, wl.Fanout, rng)
+			if err != nil {
+				return nil, err
+			}
+			// Scatter legs target the senders; the wave itself converges back.
+			for _, f := range wave {
+				flows = append(flows, traffic.Flow{Src: f.Dst, Dst: f.Src}, f)
+			}
+		}
+		return flows, nil
+	case "shuffle":
+		return traffic.Shuffle(servers, wl.Mappers, wl.Reducers, rng)
+	}
+	return nil, fmt.Errorf("unknown workload %q", kind)
+}
+
+// runEmuScale executes the engine-comparison sweep and emits the report.
+func runEmuScale(w io.Writer, sizes, workloads string, shards int, baseline string, threshold float64) error {
+	rep := emuScaleReport{
+		Provenance: buildProvenance(obsConfig{}),
+		Engine:     "emu",
+		Shards:     shards,
+	}
+	for _, size := range strings.Split(sizes, ",") {
+		size = strings.TrimSpace(size)
+		cfg, ok := scaleSizes[size]
+		if !ok {
+			return fmt.Errorf("unknown -sizes token %q (have 1k, 10k, 100k, 1m)", size)
+		}
+		tp, err := core.Build(cfg)
+		if err != nil {
+			return err
+		}
+		n := tp.Network().NumServers()
+		for _, kind := range strings.Split(workloads, ",") {
+			kind = strings.TrimSpace(kind)
+			wl, err := emuWorkloadFor(kind, n)
+			if err != nil {
+				return err
+			}
+
+			var oracleRate float64
+			if size != emuOracleCutoff {
+				flows, err := emuOracleFlows(kind, wl, n, rand.New(rand.NewSource(wl.Seed)))
+				if err != nil {
+					return err
+				}
+				// Settle the heap before every timed run (as testing.B does):
+				// at 100k+ servers each engine boots hundreds of MB, and a
+				// predecessor's garbage would bill its GC debt to whoever
+				// runs next.
+				runtime.GC()
+				start := time.Now()
+				st, err := emu.Run(tp, flows)
+				if err != nil {
+					return err
+				}
+				sec := time.Since(start).Seconds()
+				oracleRate = float64(st.Messages) / sec
+				rep.Rows = append(rep.Rows, emuScaleRow{
+					Size: size, Servers: n, Workload: kind, Engine: "goroutine",
+					Requests: len(flows), Completed: st.Delivered, Messages: st.Messages,
+					Delivered: st.Delivered, Seconds: sec, MsgsPerSec: oracleRate,
+					Accounted: st.Accounted(),
+				})
+				fmt.Fprintf(os.Stderr, "benchsuite: emu %s %s goroutine: %.2fs, %.0f msgs/s\n",
+					size, kind, sec, oracleRate)
+			} else {
+				fmt.Fprintf(os.Stderr, "benchsuite: emu %s %s goroutine: skipped (oracle cutoff)\n", size, kind)
+			}
+
+			opts := []emu.Option{emu.WithShards(shards)}
+			runtime.GC()
+			start := time.Now()
+			ws, err := emu.RunWorkload(tp, wl, opts...)
+			if err != nil {
+				return err
+			}
+			sec := time.Since(start).Seconds()
+			rate := float64(ws.Messages) / sec
+			row := emuScaleRow{
+				Size: size, Servers: n, Workload: kind, Engine: "sharded",
+				Requests: ws.Requests, Completed: ws.Completed, TimedOut: ws.TimedOut,
+				Messages: ws.Messages, Delivered: ws.Delivered, Seconds: sec,
+				MsgsPerSec: rate, Accounted: ws.Accounted(),
+			}
+			if oracleRate > 0 {
+				row.Speedup = rate / oracleRate
+			}
+			rep.Rows = append(rep.Rows, row)
+			fmt.Fprintf(os.Stderr, "benchsuite: emu %s %s sharded:   %.2fs, %.0f msgs/s (x%.2f)\n",
+				size, kind, sec, rate, row.Speedup)
+		}
+	}
+	if baseline != "" {
+		if err := checkEmuBaseline(os.Stderr, rep, baseline, threshold); err != nil {
+			return err
+		}
+	}
+	return emitReport(w, rep)
+}
+
+// checkEmuBaseline compares the fresh sweep's sharded rows against a
+// committed report: a row that lost more than `threshold` (fractional) of
+// its baseline msgs/sec fails the check. Rows present in only one report are
+// listed but never fail, so the sweep can grow.
+func checkEmuBaseline(w io.Writer, rep emuScaleReport, path string, threshold float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base emuScaleReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byKey := map[string]emuScaleRow{}
+	for _, r := range base.Rows {
+		byKey[r.Size+"/"+r.Workload+"/"+r.Engine] = r
+	}
+	var failed []string
+	for _, r := range rep.Rows {
+		if r.Engine != "sharded" {
+			continue
+		}
+		key := r.Size + "/" + r.Workload + "/" + r.Engine
+		b, ok := byKey[key]
+		if !ok {
+			fmt.Fprintf(w, "benchsuite: baseline: %s not in %s (new row, skipped)\n", key, path)
+			continue
+		}
+		floor := b.MsgsPerSec * (1 - threshold)
+		verdict := "ok"
+		if r.MsgsPerSec < floor {
+			verdict = "REGRESSED"
+			failed = append(failed, key)
+		}
+		fmt.Fprintf(w, "benchsuite: baseline: %s %.0f msgs/s vs %.0f baseline (floor %.0f): %s\n",
+			key, r.MsgsPerSec, b.MsgsPerSec, floor, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("emu throughput regressed past %.0f%% on: %s",
+			threshold*100, strings.Join(failed, ", "))
+	}
+	return nil
+}

@@ -44,6 +44,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/emu"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -127,16 +128,27 @@ func run(args []string, w io.Writer) error {
 		compare   = fs.String("compare", "", "diff timings against this benchsuite -json report; nonzero exit on regression")
 		threshold = fs.Float64("threshold", 0.2, "with -compare, flag experiments that slowed by more than this fraction")
 		scale     = fs.Bool("scale", false, "run the sharded-engine scaling sweep instead of the experiment suite; emits a JSON report")
-		sizes     = fs.String("sizes", "1k,10k,100k", "with -scale, comma list of ABCCC sizes (1k|10k|100k)")
-		shards    = fs.String("shards", "1,2,4,8", "with -scale, comma list of shard counts to sweep")
-		flowBytes = fs.Int("bytes", 16<<10, "with -scale, bytes per workload flow")
+		sizes     = fs.String("sizes", "1k,10k,100k", "with -scale, comma list of ABCCC sizes (1k|10k|100k|1m)")
+		shards    = fs.String("shards", "1,2,4,8", "with -scale -engine packet, comma list of shard counts to sweep")
+		flowBytes = fs.Int("bytes", 16<<10, "with -scale -engine packet, bytes per workload flow")
+		engine    = fs.String("engine", "packet", "with -scale, which engine to sweep: packet (shard-count scaling) or emu (goroutine vs sharded actor cores)")
+		workloads = fs.String("workloads", "rpc,incast,shuffle", "with -scale -engine emu, comma list of serving workloads")
+		emuShards = fs.Int("emu-shards", emu.DefaultShards, "with -scale -engine emu, shard count for the actor engine")
+		baseline  = fs.String("baseline", "", "with -scale -engine emu, fail if sharded msgs/sec regressed past -threshold vs this committed report")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *scale {
-		return runScale(w, *sizes, *shards, *flowBytes)
+		switch *engine {
+		case "packet":
+			return runScale(w, *sizes, *shards, *flowBytes)
+		case "emu":
+			return runEmuScale(w, *sizes, *workloads, *emuShards, *baseline, *threshold)
+		default:
+			return fmt.Errorf("unknown -engine %q (have packet, emu)", *engine)
+		}
 	}
 	if *compare != "" {
 		oldRep, err := loadReport(*compare)

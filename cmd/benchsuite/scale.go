@@ -28,6 +28,9 @@ var scaleSizes = map[string]core.Config{
 	"1k":   {N: 8, K: 2, P: 2},
 	"10k":  {N: 16, K: 2, P: 2},
 	"100k": {N: 32, K: 2, P: 2},
+	// 1m (1,029,000 servers) is the serving-emulator headline size; the
+	// goroutine oracle is skipped there (see emuOracleCutoff).
+	"1m": {N: 70, K: 2, P: 2},
 }
 
 // scaleRow is one (size, shard-count) measurement.

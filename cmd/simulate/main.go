@@ -6,6 +6,7 @@
 //	simulate -topo abccc -n 4 -k 1 -p 3 -pattern permutation -sim flow
 //	simulate -topo bcube -n 4 -k 2 -pattern shuffle -sim packet
 //	simulate -topo fattree -k 4 -pattern alltoall -sim flow
+//	simulate -topo abccc -n 8 -k 2 -sim emu -workload rpc -requests 1024
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/bcube"
 	"repro/internal/core"
 	"repro/internal/dcell"
+	"repro/internal/emu"
 	"repro/internal/failure"
 	"repro/internal/fattree"
 	"repro/internal/flowsim"
@@ -46,7 +48,7 @@ func run(args []string, w io.Writer) error {
 		k       = fs.Int("k", 1, "order (or fat-tree port count)")
 		p       = fs.Int("p", 2, "NIC ports per server (abccc)")
 		pattern = fs.String("pattern", "permutation", "workload: permutation|alltoall|uniform|incast|shuffle|hotspot")
-		sim     = fs.String("sim", "flow", "simulator: flow|packet|transport")
+		sim     = fs.String("sim", "flow", "simulator: flow|packet|transport|emu (sharded actor emulator)")
 		seed    = fs.Int64("seed", 1, "workload seed")
 		count   = fs.Int("count", 0, "flow count for uniform/hotspot (default: one per server)")
 		load    = fs.String("load", "", "replay a JSONL workload trace instead of -pattern")
@@ -64,6 +66,10 @@ func run(args []string, w io.Writer) error {
 		series  = fs.String("series", "", "write sim-time-windowed telemetry (goodput, drop causes, queue depth) as run-record JSONL to this file (packet/transport sims; render with obsreport)")
 		serWin  = fs.Duration("series-window", time.Millisecond, "window width for -series")
 		profSh  = fs.Bool("profile-shards", false, "record per-shard busy/wait runtime windows into the -series run record (requires -shards and -series)")
+		emuWl   = fs.String("workload", "rpc", "with -sim emu, serving workload: rpc|incast|shuffle, or flows to inject the -pattern workload one-shot")
+		reqs    = fs.Int("requests", 256, "with -sim emu, request count (rpc) or wave count (incast)")
+		fanout  = fs.Int("fanout", 4, "with -sim emu, RPC fan-out degree / incast fan-in")
+		retries = fs.Int("retries", 1, "with -sim emu, retry budget after a missed deadline")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -89,7 +95,10 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-trace with -shards needs -workers 1 (parallel drains interleave trace records nondeterministically)")
 	}
 	if *series != "" && *sim == "flow" {
-		return fmt.Errorf("-series requires -sim packet or transport (the flow model has no notion of time)")
+		return fmt.Errorf("-series requires -sim packet, transport or emu (the flow model has no notion of time)")
+	}
+	if *faults != "" && *sim == "emu" {
+		return fmt.Errorf("-faults drives the packet simulators' event queues; the emulator takes static dead devices instead")
 	}
 	if *series != "" && *serWin <= 0 {
 		return fmt.Errorf("-series-window must be positive, got %v", *serWin)
@@ -146,7 +155,11 @@ func run(args []string, w io.Writer) error {
 	}
 	var ser *obs.Series
 	if *series != "" {
-		ser = obs.NewSeries(serWin.Nanoseconds())
+		width := serWin.Nanoseconds()
+		if *sim == "emu" {
+			width = 1 // the emulator's time axis is rounds: one window per round
+		}
+		ser = obs.NewSeries(width)
 	}
 	var prof *obs.ShardProfile
 	if *profSh {
@@ -251,6 +264,55 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "multipath: %d failovers, %d path switches, probes %d ok / %d failed\n",
 				res.Failovers, res.PathSwitches, res.ProbeSuccesses, res.ProbeFailures)
 		}
+	case "emu":
+		fw, ok := t.(emu.Forwarder)
+		if !ok {
+			return fmt.Errorf("-sim emu needs a structure with hop-by-hop forwarding (%q has none)", *topo)
+		}
+		opts := []emu.Option{emu.WithMetrics(reg), emu.WithTrace(tracer), emu.WithSeries(ser)}
+		if *shards != 0 {
+			opts = append(opts, emu.WithShards(*shards))
+		}
+		if *workers != 0 {
+			opts = append(opts, emu.WithWorkers(*workers))
+		}
+		if *emuWl == "flows" {
+			stats, err := emu.RunSharded(fw, flows, opts...)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "emu: %d messages in %d rounds; injected %d, delivered %d, dropped failed/ttl/overflow %d/%d/%d, max hops %d, accounted=%v\n",
+				stats.Messages, stats.Rounds, stats.Injected, stats.Delivered,
+				stats.DroppedFailed, stats.DroppedTTL, stats.DroppedOverflow,
+				stats.MaxHops, stats.Accounted())
+			break
+		}
+		var wl emu.Workload
+		switch *emuWl {
+		case "rpc":
+			wl = emu.Workload{Kind: emu.RPCFanout, Requests: *reqs, Fanout: *fanout, RetryBudget: *retries, Seed: *seed}
+		case "incast":
+			wl = emu.Workload{Kind: emu.IncastWave, Requests: *reqs, Fanout: *fanout, RetryBudget: *retries, Seed: *seed}
+		case "shuffle":
+			part := servers / 4
+			if part < 1 {
+				part = 1
+			}
+			wl = emu.Workload{Kind: emu.StorageShuffle, Mappers: part, Reducers: part, Seed: *seed}
+		default:
+			return fmt.Errorf("unknown -workload %q (have rpc, incast, shuffle, flows)", *emuWl)
+		}
+		ws, err := emu.RunWorkload(fw, wl, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "emu %s: %d requests, %d completed, %d timed out, %d retries, p50/p99 latency %d/%d rounds\n",
+			*emuWl, ws.Requests, ws.Completed, ws.TimedOut, ws.RetriesSent,
+			reqQuantile(ws.LatencyHistogram, ws.Completed, 0.50),
+			reqQuantile(ws.LatencyHistogram, ws.Completed, 0.99))
+		fmt.Fprintf(w, "emu: %d messages in %d rounds; injected %d, delivered %d, dropped failed/ttl/overflow %d/%d/%d, accounted=%v\n",
+			ws.Messages, ws.Rounds, ws.Injected, ws.Delivered,
+			ws.DroppedFailed, ws.DroppedTTL, ws.DroppedOverflow, ws.Accounted())
 	default:
 		return fmt.Errorf("unknown simulator %q", *sim)
 	}
@@ -263,14 +325,23 @@ func run(args []string, w io.Writer) error {
 		if *shards != 0 {
 			engine += "-sharded"
 		}
+		workload := fmt.Sprintf("%s, %d flows, seed %d", *pattern, len(flows), *seed)
+		windowNs := serWin.Nanoseconds()
+		if *sim == "emu" {
+			// The emulator's series axis is rounds, one window per round.
+			windowNs = 1
+			if *emuWl != "flows" {
+				workload = fmt.Sprintf("%s, %d requests, seed %d", *emuWl, *reqs, *seed)
+			}
+		}
 		meta := obs.RunMeta{
 			Label:          fmt.Sprintf("%s/%s", t.Network().Name(), *pattern),
 			Engine:         engine,
 			Topology:       t.Network().Name(),
-			Workload:       fmt.Sprintf("%s, %d flows, seed %d", *pattern, len(flows), *seed),
+			Workload:       workload,
 			Shards:         *shards,
 			Workers:        *workers,
-			SeriesWindowNs: serWin.Nanoseconds(),
+			SeriesWindowNs: windowNs,
 			Series:         true,
 			Profile:        prof != nil,
 		}
@@ -309,6 +380,26 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// reqQuantile is the nearest-rank quantile of a completed-request latency
+// histogram in rounds (0 when the workload tracks no request latency).
+func reqQuantile(hist []int, total int, q float64) int {
+	if total == 0 || len(hist) == 0 {
+		return 0
+	}
+	rank := int(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	seen := 0
+	for r, c := range hist {
+		seen += c
+		if seen >= rank {
+			return r
+		}
+	}
+	return len(hist) - 1
 }
 
 // writeTimeline prints the per-epoch availability series of a fault run.

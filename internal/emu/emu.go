@@ -45,6 +45,12 @@ type options struct {
 	failed    []int
 	metrics   *obs.Registry
 	trace     *obs.Tracer
+
+	// Sharded-engine knobs (engine.go); the goroutine engine ignores them.
+	shards      int
+	workers     int
+	retryRounds int
+	series      *obs.Series
 }
 
 type ttlOption int
@@ -118,6 +124,15 @@ type Stats struct {
 	// HopHistogram[h] counts deliveries that took h hops.
 	MaxHops      int
 	HopHistogram []int
+	// Messages counts every message handled at a node — hellos, acks, data
+	// and serving traffic alike. It is the emulator's throughput unit:
+	// messages handled per wall second is what the engine comparison in
+	// cmd/benchsuite reports.
+	Messages int
+	// Rounds counts the sharded engine's execution rounds (including
+	// fast-forwarded idle gaps as one round each); 0 for the goroutine
+	// engine, whose schedule is scheduler-driven rather than round-based.
+	Rounds int
 }
 
 // Accounted reports whether every injected packet was delivered or dropped.
@@ -152,6 +167,15 @@ type emulator struct {
 	inbox  []chan message
 	failed []bool
 	opts   options
+
+	// sendFn is selected once at boot: the occupancy-sampling variant only
+	// when the histogram is armed, so uninstrumented runs carry no per-send
+	// metrics branch on the hot path.
+	sendFn func(to int, m message)
+
+	// handled[id] is node id's message count, written once when its loop
+	// exits — per-node tallies instead of a shared atomic on the hot path.
+	handled []int64
 
 	nodes    sync.WaitGroup
 	inflight sync.WaitGroup
@@ -203,6 +227,7 @@ func Run(t Forwarder, flows []traffic.Flow, opts ...Option) (Stats, error) {
 		topo:       t,
 		inbox:      make([]chan message, net.Graph().NumNodes()),
 		failed:     make([]bool, net.Graph().NumNodes()),
+		handled:    make([]int64, net.Graph().NumNodes()),
 		opts:       o,
 		hops:       make(map[int]int),
 		cDelivered: o.metrics.Counter(MetricDelivered),
@@ -221,6 +246,10 @@ func Run(t Forwarder, flows []traffic.Flow, opts ...Option) (Stats, error) {
 		}
 		e.failed[node] = true
 	}
+	e.sendFn = e.sendPlain
+	if e.hInbox != nil {
+		e.sendFn = e.sendObserved
+	}
 	for id := range e.inbox {
 		e.inbox[id] = make(chan message, o.inboxSize)
 		e.nodes.Add(1)
@@ -234,14 +263,14 @@ func Run(t Forwarder, flows []traffic.Flow, opts ...Option) (Stats, error) {
 			continue
 		}
 		for _, nb := range g.Neighbors(id, nil) {
-			e.send(nb, message{kind: msgHello, from: int32(id)})
+			e.sendFn(nb, message{kind: msgHello, from: int32(id)})
 		}
 	}
 	e.inflight.Wait()
 
 	// Data phase: one packet per flow, injected at its source server.
 	for i, f := range flows {
-		e.send(servers[f.Src], message{kind: msgData, dst: int32(servers[f.Dst]), id: int32(i)})
+		e.sendFn(servers[f.Src], message{kind: msgData, dst: int32(servers[f.Dst]), id: int32(i)})
 	}
 	e.inflight.Wait()
 
@@ -259,6 +288,9 @@ func Run(t Forwarder, flows []traffic.Flow, opts ...Option) (Stats, error) {
 		DroppedOverflow: int(e.droppedOverflow.Load()),
 		HelloAcks:       int(e.helloAcks.Load()),
 	}
+	for _, n := range e.handled {
+		stats.Messages += int(n)
+	}
 	for h, c := range e.hops {
 		if h > stats.MaxHops {
 			stats.MaxHops = h
@@ -274,10 +306,13 @@ func Run(t Forwarder, flows []traffic.Flow, opts ...Option) (Stats, error) {
 // nodeLoop consumes the node's inbox until shutdown.
 func (e *emulator) nodeLoop(id int) {
 	defer e.nodes.Done()
+	var n int64
 	for m := range e.inbox[id] {
 		e.handle(id, m)
 		e.inflight.Done()
+		n++
 	}
+	e.handled[id] = n
 }
 
 // handle processes one message at node id. Any messages it emits are added
@@ -297,7 +332,7 @@ func (e *emulator) handle(id int, m message) {
 	}
 	switch m.kind {
 	case msgHello:
-		e.send(int(m.from), message{kind: msgAck, from: int32(id)})
+		e.sendFn(int(m.from), message{kind: msgAck, from: int32(id)})
 	case msgAck:
 		e.helloAcks.Add(1)
 		e.cAcks.Inc()
@@ -347,15 +382,20 @@ func (e *emulator) forward(id int, m message) {
 	if !net.IsServer(id) {
 		hops++ // leaving a switch completes one switch hop
 	}
-	e.send(next, message{kind: msgData, dst: m.dst, hops: hops, id: m.id})
+	e.sendFn(next, message{kind: msgData, dst: m.dst, hops: hops, id: m.id})
 }
 
-// send enqueues a message, dropping (with accounting for data packets) when
-// the receiver's inbox is full.
-func (e *emulator) send(to int, m message) {
-	if e.hInbox != nil {
-		e.hInbox.Observe(int64(len(e.inbox[to])))
-	}
+// sendObserved is the armed-metrics send path: it samples the receiver's
+// inbox occupancy, then delegates. Selected at boot only when the histogram
+// exists, so sendPlain never re-tests it per message.
+func (e *emulator) sendObserved(to int, m message) {
+	e.hInbox.Observe(int64(len(e.inbox[to])))
+	e.sendPlain(to, m)
+}
+
+// sendPlain enqueues a message, dropping (with accounting for data packets)
+// when the receiver's inbox is full.
+func (e *emulator) sendPlain(to int, m message) {
 	e.inflight.Add(1)
 	select {
 	case e.inbox[to] <- m:

@@ -1,0 +1,718 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// This file is the emulator's second execution core: a sharded actor engine
+// built for throughput. The goroutine-per-node engine in emu.go remains the
+// reference oracle — it demonstrates operability with real concurrency — but
+// it pays a channel operation and a scheduler wakeup per message, which caps
+// it far below the 100k–1M-server regime the sharded packet engine already
+// reaches. The actor engine removes both costs:
+//
+//   - Nodes are partitioned across a fixed worker pool using the same
+//     topology.Sharder locality cuts as packetsim (ABCCC crossbar blocks,
+//     BCube level-0 groups, fat-tree pods), so most traffic stays inside its
+//     shard.
+//   - Every node owns a power-of-two ring-buffer inbox written and drained
+//     only by its shard's worker: pushes and pops are plain array stores.
+//   - Cross-shard sends append to per-(src,dst)-shard outboxes that are
+//     exchanged at round barriers, so shards never contend on rings.
+//   - Execution is round-based (bulk-synchronous): each round every shard
+//     first imports deferred and handed-off messages into rings (phase A),
+//     then drains each dirty node's ring down to its start-of-round length
+//     (phase B). A message sent in round r is handled in round r+1-or-later,
+//     which makes accounting independent of the shard count whenever no ring
+//     overflows — the property the equivalence tests pin.
+//   - Full rings exert backpressure instead of silently relying on channel
+//     buffering: a blocked message is re-offered for WithRetryRounds rounds
+//     and then dropped as an accounted overflow; workload injection simply
+//     waits for space (admission control), so offered load is shaped rather
+//     than lost at the first queue.
+//
+// Divergences from the goroutine oracle are confined to timing-dependent
+// behavior: overflow victims under saturation (the oracle's depend on the Go
+// scheduler; the engine's are deterministic per shard count), trace
+// timestamps (wall-clock nanoseconds there, round numbers here), and the
+// inbox-occupancy histogram (sampled per send there, per drain batch here).
+// Delivery, failure, TTL and hop accounting are identical and pinned by
+// TestEngineMatchesReference.
+
+// DefaultShards is the engine's default partition width. It is a fixed
+// constant, not GOMAXPROCS, so results are reproducible across machines;
+// the worker count adapts to the hardware instead.
+const DefaultShards = 8
+
+// defaultRingSize is the default per-node ring capacity (slots). Much
+// smaller than the oracle's 1024-message channels because rings are
+// preallocated for every node and the engine boots millions of them: at 64
+// slots (1 KB) a 1M-node arena stays near a gigabyte, and — the part that
+// shows up in benchmarks — the round-0 hello sweep's first touch of every
+// ring faults in proportionally fewer fresh pages. 256-slot rings cost a
+// 100k-node RPC run ~10x its wall clock in page faults alone. Bursts past
+// the capacity are absorbed by the deferred-retry path, not lost.
+const defaultRingSize = 64
+
+// defaultRetryRounds is how many rounds a message blocked on a full ring is
+// re-offered before it is dropped as an accounted overflow.
+const defaultRetryRounds = 8
+
+// maxEngineTTL bounds WithTTL for the sharded engine: hop counts ride in a
+// packed byte (see slot).
+const maxEngineTTL = math.MaxUint8
+
+type shardsOption int
+
+func (o shardsOption) apply(opts *options) { opts.shards = int(o) }
+
+// WithShards sets the number of node partitions of the sharded engine
+// (default DefaultShards). Accounting is identical for every shard count as
+// long as no ring overflows; under saturation the totals are deterministic
+// per shard count. Ignored by the goroutine engine.
+func WithShards(n int) Option { return shardsOption(n) }
+
+type workersOption int
+
+func (o workersOption) apply(opts *options) { opts.workers = int(o) }
+
+// WithWorkers sets the goroutines driving the shards (default
+// min(shards, GOMAXPROCS)). Results never depend on the worker count.
+func WithWorkers(n int) Option { return workersOption(n) }
+
+type retryOption int
+
+func (o retryOption) apply(opts *options) { opts.retryRounds = int(o) }
+
+// WithRetryRounds sets how many rounds a message blocked on a full ring is
+// re-offered before being dropped as overflow (default 8). Ignored by the
+// goroutine engine, which drops on the first full inbox.
+func WithRetryRounds(n int) Option { return retryOption(n) }
+
+type seriesOption struct{ s *obs.Series }
+
+func (o seriesOption) apply(opts *options) { opts.series = o.s }
+
+// WithSeries attaches a time-windowed telemetry series to the sharded
+// engine. The engine's time axis is its round number (one round = one
+// drain-and-exchange sweep), recorded once per round by the coordinator, so
+// the resulting points are deterministic. Ignored by the goroutine engine.
+func WithSeries(s *obs.Series) Option { return seriesOption{s} }
+
+// Instrument and series names specific to the sharded engine. The engine
+// reuses the Metric* names of the goroutine engine for shared concepts
+// (delivered, drop causes, hello acks, hops, inbox occupancy).
+const (
+	MetricMessages  = "emu_messages"
+	MetricRounds    = "emu_rounds"
+	MetricHandoffs  = "emu_cross_shard_handoffs"
+	MetricRetries   = "emu_backpressure_retries"
+	SeriesDelivered = "emu_delivered"
+	SeriesDropped   = "emu_dropped"
+	SeriesQueued    = "emu_queued_msgs"
+	SeriesDeferred  = "emu_deferred_msgs"
+)
+
+// outMsg is one cross-shard handoff: a slot plus the node it is addressed
+// to (the slot's dst is the packet's final destination, not the next hop).
+type outMsg struct {
+	to int32
+	m  slot
+}
+
+// deferredSend is a message blocked on a full ring, re-offered each round.
+type deferredSend struct {
+	to    int32
+	tries int32
+	m     slot
+}
+
+// engineHooks is the seam the serving-workload layer plugs into. All hooks
+// run on shard workers between barriers and may touch only their shard.
+type engineHooks struct {
+	// deliver is invoked when a req/resp message arrives at its destination
+	// server (after the engine's own delivered accounting).
+	deliver func(s *shard, node int32, m slot)
+	// tick runs once per shard per round at the start of phase B, before
+	// draining; it injects due application messages via shard.inject.
+	tick func(s *shard, round int64)
+	// pending reports the shard's outstanding application work (requests in
+	// flight or waiting to start); the run continues while any remains.
+	pending func(s *shard) int64
+	// nextTick returns the earliest future round the shard's application
+	// needs a tick (deadline checks, injections), or math.MaxInt64. The
+	// coordinator fast-forwards idle rounds to the minimum.
+	nextTick func(s *shard) int64
+}
+
+// engine is a booted sharded run.
+type engine struct {
+	topo    Forwarder
+	net     *topology.Network
+	opts    options
+	hooks   engineHooks
+	ttl     int
+	shardOf []int32
+	failed  []bool
+	rings   []ring
+	dirtyIn []bool // node is queued in its shard's dirty list
+	shards  []*shard
+	servers []int
+
+	// Hoisted nilable instruments, as in the goroutine engine.
+	cDelivered, cFailed, cTTL, cOverflow, cAcks *obs.Counter
+	cMessages, cRounds, cHandoffs, cRetries     *obs.Counter
+	hInbox, hHops                               *obs.Histogram
+	tracer                                      *obs.Tracer
+	serDelivered, serDropped                    *obs.Track
+	serQueued, serDeferred                      *obs.Track
+	prevDelivered, prevDropped                  int64
+}
+
+// shard owns a contiguous-by-locality set of nodes. Only its worker touches
+// its fields (and its nodes' rings) during a phase; coordination happens at
+// the barriers between phases.
+type shard struct {
+	eng   *engine
+	id    int32
+	nodes []int32 // owned node ids, ascending
+	round int64   // current round, for trace timestamps and workload timers
+
+	dirty    []int32 // nodes with queued messages, examined next drain
+	spare    []int32 // recycled backing for the next dirty list
+	counts   []int32 // per-drain snapshot of ring lengths
+	outbox   [][]outMsg
+	deferred []deferredSend
+	injectQ  []outMsg // one-shot flow backlog, admitted as rings allow
+	queued   int64    // slots currently held in this shard's rings
+
+	// appInjected counts workload messages this shard put into the network
+	// (request legs, retries, responses) — each is an accounted injection,
+	// so Stats.Accounted audits serving runs end to end too.
+	appInjected int64
+
+	// Accounting, folded into Stats (and the armed registry) at the end so
+	// the per-message path carries no atomics.
+	delivered, droppedFailed, droppedTTL int64
+	droppedOverflow, helloAcks           int64
+	messages, handoffs, retries          int64
+	hopHist                              []int64
+
+	app *shardApp // serving-workload state, nil for one-shot runs
+}
+
+// RunSharded executes the same contract as Run — discovery sweep, one data
+// packet per flow, full per-cause accounting — on the sharded actor engine.
+// On any healthy-or-failed configuration where no ring overflows, the
+// returned Stats match Run exactly (equivalence is pinned by tests); under
+// saturation the totals are deterministic for a fixed shard count.
+func RunSharded(t Forwarder, flows []traffic.Flow, opts ...Option) (Stats, error) {
+	e, err := newEngine(t, engineHooks{}, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := e.loadFlows(flows); err != nil {
+		return Stats{}, err
+	}
+	return e.run(len(flows))
+}
+
+// newEngine validates options and boots rings, shard tables and instruments.
+func newEngine(t Forwarder, hooks engineHooks, optList []Option) (*engine, error) {
+	o := options{
+		ttl:         2 * (t.Properties().DiameterLinks + 3),
+		inboxSize:   defaultRingSize,
+		shards:      DefaultShards,
+		retryRounds: defaultRetryRounds,
+	}
+	for _, opt := range optList {
+		opt.apply(&o)
+	}
+	if o.ttl < 1 || o.inboxSize < 1 {
+		return nil, fmt.Errorf("emu: ttl and inbox size must be positive")
+	}
+	if o.ttl > maxEngineTTL {
+		return nil, fmt.Errorf("emu: sharded engine ttl %d exceeds %d", o.ttl, maxEngineTTL)
+	}
+	if o.shards < 1 {
+		return nil, fmt.Errorf("emu: shard count must be positive")
+	}
+	if o.retryRounds < 1 {
+		return nil, fmt.Errorf("emu: retry rounds must be positive")
+	}
+	net := t.Network()
+	n := net.Graph().NumNodes()
+	e := &engine{
+		topo:       t,
+		net:        net,
+		opts:       o,
+		hooks:      hooks,
+		ttl:        o.ttl,
+		shardOf:    topology.ShardNodes(t, o.shards),
+		failed:     make([]bool, n),
+		rings:      make([]ring, n),
+		dirtyIn:    make([]bool, n),
+		servers:    net.Servers(),
+		cDelivered: o.metrics.Counter(MetricDelivered),
+		cFailed:    o.metrics.Counter(MetricDroppedFailed),
+		cTTL:       o.metrics.Counter(MetricDroppedTTL),
+		cOverflow:  o.metrics.Counter(MetricDroppedOverflow),
+		cAcks:      o.metrics.Counter(MetricHelloAcks),
+		cMessages:  o.metrics.Counter(MetricMessages),
+		cRounds:    o.metrics.Counter(MetricRounds),
+		cHandoffs:  o.metrics.Counter(MetricHandoffs),
+		cRetries:   o.metrics.Counter(MetricRetries),
+		hInbox:     o.metrics.Histogram(MetricInboxOccupancy),
+		hHops:      o.metrics.Histogram(MetricHops),
+		tracer:     o.trace,
+	}
+	if o.series != nil {
+		e.serDelivered = o.series.Track(SeriesDelivered)
+		e.serDropped = o.series.Track(SeriesDropped)
+		e.serQueued = o.series.Track(SeriesQueued)
+		e.serDeferred = o.series.Track(SeriesDeferred)
+	}
+	for _, node := range o.failed {
+		if node < 0 || node >= n {
+			return nil, fmt.Errorf("emu: failed node %d out of range", node)
+		}
+		e.failed[node] = true
+	}
+
+	e.shards = make([]*shard, o.shards)
+	perShard := make([][]int32, o.shards)
+	for id := 0; id < n; id++ {
+		sh := e.shardOf[id]
+		perShard[sh] = append(perShard[sh], int32(id))
+	}
+	rc := ringCap(o.inboxSize)
+	for i := range e.shards {
+		s := &shard{
+			eng:     e,
+			id:      int32(i),
+			nodes:   perShard[i], // ascending: built by increasing node id
+			outbox:  make([][]outMsg, o.shards),
+			hopHist: make([]int64, o.ttl+1),
+		}
+		// One arena per shard keeps ring storage contiguous and cheap for
+		// the garbage collector (slots hold no pointers).
+		arena := make([]slot, len(s.nodes)*rc)
+		for j, node := range s.nodes {
+			e.rings[node].buf = arena[j*rc : (j+1)*rc]
+		}
+		e.shards[i] = s
+	}
+	return e, nil
+}
+
+// loadFlows validates the one-shot workload and queues each flow's packet on
+// its source shard's injection backlog, preserving flow order.
+func (e *engine) loadFlows(flows []traffic.Flow) error {
+	for i, f := range flows {
+		if f.Src < 0 || f.Src >= len(e.servers) || f.Dst < 0 || f.Dst >= len(e.servers) {
+			return fmt.Errorf("emu: flow endpoints (%d,%d) out of %d servers",
+				f.Src, f.Dst, len(e.servers))
+		}
+		src := int32(e.servers[f.Src])
+		s := e.shards[e.shardOf[src]]
+		s.injectQ = append(s.injectQ, outMsg{to: src, m: slot{
+			kind: slotData,
+			dst:  int32(e.servers[f.Dst]),
+			id:   int32(i),
+		}})
+	}
+	return nil
+}
+
+// run executes rounds to quiescence and merges the per-shard accounting.
+func (e *engine) run(injected int) (Stats, error) {
+	workers := e.opts.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(e.shards) {
+		workers = len(e.shards)
+	}
+
+	var (
+		round     int64
+		rounds    int64
+		discovery = true
+	)
+	// Generous livelock guard: every round drains every queued message and
+	// deferred messages expire, so a run that exceeds this is a bug, not a
+	// big workload.
+	maxRound := int64(1) << 42
+	for {
+		if round > 0 {
+			e.runPhase(workers, func(s *shard) { s.phaseImport(round) })
+		}
+		e.runPhase(workers, func(s *shard) { s.phaseProcess(round, discovery) })
+		rounds++
+
+		var queued, deferred, boxed, backlog, appPending int64
+		nextTick := int64(math.MaxInt64)
+		for _, s := range e.shards {
+			queued += s.queued
+			deferred += int64(len(s.deferred))
+			for _, box := range s.outbox {
+				boxed += int64(len(box))
+			}
+			backlog += int64(len(s.injectQ))
+			if e.hooks.pending != nil {
+				appPending += e.hooks.pending(s)
+			}
+			if e.hooks.nextTick != nil {
+				if nr := e.hooks.nextTick(s); nr < nextTick {
+					nextTick = nr
+				}
+			}
+		}
+		e.recordSeries(round, queued, deferred)
+
+		inFlight := queued + deferred + boxed
+		if discovery && inFlight == 0 {
+			// The control sweep has quiesced; the data/serving phase starts
+			// next round, mirroring the oracle's drain barrier.
+			discovery = false
+			round++
+			if backlog == 0 && appPending == 0 && e.hooks.tick == nil {
+				break
+			}
+			continue
+		}
+		if inFlight == 0 && backlog == 0 {
+			if appPending == 0 {
+				break
+			}
+			// Only timers remain: fast-forward to the next deadline.
+			if nextTick == math.MaxInt64 {
+				return Stats{}, fmt.Errorf("emu: engine stalled with %d requests outstanding and no pending tick", appPending)
+			}
+			if nextTick <= round {
+				nextTick = round + 1
+			}
+			round = nextTick
+			continue
+		}
+		round++
+		if round > maxRound {
+			return Stats{}, fmt.Errorf("emu: engine exceeded %d rounds", maxRound)
+		}
+	}
+
+	stats := Stats{Injected: injected, Rounds: int(rounds)}
+	for _, s := range e.shards {
+		stats.Injected += int(s.appInjected)
+		stats.Delivered += int(s.delivered)
+		stats.DroppedFailed += int(s.droppedFailed)
+		stats.DroppedTTL += int(s.droppedTTL)
+		stats.DroppedOverflow += int(s.droppedOverflow)
+		stats.HelloAcks += int(s.helloAcks)
+		stats.Messages += int(s.messages)
+		e.cHandoffs.Add(s.handoffs)
+		e.cRetries.Add(s.retries)
+		for h, c := range s.hopHist {
+			if c == 0 {
+				continue
+			}
+			if h > stats.MaxHops {
+				stats.MaxHops = h
+			}
+			for h >= len(stats.HopHistogram) {
+				stats.HopHistogram = append(stats.HopHistogram, 0)
+			}
+			stats.HopHistogram[h] += int(c)
+			// Batched fold: the armed histogram costs nothing per delivery.
+			e.hHops.ObserveN(int64(h), c)
+		}
+	}
+	e.cDelivered.Add(int64(stats.Delivered))
+	e.cFailed.Add(int64(stats.DroppedFailed))
+	e.cTTL.Add(int64(stats.DroppedTTL))
+	e.cOverflow.Add(int64(stats.DroppedOverflow))
+	e.cAcks.Add(int64(stats.HelloAcks))
+	e.cMessages.Add(int64(stats.Messages))
+	e.cRounds.Add(rounds)
+	return stats, nil
+}
+
+// recordSeries emits the per-round telemetry points from the coordinator,
+// so the series content never depends on worker scheduling.
+func (e *engine) recordSeries(round, queued, deferred int64) {
+	if e.opts.series == nil {
+		return
+	}
+	var delivered, dropped int64
+	for _, s := range e.shards {
+		delivered += s.delivered
+		dropped += s.droppedFailed + s.droppedTTL + s.droppedOverflow
+	}
+	// Delivered/dropped are recorded as per-round deltas so the windowed
+	// sums stay additive; queue depths are instantaneous gauges.
+	e.serDelivered.Add(round, delivered-e.prevDelivered)
+	e.serDropped.Add(round, dropped-e.prevDropped)
+	e.prevDelivered, e.prevDropped = delivered, dropped
+	e.serQueued.Add(round, queued)
+	e.serDeferred.Add(round, deferred)
+}
+
+// runPhase runs fn once per shard on the worker pool and waits. Shards are
+// dispensed by an atomic counter; each shard's state is touched by exactly
+// one worker, and the WaitGroup barrier orders the phases.
+func (e *engine) runPhase(workers int, fn func(*shard)) {
+	if workers <= 1 {
+		for _, s := range e.shards {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.shards) {
+					return
+				}
+				fn(e.shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// phaseImport re-offers deferred messages and imports last round's
+// cross-shard handoffs into this shard's rings. It reads other shards'
+// outboxes addressed to this shard — disjoint from what their own phase A
+// touches — and resets them for the next process phase.
+func (s *shard) phaseImport(round int64) {
+	s.round = round
+	if len(s.deferred) > 0 {
+		keep := s.deferred[:0]
+		for _, d := range s.deferred {
+			s.retries++
+			if s.enqueue(d.to, d.m) {
+				continue
+			}
+			d.tries++
+			if int(d.tries) >= s.eng.opts.retryRounds {
+				s.dropOverflow(d.to, d.m)
+				continue
+			}
+			keep = append(keep, d)
+		}
+		s.deferred = keep
+	}
+	for _, src := range s.eng.shards {
+		box := src.outbox[s.id]
+		if len(box) == 0 {
+			continue
+		}
+		s.handoffs += int64(len(box))
+		for _, om := range box {
+			if !s.enqueue(om.to, om.m) {
+				s.deferred = append(s.deferred, deferredSend{to: om.to, m: om.m})
+			}
+		}
+		src.outbox[s.id] = box[:0]
+	}
+}
+
+// phaseProcess injects due work and drains every dirty node's ring down to
+// its start-of-round length (messages pushed during the round wait for the
+// next one — the rule that keeps results shard-count independent).
+func (s *shard) phaseProcess(round int64, discovery bool) {
+	e := s.eng
+	s.round = round
+	if round == 0 {
+		s.sendHellos()
+	}
+	if !discovery {
+		if e.hooks.tick != nil {
+			e.hooks.tick(s, round)
+		}
+		s.injectFlows()
+	}
+
+	work := s.dirty
+	s.dirty = s.spare[:0]
+	if len(work) > 1 {
+		sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+	}
+	if cap(s.counts) < len(work) {
+		s.counts = make([]int32, len(work))
+	}
+	counts := s.counts[:len(work)]
+	for i, node := range work {
+		counts[i] = int32(e.rings[node].len())
+	}
+	for i, node := range work {
+		r := &e.rings[node]
+		k := counts[i]
+		e.hInbox.Observe(int64(k)) // per drain batch, not per message
+		for j := int32(0); j < k; j++ {
+			m := r.pop()
+			s.queued--
+			s.handle(node, m)
+		}
+		if r.len() > 0 {
+			s.dirty = append(s.dirty, node)
+		} else {
+			e.dirtyIn[node] = false
+		}
+	}
+	s.spare = work[:0]
+}
+
+// sendHellos starts the discovery sweep: every live owned node greets every
+// neighbor, exactly like the oracle's boot.
+func (s *shard) sendHellos() {
+	e := s.eng
+	g := e.net.Graph()
+	var scratch []int
+	for _, node := range s.nodes {
+		if e.failed[node] {
+			continue
+		}
+		scratch = g.Neighbors(int(node), scratch[:0])
+		for _, nb := range scratch {
+			s.send(int32(nb), slot{kind: slotHello, from: node})
+		}
+	}
+}
+
+// injectFlows admits queued one-shot packets while their source rings have
+// space. Injection order is flow order; a full source ring pauses admission
+// (backpressure on the injector) instead of dropping.
+func (s *shard) injectFlows() {
+	for len(s.injectQ) > 0 {
+		om := s.injectQ[0]
+		if !s.enqueue(om.to, om.m) {
+			return
+		}
+		s.injectQ = s.injectQ[1:]
+	}
+}
+
+// enqueue pushes m onto an owned node's ring, maintaining the dirty list.
+// It reports false when the ring is full; callers defer, drop or stall.
+func (s *shard) enqueue(to int32, m slot) bool {
+	e := s.eng
+	if !e.rings[to].push(m) {
+		return false
+	}
+	s.queued++
+	if !e.dirtyIn[to] {
+		e.dirtyIn[to] = true
+		s.dirty = append(s.dirty, to)
+	}
+	return true
+}
+
+// send routes a message to its next node: straight into the ring when the
+// target is owned (deferring on overflow), through the outbox otherwise.
+func (s *shard) send(to int32, m slot) {
+	if ds := s.eng.shardOf[to]; ds != s.id {
+		s.outbox[ds] = append(s.outbox[ds], outMsg{to: to, m: m})
+		return
+	}
+	if !s.enqueue(to, m) {
+		s.deferred = append(s.deferred, deferredSend{to: to, m: m})
+	}
+}
+
+// handle processes one message at an owned node — the same state machine as
+// the oracle's handle/forward, minus the channel plumbing.
+func (s *shard) handle(node int32, m slot) {
+	e := s.eng
+	s.messages++
+	if e.failed[node] {
+		if m.kind >= slotData {
+			s.droppedFailed++
+			if e.tracer != nil {
+				e.tracer.Record(obs.Event{TimeNs: s.roundNow(), Kind: "drop",
+					ID: int64(m.id), Node: int(node), Hop: int(m.hops), Detail: "failed"})
+			}
+		}
+		return
+	}
+	switch m.kind {
+	case slotHello:
+		s.send(m.from, slot{kind: slotAck, from: node})
+	case slotAck:
+		s.helloAcks++
+	default:
+		s.forward(node, m)
+	}
+}
+
+// forward applies the hop-by-hop policy at a live node.
+func (s *shard) forward(node int32, m slot) {
+	e := s.eng
+	if node == m.dst && e.net.IsServer(int(node)) {
+		s.delivered++
+		s.hopHist[m.hops]++
+		if e.tracer != nil {
+			e.tracer.Record(obs.Event{TimeNs: s.roundNow(), Kind: "deliver",
+				ID: int64(m.id), Node: int(node), Hop: int(m.hops)})
+		}
+		if m.kind != slotData && e.hooks.deliver != nil {
+			e.hooks.deliver(s, node, m)
+		}
+		return
+	}
+	if int(m.hops) >= e.ttl {
+		s.droppedTTL++
+		if e.tracer != nil {
+			e.tracer.Record(obs.Event{TimeNs: s.roundNow(), Kind: "drop",
+				ID: int64(m.id), Node: int(node), Hop: int(m.hops), Detail: "ttl"})
+		}
+		return
+	}
+	next, err := e.topo.NextHop(int(node), int(m.dst))
+	if err != nil {
+		// Unroutable destination: impossible after validation, but a real
+		// device would also discard such a packet.
+		s.droppedTTL++
+		return
+	}
+	if e.tracer != nil {
+		e.tracer.Record(obs.Event{TimeNs: s.roundNow(), Kind: "hop",
+			ID: int64(m.id), Node: int(node), Hop: int(m.hops)})
+	}
+	if !e.net.IsServer(int(node)) {
+		m.hops++ // leaving a switch completes one switch hop
+	}
+	s.send(int32(next), m)
+}
+
+// dropOverflow accounts a message that exhausted its backpressure budget.
+// Control messages vanish silently, exactly like the oracle's full-channel
+// path.
+func (s *shard) dropOverflow(to int32, m slot) {
+	if m.kind < slotData {
+		return
+	}
+	s.droppedOverflow++
+	if s.eng.tracer != nil {
+		s.eng.tracer.Record(obs.Event{TimeNs: s.roundNow(), Kind: "drop",
+			ID: int64(m.id), Node: int(to), Hop: int(m.hops), Detail: "overflow"})
+	}
+}
+
+// roundNow stamps trace events with the shard's current round. The engine
+// has no wall clock on its hot path; rounds are its time axis.
+func (s *shard) roundNow() int64 { return s.round }

@@ -1,0 +1,372 @@
+package emu
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/bccc"
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/fattree"
+	"repro/internal/obs"
+	"repro/internal/traffic"
+)
+
+// compareStats asserts the sharded engine's accounting equals the goroutine
+// oracle's. Everything except Rounds (meaningless for the oracle) must
+// match: on configurations where no inbox overflows, per-packet forwarding
+// is schedule-independent, so the totals are exactly equal.
+func compareStats(t *testing.T, name string, ref, got Stats) {
+	t.Helper()
+	ref.Rounds, got.Rounds = 0, 0
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("%s: sharded engine diverged from oracle:\n  oracle:  %+v\n  sharded: %+v", name, ref, got)
+	}
+}
+
+// TestEngineMatchesReference is the equivalence matrix of the tentpole:
+// the same accounting as the goroutine oracle across every topology family
+// the emulator supports, healthy and with dead devices.
+func TestEngineMatchesReference(t *testing.T) {
+	type tc struct {
+		name string
+		topo Forwarder
+	}
+	cases := []tc{
+		{"abccc-4-1-2", core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{"abccc-3-2-2", core.MustBuild(core.Config{N: 3, K: 2, P: 2})},
+	}
+	if tp, err := bcube.Build(bcube.Config{N: 4, K: 1}); err == nil {
+		cases = append(cases, tc{"bcube-4-1", tp})
+	} else {
+		t.Fatal(err)
+	}
+	if tp, err := fattree.Build(fattree.Config{K: 4}); err == nil {
+		cases = append(cases, tc{"fattree-4", tp})
+	} else {
+		t.Fatal(err)
+	}
+	if tp, err := bccc.Build(bccc.Config{N: 3, K: 1}); err == nil {
+		cases = append(cases, tc{"bccc-3-1", tp})
+	} else {
+		t.Fatal(err)
+	}
+
+	for _, c := range cases {
+		rng := rand.New(rand.NewSource(7))
+		n := c.topo.Network().NumServers()
+		flows := traffic.Uniform(n, 3*n, rng)
+
+		ref, err := Run(c.topo, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunSharded(c.topo, flows, WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareStats(t, c.name+"/healthy", ref, got)
+
+		// Kill a third of the switches and a few servers (dead destinations
+		// included): per-cause drop totals must still match exactly.
+		net := c.topo.Network()
+		var dead []int
+		for i, sw := range net.Switches() {
+			if i%3 == 0 {
+				dead = append(dead, sw)
+			}
+		}
+		for i := 0; i < 3 && i < n; i++ {
+			dead = append(dead, net.Servers()[rng.Intn(n)])
+		}
+		ref, err = Run(c.topo, flows, WithFailedNodes(dead...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = RunSharded(c.topo, flows, WithFailedNodes(dead...), WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareStats(t, c.name+"/failed", ref, got)
+	}
+}
+
+// TestEngineShardCountInvariance pins the BSP design property: because a
+// message sent in round r is always handled in a later round, the entire
+// accounting is independent of how nodes are partitioned and how many
+// workers drive them.
+func TestEngineShardCountInvariance(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 2, P: 2})
+	n := tp.Network().NumServers()
+	flows := traffic.Uniform(n, 4*n, rand.New(rand.NewSource(11)))
+
+	base, err := RunSharded(tp, flows, WithShards(1), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 8, 32} {
+		for _, workers := range []int{1, 2, 4} {
+			got, err := RunSharded(tp, flows, WithShards(shards), WithWorkers(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Rounds = base.Rounds // rounds may differ only via fast-forward gaps, never here
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("shards=%d workers=%d: %+v != %+v", shards, workers, got, base)
+			}
+		}
+	}
+}
+
+// TestEngineTTLAndWalkAgreement reuses the oracle's single-packet ground
+// truth: the sharded hop count must equal the static forwarding walk.
+func TestEngineTTLAndWalkAgreement(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 3})
+	net := tp.Network()
+	src, dst := 0, net.NumServers()-1
+	walk, err := tp.ForwardingWalk(net.Servers()[src], net.Servers()[dst])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunSharded(tp, []traffic.Flow{{Src: src, Dst: dst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 1 || stats.MaxHops != walk.SwitchHops(net) {
+		t.Errorf("sharded walk: %+v, want hops %d", stats, walk.SwitchHops(net))
+	}
+
+	tight, err := RunSharded(tp, traffic.AllToAll(net.NumServers())[:50], WithTTL(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.DroppedTTL == 0 || !tight.Accounted() {
+		t.Errorf("TTL 1 sharded run: %+v", tight)
+	}
+}
+
+// TestEngineBackpressureSaturation starves the rings under an amplified
+// incast: the engine must retry, then drop with overflow accounting, and
+// conservation must hold exactly. The totals are deterministic per shard
+// count, pinned by running twice.
+func TestEngineBackpressureSaturation(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	n := tp.Network().NumServers()
+	flows, err := traffic.Incast(n, 0, n-1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		flows = append(flows, flows...)
+	}
+	reg := obs.NewRegistry()
+	stats, err := RunSharded(tp, flows, WithInboxSize(1), WithRetryRounds(2),
+		WithWorkers(2), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedOverflow == 0 {
+		t.Errorf("no overflow under saturation: %+v", stats)
+	}
+	if !stats.Accounted() {
+		t.Errorf("unaccounted under saturation: %+v", stats)
+	}
+	if reg.Counter(MetricRetries).Value() == 0 {
+		t.Error("backpressure produced no retry attempts")
+	}
+	again, err := RunSharded(tp, flows, WithInboxSize(1), WithRetryRounds(2), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.Rounds = stats.Rounds
+	stats.Messages, again.Messages = 0, 0 // equal too, but keep the assert focused
+	if stats.Delivered != again.Delivered || stats.DroppedOverflow != again.DroppedOverflow {
+		t.Errorf("saturation run not deterministic: %+v vs %+v", stats, again)
+	}
+}
+
+// TestEngineConservationUnderChaosSchedule drives the same chaos-monkey
+// schedule the control plane is audited with, and after every kill/revive
+// step runs the sharded engine against the surviving set with starved rings:
+// every injected packet must be delivered or dropped with a cause, and the
+// armed registry must mirror the internal accounting exactly.
+func TestEngineConservationUnderChaosSchedule(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(9))
+	events, err := Chaos(tp, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := map[int]bool{}
+	for i, ev := range events {
+		if ev.Kill {
+			down[ev.Node] = true
+		} else {
+			delete(down, ev.Node)
+		}
+		dead := make([]int, 0, len(down))
+		for node := range down {
+			dead = append(dead, node)
+		}
+		sort.Ints(dead)
+
+		n := tp.Network().NumServers()
+		flows := traffic.Uniform(n, 4*n, rng)
+		reg := obs.NewRegistry()
+		stats, err := RunSharded(tp, flows, WithFailedNodes(dead...),
+			WithInboxSize(2), WithRetryRounds(2), WithWorkers(2), WithMetrics(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Accounted() {
+			t.Fatalf("step %d (%d dead): unaccounted: %+v", i, len(dead), stats)
+		}
+		for name, want := range map[string]int{
+			MetricDelivered:       stats.Delivered,
+			MetricDroppedFailed:   stats.DroppedFailed,
+			MetricDroppedTTL:      stats.DroppedTTL,
+			MetricDroppedOverflow: stats.DroppedOverflow,
+			MetricHelloAcks:       stats.HelloAcks,
+			MetricMessages:        stats.Messages,
+			MetricRounds:          stats.Rounds,
+		} {
+			if got := reg.Counter(name).Value(); got != int64(want) {
+				t.Errorf("step %d: %s = %d, want %d", i, name, got, want)
+			}
+		}
+	}
+}
+
+// TestEngineSeriesDeterministic pins the round-stamped telemetry: series
+// points are recorded by the coordinator on the round axis, so two identical
+// runs produce byte-identical points regardless of worker count, and the
+// delivered track folds to the run total.
+func TestEngineSeriesDeterministic(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	n := tp.Network().NumServers()
+	flows := traffic.Uniform(n, 3*n, rand.New(rand.NewSource(13)))
+
+	runOnce := func(workers int) ([]obs.SeriesPoint, Stats) {
+		ser := obs.NewSeries(1) // 1 ns windows: one window per round
+		stats, err := RunSharded(tp, flows, WithSeries(ser), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ser.Points(), stats
+	}
+	p1, s1 := runOnce(1)
+	p2, s2 := runOnce(4)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("series points differ across worker counts:\n%v\n%v", p1, p2)
+	}
+	var delivered int64
+	for _, p := range p1 {
+		if p.Track == SeriesDelivered {
+			delivered += p.Sum
+		}
+	}
+	if delivered != int64(s1.Delivered) || s1.Delivered != s2.Delivered {
+		t.Errorf("delivered track sums to %d, run delivered %d", delivered, s1.Delivered)
+	}
+}
+
+func TestEngineTraceCoversTerminals(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	n := tp.Network().NumServers()
+	flows := traffic.Uniform(n, 2*n, rand.New(rand.NewSource(17)))
+	tr := obs.NewTracer(1 << 14)
+	stats, err := RunSharded(tp, flows, WithTrace(tr), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("trace ring wrapped; enlarge for this test")
+	}
+	terminal := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind == "deliver" || ev.Kind == "drop" {
+			terminal++
+		}
+	}
+	if want := stats.Delivered + stats.DroppedFailed + stats.DroppedTTL + stats.DroppedOverflow; terminal != want {
+		t.Errorf("%d terminal trace events, want %d", terminal, want)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 0, P: 2})
+	if _, err := RunSharded(tp, []traffic.Flow{{Src: 0, Dst: 99}}); err == nil {
+		t.Error("out-of-range flow accepted")
+	}
+	if _, err := RunSharded(tp, nil, WithTTL(0)); err == nil {
+		t.Error("zero TTL accepted")
+	}
+	if _, err := RunSharded(tp, nil, WithTTL(300)); err == nil {
+		t.Error("TTL beyond the packed hop byte accepted")
+	}
+	if _, err := RunSharded(tp, nil, WithShards(0)); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := RunSharded(tp, nil, WithRetryRounds(0)); err == nil {
+		t.Error("zero retry rounds accepted")
+	}
+	if _, err := RunSharded(tp, nil, WithFailedNodes(-1)); err == nil {
+		t.Error("out-of-range failed node accepted")
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	var r ring
+	r.buf = make([]slot, ringCap(3)) // rounds up to 4
+	if len(r.buf) != 4 {
+		t.Fatalf("ringCap(3) = %d, want 4", len(r.buf))
+	}
+	for i := 0; i < 4; i++ {
+		if !r.push(slot{id: int32(i)}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if r.push(slot{}) {
+		t.Error("push into full ring accepted")
+	}
+	if r.space() != 0 || r.len() != 4 {
+		t.Errorf("len/space = %d/%d, want 4/0", r.len(), r.space())
+	}
+	for i := 0; i < 4; i++ {
+		if got := r.pop(); got.id != int32(i) {
+			t.Fatalf("pop %d returned id %d (FIFO violated)", i, got.id)
+		}
+	}
+	// Wrap across the boundary a few times.
+	for i := 0; i < 10; i++ {
+		r.push(slot{id: int32(100 + i)})
+		if got := r.pop(); got.id != int32(100+i) {
+			t.Fatalf("wrap pop returned %d", got.id)
+		}
+	}
+}
+
+func benchSharded(b *testing.B, opts ...Option) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	rng := rand.New(rand.NewSource(1))
+	flows := traffic.Permutation(tp.Network().NumServers(), rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := RunSharded(tp, flows, opts...)
+		if err != nil || !stats.Accounted() {
+			b.Fatalf("stats %+v err %v", stats, err)
+		}
+	}
+}
+
+// BenchmarkShardedRun vs BenchmarkRunInstrumentationOff is the engine
+// comparison in miniature; vs BenchmarkShardedRunMetrics it pins that armed
+// metrics cost only the end-of-run fold.
+func BenchmarkShardedRun(b *testing.B) { benchSharded(b) }
+
+func BenchmarkShardedRunMetrics(b *testing.B) {
+	benchSharded(b, WithMetrics(obs.NewRegistry()))
+}

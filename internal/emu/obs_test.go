@@ -129,3 +129,42 @@ func BenchmarkRunInstrumentationOff(b *testing.B) { benchEmuRun(b) }
 func BenchmarkRunMetrics(b *testing.B) {
 	benchEmuRun(b, WithMetrics(obs.NewRegistry()))
 }
+
+// benchSendPath isolates the old engine's per-send cost: one sink node
+// whose loop drains the channel while the benchmark loop sends. The
+// armed-off variant pins that uninstrumented sends do no histogram work at
+// all — occupancy sampling exists only on the sendObserved path selected
+// once at boot, not as a branch inside the send loop.
+func benchSendPath(b *testing.B, armed bool) {
+	e := &emulator{
+		inbox:   []chan message{make(chan message, 1024)},
+		failed:  make([]bool, 1),
+		handled: make([]int64, 1),
+	}
+	if armed {
+		e.hInbox = obs.NewRegistry().Histogram(MetricInboxOccupancy)
+	}
+	e.sendFn = e.sendPlain
+	if e.hInbox != nil {
+		e.sendFn = e.sendObserved
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range e.inbox[0] {
+			e.inflight.Done()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.sendFn(0, message{kind: msgAck, from: 0})
+	}
+	e.inflight.Wait()
+	b.StopTimer()
+	close(e.inbox[0])
+	<-done
+}
+
+func BenchmarkSendPathArmedOff(b *testing.B) { benchSendPath(b, false) }
+func BenchmarkSendPathArmedOn(b *testing.B)  { benchSendPath(b, true) }

@@ -1,0 +1,81 @@
+package emu
+
+// slot is the wire format of the sharded engine: one message in a node's
+// ring-buffer inbox. It is deliberately 16 bytes — four bytes smaller than
+// the old engine's channel message — because every node owns a ring of
+// these and the serving emulator boots millions of nodes: slot size scales
+// the whole resident footprint (a 1M-server ABCCC with 64-slot rings is
+// ~1.4 GB of rings at 16 B/slot). The size is pinned by a regression test.
+//
+// Field use by kind:
+//
+//	slotHello: from = greeting node
+//	slotAck:   from = acknowledging node
+//	slotData:  dst = destination server node, id = packet id, hops = switch hops
+//	slotReq:   dst = backend server node, id = request index, from = client node
+//	slotResp:  dst = client server node, id = request index, from = backend node
+type slot struct {
+	dst  int32
+	id   int32
+	from int32
+	hops uint8
+	kind uint8
+	_    [2]byte
+}
+
+// Message kinds of the sharded engine. Hello/ack drive the discovery sweep;
+// data is the one-shot flow phase; req/resp are the serving workloads' RPC
+// legs (handled by the workload hooks at their destination server).
+const (
+	slotHello uint8 = iota + 1
+	slotAck
+	slotData
+	slotReq
+	slotResp
+)
+
+// ring is a power-of-two ring-buffer inbox. It is intentionally not
+// concurrency-safe: a node's ring is written and drained only by the shard
+// worker that owns the node (cross-shard senders go through outboxes flushed
+// at round barriers), so pushes and pops are plain loads and stores — no
+// atomics, no channel ops, no scheduler wakeups on the per-message path.
+type ring struct {
+	buf  []slot // len(buf) is a power of two
+	head uint32 // index of the oldest queued slot
+	n    uint32 // queued slots
+}
+
+// ringCap rounds capacity up to the next power of two (minimum 2) so the
+// ring can mask instead of mod.
+func ringCap(n int) int {
+	c := 2
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// push appends m, reporting false when the ring is full (the caller defers
+// or drops with accounting — the ring itself never loses a message).
+func (r *ring) push(m slot) bool {
+	if r.n == uint32(len(r.buf)) {
+		return false
+	}
+	r.buf[(r.head+r.n)&uint32(len(r.buf)-1)] = m
+	r.n++
+	return true
+}
+
+// pop removes and returns the oldest slot; callers check len first.
+func (r *ring) pop() slot {
+	m := r.buf[r.head&uint32(len(r.buf)-1)]
+	r.head++
+	r.n--
+	return m
+}
+
+// len returns the number of queued slots.
+func (r *ring) len() int { return int(r.n) }
+
+// space returns the number of free slots.
+func (r *ring) space() int { return len(r.buf) - int(r.n) }

@@ -1,0 +1,21 @@
+package emu
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The emulators boot one inbox per node, so the wire-format struct sizes
+// directly scale resident memory at the 100k–1M-server scales the engines
+// target. Packing message from 32 to 20 bytes measurably sped the goroutine
+// engine up, and slot was designed at 16 bytes for the same reason; these
+// pins make any silent regrowth (field reordering, a widened field, an added
+// pointer) a test failure with an explicit decision attached.
+func TestWireStructSizes(t *testing.T) {
+	if got := unsafe.Sizeof(message{}); got != 20 {
+		t.Errorf("message size = %d bytes, want 20 (packed layout regressed)", got)
+	}
+	if got := unsafe.Sizeof(slot{}); got != 16 {
+		t.Errorf("slot size = %d bytes, want 16 (packed layout regressed)", got)
+	}
+}

@@ -1,0 +1,407 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/traffic"
+)
+
+// This file is the serving-workload layer on top of the sharded actor
+// engine: production-shaped clients that exercise the fabric with
+// application traffic — request/response RPC fan-out with deadlines and
+// retries, partition-aggregate incast, and storage shuffle — instead of the
+// one-shot synthetic flows RunSharded injects. Clients are closed-loop and
+// co-located at server nodes; all of a request's client-side state lives on
+// the shard that owns its client node, so the workload adds no shared
+// mutable state to the engine's concurrency story.
+
+// WorkloadKind selects a client pattern.
+type WorkloadKind int
+
+const (
+	// RPCFanout is a request/response serving workload: each request is
+	// scattered from a random client to Fanout distinct random backends,
+	// which respond immediately; the request completes when every response
+	// is back, times out past DeadlineRounds, and is retried (unanswered
+	// legs only) up to RetryBudget times.
+	RPCFanout WorkloadKind = iota
+	// IncastWave is partition-aggregate: one client scatters every request
+	// to the same Fanout senders, whose synchronized responses converge on
+	// the client — the classic incast wave. Waves run with concurrency 1.
+	IncastWave
+	// StorageShuffle is a MapReduce shuffle: Mappers×Reducers one-way chunk
+	// transfers drawn from traffic.Shuffle, admitted under backpressure.
+	StorageShuffle
+)
+
+// String names the kind for reports.
+func (k WorkloadKind) String() string {
+	switch k {
+	case RPCFanout:
+		return "rpc"
+	case IncastWave:
+		return "incast"
+	case StorageShuffle:
+		return "shuffle"
+	}
+	return fmt.Sprintf("workload(%d)", int(k))
+}
+
+// Workload parameterizes a serving run. All randomness derives from Seed, so
+// runs are reproducible; request endpoints come from the traffic generators
+// (Uniform for RPC clients, Incast for wave senders, Shuffle for chunks).
+type Workload struct {
+	Kind WorkloadKind
+	// Requests is the request count (RPC) or wave count (incast). Ignored
+	// by shuffle, whose chunk count is Mappers*Reducers.
+	Requests int
+	// Fanout is backends per RPC request / senders per incast wave.
+	Fanout int
+	// Mappers and Reducers size the shuffle.
+	Mappers, Reducers int
+	// DeadlineRounds is the per-attempt deadline in engine rounds
+	// (default 4x the TTL — a round bounds one queue traversal, so this
+	// comfortably covers a request/response round trip plus queueing).
+	DeadlineRounds int
+	// RetryBudget is how many times a timed-out request is re-attempted
+	// (unanswered legs only) before it is abandoned. 0 means no retries.
+	RetryBudget int
+	// Concurrency caps requests in flight per shard (closed loop);
+	// default 8, forced to 1 for incast.
+	Concurrency int
+	Seed        int64
+}
+
+// WorkloadStats extends the engine accounting with request-level outcomes.
+// The message-level Stats include the workload's traffic: every request leg
+// (retries included) and every response counts as one injected message, so
+// Accounted still audits conservation end to end.
+type WorkloadStats struct {
+	Stats
+	// Requests counts requests issued (waves for incast, chunks for
+	// shuffle); Completed those that gathered every response in time,
+	// TimedOut those abandoned after the retry budget.
+	Requests, Completed, TimedOut int
+	// RetriesSent counts re-attempts after per-request deadlines expired.
+	RetriesSent int
+	// MaxLatencyRounds / LatencyHistogram describe completed requests'
+	// issue-to-last-response latency in rounds; LatencyHistogram[r] counts
+	// requests that completed in r rounds.
+	MaxLatencyRounds int
+	LatencyHistogram []int
+}
+
+// request is one RPC/incast request. Leg arrays live in flat per-run slices
+// (see workloadRun) so a million requests are three allocations, not three
+// million.
+type request struct {
+	client    int32
+	remaining int32 // unanswered legs; -1 once completed or abandoned
+	attempt   int32 // attempts used (1 on first issue)
+	issued    int64 // round of first issue
+	deadline  int64 // round the current attempt expires
+}
+
+// dlEntry is one deadline-FIFO entry. Deadlines are monotone in insertion
+// order (every entry is round+DeadlineRounds at insertion), so expiry checks
+// pop from the head; entries whose request completed or re-armed since are
+// stale and skipped.
+type dlEntry struct {
+	req      int32
+	deadline int64
+}
+
+// workloadRun is the shared, immutable-after-boot request table. Mutable
+// request state is only ever touched by the shard owning the client node.
+type workloadRun struct {
+	w        Workload
+	reqs     []request
+	backends []int32 // flat: request i's legs at [i*Fanout, (i+1)*Fanout)
+	done     []bool  // flat leg flags, same indexing
+	fanout   int
+}
+
+// shardApp is one shard's slice of the workload: the requests whose client
+// it owns, in global issue order.
+type shardApp struct {
+	run      *workloadRun
+	order    []int32 // owned request indices, ascending
+	next     int     // first unissued entry of order
+	inflight int     // issued, not yet completed/abandoned
+	dl       []dlEntry
+	dlHead   int
+	maxIn    int
+
+	completed, timedOut, retries int64
+	latHist                      []int64
+}
+
+// RunWorkload executes a serving workload on the sharded engine: the
+// discovery sweep first, then closed-loop clients until every request has
+// completed or exhausted its retry budget (shuffle: until every chunk is
+// delivered or dropped).
+func RunWorkload(t Forwarder, w Workload, opts ...Option) (WorkloadStats, error) {
+	if w.Kind == StorageShuffle {
+		return runShuffle(t, w, opts)
+	}
+
+	run := &workloadRun{w: w}
+	hooks := engineHooks{
+		deliver:  func(s *shard, node int32, m slot) { workloadDeliver(s, node, m) },
+		tick:     func(s *shard, round int64) { s.app.tick(s, round) },
+		pending:  func(s *shard) int64 { return int64(len(s.app.order)-s.app.next) + int64(s.app.inflight) },
+		nextTick: func(s *shard) int64 { return s.app.nextTick() },
+	}
+	e, err := newEngine(t, hooks, opts)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	if w.DeadlineRounds <= 0 {
+		run.w.DeadlineRounds = 4 * e.ttl
+	}
+	if w.Concurrency <= 0 {
+		run.w.Concurrency = 8
+	}
+	if w.Kind == IncastWave {
+		run.w.Concurrency = 1 // waves are sequential by definition
+	}
+	if err := run.generate(e); err != nil {
+		return WorkloadStats{}, err
+	}
+
+	// Partition requests by client-node shard, preserving global order.
+	apps := make([]*shardApp, len(e.shards))
+	for i, s := range e.shards {
+		apps[i] = &shardApp{run: run, maxIn: run.w.Concurrency}
+		s.app = apps[i]
+	}
+	for i := range run.reqs {
+		sh := e.shardOf[run.reqs[i].client]
+		apps[sh].order = append(apps[sh].order, int32(i))
+	}
+
+	stats, err := e.run(0)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	out := WorkloadStats{Stats: stats, Requests: len(run.reqs)}
+	for _, a := range apps {
+		out.Completed += int(a.completed)
+		out.TimedOut += int(a.timedOut)
+		out.RetriesSent += int(a.retries)
+		for r, c := range a.latHist {
+			if c == 0 {
+				continue
+			}
+			if r > out.MaxLatencyRounds {
+				out.MaxLatencyRounds = r
+			}
+			for r >= len(out.LatencyHistogram) {
+				out.LatencyHistogram = append(out.LatencyHistogram, 0)
+			}
+			out.LatencyHistogram[r] += int(c)
+		}
+	}
+	return out, nil
+}
+
+// runShuffle maps the shuffle onto the engine's one-shot flow path: chunks
+// are plain data packets admitted under injection backpressure, with no
+// response leg, so the engine's flow machinery is exactly the right tool.
+func runShuffle(t Forwarder, w Workload, opts []Option) (WorkloadStats, error) {
+	if w.Mappers < 1 || w.Reducers < 1 {
+		return WorkloadStats{}, fmt.Errorf("emu: shuffle needs mappers and reducers")
+	}
+	e, err := newEngine(t, engineHooks{}, opts)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	flows, err := traffic.Shuffle(len(e.servers), w.Mappers, w.Reducers, rng)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	if err := e.loadFlows(flows); err != nil {
+		return WorkloadStats{}, err
+	}
+	stats, err := e.run(len(flows))
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	return WorkloadStats{Stats: stats, Requests: len(flows), Completed: stats.Delivered}, nil
+}
+
+// generate builds the request table from the traffic generators.
+func (run *workloadRun) generate(e *engine) error {
+	w := run.w
+	n := len(e.servers)
+	if w.Requests < 1 {
+		return fmt.Errorf("emu: workload needs at least one request")
+	}
+	if w.Fanout < 1 || w.Fanout > n-1 {
+		return fmt.Errorf("emu: fanout %d out of range for %d servers", w.Fanout, n)
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	run.fanout = w.Fanout
+	run.reqs = make([]request, w.Requests)
+	run.backends = make([]int32, w.Requests*w.Fanout)
+	run.done = make([]bool, w.Requests*w.Fanout)
+
+	switch w.Kind {
+	case RPCFanout:
+		// Uniform picks each request's client (Src) and first backend (Dst);
+		// the remaining legs are distinct uniform picks avoiding the client.
+		pairs := traffic.Uniform(n, w.Requests, rng)
+		for i, p := range pairs {
+			run.reqs[i].client = int32(e.servers[p.Src])
+			legs := run.backends[i*w.Fanout : (i+1)*w.Fanout]
+			legs[0] = int32(e.servers[p.Dst])
+			for j := 1; j < w.Fanout; j++ {
+				b := rng.Intn(n - 1)
+				if b >= p.Src {
+					b++ // never call yourself
+				}
+				legs[j] = int32(e.servers[b])
+			}
+		}
+	case IncastWave:
+		// One client (the incast target), the same sender set every wave.
+		target := rng.Intn(n)
+		flows, err := traffic.Incast(n, target, w.Fanout, rng)
+		if err != nil {
+			return err
+		}
+		client := int32(e.servers[target])
+		for i := range run.reqs {
+			run.reqs[i].client = client
+			legs := run.backends[i*w.Fanout : (i+1)*w.Fanout]
+			for j, f := range flows {
+				legs[j] = int32(e.servers[f.Src])
+			}
+		}
+	default:
+		return fmt.Errorf("emu: unknown workload kind %v", w.Kind)
+	}
+	return nil
+}
+
+// tick runs on the owning shard each round: expire deadlines, retry or
+// abandon, and issue new requests up to the concurrency cap.
+func (a *shardApp) tick(s *shard, round int64) {
+	run := a.run
+	// Expire: the FIFO head has the earliest live deadline.
+	for a.dlHead < len(a.dl) {
+		ent := a.dl[a.dlHead]
+		if ent.deadline > round {
+			break
+		}
+		a.dlHead++
+		r := &run.reqs[ent.req]
+		if r.remaining < 0 || r.deadline != ent.deadline {
+			continue // completed, abandoned, or re-armed since
+		}
+		if int(r.attempt) > run.w.RetryBudget {
+			r.remaining = -1
+			a.inflight--
+			a.timedOut++
+			continue
+		}
+		r.attempt++
+		a.retries++
+		a.rearm(s, ent.req, round, true)
+	}
+	if a.dlHead == len(a.dl) {
+		a.dl = a.dl[:0]
+		a.dlHead = 0
+	}
+	// Issue: closed loop up to the cap.
+	for a.inflight < a.maxIn && a.next < len(a.order) {
+		ri := a.order[a.next]
+		a.next++
+		a.inflight++
+		r := &run.reqs[ri]
+		r.remaining = int32(run.fanout)
+		r.attempt = 1
+		r.issued = round
+		a.rearm(s, ri, round, false)
+	}
+}
+
+// rearm sends the request's unanswered legs (all of them on first issue) and
+// schedules its next deadline. Legs enter the network at the client node —
+// one queue pass there models send-side serialization — and each send is an
+// accounted injection.
+func (a *shardApp) rearm(s *shard, ri int32, round int64, retryOnly bool) {
+	run := a.run
+	r := &run.reqs[ri]
+	lo := int(ri) * run.fanout
+	for j := 0; j < run.fanout; j++ {
+		if retryOnly && run.done[lo+j] {
+			continue
+		}
+		s.appInjected++
+		s.send(r.client, slot{
+			kind: slotReq,
+			dst:  run.backends[lo+j],
+			from: r.client,
+			id:   ri,
+		})
+	}
+	r.deadline = round + int64(run.w.DeadlineRounds)
+	a.dl = append(a.dl, dlEntry{req: ri, deadline: r.deadline})
+}
+
+// nextTick reports the earliest round this shard's clients need the engine
+// to run even if the network is idle: immediately if requests can be issued,
+// else the earliest live deadline.
+func (a *shardApp) nextTick() int64 {
+	if a.inflight < a.maxIn && a.next < len(a.order) {
+		return 0 // issue on the very next round
+	}
+	for i := a.dlHead; i < len(a.dl); i++ {
+		ent := a.dl[i]
+		r := &a.run.reqs[ent.req]
+		if r.remaining >= 0 && r.deadline == ent.deadline {
+			return ent.deadline
+		}
+	}
+	return math.MaxInt64
+}
+
+// workloadDeliver runs on the destination node's shard when a req or resp
+// arrives. Backends respond from their own node (one queue pass = service
+// time); clients retire legs and complete or ignore-late.
+func workloadDeliver(s *shard, node int32, m slot) {
+	switch m.kind {
+	case slotReq:
+		s.appInjected++
+		s.send(node, slot{kind: slotResp, dst: m.from, from: node, id: m.id})
+	case slotResp:
+		a := s.app
+		run := a.run
+		r := &run.reqs[m.id]
+		if r.remaining < 0 {
+			return // late response after completion or abandonment
+		}
+		lo := int(m.id) * run.fanout
+		for j := 0; j < run.fanout; j++ {
+			if run.backends[lo+j] == m.from && !run.done[lo+j] {
+				run.done[lo+j] = true
+				r.remaining--
+				break
+			}
+		}
+		if r.remaining == 0 {
+			r.remaining = -1
+			a.inflight--
+			a.completed++
+			lat := s.round - r.issued
+			for int(lat) >= len(a.latHist) {
+				a.latHist = append(a.latHist, 0)
+			}
+			a.latHist[lat]++
+		}
+	}
+}

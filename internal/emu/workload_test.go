@@ -1,0 +1,211 @@
+package emu
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func TestWorkloadRPCHealthyCompletesEverything(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	ws, err := RunWorkload(tp, Workload{
+		Kind: RPCFanout, Requests: 60, Fanout: 3, RetryBudget: 1, Seed: 21,
+	}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Completed != ws.Requests || ws.TimedOut != 0 {
+		t.Errorf("healthy RPC: %d/%d completed, %d timed out", ws.Completed, ws.Requests, ws.TimedOut)
+	}
+	if !ws.Accounted() {
+		t.Errorf("unaccounted serving run: %+v", ws.Stats)
+	}
+	// Every leg and every response is a delivered message on a healthy net.
+	if want := 2 * ws.Requests * 3; ws.Delivered != want {
+		t.Errorf("delivered %d messages, want %d (legs + responses)", ws.Delivered, want)
+	}
+	total := 0
+	for _, c := range ws.LatencyHistogram {
+		total += c
+	}
+	if total != ws.Completed {
+		t.Errorf("latency histogram sums to %d, completed %d", total, ws.Completed)
+	}
+	if ws.MaxLatencyRounds < 1 {
+		t.Errorf("completed requests report latency %d rounds", ws.MaxLatencyRounds)
+	}
+}
+
+// TestWorkloadRPCDeterministic pins seeded reproducibility across worker
+// counts — the property that makes the serving benchmarks comparable.
+func TestWorkloadRPCDeterministic(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	w := Workload{Kind: RPCFanout, Requests: 40, Fanout: 2, RetryBudget: 1, Seed: 5}
+	a, err := RunWorkload(tp, w, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(tp, w, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.TimedOut != b.TimedOut ||
+		a.Delivered != b.Delivered || a.MaxLatencyRounds != b.MaxLatencyRounds {
+		t.Errorf("worker count changed the run: %+v vs %+v", a, b)
+	}
+}
+
+// TestWorkloadRPCDeadBackendsTimeOut kills servers so that some requests
+// have dead backends: those must exhaust their retry budget and be counted
+// timed out, with message conservation intact (retried legs are fresh
+// injections that end as failed-node drops).
+func TestWorkloadRPCDeadBackendsTimeOut(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	net := tp.Network()
+	servers := net.Servers()
+	var dead []int
+	for i := 0; i < len(servers); i += 2 {
+		dead = append(dead, servers[i]) // kill half the fleet
+	}
+	reg := obs.NewRegistry()
+	ws, err := RunWorkload(tp, Workload{
+		Kind: RPCFanout, Requests: 40, Fanout: 3, RetryBudget: 1, Seed: 31,
+	}, WithFailedNodes(dead...), WithWorkers(2), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Completed+ws.TimedOut != ws.Requests {
+		t.Errorf("requests unaccounted: %d completed + %d timed out != %d",
+			ws.Completed, ws.TimedOut, ws.Requests)
+	}
+	if ws.TimedOut == 0 {
+		t.Error("half the fleet is dead but nothing timed out")
+	}
+	if ws.RetriesSent == 0 {
+		t.Error("timeouts with a retry budget produced no retries")
+	}
+	if !ws.Accounted() {
+		t.Errorf("message conservation broken: %+v", ws.Stats)
+	}
+	if got := reg.Counter(MetricDroppedFailed).Value(); got != int64(ws.DroppedFailed) {
+		t.Errorf("registry failed drops %d, stats %d", got, ws.DroppedFailed)
+	}
+}
+
+// Requests issued from a dead client never complete; their legs die at the
+// client node itself and the deadline machinery must still retire them.
+func TestWorkloadRPCDeadClientStillRetires(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 1, P: 2})
+	net := tp.Network()
+	dead := append([]int(nil), net.Servers()...) // everything dead
+	ws, err := RunWorkload(tp, Workload{
+		Kind: RPCFanout, Requests: 10, Fanout: 2, Seed: 3, DeadlineRounds: 8,
+	}, WithFailedNodes(dead...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Completed != 0 || ws.TimedOut != ws.Requests {
+		t.Errorf("dead fleet: %+v", ws)
+	}
+	if !ws.Accounted() {
+		t.Errorf("unaccounted: %+v", ws.Stats)
+	}
+}
+
+func TestWorkloadIncastWaves(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	n := tp.Network().NumServers()
+	ws, err := RunWorkload(tp, Workload{
+		Kind: IncastWave, Requests: 5, Fanout: n - 1, RetryBudget: 2, Seed: 8,
+	}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Completed+ws.TimedOut != ws.Requests {
+		t.Errorf("waves unaccounted: %+v", ws)
+	}
+	if !ws.Accounted() {
+		t.Errorf("message conservation broken: %+v", ws.Stats)
+	}
+	// Default rings absorb this fan-in on a healthy fabric.
+	if ws.Completed != ws.Requests {
+		t.Errorf("healthy incast: %d/%d waves completed", ws.Completed, ws.Requests)
+	}
+}
+
+// TestWorkloadIncastStarvedRings pins the interesting incast regime: rings
+// far smaller than the fan-in force overflow drops on the response wave, the
+// retry budget recovers some waves, and conservation still holds.
+func TestWorkloadIncastStarvedRings(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	n := tp.Network().NumServers()
+	ws, err := RunWorkload(tp, Workload{
+		Kind: IncastWave, Requests: 4, Fanout: n - 1, RetryBudget: 1, Seed: 8,
+		DeadlineRounds: 64,
+	}, WithInboxSize(2), WithRetryRounds(2), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Completed+ws.TimedOut != ws.Requests {
+		t.Errorf("waves unaccounted: %+v", ws)
+	}
+	if !ws.Accounted() {
+		t.Errorf("message conservation broken under incast saturation: %+v", ws.Stats)
+	}
+	if ws.DroppedOverflow == 0 {
+		t.Errorf("2-slot rings under %d-way incast dropped nothing: %+v", n-1, ws.Stats)
+	}
+}
+
+func TestWorkloadShuffleDeliversAllChunks(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	ws, err := RunWorkload(tp, Workload{
+		Kind: StorageShuffle, Mappers: 6, Reducers: 4, Seed: 12,
+	}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Requests != 6*4 {
+		t.Fatalf("shuffle generated %d chunks, want 24", ws.Requests)
+	}
+	if ws.Completed != ws.Requests || !ws.Accounted() {
+		t.Errorf("shuffle run: %+v", ws)
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	tp := core.MustBuild(core.Config{N: 2, K: 0, P: 2})
+	if _, err := RunWorkload(tp, Workload{Kind: RPCFanout, Requests: 0, Fanout: 1}); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if _, err := RunWorkload(tp, Workload{Kind: RPCFanout, Requests: 1, Fanout: 99}); err == nil {
+		t.Error("fanout beyond the fleet accepted")
+	}
+	if _, err := RunWorkload(tp, Workload{Kind: StorageShuffle}); err == nil {
+		t.Error("shuffle without mappers/reducers accepted")
+	}
+	if _, err := RunWorkload(tp, Workload{Kind: WorkloadKind(99), Requests: 1, Fanout: 1}); err == nil {
+		t.Error("unknown workload kind accepted")
+	}
+}
+
+// TestWorkloadKindNames keeps the report labels stable — benchsuite encodes
+// them into BENCH json rows.
+func TestWorkloadKindNames(t *testing.T) {
+	names := map[WorkloadKind]string{RPCFanout: "rpc", IncastWave: "incast", StorageShuffle: "shuffle"}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("kind %d named %q, want %q", int(k), got, want)
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for _, v := range names {
+		sorted = append(sorted, v)
+	}
+	sort.Strings(sorted)
+	if len(sorted) != 3 {
+		t.Fatal("workload kinds changed; update benchsuite")
+	}
+}

@@ -65,6 +65,7 @@ var experimentRegistry = sync.OnceValue(func() *registry {
 		{ID: "F26", Title: "Recovery timeline: goodput through a switch burst and repair", Run: F26RecoveryTimeline},
 		{ID: "F27", Title: "Graceful degradation: goodput vs permanent switch failures, reactive vs multipath", Run: F27GracefulDegradation},
 		{ID: "F28", Title: "Sharded engine equivalence: shuffle results across shard counts", Run: F28ShardScaling},
+		{ID: "F29", Title: "Serving workloads on the actor engine: RPC fan-out, incast, shuffle", Run: F29ServingWorkloads},
 	}
 	byID := make(map[string]Experiment, len(list))
 	for _, e := range list {

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServingWorkloadsAccounted pins F29's audit column: every scenario —
+// healthy, dead servers, starved rings — must conserve messages end to end.
+// A single "false" cell means workload traffic leaked out of the accounting.
+func TestServingWorkloadsAccounted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := F29ServingWorkloads(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "false") {
+		t.Errorf("a serving scenario broke message conservation:\n%s", out)
+	}
+	for _, want := range []string{"rpc fanout=4 healthy", "servers dead", "incast", "4-slot rings", "shuffle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q scenario:\n%s", want, out)
+		}
+	}
+}
+
+// TestServingWorkloadsDeterministic: same seeds, byte-identical table.
+func TestServingWorkloadsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := F29ServingWorkloads(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := F29ServingWorkloads(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two F29 runs differ byte-for-byte")
+	}
+}

@@ -85,6 +85,31 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// ObserveN records n identical observations of v in one shot: three atomic
+// adds plus the min/max races, however large n is. Batched engines fold
+// per-shard tallies locally and flush them here at merge time, so an armed
+// histogram costs nothing on their per-message path. n <= 0 records nothing.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * n)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
 // Bucket is one non-empty histogram bucket: Count observations fell in the
 // value range [Lo, Hi].
 type Bucket struct {

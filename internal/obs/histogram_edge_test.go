@@ -73,3 +73,38 @@ func TestHistogramAllOneBucket(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramObserveN pins that a batched fold is indistinguishable from
+// the equivalent sequence of single observations, and that the degenerate
+// calls (nil receiver, non-positive count) record nothing.
+func TestHistogramObserveN(t *testing.T) {
+	single := NewHistogram()
+	batched := NewHistogram()
+	folds := map[int64]int64{0: 2, 1: 3, 7: 5, 4096: 1, 1 << 40: 4}
+	for v, n := range folds {
+		for i := int64(0); i < n; i++ {
+			single.Observe(v)
+		}
+		batched.ObserveN(v, n)
+	}
+	a, b := single.Snapshot(), batched.Snapshot()
+	if a.Count != b.Count || a.Sum != b.Sum || a.Min != b.Min || a.Max != b.Max {
+		t.Errorf("batched snapshot %+v, single %+v", b, a)
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		t.Fatalf("bucket shapes differ: %v vs %v", a.Buckets, b.Buckets)
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			t.Errorf("bucket %d: batched %+v, single %+v", i, b.Buckets[i], a.Buckets[i])
+		}
+	}
+
+	(*Histogram)(nil).ObserveN(5, 10) // must not panic
+	empty := NewHistogram()
+	empty.ObserveN(5, 0)
+	empty.ObserveN(5, -3)
+	if s := empty.Snapshot(); s.Count != 0 {
+		t.Errorf("non-positive n recorded %d observations", s.Count)
+	}
+}

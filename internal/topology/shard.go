@@ -10,12 +10,20 @@ type Sharder interface {
 	ShardOf(id, s int) int
 }
 
+// Networked is the minimal surface ShardNodes needs from a built structure.
+// It is satisfied by topology.Topology and by the emulator's Forwarder
+// alike, so every engine that partitions work by locality can reuse the same
+// cuts.
+type Networked interface {
+	Network() *Network
+}
+
 // ShardNodes partitions every node of t's network into s shards and returns
 // the node-indexed shard table. Structures implementing Sharder choose their
 // own cut; everything else falls back to contiguous node-id blocks, which
 // already follows locality for the constructors in this repository (they add
 // nodes crossbar by crossbar / pod by pod). s is clamped to [1, NumNodes].
-func ShardNodes(t Topology, s int) []int32 {
+func ShardNodes(t Networked, s int) []int32 {
 	n := t.Network().Graph().NumNodes()
 	if s < 1 {
 		s = 1
