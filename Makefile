@@ -22,12 +22,16 @@
 #                goroutine oracle on small configs, then check 1k-server
 #                serving throughput against the committed BENCH_emu_smoke.json
 #                baseline (generous threshold; CI machines are noisy)
+#   make svc-smoke  validate and statically analyze the committed 3-tier
+#                service graph through cmd/simulate, run it under a switch
+#                outage, and re-check the smoke-scale F30 retry-storm grid
+#                for byte determinism
 #   make check   everything a PR must pass locally
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke obsreport-smoke emu-smoke check
+.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke obsreport-smoke emu-smoke svc-smoke check
 
 build:
 	$(GO) build ./...
@@ -38,8 +42,11 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The experiments package replays whole figures under the race detector;
+# on a small CI machine that can blow go test's default 10m per-package
+# timeout, so the budget is explicit.
 race:
-	$(GO) test -race ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq ./internal/failure ./internal/bcube ./internal/topotest
+	$(GO) test -race -timeout 30m ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq ./internal/failure ./internal/svc ./internal/bcube ./internal/topotest
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
@@ -62,6 +69,7 @@ fuzz-smoke:
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzFaultPlanConservation -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzMultipathConservation -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/packetsim -run XXX -fuzz FuzzShardConservation -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/svc -run XXX -fuzz FuzzSvcConservation -fuzztime $(FUZZTIME)
 
 # Equivalence first (the engines must agree message-for-message on
 # overflow-free configs), then throughput: a fresh 1k sweep must not lose
@@ -75,9 +83,19 @@ emu-smoke:
 # the failure path: malformed JSONL must exit nonzero.
 obsreport-smoke:
 	$(GO) run ./cmd/obsreport cmd/obsreport/testdata/f26.jsonl.gz
+	$(GO) run ./cmd/obsreport cmd/obsreport/testdata/svc.jsonl.gz
 	$(GO) run ./cmd/obsreport -html /tmp/obsreport-smoke.html cmd/obsreport/testdata/f26.jsonl.gz
 	$(GO) run ./cmd/obsreport -diff cmd/obsreport/testdata/f26.jsonl.gz cmd/obsreport/testdata/mini.jsonl
 	printf '{not json\n' > /tmp/obsreport-smoke-bad.jsonl
 	! $(GO) run ./cmd/obsreport /tmp/obsreport-smoke-bad.jsonl 2>/dev/null
+
+# The committed 3-tier graph must validate and analyze through the CLI, run
+# under a one-switch outage with a fault timeline, and the smoke-scale F30
+# grid must reproduce byte for byte.
+svc-smoke:
+	$(GO) run ./cmd/simulate -topo abccc -sim svc -graph internal/svc/testdata/3tier.json -policy none -requests 1
+	$(GO) run ./cmd/simulate -topo abccc -sim svc -graph 3tier -policy throttle -rate 4000 -deadline 60ms -requests 80 \
+		-faults switches -mtbf 5ms -mttr 20ms
+	$(GO) test ./internal/experiments -run TestRetryStormSmokeDeterministic -count=1
 
 check: build vet test race

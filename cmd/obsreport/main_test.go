@@ -15,30 +15,41 @@ import (
 )
 
 // -update regenerates testdata: the f26.jsonl.gz fixture (re-running the F26
-// smoke scenario via experiments.WriteRecoveryRun) and every golden file.
-// Shard busy/wait numbers are wall-clock, so regeneration rewrites fixture
-// and goldens together; committed, the pair is byte-stable.
+// smoke scenario via experiments.WriteRecoveryRun), the svc.jsonl.gz fixture
+// (the F30 smoke cell via experiments.WriteRetryStormRun), and every golden
+// file. Shard busy/wait numbers are wall-clock, so regeneration rewrites
+// fixture and goldens together; committed, the pair is byte-stable.
 var update = flag.Bool("update", false, "regenerate testdata fixtures and golden files")
 
-const fixture = "testdata/f26.jsonl.gz"
+const (
+	fixture    = "testdata/f26.jsonl.gz"
+	svcFixture = "testdata/svc.jsonl.gz"
+)
 
 func TestMain(m *testing.M) {
 	flag.Parse()
 	if *update {
-		if err := regenFixture(); err != nil {
-			fmt.Fprintln(os.Stderr, "regenerate fixture:", err)
+		if err := regenFixtures(); err != nil {
+			fmt.Fprintln(os.Stderr, "regenerate fixtures:", err)
 			os.Exit(1)
 		}
 	}
 	os.Exit(m.Run())
 }
 
-func regenFixture() error {
-	var raw bytes.Buffer
-	if err := experiments.WriteRecoveryRun(&raw); err != nil {
+func regenFixtures() error {
+	if err := writeGzFixture(fixture, experiments.WriteRecoveryRun); err != nil {
 		return err
 	}
-	f, err := os.Create(fixture)
+	return writeGzFixture(svcFixture, experiments.WriteRetryStormRun)
+}
+
+func writeGzFixture(path string, write func(io.Writer) error) error {
+	var raw bytes.Buffer
+	if err := write(&raw); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -87,6 +98,25 @@ func TestTerminalGolden(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 	golden(t, "f26.txt", out.Bytes())
+}
+
+// TestSvcTerminalGolden pins the generic-track fallback: a service-layer run
+// record carries only svc_* tracks the report has no dedicated columns for,
+// so the timeline renders one raw-named column per track.
+func TestSvcTerminalGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{svcFixture}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"engine=svc", "svc_offered_req", "svc_ok_storage"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("svc report missing %q", want)
+		}
+	}
+	if strings.Contains(out.String(), "goodput(Gb/s)") {
+		t.Error("svc report used the packet-track columns instead of the generic fallback")
+	}
+	golden(t, "svc.txt", out.Bytes())
 }
 
 func TestHTMLGolden(t *testing.T) {

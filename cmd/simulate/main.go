@@ -7,6 +7,7 @@
 //	simulate -topo bcube -n 4 -k 2 -pattern shuffle -sim packet
 //	simulate -topo fattree -k 4 -pattern alltoall -sim flow
 //	simulate -topo abccc -n 8 -k 2 -sim emu -workload rpc -requests 1024
+//	simulate -topo abccc -sim svc -graph 3tier -policy throttle -faults switches -mtbf 5ms
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/obs"
 	"repro/internal/packetsim"
+	"repro/internal/svc"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -48,7 +50,7 @@ func run(args []string, w io.Writer) error {
 		k       = fs.Int("k", 1, "order (or fat-tree port count)")
 		p       = fs.Int("p", 2, "NIC ports per server (abccc)")
 		pattern = fs.String("pattern", "permutation", "workload: permutation|alltoall|uniform|incast|shuffle|hotspot")
-		sim     = fs.String("sim", "flow", "simulator: flow|packet|transport|emu (sharded actor emulator)")
+		sim     = fs.String("sim", "flow", "simulator: flow|packet|transport|emu (sharded actor emulator)|svc (service dependency graph)")
 		seed    = fs.Int64("seed", 1, "workload seed")
 		count   = fs.Int("count", 0, "flow count for uniform/hotspot (default: one per server)")
 		load    = fs.String("load", "", "replay a JSONL workload trace instead of -pattern")
@@ -67,17 +69,21 @@ func run(args []string, w io.Writer) error {
 		serWin  = fs.Duration("series-window", time.Millisecond, "window width for -series")
 		profSh  = fs.Bool("profile-shards", false, "record per-shard busy/wait runtime windows into the -series run record (requires -shards and -series)")
 		emuWl   = fs.String("workload", "rpc", "with -sim emu, serving workload: rpc|incast|shuffle, or flows to inject the -pattern workload one-shot")
-		reqs    = fs.Int("requests", 256, "with -sim emu, request count (rpc) or wave count (incast)")
+		reqs    = fs.Int("requests", 256, "with -sim emu/svc, request count (rpc/svc) or wave count (incast)")
 		fanout  = fs.Int("fanout", 4, "with -sim emu, RPC fan-out degree / incast fan-in")
 		retries = fs.Int("retries", 1, "with -sim emu, retry budget after a missed deadline")
+		graphFl = fs.String("graph", "3tier", "with -sim svc, service graph: 3tier|chain|diamond or a JSON graph file")
+		policy  = fs.String("policy", "fixed", "with -sim svc, retry mitigation policy: none|fixed|throttle|hedge")
+		rate    = fs.Float64("rate", 2000, "with -sim svc, root request arrival rate per second")
+		deadln  = fs.Duration("deadline", 50*time.Millisecond, "with -sim svc, end-to-end request deadline")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if (*mpath || *paths != 0) && *sim != "transport" {
-		return fmt.Errorf("-multipath/-paths require -sim transport")
+	if (*mpath || *paths != 0) && *sim != "transport" && *sim != "svc" {
+		return fmt.Errorf("-multipath/-paths require -sim transport or svc")
 	}
 	if *paths != 0 && !*mpath {
 		return fmt.Errorf("-paths requires -multipath")
@@ -85,8 +91,8 @@ func run(args []string, w io.Writer) error {
 	if *mpath && *faults == "" {
 		return fmt.Errorf("-multipath requires -faults (the proactive layer only arms under a fault plan)")
 	}
-	if (*shards != 0 || *workers != 0) && *sim == "flow" {
-		return fmt.Errorf("-shards/-workers require -sim packet or transport")
+	if (*shards != 0 || *workers != 0) && (*sim == "flow" || *sim == "svc") {
+		return fmt.Errorf("-shards/-workers require -sim packet, transport or emu (the service layer runs on the serial engine)")
 	}
 	if *workers != 0 && *shards == 0 {
 		return fmt.Errorf("-workers requires -shards")
@@ -95,7 +101,13 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-trace with -shards needs -workers 1 (parallel drains interleave trace records nondeterministically)")
 	}
 	if *series != "" && *sim == "flow" {
-		return fmt.Errorf("-series requires -sim packet, transport or emu (the flow model has no notion of time)")
+		return fmt.Errorf("-series requires -sim packet, transport, emu or svc (the flow model has no notion of time)")
+	}
+	if *sim == "svc" && *trace != "" {
+		return fmt.Errorf("-trace records per-packet hops; -sim svc reports at the service layer (use -series)")
+	}
+	if *sim == "svc" && (*load != "" || *save != "") {
+		return fmt.Errorf("-load/-save apply to flow workloads; -sim svc derives its traffic from the call graph")
 	}
 	if *faults != "" && *sim == "emu" {
 		return fmt.Errorf("-faults drives the packet simulators' event queues; the emulator takes static dead devices instead")
@@ -114,7 +126,11 @@ func run(args []string, w io.Writer) error {
 	servers := t.Network().NumServers()
 	rng := rand.New(rand.NewSource(*seed))
 	var flows []traffic.Flow
-	if *load != "" {
+	if *sim == "svc" {
+		// The service layer derives its traffic from the call graph; there is
+		// no flow workload to build. -pattern becomes the run label.
+		*pattern = fmt.Sprintf("svc:%s/%s", *graphFl, *policy)
+	} else if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			return err
@@ -140,8 +156,12 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintf(w, "%s: %d servers, %d flows (%s)\n",
-		t.Network().Name(), servers, len(flows), *pattern)
+	if *sim == "svc" {
+		fmt.Fprintf(w, "%s: %d servers (%s)\n", t.Network().Name(), servers, *pattern)
+	} else {
+		fmt.Fprintf(w, "%s: %d servers, %d flows (%s)\n",
+			t.Network().Name(), servers, len(flows), *pattern)
+	}
 
 	// Observability: a nil registry/tracer disables instrumentation inside
 	// the simulators; -pprof serves profiles for the duration of the run.
@@ -264,6 +284,56 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "multipath: %d failovers, %d path switches, probes %d ok / %d failed\n",
 				res.Failovers, res.PathSwitches, res.ProbeSuccesses, res.ProbeFailures)
 		}
+	case "svc":
+		g, err := loadServiceGraph(*graphFl)
+		if err != nil {
+			return err
+		}
+		pol, err := svc.ParsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		var rep *svc.Report
+		if pol == svc.PolicyNone {
+			rep, err = svc.AnalyzeUnbudgeted(g, deadln.Seconds())
+		} else {
+			rep, err = svc.Analyze(g)
+		}
+		if err != nil {
+			return err
+		}
+		writeAnalysis(w, g, rep)
+		cfg := svc.Config{
+			Policy:      pol,
+			DeadlineSec: deadln.Seconds(),
+			RatePerSec:  *rate,
+			Requests:    *reqs,
+			Seed:        *seed,
+			Transport:   packetsim.DefaultTransport(),
+			Metrics:     reg,
+			Series:      ser,
+		}
+		cfg.Transport.Faults = plan
+		cfg.Transport.Timeline = timeline
+		cfg.Transport.Multipath = *mpath
+		cfg.Transport.MultipathPaths = *paths
+		res, err := svc.Run(t, g, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "svc run: %d/%d completed (%d deadline exceeded, %d aborted), goodput %.0f of %.0f offered rps, mean %.2fms, p99 %.2fms\n",
+			res.Completed, res.Requests, res.DeadlineExceeded, res.Aborted,
+			res.GoodputRps, res.OfferedRps, res.MeanLatencySec*1e3, res.P99LatencySec*1e3)
+		fmt.Fprintf(w, "svc legs: %d started (%d ok, %d timed out, %d cancelled), %d retries (%d denied), %d hedges, %d wasted responses\n",
+			res.LegsStarted, res.LegsSucceeded, res.LegsTimedOut, res.LegsCancelled,
+			res.Retries, res.RetriesDenied, res.Hedges, res.WastedResponses)
+		fmt.Fprintf(w, "svc worst request: %d legs (static bound %d)\n",
+			res.MaxRequestLegs, rep.TotalAttemptsBound)
+		if *mpath {
+			fmt.Fprintf(w, "multipath: %d failovers, %d path switches, probes %d ok / %d failed\n",
+				res.Transport.Failovers, res.Transport.PathSwitches,
+				res.Transport.ProbeSuccesses, res.Transport.ProbeFailures)
+		}
 	case "emu":
 		fw, ok := t.(emu.Forwarder)
 		if !ok {
@@ -334,6 +404,9 @@ func run(args []string, w io.Writer) error {
 				workload = fmt.Sprintf("%s, %d requests, seed %d", *emuWl, *reqs, *seed)
 			}
 		}
+		if *sim == "svc" {
+			workload = fmt.Sprintf("%s graph, %s policy, %d requests, seed %d", *graphFl, *policy, *reqs, *seed)
+		}
 		meta := obs.RunMeta{
 			Label:          fmt.Sprintf("%s/%s", t.Network().Name(), *pattern),
 			Engine:         engine,
@@ -400,6 +473,32 @@ func reqQuantile(hist []int, total int, q float64) int {
 		}
 	}
 	return len(hist) - 1
+}
+
+// loadServiceGraph resolves -graph: a built-in name first, then a JSON file.
+func loadServiceGraph(name string) (*svc.Graph, error) {
+	if g, err := svc.Builtin(name); err == nil {
+		return g, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("-graph %q is neither a built-in (3tier|chain|diamond) nor a readable file: %w", name, err)
+	}
+	defer f.Close()
+	return svc.ReadGraph(f)
+}
+
+// writeAnalysis prints the static retry-amplification report of a service
+// graph: one line per root-to-leaf path, then the whole-graph attempt bound
+// the run must stay under.
+func writeAnalysis(w io.Writer, g *svc.Graph, rep *svc.Report) {
+	fmt.Fprintf(w, "service graph: %d services, %d call edges, root %s; static analysis (%d root-to-leaf paths):\n",
+		len(g.Services), len(g.Calls), g.Root, len(rep.Paths))
+	for _, p := range rep.Paths {
+		fmt.Fprintf(w, "  %-40s  amplification %4d  worst latency %7.1fms\n",
+			strings.Join(p.Services, " -> "), p.Amplification, p.WorstLatencySec*1e3)
+	}
+	fmt.Fprintf(w, "  per-request attempt bound: %d legs\n", rep.TotalAttemptsBound)
 }
 
 // writeTimeline prints the per-epoch availability series of a fault run.

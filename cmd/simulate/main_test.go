@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/svc"
 )
 
 func TestRunSimulations(t *testing.T) {
@@ -62,7 +63,30 @@ func TestRunSimulations(t *testing.T) {
 			args: []string{"-topo", "abccc", "-pattern", "shuffle", "-sim", "transport", "-faults", "switches", "-multipath", "-paths", "3"},
 			want: "failovers",
 		},
+		{
+			name: "svc throttle with faults",
+			args: []string{"-topo", "abccc", "-sim", "svc", "-graph", "3tier", "-policy", "throttle",
+				"-faults", "switches", "-mtbf", "5ms", "-mttr", "20ms", "-requests", "60"},
+			want: "fault timeline",
+		},
+		{
+			name: "svc hedge chain healthy",
+			args: []string{"-topo", "abccc", "-sim", "svc", "-graph", "chain", "-policy", "hedge", "-requests", "40"},
+			want: "svc run: 40/40 completed",
+		},
+		{
+			name: "svc multipath",
+			args: []string{"-topo", "abccc", "-sim", "svc", "-policy", "fixed", "-requests", "40",
+				"-faults", "switches", "-mtbf", "5ms", "-multipath", "-paths", "3"},
+			want: "multipath:",
+		},
 		{name: "bad topo", args: []string{"-topo", "torus"}, wantErr: true},
+		{name: "svc bad graph", args: []string{"-sim", "svc", "-graph", "mesh"}, wantErr: true},
+		{name: "svc bad policy", args: []string{"-sim", "svc", "-policy", "yolo"}, wantErr: true},
+		{name: "svc with shards", args: []string{"-sim", "svc", "-shards", "2"}, wantErr: true},
+		{name: "svc with trace", args: []string{"-sim", "svc", "-trace", "x.jsonl"}, wantErr: true},
+		{name: "svc with save", args: []string{"-sim", "svc", "-save", "x.jsonl"}, wantErr: true},
+		{name: "svc bad rate", args: []string{"-sim", "svc", "-rate", "0"}, wantErr: true},
 		{name: "bad pattern", args: []string{"-pattern", "chaos"}, wantErr: true},
 		{name: "bad sim", args: []string{"-sim", "quantum"}, wantErr: true},
 		{name: "bad config", args: []string{"-topo", "fattree", "-k", "3"}, wantErr: true},
@@ -90,6 +114,97 @@ func TestRunSimulations(t *testing.T) {
 				t.Errorf("output missing %q:\n%s", tt.want, buf.String())
 			}
 		})
+	}
+}
+
+// TestSvcGraphFile runs -sim svc against a JSON graph file instead of a
+// built-in, and checks the analyzer report names its services.
+func TestSvcGraphFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "graph.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.WriteGraph(f, svc.Diamond()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	args := []string{"-topo", "abccc", "-sim", "svc", "-graph", path, "-policy", "none", "-requests", "30"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gateway -> users -> db", "per-request attempt bound", "svc worst request"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+	if err := run([]string{"-sim", "svc", "-graph", filepath.Join(t.TempDir(), "nope.json")}, &buf); err == nil {
+		t.Error("missing graph file accepted")
+	}
+}
+
+// TestSvcSeriesRecord: -sim svc -series writes a run record whose engine is
+// svc and whose tracks are all service-layer tracks.
+func TestSvcSeriesRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var buf bytes.Buffer
+	args := []string{"-topo", "abccc", "-sim", "svc", "-policy", "throttle", "-requests", "50", "-series", path}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs.HasMeta || recs.Meta.Engine != "svc" {
+		t.Errorf("run record meta = %+v, want engine svc", recs.Meta)
+	}
+	if len(recs.Series) == 0 {
+		t.Error("run record has no series points")
+	}
+	for _, pt := range recs.Series {
+		if !strings.HasPrefix(pt.Track, "svc_") {
+			t.Errorf("non-svc track %q in svc run record", pt.Track)
+		}
+	}
+}
+
+// TestSvcMetricsSummary: -sim svc -metrics prints the service-layer counters.
+func TestSvcMetricsSummary(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-topo", "abccc", "-sim", "svc", "-graph", "3tier", "-metrics", "-requests", "40"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"svc_requests", "svc_completed", "svc_ok_storage"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestSvcRunDeterministic: the svc report under a seeded fault schedule must
+// reproduce byte for byte, timeline included.
+func TestSvcRunDeterministic(t *testing.T) {
+	args := []string{"-topo", "abccc", "-sim", "svc", "-policy", "none", "-requests", "80",
+		"-faults", "switches", "-mtbf", "5ms", "-mttr", "20ms", "-seed", "9"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("same seed, different svc reports:\n%s\n---\n%s", a.String(), b.String())
 	}
 }
 

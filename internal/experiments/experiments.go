@@ -66,6 +66,7 @@ var experimentRegistry = sync.OnceValue(func() *registry {
 		{ID: "F27", Title: "Graceful degradation: goodput vs permanent switch failures, reactive vs multipath", Run: F27GracefulDegradation},
 		{ID: "F28", Title: "Sharded engine equivalence: shuffle results across shard counts", Run: F28ShardScaling},
 		{ID: "F29", Title: "Serving workloads on the actor engine: RPC fan-out, incast, shuffle", Run: F29ServingWorkloads},
+		{ID: "F30", Title: "Retry storms: service-graph collapse and mitigation under switch outages", Run: F30RetryStorm},
 	}
 	byID := make(map[string]Experiment, len(list))
 	for _, e := range list {

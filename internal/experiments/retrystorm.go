@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/packetsim"
+	"repro/internal/svc"
+	"repro/internal/topology"
+)
+
+// Retry-storm scenario parameters. The load sits just under the fabric's
+// service capacity for the 3-tier graph, so the healthy run is stable while
+// the extra legs a retry storm injects push it past saturation — the regime
+// where mitigation policy, not raw capacity, decides goodput. The 60 ms
+// deadline is what separates the policies: unbudgeted immediate retries fit
+// ceil(60/10) x ceil(60/5) = 72 attempts under it, a fixed budget only
+// (1+3) x (1+3) = 16.
+const (
+	stormSeed        = 30
+	stormDeadlineSec = 60e-3
+	stormRatePerSec  = 4000
+	stormOutageAtSec = 2e-3
+	// stormScale divides the request count; 1 is the full figure, CI smoke
+	// uses retryStormSmokeScale.
+	stormFullScale       = 1
+	retryStormSmokeScale = 10
+)
+
+// stormOutages are the swept switch-outage fractions: 0.04 and 0.08 round to
+// 1 and 2 of ABCCC(4,1,2)'s 24 switches — at or under the 5% damage level
+// the collapse criterion targets.
+var stormOutages = []float64{0, 0.04, 0.08}
+
+// stormPolicies is the mitigation sweep order.
+var stormPolicies = []svc.Policy{svc.PolicyNone, svc.PolicyFixed, svc.PolicyThrottle, svc.PolicyHedge}
+
+// stormCell is one (policy, outage, rate) run of the storm grid plus the
+// static analyzer bounds the runtime must respect.
+type stormCell struct {
+	policy svc.Policy
+	frac   float64
+	rate   float64
+	res    *svc.Result
+	// boundLegs is the analyzer's per-request attempt bound for the cell's
+	// policy (AnalyzeUnbudgeted for none, Analyze for the budgeted three);
+	// amp is the matching worst-path amplification.
+	boundLegs int64
+	amp       int64
+}
+
+// runStormCell executes one grid cell: the 3-tier graph under the given
+// policy and switch-outage fraction. The fault sample is seeded per cell so
+// every policy faces the identical outage.
+func runStormCell(tp topology.Topology, pol svc.Policy, frac, rate float64, scale int) (*stormCell, error) {
+	g := svc.ThreeTier()
+	cfg := svc.Config{
+		Policy:      pol,
+		DeadlineSec: stormDeadlineSec,
+		RatePerSec:  rate,
+		Requests:    int(rate) / 5 / scale,
+		Seed:        stormSeed,
+		Transport:   packetsim.DefaultTransport(),
+	}
+	if frac > 0 {
+		plan, err := failure.Downs(tp.Network(), failure.Switches, frac, stormOutageAtSec,
+			rand.New(rand.NewSource(stormSeed)))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Transport.Faults = plan
+	}
+	res, err := svc.Run(tp, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rep *svc.Report
+	if pol == svc.PolicyNone {
+		rep, err = svc.AnalyzeUnbudgeted(g, cfg.DeadlineSec)
+	} else {
+		rep, err = svc.Analyze(g)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cell := &stormCell{policy: pol, frac: frac, rate: rate, res: res,
+		boundLegs: rep.TotalAttemptsBound, amp: rep.MaxAmplification}
+	if int64(res.MaxRequestLegs) > cell.boundLegs {
+		return nil, fmt.Errorf("experiments: F30 cell %v/%.0f%%: measured %d legs exceeds analyzer bound %d",
+			pol, frac*100, res.MaxRequestLegs, cell.boundLegs)
+	}
+	return cell, nil
+}
+
+// retryStormGrid runs both F30 sections: the policy x outage grid at the
+// fixed storm load, then the goodput-vs-offered-load section at the single
+// failed switch for the unbudgeted and throttled policies. Every cell checks
+// the analyzer bound against the measured worst request.
+func retryStormGrid(scale int) (grid []*stormCell, load []*stormCell, err error) {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	grid = make([]*stormCell, len(stormOutages)*len(stormPolicies))
+	loadRates := []float64{2000, 3000, 4000, 5000}
+	loadPolicies := []svc.Policy{svc.PolicyNone, svc.PolicyThrottle}
+	load = make([]*stormCell, len(loadRates)*len(loadPolicies))
+	if _, err = sweepRows(len(grid)+len(load), func(i int) (string, error) {
+		var cell *stormCell
+		var cerr error
+		if i < len(grid) {
+			frac := stormOutages[i/len(stormPolicies)]
+			pol := stormPolicies[i%len(stormPolicies)]
+			cell, cerr = runStormCell(tp, pol, frac, stormRatePerSec, scale)
+			grid[i] = cell
+		} else {
+			j := i - len(grid)
+			rate := loadRates[j/len(loadPolicies)]
+			pol := loadPolicies[j%len(loadPolicies)]
+			cell, cerr = runStormCell(tp, pol, 0.04, rate, scale)
+			load[j] = cell
+		}
+		return "", cerr
+	}); err != nil {
+		return nil, nil, err
+	}
+	return grid, load, nil
+}
+
+// formatRetryStorm renders both sections. Goodput percentages in the grid
+// section are relative to the same policy's no-fault cell, making the
+// collapse (none) vs graceful-degradation (fixed, throttle) contrast direct.
+func formatRetryStorm(w io.Writer, grid, load []*stormCell) error {
+	fmt.Fprintf(w, "3-tier graph on ABCCC(4,1,2): deadline %.0f ms, %.0f req/s, outage at %.0f ms\n",
+		stormDeadlineSec*1e3, float64(stormRatePerSec), stormOutageAtSec*1e3)
+	tw := table(w)
+	fmt.Fprintln(tw, "outage\tpolicy\tdone\tgoodput(rps)\tvs healthy\tretries\tdenied\twasted\tworst legs\tbound\tp99(ms)")
+	baseline := map[svc.Policy]float64{}
+	for _, c := range grid {
+		if c.frac == 0 {
+			baseline[c.policy] = c.res.GoodputRps
+		}
+		rel := ""
+		if b := baseline[c.policy]; b > 0 {
+			rel = fmt.Sprintf("%.0f%%", 100*c.res.GoodputRps/b)
+		}
+		fmt.Fprintf(tw, "%.0f%%\t%s\t%d/%d\t%.0f\t%s\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
+			c.frac*100, c.policy, c.res.Completed, c.res.Requests, c.res.GoodputRps, rel,
+			c.res.Retries, c.res.RetriesDenied, c.res.WastedResponses,
+			c.res.MaxRequestLegs, c.boundLegs, c.res.P99LatencySec*1e3)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\ngoodput vs offered load at one failed switch (4%):")
+	tw = table(w)
+	fmt.Fprintln(tw, "offered(rps)\tpolicy\tdone\tgoodput(rps)\tefficiency\tretries\tdenied\tp99(ms)")
+	for _, c := range load {
+		fmt.Fprintf(tw, "%.0f\t%s\t%d/%d\t%.0f\t%.0f%%\t%d\t%d\t%.2f\n",
+			c.rate, c.policy, c.res.Completed, c.res.Requests, c.res.GoodputRps,
+			100*c.res.GoodputRps/c.res.OfferedRps, c.res.Retries, c.res.RetriesDenied,
+			c.res.P99LatencySec*1e3)
+	}
+	return tw.Flush()
+}
+
+// F30RetryStorm regenerates the retry-storm figure: a 3-tier service graph
+// mapped onto ABCCC, swept over switch-outage fraction and mitigation
+// policy. Unbudgeted retries (none) turn a one-switch outage into a
+// metastable collapse — goodput halves while the worst request fans out into
+// dozens of legs — whereas budgeted retries and adaptive throttling hold
+// goodput within a fifth of the no-fault baseline. The load section shows
+// the same contrast growing with offered load.
+func F30RetryStorm(w io.Writer) error {
+	grid, load, err := retryStormGrid(stormFullScale)
+	if err != nil {
+		return err
+	}
+	return formatRetryStorm(w, grid, load)
+}
+
+// WriteRetryStormRun executes one storm cell (throttle policy, one failed
+// switch, smoke scale) with the service-layer metrics and series armed and
+// writes the run record JSONL to w. The record carries only svc_* tracks —
+// no transport telemetry — so cmd/obsreport's generic track rendering is
+// what its committed fixture exercises.
+func WriteRetryStormRun(w io.Writer) error {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	g := svc.ThreeTier()
+	plan, err := failure.Downs(tp.Network(), failure.Switches, 0.04, stormOutageAtSec,
+		rand.New(rand.NewSource(stormSeed)))
+	if err != nil {
+		return err
+	}
+	series := obs.NewSeries(int64(1e-3 * 1e9)) // 1 ms windows
+	metrics := obs.NewRegistry()
+	cfg := svc.Config{
+		Policy:      svc.PolicyThrottle,
+		DeadlineSec: stormDeadlineSec,
+		RatePerSec:  stormRatePerSec,
+		Requests:    stormRatePerSec / 5 / retryStormSmokeScale,
+		Seed:        stormSeed,
+		Transport:   packetsim.DefaultTransport(),
+		Metrics:     metrics,
+		Series:      series,
+	}
+	cfg.Transport.Faults = plan
+	if _, err := svc.Run(tp, g, cfg); err != nil {
+		return err
+	}
+	meta := obs.RunMeta{
+		Label:          "F30/ABCCC(4,1,2)",
+		Engine:         "svc",
+		Topology:       "ABCCC(4,1,2)",
+		Workload:       fmt.Sprintf("3-tier graph, throttle policy, 1 switch down, seed %d", stormSeed),
+		SeriesWindowNs: int64(1e6),
+		Metrics:        true,
+		Series:         true,
+	}
+	return obs.WriteRun(w, meta, nil, series, nil)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/svc"
+)
+
+// cellByKey finds one grid cell by (policy, outage fraction).
+func cellByKey(cells []*stormCell, pol svc.Policy, frac float64) *stormCell {
+	for _, c := range cells {
+		if c.policy == pol && c.frac == frac {
+			return c
+		}
+	}
+	return nil
+}
+
+// TestRetryStormCollapseAndMitigation pins the figure's acceptance shape on
+// the full-scale grid: unbudgeted retries collapse under a one-switch (4%)
+// outage while a budgeted policy holds goodput within 20% of its own
+// no-fault baseline, and in every cell the static analyzer's attempt bound
+// dominates the measured worst request. Byte determinism (and with it
+// GOMAXPROCS-independence of the worker pool) is pinned at smoke scale by
+// TestRetryStormSmokeDeterministic — the full grid is too slow to run twice
+// under the race detector.
+func TestRetryStormCollapseAndMitigation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale storm grid is slow; skipped with -short")
+	}
+	grid, load, err := retryStormGrid(stormFullScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range append(append([]*stormCell{}, grid...), load...) {
+		if int64(c.res.MaxRequestLegs) > c.boundLegs {
+			t.Errorf("cell %v/%.0f%%/%.0frps: measured %d legs > analyzer bound %d",
+				c.policy, c.frac*100, c.rate, c.res.MaxRequestLegs, c.boundLegs)
+		}
+	}
+
+	noneHealthy := cellByKey(grid, svc.PolicyNone, 0)
+	noneOutage := cellByKey(grid, svc.PolicyNone, 0.04)
+	if noneOutage.res.GoodputRps > 0.6*noneHealthy.res.GoodputRps {
+		t.Errorf("no collapse: unbudgeted goodput %.0f under a 4%% outage vs %.0f healthy",
+			noneOutage.res.GoodputRps, noneHealthy.res.GoodputRps)
+	}
+	if noneOutage.res.Retries < 10*noneHealthy.res.Retries {
+		t.Errorf("no retry storm: %d retries under outage vs %d healthy",
+			noneOutage.res.Retries, noneHealthy.res.Retries)
+	}
+	for _, pol := range []svc.Policy{svc.PolicyFixed, svc.PolicyThrottle} {
+		healthy := cellByKey(grid, pol, 0)
+		outage := cellByKey(grid, pol, 0.04)
+		if outage.res.GoodputRps < 0.8*healthy.res.GoodputRps {
+			t.Errorf("%v does not mitigate: goodput %.0f under a 4%% outage vs %.0f healthy",
+				pol, outage.res.GoodputRps, healthy.res.GoodputRps)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := formatRetryStorm(&buf, grid, load); err != nil {
+		t.Fatal(err)
+	}
+	if len(bytes.TrimSpace(buf.Bytes())) == 0 {
+		t.Error("full-scale grid rendered empty")
+	}
+}
+
+// TestRetryStormSmokeDeterministic is the CI smoke check (make svc-smoke):
+// the smoke-scale grid — same scenario, a tenth of the requests — must be
+// byte-deterministic across two runs.
+func TestRetryStormSmokeDeterministic(t *testing.T) {
+	render := func() []byte {
+		grid, load, err := retryStormGrid(retryStormSmokeScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := formatRetryStorm(&buf, grid, load); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("two smoke-scale storm grids differ byte-for-byte")
+	}
+	if len(bytes.TrimSpace(a)) == 0 {
+		t.Error("smoke grid rendered empty")
+	}
+}
+
+// TestRetryStormRunRecordLoads pins the svc-only run record WriteRetryStormRun
+// emits for cmd/obsreport: a meta header, series points carrying only svc_*
+// tracks, and no trace or shard-profile sections.
+func TestRetryStormRunRecordLoads(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRetryStormRun(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs.HasMeta || recs.Meta.Engine != "svc" || !recs.Meta.Series {
+		t.Errorf("unexpected meta: %+v", recs.Meta)
+	}
+	if len(recs.Series) == 0 {
+		t.Error("run record has no series points")
+	}
+	if len(recs.Events) != 0 || len(recs.ShardWindows) != 0 {
+		t.Errorf("svc record should carry series only, got %d events and %d shard windows",
+			len(recs.Events), len(recs.ShardWindows))
+	}
+	for _, pt := range recs.Series {
+		if len(pt.Track) < 4 || pt.Track[:4] != "svc_" {
+			t.Errorf("non-svc track %q in svc run record", pt.Track)
+		}
+	}
+	if recs.Unknown != 0 {
+		t.Errorf("%d unknown record lines in a freshly written file", recs.Unknown)
+	}
+}

@@ -27,6 +27,7 @@
 package packetsim
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/eventq"
@@ -166,6 +167,12 @@ func (r *stRun) pktKey(jn int32, ackBit int64, flow int32) int64 {
 func RunTransportSharded(t topology.Topology, flows []traffic.Flow, cfg TransportConfig, opts ShardOpts) (TransportResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return TransportResult{}, err
+	}
+	if cfg.OnFlowDone != nil {
+		// Shards drain their windows in parallel, so cross-shard callback
+		// order would depend on the worker schedule; closed-loop layers
+		// need the serial engine's total event order.
+		return TransportResult{}, fmt.Errorf("packetsim: OnFlowDone requires the serial engine (RunTransport)")
 	}
 	plan, err := planFor(t, flows)
 	if err != nil {

@@ -66,6 +66,18 @@ type TransportConfig struct {
 	// MultipathPaths caps the per-flow path-set size; 0 means
 	// DefaultMultipathPaths.
 	MultipathPaths int
+
+	// OnFlowDone, when non-nil, fires from inside the event loop as each
+	// flow reaches its terminal state — completed (all bytes acked) or
+	// aborted after MaxFlowTimeouts (completed=false) — in event order,
+	// which is completion-time order with arrival order breaking ties.
+	// Callbacks run at a safe point between events, so they may inject new
+	// flows or schedule wakes on a TransportEngine (driver.go); this is how
+	// closed-loop layers (retries, dependent RPCs) react deterministically.
+	// Only the serial engine supports it: RunTransportSharded rejects a
+	// config with a hook, since parallel shard drains would make callback
+	// order depend on the worker schedule.
+	OnFlowDone func(flow int, atSec float64, completed bool)
 }
 
 // DefaultTransport returns a GbE NewReno-ish configuration.
@@ -217,7 +229,8 @@ type tflow struct {
 // ACK arrivals carry the data sequence / cumulative ack in seq, their path
 // position in idx, and the sending flow's route epoch in gen. Fault events
 // carry the fault-plan index in seq. Probe events carry the scoreboard path
-// index in seq and the probe generation in gen.
+// index in seq and the probe generation in gen. Wake events (TransportEngine
+// callbacks, driver.go) carry the callback slot in seq.
 const (
 	tevData = iota
 	tevAck
@@ -225,6 +238,7 @@ const (
 	tevStart
 	tevFault
 	tevProbe
+	tevWake
 )
 
 // tevent is an unboxed transport event: a data or ACK packet reaching
@@ -273,6 +287,16 @@ type transportRun struct {
 	probeOK      int
 	probeFail    int
 
+	// Closed-loop state (driver.go). Terminal-flow notifications are staged
+	// on doneq during event handling and dispatched between events: onAck
+	// and onTimer hold *tflow pointers into r.flows, which an OnFlowDone
+	// callback injecting new flows would invalidate. wakes holds Schedule
+	// callbacks by slot (tevWake events carry the slot in seq); wakeFree
+	// recycles slots so long closed-loop runs don't grow the table.
+	doneq    []flowDone
+	wakes    []func(nowSec float64)
+	wakeFree []int32
+
 	// Hoisted nil-able instruments (see TransportConfig.Link.Metrics).
 	cRtx, cECN, cDone, cDrops              *obs.Counter
 	cFault, cStale, cReroute, cFailed      *obs.Counter
@@ -285,6 +309,13 @@ type transportRun struct {
 	st                                     seriesTracks
 }
 
+// flowDone is one staged terminal-flow notification (see doneq).
+type flowDone struct {
+	flow      int32
+	at        float64
+	completed bool
+}
+
 // push enqueues ev with the next ordinal, preserving the reference engine's
 // push-order tie-break.
 func (r *transportRun) push(t float64, ev tevent) {
@@ -292,23 +323,14 @@ func (r *transportRun) push(t float64, ev tevent) {
 	r.q.Push(t, r.ord, ev)
 }
 
-// RunTransport simulates the workload with reliable Reno-like flows over the
-// structure's routed paths (data forward, ACKs on the reversed path).
-//
-// Like Run it drives value events through an eventq.Queue over routes
-// compiled (and cached) once per workload; the reference engine in
-// reference.go pins its results exactly.
-func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig) (TransportResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return TransportResult{}, err
-	}
-	plan, err := planFor(t, flows)
-	if err != nil {
-		return TransportResult{}, err
-	}
+// newTransportRun builds the mutable run state shared by RunTransport and
+// the closed-loop TransportEngine: hoisted instruments, the fault state with
+// its timed transition events, and the multipath tallies. numRes is the
+// linkFree table size (2 * NumEdges). The caller supplies flows.
+func newTransportRun(t topology.Topology, cfg TransportConfig, numRes int) (*transportRun, error) {
 	run := &transportRun{
 		cfg:       cfg,
-		linkFree:  make([]float64, plan.numRes),
+		linkFree:  make([]float64, numRes),
 		g:         t.Network().Graph(),
 		net:       t.Network(),
 		cRtx:      cfg.Link.Metrics.Counter(MetricRetransmits),
@@ -328,9 +350,10 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 		st:        newSeriesTracks(cfg.Link.Series),
 	}
 	if cfg.Faults != nil {
+		var err error
 		run.fs, err = newFaultState(cfg.Faults, t.Network(), cfg.Timeline, cfg.Link.Metrics, cfg.Link.Trace)
 		if err != nil {
-			return TransportResult{}, err
+			return nil, err
 		}
 		run.frouter, _ = t.(topology.FaultRouter)
 		// Fault events carry negative keys so a transition at time T applies
@@ -340,14 +363,10 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 				tevent{kind: tevFault, seq: int32(i)})
 		}
 	}
-	var mpPlan *multipathPlan
 	if cfg.Multipath && cfg.Faults != nil {
 		run.mpK = cfg.MultipathPaths
 		if run.mpK <= 0 {
 			run.mpK = DefaultMultipathPaths
-		}
-		if mpPlan, err = plan.multipathFor(t, run.mpK); err != nil {
-			return TransportResult{}, err
 		}
 		run.cFailover = cfg.Link.Metrics.Counter(MetricFailovers)
 		run.cSwitch = cfg.Link.Metrics.Counter(MetricPathSwitches)
@@ -356,6 +375,33 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 		run.cPathBytes = make([]*obs.Counter, run.mpK+1)
 		for j := range run.cPathBytes {
 			run.cPathBytes[j] = cfg.Link.Metrics.Counter(pathGoodputMetric(j, run.mpK))
+		}
+	}
+	return run, nil
+}
+
+// RunTransport simulates the workload with reliable Reno-like flows over the
+// structure's routed paths (data forward, ACKs on the reversed path).
+//
+// Like Run it drives value events through an eventq.Queue over routes
+// compiled (and cached) once per workload; the reference engine in
+// reference.go pins its results exactly.
+func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig) (TransportResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TransportResult{}, err
+	}
+	plan, err := planFor(t, flows)
+	if err != nil {
+		return TransportResult{}, err
+	}
+	run, err := newTransportRun(t, cfg, plan.numRes)
+	if err != nil {
+		return TransportResult{}, err
+	}
+	var mpPlan *multipathPlan
+	if run.mpK > 0 {
+		if mpPlan, err = plan.multipathFor(t, run.mpK); err != nil {
+			return TransportResult{}, err
 		}
 	}
 	for i, f := range flows {
@@ -385,30 +431,63 @@ func RunTransport(t topology.Topology, flows []traffic.Flow, cfg TransportConfig
 		run.push(f.StartSec, tevent{flow: int32(len(run.flows) - 1), kind: tevStart})
 	}
 
-	for run.q.Len() > 0 {
-		run.events++
-		if run.events > cfg.MaxEvents {
-			return TransportResult{}, fmt.Errorf("packetsim: transport exceeded %d events", cfg.MaxEvents)
+	if err := run.drain(); err != nil {
+		return TransportResult{}, err
+	}
+	return run.results(), nil
+}
+
+// drain runs the event loop to completion. Staged terminal-flow
+// notifications flush between events — the only point where no handler
+// holds pointers into r.flows, so OnFlowDone callbacks may inject.
+func (r *transportRun) drain() error {
+	for r.q.Len() > 0 {
+		r.events++
+		if r.events > r.cfg.MaxEvents {
+			return fmt.Errorf("packetsim: transport exceeded %d events", r.cfg.MaxEvents)
 		}
-		now, _, ev := run.q.Pop()
-		run.now = now
+		now, _, ev := r.q.Pop()
+		r.now = now
 		switch ev.kind {
 		case tevStart:
-			run.flows[ev.flow].started = true
-			run.pump(int(ev.flow))
+			r.flows[ev.flow].started = true
+			r.pump(int(ev.flow))
 		case tevTimer:
-			run.onTimer(int(ev.flow), ev.gen)
+			r.onTimer(int(ev.flow), ev.gen)
 		case tevFault:
-			run.fs.apply(now, int(ev.seq))
-			run.onFaultEvent()
+			r.fs.apply(now, int(ev.seq))
+			r.onFaultEvent()
 		case tevProbe:
-			run.onProbe(int(ev.flow), int(ev.seq), ev.gen)
+			r.onProbe(int(ev.flow), int(ev.seq), ev.gen)
+		case tevWake:
+			r.onWake(int(ev.seq))
 		default:
-			run.onArrival(ev)
+			r.onArrival(ev)
+		}
+		if len(r.doneq) > 0 {
+			r.dispatchDone()
 		}
 	}
+	return nil
+}
 
-	return run.results(), nil
+// onWake fires a scheduled TransportEngine callback and recycles its slot.
+func (r *transportRun) onWake(slot int) {
+	fn := r.wakes[slot]
+	r.wakes[slot] = nil
+	r.wakeFree = append(r.wakeFree, int32(slot))
+	fn(r.now)
+}
+
+// dispatchDone flushes staged OnFlowDone notifications in completion order.
+// A callback may inject a local flow that completes at the current time,
+// growing doneq mid-flush; the index loop picks those up in order.
+func (r *transportRun) dispatchDone() {
+	for i := 0; i < len(r.doneq); i++ {
+		d := r.doneq[i]
+		r.cfg.OnFlowDone(int(d.flow), d.at, d.completed)
+	}
+	r.doneq = r.doneq[:0]
 }
 
 // pump sends new data while the window allows.
@@ -647,6 +726,9 @@ func (r *transportRun) onAck(flow, ackNo int, ce bool) {
 				r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "flow_done",
 					ID: int64(flow), Node: f.fwd[len(f.fwd)-1], Hop: f.total})
 			}
+			if r.cfg.OnFlowDone != nil {
+				r.doneq = append(r.doneq, flowDone{flow: int32(flow), at: r.now, completed: true})
+			}
 			return
 		}
 		r.armTimer(flow)
@@ -695,6 +777,9 @@ func (r *transportRun) onTimer(flow int, gen int32) {
 			if r.tracer != nil {
 				r.tracer.Record(obs.Event{TimeNs: int64(r.now * 1e9), Kind: "flow_abort",
 					ID: int64(flow), Node: f.fwd[0], Hop: f.acked})
+			}
+			if r.cfg.OnFlowDone != nil {
+				r.doneq = append(r.doneq, flowDone{flow: int32(flow), at: r.now})
 			}
 			return // no rearm: the flow's remaining events drain
 		}

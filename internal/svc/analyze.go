@@ -1,0 +1,137 @@
+// Static worst-case analysis of a call graph: how many attempts can one
+// root request fan out into, and how long can a caller wait before giving
+// up, assuming every attempt burns its full timeout. The bounds are products
+// along root-to-leaf paths — fan-out multiplies the calls, the retry budget
+// multiplies the attempts per call — so they compose exactly the way retry
+// storms do, and the F30 experiment pins the measured per-request attempt
+// count under every policy against TotalAttemptsBound.
+
+package svc
+
+import (
+	"fmt"
+	"math"
+)
+
+// PathBound is the worst case of one root-to-leaf path.
+type PathBound struct {
+	// Services are the node names from root to leaf.
+	Services []string
+	// Amplification is the worst-case number of attempts on the path's final
+	// edge per root request: the product over path edges of
+	// fanout * attempts-per-call. This is the RetryAmplificationFactor of
+	// the cascadeguard model.
+	Amplification int64
+	// WorstLatencySec is the longest the root can wait before the path's
+	// failure surfaces: the sum over path edges of
+	// timeout * attempts-per-call (fan-out is parallel, so it does not
+	// lengthen the wait; backoff pauses are excluded — they are bounded
+	// separately by the end-to-end deadline).
+	WorstLatencySec float64
+}
+
+// Report is the static analysis of a graph.
+type Report struct {
+	// Paths holds every root-to-leaf path in DFS (declaration) order.
+	Paths []PathBound
+	// MaxAmplification and WorstLatencySec are the maxima over Paths.
+	MaxAmplification int64
+	WorstLatencySec  float64
+	// EdgeAttemptsBound[e] bounds the total attempts on g.Calls[e] per root
+	// request, summed over every path reaching the edge; TotalAttemptsBound
+	// is the sum over edges — an upper bound on the RPC legs one request
+	// can put on the network.
+	EdgeAttemptsBound  []int64
+	TotalAttemptsBound int64
+}
+
+// Analyze computes the worst-case report under budgeted retry semantics:
+// every call makes at most 1 + MaxRetries attempts. This covers the fixed,
+// throttle, and hedge policies (throttling only denies attempts; a hedge
+// spends a unit of the same budget).
+func Analyze(g *Graph) (*Report, error) {
+	return analyze(g, func(c *Call) int64 { return int64(1 + c.MaxRetries) })
+}
+
+// AnalyzeUnbudgeted computes the report for PolicyNone, where retries are
+// limited only by the propagated deadline: a call issued with budget B
+// retries back-to-back and makes at most ceil(B / timeout) attempts, and no
+// call ever holds more budget than the root deadline.
+func AnalyzeUnbudgeted(g *Graph, deadlineSec float64) (*Report, error) {
+	if !(deadlineSec > 0) || math.IsInf(deadlineSec, 0) {
+		return nil, fmt.Errorf("svc: unbudgeted analysis needs a positive deadline, got %g", deadlineSec)
+	}
+	return analyze(g, func(c *Call) int64 {
+		n := math.Ceil(deadlineSec / c.TimeoutSec)
+		if n < 1 {
+			return 1
+		}
+		if n >= math.MaxInt64 {
+			return math.MaxInt64
+		}
+		return int64(n)
+	})
+}
+
+// satMul multiplies with saturation at MaxInt64; the unbudgeted bounds can
+// genuinely explode and a silent overflow would invert the comparison the
+// experiments rely on.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// analyze walks every root-to-leaf path, carrying the worst-case execution
+// count of the current service (the product of fanout * attempts over the
+// edges taken) and the accumulated worst-case latency.
+func analyze(g *Graph, attempts func(c *Call) int64) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	idx := g.index()
+	out := g.outEdges(idx)
+	rep := &Report{EdgeAttemptsBound: make([]int64, len(g.Calls))}
+
+	var visit func(s int, arrivals int64, latency float64, trail []string)
+	visit = func(s int, arrivals int64, latency float64, trail []string) {
+		if len(out[s]) == 0 {
+			p := PathBound{
+				Services:        append([]string(nil), trail...),
+				Amplification:   arrivals,
+				WorstLatencySec: latency,
+			}
+			rep.Paths = append(rep.Paths, p)
+			if p.Amplification > rep.MaxAmplification {
+				rep.MaxAmplification = p.Amplification
+			}
+			if p.WorstLatencySec > rep.WorstLatencySec {
+				rep.WorstLatencySec = p.WorstLatencySec
+			}
+			return
+		}
+		for _, e := range out[s] {
+			c := &g.Calls[e]
+			att := satMul(arrivals, satMul(int64(c.Fanout), attempts(c)))
+			rep.EdgeAttemptsBound[e] = satAdd(rep.EdgeAttemptsBound[e], att)
+			visit(idx[c.To], att, latency+c.TimeoutSec*float64(attempts(c)), append(trail, c.To))
+		}
+	}
+	root := idx[g.Root]
+	visit(root, 1, 0, []string{g.Root})
+	for _, b := range rep.EdgeAttemptsBound {
+		rep.TotalAttemptsBound = satAdd(rep.TotalAttemptsBound, b)
+	}
+	return rep, nil
+}

@@ -1,0 +1,208 @@
+package svc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// analyzerChain is the cascadeguard reference chain: A->B timeout 2s with 2
+// retries, B->C timeout 1s with 1 retry. Hand-computed worst case:
+// attempts(A->B) = 3, attempts(B->C) = 2, so the C edge sees 3*2 = 6
+// attempts per request and the root waits 2*3 + 1*2 = 8 s.
+func analyzerChain() *Graph {
+	return &Graph{
+		Root: "a",
+		Services: []Service{
+			{Name: "a", Replicas: 1},
+			{Name: "b", Replicas: 1},
+			{Name: "c", Replicas: 1},
+		},
+		Calls: []Call{
+			{From: "a", To: "b", TimeoutSec: 2, MaxRetries: 2, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+			{From: "b", To: "c", TimeoutSec: 1, MaxRetries: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+		},
+	}
+}
+
+func TestAnalyzeChainPinned(t *testing.T) {
+	rep, err := Analyze(analyzerChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) != 1 {
+		t.Fatalf("chain has %d paths, want 1", len(rep.Paths))
+	}
+	p := rep.Paths[0]
+	if !reflect.DeepEqual(p.Services, []string{"a", "b", "c"}) {
+		t.Errorf("path = %v, want [a b c]", p.Services)
+	}
+	if p.Amplification != 6 {
+		t.Errorf("amplification = %d, want 6", p.Amplification)
+	}
+	if p.WorstLatencySec != 8 {
+		t.Errorf("worst latency = %g, want 8", p.WorstLatencySec)
+	}
+	if rep.MaxAmplification != 6 || rep.WorstLatencySec != 8 {
+		t.Errorf("report maxima = (%d, %g), want (6, 8)", rep.MaxAmplification, rep.WorstLatencySec)
+	}
+	if want := []int64{3, 6}; !reflect.DeepEqual(rep.EdgeAttemptsBound, want) {
+		t.Errorf("edge bounds = %v, want %v", rep.EdgeAttemptsBound, want)
+	}
+	if rep.TotalAttemptsBound != 9 {
+		t.Errorf("total bound = %d, want 9", rep.TotalAttemptsBound)
+	}
+}
+
+func TestAnalyzeDiamondPinned(t *testing.T) {
+	// Two root-to-leaf paths; both middle edges allow 2 attempts (1 retry,
+	// timeout 2s) and both sink edges allow 2 attempts (1 retry, timeout 1s):
+	// per path amplification 2*2 = 4, latency 2*2 + 1*2 = 6 s. The sink edges
+	// each carry one path's 4 attempts; total 2+2+4+4 = 12.
+	g := &Graph{
+		Root: "root",
+		Services: []Service{
+			{Name: "root", Replicas: 1},
+			{Name: "left", Replicas: 1},
+			{Name: "right", Replicas: 1},
+			{Name: "sink", Replicas: 1},
+		},
+		Calls: []Call{
+			{From: "root", To: "left", TimeoutSec: 2, MaxRetries: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+			{From: "root", To: "right", TimeoutSec: 2, MaxRetries: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+			{From: "left", To: "sink", TimeoutSec: 1, MaxRetries: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+			{From: "right", To: "sink", TimeoutSec: 1, MaxRetries: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+		},
+	}
+	rep, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) != 2 {
+		t.Fatalf("diamond has %d paths, want 2", len(rep.Paths))
+	}
+	for i, p := range rep.Paths {
+		if p.Amplification != 4 || p.WorstLatencySec != 6 {
+			t.Errorf("path %d (%v): amp=%d latency=%g, want 4 and 6", i, p.Services, p.Amplification, p.WorstLatencySec)
+		}
+	}
+	if want := []int64{2, 2, 4, 4}; !reflect.DeepEqual(rep.EdgeAttemptsBound, want) {
+		t.Errorf("edge bounds = %v, want %v", rep.EdgeAttemptsBound, want)
+	}
+	if rep.TotalAttemptsBound != 12 {
+		t.Errorf("total bound = %d, want 12", rep.TotalAttemptsBound)
+	}
+}
+
+func TestAnalyzeFanoutPinned(t *testing.T) {
+	// A->B fanout 2 with 1 retry (timeout 2s): 2*2 = 4 attempts on the first
+	// edge. Each of the up-to-4 B executions fans out 3 ways with no retries
+	// (timeout 1s): 4*3 = 12 attempts on the second edge. Latency along the
+	// single path: 2*2 + 1*1 = 5 s (fan-out is parallel).
+	g := &Graph{
+		Root: "a",
+		Services: []Service{
+			{Name: "a", Replicas: 1},
+			{Name: "b", Replicas: 1},
+			{Name: "c", Replicas: 1},
+		},
+		Calls: []Call{
+			{From: "a", To: "b", TimeoutSec: 2, MaxRetries: 1, Fanout: 2, RequestBytes: 1, ResponseBytes: 1},
+			{From: "b", To: "c", TimeoutSec: 1, MaxRetries: 0, Fanout: 3, RequestBytes: 1, ResponseBytes: 1},
+		},
+	}
+	rep, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) != 1 {
+		t.Fatalf("fanout graph has %d paths, want 1", len(rep.Paths))
+	}
+	p := rep.Paths[0]
+	if p.Amplification != 12 || p.WorstLatencySec != 5 {
+		t.Errorf("path amp=%d latency=%g, want 12 and 5", p.Amplification, p.WorstLatencySec)
+	}
+	if want := []int64{4, 12}; !reflect.DeepEqual(rep.EdgeAttemptsBound, want) {
+		t.Errorf("edge bounds = %v, want %v", rep.EdgeAttemptsBound, want)
+	}
+	if rep.TotalAttemptsBound != 16 {
+		t.Errorf("total bound = %d, want 16", rep.TotalAttemptsBound)
+	}
+}
+
+func TestAnalyzeUnbudgetedChainPinned(t *testing.T) {
+	// With a 10 s root deadline and no retry budget, the 2 s edge fits
+	// ceil(10/2) = 5 attempts and the 1 s edge ceil(10/1) = 10, so the sink
+	// edge amplifies to 5*10 = 50 and the root can wait 2*5 + 1*10 = 20 s
+	// (the deadline truncates the wait at runtime; the bound is structural).
+	rep, err := AnalyzeUnbudgeted(analyzerChain(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxAmplification != 50 {
+		t.Errorf("amplification = %d, want 50", rep.MaxAmplification)
+	}
+	if rep.WorstLatencySec != 20 {
+		t.Errorf("worst latency = %g, want 20", rep.WorstLatencySec)
+	}
+	if want := []int64{5, 50}; !reflect.DeepEqual(rep.EdgeAttemptsBound, want) {
+		t.Errorf("edge bounds = %v, want %v", rep.EdgeAttemptsBound, want)
+	}
+	if rep.TotalAttemptsBound != 55 {
+		t.Errorf("total bound = %d, want 55", rep.TotalAttemptsBound)
+	}
+}
+
+func TestAnalyzeRootOnly(t *testing.T) {
+	g := &Graph{Root: "solo", Services: []Service{{Name: "solo", Replicas: 1}}}
+	rep, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) != 1 || rep.Paths[0].Amplification != 1 || rep.Paths[0].WorstLatencySec != 0 {
+		t.Errorf("root-only report = %+v, want one trivial path", rep)
+	}
+	if rep.TotalAttemptsBound != 0 {
+		t.Errorf("total bound = %d, want 0 (no edges)", rep.TotalAttemptsBound)
+	}
+}
+
+func TestAnalyzeUnbudgetedSaturates(t *testing.T) {
+	// A chain of nanosecond timeouts under a long deadline overflows int64;
+	// the bounds must clamp at MaxInt64, not wrap negative.
+	g := &Graph{
+		Root: "a",
+		Services: []Service{
+			{Name: "a", Replicas: 1},
+			{Name: "b", Replicas: 1},
+			{Name: "c", Replicas: 1},
+		},
+		Calls: []Call{
+			{From: "a", To: "b", TimeoutSec: 1e-9, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+			{From: "b", To: "c", TimeoutSec: 1e-9, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+		},
+	}
+	rep, err := AnalyzeUnbudgeted(g, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxAmplification != math.MaxInt64 {
+		t.Errorf("amplification = %d, want saturation at MaxInt64", rep.MaxAmplification)
+	}
+	if rep.TotalAttemptsBound != math.MaxInt64 {
+		t.Errorf("total bound = %d, want saturation at MaxInt64", rep.TotalAttemptsBound)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	bad := validChain()
+	bad.Calls[0].TimeoutSec = -1
+	if _, err := Analyze(bad); err == nil {
+		t.Error("Analyze accepted an invalid graph")
+	}
+	for _, d := range []float64{0, -1, math.Inf(1), nan()} {
+		if _, err := AnalyzeUnbudgeted(validChain(), d); err == nil {
+			t.Errorf("AnalyzeUnbudgeted accepted deadline %g", d)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package svc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/packetsim"
+)
+
+// FuzzSvcConservation drives randomized (graph, policy, fault schedule,
+// deadline) combinations through the runtime and asserts the conservation
+// invariants: every request and every RPC leg ends exactly once, call counts
+// match the graph's fan-out structure, and the static analyzer's attempt
+// bound dominates the measured worst request.
+func FuzzSvcConservation(f *testing.F) {
+	f.Add(uint8(0), uint8(0), int64(1), uint8(0), uint8(25))
+	f.Add(uint8(0), uint8(1), int64(2), uint8(10), uint8(30))
+	f.Add(uint8(1), uint8(2), int64(3), uint8(20), uint8(15))
+	f.Add(uint8(2), uint8(3), int64(4), uint8(5), uint8(40))
+	f.Add(uint8(0), uint8(0), int64(5), uint8(25), uint8(1))
+
+	tp := core.MustBuild(core.Config{N: 3, K: 1, P: 2})
+	net := tp.Network()
+	graphs := []*Graph{ThreeTier(), Chain(), Diamond()}
+	policies := []Policy{PolicyNone, PolicyFixed, PolicyThrottle, PolicyHedge}
+
+	f.Fuzz(func(t *testing.T, graphSel, polSel uint8, seed int64, faultPct, deadlineMs uint8) {
+		g := graphs[int(graphSel)%len(graphs)]
+		cfg := Config{
+			Policy:      policies[int(polSel)%len(policies)],
+			DeadlineSec: float64(1+int(deadlineMs)%50) * 1e-3,
+			RatePerSec:  3000,
+			Requests:    30,
+			Seed:        seed,
+			Transport:   packetsim.DefaultTransport(),
+		}
+		if rate := float64(int(faultPct)%30) / 100; rate > 0 {
+			plan, err := failure.Downs(net, failure.Switches, rate, 2e-3, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Transport.Faults = plan
+		}
+		res, err := Run(tp, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkConservation(t, g, res)
+		checkAnalyzerBound(t, g, cfg, res)
+	})
+}

@@ -1,0 +1,83 @@
+package svc
+
+import "fmt"
+
+// ThreeTier returns the canonical storm-study graph: a frontend fanning out
+// to a midtier which fans out to storage — the shape whose multiplicative
+// amplification (fanout 2 x 2, retry budget 3 per edge) turns a small
+// outage into a retry storm. Timeouts sit an order of magnitude above the
+// healthy flow completion times of the default GbE link model, so they fire
+// only when failures or congestion bite.
+func ThreeTier() *Graph {
+	return &Graph{
+		Root: "frontend",
+		Services: []Service{
+			{Name: "frontend", Replicas: 4},
+			{Name: "midtier", Replicas: 8, WorkSec: 50e-6},
+			{Name: "storage", Replicas: 16, WorkSec: 20e-6},
+		},
+		Calls: []Call{
+			{From: "frontend", To: "midtier", TimeoutSec: 10e-3, MaxRetries: 3,
+				Fanout: 2, RequestBytes: 2 << 10, ResponseBytes: 32 << 10},
+			{From: "midtier", To: "storage", TimeoutSec: 5e-3, MaxRetries: 3,
+				Fanout: 2, RequestBytes: 1 << 10, ResponseBytes: 16 << 10},
+		},
+	}
+}
+
+// Chain returns a three-deep linear graph (no fan-out): amplification is
+// pure retry multiplication, (1+2)*(1+1) = 6 on the storage edge.
+func Chain() *Graph {
+	return &Graph{
+		Root: "api",
+		Services: []Service{
+			{Name: "api", Replicas: 2},
+			{Name: "backend", Replicas: 2, WorkSec: 50e-6},
+			{Name: "store", Replicas: 2, WorkSec: 20e-6},
+		},
+		Calls: []Call{
+			{From: "api", To: "backend", TimeoutSec: 8e-3, MaxRetries: 2,
+				Fanout: 1, RequestBytes: 2 << 10, ResponseBytes: 16 << 10},
+			{From: "backend", To: "store", TimeoutSec: 4e-3, MaxRetries: 1,
+				Fanout: 1, RequestBytes: 1 << 10, ResponseBytes: 8 << 10},
+		},
+	}
+}
+
+// Diamond returns a two-path graph — root calls two middle services that
+// both depend on one sink — exercising the analyzer's path enumeration and
+// the runtime's convergent placement.
+func Diamond() *Graph {
+	return &Graph{
+		Root: "gateway",
+		Services: []Service{
+			{Name: "gateway", Replicas: 2},
+			{Name: "users", Replicas: 4, WorkSec: 30e-6},
+			{Name: "orders", Replicas: 4, WorkSec: 30e-6},
+			{Name: "db", Replicas: 8, WorkSec: 20e-6},
+		},
+		Calls: []Call{
+			{From: "gateway", To: "users", TimeoutSec: 10e-3, MaxRetries: 1,
+				Fanout: 1, RequestBytes: 2 << 10, ResponseBytes: 16 << 10},
+			{From: "gateway", To: "orders", TimeoutSec: 10e-3, MaxRetries: 1,
+				Fanout: 1, RequestBytes: 2 << 10, ResponseBytes: 16 << 10},
+			{From: "users", To: "db", TimeoutSec: 5e-3, MaxRetries: 1,
+				Fanout: 1, RequestBytes: 1 << 10, ResponseBytes: 8 << 10},
+			{From: "orders", To: "db", TimeoutSec: 5e-3, MaxRetries: 1,
+				Fanout: 1, RequestBytes: 1 << 10, ResponseBytes: 8 << 10},
+		},
+	}
+}
+
+// Builtin returns the named built-in graph (3tier, chain, diamond).
+func Builtin(name string) (*Graph, error) {
+	switch name {
+	case "3tier":
+		return ThreeTier(), nil
+	case "chain":
+		return Chain(), nil
+	case "diamond":
+		return Diamond(), nil
+	}
+	return nil, fmt.Errorf("svc: unknown built-in graph %q (want 3tier|chain|diamond)", name)
+}

@@ -1,0 +1,40 @@
+package svc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Placement assigns every service replica a server index (into
+// topology.Network.Servers()).
+type Placement struct {
+	// Servers[name][j] is the server hosting replica j of the service.
+	Servers map[string][]int
+}
+
+// Place spreads replicas over numServers servers deterministically: a
+// seeded permutation of the servers is consumed round-robin in service
+// declaration order, so distinct replicas (and distinct services) land on
+// distinct servers until the machine pool is exhausted, then wrap and
+// share. The seed decouples placement from the fault sample — the same
+// graph can be placed identically across a failure sweep.
+func Place(g *Graph, numServers int, seed int64) (*Placement, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if numServers < 1 {
+		return nil, fmt.Errorf("svc: placement needs >= 1 servers, got %d", numServers)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(numServers)
+	p := &Placement{Servers: make(map[string][]int, len(g.Services))}
+	cursor := 0
+	for _, s := range g.Services {
+		hosts := make([]int, s.Replicas)
+		for j := range hosts {
+			hosts[j] = perm[cursor%numServers]
+			cursor++
+		}
+		p.Servers[s.Name] = hosts
+	}
+	return p, nil
+}

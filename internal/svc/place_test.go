@@ -1,0 +1,85 @@
+package svc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlaceDeterministicAndDistinct(t *testing.T) {
+	g := ThreeTier() // 4 + 8 + 16 = 28 replicas
+	p1, err := Place(g, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Place(g, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("same seed produced different placements")
+	}
+
+	seen := map[int]bool{}
+	total := 0
+	for _, s := range g.Services {
+		hosts := p1.Servers[s.Name]
+		if len(hosts) != s.Replicas {
+			t.Fatalf("%s has %d hosts, want %d", s.Name, len(hosts), s.Replicas)
+		}
+		for _, h := range hosts {
+			if h < 0 || h >= 32 {
+				t.Fatalf("%s placed on out-of-range server %d", s.Name, h)
+			}
+			if seen[h] {
+				t.Errorf("server %d hosts two replicas despite spare capacity", h)
+			}
+			seen[h] = true
+			total++
+		}
+	}
+	if total != 28 {
+		t.Errorf("placed %d replicas, want 28", total)
+	}
+
+	p3, err := Place(g, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1, p3) {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestPlaceWrapsWhenOversubscribed(t *testing.T) {
+	g := ThreeTier()
+	p, err := Place(g, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, s := range g.Services {
+		for _, h := range p.Servers[s.Name] {
+			if h < 0 || h >= 8 {
+				t.Fatalf("out-of-range server %d", h)
+			}
+			counts[h]++
+		}
+	}
+	// 28 replicas over 8 servers round-robin: every server gets 3 or 4.
+	for h, n := range counts {
+		if n < 3 || n > 4 {
+			t.Errorf("server %d hosts %d replicas, want 3 or 4", h, n)
+		}
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(ThreeTier(), 0, 1); err == nil {
+		t.Error("Place accepted zero servers")
+	}
+	bad := validChain()
+	bad.Root = "nope"
+	if _, err := Place(bad, 8, 1); err == nil {
+		t.Error("Place accepted an invalid graph")
+	}
+}

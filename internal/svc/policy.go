@@ -1,0 +1,61 @@
+package svc
+
+import "fmt"
+
+// Policy selects the retry-mitigation strategy a run applies on call
+// timeouts. All policies propagate deadlines; they differ in how many
+// attempts they permit and when they launch them.
+//
+//   - PolicyNone: no mitigation — retry immediately on every timeout, with
+//     no backoff and no budget beyond the propagated deadline. This is the
+//     unbudgeted baseline whose amplification AnalyzeUnbudgeted bounds, and
+//     the configuration that collapses under faults.
+//   - PolicyFixed: per-call budget of MaxRetries retries with exponential
+//     backoff and deterministic jitter between attempts.
+//   - PolicyThrottle: PolicyFixed plus a per-edge token bucket — a retry
+//     costs one token, successes refill at ThrottleRatio tokens each — so
+//     the retry rate adapts to the downstream success rate (the gRPC
+//     retry-throttling design). An empty bucket denies the retry and fails
+//     the call.
+//   - PolicyHedge: PolicyFixed plus one hedged attempt per call, launched
+//     at HedgeDelayFrac of the timeout if the first attempt has not
+//     returned; the hedge spends a unit of the same MaxRetries budget, so
+//     Analyze's budgeted bound still holds. First response wins; the loser
+//     is cancelled.
+type Policy int
+
+const (
+	PolicyNone Policy = iota
+	PolicyFixed
+	PolicyThrottle
+	PolicyHedge
+)
+
+// ParsePolicy maps the flag spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "none":
+		return PolicyNone, nil
+	case "fixed":
+		return PolicyFixed, nil
+	case "throttle":
+		return PolicyThrottle, nil
+	case "hedge":
+		return PolicyHedge, nil
+	}
+	return 0, fmt.Errorf("svc: unknown policy %q (want none|fixed|throttle|hedge)", s)
+}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyFixed:
+		return "fixed"
+	case PolicyThrottle:
+		return "throttle"
+	case PolicyHedge:
+		return "hedge"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}

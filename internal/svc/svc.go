@@ -1,0 +1,218 @@
+// Package svc is the service-dependency-graph workload layer: a validated
+// call graph of services (each a replica set placed on the structure's
+// servers) whose edges carry per-call timeouts, retry budgets, and fan-out.
+// Run maps every RPC leg onto the transport engine as a real flow — subject
+// to fault injection, multipath failover, and congestion — with deadline
+// propagation and pluggable retry-mitigation policies, which is what lets
+// the repo study retry storms and metastable collapse (experiments F30)
+// instead of just raw flow metrics. Analyze bounds the worst-case retry
+// amplification and latency of every root-to-leaf path statically, before a
+// single packet is simulated.
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Service is one node of the call graph: a named replica set. WorkSec is
+// the local processing time a replica spends per call before issuing its
+// downstream calls (or its response, for a leaf).
+type Service struct {
+	Name     string  `json:"name"`
+	Replicas int     `json:"replicas"`
+	WorkSec  float64 `json:"work_sec,omitempty"`
+}
+
+// Call is one directed dependency edge: every execution of From issues
+// Fanout calls to distinct replicas of To, each with the given timeout and
+// retry budget. RequestBytes and ResponseBytes size the two flows an
+// attempt puts on the wire.
+type Call struct {
+	From          string  `json:"from"`
+	To            string  `json:"to"`
+	TimeoutSec    float64 `json:"timeout_sec"`
+	MaxRetries    int     `json:"max_retries"`
+	Fanout        int     `json:"fanout"`
+	RequestBytes  int64   `json:"request_bytes"`
+	ResponseBytes int64   `json:"response_bytes"`
+}
+
+// Graph is a service dependency graph. Requests enter at Root and recurse
+// down the call edges; the graph must be acyclic.
+type Graph struct {
+	Root     string    `json:"root"`
+	Services []Service `json:"services"`
+	Calls    []Call    `json:"calls"`
+}
+
+// Default flow sizes and fan-out applied by ReadGraph to omitted fields.
+const (
+	DefaultRequestBytes  = 2 << 10
+	DefaultResponseBytes = 16 << 10
+)
+
+// index maps service names to their position in g.Services.
+func (g *Graph) index() map[string]int {
+	idx := make(map[string]int, len(g.Services))
+	for i, s := range g.Services {
+		idx[s.Name] = i
+	}
+	return idx
+}
+
+// outEdges returns, per service index, the indices of its outgoing calls in
+// declaration order.
+func (g *Graph) outEdges(idx map[string]int) [][]int {
+	out := make([][]int, len(g.Services))
+	for e, c := range g.Calls {
+		f := idx[c.From]
+		out[f] = append(out[f], e)
+	}
+	return out
+}
+
+// Validate checks the graph: a known root, unique non-empty service names,
+// positive replica counts, edges between known distinct services with
+// positive timeouts, non-negative retry budgets, positive fan-out and flow
+// sizes, no duplicate edges, and no cycles. Services unreachable from the
+// root are allowed (they simply host no traffic).
+func (g *Graph) Validate() error {
+	if len(g.Services) == 0 {
+		return fmt.Errorf("svc: graph has no services")
+	}
+	idx := make(map[string]int, len(g.Services))
+	for i, s := range g.Services {
+		if s.Name == "" {
+			return fmt.Errorf("svc: service %d has an empty name", i)
+		}
+		if _, dup := idx[s.Name]; dup {
+			return fmt.Errorf("svc: duplicate service %q", s.Name)
+		}
+		if s.Replicas < 1 {
+			return fmt.Errorf("svc: service %q needs >= 1 replicas, has %d", s.Name, s.Replicas)
+		}
+		if s.WorkSec < 0 || math.IsNaN(s.WorkSec) || math.IsInf(s.WorkSec, 0) {
+			return fmt.Errorf("svc: service %q has invalid work time %g", s.Name, s.WorkSec)
+		}
+		idx[s.Name] = i
+	}
+	if g.Root == "" {
+		return fmt.Errorf("svc: graph has no root")
+	}
+	if _, ok := idx[g.Root]; !ok {
+		return fmt.Errorf("svc: root %q is not a service", g.Root)
+	}
+	seen := make(map[[2]string]bool, len(g.Calls))
+	for e, c := range g.Calls {
+		if _, ok := idx[c.From]; !ok {
+			return fmt.Errorf("svc: call %d from unknown service %q", e, c.From)
+		}
+		if _, ok := idx[c.To]; !ok {
+			return fmt.Errorf("svc: call %d to unknown service %q", e, c.To)
+		}
+		if c.From == c.To {
+			return fmt.Errorf("svc: call %d is a self-call on %q", e, c.From)
+		}
+		if seen[[2]string{c.From, c.To}] {
+			return fmt.Errorf("svc: duplicate call %s -> %s", c.From, c.To)
+		}
+		seen[[2]string{c.From, c.To}] = true
+		if !(c.TimeoutSec > 0) || math.IsInf(c.TimeoutSec, 0) {
+			return fmt.Errorf("svc: call %s -> %s needs a positive timeout, has %g", c.From, c.To, c.TimeoutSec)
+		}
+		if c.MaxRetries < 0 {
+			return fmt.Errorf("svc: call %s -> %s has negative retry budget", c.From, c.To)
+		}
+		if c.Fanout < 1 {
+			return fmt.Errorf("svc: call %s -> %s needs fan-out >= 1, has %d", c.From, c.To, c.Fanout)
+		}
+		if c.RequestBytes <= 0 || c.ResponseBytes <= 0 {
+			return fmt.Errorf("svc: call %s -> %s needs positive request/response bytes", c.From, c.To)
+		}
+	}
+	return g.checkAcyclic(idx)
+}
+
+// checkAcyclic rejects call cycles via iterative three-color DFS over the
+// whole graph (not just the root's reach — a cycle among unreachable
+// services is still a malformed graph).
+func (g *Graph) checkAcyclic(idx map[string]int) error {
+	out := g.outEdges(idx)
+	const (
+		white = iota // unvisited
+		gray         // on the stack
+		black        // done
+	)
+	color := make([]int, len(g.Services))
+	for start := range g.Services {
+		if color[start] != white {
+			continue
+		}
+		// Stack frames: service index and position in its edge list.
+		type frame struct{ s, i int }
+		stack := []frame{{start, 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.i >= len(out[top.s]) {
+				color[top.s] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			e := out[top.s][top.i]
+			top.i++
+			next := idx[g.Calls[e].To]
+			switch color[next] {
+			case gray:
+				return fmt.Errorf("svc: call cycle through %q", g.Calls[e].To)
+			case white:
+				color[next] = gray
+				stack = append(stack, frame{next, 0})
+			}
+		}
+	}
+	return nil
+}
+
+// ReadGraph decodes a graph from JSON, filling omitted per-call fields with
+// defaults (fan-out 1, DefaultRequestBytes/DefaultResponseBytes, 1 replica
+// per service), and validates it.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var g Graph
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("svc: decode graph: %w", err)
+	}
+	for i := range g.Services {
+		if g.Services[i].Replicas == 0 {
+			g.Services[i].Replicas = 1
+		}
+	}
+	for i := range g.Calls {
+		c := &g.Calls[i]
+		if c.Fanout == 0 {
+			c.Fanout = 1
+		}
+		if c.RequestBytes == 0 {
+			c.RequestBytes = DefaultRequestBytes
+		}
+		if c.ResponseBytes == 0 {
+			c.ResponseBytes = DefaultResponseBytes
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// WriteGraph encodes the graph as indented JSON.
+func WriteGraph(w io.Writer, g *Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}

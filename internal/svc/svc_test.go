@@ -1,0 +1,185 @@
+package svc
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata fixtures")
+
+// validChain is a minimal well-formed chain used as the mutation base for
+// the validation battery.
+func validChain() *Graph {
+	return &Graph{
+		Root: "a",
+		Services: []Service{
+			{Name: "a", Replicas: 1},
+			{Name: "b", Replicas: 2},
+			{Name: "c", Replicas: 2},
+		},
+		Calls: []Call{
+			{From: "a", To: "b", TimeoutSec: 2, MaxRetries: 2, Fanout: 1, RequestBytes: 1 << 10, ResponseBytes: 1 << 10},
+			{From: "b", To: "c", TimeoutSec: 1, MaxRetries: 1, Fanout: 1, RequestBytes: 1 << 10, ResponseBytes: 1 << 10},
+		},
+	}
+}
+
+func TestValidateBattery(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Graph)
+		wantErr string
+	}{
+		{name: "valid chain", mutate: func(*Graph) {}},
+		{name: "empty graph", mutate: func(g *Graph) { g.Services = nil; g.Calls = nil }, wantErr: "no services"},
+		{name: "missing root", mutate: func(g *Graph) { g.Root = "" }, wantErr: "no root"},
+		{name: "unknown root", mutate: func(g *Graph) { g.Root = "nope" }, wantErr: "not a service"},
+		{name: "empty service name", mutate: func(g *Graph) { g.Services[1].Name = "" }, wantErr: "empty name"},
+		{name: "duplicate service", mutate: func(g *Graph) { g.Services[2].Name = "b" }, wantErr: "duplicate service"},
+		{name: "zero replicas", mutate: func(g *Graph) { g.Services[1].Replicas = 0 }, wantErr: "replicas"},
+		{name: "negative work", mutate: func(g *Graph) { g.Services[1].WorkSec = -1 }, wantErr: "work time"},
+		{name: "unknown callee", mutate: func(g *Graph) { g.Calls[1].To = "ghost" }, wantErr: "unknown service"},
+		{name: "unknown caller", mutate: func(g *Graph) { g.Calls[0].From = "ghost" }, wantErr: "unknown service"},
+		{name: "self call", mutate: func(g *Graph) { g.Calls[1].To = "b" }, wantErr: "self-call"},
+		{name: "duplicate edge", mutate: func(g *Graph) { g.Calls = append(g.Calls, g.Calls[0]) }, wantErr: "duplicate call"},
+		{name: "zero timeout", mutate: func(g *Graph) { g.Calls[0].TimeoutSec = 0 }, wantErr: "positive timeout"},
+		{name: "negative timeout", mutate: func(g *Graph) { g.Calls[1].TimeoutSec = -3 }, wantErr: "positive timeout"},
+		{name: "NaN timeout", mutate: func(g *Graph) { g.Calls[1].TimeoutSec = nan() }, wantErr: "positive timeout"},
+		{name: "negative retries", mutate: func(g *Graph) { g.Calls[0].MaxRetries = -1 }, wantErr: "retry budget"},
+		{name: "zero fanout", mutate: func(g *Graph) { g.Calls[0].Fanout = 0 }, wantErr: "fan-out"},
+		{name: "zero request bytes", mutate: func(g *Graph) { g.Calls[0].RequestBytes = 0 }, wantErr: "bytes"},
+		{name: "zero response bytes", mutate: func(g *Graph) { g.Calls[0].ResponseBytes = 0 }, wantErr: "bytes"},
+		{name: "two cycle", mutate: func(g *Graph) {
+			g.Calls = append(g.Calls, Call{From: "b", To: "a", TimeoutSec: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1})
+		}, wantErr: "cycle"},
+		{name: "three cycle", mutate: func(g *Graph) {
+			g.Calls = append(g.Calls, Call{From: "c", To: "a", TimeoutSec: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1})
+		}, wantErr: "cycle"},
+		{name: "cycle off the root", mutate: func(g *Graph) {
+			// A cycle among services the root never reaches is still invalid.
+			g.Services = append(g.Services, Service{Name: "x", Replicas: 1}, Service{Name: "y", Replicas: 1})
+			g.Calls = append(g.Calls,
+				Call{From: "x", To: "y", TimeoutSec: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1},
+				Call{From: "y", To: "x", TimeoutSec: 1, Fanout: 1, RequestBytes: 1, ResponseBytes: 1})
+		}, wantErr: "cycle"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := validChain()
+			tt.mutate(g)
+			err := g.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestBuiltinGraphs(t *testing.T) {
+	for _, name := range []string{"3tier", "chain", "diamond"} {
+		g, err := Builtin(name)
+		if err != nil {
+			t.Fatalf("Builtin(%q): %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("built-in %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Builtin("mesh"); err == nil {
+		t.Error("Builtin accepted an unknown name")
+	}
+}
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	want := ThreeTier()
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the graph:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCommittedThreeTier pins the committed graph file (the one svc-smoke
+// and the simulate CLI load) to the in-code builder. Regenerate with
+// go test ./internal/svc -run CommittedThreeTier -update.
+func TestCommittedThreeTier(t *testing.T) {
+	const path = "testdata/3tier.json"
+	if *update {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteGraph(f, ThreeTier()); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ThreeTier(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s diverges from ThreeTier(); rerun with -update:\ngot  %+v\nwant %+v", path, got, want)
+	}
+}
+
+func TestReadGraphDefaults(t *testing.T) {
+	in := `{
+		"root": "a",
+		"services": [{"name": "a"}, {"name": "b"}],
+		"calls": [{"from": "a", "to": "b", "timeout_sec": 0.5}]
+	}`
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Services[0].Replicas != 1 || g.Services[1].Replicas != 1 {
+		t.Errorf("replica default not applied: %+v", g.Services)
+	}
+	c := g.Calls[0]
+	if c.Fanout != 1 || c.RequestBytes != DefaultRequestBytes || c.ResponseBytes != DefaultResponseBytes {
+		t.Errorf("call defaults not applied: %+v", c)
+	}
+}
+
+func TestReadGraphRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{broken`,
+		"unknown field": `{"root": "a", "services": [{"name": "a"}], "calls": [], "extra": 1}`,
+		"invalid graph": `{"root": "a", "services": [{"name": "a"}, {"name": "b"}],
+			"calls": [{"from": "a", "to": "b", "timeout_sec": -1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadGraph accepted %q", name, in)
+		}
+	}
+}
