@@ -26,12 +26,16 @@
 #                service graph through cmd/simulate, run it under a switch
 #                outage, and re-check the smoke-scale F30 retry-storm grid
 #                for byte determinism
+#   make surv-smoke  run seeded lifetime trials through cmd/simulate (wear-out
+#                and churn), render the committed surv run record through
+#                cmd/obsreport, and re-check the smoke-scale F31 survivability
+#                figure for byte determinism across GOMAXPROCS
 #   make check   everything a PR must pass locally
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke obsreport-smoke emu-smoke svc-smoke check
+.PHONY: build test vet race bench bench-smoke bench-scale fuzz-smoke obsreport-smoke emu-smoke svc-smoke surv-smoke check
 
 build:
 	$(GO) build ./...
@@ -46,7 +50,7 @@ vet:
 # on a small CI machine that can blow go test's default 10m per-package
 # timeout, so the budget is explicit.
 race:
-	$(GO) test -race -timeout 30m ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq ./internal/failure ./internal/svc ./internal/bcube ./internal/topotest
+	$(GO) test -race -timeout 30m ./internal/experiments ./internal/graph ./internal/flowsim ./internal/emu ./internal/obs ./internal/packetsim ./internal/eventq ./internal/failure ./internal/svc ./internal/surv ./internal/bcube ./internal/topotest
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
@@ -97,5 +101,15 @@ svc-smoke:
 	$(GO) run ./cmd/simulate -topo abccc -sim svc -graph 3tier -policy throttle -rate 4000 -deadline 60ms -requests 80 \
 		-faults switches -mtbf 5ms -mttr 20ms
 	$(GO) test ./internal/experiments -run TestRetryStormSmokeDeterministic -count=1
+
+# Seeded lifetime trials through the CLI (wear-out MTTF and repairable
+# churn), the committed surv run record through obsreport, and the
+# smoke-scale F31 figure re-checked for byte determinism.
+surv-smoke:
+	$(GO) run ./cmd/simulate -topo abccc -sim surv -trials 8 -horizon 30y
+	$(GO) run ./cmd/simulate -topo bcube -n 4 -k 1 -sim surv -churn \
+		-classes "switches=2d:4h,links=5d:2h" -horizon 30d -trials 4
+	$(GO) run ./cmd/obsreport cmd/obsreport/testdata/surv.jsonl.gz
+	$(GO) test ./internal/experiments -run TestSurvSmokeDeterministic -count=1
 
 check: build vet test race

@@ -270,6 +270,8 @@ func BenchmarkF29ServingWorkloads(b *testing.B) { benchExperiment(b, "F29") }
 
 func BenchmarkF30RetryStorm(b *testing.B) { benchExperiment(b, "F30") }
 
+func BenchmarkF31Survivability(b *testing.B) { benchExperiment(b, "F31") }
+
 func BenchmarkPlannerSearch(b *testing.B) {
 	req := planner.Requirements{MinServers: 5000, MaxServerPorts: 4, MaxSwitchPorts: 48}
 	model := cost.Default()

@@ -16,14 +16,16 @@ import (
 
 // -update regenerates testdata: the f26.jsonl.gz fixture (re-running the F26
 // smoke scenario via experiments.WriteRecoveryRun), the svc.jsonl.gz fixture
-// (the F30 smoke cell via experiments.WriteRetryStormRun), and every golden
-// file. Shard busy/wait numbers are wall-clock, so regeneration rewrites
-// fixture and goldens together; committed, the pair is byte-stable.
+// (the F30 smoke cell via experiments.WriteRetryStormRun), the surv.jsonl.gz
+// fixture (an F31 lifetime replay via experiments.WriteSurvRun), and every
+// golden file. Shard busy/wait numbers are wall-clock, so regeneration
+// rewrites fixture and goldens together; committed, the pair is byte-stable.
 var update = flag.Bool("update", false, "regenerate testdata fixtures and golden files")
 
 const (
-	fixture    = "testdata/f26.jsonl.gz"
-	svcFixture = "testdata/svc.jsonl.gz"
+	fixture     = "testdata/f26.jsonl.gz"
+	svcFixture  = "testdata/svc.jsonl.gz"
+	survFixture = "testdata/surv.jsonl.gz"
 )
 
 func TestMain(m *testing.M) {
@@ -41,7 +43,10 @@ func regenFixtures() error {
 	if err := writeGzFixture(fixture, experiments.WriteRecoveryRun); err != nil {
 		return err
 	}
-	return writeGzFixture(svcFixture, experiments.WriteRetryStormRun)
+	if err := writeGzFixture(svcFixture, experiments.WriteRetryStormRun); err != nil {
+		return err
+	}
+	return writeGzFixture(survFixture, experiments.WriteSurvRun)
 }
 
 func writeGzFixture(path string, write func(io.Writer) error) error {
@@ -117,6 +122,25 @@ func TestSvcTerminalGolden(t *testing.T) {
 		t.Error("svc report used the packet-track columns instead of the generic fallback")
 	}
 	golden(t, "svc.txt", out.Bytes())
+}
+
+// TestSurvTerminalGolden pins the series-track fallback on a survivability
+// run record: surv_* gauge tracks only (one point per sample instant, no
+// metrics registry), rendered as raw-named timeline columns.
+func TestSurvTerminalGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{survFixture}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"engine=surv", "surv_reachable_ppm", "surv_events"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("surv report missing %q", want)
+		}
+	}
+	if strings.Contains(out.String(), "goodput(Gb/s)") {
+		t.Error("surv report used the packet-track columns instead of the generic fallback")
+	}
+	golden(t, "surv.txt", out.Bytes())
 }
 
 func TestHTMLGolden(t *testing.T) {

@@ -8,14 +8,17 @@
 //	simulate -topo fattree -k 4 -pattern alltoall -sim flow
 //	simulate -topo abccc -n 8 -k 2 -sim emu -workload rpc -requests 1024
 //	simulate -topo abccc -sim svc -graph 3tier -policy throttle -faults switches -mtbf 5ms
+//	simulate -topo abccc -sim surv -trials 32 -horizon 30y -classes "switches=5y,links=10y"
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +33,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/obs"
 	"repro/internal/packetsim"
+	"repro/internal/surv"
 	"repro/internal/svc"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -50,7 +54,7 @@ func run(args []string, w io.Writer) error {
 		k       = fs.Int("k", 1, "order (or fat-tree port count)")
 		p       = fs.Int("p", 2, "NIC ports per server (abccc)")
 		pattern = fs.String("pattern", "permutation", "workload: permutation|alltoall|uniform|incast|shuffle|hotspot")
-		sim     = fs.String("sim", "flow", "simulator: flow|packet|transport|emu (sharded actor emulator)|svc (service dependency graph)")
+		sim     = fs.String("sim", "flow", "simulator: flow|packet|transport|emu (sharded actor emulator)|svc (service dependency graph)|surv (connectivity-level lifetime trials)")
 		seed    = fs.Int64("seed", 1, "workload seed")
 		count   = fs.Int("count", 0, "flow count for uniform/hotspot (default: one per server)")
 		load    = fs.String("load", "", "replay a JSONL workload trace instead of -pattern")
@@ -76,6 +80,11 @@ func run(args []string, w io.Writer) error {
 		policy  = fs.String("policy", "fixed", "with -sim svc, retry mitigation policy: none|fixed|throttle|hedge")
 		rate    = fs.Float64("rate", 2000, "with -sim svc, root request arrival rate per second")
 		deadln  = fs.Duration("deadline", 50*time.Millisecond, "with -sim svc, end-to-end request deadline")
+		trials  = fs.Int("trials", 16, "with -sim surv, number of independent seeded lifetime trials")
+		horizon = fs.String("horizon", "30y", "with -sim surv, trial horizon: a Go duration, or y/d units (30y, 90d)")
+		classes = fs.String("classes", "switches=5y,links=10y", "with -sim surv, per-class lifetimes kind=MTBF[:MTTR], comma-separated (MTTR needed with -churn)")
+		churn   = fs.Bool("churn", false, "with -sim surv, repairable Poisson churn instead of no-repair wear-out")
+		thresh  = fs.Float64("threshold", 0.99, "with -sim surv, report mean first time reachability drops below this fraction (0 disables)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -91,8 +100,8 @@ func run(args []string, w io.Writer) error {
 	if *mpath && *faults == "" {
 		return fmt.Errorf("-multipath requires -faults (the proactive layer only arms under a fault plan)")
 	}
-	if (*shards != 0 || *workers != 0) && (*sim == "flow" || *sim == "svc") {
-		return fmt.Errorf("-shards/-workers require -sim packet, transport or emu (the service layer runs on the serial engine)")
+	if (*shards != 0 || *workers != 0) && (*sim == "flow" || *sim == "svc" || *sim == "surv") {
+		return fmt.Errorf("-shards/-workers require -sim packet, transport or emu (the service layer runs on the serial engine; surv parallelizes over trials by itself)")
 	}
 	if *workers != 0 && *shards == 0 {
 		return fmt.Errorf("-workers requires -shards")
@@ -101,13 +110,22 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-trace with -shards needs -workers 1 (parallel drains interleave trace records nondeterministically)")
 	}
 	if *series != "" && *sim == "flow" {
-		return fmt.Errorf("-series requires -sim packet, transport, emu or svc (the flow model has no notion of time)")
+		return fmt.Errorf("-series requires -sim packet, transport, emu, svc or surv (the flow model has no notion of time)")
 	}
 	if *sim == "svc" && *trace != "" {
 		return fmt.Errorf("-trace records per-packet hops; -sim svc reports at the service layer (use -series)")
 	}
 	if *sim == "svc" && (*load != "" || *save != "") {
 		return fmt.Errorf("-load/-save apply to flow workloads; -sim svc derives its traffic from the call graph")
+	}
+	if *sim == "surv" && (*trace != "" || *metrics) {
+		return fmt.Errorf("-trace/-metrics record packet-level telemetry; -sim surv replays at connectivity level (use -series)")
+	}
+	if *sim == "surv" && (*load != "" || *save != "") {
+		return fmt.Errorf("-load/-save apply to flow workloads; -sim surv has no flows")
+	}
+	if *sim == "surv" && *faults != "" {
+		return fmt.Errorf("-faults drives the packet simulators; -sim surv draws its own schedule from -classes/-churn")
 	}
 	if *faults != "" && *sim == "emu" {
 		return fmt.Errorf("-faults drives the packet simulators' event queues; the emulator takes static dead devices instead")
@@ -130,6 +148,13 @@ func run(args []string, w io.Writer) error {
 		// The service layer derives its traffic from the call graph; there is
 		// no flow workload to build. -pattern becomes the run label.
 		*pattern = fmt.Sprintf("svc:%s/%s", *graphFl, *policy)
+	} else if *sim == "surv" {
+		// Lifetime trials replay component schedules, not flows.
+		mode := "wearout"
+		if *churn {
+			mode = "churn"
+		}
+		*pattern = fmt.Sprintf("surv:%s/%s", mode, *horizon)
 	} else if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
@@ -156,7 +181,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
-	if *sim == "svc" {
+	if *sim == "svc" || *sim == "surv" {
 		fmt.Fprintf(w, "%s: %d servers (%s)\n", t.Network().Name(), servers, *pattern)
 	} else {
 		fmt.Fprintf(w, "%s: %d servers, %d flows (%s)\n",
@@ -174,7 +199,9 @@ func run(args []string, w io.Writer) error {
 		tracer = obs.NewTracer(0)
 	}
 	var ser *obs.Series
-	if *series != "" {
+	// The surv case writes its own run record (its time axis is the trial
+	// horizon, not the packet clock), so the shared series stays unarmed.
+	if *series != "" && *sim != "surv" {
 		width := serWin.Nanoseconds()
 		if *sim == "emu" {
 			width = 1 // the emulator's time axis is rounds: one window per round
@@ -333,6 +360,51 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "multipath: %d failovers, %d path switches, probes %d ok / %d failed\n",
 				res.Transport.Failovers, res.Transport.PathSwitches,
 				res.Transport.ProbeSuccesses, res.Transport.ProbeFailures)
+		}
+	case "surv":
+		horizonSec, err := parseSpan(*horizon)
+		if err != nil {
+			return fmt.Errorf("-horizon: %w", err)
+		}
+		classRates, err := parseClassSpec(*classes)
+		if err != nil {
+			return fmt.Errorf("-classes: %w", err)
+		}
+		var thresholds []float64
+		if *thresh > 0 {
+			thresholds = []float64{*thresh}
+		}
+		st, err := surv.RunTrials(t.Network(), surv.TrialConfig{
+			Classes:    classRates,
+			Churn:      *churn,
+			HorizonSec: horizonSec,
+			Trials:     *trials,
+			Seed:       *seed,
+			Thresholds: thresholds,
+		})
+		if err != nil {
+			return err
+		}
+		m := st.MTTF
+		fmt.Fprintf(w, "surv: %d trials over %s (%s), %d partitioned, %d censored at horizon\n",
+			*trials, *horizon, *classes, m.N, m.Censored)
+		fmt.Fprintf(w, "MTTF to first partition: mean %s, %.0f%% CI [%s, %s]\n",
+			fmtSpan(m.Mean), m.Level*100, fmtSpan(m.Lo), fmtSpan(m.Hi))
+		if len(st.Below) > 0 {
+			b := st.Below[0]
+			fmt.Fprintf(w, "first time below %.4g reachability: mean %s (%d/%d trials crossed)\n",
+				*thresh, fmtSpan(b.Mean), b.N, b.N+b.Censored)
+		}
+		if len(st.MeanCurve) > 0 {
+			last := st.MeanCurve[len(st.MeanCurve)-1]
+			fmt.Fprintf(w, "mean end state: reachable pairs %.4f, largest component %.4f of servers\n",
+				last.ReachableFrac, last.LargestFrac)
+		}
+		if *series != "" {
+			if err := writeSurvSeries(*series, w, t.Network(), classRates, *churn, horizonSec,
+				thresholds, *seed, *pattern); err != nil {
+				return err
+			}
 		}
 	case "emu":
 		fw, ok := t.(emu.Forwarder)
@@ -509,6 +581,126 @@ func writeTimeline(w io.Writer, tl *packetsim.Timeline) {
 			i, e.StartSec*1e3, e.EndSec*1e3, e.GoodputBps()*8/1e9, e.Availability(),
 			e.DroppedFault, e.DroppedStale, e.DroppedTail, e.Reroutes, e.Failovers)
 	}
+}
+
+// parseSpan parses a lifetime span: y (365-day years) and d suffixes for the
+// survivability time scales, any Go duration otherwise.
+func parseSpan(s string) (float64, error) {
+	for suffix, sec := range map[string]float64{"y": 365 * 86400, "d": 86400} {
+		if strings.HasSuffix(s, suffix) {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(s, suffix), 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad span %q", s)
+			}
+			return v * sec, nil
+		}
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad span %q (want a Go duration or y/d units)", s)
+	}
+	return d.Seconds(), nil
+}
+
+// parseClassSpec parses the -classes grammar: kind=MTBF[:MTTR], comma
+// separated, with spans in parseSpan units.
+func parseClassSpec(spec string) ([]failure.ClassRate, error) {
+	var out []failure.ClassRate
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad class %q (want kind=MTBF[:MTTR])", part)
+		}
+		kind, err := failure.ParseKind(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, err
+		}
+		cr := failure.ClassRate{Kind: kind}
+		times := strings.SplitN(kv[1], ":", 2)
+		if cr.MTBFSec, err = parseSpan(strings.TrimSpace(times[0])); err != nil {
+			return nil, err
+		}
+		if len(times) == 2 {
+			if cr.MTTRSec, err = parseSpan(strings.TrimSpace(times[1])); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, cr)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-classes is empty")
+	}
+	return out, nil
+}
+
+// fmtSpan renders a seconds quantity on the survivability time scales:
+// years down to half a year, days down to a day, seconds below.
+func fmtSpan(sec float64) string {
+	switch {
+	case math.IsNaN(sec):
+		return "-"
+	case sec >= 0.5*365*86400:
+		return fmt.Sprintf("%.2fy", sec/(365*86400))
+	case sec >= 86400:
+		return fmt.Sprintf("%.1fd", sec/86400)
+	default:
+		return fmt.Sprintf("%.3gs", sec)
+	}
+}
+
+// writeSurvSeries replays one extra seeded lifetime with the series layer
+// armed and writes the run record: the -series path for -sim surv.
+func writeSurvSeries(path string, w io.Writer, net *topology.Network, classRates []failure.ClassRate,
+	churn bool, horizonSec float64, thresholds []float64, seed int64, label string) error {
+	rng := rand.New(rand.NewSource(seed))
+	var plan *failure.FaultPlan
+	var err error
+	if churn {
+		plan, err = failure.Schedule(net, failure.ScheduleConfig{
+			HorizonSec: horizonSec, Classes: classRates}, rng)
+	} else {
+		plan, err = failure.Wearout(net, classRates, horizonSec, rng)
+	}
+	if err != nil {
+		return err
+	}
+	windowNs := int64(horizonSec / 64 * 1e9)
+	if windowNs < 1 {
+		windowNs = 1
+	}
+	ser := obs.NewSeries(windowNs)
+	if _, err := surv.Lifetime(net, plan, surv.Config{
+		HorizonSec: horizonSec,
+		Thresholds: thresholds,
+		Series:     ser,
+	}); err != nil {
+		return err
+	}
+	meta := obs.RunMeta{
+		Label:          fmt.Sprintf("%s/%s", net.Name(), label),
+		Engine:         "surv",
+		Topology:       net.Name(),
+		Workload:       fmt.Sprintf("%s, seed %d", label, seed),
+		SeriesWindowNs: windowNs,
+		Series:         true,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteRun(f, meta, nil, ser, nil); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "series: wrote %d points to %s (render with obsreport)\n", len(ser.Points()), path)
+	return nil
 }
 
 func buildTopology(name string, n, k, p int) (topology.Topology, error) {

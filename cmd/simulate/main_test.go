@@ -80,7 +80,33 @@ func TestRunSimulations(t *testing.T) {
 				"-faults", "switches", "-mtbf", "5ms", "-multipath", "-paths", "3"},
 			want: "multipath:",
 		},
+		{
+			name: "surv wearout",
+			args: []string{"-topo", "abccc", "-sim", "surv", "-trials", "4", "-horizon", "20y"},
+			want: "MTTF to first partition",
+		},
+		{
+			name: "surv churn",
+			args: []string{"-topo", "bcube", "-n", "4", "-k", "1", "-sim", "surv", "-churn",
+				"-classes", "switches=2d:4h,links=5d:2h", "-horizon", "20d", "-trials", "4"},
+			want: "partitioned",
+		},
+		{
+			name: "surv threshold disabled",
+			args: []string{"-topo", "abccc", "-sim", "surv", "-trials", "2", "-threshold", "0"},
+			want: "mean end state",
+		},
 		{name: "bad topo", args: []string{"-topo", "torus"}, wantErr: true},
+		{name: "surv with shards", args: []string{"-sim", "surv", "-shards", "2"}, wantErr: true},
+		{name: "surv with faults", args: []string{"-sim", "surv", "-faults", "links"}, wantErr: true},
+		{name: "surv with trace", args: []string{"-sim", "surv", "-trace", "x.jsonl"}, wantErr: true},
+		{name: "surv with metrics", args: []string{"-sim", "surv", "-metrics"}, wantErr: true},
+		{name: "surv with save", args: []string{"-sim", "surv", "-save", "x.jsonl"}, wantErr: true},
+		{name: "surv bad horizon", args: []string{"-sim", "surv", "-horizon", "soon"}, wantErr: true},
+		{name: "surv bad classes", args: []string{"-sim", "surv", "-classes", "gremlins=1y"}, wantErr: true},
+		{name: "surv classes missing mtbf", args: []string{"-sim", "surv", "-classes", "links"}, wantErr: true},
+		{name: "surv churn needs mttr", args: []string{"-sim", "surv", "-churn", "-trials", "2"}, wantErr: true},
+		{name: "surv zero trials", args: []string{"-sim", "surv", "-trials", "0"}, wantErr: true},
 		{name: "svc bad graph", args: []string{"-sim", "svc", "-graph", "mesh"}, wantErr: true},
 		{name: "svc bad policy", args: []string{"-sim", "svc", "-policy", "yolo"}, wantErr: true},
 		{name: "svc with shards", args: []string{"-sim", "svc", "-shards", "2"}, wantErr: true},
@@ -173,6 +199,79 @@ func TestSvcSeriesRecord(t *testing.T) {
 	for _, pt := range recs.Series {
 		if !strings.HasPrefix(pt.Track, "svc_") {
 			t.Errorf("non-svc track %q in svc run record", pt.Track)
+		}
+	}
+}
+
+// TestSurvSeriesRecord: -sim surv -series replays one extra seeded lifetime
+// and writes a run record whose engine is surv and whose tracks are all
+// survivability tracks.
+func TestSurvSeriesRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "surv.jsonl")
+	var buf bytes.Buffer
+	args := []string{"-topo", "abccc", "-sim", "surv", "-trials", "2", "-horizon", "10y", "-series", path}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "series: wrote") {
+		t.Errorf("output missing series marker:\n%s", buf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadRecords(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs.HasMeta || recs.Meta.Engine != "surv" {
+		t.Errorf("run record meta = %+v, want engine surv", recs.Meta)
+	}
+	if len(recs.Series) == 0 {
+		t.Error("run record has no series points")
+	}
+	for _, pt := range recs.Series {
+		if !strings.HasPrefix(pt.Track, "surv_") {
+			t.Errorf("non-surv track %q in surv run record", pt.Track)
+		}
+	}
+}
+
+// TestSurvRunDeterministic: the seeded trial batch must reproduce byte for
+// byte, including the MTTF estimate and threshold lines.
+func TestSurvRunDeterministic(t *testing.T) {
+	args := []string{"-topo", "abccc", "-sim", "surv", "-trials", "6", "-horizon", "20y", "-seed", "9"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("same seed, different surv reports:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestParseSpan pins the survivability time-span grammar.
+func TestParseSpan(t *testing.T) {
+	good := map[string]float64{
+		"30y":   30 * 365 * 86400,
+		"1.5y":  1.5 * 365 * 86400,
+		"90d":   90 * 86400,
+		"500ms": 0.5,
+		"2h":    7200,
+	}
+	for in, want := range good {
+		got, err := parseSpan(in)
+		if err != nil || got != want {
+			t.Errorf("parseSpan(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "soon", "yd", "x1y"} {
+		if _, err := parseSpan(in); err == nil {
+			t.Errorf("parseSpan(%q) accepted", in)
 		}
 	}
 }

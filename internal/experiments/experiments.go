@@ -67,6 +67,7 @@ var experimentRegistry = sync.OnceValue(func() *registry {
 		{ID: "F28", Title: "Sharded engine equivalence: shuffle results across shard counts", Run: F28ShardScaling},
 		{ID: "F29", Title: "Serving workloads on the actor engine: RPC fan-out, incast, shuffle", Run: F29ServingWorkloads},
 		{ID: "F30", Title: "Retry storms: service-graph collapse and mitigation under switch outages", Run: F30RetryStorm},
+		{ID: "F31", Title: "Survivability: MTTF to partition, criticality, reliability-vs-CapEx Pareto front", Run: F31Survivability},
 	}
 	byID := make(map[string]Experiment, len(list))
 	for _, e := range list {

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dcell"
+	"repro/internal/failure"
+	"repro/internal/fattree"
+	"repro/internal/hypercube"
+	"repro/internal/obs"
+	"repro/internal/surv"
+	"repro/internal/topology"
+)
+
+// Survivability scenario parameters. Wear-out lifetimes are the 2015-era
+// hardware-reliability folklore numbers — switches fail around 5 years,
+// cables around 10 — and the 30-year horizon comfortably covers every
+// structure's first partition, so no MTTF sample is censored at full scale.
+const (
+	survSeed           = 31
+	secondsPerYear     = 31536000.0
+	survSwitchMTBFSec  = 5 * secondsPerYear
+	survLinkMTBFSec    = 10 * secondsPerYear
+	survHorizonSec     = 30 * secondsPerYear
+	survCurveSampleSec = 5 * secondsPerYear
+	// survFullTrials is the MTTF sample size per family; survSmokeScale
+	// divides it (and the curve trials) for the CI smoke run.
+	survFullTrials  = 24
+	survCurveTrials = 8
+	survSmokeScale  = 4
+)
+
+// survWearClasses is the shared wear-out model. Families without switches
+// (the hypercube) simply have an empty pool for the first class.
+func survWearClasses() []failure.ClassRate {
+	return []failure.ClassRate{
+		{Kind: failure.Switches, MTBFSec: survSwitchMTBFSec},
+		{Kind: failure.Links, MTBFSec: survLinkMTBFSec},
+	}
+}
+
+// survFamily is one comparison-structure row: MTTF trials plus the CapEx
+// side of the Pareto plot.
+type survFamily struct {
+	t     topology.Topology
+	stats *surv.Stats
+}
+
+// survFamilies builds the five compared structures at matched small scale.
+func survFamilies() []survFamily {
+	return []survFamily{
+		{t: core.MustBuild(core.Config{N: 4, K: 1, P: 2})},
+		{t: bcube.MustBuild(bcube.Config{N: 4, K: 1})},
+		{t: fattree.MustBuild(fattree.Config{K: 4})},
+		{t: dcell.MustBuild(dcell.Config{N: 4, K: 1})},
+		{t: hypercube.MustBuild(hypercube.Config{D: 5})},
+	}
+}
+
+// fmtYears renders a seconds quantity in years, "-" for NaN (no samples).
+func fmtYears(sec float64) string {
+	if math.IsNaN(sec) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", sec/secondsPerYear)
+}
+
+// f31 renders the whole figure at the given scale divisor (1 = full).
+func f31(w io.Writer, scale int) error {
+	trials := survFullTrials / scale
+	curveTrials := survCurveTrials / scale
+	if trials < 2 {
+		trials = 2
+	}
+	if curveTrials < 2 {
+		curveTrials = 2
+	}
+
+	// Section 1: MTTF-to-partition per family, wear-out, StopAtPartition.
+	fams := survFamilies()
+	for i := range fams {
+		st, err := surv.RunTrials(fams[i].t.Network(), surv.TrialConfig{
+			Classes:         survWearClasses(),
+			HorizonSec:      survHorizonSec,
+			Trials:          trials,
+			Seed:            survSeed,
+			StopAtPartition: true,
+		})
+		if err != nil {
+			return err
+		}
+		fams[i].stats = st
+	}
+	fmt.Fprintf(w, "wear-out lifetimes: switches Exp(%gy), links Exp(%gy); %d trials, %gy horizon, 95%% CI\n",
+		survSwitchMTBFSec/secondsPerYear, survLinkMTBFSec/secondsPerYear, trials,
+		survHorizonSec/secondsPerYear)
+	tw := table(w)
+	fmt.Fprintln(tw, "structure\tservers\tswitches\tlinks\tpartitioned\tMTTF(y)\tCI lo\tCI hi")
+	for _, f := range fams {
+		net := f.t.Network()
+		m := f.stats.MTTF
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d/%d\t%s\t%s\t%s\n",
+			net.Name(), net.NumServers(), net.NumSwitches(), net.NumLinks(),
+			m.N, m.N+m.Censored, fmtYears(m.Mean), fmtYears(m.Lo), fmtYears(m.Hi))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Section 2: reliability vs CapEx Pareto front. A structure is on the
+	// front iff no other is at once no more expensive and no less reliable
+	// (strictly better in one coordinate).
+	model := cost.Default()
+	fmt.Fprintln(w, "\nreliability vs interconnect CapEx (per server, 2015-era prices):")
+	tw = table(w)
+	fmt.Fprintln(tw, "structure\t$/server\tMTTF(y)\tpareto")
+	for _, f := range fams {
+		props := f.t.Properties()
+		perServer := model.CapEx(props).PerServer(props.Servers)
+		mttf := f.stats.MTTF.Mean
+		verdict := "front"
+		for _, g := range fams {
+			if g.t == f.t {
+				continue
+			}
+			gp := g.t.Properties()
+			gCost := model.CapEx(gp).PerServer(gp.Servers)
+			gMTTF := g.stats.MTTF.Mean
+			if math.IsNaN(mttf) {
+				mttf = math.Inf(-1)
+			}
+			if math.IsNaN(gMTTF) {
+				gMTTF = math.Inf(-1)
+			}
+			if gCost <= perServer && gMTTF >= mttf && (gCost < perServer || gMTTF > mttf) {
+				verdict = "dominated by " + gp.Name
+				break
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%s\t%s\n", props.Name, perServer, fmtYears(f.stats.MTTF.Mean), verdict)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Section 3: mean survivability-vs-time curves, full-horizon wear-out
+	// replays (no early stop), ABCCC vs BCube at matched size.
+	curveNets := []*topology.Network{fams[0].t.Network(), fams[1].t.Network()}
+	curves := make([]*surv.Stats, len(curveNets))
+	for i, net := range curveNets {
+		st, err := surv.RunTrials(net, surv.TrialConfig{
+			Classes:        survWearClasses(),
+			HorizonSec:     survHorizonSec,
+			Trials:         curveTrials,
+			Seed:           survSeed + 1,
+			SampleEverySec: survCurveSampleSec,
+			Thresholds:     []float64{0.99},
+		})
+		if err != nil {
+			return err
+		}
+		curves[i] = st
+	}
+	fmt.Fprintf(w, "\nmean survivability vs time (%d full-horizon trials, reachable server-pair fraction / largest component):\n", curveTrials)
+	tw = table(w)
+	fmt.Fprintf(tw, "t(y)\t%s reach\tlargest\t%s reach\tlargest\n",
+		curveNets[0].Name(), curveNets[1].Name())
+	for j := range curves[0].MeanCurve {
+		a, b := curves[0].MeanCurve[j], curves[1].MeanCurve[j]
+		fmt.Fprintf(tw, "%.0f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			a.TimeSec/secondsPerYear, a.ReachableFrac, a.LargestFrac, b.ReachableFrac, b.LargestFrac)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for i, st := range curves {
+		fmt.Fprintf(w, "mean first time below 99%% reachability: %s = %sy (%d/%d trials crossed)\n",
+			curveNets[i].Name(), fmtYears(st.Below[0].Mean), st.Below[0].N, st.Below[0].N+st.Below[0].Censored)
+	}
+
+	// Section 4: component criticality. The pristine ABCCC is 2-connected —
+	// zero critical components — so the ranking that matters is the degraded
+	// snapshot: 10% of links already down, survivors ranked by the server
+	// pairs their loss would sever.
+	net := fams[0].t.Network()
+	pristine, err := surv.Criticality(net, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ncriticality on %s: pristine %d critical components (graph: %d articulation points, %d bridges)\n",
+		net.Name(), pristine.CriticalServers+pristine.CriticalSwitches+pristine.CriticalLinks,
+		pristine.GraphAPs, pristine.GraphBridges)
+	view := failure.Inject(net, failure.Links, 0.10, rand.New(rand.NewSource(survSeed)))
+	degraded, err := surv.Criticality(net, view)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "after 10%% link loss: %d/%d server pairs connected; %d critical switches, %d critical servers, %d critical links\n",
+		degraded.ConnectedPairs, pristine.ConnectedPairs,
+		degraded.CriticalSwitches, degraded.CriticalServers, degraded.CriticalLinks)
+	tw = table(w)
+	fmt.Fprintln(tw, "rank\tcomponent\tpairs lost\tfraction")
+	rank := 1
+	for _, it := range degraded.Nodes {
+		if rank > 5 {
+			break
+		}
+		fmt.Fprintf(tw, "%d\tnode %s\t%d\t%.4f\n", rank, it.Label, it.PairsLost, it.Frac)
+		rank++
+	}
+	for _, it := range degraded.Links {
+		if rank > 10 {
+			break
+		}
+		fmt.Fprintf(tw, "%d\tlink %s\t%d\t%.4f\n", rank, it.Label, it.PairsLost, it.Frac)
+		rank++
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Section 5: the 100k-server scale point — one multi-year wear-out
+	// replay of ABCCC(8,4,3) to its first partition. At this scale the
+	// statistics flip: with ~10^5 two-port servers the first isolation
+	// arrives within days, which is the paper-level argument for repair
+	// (churn) rather than wear-out operation.
+	big := core.MustBuild(core.Config{N: 8, K: 4, P: 3})
+	bigNet := big.Network()
+	rng := rand.New(rand.NewSource(survSeed))
+	plan, err := failure.Wearout(bigNet, survWearClasses(), survHorizonSec, rng)
+	if err != nil {
+		return err
+	}
+	res, err := surv.Lifetime(bigNet, plan, surv.Config{HorizonSec: survHorizonSec, StopAtPartition: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nscale: %s — %d servers, %d switches, %d links, %d scheduled deaths over %gy\n",
+		bigNet.Name(), bigNet.NumServers(), bigNet.NumSwitches(), bigNet.NumLinks(),
+		len(plan.Events), survHorizonSec/secondsPerYear)
+	fmt.Fprintf(w, "first partition after %d deaths at %.1f days; largest component still %.6f of servers\n",
+		res.Events, res.FirstPartitionSec/86400, res.FinalLargestFrac)
+	return nil
+}
+
+// F31Survivability regenerates the survivability figure: per-family MTTF to
+// first partition under component wear-out (with Student-t confidence
+// intervals), the reliability-vs-CapEx Pareto front across five structures,
+// mean survivability-vs-time curves, component-criticality rankings on a
+// degraded snapshot, and a 100k-server scale point. Everything is replayed
+// at connectivity level by the incremental tracker in internal/surv, so the
+// whole figure — including the 98,304-server trial — regenerates in seconds.
+func F31Survivability(w io.Writer) error {
+	return f31(w, 1)
+}
+
+// WriteSurvRun executes one full-horizon wear-out lifetime replay on
+// ABCCC(4,1,2) with the series layer armed and writes the run record JSONL
+// to w. The record carries only surv_* tracks — gauge-style series points
+// with no metrics registry behind them — so cmd/obsreport's generic
+// track-rendering fallback is what its committed fixture exercises.
+func WriteSurvRun(w io.Writer) error {
+	tp := core.MustBuild(core.Config{N: 4, K: 1, P: 2})
+	net := tp.Network()
+	rng := rand.New(rand.NewSource(survSeed))
+	plan, err := failure.Wearout(net, survWearClasses(), survHorizonSec, rng)
+	if err != nil {
+		return err
+	}
+	windowNs := int64(secondsPerYear * 1e9) // 1-year windows
+	series := obs.NewSeries(windowNs)
+	if _, err := surv.Lifetime(net, plan, surv.Config{
+		HorizonSec:     survHorizonSec,
+		SampleEverySec: secondsPerYear,
+		Series:         series,
+	}); err != nil {
+		return err
+	}
+	meta := obs.RunMeta{
+		Label:          "F31/ABCCC(4,1,2)",
+		Engine:         "surv",
+		Topology:       net.Name(),
+		Workload:       fmt.Sprintf("wear-out lifetime, switches 5y links 10y, seed %d", survSeed),
+		SeriesWindowNs: windowNs,
+		Series:         true,
+	}
+	return obs.WriteRun(w, meta, nil, series, nil)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSurvSmokeDeterministic is the CI smoke check (make surv-smoke): the
+// smoke-scale survivability figure — same sections, a quarter of the trials —
+// must be byte-deterministic across runs and across GOMAXPROCS settings
+// (the trial pool writes indexed slots, so parallelism must never show).
+func TestSurvSmokeDeterministic(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := f31(&buf, survSmokeScale); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := render()
+	if !bytes.Equal(a, render()) {
+		t.Error("two smoke-scale survivability figures differ byte-for-byte")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := render()
+	runtime.GOMAXPROCS(prev)
+	if !bytes.Equal(a, serial) {
+		t.Error("GOMAXPROCS=1 survivability figure differs from parallel run")
+	}
+	for _, want := range []string{"MTTF(y)", "pareto", "criticality", "first partition", "98304 servers"} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("smoke figure missing section marker %q", want)
+		}
+	}
+}
+
+// TestSurvRunRecordLoads pins the surv-only run record WriteSurvRun emits
+// for cmd/obsreport: a meta header and series points carrying only surv_*
+// tracks — no trace or shard-profile sections — so the tool's generic
+// track-rendering fallback is what the committed fixture exercises.
+func TestSurvRunRecordLoads(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSurvRun(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs.HasMeta || recs.Meta.Engine != "surv" || !recs.Meta.Series {
+		t.Errorf("unexpected meta: %+v", recs.Meta)
+	}
+	if len(recs.Series) == 0 {
+		t.Error("run record has no series points")
+	}
+	if len(recs.Events) != 0 || len(recs.ShardWindows) != 0 {
+		t.Errorf("surv record should carry series only, got %d events and %d shard windows",
+			len(recs.Events), len(recs.ShardWindows))
+	}
+	for _, pt := range recs.Series {
+		if !strings.HasPrefix(pt.Track, "surv_") {
+			t.Errorf("non-surv track %q in surv run record", pt.Track)
+		}
+	}
+	if recs.Unknown != 0 {
+		t.Errorf("%d unknown record lines in a freshly written file", recs.Unknown)
+	}
+}

@@ -91,19 +91,94 @@ func (p *FaultPlan) Validate(net *topology.Network) error {
 	return nil
 }
 
-// ScheduleConfig parameterizes Schedule.
+// ClassRate is the failure behavior of one component class, used by the
+// per-class form of ScheduleConfig and by Wearout. Unlike the legacy
+// whole-network MTBFSec, these rates are per component: a class of n
+// components with MTBFSec m contributes failure onsets at rate n/m, which is
+// how datasheet MTBF figures (per switch, per cable) compose into network
+// churn.
+type ClassRate struct {
+	// Kind is the component class.
+	Kind Kind
+	// MTBFSec is the mean lifetime of one component of this class
+	// (exponential). Must be positive.
+	MTBFSec float64
+	// MTTRSec is the mean down-for-duration repair window (exponential).
+	// Required positive for churn schedules; ignored by Wearout, which
+	// never repairs.
+	MTTRSec float64
+}
+
+// ScheduleConfig parameterizes Schedule. Two forms exist:
+//
+//   - Legacy single-rate: Kinds + MTBFSec + MTTRSec, where MTBFSec is the
+//     mean gap between failure onsets across the whole network and every
+//     eligible class is equally likely regardless of its size.
+//   - Per-class: a non-empty Classes list, each class failing at its own
+//     per-component rate (onsets form the superposition of the class
+//     Poisson processes). Kinds/MTBFSec/MTTRSec are ignored in this form.
 type ScheduleConfig struct {
 	// Kinds lists the component classes eligible to fail. Classes with no
-	// components in the network are skipped.
+	// components in the network are skipped. Ignored when Classes is set.
 	Kinds []Kind
 	// MTBFSec is the mean time between failure onsets across the whole
-	// network (exponentially distributed inter-failure gaps).
+	// network (exponentially distributed inter-failure gaps). Ignored when
+	// Classes is set.
 	MTBFSec float64
 	// MTTRSec is the mean down-for-duration repair window (exponential);
 	// every failure is paired with a repair event, possibly past the horizon.
+	// Ignored when Classes is set.
 	MTTRSec float64
 	// HorizonSec bounds failure onsets; no component dies at or after it.
 	HorizonSec float64
+	// Classes, when non-empty, selects the per-class form: each entry fails
+	// independently at len(pool)/MTBFSec onsets per second with its own
+	// repair rate.
+	Classes []ClassRate
+}
+
+// Validate checks the active form's rates: the horizon and every mean must
+// be positive and finite. It does not need the network — empty component
+// pools are legal (skipped) and checked by Schedule itself.
+func (cfg ScheduleConfig) Validate() error {
+	if !positive(cfg.HorizonSec) {
+		return fmt.Errorf("failure: horizon %v must be positive", cfg.HorizonSec)
+	}
+	if len(cfg.Classes) > 0 {
+		return validateClasses(cfg.Classes, true)
+	}
+	if !positive(cfg.MTBFSec) || !positive(cfg.MTTRSec) {
+		return fmt.Errorf("failure: MTBF %v and MTTR %v must be positive", cfg.MTBFSec, cfg.MTTRSec)
+	}
+	return nil
+}
+
+// positive reports whether x is a positive finite number.
+func positive(x float64) bool {
+	return x > 0 && !math.IsInf(x, 1)
+}
+
+// validateClasses rejects invalid kinds and non-positive rates. needRepair
+// additionally requires repair rates (churn schedules repair; wear-out does
+// not and ignores MTTRSec entirely).
+func validateClasses(classes []ClassRate, needRepair bool) error {
+	if len(classes) == 0 {
+		return fmt.Errorf("failure: no component classes given")
+	}
+	for i, cr := range classes {
+		switch cr.Kind {
+		case Servers, Switches, Links:
+		default:
+			return fmt.Errorf("failure: class %d has invalid kind %d", i, int(cr.Kind))
+		}
+		if !positive(cr.MTBFSec) {
+			return fmt.Errorf("failure: class %d (%s) MTBF %v must be positive", i, cr.Kind, cr.MTBFSec)
+		}
+		if needRepair && !positive(cr.MTTRSec) {
+			return fmt.Errorf("failure: class %d (%s) MTTR %v must be positive", i, cr.Kind, cr.MTTRSec)
+		}
+	}
+	return nil
 }
 
 // Schedule generates a seeded failure/repair schedule: failure onsets arrive
@@ -114,6 +189,9 @@ type ScheduleConfig struct {
 // — and therefore the schedule — deterministic per seed). The returned plan
 // is sorted and valid for net.
 func Schedule(net *topology.Network, cfg ScheduleConfig, rng *rand.Rand) (*FaultPlan, error) {
+	if len(cfg.Classes) > 0 {
+		return schedulePerClass(net, cfg, rng)
+	}
 	if cfg.MTBFSec <= 0 || cfg.MTTRSec <= 0 || cfg.HorizonSec <= 0 {
 		return nil, fmt.Errorf("failure: MTBF, MTTR and horizon must be positive")
 	}
@@ -148,6 +226,97 @@ func Schedule(net *topology.Network, cfg ScheduleConfig, rng *rand.Rand) (*Fault
 		plan.Events = append(plan.Events,
 			FaultEvent{TimeSec: t, Kind: kind, Index: idx},
 			FaultEvent{TimeSec: t + down, Kind: kind, Index: idx, Up: true})
+	}
+	plan.Sort()
+	return plan, nil
+}
+
+// schedulePerClass is Schedule's per-class form: the onset stream is the
+// superposition of one Poisson process per class (rate len(pool)/MTBFSec),
+// each onset picking its class proportionally to the class rate, a uniform
+// component within it, and an exponential repair window at the class's own
+// MTTRSec. Busy components consume their draws exactly like the legacy path,
+// keeping the rng stream — and the schedule — deterministic per seed.
+func schedulePerClass(net *topology.Network, cfg ScheduleConfig, rng *rand.Rand) (*FaultPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	type classPool struct {
+		cr   ClassRate
+		pool []int
+		rate float64 // onsets per second contributed by this class
+	}
+	var classes []classPool
+	var total float64
+	for _, cr := range cfg.Classes {
+		if pool := components(net, cr.Kind); len(pool) > 0 {
+			rate := float64(len(pool)) / cr.MTBFSec
+			classes = append(classes, classPool{cr: cr, pool: pool, rate: rate})
+			total += rate
+		}
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("failure: no eligible components in any requested class")
+	}
+
+	plan := &FaultPlan{}
+	type compKey struct {
+		kind Kind
+		idx  int
+	}
+	repairAt := make(map[compKey]float64)
+	for t := rng.ExpFloat64() / total; t < cfg.HorizonSec; t += rng.ExpFloat64() / total {
+		r := rng.Float64() * total
+		ci := 0
+		for ci < len(classes)-1 && r >= classes[ci].rate {
+			r -= classes[ci].rate
+			ci++
+		}
+		c := classes[ci]
+		idx := c.pool[rng.Intn(len(c.pool))]
+		down := rng.ExpFloat64() * c.cr.MTTRSec
+		key := compKey{c.cr.Kind, idx}
+		if repairAt[key] > t {
+			continue // still down from an earlier failure
+		}
+		repairAt[key] = t + down
+		plan.Events = append(plan.Events,
+			FaultEvent{TimeSec: t, Kind: c.cr.Kind, Index: idx},
+			FaultEvent{TimeSec: t + down, Kind: c.cr.Kind, Index: idx, Up: true})
+	}
+	plan.Sort()
+	return plan, nil
+}
+
+// Wearout builds the no-repair lifetime scenario of survivability analysis:
+// every component of every listed class draws one independent exponential
+// lifetime at its class's per-component MTBFSec and dies at that instant,
+// permanently. Only deaths inside [0, horizonSec) appear in the plan.
+// Lifetimes are drawn in a deterministic order — classes as given, then
+// components in pool order — so one seed fully determines the schedule.
+// MTTRSec is ignored: wear-out never repairs.
+func Wearout(net *topology.Network, classes []ClassRate, horizonSec float64, rng *rand.Rand) (*FaultPlan, error) {
+	if !positive(horizonSec) {
+		return nil, fmt.Errorf("failure: horizon %v must be positive", horizonSec)
+	}
+	if err := validateClasses(classes, false); err != nil {
+		return nil, err
+	}
+	plan := &FaultPlan{}
+	eligible := false
+	for _, cr := range classes {
+		pool := components(net, cr.Kind)
+		if len(pool) > 0 {
+			eligible = true
+		}
+		for _, idx := range pool {
+			if t := rng.ExpFloat64() * cr.MTBFSec; t < horizonSec {
+				plan.Events = append(plan.Events, FaultEvent{TimeSec: t, Kind: cr.Kind, Index: idx})
+			}
+		}
+	}
+	if !eligible {
+		return nil, fmt.Errorf("failure: no eligible components in any requested class")
 	}
 	plan.Sort()
 	return plan, nil

@@ -1,0 +1,123 @@
+package graph
+
+// CutImpact scores every alive node and edge by the damage its individual
+// removal would do: the number of unordered pairs of weight units (with the
+// survivability suite's weights, server pairs) that are connected now but
+// disconnected once that one component is removed. Nodes and edges whose
+// removal splits nothing — everything outside the articulation-point/bridge
+// set, plus anything already failed in view — score 0.
+//
+// The scores come from a single iterative low-link DFS per component, the
+// same traversal as ArticulationPoints and Bridges, augmented with subtree
+// weights: removing node v from a component of total weight S leaves groups
+// equal to each child subtree c with low(c) ≥ disc(v) (weight w_c) plus the
+// rest of the component (S − w(v) − Σw_c), so the pairs lost are
+//
+//	C(S−w(v), 2) − Σ C(w_c, 2) − C(S−w(v)−Σw_c, 2)
+//
+// and removing a bridge edge whose child side has weight W loses W·(S−W).
+// A nil weight counts every node as 1; a nil view means no failures.
+func (g *Graph) CutImpact(view *View, weight []int64) (nodeImpact, edgeImpact []int64) {
+	n := g.NumNodes()
+	nodeImpact = make([]int64, n)
+	edgeImpact = make([]int64, g.NumEdges())
+	if weight == nil {
+		weight = make([]int64, n)
+		for i := range weight {
+			weight[i] = 1
+		}
+	}
+	var (
+		disc    = make([]int32, n) // discovery time, 0 = unvisited
+		low     = make([]int32, n)
+		pedge   = make([]int32, n) // edge to DFS parent
+		pnode   = make([]int32, n) // DFS parent node
+		subW    = make([]int64, n) // DFS subtree weight
+		splitW  = make([]int64, n) // Σ weight of split-off child subtrees
+		splitSq = make([]int64, n) // Σ C(w_c, 2) over those subtrees
+		timer   int32
+	)
+	type frame struct {
+		node int32
+		next int32
+	}
+	type bridgeCand struct {
+		edge int32
+		w    int64 // child-side subtree weight
+	}
+	var order []int32 // visit order of the current component
+	var cands []bridgeCand
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 || !view.NodeUp(start) {
+			continue
+		}
+		order = order[:0]
+		cands = cands[:0]
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		pedge[start] = -1
+		pnode[start] = -1
+		subW[start] = weight[start]
+		order = append(order, int32(start))
+		stack := []frame{{node: int32(start)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.node
+			if int(f.next) < len(g.adj[u]) {
+				h := g.adj[u][f.next]
+				f.next++
+				if h.edge == pedge[u] || !view.usable(h) {
+					continue
+				}
+				if disc[h.to] == 0 {
+					pedge[h.to] = h.edge
+					pnode[h.to] = u
+					timer++
+					disc[h.to] = timer
+					low[h.to] = timer
+					subW[h.to] = weight[h.to]
+					order = append(order, h.to)
+					stack = append(stack, frame{node: h.to})
+				} else if disc[h.to] < low[u] {
+					low[u] = disc[h.to]
+				}
+				continue
+			}
+			// Post-order: fold this subtree into the parent.
+			stack = stack[:len(stack)-1]
+			p := pnode[u]
+			if p == -1 {
+				continue
+			}
+			if low[u] < low[p] {
+				low[p] = low[u]
+			}
+			subW[p] += subW[u]
+			if low[u] >= disc[p] {
+				// Subtree u cannot reach above p: removing p splits it off.
+				// (At the DFS root this holds for every child, which is
+				// exactly the root rule — all child subtrees separate.)
+				splitW[p] += subW[u]
+				splitSq[p] += choose2(subW[u])
+			}
+			if low[u] == disc[u] {
+				cands = append(cands, bridgeCand{edge: pedge[u], w: subW[u]})
+			}
+		}
+		// Impacts need the component total, known only now.
+		total := subW[start]
+		for _, v := range order {
+			rem := total - weight[v]
+			rest := rem - splitW[v]
+			nodeImpact[v] = choose2(rem) - splitSq[v] - choose2(rest)
+		}
+		for _, c := range cands {
+			edgeImpact[c.edge] = c.w * (total - c.w)
+		}
+	}
+	return nodeImpact, edgeImpact
+}
+
+// choose2 returns x·(x−1)/2, the unordered pairs among x units.
+func choose2(x int64) int64 { return x * (x - 1) / 2 }

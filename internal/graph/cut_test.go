@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// brutePairs counts connected weight-unit pairs under view by BFS.
+func brutePairs(g *Graph, view *View, weight []int64) int64 {
+	return bruteComponents(g, view, weight).pairs
+}
+
+// TestPropertyCutImpactMatchesBruteForce checks every node and edge score of
+// CutImpact against the definition: pairs (among the *other* weight units)
+// connected before but not after removing that one component — computed the
+// slow way by failing the component in a copied view and re-counting.
+func TestPropertyCutImpactMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := randomConnectedGraph(rng, n, rng.Intn(n))
+		weight := make([]int64, n)
+		for i := range weight {
+			weight[i] = int64(rng.Intn(3))
+		}
+		// A random degraded view: the scores must hold on damaged networks,
+		// not just pristine ones.
+		var downNodes, downEdges []int
+		view := NewView(g)
+		for v := 0; v < n; v++ {
+			if rng.Intn(5) == 0 {
+				view.FailNode(v)
+				downNodes = append(downNodes, v)
+			}
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if rng.Intn(6) == 0 {
+				view.FailEdge(e)
+				downEdges = append(downEdges, e)
+			}
+		}
+		rebuild := func() *View {
+			w := NewView(g)
+			for _, v := range downNodes {
+				w.FailNode(v)
+			}
+			for _, e := range downEdges {
+				w.FailEdge(e)
+			}
+			return w
+		}
+
+		nodeImpact, edgeImpact := g.CutImpact(view, weight)
+		before := brutePairs(g, view, weight)
+		st := bruteComponents(g, view, weight)
+		compWeight := make(map[int]int64)
+		for v, c := range st.comp {
+			if c != -1 {
+				compWeight[c] += weight[v]
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !view.NodeUp(v) {
+				if nodeImpact[v] != 0 {
+					t.Fatalf("seed %d: dead node %d has impact %d", seed, v, nodeImpact[v])
+				}
+				continue
+			}
+			w := rebuild()
+			w.FailNode(v)
+			after := brutePairs(g, w, weight)
+			// Pairs involving v's own units vanish trivially; subtract them
+			// to leave the impact on the rest of the network.
+			S := compWeight[st.comp[v]]
+			wv := weight[v]
+			want := before - after - wv*(S-wv) - choose2(wv)
+			if nodeImpact[v] != want {
+				t.Fatalf("seed %d: node %d impact %d want %d", seed, v, nodeImpact[v], want)
+			}
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if !view.EdgeUp(e) {
+				if edgeImpact[e] != 0 {
+					t.Fatalf("seed %d: dead edge %d has impact %d", seed, e, edgeImpact[e])
+				}
+				continue
+			}
+			w := rebuild()
+			w.FailEdge(e)
+			want := before - brutePairs(g, w, weight)
+			if edgeImpact[e] != want {
+				t.Fatalf("seed %d: edge %d impact %d want %d", seed, e, edgeImpact[e], want)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCutImpactAgreesWithArticulationAndBridges pins the structural
+// equivalence on pristine unit-weight graphs: a node scores positive impact
+// iff it is an articulation point, an edge iff it is a bridge.
+func TestCutImpactAgreesWithArticulationAndBridges(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(14)
+		g := randomConnectedGraph(rng, n, rng.Intn(n))
+		nodeImpact, edgeImpact := g.CutImpact(nil, nil)
+		aps := map[int]bool{}
+		for _, v := range g.ArticulationPoints() {
+			aps[v] = true
+		}
+		for v := 0; v < n; v++ {
+			if (nodeImpact[v] > 0) != aps[v] {
+				t.Fatalf("seed %d: node %d impact %d vs AP %v", seed, v, nodeImpact[v], aps[v])
+			}
+		}
+		bridges := map[int]bool{}
+		for _, e := range g.Bridges() {
+			bridges[e] = true
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if (edgeImpact[e] > 0) != bridges[e] {
+				t.Fatalf("seed %d: edge %d impact %d vs bridge %v", seed, e, edgeImpact[e], bridges[e])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVertexDisjointPathsInMatchesViewlessOnPristine pins that the
+// view-aware variant reduces to the original on a nil view, and that failing
+// a node on every path drops the count.
+func TestVertexDisjointPathsIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(rng, 10, 12)
+	for trial := 0; trial < 20; trial++ {
+		u, v := rng.Intn(10), rng.Intn(10)
+		if u == v {
+			continue
+		}
+		if got, want := g.VertexDisjointPathsIn(u, v, nil), g.VertexDisjointPaths(u, v); got != want {
+			t.Fatalf("nil view: %d disjoint paths, want %d", got, want)
+		}
+	}
+	// A 4-cycle has 2 disjoint paths between opposite corners; failing one
+	// relay node leaves 1, failing both leaves 0.
+	c := New(4)
+	c.MustAddEdge(0, 1)
+	c.MustAddEdge(1, 2)
+	c.MustAddEdge(2, 3)
+	c.MustAddEdge(3, 0)
+	view := NewView(c)
+	if got := c.VertexDisjointPathsIn(0, 2, view); got != 2 {
+		t.Fatalf("pristine cycle: %d paths, want 2", got)
+	}
+	view.FailNode(1)
+	if got := c.VertexDisjointPathsIn(0, 2, view); got != 1 {
+		t.Fatalf("one relay down: %d paths, want 1", got)
+	}
+	view.FailNode(3)
+	if got := c.VertexDisjointPathsIn(0, 2, view); got != 0 {
+		t.Fatalf("both relays down: %d paths, want 0", got)
+	}
+	view.RepairNode(1)
+	if got := c.VertexDisjointPathsIn(0, 2, view); got != 1 {
+		t.Fatalf("after repair: %d paths, want 1", got)
+	}
+}

@@ -1,0 +1,419 @@
+package graph
+
+// DynConn tracks the connected components of a graph incrementally as nodes
+// and edges fail and recover, maintaining weighted component aggregates
+// without recomputing connectivity from scratch at every event. It is the
+// engine behind the survivability suite's lifetime simulations: a multi-year
+// fault schedule over a 100k-server network touches hundreds of thousands of
+// events, and a full BFS per event would make the horizon intractable.
+//
+// The structure is asymmetric, matching the asymmetry of the operations:
+//
+//   - Repairs only ever merge components, which a disjoint-set union over
+//     "base component ids" handles in near-constant amortized time.
+//   - Failures may split a component. A split is detected with a targeted
+//     BFS from one surviving neighbor of the failed component that stops as
+//     soon as it has seen every other surviving neighbor — for a non-cut
+//     component (the overwhelmingly common case in a well-connected DCN)
+//     the search touches only a small ball around the failure. Only a real
+//     split pays for a traversal of the regions it creates, and the region
+//     the detection BFS explored keeps its old id, so the giant component is
+//     never relabeled.
+//
+// Each node carries a caller-supplied non-negative weight (the survivability
+// suite weighs servers 1 and switches 0), and the tracker maintains the
+// total alive weight, the sum of squared component weights, and the number
+// of components with positive weight. From these, the fraction of reachable
+// server pairs and the first-partition predicate are O(1) per event.
+//
+// DynConn owns its View: callers apply events through the tracker (not the
+// view) and read the view for routing or auditing. It is not safe for
+// concurrent use; parallel trials each build their own tracker.
+type DynConn struct {
+	g      *Graph
+	view   *View
+	weight []int64
+
+	comp []int32 // base component id per node; -1 while the node is down
+
+	// Disjoint-set forest over base ids. size/wsum are meaningful at roots
+	// only. A root with size 0 is a retired id (its component died).
+	parent []int32
+	size   []int64
+	wsum   []int64
+
+	aliveWeight int64 // Σ weight over alive nodes
+	sumSquares  int64 // Σ wsum(root)² over live roots
+	comps       int   // live components
+	weighted    int   // live components with wsum > 0
+
+	// Per-operation scratch: seen[v] == epoch marks v visited this op.
+	seen  []int32
+	epoch int32
+	queue []int32
+}
+
+// NewDynConn returns a tracker for g with every node and edge alive.
+// weight[v] is node v's contribution to the component aggregates and must be
+// non-negative; a nil weight counts every node as 1.
+func NewDynConn(g *Graph, weight []int64) *DynConn {
+	n := g.NumNodes()
+	if weight == nil {
+		weight = make([]int64, n)
+		for i := range weight {
+			weight[i] = 1
+		}
+	}
+	d := &DynConn{
+		g:      g,
+		view:   NewView(g),
+		weight: weight,
+		comp:   make([]int32, n),
+		seen:   make([]int32, n),
+		queue:  make([]int32, 0, n),
+	}
+	for i := range d.comp {
+		d.comp[i] = -1
+	}
+	// One sweep assigns a base id per initial component.
+	for v := 0; v < n; v++ {
+		if d.comp[v] != -1 {
+			continue
+		}
+		id := d.newBase()
+		d.comp[v] = id
+		w, sz := weight[v], int64(1)
+		q := append(d.queue[:0], int32(v))
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			for _, h := range g.adj[u] {
+				if d.comp[h.to] != -1 {
+					continue
+				}
+				d.comp[h.to] = id
+				w += weight[h.to]
+				sz++
+				q = append(q, h.to)
+			}
+		}
+		d.queue = q[:0]
+		d.size[id] = sz
+		d.wsum[id] = w
+		d.addComp(w)
+		d.aliveWeight += w
+	}
+	return d
+}
+
+// View returns the tracker's view of the graph. Callers may read it freely
+// but must mutate component state only through the tracker's methods.
+func (d *DynConn) View() *View { return d.view }
+
+// AliveWeight returns the summed weight of alive nodes.
+func (d *DynConn) AliveWeight() int64 { return d.aliveWeight }
+
+// SumSquares returns Σ W² over component weights W.
+func (d *DynConn) SumSquares() int64 { return d.sumSquares }
+
+// Pairs returns the number of unordered pairs of distinct weight units that
+// share a component: Σ W·(W−1)/2 = (SumSquares − AliveWeight)/2. With 0/1
+// weights this is the count of mutually reachable alive server pairs.
+func (d *DynConn) Pairs() int64 { return (d.sumSquares - d.aliveWeight) / 2 }
+
+// Components returns the number of connected components over alive nodes.
+func (d *DynConn) Components() int { return d.comps }
+
+// WeightedComponents returns the number of components with positive weight —
+// the partition predicate: alive servers are mutually reachable iff this is
+// at most 1.
+func (d *DynConn) WeightedComponents() int { return d.weighted }
+
+// LargestWeight returns the weight of the heaviest component (0 when no node
+// is alive). It scans the base-id table, so it is meant for sampling points,
+// not per-event calls.
+func (d *DynConn) LargestWeight() int64 {
+	var best int64
+	for id := range d.parent {
+		if d.parent[id] == int32(id) && d.size[id] > 0 && d.wsum[id] > best {
+			best = d.wsum[id]
+		}
+	}
+	return best
+}
+
+// CompOf returns a canonical component id for node u, or -1 if u is down.
+// Two alive nodes are connected iff their ids are equal. Ids are stable only
+// until the next mutation.
+func (d *DynConn) CompOf(u int) int32 {
+	if d.comp[u] == -1 {
+		return -1
+	}
+	return d.find(d.comp[u])
+}
+
+// addComp and dropComp update the aggregate counters for a component of
+// weight w entering or leaving the live set.
+func (d *DynConn) addComp(w int64) {
+	d.sumSquares += w * w
+	d.comps++
+	if w > 0 {
+		d.weighted++
+	}
+}
+
+func (d *DynConn) dropComp(w int64) {
+	d.sumSquares -= w * w
+	d.comps--
+	if w > 0 {
+		d.weighted--
+	}
+}
+
+// newBase allocates a fresh base component id.
+func (d *DynConn) newBase() int32 {
+	id := int32(len(d.parent))
+	d.parent = append(d.parent, id)
+	d.size = append(d.size, 0)
+	d.wsum = append(d.wsum, 0)
+	return id
+}
+
+// find returns the root of base id b with path halving.
+func (d *DynConn) find(b int32) int32 {
+	for d.parent[b] != b {
+		d.parent[b] = d.parent[d.parent[b]]
+		b = d.parent[b]
+	}
+	return b
+}
+
+// union merges the components rooted at a and b (distinct roots) and returns
+// the surviving root, keeping the aggregates consistent.
+func (d *DynConn) union(a, b int32) int32 {
+	if d.size[a] < d.size[b] {
+		a, b = b, a
+	}
+	d.dropComp(d.wsum[a])
+	d.dropComp(d.wsum[b])
+	d.parent[b] = a
+	d.size[a] += d.size[b]
+	d.wsum[a] += d.wsum[b]
+	d.size[b], d.wsum[b] = 0, 0
+	d.addComp(d.wsum[a])
+	return a
+}
+
+// nextEpoch advances the per-operation visit marker.
+func (d *DynConn) nextEpoch() int32 {
+	d.epoch++
+	if d.epoch == 0 { // int32 wraparound: clear marks and restart
+		for i := range d.seen {
+			d.seen[i] = 0
+		}
+		d.epoch = 1
+	}
+	return d.epoch
+}
+
+// FailNode marks node u failed and updates component state. Failing an
+// already-down node is a no-op.
+func (d *DynConn) FailNode(u int) {
+	if !d.view.NodeUp(u) {
+		return
+	}
+	r := d.find(d.comp[u])
+	w := d.weight[u]
+	d.view.FailNode(u)
+	d.comp[u] = -1
+	d.aliveWeight -= w
+	d.dropComp(d.wsum[r])
+	remW, remSize := d.wsum[r]-w, d.size[r]-1
+	if remSize == 0 { // u was the component's last node
+		d.size[r], d.wsum[r] = 0, 0
+		return
+	}
+	// Surviving neighbors of u inside the component.
+	nbrs := d.queue[:0]
+	for _, h := range d.g.adj[u] {
+		if d.view.usable(h) {
+			nbrs = append(nbrs, h.to)
+		}
+	}
+	if len(nbrs) <= 1 {
+		// At most one attachment point: the rest of the component is intact
+		// (remSize > 0 implies exactly one here — every survivor reached u
+		// through some alive neighbor).
+		d.queue = nbrs[:0]
+		d.size[r], d.wsum[r] = remSize, remW
+		d.addComp(remW)
+		return
+	}
+	// Split check: BFS from nbrs[0], stopping once every other neighbor has
+	// been seen. The epoch marks double as membership marks for the region.
+	epoch := d.nextEpoch()
+	targets := append([]int32(nil), nbrs[1:]...)
+	missing := len(targets)
+	q := nbrs[:1] // targets was copied out, so q may grow over nbrs' storage
+	d.seen[q[0]] = epoch
+	regW, regSize := d.weight[q[0]], int64(1)
+	for head := 0; head < len(q) && missing > 0; head++ {
+		v := q[head]
+		for _, h := range d.g.adj[v] {
+			if d.seen[h.to] == epoch || !d.view.usable(h) {
+				continue
+			}
+			d.seen[h.to] = epoch
+			regW += d.weight[h.to]
+			regSize++
+			q = append(q, h.to)
+		}
+		// Re-count outstanding targets lazily: cheap because targets is the
+		// (tiny) neighbor list, not the region.
+		missing = 0
+		for _, t := range targets {
+			if d.seen[t] != epoch {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		// All attachment points are still mutually connected: no split.
+		d.queue = q[:0]
+		d.size[r], d.wsum[r] = remSize, remW
+		d.addComp(remW)
+		return
+	}
+	// Finish exploring the first region (the early-exit loop above may have
+	// stopped mid-frontier only when missing hit 0, so q is already complete
+	// here — the loop ran to exhaustion).
+	// The explored region keeps the old root id r: no relabeling for the
+	// region the detection BFS already paid to walk.
+	d.size[r], d.wsum[r] = regSize, regW
+	d.addComp(regW)
+	// Each unseen attachment point anchors a new region.
+	for _, t := range targets {
+		if d.seen[t] == epoch {
+			continue
+		}
+		id := d.newBase()
+		d.seen[t] = epoch
+		d.comp[t] = id
+		tw, tsize := d.weight[t], int64(1)
+		q = q[:0]
+		q = append(q, t)
+		for head := 0; head < len(q); head++ {
+			v := q[head]
+			for _, h := range d.g.adj[v] {
+				if d.seen[h.to] == epoch || !d.view.usable(h) {
+					continue
+				}
+				d.seen[h.to] = epoch
+				d.comp[h.to] = id
+				tw += d.weight[h.to]
+				tsize++
+				q = append(q, h.to)
+			}
+		}
+		d.size[id], d.wsum[id] = tsize, tw
+		d.addComp(tw)
+	}
+	d.queue = q[:0]
+}
+
+// RepairNode marks node u alive and merges it with its alive neighborhood.
+// Repairing an alive node is a no-op.
+func (d *DynConn) RepairNode(u int) {
+	if d.view.NodeUp(u) {
+		return
+	}
+	d.view.RepairNode(u)
+	w := d.weight[u]
+	d.aliveWeight += w
+	id := d.newBase()
+	d.comp[u] = id
+	d.size[id], d.wsum[id] = 1, w
+	d.addComp(w)
+	root := id
+	for _, h := range d.g.adj[u] {
+		if !d.view.usable(h) {
+			continue
+		}
+		nr := d.find(d.comp[h.to])
+		if nr != root {
+			root = d.union(root, nr)
+		}
+	}
+}
+
+// FailEdge marks edge id failed and splits its component if the edge was a
+// cut edge. Failing an already-down edge is a no-op.
+func (d *DynConn) FailEdge(id int) {
+	if !d.view.EdgeUp(id) {
+		return
+	}
+	d.view.FailEdge(id)
+	e := d.g.edges[id]
+	u, v := int(e.U), int(e.V)
+	if !d.view.NodeUp(u) || !d.view.NodeUp(v) {
+		return // a dead endpoint: the edge carried no connectivity
+	}
+	r := d.find(d.comp[u])
+	// BFS from u until v is seen. If v is unreachable, u's region splits off;
+	// v's (unexplored) side keeps the old id.
+	epoch := d.nextEpoch()
+	q := append(d.queue[:0], int32(u))
+	d.seen[u] = epoch
+	regW, regSize := d.weight[u], int64(1)
+	found := false
+	for head := 0; head < len(q) && !found; head++ {
+		x := q[head]
+		for _, h := range d.g.adj[x] {
+			if d.seen[h.to] == epoch || !d.view.usable(h) {
+				continue
+			}
+			if int(h.to) == v {
+				found = true
+				break
+			}
+			d.seen[h.to] = epoch
+			regW += d.weight[h.to]
+			regSize++
+			q = append(q, h.to)
+		}
+	}
+	if found {
+		d.queue = q[:0]
+		return
+	}
+	// Split: u's region (fully enumerated in q) gets a fresh id.
+	nid := d.newBase()
+	for _, x := range q {
+		d.comp[x] = nid
+	}
+	d.queue = q[:0]
+	oldW := d.wsum[r]
+	d.dropComp(oldW)
+	d.size[nid], d.wsum[nid] = regSize, regW
+	d.size[r] -= regSize
+	d.wsum[r] = oldW - regW
+	d.addComp(regW)
+	d.addComp(oldW - regW)
+}
+
+// RepairEdge marks edge id alive and merges its endpoints' components.
+// Repairing an alive edge is a no-op.
+func (d *DynConn) RepairEdge(id int) {
+	if d.view.EdgeUp(id) {
+		return
+	}
+	d.view.RepairEdge(id)
+	e := d.g.edges[id]
+	u, v := int(e.U), int(e.V)
+	if !d.view.NodeUp(u) || !d.view.NodeUp(v) {
+		return
+	}
+	ru, rv := d.find(d.comp[u]), d.find(d.comp[v])
+	if ru != rv {
+		d.union(ru, rv)
+	}
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteStats recomputes DynConn's aggregates from scratch by BFS over view.
+type bruteStats struct {
+	aliveWeight int64
+	sumSquares  int64
+	pairs       int64
+	comps       int
+	weighted    int
+	largest     int64
+	comp        []int // component id per node, -1 when down
+}
+
+func bruteComponents(g *Graph, view *View, weight []int64) bruteStats {
+	n := g.NumNodes()
+	st := bruteStats{comp: make([]int, n)}
+	for i := range st.comp {
+		st.comp[i] = -1
+	}
+	var queue []int32
+	for v := 0; v < n; v++ {
+		if st.comp[v] != -1 || !view.NodeUp(v) {
+			continue
+		}
+		id := st.comps
+		st.comp[v] = id
+		w := weight[v]
+		queue = append(queue[:0], int32(v))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, h := range g.adj[u] {
+				if st.comp[h.to] != -1 || !view.usable(h) {
+					continue
+				}
+				st.comp[h.to] = id
+				w += weight[h.to]
+				queue = append(queue, h.to)
+			}
+		}
+		st.aliveWeight += w
+		st.sumSquares += w * w
+		st.comps++
+		if w > 0 {
+			st.weighted++
+		}
+		if w > st.largest {
+			st.largest = w
+		}
+	}
+	st.pairs = (st.sumSquares - st.aliveWeight) / 2
+	return st
+}
+
+func checkAgainstBrute(t *testing.T, g *Graph, d *DynConn, weight []int64, step int) {
+	t.Helper()
+	st := bruteComponents(g, d.View(), weight)
+	if d.AliveWeight() != st.aliveWeight {
+		t.Fatalf("step %d: AliveWeight=%d want %d", step, d.AliveWeight(), st.aliveWeight)
+	}
+	if d.SumSquares() != st.sumSquares {
+		t.Fatalf("step %d: SumSquares=%d want %d", step, d.SumSquares(), st.sumSquares)
+	}
+	if d.Pairs() != st.pairs {
+		t.Fatalf("step %d: Pairs=%d want %d", step, d.Pairs(), st.pairs)
+	}
+	if d.Components() != st.comps {
+		t.Fatalf("step %d: Components=%d want %d", step, d.Components(), st.comps)
+	}
+	if d.WeightedComponents() != st.weighted {
+		t.Fatalf("step %d: WeightedComponents=%d want %d", step, d.WeightedComponents(), st.weighted)
+	}
+	if d.LargestWeight() != st.largest {
+		t.Fatalf("step %d: LargestWeight=%d want %d", step, d.LargestWeight(), st.largest)
+	}
+	// Component ids must induce the same partition as brute-force BFS.
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := u + 1; v < g.NumNodes(); v++ {
+			bruteSame := st.comp[u] != -1 && st.comp[u] == st.comp[v]
+			cu, cv := d.CompOf(u), d.CompOf(v)
+			dynSame := cu != -1 && cu == cv
+			if bruteSame != dynSame {
+				t.Fatalf("step %d: connectivity(%d,%d): dyn %v brute %v", step, u, v, dynSame, bruteSame)
+			}
+		}
+	}
+}
+
+// TestPropertyDynConnMatchesBruteForce drives random fail/repair churn over
+// random graphs and checks every aggregate against a from-scratch BFS
+// recompute after every single event — the correctness oracle for the whole
+// survivability engine.
+func TestPropertyDynConnMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		g := randomConnectedGraph(rng, n, rng.Intn(2*n))
+		weight := make([]int64, n)
+		for i := range weight {
+			weight[i] = int64(rng.Intn(4)) // includes 0-weight (switch-like) nodes
+		}
+		d := NewDynConn(g, weight)
+		checkAgainstBrute(t, g, d, weight, -1)
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				d.FailNode(rng.Intn(n))
+			case 1:
+				d.RepairNode(rng.Intn(n))
+			case 2:
+				d.FailEdge(rng.Intn(g.NumEdges()))
+			default:
+				d.RepairEdge(rng.Intn(g.NumEdges()))
+			}
+			checkAgainstBrute(t, g, d, weight, step)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDynConnPathSplitAndHeal pins the split/merge mechanics on a path graph
+// where every interior node is a cut vertex.
+func TestDynConnPathSplitAndHeal(t *testing.T) {
+	const n = 5
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v-1, v)
+	}
+	d := NewDynConn(g, nil)
+	if d.Pairs() != 10 || d.Components() != 1 {
+		t.Fatalf("pristine path: pairs=%d comps=%d", d.Pairs(), d.Components())
+	}
+	d.FailNode(2) // 0-1 | 3-4
+	if d.Components() != 2 || d.WeightedComponents() != 2 {
+		t.Fatalf("after cut: comps=%d weighted=%d", d.Components(), d.WeightedComponents())
+	}
+	if d.Pairs() != 2 || d.LargestWeight() != 2 {
+		t.Fatalf("after cut: pairs=%d largest=%d", d.Pairs(), d.LargestWeight())
+	}
+	d.RepairNode(2)
+	if d.Components() != 1 || d.Pairs() != 10 {
+		t.Fatalf("after heal: comps=%d pairs=%d", d.Components(), d.Pairs())
+	}
+	d.FailEdge(g.EdgeBetween(0, 1))
+	if d.Components() != 2 || d.LargestWeight() != 4 {
+		t.Fatalf("after bridge cut: comps=%d largest=%d", d.Components(), d.LargestWeight())
+	}
+	d.RepairEdge(g.EdgeBetween(0, 1))
+	if d.Components() != 1 || d.Pairs() != 10 {
+		t.Fatalf("after bridge heal: comps=%d pairs=%d", d.Components(), d.Pairs())
+	}
+}
+
+// TestDynConnIdempotentEvents pins that double-fail and double-repair are
+// no-ops (fault plans can legally replay an event after a busy-skip).
+func TestDynConnIdempotentEvents(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	d := NewDynConn(g, nil)
+	d.FailNode(1)
+	d.FailNode(1)
+	if d.Components() != 2 || d.AliveWeight() != 2 {
+		t.Fatalf("after double fail: comps=%d alive=%d", d.Components(), d.AliveWeight())
+	}
+	d.RepairNode(1)
+	d.RepairNode(1)
+	if d.Components() != 1 || d.AliveWeight() != 3 {
+		t.Fatalf("after double repair: comps=%d alive=%d", d.Components(), d.AliveWeight())
+	}
+	d.FailEdge(0)
+	d.FailEdge(0)
+	if d.Components() != 2 {
+		t.Fatalf("after double edge fail: comps=%d", d.Components())
+	}
+	d.RepairEdge(0)
+	d.RepairEdge(0)
+	if d.Components() != 1 {
+		t.Fatalf("after double edge repair: comps=%d", d.Components())
+	}
+}

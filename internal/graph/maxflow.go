@@ -142,20 +142,35 @@ func (g *Graph) MinCutBetween(side, other []int) int {
 // reduction: node v becomes v_in -> v_out with capacity 1, except the
 // terminals which get infinite self-capacity).
 func (g *Graph) VertexDisjointPaths(src, dst int) int {
-	if src == dst {
+	return g.VertexDisjointPathsIn(src, dst, nil)
+}
+
+// VertexDisjointPathsIn is VertexDisjointPaths restricted to the components
+// alive in view: failed nodes and edges carry no flow, so the result is the
+// pair's surviving path diversity — the capacity-retention measure the
+// survivability suite samples over a degraded network. A nil view means no
+// failures; a dead endpoint yields 0.
+func (g *Graph) VertexDisjointPathsIn(src, dst int, view *View) int {
+	if src == dst || !view.NodeUp(src) || !view.NodeUp(dst) {
 		return 0
 	}
 	n := g.NumNodes()
 	f := NewFlowNetwork(2 * n) // v_in = v, v_out = v + n
 	const inf = 1 << 29
 	for v := 0; v < n; v++ {
+		if !view.NodeUp(v) {
+			continue
+		}
 		capacity := 1
 		if v == src || v == dst {
 			capacity = inf
 		}
 		f.AddArc(v, v+n, capacity)
 	}
-	for _, e := range g.edges {
+	for id, e := range g.edges {
+		if !view.EdgeUp(id) || !view.NodeUp(int(e.U)) || !view.NodeUp(int(e.V)) {
+			continue
+		}
 		f.AddArc(int(e.U)+n, int(e.V), 1)
 		f.AddArc(int(e.V)+n, int(e.U), 1)
 	}

@@ -1,0 +1,157 @@
+package surv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Item is one ranked component: removing it alone would disconnect
+// PairsLost currently-connected server pairs (Frac of all currently
+// connected pairs).
+type Item struct {
+	Kind      failure.Kind
+	Index     int
+	Label     string
+	PairsLost int64
+	Frac      float64
+}
+
+// Report ranks a network's components by removal impact on server-pair
+// connectivity, the criticality measure of the survivability suite.
+type Report struct {
+	// ConnectedPairs is the number of reachable server pairs in the
+	// analyzed view (the denominator of every Frac).
+	ConnectedPairs int64
+	// CriticalServers/CriticalSwitches/CriticalLinks count components
+	// whose single removal disconnects at least one server pair.
+	CriticalServers  int
+	CriticalSwitches int
+	CriticalLinks    int
+	// Nodes and Links rank the positive-impact components, heaviest first
+	// (ties by index).
+	Nodes []Item
+	Links []Item
+	// GraphAPs and GraphBridges are the whole-graph articulation-point and
+	// bridge counts (computed only for a pristine analysis, -1 otherwise).
+	// Server-pair-critical components are always a subset of these: a cut
+	// vertex that only strands switches costs no server pairs.
+	GraphAPs     int
+	GraphBridges int
+}
+
+// Criticality ranks every alive node and link of net by the server pairs
+// its removal would disconnect, using the weighted cut-impact DFS. A nil
+// view analyzes the pristine network; a degraded view ranks the survivors —
+// healthy 2-connected DCN structures have no critical components, so the
+// interesting rankings come from degraded snapshots.
+//
+// On a pristine analysis the ranking is cross-checked against the classic
+// graph.ArticulationPoints and graph.Bridges sets: every component with
+// positive server-pair impact must be an articulation point or bridge of
+// the graph. A violation returns an error — it would mean the incremental
+// scoring and the low-link algorithms disagree, which no valid input can
+// cause.
+func Criticality(net *topology.Network, view *graph.View) (*Report, error) {
+	g := net.Graph()
+	weight := make([]int64, g.NumNodes())
+	for _, s := range net.Servers() {
+		weight[s] = 1
+	}
+	nodeImpact, linkImpact := g.CutImpact(view, weight)
+
+	// Connected pairs under the view, from an incremental tracker loaded
+	// with the view's failures (reusing the brute-force-tested machinery).
+	d := graph.NewDynConn(g, weight)
+	pristine := true
+	for v := 0; v < g.NumNodes(); v++ {
+		if !view.NodeUp(v) {
+			d.FailNode(v)
+			pristine = false
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if !view.EdgeUp(e) {
+			d.FailEdge(e)
+			pristine = false
+		}
+	}
+	rep := &Report{ConnectedPairs: d.Pairs(), GraphAPs: -1, GraphBridges: -1}
+
+	for v := 0; v < g.NumNodes(); v++ {
+		if nodeImpact[v] <= 0 {
+			continue
+		}
+		if net.IsServer(v) {
+			rep.CriticalServers++
+		} else {
+			rep.CriticalSwitches++
+		}
+		kind := failure.Switches
+		if net.IsServer(v) {
+			kind = failure.Servers
+		}
+		rep.Nodes = append(rep.Nodes, Item{
+			Kind: kind, Index: v, Label: net.Label(v),
+			PairsLost: nodeImpact[v], Frac: frac(nodeImpact[v], rep.ConnectedPairs),
+		})
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		if linkImpact[e] <= 0 {
+			continue
+		}
+		rep.CriticalLinks++
+		ge := g.Edge(e)
+		rep.Links = append(rep.Links, Item{
+			Kind: failure.Links, Index: e,
+			Label:     fmt.Sprintf("%s-%s", net.Label(int(ge.U)), net.Label(int(ge.V))),
+			PairsLost: linkImpact[e], Frac: frac(linkImpact[e], rep.ConnectedPairs),
+		})
+	}
+	byImpact := func(items []Item) {
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].PairsLost != items[j].PairsLost {
+				return items[i].PairsLost > items[j].PairsLost
+			}
+			return items[i].Index < items[j].Index
+		})
+	}
+	byImpact(rep.Nodes)
+	byImpact(rep.Links)
+
+	if pristine {
+		aps := map[int]bool{}
+		for _, v := range g.ArticulationPoints() {
+			aps[v] = true
+		}
+		rep.GraphAPs = len(aps)
+		for _, it := range rep.Nodes {
+			if !aps[it.Index] {
+				return nil, fmt.Errorf("surv: node %d (%s) severs %d server pairs but is not an articulation point",
+					it.Index, it.Label, it.PairsLost)
+			}
+		}
+		bridges := map[int]bool{}
+		for _, e := range g.Bridges() {
+			bridges[e] = true
+		}
+		rep.GraphBridges = len(bridges)
+		for _, it := range rep.Links {
+			if !bridges[it.Index] {
+				return nil, fmt.Errorf("surv: link %d (%s) severs %d server pairs but is not a bridge",
+					it.Index, it.Label, it.PairsLost)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func frac(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}

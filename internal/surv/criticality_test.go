@@ -1,0 +1,190 @@
+package surv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bcube"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// bruteCritical reports whether failing node v in addition to view
+// disconnects some pair of servers that was connected with v up.
+func bruteCriticalNode(net *topology.Network, base func() *graph.View, v int) bool {
+	before := connectedServerPairs(net, base())
+	after := base()
+	after.FailNode(v)
+	lost := before - connectedServerPairs(net, after)
+	// Pairs involving v itself vanish trivially; only damage to others
+	// counts as criticality.
+	if net.IsServer(v) {
+		withV := base()
+		res := net.Graph().BFS(v, withV)
+		reach := int64(0)
+		for _, s := range net.Servers() {
+			if s != v && withV.NodeUp(s) && res.Dist[s] != graph.Unreachable {
+				reach++
+			}
+		}
+		lost -= reach
+	}
+	return lost > 0
+}
+
+func bruteCriticalLink(net *topology.Network, base func() *graph.View, e int) bool {
+	before := connectedServerPairs(net, base())
+	after := base()
+	after.FailEdge(e)
+	return connectedServerPairs(net, after) < before
+}
+
+// connectedServerPairs counts mutually reachable alive server pairs by BFS.
+func connectedServerPairs(net *topology.Network, view *graph.View) int64 {
+	g := net.Graph()
+	servers := net.Servers()
+	seen := make([]bool, g.NumNodes())
+	scratch := graph.NewBFSScratch(g.NumNodes())
+	var pairs int64
+	for _, s := range servers {
+		if seen[s] || !view.NodeUp(s) {
+			continue
+		}
+		res := g.BFSScratched(s, view, scratch)
+		var w int64
+		for _, s2 := range servers {
+			if view.NodeUp(s2) && res.Dist[s2] != graph.Unreachable {
+				seen[s2] = true
+				w++
+			}
+		}
+		pairs += w * (w - 1) / 2
+	}
+	return pairs
+}
+
+// TestCriticalityMatchesBruteForce mirrors TestPropertyBridgesMatchBruteForce
+// at the server-pair level: on small ABCCC and BCube instances — pristine
+// and under random degradation — a node or link appears in the criticality
+// ranking iff its removal disconnects some previously connected server pair,
+// and its PairsLost matches the brute-force recount.
+func TestCriticalityMatchesBruteForce(t *testing.T) {
+	nets := []*topology.Network{
+		core.MustBuild(core.Config{N: 3, K: 1, P: 2}).Network(),
+		bcube.MustBuild(bcube.Config{N: 3, K: 1}).Network(),
+	}
+	for _, net := range nets {
+		g := net.Graph()
+		for round := 0; round < 4; round++ {
+			rng := rand.New(rand.NewSource(int64(round)))
+			var downNodes, downEdges []int
+			if round > 0 { // round 0 analyzes the pristine network
+				for _, sw := range net.Switches() {
+					if rng.Intn(4) == 0 {
+						downNodes = append(downNodes, sw)
+					}
+				}
+				for e := 0; e < g.NumEdges(); e++ {
+					if rng.Intn(5) == 0 {
+						downEdges = append(downEdges, e)
+					}
+				}
+			}
+			base := func() *graph.View {
+				v := graph.NewView(g)
+				for _, n := range downNodes {
+					v.FailNode(n)
+				}
+				for _, e := range downEdges {
+					v.FailEdge(e)
+				}
+				return v
+			}
+			var view *graph.View
+			if round > 0 {
+				view = base()
+			}
+			rep, err := Criticality(net, view)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", net.Name(), round, err)
+			}
+			if got, want := rep.ConnectedPairs, connectedServerPairs(net, base()); got != want {
+				t.Fatalf("%s round %d: ConnectedPairs=%d brute %d", net.Name(), round, got, want)
+			}
+			inNodes := map[int]int64{}
+			for _, it := range rep.Nodes {
+				inNodes[it.Index] = it.PairsLost
+			}
+			inLinks := map[int]int64{}
+			for _, it := range rep.Links {
+				inLinks[it.Index] = it.PairsLost
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if !base().NodeUp(v) {
+					continue
+				}
+				_, ranked := inNodes[v]
+				if brute := bruteCriticalNode(net, base, v); ranked != brute {
+					t.Fatalf("%s round %d node %d (%s): ranked=%v brute=%v",
+						net.Name(), round, v, net.Label(v), ranked, brute)
+				}
+			}
+			for e := 0; e < g.NumEdges(); e++ {
+				if !base().EdgeUp(e) {
+					continue
+				}
+				_, ranked := inLinks[e]
+				if brute := bruteCriticalLink(net, base, e); ranked != brute {
+					t.Fatalf("%s round %d link %d: ranked=%v brute=%v", net.Name(), round, e, ranked, brute)
+				}
+			}
+			// Exact impact values: re-derive via the pair recount.
+			for _, it := range rep.Links {
+				before := rep.ConnectedPairs
+				after := base()
+				after.FailEdge(it.Index)
+				if want := before - connectedServerPairs(net, after); it.PairsLost != want {
+					t.Fatalf("%s round %d link %d: PairsLost=%d want %d",
+						net.Name(), round, it.Index, it.PairsLost, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCriticalityPristineConformance pins the articulation-point/bridge
+// cross-check and the paper-facing shape: healthy multi-homed cube networks
+// have zero critical components, and the graph AP/bridge counts are filled.
+func TestCriticalityPristineConformance(t *testing.T) {
+	net := core.MustBuild(core.Config{N: 4, K: 1, P: 2}).Network()
+	rep, err := Criticality(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GraphAPs < 0 || rep.GraphBridges < 0 {
+		t.Fatalf("pristine analysis left AP/bridge counts unset: %d/%d", rep.GraphAPs, rep.GraphBridges)
+	}
+	if len(rep.Nodes) > rep.GraphAPs {
+		t.Fatalf("%d critical nodes exceed %d articulation points", len(rep.Nodes), rep.GraphAPs)
+	}
+	if len(rep.Links) > rep.GraphBridges {
+		t.Fatalf("%d critical links exceed %d bridges", len(rep.Links), rep.GraphBridges)
+	}
+	// ABCCC(4,1,2) is multi-homed (p=2): no single component severs pairs.
+	if rep.CriticalServers+rep.CriticalSwitches+rep.CriticalLinks != 0 {
+		t.Fatalf("healthy ABCCC(4,1,2) reports critical components: %+v", rep)
+	}
+
+	// The bridge network is all criticality: each server and the cable.
+	brep, err := Criticality(bridgeNet(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brep.CriticalLinks != 1 || len(brep.Links) != 1 || brep.Links[0].PairsLost != 1 {
+		t.Fatalf("bridge network links: %+v", brep.Links)
+	}
+	if brep.GraphBridges != 1 {
+		t.Fatalf("bridge network GraphBridges = %d, want 1", brep.GraphBridges)
+	}
+}

@@ -1,0 +1,258 @@
+package surv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+func abcccNet(t testing.TB) *topology.Network {
+	t.Helper()
+	return core.MustBuild(core.Config{N: 4, K: 1, P: 2}).Network()
+}
+
+// bridgeNet is the minimal partitionable network: two servers joined by one
+// cable. Its time-to-first-partition equals the cable's lifetime exactly,
+// which makes it the closed-form oracle for the MTTF estimator tests.
+func bridgeNet() *topology.Network {
+	net := topology.NewNetwork("bridge")
+	a := net.AddServer("s0")
+	b := net.AddServer("s1")
+	if err := net.Connect(a, b); err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// TestLifetimeMatchesBruteReplay cross-checks the incremental replay against
+// a from-scratch recount at every curve sample: replaying the same plan into
+// a plain view and recomputing reachable pairs by BFS must agree with the
+// curve, and the recorded first partition must be the first event after
+// which the alive servers span more than one component.
+func TestLifetimeMatchesBruteReplay(t *testing.T) {
+	net := abcccNet(t)
+	rng := rand.New(rand.NewSource(11))
+	plan, err := failure.Schedule(net, failure.ScheduleConfig{
+		HorizonSec: 40,
+		Classes: []failure.ClassRate{
+			{Kind: failure.Switches, MTBFSec: 30, MTTRSec: 6},
+			{Kind: failure.Links, MTBFSec: 120, MTTRSec: 3},
+		},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lifetime(net, plan, Config{HorizonSec: 40, SampleEverySec: 2, Thresholds: []float64{0.99, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := net.Graph()
+	servers := net.Servers()
+	total := int64(len(servers))
+	totalPairs := float64(total*(total-1)) / 2
+	brutePairsAt := func(tSec float64, before bool) (float64, int) {
+		view := graph.NewView(g)
+		for _, e := range plan.Events {
+			if e.TimeSec > tSec || (before && e.TimeSec == tSec) {
+				break
+			}
+			e.Apply(view)
+		}
+		var pairs int64
+		comps := 0
+		seen := make([]bool, g.NumNodes())
+		scratch := graph.NewBFSScratch(g.NumNodes())
+		for _, s := range servers {
+			if seen[s] || !view.NodeUp(s) {
+				continue
+			}
+			res := g.BFSScratched(s, view, scratch)
+			var w int64
+			for _, s2 := range servers {
+				if view.NodeUp(s2) && res.Dist[s2] != graph.Unreachable {
+					seen[s2] = true
+					w++
+				}
+			}
+			pairs += w * (w - 1) / 2
+			comps++
+		}
+		return float64(pairs) / totalPairs, comps
+	}
+
+	for _, s := range res.Curve {
+		// Grid samples precede same-time events; the final sample (at the
+		// stop time) is post-event.
+		before := s.TimeSec != res.StoppedSec
+		frac, comps := brutePairsAt(s.TimeSec, before)
+		if math.Abs(frac-s.ReachableFrac) > 1e-12 {
+			t.Fatalf("t=%v: curve frac %v, brute %v", s.TimeSec, s.ReachableFrac, frac)
+		}
+		if comps != s.ServerComps {
+			t.Fatalf("t=%v: curve comps %d, brute %d", s.TimeSec, s.ServerComps, comps)
+		}
+	}
+
+	// First partition: replay manually and find it.
+	wantFirst := math.Inf(1)
+	{
+		view := graph.NewView(g)
+		for _, e := range plan.Events {
+			if e.TimeSec >= 40 {
+				break
+			}
+			e.Apply(view)
+			if _, comps := func() (float64, int) { return brutePairsAt(e.TimeSec, false) }(); comps > 1 {
+				wantFirst = e.TimeSec
+				break
+			}
+		}
+	}
+	if res.FirstPartitionSec != wantFirst {
+		t.Fatalf("FirstPartitionSec = %v, brute %v", res.FirstPartitionSec, wantFirst)
+	}
+	if res.Partitioned != !math.IsInf(wantFirst, 1) {
+		t.Fatalf("Partitioned = %v inconsistent with first partition %v", res.Partitioned, wantFirst)
+	}
+
+	// StopAtPartition must find the same first partition, then stop.
+	stopped, err := Lifetime(net, plan, Config{HorizonSec: 40, StopAtPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped.FirstPartitionSec != res.FirstPartitionSec {
+		t.Fatalf("StopAtPartition first partition %v, full replay %v", stopped.FirstPartitionSec, res.FirstPartitionSec)
+	}
+	if stopped.Partitioned && stopped.StoppedSec != stopped.FirstPartitionSec {
+		t.Fatalf("stopped at %v, partition at %v", stopped.StoppedSec, stopped.FirstPartitionSec)
+	}
+}
+
+func TestLifetimeThresholdsAndSeries(t *testing.T) {
+	net := bridgeNet()
+	plan := &failure.FaultPlan{Events: []failure.FaultEvent{
+		{TimeSec: 3, Kind: failure.Links, Index: 0},
+	}}
+	ser := obs.NewSeries(int64(1e9)) // 1 s windows
+	res, err := Lifetime(net, plan, Config{
+		HorizonSec:     8,
+		SampleEverySec: 1,
+		Thresholds:     []float64{1, 0.5},
+		Series:         ser,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partitioned || res.FirstPartitionSec != 3 {
+		t.Fatalf("partition at %v, want 3", res.FirstPartitionSec)
+	}
+	// One pair total: the cut drops reachability 1 -> 0, crossing both
+	// thresholds at t=3.
+	for i, th := range res.Below {
+		if th.TimeSec != 3 {
+			t.Fatalf("threshold %d (%v) crossed at %v, want 3", i, th.Frac, th.TimeSec)
+		}
+	}
+	if res.MinReachableFrac != 0 || res.FinalReachableFrac != 0 {
+		t.Fatalf("min/final frac = %v/%v, want 0/0", res.MinReachableFrac, res.FinalReachableFrac)
+	}
+	if res.FinalLargestFrac != 0.5 {
+		t.Fatalf("final largest frac %v, want 0.5", res.FinalLargestFrac)
+	}
+
+	// Series: the reachable track is a 1-per-window gauge that steps from
+	// 1e6 ppm to 0 after t=3; the event track has exactly one update.
+	pts := ser.Points()
+	if len(pts) == 0 {
+		t.Fatal("no series points recorded")
+	}
+	events := 0
+	for _, pt := range pts {
+		switch pt.Track {
+		case TrackEvents:
+			events += int(pt.Count)
+		case TrackReachable:
+			if pt.Count != 1 || pt.Sum != pt.Max {
+				t.Fatalf("reachable window %d is not a gauge point: %+v", pt.Window, pt)
+			}
+			// Grid samples precede same-time events, so the t=3 sample
+			// (window 3) still sees the link up.
+			wantPpm := int64(0)
+			if pt.T0Ns <= 3e9 {
+				wantPpm = 1e6
+			}
+			if pt.Sum != wantPpm {
+				t.Fatalf("reachable at window %d = %d ppm, want %d", pt.Window, pt.Sum, wantPpm)
+			}
+		}
+	}
+	if events != 1 {
+		t.Fatalf("event track counted %d events, want 1", events)
+	}
+}
+
+func TestLifetimeCapacityRetention(t *testing.T) {
+	net := abcccNet(t)
+	// Kill a third of the links at t=2, no repairs.
+	plan, err := failure.Downs(net, failure.Links, 0.33, 2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lifetime(net, plan, Config{
+		HorizonSec:       8,
+		CapacityPairs:    16,
+		CapacityEverySec: 4,
+		CapacitySeed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Capacity) == 0 {
+		t.Fatal("no capacity checkpoints")
+	}
+	if res.Capacity[0].TimeSec != 0 || res.Capacity[0].Retention != 1 {
+		t.Fatalf("pristine checkpoint = %+v, want retention 1 at t=0", res.Capacity[0])
+	}
+	last := res.Capacity[len(res.Capacity)-1]
+	if last.Retention >= 1 {
+		t.Fatalf("a third of the links down retained %v capacity", last.Retention)
+	}
+	if last.Retention <= 0 {
+		t.Fatalf("retention %v collapsed to zero on a multipath structure", last.Retention)
+	}
+}
+
+func TestLifetimeRejectsBadConfig(t *testing.T) {
+	net := abcccNet(t)
+	empty := &failure.FaultPlan{}
+	bad := []Config{
+		{HorizonSec: 0},
+		{HorizonSec: -1},
+		{HorizonSec: math.Inf(1)},
+		{HorizonSec: 1, Thresholds: []float64{0}},
+		{HorizonSec: 1, Thresholds: []float64{1.5}},
+		{HorizonSec: 1, SampleEverySec: -2},
+		{HorizonSec: 1, CapacityPairs: -1},
+		{HorizonSec: 1e12, Series: obs.NewSeries(0)}, // ns overflow
+	}
+	for i, cfg := range bad {
+		if _, err := Lifetime(net, empty, cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+	// Unsorted plans are rejected, not silently misreplayed.
+	unsorted := &failure.FaultPlan{Events: []failure.FaultEvent{
+		{TimeSec: 5, Kind: failure.Links, Index: 0},
+		{TimeSec: 1, Kind: failure.Links, Index: 1},
+	}}
+	if _, err := Lifetime(net, unsorted, Config{HorizonSec: 10}); err == nil {
+		t.Error("unsorted plan accepted")
+	}
+}

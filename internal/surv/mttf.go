@@ -1,0 +1,88 @@
+package surv
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is a sample-mean estimate with a two-sided Student-t confidence
+// interval: Mean ± t(N−1, level)·Std/√N. With fewer than two uncensored
+// samples the mean/interval fields are NaN (there is nothing to average or
+// no spread to estimate); Censored counts trials that never reached the
+// event inside their horizon and therefore contribute no sample — the
+// estimator makes no lifetime assumption, so censored trials are reported,
+// not imputed.
+type Estimate struct {
+	N        int // uncensored samples
+	Censored int
+	Mean     float64
+	Std      float64 // sample standard deviation (n−1 denominator)
+	Level    float64 // confidence level of [Lo, Hi]
+	Lo, Hi   float64
+}
+
+// Two-sided Student-t critical values t(df, level) for df 1..30; beyond 30
+// the normal quantile is used. Indexed [df-1].
+var tTable = map[float64][30]float64{
+	0.90: {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+		1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+		1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697},
+	0.95: {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042},
+	0.99: {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+		3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+		2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750},
+}
+
+var zTable = map[float64]float64{0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+// tCritical returns the two-sided critical value for the given degrees of
+// freedom and confidence level.
+func tCritical(df int, level float64) (float64, error) {
+	tbl, ok := tTable[level]
+	if !ok || df < 1 {
+		return 0, fmt.Errorf("surv: no t-table for level %v (have 0.90, 0.95, 0.99)", level)
+	}
+	if df <= len(tbl) {
+		return tbl[df-1], nil
+	}
+	return zTable[level], nil
+}
+
+// EstimateMean computes the sample mean of the uncensored samples with a
+// Student-t confidence interval at the given level (0.90, 0.95, or 0.99).
+// This is the MTTF estimator of the survivability suite: samples are
+// per-trial times to first partition, censored is the count of trials whose
+// horizon expired first.
+func EstimateMean(samples []float64, censored int, level float64) (Estimate, error) {
+	if _, err := tCritical(1, level); err != nil {
+		return Estimate{}, err
+	}
+	est := Estimate{N: len(samples), Censored: censored, Level: level,
+		Mean: math.NaN(), Std: math.NaN(), Lo: math.NaN(), Hi: math.NaN()}
+	if est.N == 0 {
+		return est, nil
+	}
+	var sum float64
+	for _, x := range samples {
+		sum += x
+	}
+	est.Mean = sum / float64(est.N)
+	if est.N == 1 {
+		return est, nil
+	}
+	var ss float64
+	for _, x := range samples {
+		d := x - est.Mean
+		ss += d * d
+	}
+	est.Std = math.Sqrt(ss / float64(est.N-1))
+	t, err := tCritical(est.N-1, level)
+	if err != nil {
+		return Estimate{}, err
+	}
+	half := t * est.Std / math.Sqrt(float64(est.N))
+	est.Lo, est.Hi = est.Mean-half, est.Mean+half
+	return est, nil
+}

@@ -1,0 +1,163 @@
+package surv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+)
+
+// TestEstimateMeanExact pins the estimator arithmetic on a hand-computable
+// sample: mean 3, sample std 1, t(3, 0.95) = 3.182.
+func TestEstimateMeanExact(t *testing.T) {
+	est, err := EstimateMean([]float64{2, 3, 3, 4}, 2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 4 || est.Censored != 2 || est.Level != 0.95 {
+		t.Fatalf("shape: %+v", est)
+	}
+	if est.Mean != 3 {
+		t.Fatalf("mean = %v, want 3", est.Mean)
+	}
+	wantStd := math.Sqrt(2.0 / 3.0)
+	if math.Abs(est.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", est.Std, wantStd)
+	}
+	half := 3.182 * wantStd / 2
+	if math.Abs(est.Lo-(3-half)) > 1e-12 || math.Abs(est.Hi-(3+half)) > 1e-12 {
+		t.Fatalf("CI = [%v, %v], want 3 ± %v", est.Lo, est.Hi, half)
+	}
+}
+
+func TestEstimateMeanDegenerate(t *testing.T) {
+	est, err := EstimateMean(nil, 5, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 0 || est.Censored != 5 || !math.IsNaN(est.Mean) || !math.IsNaN(est.Lo) {
+		t.Fatalf("all-censored estimate: %+v", est)
+	}
+	est, err = EstimateMean([]float64{7}, 0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 7 || !math.IsNaN(est.Std) || !math.IsNaN(est.Lo) || !math.IsNaN(est.Hi) {
+		t.Fatalf("single-sample estimate: %+v", est)
+	}
+	if _, err := EstimateMean([]float64{1, 2}, 0, 0.8); err == nil {
+		t.Error("unsupported level accepted")
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	cases := []struct {
+		df    int
+		level float64
+		want  float64
+	}{
+		{1, 0.95, 12.706}, {4, 0.95, 2.776}, {30, 0.95, 2.042},
+		{31, 0.95, 1.960}, {1000, 0.99, 2.576}, {10, 0.90, 1.812},
+	}
+	for _, c := range cases {
+		got, err := tCritical(c.df, c.level)
+		if err != nil || got != c.want {
+			t.Errorf("tCritical(%d, %v) = %v, %v; want %v", c.df, c.level, got, err, c.want)
+		}
+	}
+	if _, err := tCritical(0, 0.95); err == nil {
+		t.Error("df=0 accepted")
+	}
+}
+
+// TestEstimateCoverageExponential checks the advertised interval semantics on
+// the closed-form case: batches of iid Exp(mean 5) lifetimes, 95% CIs. The
+// seed is fixed, so the observed coverage is deterministic; it must sit in a
+// generous band around the nominal level (exponential samples are skewed, so
+// small-sample t coverage runs a little under 95%).
+func TestEstimateCoverageExponential(t *testing.T) {
+	const (
+		mean    = 5.0
+		batches = 200
+		perN    = 12
+	)
+	rng := rand.New(rand.NewSource(99))
+	hits := 0
+	for b := 0; b < batches; b++ {
+		samples := make([]float64, perN)
+		for i := range samples {
+			samples[i] = rng.ExpFloat64() * mean
+		}
+		est, err := EstimateMean(samples, 0, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Lo <= mean && mean <= est.Hi {
+			hits++
+		}
+	}
+	cov := float64(hits) / batches
+	if cov < 0.85 || cov > 1 {
+		t.Fatalf("coverage %v over %d batches, want ≈0.95", cov, batches)
+	}
+}
+
+// TestMTTFClosedFormBridge is the end-to-end closed-form check: on the
+// two-server bridge network under link wear-out, time-to-first-partition IS
+// the cable's Exp(MTBF) lifetime, so the estimated MTTF must match the known
+// per-trial draws exactly and its CI must contain the true mean.
+func TestMTTFClosedFormBridge(t *testing.T) {
+	const (
+		mtbf    = 8.0
+		trials  = 120
+		horizon = mtbf * 200 // censoring probability e^-200 ≈ 0
+	)
+	net := bridgeNet()
+	st, err := RunTrials(net, TrialConfig{
+		Classes:         []failure.ClassRate{{Kind: failure.Links, MTBFSec: mtbf}},
+		HorizonSec:      horizon,
+		Trials:          trials,
+		Seed:            42,
+		StopAtPartition: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MTTF.N != trials || st.MTTF.Censored != 0 {
+		t.Fatalf("N=%d censored=%d, want %d uncensored trials", st.MTTF.N, st.MTTF.Censored, trials)
+	}
+	// Each trial's partition time is exactly its seed's first Exp draw.
+	var sum float64
+	for i, r := range st.Trials {
+		want := rand.New(rand.NewSource(42+int64(i))).ExpFloat64() * mtbf
+		if r.FirstPartitionSec != want {
+			t.Fatalf("trial %d partitioned at %v, closed form %v", i, r.FirstPartitionSec, want)
+		}
+		sum += want
+	}
+	if got, want := st.MTTF.Mean, sum/trials; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MTTF mean %v, want %v", got, want)
+	}
+	// CI contains the true mean for this seed (and is sane: Lo < Mean < Hi).
+	if !(st.MTTF.Lo < st.MTTF.Mean && st.MTTF.Mean < st.MTTF.Hi) {
+		t.Fatalf("degenerate CI: %+v", st.MTTF)
+	}
+	if st.MTTF.Lo > mtbf || st.MTTF.Hi < mtbf {
+		t.Fatalf("95%% CI [%v, %v] misses true MTTF %v", st.MTTF.Lo, st.MTTF.Hi, mtbf)
+	}
+	// Short horizons censor instead of inventing lifetimes.
+	short, err := RunTrials(net, TrialConfig{
+		Classes:         []failure.ClassRate{{Kind: failure.Links, MTBFSec: mtbf}},
+		HorizonSec:      mtbf / 100,
+		Trials:          10,
+		Seed:            42,
+		StopAtPartition: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.MTTF.N+short.MTTF.Censored != 10 || short.MTTF.Censored == 0 {
+		t.Fatalf("tiny horizon censoring: %+v", short.MTTF)
+	}
+}

@@ -1,0 +1,213 @@
+package surv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// TrialConfig parameterizes RunTrials: many independent seeded lifetime
+// replays of one network, aggregated into MTTF and threshold estimates.
+type TrialConfig struct {
+	// Classes gives the per-component failure rates (failure.ClassRate).
+	Classes []failure.ClassRate
+	// Churn selects repairable Poisson churn (failure.Schedule) instead of
+	// the default no-repair wear-out (failure.Wearout).
+	Churn bool
+	// HorizonSec bounds every trial.
+	HorizonSec float64
+	// Trials is the number of independent replays; trial i is seeded
+	// Seed+i, so a (Seed, Trials) pair fully determines every schedule.
+	Trials int
+	Seed   int64
+	// Workers bounds the worker pool (≤0: GOMAXPROCS). The result is
+	// byte-identical for every worker count: trials land in indexed slots.
+	Workers int
+	// StopAtPartition ends each trial at its first partition (the fast
+	// MTTF path — curves past the partition are then meaningless and the
+	// MeanCurve aggregate is skipped).
+	StopAtPartition bool
+	// SampleEverySec and Thresholds are passed through to every replay.
+	SampleEverySec float64
+	Thresholds     []float64
+	// Level is the confidence level of the aggregated estimates
+	// (default 0.95).
+	Level float64
+}
+
+// MeanSample is one point of the across-trials mean survivability curve.
+type MeanSample struct {
+	TimeSec       float64
+	ReachableFrac float64
+	LargestFrac   float64
+}
+
+// Stats aggregates a trial batch.
+type Stats struct {
+	// Trials holds every per-trial Result, in trial order.
+	Trials []*Result
+	// MTTF estimates the mean time to first partition over the partitioned
+	// trials; trials that never partitioned inside the horizon are counted
+	// as Censored.
+	MTTF Estimate
+	// Below estimates, per TrialConfig.Thresholds entry, the mean first
+	// time reachability dropped below the threshold.
+	Below []Estimate
+	// MeanCurve is the pointwise mean survivability curve (empty when
+	// StopAtPartition cut trials short — partial curves do not average).
+	MeanCurve []MeanSample
+}
+
+// RunTrials runs cfg.Trials independent seeded lifetime replays over a
+// worker pool and aggregates them. Determinism: trial i draws its schedule
+// from seed cfg.Seed+i regardless of scheduling order, and every aggregate
+// folds in trial order, so the Stats are identical for any Workers value
+// and GOMAXPROCS.
+func RunTrials(net *topology.Network, cfg TrialConfig) (*Stats, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("surv: need at least 1 trial, got %d", cfg.Trials)
+	}
+	level := cfg.Level
+	if level == 0 {
+		level = 0.95
+	}
+	if _, err := tCritical(1, level); err != nil {
+		return nil, err
+	}
+	if err := validateTrialClasses(cfg); err != nil {
+		return nil, err
+	}
+
+	results := make([]*Result, cfg.Trials)
+	errs := make([]error, cfg.Trials)
+	workers := graph.Workers(cfg.Workers, cfg.Trials)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for p := 0; p < workers; p++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Trials {
+					return
+				}
+				results[i], errs[i] = runTrial(net, cfg, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	st := &Stats{Trials: results}
+	var ttf []float64
+	censored := 0
+	for _, r := range results {
+		if r.Partitioned {
+			ttf = append(ttf, r.FirstPartitionSec)
+		} else {
+			censored++
+		}
+	}
+	var err error
+	if st.MTTF, err = EstimateMean(ttf, censored, level); err != nil {
+		return nil, err
+	}
+	for j := range cfg.Thresholds {
+		var times []float64
+		miss := 0
+		for _, r := range results {
+			if t := r.Below[j].TimeSec; math.IsInf(t, 1) {
+				miss++
+			} else {
+				times = append(times, t)
+			}
+		}
+		est, err := EstimateMean(times, miss, level)
+		if err != nil {
+			return nil, err
+		}
+		st.Below = append(st.Below, est)
+	}
+	if !cfg.StopAtPartition {
+		st.MeanCurve = meanCurve(results)
+	}
+	return st, nil
+}
+
+// runTrial draws trial i's schedule and replays it.
+func runTrial(net *topology.Network, cfg TrialConfig, i int) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+	var plan *failure.FaultPlan
+	var err error
+	if cfg.Churn {
+		plan, err = failure.Schedule(net, failure.ScheduleConfig{
+			HorizonSec: cfg.HorizonSec,
+			Classes:    cfg.Classes,
+		}, rng)
+	} else {
+		plan, err = failure.Wearout(net, cfg.Classes, cfg.HorizonSec, rng)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("surv: trial %d: %w", i, err)
+	}
+	return Lifetime(net, plan, Config{
+		HorizonSec:      cfg.HorizonSec,
+		SampleEverySec:  cfg.SampleEverySec,
+		Thresholds:      cfg.Thresholds,
+		StopAtPartition: cfg.StopAtPartition,
+	})
+}
+
+// validateTrialClasses rejects invalid rates up front (with Churn, repair
+// rates are required too) so a bad config fails before spawning workers.
+func validateTrialClasses(cfg TrialConfig) error {
+	probe := failure.ScheduleConfig{HorizonSec: cfg.HorizonSec, Classes: cfg.Classes}
+	if cfg.Churn {
+		return probe.Validate()
+	}
+	// Wear-out ignores MTTR: validate with it patched to a legal value.
+	patched := make([]failure.ClassRate, len(cfg.Classes))
+	copy(patched, cfg.Classes)
+	for i := range patched {
+		patched[i].MTTRSec = 1
+	}
+	probe.Classes = patched
+	return probe.Validate()
+}
+
+// meanCurve averages full-horizon curves pointwise. All trials share the
+// sample grid (same horizon and interval), so folding in trial order is a
+// plain per-index mean.
+func meanCurve(results []*Result) []MeanSample {
+	if len(results) == 0 {
+		return nil
+	}
+	n := len(results[0].Curve)
+	for _, r := range results {
+		if len(r.Curve) != n {
+			return nil // grids diverged (should not happen on full runs)
+		}
+	}
+	out := make([]MeanSample, n)
+	for i := range out {
+		out[i].TimeSec = results[0].Curve[i].TimeSec
+		for _, r := range results {
+			out[i].ReachableFrac += r.Curve[i].ReachableFrac
+			out[i].LargestFrac += r.Curve[i].LargestFrac
+		}
+		out[i].ReachableFrac /= float64(len(results))
+		out[i].LargestFrac /= float64(len(results))
+	}
+	return out
+}

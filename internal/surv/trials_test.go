@@ -1,0 +1,131 @@
+package surv
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/failure"
+)
+
+func survClasses() []failure.ClassRate {
+	return []failure.ClassRate{
+		{Kind: failure.Switches, MTBFSec: 50, MTTRSec: 4},
+		{Kind: failure.Links, MTBFSec: 200, MTTRSec: 2},
+	}
+}
+
+// TestRunTrialsWorkerInvariant: the aggregated Stats are byte-identical for
+// any worker-pool width — trials land in indexed slots and every fold walks
+// them in trial order.
+func TestRunTrialsWorkerInvariant(t *testing.T) {
+	net := abcccNet(t)
+	base := TrialConfig{
+		Classes:        survClasses(),
+		Churn:          true,
+		HorizonSec:     30,
+		Trials:         12,
+		Seed:           7,
+		SampleEverySec: 5,
+		Thresholds:     []float64{0.9},
+	}
+	var ref *Stats
+	for _, workers := range []int{1, 3, 7} {
+		cfg := base
+		cfg.Workers = workers
+		st, err := RunTrials(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = st
+			continue
+		}
+		if !reflect.DeepEqual(st, ref) {
+			t.Fatalf("workers=%d diverged from workers=1", workers)
+		}
+	}
+	if len(ref.MeanCurve) == 0 {
+		t.Fatal("full-horizon run produced no mean curve")
+	}
+	if len(ref.Below) != 1 {
+		t.Fatalf("got %d threshold estimates, want 1", len(ref.Below))
+	}
+	if got := ref.MTTF.N + ref.MTTF.Censored; got != base.Trials {
+		t.Fatalf("MTTF accounts for %d trials, want %d", got, base.Trials)
+	}
+	// The curve starts healthy.
+	if c0 := ref.MeanCurve[0]; c0.TimeSec != 0 || c0.ReachableFrac != 1 {
+		t.Fatalf("mean curve starts at %+v, want frac 1 at t=0", c0)
+	}
+}
+
+// TestRunTrialsStopAtPartition: the fast-MTTF path skips the mean curve and
+// reruns deterministically.
+func TestRunTrialsStopAtPartition(t *testing.T) {
+	net := abcccNet(t)
+	cfg := TrialConfig{
+		Classes:         survClasses(),
+		Churn:           true,
+		HorizonSec:      60,
+		Trials:          6,
+		Seed:            3,
+		StopAtPartition: true,
+	}
+	a, err := RunTrials(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrials(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical configs produced different stats")
+	}
+	if len(a.MeanCurve) != 0 {
+		t.Fatal("StopAtPartition run still averaged curves")
+	}
+	for i, r := range a.Trials {
+		if r.Partitioned && r.StoppedSec != r.FirstPartitionSec {
+			t.Fatalf("trial %d ran past its partition: stopped %v, partition %v",
+				i, r.StoppedSec, r.FirstPartitionSec)
+		}
+	}
+}
+
+func TestRunTrialsRejectsBadConfig(t *testing.T) {
+	net := abcccNet(t)
+	bad := []TrialConfig{
+		{Classes: survClasses(), HorizonSec: 10},                        // Trials 0
+		{Classes: survClasses(), HorizonSec: 10, Trials: 2, Level: 0.5}, // no t-table
+		{HorizonSec: 10, Trials: 2},                                     // no classes
+		{Classes: []failure.ClassRate{{Kind: failure.Links, MTBFSec: -1}},
+			HorizonSec: 10, Trials: 2}, // bad rate
+		{Classes: []failure.ClassRate{{Kind: failure.Links, MTBFSec: 5}},
+			Churn: true, HorizonSec: 10, Trials: 2}, // churn needs MTTR
+	}
+	for i, cfg := range bad {
+		if _, err := RunTrials(net, cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
+
+// TestRunTrialsAllCensored: a horizon too short for any partition yields a
+// fully censored NaN estimate rather than a fabricated MTTF.
+func TestRunTrialsAllCensored(t *testing.T) {
+	net := abcccNet(t)
+	st, err := RunTrials(net, TrialConfig{
+		Classes:    []failure.ClassRate{{Kind: failure.Links, MTBFSec: 1e9}},
+		HorizonSec: 1,
+		Trials:     4,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MTTF.Censored != 4 || st.MTTF.N != 0 || !math.IsNaN(st.MTTF.Mean) {
+		t.Fatalf("all-censored batch: %+v", st.MTTF)
+	}
+}
